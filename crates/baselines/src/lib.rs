@@ -1,0 +1,23 @@
+//! Baseline access methods the paper compares SP-GiST indexes against.
+//!
+//! * [`btree::BPlusTree`] — a disk-based B⁺-tree over byte-string keys, the
+//!   comparator for the trie experiments (paper Figures 6–12).
+//! * [`rtree::RTree`] — a disk-based R-tree (Guttman, quadratic split), the
+//!   comparator for the kd-tree and PMR-quadtree experiments
+//!   (Figures 13–15).
+//! * [`seqscan::SeqScanTable`] — a heap file scanned sequentially, the only
+//!   other access path able to answer substring queries (Figure 16).
+//!
+//! All three run on the same page/buffer substrate as the SP-GiST indexes so
+//! that page-I/O comparisons are apples-to-apples.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod btree;
+pub mod rtree;
+pub mod seqscan;
+
+pub use btree::BPlusTree;
+pub use rtree::RTree;
+pub use seqscan::SeqScanTable;

@@ -1,0 +1,109 @@
+//! Sequential scan over a heap file.
+//!
+//! The paper compares the suffix tree's substring search against sequential
+//! scanning "because the other access methods do not support the substring
+//! match operations" (Section 6, Figure 16).  [`SeqScanTable`] stores strings
+//! in a heap file and answers any [`StringQuery`] by scanning every tuple.
+
+use std::sync::Arc;
+
+use spgist_core::RowId;
+use spgist_indexes::query::StringQuery;
+use spgist_storage::{BufferPool, Codec, HeapFile, StorageResult};
+
+/// A heap-file table of `(string, row id)` tuples queried by full scans.
+pub struct SeqScanTable {
+    heap: HeapFile,
+}
+
+impl SeqScanTable {
+    /// Creates an empty table on `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Ok(SeqScanTable {
+            heap: HeapFile::create(pool)?,
+        })
+    }
+
+    /// Appends a tuple.
+    pub fn insert(&mut self, value: &str, row: RowId) -> StorageResult<()> {
+        let tuple = (value.to_string(), row);
+        self.heap.insert(&tuple.to_bytes())?;
+        Ok(())
+    }
+
+    /// Scans the whole table, returning the row ids whose value satisfies
+    /// `query`.
+    pub fn scan(&self, query: &StringQuery) -> StorageResult<Vec<RowId>> {
+        let mut rows = Vec::new();
+        self.heap.scan(|_, bytes| {
+            if let Ok((value, row)) = <(String, RowId)>::from_bytes(bytes) {
+                if query.matches(&value) {
+                    rows.push(row);
+                }
+            }
+        })?;
+        Ok(rows)
+    }
+
+    /// Substring search by full scan (the Figure 16 baseline).
+    pub fn substring(&self, needle: &str) -> StorageResult<Vec<RowId>> {
+        self.scan(&StringQuery::Substring(needle.to_string()))
+    }
+
+    /// Number of tuples in the table.
+    pub fn len(&self) -> u64 {
+        self.heap.record_count()
+    }
+
+    /// True if the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of heap pages.
+    pub fn page_count(&self) -> usize {
+        self.heap.page_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table_with(words: &[&str]) -> SeqScanTable {
+        let mut table = SeqScanTable::create(BufferPool::in_memory()).unwrap();
+        for (i, w) in words.iter().enumerate() {
+            table.insert(w, i as RowId).unwrap();
+        }
+        table
+    }
+
+    #[test]
+    fn substring_scan_matches_contains() {
+        let words = ["database", "partition", "tree", "substring"];
+        let table = table_with(&words);
+        assert_eq!(table.substring("t").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(table.substring("base").unwrap(), vec![0]);
+        assert!(table.substring("zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn other_queries_work_by_scan_too() {
+        let table = table_with(&["star", "space", "spade"]);
+        assert_eq!(table.scan(&StringQuery::Equals("space".into())).unwrap(), vec![1]);
+        assert_eq!(table.scan(&StringQuery::Prefix("sp".into())).unwrap(), vec![1, 2]);
+        assert_eq!(table.scan(&StringQuery::Regex("spa?e".into())).unwrap(), vec![1, 2]);
+    }
+
+    #[test]
+    fn large_table_spans_pages() {
+        let mut table = SeqScanTable::create(BufferPool::in_memory()).unwrap();
+        for i in 0..5000u64 {
+            table.insert(&format!("value-{i:05}"), i).unwrap();
+        }
+        assert_eq!(table.len(), 5000);
+        assert!(table.page_count() > 1);
+        assert_eq!(table.substring("value-01234").unwrap(), vec![1234]);
+        assert_eq!(table.substring("-0123").unwrap().len(), 10);
+    }
+}

@@ -1,0 +1,53 @@
+//! Ablation: effect of the node→page clustering policy on exact-match search
+//! over the patricia trie (DESIGN.md design decision 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::experiment_pool;
+use spgist_core::{ClusteringPolicy, RowId, SpGistOps};
+use spgist_datagen::{words, QueryWorkload};
+use spgist_indexes::{TrieIndex, TrieOps};
+
+fn build(policy: ClusteringPolicy, data: &[String]) -> TrieIndex {
+    let config = TrieOps::patricia().config().with_clustering(policy);
+    let mut index =
+        TrieIndex::with_ops(experiment_pool(), TrieOps::with_config(config)).unwrap();
+    for (i, w) in data.iter().enumerate() {
+        index.insert(w, i as RowId).unwrap();
+    }
+    index
+}
+
+fn bench(c: &mut Criterion) {
+    let data = words(15_000, 42);
+    let queries = QueryWorkload::existing(&data, 64, 1);
+    let mut group = c.benchmark_group("ablation_clustering_exact_match");
+    group.sample_size(20);
+    for policy in [
+        ClusteringPolicy::ParentFirst,
+        ClusteringPolicy::FirstFit,
+        ClusteringPolicy::NewPagePerNode,
+    ] {
+        let index = build(policy, &data);
+        group.bench_function(BenchmarkId::new("policy", format!("{policy:?}")), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                index.equals(&queries[i]).unwrap()
+            })
+        });
+    }
+    // Offline repack on top of the default policy.
+    let mut repacked = build(ClusteringPolicy::ParentFirst, &data);
+    repacked.repack().unwrap();
+    group.bench_function(BenchmarkId::new("policy", "ParentFirst+repack"), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % queries.len();
+            repacked.equals(&queries[i]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

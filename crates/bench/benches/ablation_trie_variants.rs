@@ -1,0 +1,45 @@
+//! Ablation: trie interface parameters (PathShrink and BucketSize, paper
+//! Figures 1–2 / Table 1).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::experiment_pool;
+use spgist_core::{RowId, SpGistOps};
+use spgist_datagen::{words, QueryWorkload};
+use spgist_indexes::{TrieIndex, TrieOps};
+
+fn build(ops: TrieOps, data: &[String]) -> TrieIndex {
+    let mut index = TrieIndex::with_ops(experiment_pool(), ops).unwrap();
+    for (i, w) in data.iter().enumerate() {
+        index.insert(w, i as RowId).unwrap();
+    }
+    index
+}
+
+fn bench(c: &mut Criterion) {
+    let data = words(15_000, 42);
+    let queries = QueryWorkload::existing(&data, 64, 1);
+    let variants = [
+        ("patricia_bucket16", TrieOps::patricia()),
+        ("never_shrink_bucket16", TrieOps::never_shrink()),
+        (
+            "patricia_bucket1",
+            TrieOps::with_config(TrieOps::patricia().config().with_bucket_size(1)),
+        ),
+    ];
+    let mut group = c.benchmark_group("ablation_trie_variants_exact_match");
+    group.sample_size(20);
+    for (name, ops) in variants {
+        let index = build(ops, &data);
+        group.bench_function(BenchmarkId::new("variant", name), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                index.equals(&queries[i]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 6: exact-match and prefix-match search, patricia trie vs. B⁺-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::{build_btree, build_trie};
+use spgist_datagen::{words, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let data = words(20_000, 42);
+    let (trie, _) = build_trie(&data);
+    let (btree, _) = build_btree(&data);
+    let exact = QueryWorkload::existing(&data, 64, 1);
+    let prefixes = QueryWorkload::prefixes(&data, 64, 2, 2);
+
+    let mut group = c.benchmark_group("fig06_exact_match");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("trie", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % exact.len();
+            trie.equals(&exact[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("btree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % exact.len();
+            btree.search_str(&exact[i]).unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig06_prefix_match");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("trie", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % prefixes.len();
+            trie.prefix(&prefixes[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("btree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % prefixes.len();
+            btree.prefix_search(prefixes[i].as_bytes()).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 7: regular-expression (`?`-wildcard) search, trie vs. B⁺-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::{build_btree, build_trie};
+use spgist_datagen::{words, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let data = words(20_000, 42);
+    let (trie, _) = build_trie(&data);
+    let (btree, _) = build_btree(&data);
+    let patterns = QueryWorkload::regexes(&data, 64, 2, 3);
+
+    let mut group = c.benchmark_group("fig07_regex_match");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("trie", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % patterns.len();
+            trie.regex(&patterns[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("btree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % patterns.len();
+            btree.regex_search(&patterns[i]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Figures 9–10: insertion time and index size, trie vs. B⁺-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::{build_btree, build_trie};
+use spgist_datagen::words;
+
+fn bench(c: &mut Criterion) {
+    let data = words(5_000, 42);
+
+    let mut group = c.benchmark_group("fig09_bulk_insert");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("trie", data.len()), |b| {
+        b.iter(|| build_trie(&data).0.len())
+    });
+    group.bench_function(BenchmarkId::new("btree", data.len()), |b| {
+        b.iter(|| build_btree(&data).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

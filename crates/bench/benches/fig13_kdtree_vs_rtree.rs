@@ -1,0 +1,63 @@
+//! Figures 13–14: point-match, range search and insert, kd-tree vs. R-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::{build_kdtree, build_rtree_points};
+use spgist_datagen::{points, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let data = points(20_000, 42);
+    let (kd, _) = build_kdtree(&data);
+    let (rt, _) = build_rtree_points(&data);
+    let point_queries = QueryWorkload::existing(&data, 64, 1);
+    let windows = QueryWorkload::windows(64, 5.0, 2);
+
+    let mut group = c.benchmark_group("fig13_point_match");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("kdtree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % point_queries.len();
+            kd.equals(point_queries[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("rtree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % point_queries.len();
+            rt.point_match(point_queries[i]).unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig13_range_search");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("kdtree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % windows.len();
+            kd.range(windows[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("rtree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % windows.len();
+            rt.window(windows[i]).unwrap()
+        })
+    });
+    group.finish();
+
+    let small = points(4_000, 7);
+    let mut group = c.benchmark_group("fig13_insert");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("kdtree", small.len()), |b| {
+        b.iter(|| build_kdtree(&small).0.len())
+    });
+    group.bench_function(BenchmarkId::new("rtree", small.len()), |b| {
+        b.iter(|| build_rtree_points(&small).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Figure 15: insert, exact-match and window search over line segments,
+//! PMR quadtree vs. R-tree.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::{build_pmr, build_rtree_segments};
+use spgist_datagen::{segments, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let data = segments(10_000, 10.0, 42);
+    let (pmr, _) = build_pmr(&data);
+    let (rt, _) = build_rtree_segments(&data);
+    let exact = QueryWorkload::existing(&data, 64, 1);
+    let windows = QueryWorkload::windows(64, 5.0, 2);
+
+    let mut group = c.benchmark_group("fig15_exact_match");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("pmr", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % exact.len();
+            pmr.equals(exact[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("rtree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % exact.len();
+            rt.segment_match(exact[i]).unwrap()
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("fig15_window_search");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("pmr", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % windows.len();
+            pmr.window(windows[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("rtree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % windows.len();
+            rt.window(windows[i]).unwrap()
+        })
+    });
+    group.finish();
+
+    let small = segments(3_000, 10.0, 7);
+    let mut group = c.benchmark_group("fig15_insert");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("pmr", small.len()), |b| {
+        b.iter(|| build_pmr(&small).0.len())
+    });
+    group.bench_function(BenchmarkId::new("rtree", small.len()), |b| {
+        b.iter(|| build_rtree_segments(&small).0.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Figure 16: substring match, suffix tree vs. sequential scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::{build_seqscan, build_suffix};
+use spgist_datagen::{words, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let data = words(10_000, 42);
+    let (suffix, _) = build_suffix(&data);
+    let (table, _) = build_seqscan(&data);
+    let needles = QueryWorkload::substrings(&data, 64, 4, 1);
+
+    let mut group = c.benchmark_group("fig16_substring_match");
+    group.sample_size(20);
+    group.bench_function(BenchmarkId::new("suffix_tree", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % needles.len();
+            suffix.substring(&needles[i]).unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("seq_scan", data.len()), |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % needles.len();
+            table.substring(&needles[i]).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

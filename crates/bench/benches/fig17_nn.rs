@@ -1,0 +1,46 @@
+//! Figure 17: incremental NN search over the kd-tree, point quadtree and
+//! trie, varying the number of requested neighbours.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use spgist_bench::{build_kdtree, build_pquadtree, build_trie};
+use spgist_datagen::{points, words, QueryWorkload};
+
+fn bench(c: &mut Criterion) {
+    let point_data = points(20_000, 42);
+    let word_data = words(20_000, 43);
+    let (kd, _) = build_kdtree(&point_data);
+    let (quad, _) = build_pquadtree(&point_data);
+    let (trie, _) = build_trie(&word_data);
+    let nn_points = QueryWorkload::nn_points(16, 1);
+    let nn_words = QueryWorkload::existing(&word_data, 16, 2);
+
+    let mut group = c.benchmark_group("fig17_nn");
+    group.sample_size(10);
+    for k in [8usize, 64, 512] {
+        group.bench_function(BenchmarkId::new("kdtree", k), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % nn_points.len();
+                kd.nearest(nn_points[i], k).unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("pquadtree", k), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % nn_points.len();
+                quad.nearest(nn_points[i], k).unwrap()
+            })
+        });
+        group.bench_function(BenchmarkId::new("trie", k), |b| {
+            let mut i = 0;
+            b.iter(|| {
+                i = (i + 1) % nn_words.len();
+                trie.nearest(&nn_words[i], k).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

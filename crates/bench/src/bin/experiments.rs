@@ -1,0 +1,327 @@
+//! Regenerates every table and figure of the paper's evaluation.
+//!
+//! ```text
+//! cargo run -p spgist-bench --release --bin experiments -- all
+//! cargo run -p spgist-bench --release --bin experiments -- fig6 --scale 2
+//! ```
+//!
+//! Subcommands: `table7`, `fig6`..`fig17` (Figures 6–12 share one string run,
+//! 13–14 one point run), `ablation-clustering`, `ablation-trie`, `all`.
+//! `--scale N` multiplies the dataset sizes (default 1); `--queries N` sets
+//! the number of queries per measurement (default 100).
+
+use spgist_bench::loc::table7;
+use spgist_bench::stats::{log10_ratio, ratio_pct};
+use spgist_bench::{
+    point_sizes, run_clustering_ablation, run_nn_experiments, run_point_experiments,
+    run_segment_experiments, run_string_experiments, run_substring_experiments,
+    run_trie_variant_ablation, word_sizes, NN_KS,
+};
+
+struct Options {
+    command: String,
+    scale: usize,
+    queries: usize,
+}
+
+fn parse_args() -> Options {
+    let mut args = std::env::args().skip(1);
+    let mut command = String::from("all");
+    let mut scale = 1usize;
+    let mut queries = 100usize;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--scale needs a positive integer"));
+            }
+            "--queries" => {
+                queries = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage("--queries needs a positive integer"));
+            }
+            "--help" | "-h" => usage(""),
+            other if !other.starts_with('-') => command = other.to_string(),
+            other => usage(&format!("unknown flag {other}")),
+        }
+    }
+    Options {
+        command,
+        scale,
+        queries,
+    }
+}
+
+fn usage(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!(
+        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|all] [--scale N] [--queries N]"
+    );
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+const SEED: u64 = 20060403;
+
+fn main() {
+    let opts = parse_args();
+    let run_all = opts.command == "all";
+    let wants = |name: &str| run_all || opts.command == name;
+
+    if wants("table7") {
+        print_table7();
+    }
+    let string_figs = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"];
+    if run_all || string_figs.contains(&opts.command.as_str()) {
+        print_string_figures(&opts, run_all);
+    }
+    if wants("fig13") || wants("fig14") {
+        print_point_figures(&opts, run_all);
+    }
+    if wants("fig15") {
+        print_segment_figure(&opts);
+    }
+    if wants("fig16") {
+        print_substring_figure(&opts);
+    }
+    if wants("fig17") {
+        print_nn_figure(&opts);
+    }
+    if wants("ablation-clustering") {
+        print_clustering_ablation(&opts);
+    }
+    if wants("ablation-trie") {
+        print_trie_ablation(&opts);
+    }
+}
+
+fn print_table7() {
+    println!("== Table 7: external-method code size per index ==");
+    println!("{:<16} {:>16} {:>18}", "index", "external lines", "% of total code");
+    for row in table7() {
+        println!(
+            "{:<16} {:>16} {:>17.1}%",
+            row.index, row.external_lines, row.percent_of_total
+        );
+    }
+    println!();
+}
+
+fn print_string_figures(opts: &Options, run_all: bool) {
+    let sizes = word_sizes(opts.scale);
+    let rows = run_string_experiments(&sizes, opts.queries, SEED);
+    let show = |fig: &str| run_all || opts.command == fig;
+
+    if show("fig6") {
+        println!("== Figure 6: search time relative performance, (B+-tree / trie) x 100 ==");
+        println!(
+            "{:>10} {:>22} {:>22}",
+            "keys", "exact match (ratio %)", "prefix match (ratio %)"
+        );
+        for r in &rows {
+            println!(
+                "{:>10} {:>22.1} {:>22.1}",
+                r.size,
+                ratio_pct(r.btree_exact_ms, r.trie_exact_ms),
+                ratio_pct(r.btree_prefix_ms, r.trie_prefix_ms)
+            );
+        }
+        println!();
+    }
+    if show("fig7") {
+        println!("== Figure 7: regular-expression search, log10(B+-tree / trie) ==");
+        println!("{:>10} {:>14} {:>14} {:>12}", "keys", "trie (ms)", "btree (ms)", "log10 ratio");
+        for r in &rows {
+            println!(
+                "{:>10} {:>14.4} {:>14.4} {:>12.2}",
+                r.size,
+                r.trie_regex_ms,
+                r.btree_regex_ms,
+                log10_ratio(r.btree_regex_ms, r.trie_regex_ms)
+            );
+        }
+        println!();
+    }
+    if show("fig8") {
+        println!("== Figure 8: trie exact-match search time standard deviation ==");
+        println!("{:>10} {:>14} {:>14}", "keys", "mean (ms)", "stddev (ms)");
+        for r in &rows {
+            println!("{:>10} {:>14.4} {:>14.4}", r.size, r.trie_exact_ms, r.trie_exact_stddev_ms);
+        }
+        println!();
+    }
+    if show("fig9") {
+        println!("== Figure 9: insert time relative performance, (B+-tree / trie) x 100 ==");
+        println!("{:>10} {:>14} {:>14} {:>12}", "keys", "trie (ms)", "btree (ms)", "ratio %");
+        for r in &rows {
+            println!(
+                "{:>10} {:>14.1} {:>14.1} {:>12.1}",
+                r.size,
+                r.trie_insert_ms,
+                r.btree_insert_ms,
+                ratio_pct(r.btree_insert_ms, r.trie_insert_ms)
+            );
+        }
+        println!();
+    }
+    if show("fig10") {
+        println!("== Figure 10: relative index size, (B+-tree / trie) x 100 ==");
+        println!("{:>10} {:>14} {:>14} {:>12}", "keys", "trie pages", "btree pages", "ratio %");
+        for r in &rows {
+            println!(
+                "{:>10} {:>14} {:>14} {:>12.1}",
+                r.size,
+                r.trie_pages,
+                r.btree_pages,
+                ratio_pct(r.btree_pages as f64, r.trie_pages as f64)
+            );
+        }
+        println!();
+    }
+    if show("fig11") {
+        println!("== Figure 11: maximum tree height in nodes ==");
+        println!("{:>10} {:>12} {:>12}", "keys", "B-tree", "SP-GiST trie");
+        for r in &rows {
+            println!("{:>10} {:>12} {:>12}", r.size, r.btree_height, r.trie_node_height);
+        }
+        println!();
+    }
+    if show("fig12") {
+        println!("== Figure 12: maximum tree height in pages ==");
+        println!("{:>10} {:>12} {:>12}", "keys", "B-tree", "SP-GiST trie");
+        for r in &rows {
+            println!("{:>10} {:>12} {:>12}", r.size, r.btree_height, r.trie_page_height);
+        }
+        println!();
+    }
+}
+
+fn print_point_figures(opts: &Options, run_all: bool) {
+    let sizes = point_sizes(opts.scale);
+    let rows = run_point_experiments(&sizes, opts.queries, SEED);
+    let show = |fig: &str| run_all || opts.command == fig;
+
+    if show("fig13") {
+        println!("== Figure 13: kd-tree vs R-tree, (R-tree / kd-tree) x 100 ==");
+        println!(
+            "{:>10} {:>16} {:>16} {:>12}",
+            "points", "point search %", "range search %", "insert %"
+        );
+        for r in &rows {
+            println!(
+                "{:>10} {:>16.1} {:>16.1} {:>12.1}",
+                r.size,
+                ratio_pct(r.rtree_point_ms, r.kd_point_ms),
+                ratio_pct(r.rtree_range_ms, r.kd_range_ms),
+                ratio_pct(r.rtree_insert_ms, r.kd_insert_ms)
+            );
+        }
+        println!();
+    }
+    if show("fig14") {
+        println!("== Figure 14: relative index size, (R-tree / kd-tree) x 100 ==");
+        println!("{:>10} {:>14} {:>14} {:>12}", "points", "kd pages", "rtree pages", "ratio %");
+        for r in &rows {
+            println!(
+                "{:>10} {:>14} {:>14} {:>12.1}",
+                r.size,
+                r.kd_pages,
+                r.rtree_pages,
+                ratio_pct(r.rtree_pages as f64, r.kd_pages as f64)
+            );
+        }
+        println!();
+    }
+}
+
+fn print_segment_figure(opts: &Options) {
+    let sizes = point_sizes(opts.scale);
+    let rows = run_segment_experiments(&sizes, opts.queries, SEED);
+    println!("== Figure 15: PMR quadtree vs R-tree, (R-tree / PMR quadtree) x 100 ==");
+    println!(
+        "{:>10} {:>12} {:>18} {:>16} {:>12} {:>12}",
+        "segments", "insert %", "exact match %", "range search %", "pmr pages", "rtree pages"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>12.1} {:>18.1} {:>16.1} {:>12} {:>12}",
+            r.size,
+            ratio_pct(r.rtree_insert_ms, r.pmr_insert_ms),
+            ratio_pct(r.rtree_exact_ms, r.pmr_exact_ms),
+            ratio_pct(r.rtree_window_ms, r.pmr_window_ms),
+            r.pmr_pages,
+            r.rtree_pages
+        );
+    }
+    println!();
+}
+
+fn print_substring_figure(opts: &Options) {
+    let sizes = spgist_bench::substring_sizes(opts.scale);
+    let rows = run_substring_experiments(&sizes, opts.queries, SEED);
+    println!("== Figure 16: substring match, log10(sequential / suffix tree) ==");
+    println!(
+        "{:>10} {:>16} {:>16} {:>12}",
+        "strings", "suffix (ms)", "seq scan (ms)", "log10 ratio"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>16.4} {:>16.4} {:>12.2}",
+            r.size,
+            r.suffix_ms,
+            r.seqscan_ms,
+            log10_ratio(r.seqscan_ms, r.suffix_ms)
+        );
+    }
+    println!();
+}
+
+fn print_nn_figure(opts: &Options) {
+    let n = 20_000 * opts.scale.max(1);
+    let rows = run_nn_experiments(n, &NN_KS, opts.queries.min(20), SEED);
+    println!("== Figure 17: NN search performance ({n} tuples per relation) ==");
+    println!("{:>8} {:>14} {:>14} {:>14}", "k", "kd-tree (ms)", "pquadtree (ms)", "trie (ms)");
+    for r in &rows {
+        println!(
+            "{:>8} {:>14.3} {:>14.3} {:>14.3}",
+            r.k, r.kd_ms, r.quad_ms, r.trie_ms
+        );
+    }
+    println!();
+}
+
+fn print_clustering_ablation(opts: &Options) {
+    let rows = run_clustering_ablation(20_000 * opts.scale.max(1), opts.queries, SEED);
+    println!("== Ablation: node-to-page clustering policy (patricia trie) ==");
+    println!("{:>18} {:>12} {:>10} {:>14}", "policy", "page height", "pages", "exact (ms)");
+    for r in &rows {
+        println!(
+            "{:>18} {:>12} {:>10} {:>14.4}",
+            format!("{:?}", r.policy),
+            r.page_height,
+            r.pages,
+            r.exact_ms
+        );
+    }
+    println!();
+}
+
+fn print_trie_ablation(opts: &Options) {
+    let rows = run_trie_variant_ablation(20_000 * opts.scale.max(1), opts.queries, SEED);
+    println!("== Ablation: trie interface parameters (PathShrink / BucketSize) ==");
+    println!(
+        "{:>34} {:>10} {:>12} {:>8} {:>12}",
+        "variant", "nodes", "node height", "pages", "exact (ms)"
+    );
+    for r in &rows {
+        println!(
+            "{:>34} {:>10} {:>12} {:>8} {:>12.4}",
+            r.variant, r.nodes, r.node_height, r.pages, r.exact_ms
+        );
+    }
+    println!();
+}

@@ -1,0 +1,24 @@
+//! Experiment harness reproducing every table and figure of the paper's
+//! evaluation (Section 6).
+//!
+//! The functions in [`experiments`] build the SP-GiST index and its baseline
+//! on the same storage substrate, run the paper's query workloads, and return
+//! structured rows (sizes, times, page I/O, ratios).  The `experiments`
+//! binary prints them in the same form as the paper's figures; the Criterion
+//! benches under `benches/` reuse the same builders for statistically
+//! rigorous single-operation timings.
+//!
+//! Dataset sizes default to a laptop/CI-friendly scale (the paper used up to
+//! 32 M keys on a 2006-era PostgreSQL installation); pass `--scale` to the
+//! binary to grow them.  The *shapes* — who wins, by roughly what factor,
+//! where the crossovers are — are the reproduction target, not absolute
+//! numbers.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod experiments;
+pub mod loc;
+pub mod stats;
+
+pub use experiments::*;

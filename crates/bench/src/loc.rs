@@ -1,0 +1,110 @@
+//! Table 7: lines of code of the external methods versus the SP-GiST core.
+//!
+//! The paper reports that each index's external methods are under 10 % of the
+//! total index code, the rest being the shared SP-GiST core.  This module
+//! recomputes the same table for this repository by counting non-blank,
+//! non-comment-only lines of the instantiation files against the shared
+//! crates.
+
+use std::path::{Path, PathBuf};
+
+/// One row of Table 7.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocRow {
+    /// Index name (trie, kd-tree, point quadtree, PMR quadtree, suffix tree).
+    pub index: String,
+    /// Lines of external-method code for this index.
+    pub external_lines: usize,
+    /// Percentage of the total (external + shared core) code.
+    pub percent_of_total: f64,
+}
+
+/// Counts the meaningful lines of one Rust source file (non-blank lines that
+/// are not pure `//` comments).
+pub fn count_lines(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .count()
+}
+
+fn file_lines(path: &Path) -> usize {
+    std::fs::read_to_string(path)
+        .map(|s| count_lines(&s))
+        .unwrap_or(0)
+}
+
+fn dir_lines(dir: &Path) -> usize {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "rs"))
+        .map(|p| file_lines(&p))
+        .sum()
+}
+
+/// Locates the workspace root relative to this crate's manifest.
+pub fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("bench crate lives two levels below the workspace root")
+        .to_path_buf()
+}
+
+/// Computes Table 7 for this repository.
+pub fn table7() -> Vec<LocRow> {
+    let root = workspace_root();
+    let indexes = root.join("crates/indexes/src");
+    // Shared code every instantiation reuses: the SP-GiST core (internal
+    // methods, clustering, NN search) and the storage substrate.
+    let core_lines = dir_lines(&root.join("crates/core/src")) + dir_lines(&root.join("crates/storage/src"));
+    let files = [
+        ("trie", "trie.rs"),
+        ("kd-tree", "kdtree.rs"),
+        ("point quadtree", "quadtree.rs"),
+        ("PMR quadtree", "pmr.rs"),
+        ("suffix tree", "suffix.rs"),
+    ];
+    files
+        .iter()
+        .map(|(name, file)| {
+            let external = file_lines(&indexes.join(file));
+            LocRow {
+                index: (*name).to_string(),
+                external_lines: external,
+                percent_of_total: external as f64 / (external + core_lines) as f64 * 100.0,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_lines_skips_blanks_and_comments() {
+        let src = "fn f() {\n\n// comment\n  let x = 1; // trailing\n}\n";
+        assert_eq!(count_lines(src), 3);
+    }
+
+    #[test]
+    fn table7_reports_each_instantiation_as_a_small_fraction() {
+        let rows = table7();
+        assert_eq!(rows.len(), 5);
+        for row in &rows {
+            assert!(row.external_lines > 0, "{} has no code?", row.index);
+            assert!(
+                row.percent_of_total < 50.0,
+                "{} external methods are {}% of total — the shared core should dominate",
+                row.index,
+                row.percent_of_total
+            );
+        }
+    }
+}

@@ -1,0 +1,204 @@
+//! The access-method catalog (the `pg_am` system table of paper Table 2).
+
+use std::collections::BTreeMap;
+
+use crate::operator::OperatorClass;
+
+/// One row of the access-method catalog — the fields of the paper's Table 2
+/// that affect planning and execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AccessMethod {
+    /// Access-method name (`amname`), e.g. `"SP_GiST"`, `"btree"`, `"rtree"`.
+    pub name: String,
+    /// Maximum number of operator strategies (`amstrategies`).
+    pub strategies: u32,
+    /// Maximum number of support functions (`amsupport`).
+    pub support_functions: u32,
+    /// Strategy number used for ordered scans (`amorderstrategy`); 0 means the
+    /// index entries have no order — the value SP-GiST registers.
+    pub order_strategy: u32,
+    /// Whether the access method can enforce uniqueness (`amcanunique`).
+    pub can_unique: bool,
+    /// Whether multi-column indexes are supported (`amcanmulticol`).
+    pub can_multicol: bool,
+    /// Whether null entries are indexed (`amindexnulls`).
+    pub index_nulls: bool,
+    /// Whether concurrent updates are supported (`amconcurrent`).
+    pub concurrent: bool,
+    /// Names of the interface routines, keyed by catalog column
+    /// (`amgettuple`, `aminsert`, `ambuild`, …).
+    pub routines: BTreeMap<String, String>,
+}
+
+impl AccessMethod {
+    /// The `pg_am` entry the paper inserts for SP-GiST (Table 2).
+    pub fn spgist() -> Self {
+        let routines = [
+            ("amgettuple", "spgistgettuple"),
+            ("aminsert", "spgistinsert"),
+            ("ambeginscan", "spgistbeginscan"),
+            ("amrescan", "spgistrescan"),
+            ("amendscan", "spgistendscan"),
+            ("ammarkpos", "spgistmarkpos"),
+            ("amrestrpos", "spgistrestrpos"),
+            ("ambuild", "spgistbuild"),
+            ("ambulkdelete", "spgistbulkdelete"),
+            ("amcostestimate", "spgistcostestimate"),
+        ]
+        .into_iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+        AccessMethod {
+            name: "SP_GiST".to_string(),
+            strategies: 20,
+            support_functions: 20,
+            order_strategy: 0,
+            can_unique: false,
+            can_multicol: false,
+            index_nulls: false,
+            concurrent: true,
+            routines,
+        }
+    }
+
+    /// The built-in B⁺-tree access method (the default PostgreSQL index).
+    pub fn btree() -> Self {
+        AccessMethod {
+            name: "btree".to_string(),
+            strategies: 5,
+            support_functions: 1,
+            order_strategy: 1,
+            can_unique: true,
+            can_multicol: true,
+            index_nulls: true,
+            concurrent: true,
+            routines: BTreeMap::new(),
+        }
+    }
+
+    /// The built-in R-tree access method (spatial baseline).
+    pub fn rtree() -> Self {
+        AccessMethod {
+            name: "rtree".to_string(),
+            strategies: 8,
+            support_functions: 3,
+            order_strategy: 0,
+            can_unique: false,
+            can_multicol: false,
+            index_nulls: false,
+            concurrent: false,
+            routines: BTreeMap::new(),
+        }
+    }
+}
+
+/// The system catalog: registered access methods and operator classes.
+#[derive(Debug, Default)]
+pub struct Catalog {
+    access_methods: BTreeMap<String, AccessMethod>,
+    operator_classes: BTreeMap<String, OperatorClass>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A catalog pre-loaded with the access methods and operator classes the
+    /// paper registers: SP-GiST plus its trie, kd-tree, point-quadtree, PMR
+    /// quadtree and suffix-tree operator classes, and the B⁺-tree / R-tree
+    /// baselines.
+    pub fn with_paper_defaults() -> Self {
+        let mut catalog = Catalog::new();
+        catalog.register_access_method(AccessMethod::spgist());
+        catalog.register_access_method(AccessMethod::btree());
+        catalog.register_access_method(AccessMethod::rtree());
+        for class in OperatorClass::paper_classes() {
+            catalog.register_operator_class(class);
+        }
+        catalog
+    }
+
+    /// Registers (or replaces) an access method, like inserting into `pg_am`.
+    pub fn register_access_method(&mut self, am: AccessMethod) {
+        self.access_methods.insert(am.name.clone(), am);
+    }
+
+    /// Registers an operator class (`CREATE OPERATOR CLASS`).
+    pub fn register_operator_class(&mut self, class: OperatorClass) {
+        self.operator_classes.insert(class.name.clone(), class);
+    }
+
+    /// Looks up an access method by name.
+    pub fn access_method(&self, name: &str) -> Option<&AccessMethod> {
+        self.access_methods.get(name)
+    }
+
+    /// Looks up an operator class by name.
+    pub fn operator_class(&self, name: &str) -> Option<&OperatorClass> {
+        self.operator_classes.get(name)
+    }
+
+    /// All operator classes defined over the given key type, e.g.
+    /// `"VARCHAR"` or `"POINT"`.
+    pub fn classes_for_type(&self, key_type: &str) -> Vec<&OperatorClass> {
+        self.operator_classes
+            .values()
+            .filter(|c| c.key_type == key_type)
+            .collect()
+    }
+
+    /// Operator classes that contain an operator with the given name, e.g.
+    /// `"?="`.
+    pub fn classes_with_operator(&self, op: &str) -> Vec<&OperatorClass> {
+        self.operator_classes
+            .values()
+            .filter(|c| c.operators.iter().any(|o| o.name == op))
+            .collect()
+    }
+
+    /// Number of registered access methods.
+    pub fn access_method_count(&self) -> usize {
+        self.access_methods.len()
+    }
+
+    /// Number of registered operator classes.
+    pub fn operator_class_count(&self) -> usize {
+        self.operator_classes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spgist_row_matches_the_paper_table() {
+        let am = AccessMethod::spgist();
+        assert_eq!(am.name, "SP_GiST");
+        assert_eq!(am.strategies, 20);
+        assert_eq!(am.order_strategy, 0, "SP-GiST entries have no order");
+        assert!(!am.can_unique);
+        assert!(am.concurrent);
+        assert_eq!(am.routines["aminsert"], "spgistinsert");
+        assert_eq!(am.routines["amcostestimate"], "spgistcostestimate");
+    }
+
+    #[test]
+    fn default_catalog_contains_paper_registrations() {
+        let catalog = Catalog::with_paper_defaults();
+        assert_eq!(catalog.access_method_count(), 3);
+        assert!(catalog.access_method("SP_GiST").is_some());
+        assert!(catalog.operator_class("SP_GiST_trie").is_some());
+        assert!(catalog.operator_class("SP_GiST_kdtree").is_some());
+        assert!(catalog.operator_class("SP_GiST_suffix").is_some());
+        // VARCHAR classes: trie and suffix tree (and the btree baseline).
+        let varchar = catalog.classes_for_type("VARCHAR");
+        assert!(varchar.len() >= 2);
+        // Only the suffix tree registers the substring operator.
+        let substring = catalog.classes_with_operator("@=");
+        assert_eq!(substring.len(), 1);
+        assert_eq!(substring[0].name, "SP_GiST_suffix");
+    }
+}

@@ -1,0 +1,249 @@
+//! Operators and operator classes (paper Tables 4 and 5).
+
+use crate::cost::Selectivity;
+
+/// Strategy number of an operator within its operator class.
+pub type Strategy = u32;
+
+/// An operator definition (`CREATE OPERATOR`): name, operand types, the
+/// procedure implementing it, and the restriction-selectivity estimator the
+/// optimizer uses.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Operator {
+    /// Operator name, e.g. `"="`, `"#="`, `"?="`, `"@"`, `"^"`, `"@="`, `"@@"`.
+    pub name: String,
+    /// Left operand type, e.g. `"VARCHAR"` or `"POINT"`.
+    pub left_type: String,
+    /// Right operand type, e.g. `"VARCHAR"`, `"POINT"`, `"BOX"`.
+    pub right_type: String,
+    /// Implementing procedure, e.g. `"trieword_equal"`.
+    pub procedure: String,
+    /// Restriction-selectivity estimator (paper: `eqsel`, `contsel`,
+    /// `likesel`).
+    pub restrict: Selectivity,
+    /// Strategy number within the operator class.
+    pub strategy: Strategy,
+}
+
+impl Operator {
+    /// Shorthand constructor.
+    pub fn new(
+        name: &str,
+        left: &str,
+        right: &str,
+        procedure: &str,
+        restrict: Selectivity,
+        strategy: Strategy,
+    ) -> Self {
+        Operator {
+            name: name.to_string(),
+            left_type: left.to_string(),
+            right_type: right.to_string(),
+            procedure: procedure.to_string(),
+            restrict,
+            strategy,
+        }
+    }
+}
+
+/// A support function of an operator class (the SP-GiST external methods:
+/// `consistent`, `picksplit`, `NN_consistent`, `getparameters`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SupportFunction {
+    /// Support-function slot number.
+    pub number: u32,
+    /// Function name, e.g. `"trie_consistent"`.
+    pub name: String,
+}
+
+/// An operator class (`CREATE OPERATOR CLASS`): the glue between a data type,
+/// an access method, its operators, and its support functions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OperatorClass {
+    /// Class name, e.g. `"SP_GiST_trie"`.
+    pub name: String,
+    /// Indexed data type, e.g. `"VARCHAR"`, `"POINT"`, `"SEGMENT"`.
+    pub key_type: String,
+    /// Access method the class belongs to, e.g. `"SP_GiST"`.
+    pub access_method: String,
+    /// Operators usable through this class.
+    pub operators: Vec<Operator>,
+    /// Support functions (external methods).
+    pub support: Vec<SupportFunction>,
+}
+
+impl OperatorClass {
+    /// Finds an operator of this class by name.
+    pub fn operator(&self, name: &str) -> Option<&Operator> {
+        self.operators.iter().find(|o| o.name == name)
+    }
+
+    /// The operator classes the paper creates (Tables 4 and 5), plus the
+    /// baseline classes used by the comparison experiments.
+    pub fn paper_classes() -> Vec<OperatorClass> {
+        use Selectivity::{ContSel, EqSel, LikeSel};
+        let nn = |n| SupportFunction {
+            number: n,
+            name: format!("support_{n}"),
+        };
+        vec![
+            OperatorClass {
+                name: "SP_GiST_trie".into(),
+                key_type: "VARCHAR".into(),
+                access_method: "SP_GiST".into(),
+                operators: vec![
+                    Operator::new("=", "VARCHAR", "VARCHAR", "trieword_equal", EqSel, 1),
+                    Operator::new("#=", "VARCHAR", "VARCHAR", "trieword_prefix", LikeSel, 2),
+                    Operator::new("?=", "VARCHAR", "VARCHAR", "trieword_regex", LikeSel, 3),
+                    Operator::new("@@", "VARCHAR", "VARCHAR", "trieword_nn", LikeSel, 20),
+                ],
+                support: vec![
+                    SupportFunction {
+                        number: 1,
+                        name: "trie_consistent".into(),
+                    },
+                    SupportFunction {
+                        number: 2,
+                        name: "trie_picksplit".into(),
+                    },
+                    SupportFunction {
+                        number: 3,
+                        name: "trie_NN_consistent".into(),
+                    },
+                    SupportFunction {
+                        number: 4,
+                        name: "trie_getparameters".into(),
+                    },
+                ],
+            },
+            OperatorClass {
+                name: "SP_GiST_kdtree".into(),
+                key_type: "POINT".into(),
+                access_method: "SP_GiST".into(),
+                operators: vec![
+                    Operator::new("@", "POINT", "POINT", "kdpoint_equal", EqSel, 1),
+                    Operator::new("^", "POINT", "BOX", "kdpoint_inside", ContSel, 2),
+                    Operator::new("@@", "POINT", "POINT", "kdpoint_nn", ContSel, 20),
+                ],
+                support: vec![
+                    SupportFunction {
+                        number: 1,
+                        name: "kdtree_consistent".into(),
+                    },
+                    SupportFunction {
+                        number: 2,
+                        name: "kdtree_picksplit".into(),
+                    },
+                    SupportFunction {
+                        number: 3,
+                        name: "kdtree_NN_consistent".into(),
+                    },
+                    SupportFunction {
+                        number: 4,
+                        name: "kdtree_getparameters".into(),
+                    },
+                ],
+            },
+            OperatorClass {
+                name: "SP_GiST_pquadtree".into(),
+                key_type: "POINT".into(),
+                access_method: "SP_GiST".into(),
+                operators: vec![
+                    Operator::new("@", "POINT", "POINT", "qtpoint_equal", EqSel, 1),
+                    Operator::new("^", "POINT", "BOX", "qtpoint_inside", ContSel, 2),
+                    Operator::new("@@", "POINT", "POINT", "qtpoint_nn", ContSel, 20),
+                ],
+                support: (1..=4).map(nn).collect(),
+            },
+            OperatorClass {
+                name: "SP_GiST_pmr".into(),
+                key_type: "SEGMENT".into(),
+                access_method: "SP_GiST".into(),
+                operators: vec![
+                    Operator::new("=", "SEGMENT", "SEGMENT", "segment_equal", EqSel, 1),
+                    Operator::new("&&", "SEGMENT", "BOX", "segment_overlaps", ContSel, 2),
+                ],
+                support: (1..=4).map(nn).collect(),
+            },
+            OperatorClass {
+                name: "SP_GiST_suffix".into(),
+                key_type: "VARCHAR".into(),
+                access_method: "SP_GiST".into(),
+                operators: vec![
+                    Operator::new("@=", "VARCHAR", "VARCHAR", "suffix_substring", LikeSel, 1),
+                    Operator::new("@@", "VARCHAR", "VARCHAR", "suffix_nn", LikeSel, 20),
+                ],
+                support: vec![
+                    SupportFunction {
+                        number: 1,
+                        name: "suffix_consistent".into(),
+                    },
+                    SupportFunction {
+                        number: 2,
+                        name: "suffix_picksplit".into(),
+                    },
+                    SupportFunction {
+                        number: 3,
+                        name: "suffix_NN_consistent".into(),
+                    },
+                    SupportFunction {
+                        number: 4,
+                        name: "suffix_getparameters".into(),
+                    },
+                ],
+            },
+            // Baseline operator classes used by the comparison experiments.
+            OperatorClass {
+                name: "btree_varchar".into(),
+                key_type: "VARCHAR".into(),
+                access_method: "btree".into(),
+                operators: vec![
+                    Operator::new("=", "VARCHAR", "VARCHAR", "texteq", EqSel, 3),
+                    Operator::new("#=", "VARCHAR", "VARCHAR", "text_prefix", LikeSel, 4),
+                ],
+                support: vec![SupportFunction {
+                    number: 1,
+                    name: "bttextcmp".into(),
+                }],
+            },
+            OperatorClass {
+                name: "rtree_point".into(),
+                key_type: "POINT".into(),
+                access_method: "rtree".into(),
+                operators: vec![
+                    Operator::new("@", "POINT", "POINT", "rtree_point_equal", EqSel, 1),
+                    Operator::new("^", "POINT", "BOX", "rtree_point_inside", ContSel, 2),
+                ],
+                support: vec![],
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trie_class_exposes_paper_operators() {
+        let classes = OperatorClass::paper_classes();
+        let trie = classes.iter().find(|c| c.name == "SP_GiST_trie").unwrap();
+        assert_eq!(trie.key_type, "VARCHAR");
+        assert_eq!(trie.access_method, "SP_GiST");
+        for op in ["=", "#=", "?=", "@@"] {
+            assert!(trie.operator(op).is_some(), "missing operator {op}");
+        }
+        assert_eq!(trie.operator("?=").unwrap().restrict, Selectivity::LikeSel);
+        assert_eq!(trie.support.len(), 4);
+    }
+
+    #[test]
+    fn kdtree_class_uses_box_for_range_operator() {
+        let classes = OperatorClass::paper_classes();
+        let kd = classes.iter().find(|c| c.name == "SP_GiST_kdtree").unwrap();
+        let range = kd.operator("^").unwrap();
+        assert_eq!(range.right_type, "BOX");
+        assert_eq!(range.restrict, Selectivity::ContSel);
+        assert_eq!(kd.operator("@").unwrap().strategy, 1);
+    }
+}

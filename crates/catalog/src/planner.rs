@@ -1,0 +1,207 @@
+//! A miniature access-path planner.
+//!
+//! PostgreSQL decides between a sequential scan and the available index scans
+//! by comparing estimated costs; this module reproduces that decision for the
+//! operators of the paper so the examples and integration tests can show an
+//! SP-GiST index actually being *chosen* (or skipped when it cannot help,
+//! e.g. a substring query against a plain trie).
+
+use crate::am::Catalog;
+use crate::cost::{CostEstimate, TableStats};
+use crate::operator::OperatorClass;
+
+/// A query predicate: an operator name applied to an indexed column type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPredicate {
+    /// Operator name, e.g. `"="`, `"#="`, `"?="`, `"@"`, `"^"`, `"@="`.
+    pub operator: String,
+    /// Key type of the column, e.g. `"VARCHAR"` or `"POINT"`.
+    pub key_type: String,
+}
+
+impl QueryPredicate {
+    /// Shorthand constructor.
+    pub fn new(operator: &str, key_type: &str) -> Self {
+        QueryPredicate {
+            operator: operator.to_string(),
+            key_type: key_type.to_string(),
+        }
+    }
+}
+
+/// A physical index available to the planner: its operator class and its
+/// measured size/height.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailableIndex {
+    /// Name of the index (for plan output).
+    pub name: String,
+    /// Operator class the index was created with.
+    pub operator_class: String,
+    /// Number of pages in the index.
+    pub pages: u64,
+    /// Height of the index in pages.
+    pub page_height: u32,
+}
+
+/// The access path selected by the planner.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccessPath {
+    /// Full sequential scan of the heap.
+    SeqScan {
+        /// Estimated cost.
+        cost: CostEstimate,
+    },
+    /// Index scan through the named index.
+    IndexScan {
+        /// Index chosen.
+        index: String,
+        /// Operator class providing the operator.
+        operator_class: String,
+        /// Estimated cost.
+        cost: CostEstimate,
+    },
+}
+
+impl AccessPath {
+    /// The total estimated cost of this path.
+    pub fn total_cost(&self) -> f64 {
+        match self {
+            AccessPath::SeqScan { cost } | AccessPath::IndexScan { cost, .. } => cost.total_cost,
+        }
+    }
+}
+
+/// Chooses between sequential and index scans using the catalog and the cost
+/// model.
+pub struct Planner<'a> {
+    catalog: &'a Catalog,
+}
+
+impl<'a> Planner<'a> {
+    /// Creates a planner over `catalog`.
+    pub fn new(catalog: &'a Catalog) -> Self {
+        Planner { catalog }
+    }
+
+    /// Picks the cheapest access path for `predicate` over a table with
+    /// `stats`, given the physically `available` indexes.
+    pub fn plan(
+        &self,
+        predicate: &QueryPredicate,
+        stats: &TableStats,
+        available: &[AvailableIndex],
+    ) -> AccessPath {
+        let mut best = AccessPath::SeqScan {
+            cost: CostEstimate::seq_scan(stats),
+        };
+        for index in available {
+            let Some(class) = self.catalog.operator_class(&index.operator_class) else {
+                continue;
+            };
+            if !self.class_supports(class, predicate) {
+                continue;
+            }
+            let operator = class
+                .operator(&predicate.operator)
+                .expect("class_supports checked the operator exists");
+            let selectivity = operator.restrict.estimate(stats.distinct_values);
+            let cost =
+                CostEstimate::index_scan(stats, index.pages, index.page_height, selectivity);
+            if cost.total_cost < best.total_cost() {
+                best = AccessPath::IndexScan {
+                    index: index.name.clone(),
+                    operator_class: index.operator_class.clone(),
+                    cost,
+                };
+            }
+        }
+        best
+    }
+
+    fn class_supports(&self, class: &OperatorClass, predicate: &QueryPredicate) -> bool {
+        class.key_type == predicate.key_type && class.operator(&predicate.operator).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> TableStats {
+        TableStats {
+            rows: 2_000_000,
+            heap_pages: 20_000,
+            distinct_values: 1_500_000,
+        }
+    }
+
+    fn indexes() -> Vec<AvailableIndex> {
+        vec![
+            AvailableIndex {
+                name: "sp_trie_index".into(),
+                operator_class: "SP_GiST_trie".into(),
+                pages: 9_000,
+                page_height: 4,
+            },
+            AvailableIndex {
+                name: "btree_index".into(),
+                operator_class: "btree_varchar".into(),
+                pages: 7_000,
+                page_height: 3,
+            },
+            AvailableIndex {
+                name: "sp_suffix_index".into(),
+                operator_class: "SP_GiST_suffix".into(),
+                pages: 40_000,
+                page_height: 5,
+            },
+        ]
+    }
+
+    #[test]
+    fn regex_queries_can_only_use_the_trie() {
+        let catalog = Catalog::with_paper_defaults();
+        let planner = Planner::new(&catalog);
+        let path = planner.plan(&QueryPredicate::new("?=", "VARCHAR"), &stats(), &indexes());
+        match path {
+            AccessPath::IndexScan { index, .. } => assert_eq!(index, "sp_trie_index"),
+            other => panic!("expected an index scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn substring_queries_use_the_suffix_tree() {
+        let catalog = Catalog::with_paper_defaults();
+        let planner = Planner::new(&catalog);
+        let path = planner.plan(&QueryPredicate::new("@=", "VARCHAR"), &stats(), &indexes());
+        match path {
+            AccessPath::IndexScan { index, .. } => assert_eq!(index, "sp_suffix_index"),
+            other => panic!("expected an index scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsupported_operator_falls_back_to_seq_scan() {
+        let catalog = Catalog::with_paper_defaults();
+        let planner = Planner::new(&catalog);
+        // No string index supports the spatial containment operator.
+        let path = planner.plan(&QueryPredicate::new("^", "VARCHAR"), &stats(), &indexes());
+        assert!(matches!(path, AccessPath::SeqScan { .. }));
+        // Without any physical index the planner also falls back.
+        let path = planner.plan(&QueryPredicate::new("=", "VARCHAR"), &stats(), &[]);
+        assert!(matches!(path, AccessPath::SeqScan { .. }));
+    }
+
+    #[test]
+    fn equality_picks_the_cheaper_of_trie_and_btree() {
+        let catalog = Catalog::with_paper_defaults();
+        let planner = Planner::new(&catalog);
+        let path = planner.plan(&QueryPredicate::new("=", "VARCHAR"), &stats(), &indexes());
+        match path {
+            AccessPath::IndexScan { cost, .. } => {
+                assert!(cost.total_cost < CostEstimate::seq_scan(&stats()).total_cost);
+            }
+            other => panic!("expected an index scan, got {other:?}"),
+        }
+    }
+}

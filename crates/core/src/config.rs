@@ -1,0 +1,117 @@
+//! Interface parameters of the SP-GiST framework (paper Section 3.1).
+
+/// How the index tree shrinks single-child paths (paper Figure 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PathShrink {
+    /// No shrinking: one decomposition per level.
+    NeverShrink,
+    /// Shrink single-child chains only at the leaf level (patricia-style).
+    LeafShrink,
+    /// Shrink single-child chains anywhere in the tree: inner nodes carry a
+    /// multi-level prefix predicate.
+    TreeShrink,
+}
+
+/// Whether empty partitions are kept in the tree (paper Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeShrink {
+    /// Keep all partitions, even empty ones (space-driven trees such as the
+    /// PMR quadtree keep all four quadrants).
+    KeepEmpty,
+    /// Omit empty partitions (forest trie); children are added on demand.
+    OmitEmpty,
+}
+
+/// Policy used by the node→page clustering when placing a new tree node.
+///
+/// The paper relies on the clustering technique of Diwan et al. to generate
+/// minimum page-height trees.  We implement a greedy approximation and expose
+/// it as a policy so its effect can be ablated (bench `ablation_clustering`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClusteringPolicy {
+    /// Try the parent's page first, then recently opened pages, then a new
+    /// page.  This keeps subtrees physically together and minimizes the
+    /// page height observed along root-to-leaf paths (the default).
+    ParentFirst,
+    /// Ignore the parent: place the node in the first tracked page with
+    /// enough space.
+    FirstFit,
+    /// Allocate a fresh page for every node — the naive mapping the paper
+    /// warns about ("tree nodes are usually much smaller than disk pages").
+    NewPagePerNode,
+}
+
+/// The SP-GiST interface parameters (paper Section 3.1, Table 1).
+#[derive(Debug, Clone, Copy)]
+pub struct SpGistConfig {
+    /// Number of disjoint partitions produced at each decomposition
+    /// (`NoOfSpacePartitions`): 27 for the dictionary trie, 2 for the kd-tree,
+    /// 4 for quadtrees.
+    pub partitions: u32,
+    /// Maximum number of data items a leaf (data) node can hold
+    /// (`BucketSize`).
+    pub bucket_size: usize,
+    /// Maximum number of space decompositions (`Resolution`); beyond this
+    /// depth leaves are allowed to grow past `bucket_size`.
+    pub resolution: u32,
+    /// Path-shrinking mode (`PathShrink`).
+    pub path_shrink: PathShrink,
+    /// Whether empty partitions are kept (`NodeShrink`).
+    pub node_shrink: NodeShrink,
+    /// When true a leaf overflow splits the node exactly once per insert,
+    /// leaving children temporarily overfull — the PMR-quadtree splitting
+    /// rule.
+    pub split_once: bool,
+    /// Node→page clustering policy used by the storage mapping.
+    pub clustering: ClusteringPolicy,
+}
+
+impl Default for SpGistConfig {
+    fn default() -> Self {
+        SpGistConfig {
+            partitions: 2,
+            bucket_size: 8,
+            resolution: 64,
+            path_shrink: PathShrink::NeverShrink,
+            node_shrink: NodeShrink::OmitEmpty,
+            split_once: false,
+            clustering: ClusteringPolicy::ParentFirst,
+        }
+    }
+}
+
+impl SpGistConfig {
+    /// Returns a copy with a different clustering policy (ablation helper).
+    pub fn with_clustering(mut self, policy: ClusteringPolicy) -> Self {
+        self.clustering = policy;
+        self
+    }
+
+    /// Returns a copy with a different bucket size.
+    pub fn with_bucket_size(mut self, bucket_size: usize) -> Self {
+        self.bucket_size = bucket_size.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_sane() {
+        let cfg = SpGistConfig::default();
+        assert!(cfg.bucket_size >= 1);
+        assert!(cfg.resolution > 0);
+        assert_eq!(cfg.clustering, ClusteringPolicy::ParentFirst);
+    }
+
+    #[test]
+    fn builders_override_fields() {
+        let cfg = SpGistConfig::default()
+            .with_clustering(ClusteringPolicy::NewPagePerNode)
+            .with_bucket_size(0);
+        assert_eq!(cfg.clustering, ClusteringPolicy::NewPagePerNode);
+        assert_eq!(cfg.bucket_size, 1, "bucket size is clamped to at least 1");
+    }
+}

@@ -1,0 +1,216 @@
+//! Incremental nearest-neighbour search (paper Section 5).
+//!
+//! The algorithm is the priority-queue best-first search of Hjaltason and
+//! Samet, generalized — as the paper describes — so that instantiations whose
+//! distance converges slowly (the trie with a Hamming-style distance) can
+//! propagate the parent's minimum distance down to its children: each queue
+//! entry for an index node carries the lower bound established for that node,
+//! and [`crate::ops::SpGistOps::inner_distance`] receives it when computing
+//! the children's bounds.
+//!
+//! The iterator is incremental: every call to `next()` performs just enough
+//! work to report the next-closest item, so it can drive a query pipeline
+//! (`get-next`) exactly as in the paper.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use spgist_storage::StorageResult;
+
+use crate::node::{Node, NodeId};
+use crate::ops::SpGistOps;
+use crate::tree::SpGistTree;
+use crate::RowId;
+
+enum QueueItem<O: SpGistOps> {
+    /// An index node still to be expanded.
+    Node { id: NodeId, level: u32 },
+    /// A database object ready to be reported.
+    Object { key: O::Key, row: RowId },
+}
+
+struct QueueEntry<O: SpGistOps> {
+    /// Lower bound on the distance from the query to anything below this
+    /// entry (exact distance for objects).
+    dist: f64,
+    /// Tie-breaker keeping the heap deterministic.
+    seq: u64,
+    item: QueueItem<O>,
+}
+
+impl<O: SpGistOps> PartialEq for QueueEntry<O> {
+    fn eq(&self, other: &Self) -> bool {
+        self.dist == other.dist && self.seq == other.seq
+    }
+}
+impl<O: SpGistOps> Eq for QueueEntry<O> {}
+
+impl<O: SpGistOps> Ord for QueueEntry<O> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the smallest distance pops first.
+        other
+            .dist
+            .partial_cmp(&self.dist)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl<O: SpGistOps> PartialOrd for QueueEntry<O> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Incremental nearest-neighbour iterator over an [`SpGistTree`].
+///
+/// Yields `(key, row, distance)` triples in non-decreasing distance order.
+pub struct NnIter<'a, O: SpGistOps> {
+    tree: &'a SpGistTree<O>,
+    query: O::Query,
+    heap: BinaryHeap<QueueEntry<O>>,
+    seq: u64,
+}
+
+impl<'a, O: SpGistOps> NnIter<'a, O> {
+    pub(crate) fn new(tree: &'a SpGistTree<O>, query: O::Query, root: Option<NodeId>) -> Self {
+        let mut iter = NnIter {
+            tree,
+            query,
+            heap: BinaryHeap::new(),
+            seq: 0,
+        };
+        if let Some(root) = root {
+            // "Insert the root node into the priority queue with minimum
+            // distance 0" (paper Figure 5).
+            iter.push(0.0, QueueItem::Node { id: root, level: 0 });
+        }
+        iter
+    }
+
+    fn push(&mut self, dist: f64, item: QueueItem<O>) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(QueueEntry { dist, seq, item });
+    }
+
+    fn expand(&mut self, id: NodeId, level: u32, parent_dist: f64) -> StorageResult<()> {
+        let ops = self.tree.ops_ref();
+        match self.tree.store().read::<O>(id)? {
+            Node::Leaf { items } => {
+                for (key, row) in items {
+                    let dist = ops.leaf_distance(&key, &self.query);
+                    self.push(dist, QueueItem::Object { key, row });
+                }
+            }
+            Node::Inner { prefix, entries } => {
+                let delta = ops.descend_levels(prefix.as_ref());
+                for entry in entries {
+                    let dist = ops.inner_distance(
+                        prefix.as_ref(),
+                        &entry.pred,
+                        &self.query,
+                        parent_dist,
+                        level,
+                    );
+                    self.push(
+                        dist,
+                        QueueItem::Node {
+                            id: entry.child,
+                            level: level + delta,
+                        },
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl<O: SpGistOps> Iterator for NnIter<'_, O> {
+    type Item = StorageResult<(O::Key, RowId, f64)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        while let Some(entry) = self.heap.pop() {
+            match entry.item {
+                QueueItem::Object { key, row } => return Some(Ok((key, row, entry.dist))),
+                QueueItem::Node { id, level } => {
+                    if let Err(e) = self.expand(id, level, entry.dist) {
+                        return Some(Err(e));
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+impl<O: SpGistOps> SpGistTree<O> {
+    /// Collects the `k` nearest neighbours, discarding distances — a
+    /// convenience for callers that only need the keys.
+    pub fn nn_keys(&self, query: O::Query, k: usize) -> StorageResult<Vec<(O::Key, RowId)>> {
+        self.nn_iter(query)
+            .take(k)
+            .map(|r| r.map(|(key, row, _)| (key, row)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::DigitTrieOps;
+    use spgist_storage::BufferPool;
+
+    fn tree_with(keys: &[u32]) -> SpGistTree<DigitTrieOps> {
+        let mut tree =
+            SpGistTree::create(BufferPool::in_memory(), DigitTrieOps::default()).unwrap();
+        for &k in keys {
+            tree.insert(k, u64::from(k)).unwrap();
+        }
+        tree
+    }
+
+    #[test]
+    fn empty_tree_yields_nothing() {
+        let tree = tree_with(&[]);
+        assert_eq!(tree.nn_iter(5).count(), 0);
+    }
+
+    #[test]
+    fn yields_every_item_exactly_once_in_distance_order() {
+        let keys: Vec<u32> = (0..300).map(|i| i * 7).collect();
+        let tree = tree_with(&keys);
+        let all: Vec<(u32, u64, f64)> = tree
+            .nn_iter(1000)
+            .collect::<StorageResult<Vec<_>>>()
+            .unwrap();
+        assert_eq!(all.len(), keys.len());
+        // Non-decreasing distances.
+        assert!(all.windows(2).all(|w| w[0].2 <= w[1].2));
+        // Exactly the inserted keys, each once.
+        let mut seen: Vec<u32> = all.iter().map(|(k, _, _)| *k).collect();
+        seen.sort_unstable();
+        let mut expected = keys.clone();
+        expected.sort_unstable();
+        assert_eq!(seen, expected);
+    }
+
+    #[test]
+    fn incremental_prefix_matches_full_ordering() {
+        let keys: Vec<u32> = (0..200).collect();
+        let tree = tree_with(&keys);
+        let first_five = tree.nn_search(42, 5).unwrap();
+        let keys_five: Vec<u32> = first_five.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(keys_five[0], 42);
+        // All of the five closest keys lie within distance 2 of 42.
+        assert!(first_five.iter().all(|(_, _, d)| *d <= 2.0));
+    }
+
+    #[test]
+    fn nn_keys_drops_distances() {
+        let tree = tree_with(&[5, 6, 7]);
+        let keys = tree.nn_keys(6, 2).unwrap();
+        assert_eq!(keys[0].0, 6);
+        assert_eq!(keys.len(), 2);
+    }
+}

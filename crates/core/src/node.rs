@@ -1,0 +1,212 @@
+//! On-disk representation of SP-GiST tree nodes.
+//!
+//! A space-partitioning tree consists of **inner (index) nodes** — a node
+//! predicate (prefix) plus a set of entries, each carrying a partition
+//! predicate and a child pointer — and **leaf (data) nodes** holding up to
+//! `BucketSize` `(key, row id)` items.  Tree nodes are much smaller than disk
+//! pages, so many nodes share one page; a node is addressed by a
+//! [`NodeId`] = (page, slot).
+
+use spgist_storage::{Codec, RecordId, StorageError, StorageResult};
+
+use crate::ops::SpGistOps;
+use crate::RowId;
+
+/// Address of a tree node: the page it lives in and its slot within the page.
+pub type NodeId = RecordId;
+
+/// One entry of an inner node: a partition predicate and the child it points
+/// to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry<P> {
+    /// Partition predicate (*NodePredicate*).
+    pub pred: P,
+    /// Child node address.
+    pub child: NodeId,
+}
+
+/// A tree node, either an inner (index) node or a leaf (data) node.
+pub enum Node<O: SpGistOps> {
+    /// Index node: optional multi-level prefix and partition entries.
+    Inner {
+        /// Node-level predicate (`PathShrink = TreeShrink` prefix).
+        prefix: Option<O::Prefix>,
+        /// Partition entries.
+        entries: Vec<Entry<O::Pred>>,
+    },
+    /// Data node: stored keys and their row ids.
+    Leaf {
+        /// Data items.
+        items: Vec<(O::Key, RowId)>,
+    },
+}
+
+// Manual trait implementations: deriving would put bounds on `O` itself,
+// whereas only the associated types (which the `SpGistOps` trait already
+// constrains to `Clone + Debug`) appear in the fields.
+impl<O: SpGistOps> Clone for Node<O> {
+    fn clone(&self) -> Self {
+        match self {
+            Node::Inner { prefix, entries } => Node::Inner {
+                prefix: prefix.clone(),
+                entries: entries.clone(),
+            },
+            Node::Leaf { items } => Node::Leaf {
+                items: items.clone(),
+            },
+        }
+    }
+}
+
+impl<O: SpGistOps> std::fmt::Debug for Node<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Node::Inner { prefix, entries } => f
+                .debug_struct("Inner")
+                .field("prefix", prefix)
+                .field("entries", entries)
+                .finish(),
+            Node::Leaf { items } => f.debug_struct("Leaf").field("items", items).finish(),
+        }
+    }
+}
+
+impl<O: SpGistOps> PartialEq for Node<O>
+where
+    O::Key: PartialEq,
+    O::Prefix: PartialEq,
+{
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (
+                Node::Inner { prefix, entries },
+                Node::Inner {
+                    prefix: p2,
+                    entries: e2,
+                },
+            ) => prefix == p2 && entries == e2,
+            (Node::Leaf { items }, Node::Leaf { items: i2 }) => items == i2,
+            _ => false,
+        }
+    }
+}
+
+const TAG_LEAF: u8 = 0;
+const TAG_INNER: u8 = 1;
+
+impl<O: SpGistOps> Node<O> {
+    /// Creates an empty leaf.
+    pub fn empty_leaf() -> Self {
+        Node::Leaf { items: Vec::new() }
+    }
+
+    /// True if this is a leaf (data) node.
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf { .. })
+    }
+
+    /// Serializes the node for storage in a slotted page.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        match self {
+            Node::Leaf { items } => {
+                out.push(TAG_LEAF);
+                (items.len() as u32).encode(&mut out);
+                for (key, rid) in items {
+                    key.encode(&mut out);
+                    rid.encode(&mut out);
+                }
+            }
+            Node::Inner { prefix, entries } => {
+                out.push(TAG_INNER);
+                prefix.encode(&mut out);
+                (entries.len() as u32).encode(&mut out);
+                for entry in entries {
+                    entry.pred.encode(&mut out);
+                    entry.child.encode(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes a node previously produced by [`Node::encode`].
+    pub fn decode(bytes: &[u8]) -> StorageResult<Self> {
+        let mut buf = bytes;
+        let tag = u8::decode(&mut buf)?;
+        match tag {
+            TAG_LEAF => {
+                let len = u32::decode(&mut buf)? as usize;
+                let mut items = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let key = O::Key::decode(&mut buf)?;
+                    let rid = RowId::decode(&mut buf)?;
+                    items.push((key, rid));
+                }
+                Ok(Node::Leaf { items })
+            }
+            TAG_INNER => {
+                let prefix = Option::<O::Prefix>::decode(&mut buf)?;
+                let len = u32::decode(&mut buf)? as usize;
+                let mut entries = Vec::with_capacity(len);
+                for _ in 0..len {
+                    let pred = O::Pred::decode(&mut buf)?;
+                    let child = NodeId::decode(&mut buf)?;
+                    entries.push(Entry { pred, child });
+                }
+                Ok(Node::Inner { prefix, entries })
+            }
+            other => Err(StorageError::Decode(format!("unknown node tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testing::DigitTrieOps;
+
+    type TestNode = Node<DigitTrieOps>;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node: TestNode = Node::Leaf {
+            items: vec![(42, 1), (7, 2), (123456, 3)],
+        };
+        let decoded = TestNode::decode(&node.encode()).unwrap();
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn inner_roundtrip() {
+        let node: TestNode = Node::Inner {
+            prefix: Some(3),
+            entries: vec![
+                Entry {
+                    pred: 1,
+                    child: NodeId::new(10, 2),
+                },
+                Entry {
+                    pred: 9,
+                    child: NodeId::new(11, 0),
+                },
+            ],
+        };
+        let decoded = TestNode::decode(&node.encode()).unwrap();
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn empty_leaf_roundtrip() {
+        let node: TestNode = Node::empty_leaf();
+        assert!(node.is_leaf());
+        let decoded = TestNode::decode(&node.encode()).unwrap();
+        assert_eq!(decoded, node);
+    }
+
+    #[test]
+    fn garbage_tag_is_an_error() {
+        assert!(TestNode::decode(&[9, 0, 0, 0, 0]).is_err());
+        assert!(TestNode::decode(&[]).is_err());
+    }
+}

@@ -1,0 +1,50 @@
+//! Tree statistics: node height, page height, size and utilization.
+//!
+//! The paper's Figures 10–12 and 14 compare index *size*, maximum tree height
+//! in *nodes*, and maximum tree height in *pages* — the latter is the number
+//! of distinct pages touched along a root-to-leaf path and is the quantity
+//! the node→page clustering minimizes.
+
+/// Statistics gathered by a full traversal of an SP-GiST tree.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TreeStats {
+    /// Number of inner (index) nodes.
+    pub inner_nodes: u64,
+    /// Number of leaf (data) nodes.
+    pub leaf_nodes: u64,
+    /// Number of stored data items.
+    pub items: u64,
+    /// Maximum root-to-leaf height counted in tree nodes.
+    pub max_node_height: u32,
+    /// Maximum root-to-leaf height counted in distinct disk pages
+    /// (paper Figure 12).
+    pub max_page_height: u32,
+    /// Number of disk pages allocated to the tree.
+    pub pages: u64,
+    /// Total on-disk size in bytes (`pages * PAGE_SIZE`).
+    pub size_bytes: u64,
+    /// Fraction of allocated page bytes actually holding node data.
+    pub utilization: f64,
+}
+
+impl TreeStats {
+    /// Total number of tree nodes.
+    pub fn total_nodes(&self) -> u64 {
+        self.inner_nodes + self.leaf_nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_nodes_sums_both_kinds() {
+        let stats = TreeStats {
+            inner_nodes: 3,
+            leaf_nodes: 9,
+            ..TreeStats::default()
+        };
+        assert_eq!(stats.total_nodes(), 12);
+    }
+}

@@ -1,0 +1,360 @@
+//! Node→page storage mapping with clustering.
+//!
+//! Space-partitioning tree nodes are much smaller than disk pages, so the
+//! crucial disk-based design question — raised explicitly in the paper's
+//! Section 3 — is how to pack tree nodes into pages so that root-to-leaf
+//! traversals touch as few pages as possible.  The paper relies on the
+//! clustering technique of Diwan et al.; [`NodeStore`] implements a greedy
+//! approximation controlled by [`ClusteringPolicy`]:
+//!
+//! * `ParentFirst` (default) places a new node in its parent's page when it
+//!   fits, falling back to a small set of recently opened pages, and only then
+//!   to a fresh page.  Subtrees stay physically clustered and the *page*
+//!   height of the tree stays close to that of a balanced B⁺-tree even though
+//!   the *node* height is much larger (paper Figures 11–12).
+//! * `FirstFit` ignores the parent and packs nodes into any tracked page with
+//!   room.
+//! * `NewPagePerNode` allocates one page per node — the naive mapping, used by
+//!   the clustering ablation benchmark.
+
+use std::sync::Arc;
+
+use spgist_storage::{BufferPool, PageId, StorageResult, PAGE_SIZE};
+
+use crate::config::ClusteringPolicy;
+use crate::node::{Node, NodeId};
+use crate::ops::SpGistOps;
+
+/// Number of partially filled pages the store keeps as candidates for new
+/// node placement.
+const OPEN_PAGE_LIMIT: usize = 16;
+
+/// Maps tree nodes onto slotted pages obtained from a [`BufferPool`].
+pub struct NodeStore {
+    pool: Arc<BufferPool>,
+    policy: ClusteringPolicy,
+    /// Pages owned by this tree, in allocation order.
+    pages: Vec<PageId>,
+    /// Recently opened pages that may still have free space.
+    open_pages: Vec<PageId>,
+}
+
+impl NodeStore {
+    /// Creates a store over `pool` with the given clustering policy.
+    pub fn new(pool: Arc<BufferPool>, policy: ClusteringPolicy) -> Self {
+        NodeStore {
+            pool,
+            policy,
+            pages: Vec::new(),
+            open_pages: Vec::new(),
+        }
+    }
+
+    /// The buffer pool this store writes through.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
+    /// Number of pages allocated for this tree.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Approximate on-disk size of the tree in bytes.
+    pub fn size_bytes(&self) -> u64 {
+        self.pages.len() as u64 * PAGE_SIZE as u64
+    }
+
+    /// Pages owned by this tree (for stats and utilization reports).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
+    /// Average page utilization in `[0, 1]` (fraction of page bytes holding
+    /// record data).
+    pub fn utilization(&self) -> StorageResult<f64> {
+        if self.pages.is_empty() {
+            return Ok(0.0);
+        }
+        let mut used = 0usize;
+        for &page in &self.pages {
+            let free = self.pool.with_page(page, |p| p.free_space())?;
+            used += PAGE_SIZE - free;
+        }
+        Ok(used as f64 / (self.pages.len() * PAGE_SIZE) as f64)
+    }
+
+    /// Reads and decodes the node at `id`.
+    pub fn read<O: SpGistOps>(&self, id: NodeId) -> StorageResult<Node<O>> {
+        self.pool
+            .with_page(id.page, |p| p.get(id.slot).map(Node::<O>::decode))??
+    }
+
+    /// Places a brand-new node, preferring the page `near` according to the
+    /// clustering policy.  Returns the node's address.
+    pub fn allocate<O: SpGistOps>(
+        &mut self,
+        node: &Node<O>,
+        near: Option<PageId>,
+    ) -> StorageResult<NodeId> {
+        let bytes = node.encode();
+        self.place(&bytes, near)
+    }
+
+    /// Rewrites the node at `id` in place when possible.  If the new encoding
+    /// no longer fits in its page the node is relocated (preferring `near`)
+    /// and the new address is returned; the caller must then fix the parent's
+    /// child pointer.  Returns `None` when the update happened in place.
+    pub fn update<O: SpGistOps>(
+        &mut self,
+        id: NodeId,
+        node: &Node<O>,
+        near: Option<PageId>,
+    ) -> StorageResult<Option<NodeId>> {
+        let bytes = node.encode();
+        let updated = self
+            .pool
+            .with_page_mut(id.page, |p| p.update(id.slot, &bytes))??;
+        if updated {
+            return Ok(None);
+        }
+        // Relocate: delete the old record and place the node elsewhere.
+        self.pool
+            .with_page_mut(id.page, |p| p.delete(id.slot))??;
+        self.note_open_page(id.page);
+        let new_id = self.place(&bytes, near)?;
+        Ok(Some(new_id))
+    }
+
+    /// Deletes the node record at `id`.
+    pub fn free(&mut self, id: NodeId) -> StorageResult<()> {
+        self.pool
+            .with_page_mut(id.page, |p| p.delete(id.slot))??;
+        self.note_open_page(id.page);
+        Ok(())
+    }
+
+    fn place(&mut self, bytes: &[u8], near: Option<PageId>) -> StorageResult<NodeId> {
+        match self.policy {
+            ClusteringPolicy::NewPagePerNode => self.place_in_new_page(bytes),
+            ClusteringPolicy::ParentFirst => {
+                if let Some(parent_page) = near {
+                    if let Some(id) = self.try_place_in(parent_page, bytes)? {
+                        return Ok(id);
+                    }
+                }
+                self.place_in_open_or_new(bytes)
+            }
+            ClusteringPolicy::FirstFit => self.place_in_open_or_new(bytes),
+        }
+    }
+
+    fn place_in_open_or_new(&mut self, bytes: &[u8]) -> StorageResult<NodeId> {
+        // Scan the open-page list most-recent-first.
+        for i in (0..self.open_pages.len()).rev() {
+            let page = self.open_pages[i];
+            if let Some(id) = self.try_place_in(page, bytes)? {
+                return Ok(id);
+            }
+            // The page could not host this node; drop it from the candidates
+            // if it is nearly full to keep the list useful.
+            let free = self.pool.with_page(page, |p| p.free_space())?;
+            if free < 64 {
+                self.open_pages.remove(i);
+            }
+        }
+        self.place_in_new_page(bytes)
+    }
+
+    /// Allocates a brand-new page owned by this store and returns its id.
+    /// Used by the offline repacker, which decides node placement itself.
+    pub fn fresh_page(&mut self) -> StorageResult<PageId> {
+        let page = self.pool.allocate_page()?;
+        self.pages.push(page);
+        Ok(page)
+    }
+
+    /// Places `node` in the given page; the caller guarantees it fits.
+    pub fn allocate_in_page<O: SpGistOps>(
+        &mut self,
+        node: &Node<O>,
+        page: PageId,
+    ) -> StorageResult<NodeId> {
+        let bytes = node.encode();
+        let slot = self.pool.with_page_mut(page, |p| p.insert(&bytes))??;
+        Ok(NodeId::new(page, slot))
+    }
+
+    fn place_in_new_page(&mut self, bytes: &[u8]) -> StorageResult<NodeId> {
+        let page = self.pool.allocate_page()?;
+        self.pages.push(page);
+        if self.policy != ClusteringPolicy::NewPagePerNode {
+            self.note_open_page(page);
+        }
+        let slot = self.pool.with_page_mut(page, |p| p.insert(bytes))??;
+        Ok(NodeId::new(page, slot))
+    }
+
+    fn try_place_in(&self, page: PageId, bytes: &[u8]) -> StorageResult<Option<NodeId>> {
+        let fits = self.pool.with_page(page, |p| p.fits(bytes.len()))?;
+        if !fits {
+            return Ok(None);
+        }
+        let slot = self.pool.with_page_mut(page, |p| p.insert(bytes))??;
+        Ok(Some(NodeId::new(page, slot)))
+    }
+
+    fn note_open_page(&mut self, page: PageId) {
+        if let Some(pos) = self.open_pages.iter().position(|&p| p == page) {
+            self.open_pages.remove(pos);
+        }
+        self.open_pages.push(page);
+        if self.open_pages.len() > OPEN_PAGE_LIMIT {
+            self.open_pages.remove(0);
+        }
+    }
+}
+
+impl std::fmt::Debug for NodeStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NodeStore")
+            .field("policy", &self.policy)
+            .field("pages", &self.pages.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::node::Entry;
+    use crate::testing::DigitTrieOps;
+    use spgist_storage::BufferPool;
+
+    type TestNode = Node<DigitTrieOps>;
+
+    fn store(policy: ClusteringPolicy) -> NodeStore {
+        NodeStore::new(BufferPool::in_memory(), policy)
+    }
+
+    fn leaf(n: u32) -> TestNode {
+        Node::Leaf {
+            items: (0..n).map(|i| (i, u64::from(i))).collect(),
+        }
+    }
+
+    #[test]
+    fn allocate_and_read_roundtrip() {
+        let mut store = store(ClusteringPolicy::ParentFirst);
+        let node = leaf(5);
+        let id = store.allocate(&node, None).unwrap();
+        let read: TestNode = store.read(id).unwrap();
+        assert_eq!(read, node);
+    }
+
+    #[test]
+    fn parent_first_packs_children_with_parent() {
+        let mut store = store(ClusteringPolicy::ParentFirst);
+        let parent_id = store.allocate(&leaf(1), None).unwrap();
+        let mut same_page = 0;
+        for _ in 0..10 {
+            let child_id = store.allocate(&leaf(2), Some(parent_id.page)).unwrap();
+            if child_id.page == parent_id.page {
+                same_page += 1;
+            }
+        }
+        assert_eq!(same_page, 10, "small children should share the parent's page");
+        assert_eq!(store.page_count(), 1);
+    }
+
+    #[test]
+    fn new_page_per_node_never_shares() {
+        let mut store = store(ClusteringPolicy::NewPagePerNode);
+        let a = store.allocate(&leaf(1), None).unwrap();
+        let b = store.allocate(&leaf(1), Some(a.page)).unwrap();
+        assert_ne!(a.page, b.page);
+        assert_eq!(store.page_count(), 2);
+    }
+
+    #[test]
+    fn update_in_place_when_it_fits() {
+        let mut store = store(ClusteringPolicy::ParentFirst);
+        let id = store.allocate(&leaf(4), None).unwrap();
+        let relocated = store.update(id, &leaf(3), None).unwrap();
+        assert!(relocated.is_none());
+        let read: TestNode = store.read(id).unwrap();
+        assert_eq!(read, leaf(3));
+    }
+
+    #[test]
+    fn update_relocates_when_page_is_full() {
+        let mut store = store(ClusteringPolicy::ParentFirst);
+        let id = store.allocate(&leaf(1), None).unwrap();
+        // Fill the rest of the page with other nodes.
+        loop {
+            let filler = leaf(100);
+            let bytes_len = filler.encode().len();
+            let fits = store
+                .pool()
+                .with_page(id.page, |p| p.fits(bytes_len))
+                .unwrap();
+            if !fits {
+                break;
+            }
+            store.allocate(&filler, Some(id.page)).unwrap();
+        }
+        // Growing the first node must relocate it.
+        let big = leaf(200);
+        let new_id = store.update(id, &big, None).unwrap();
+        let new_id = new_id.expect("node must relocate out of the full page");
+        assert_ne!(new_id, id);
+        let read: TestNode = store.read(new_id).unwrap();
+        assert_eq!(read, big);
+    }
+
+    #[test]
+    fn free_reclaims_space_for_future_nodes() {
+        let mut store = store(ClusteringPolicy::FirstFit);
+        let id = store.allocate(&leaf(50), None).unwrap();
+        store.free(id).unwrap();
+        assert!(store.read::<DigitTrieOps>(id).is_err());
+    }
+
+    #[test]
+    fn utilization_reflects_packing() {
+        let mut store = store(ClusteringPolicy::ParentFirst);
+        assert_eq!(store.utilization().unwrap(), 0.0);
+        for _ in 0..200 {
+            store.allocate(&leaf(8), None).unwrap();
+        }
+        let packed = store.utilization().unwrap();
+
+        let sparse = store_with_policy_and_nodes(ClusteringPolicy::NewPagePerNode, 200);
+        let sparse_util = sparse.utilization().unwrap();
+        assert!(
+            packed > sparse_util * 10.0,
+            "clustered packing ({packed:.3}) should be far denser than one node per page ({sparse_util:.3})"
+        );
+    }
+
+    fn store_with_policy_and_nodes(policy: ClusteringPolicy, n: usize) -> NodeStore {
+        let mut store = store(policy);
+        for _ in 0..n {
+            store.allocate(&leaf(8), None).unwrap();
+        }
+        store
+    }
+
+    #[test]
+    fn inner_nodes_roundtrip_through_store() {
+        let mut store = store(ClusteringPolicy::ParentFirst);
+        let child = store.allocate(&leaf(1), None).unwrap();
+        let inner: TestNode = Node::Inner {
+            prefix: None,
+            entries: vec![Entry { pred: 7, child }],
+        };
+        let id = store.allocate(&inner, None).unwrap();
+        let read: TestNode = store.read(id).unwrap();
+        assert_eq!(read, inner);
+    }
+}

@@ -1,0 +1,898 @@
+//! The SP-GiST internal methods: generalized insert, search and delete.
+//!
+//! These methods are "the core of SP-GiST and are the same for all
+//! SP-GiST-based indexes" (paper Section 3.1).  They are parameterized by an
+//! [`SpGistOps`] implementation — the external methods a developer writes —
+//! and by the [`SpGistConfig`] interface parameters.  All node reads and
+//! writes go through [`NodeStore`], which performs the node→page clustering.
+
+use std::sync::Arc;
+
+use spgist_storage::{BufferPool, Codec, PageId, StorageError, StorageResult};
+
+use crate::config::NodeShrink;
+use crate::nn::NnIter;
+use crate::node::{Entry, Node, NodeId};
+use crate::ops::{Choose, PickSplit, SpGistOps};
+use crate::stats::TreeStats;
+use crate::store::NodeStore;
+use crate::RowId;
+
+/// A disk-based space-partitioning tree, generalized over its external
+/// methods `O`.
+pub struct SpGistTree<O: SpGistOps> {
+    ops: O,
+    store: NodeStore,
+    meta_page: PageId,
+    root: Option<NodeId>,
+    item_count: u64,
+}
+
+impl<O: SpGistOps> SpGistTree<O> {
+    /// Creates a new, empty tree whose pages are allocated from `pool`.
+    pub fn create(pool: Arc<BufferPool>, ops: O) -> StorageResult<Self> {
+        let store = NodeStore::new(Arc::clone(&pool), ops.config().clustering);
+        let meta_page = pool.allocate_page()?;
+        // Reserve slot 0 of the meta page for the tree descriptor.
+        pool.with_page_mut(meta_page, |p| p.insert(&encode_meta(None, 0)))??;
+        let mut tree = SpGistTree {
+            ops,
+            store,
+            meta_page,
+            root: None,
+            item_count: 0,
+        };
+        tree.write_meta()?;
+        Ok(tree)
+    }
+
+    /// Re-opens a tree previously created on `pool` (or on the file behind
+    /// it) from its meta page.
+    ///
+    /// Only the root pointer and item count are persisted in the meta page;
+    /// the page-ownership list used for size statistics is rebuilt lazily, so
+    /// [`SpGistTree::stats`] reports `pages = 0` for re-opened trees until new
+    /// pages are allocated.  Query and update correctness are unaffected.
+    pub fn open(pool: Arc<BufferPool>, ops: O, meta_page: PageId) -> StorageResult<Self> {
+        let store = NodeStore::new(Arc::clone(&pool), ops.config().clustering);
+        let bytes = pool.with_page(meta_page, |p| p.get(0).map(<[u8]>::to_vec))??;
+        let (root, item_count) = decode_meta(&bytes)?;
+        Ok(SpGistTree {
+            ops,
+            store,
+            meta_page,
+            root,
+            item_count,
+        })
+    }
+
+    /// The meta page identifying this tree; pass it to [`SpGistTree::open`]
+    /// to re-open the tree later.
+    pub fn meta_page(&self) -> PageId {
+        self.meta_page
+    }
+
+    /// The external methods of this instantiation.
+    pub fn ops(&self) -> &O {
+        &self.ops
+    }
+
+    /// The buffer pool used by this tree.
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        self.store.pool()
+    }
+
+    /// Number of items stored in the tree.
+    pub fn len(&self) -> u64 {
+        self.item_count
+    }
+
+    /// True if the tree holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.item_count == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Insert
+    // ------------------------------------------------------------------
+
+    /// Inserts `(key, row)` into the tree.
+    pub fn insert(&mut self, key: O::Key, row: RowId) -> StorageResult<()> {
+        match self.root {
+            None => {
+                let leaf = Node::<O>::Leaf {
+                    items: vec![(key, row)],
+                };
+                let id = self.store.allocate(&leaf, Some(self.meta_page))?;
+                self.root = Some(id);
+            }
+            Some(root) => {
+                let ctx = self.ops.root_context();
+                self.insert_at(root, None, 0, &key, row, &ctx)?;
+            }
+        }
+        self.item_count += 1;
+        self.write_meta()
+    }
+
+    /// Inserts every `(key, row)` pair from an iterator (bulk load helper).
+    pub fn bulk_load<I>(&mut self, items: I) -> StorageResult<()>
+    where
+        I: IntoIterator<Item = (O::Key, RowId)>,
+    {
+        for (key, row) in items {
+            self.insert(key, row)?;
+        }
+        Ok(())
+    }
+
+    fn insert_at(
+        &mut self,
+        node_id: NodeId,
+        parent: Option<(NodeId, usize)>,
+        level: u32,
+        key: &O::Key,
+        row: RowId,
+        ctx: &O::Context,
+    ) -> StorageResult<()> {
+        let node: Node<O> = self.store.read(node_id)?;
+        match node {
+            Node::Leaf { mut items } => {
+                let cfg = self.ops.config();
+                items.push((key.clone(), row));
+                if items.len() <= cfg.bucket_size || level >= cfg.resolution {
+                    self.write_node(node_id, &Node::Leaf { items }, parent)?;
+                    return Ok(());
+                }
+                // The data node is overfull: decompose it with PickSplit.
+                let keys: Vec<O::Key> = items.iter().map(|(k, _)| k.clone()).collect();
+                let split = self.ops.picksplit(&keys, level, ctx);
+                if split.is_degenerate(items.len()) {
+                    // No further decomposition is possible (all keys identical
+                    // or resolution exhausted); allow the oversized leaf.
+                    self.write_node(node_id, &Node::Leaf { items }, parent)?;
+                    return Ok(());
+                }
+                let inner = self.build_split(node_id.page, &items, split, level, ctx)?;
+                self.write_node(node_id, &inner, parent)?;
+                Ok(())
+            }
+            Node::Inner { prefix, entries } => {
+                let preds: Vec<O::Pred> = entries.iter().map(|e| e.pred.clone()).collect();
+                match self.ops.choose(prefix.as_ref(), &preds, key, level) {
+                    Choose::Descend(indices) => {
+                        let delta = self.ops.descend_levels(prefix.as_ref());
+                        for idx in indices {
+                            // Re-read the node: a child relocation during a
+                            // previous iteration rewrites our child pointers.
+                            let fresh: Node<O> = self.store.read(node_id)?;
+                            let Node::Inner {
+                                entries: fresh_entries,
+                                ..
+                            } = fresh
+                            else {
+                                return Err(StorageError::Corrupt(
+                                    "inner node changed kind during insert".into(),
+                                ));
+                            };
+                            let entry = fresh_entries.get(idx).ok_or_else(|| {
+                                StorageError::Corrupt(format!(
+                                    "choose returned entry {idx} of {}",
+                                    fresh_entries.len()
+                                ))
+                            })?;
+                            let child = entry.child;
+                            let child_ctx =
+                                self.ops
+                                    .child_context(ctx, prefix.as_ref(), &entry.pred, level);
+                            self.insert_at(
+                                child,
+                                Some((node_id, idx)),
+                                level + delta,
+                                key,
+                                row,
+                                &child_ctx,
+                            )?;
+                        }
+                        Ok(())
+                    }
+                    Choose::AddEntry(pred) => {
+                        let leaf = Node::<O>::Leaf {
+                            items: vec![(key.clone(), row)],
+                        };
+                        let child = self.store.allocate(&leaf, Some(node_id.page))?;
+                        let mut entries = entries;
+                        entries.push(Entry { pred, child });
+                        self.write_node(node_id, &Node::Inner { prefix, entries }, parent)?;
+                        Ok(())
+                    }
+                    Choose::SplitPrefix {
+                        upper_prefix,
+                        lower_pred,
+                        lower_prefix,
+                    } => {
+                        // The existing node keeps its content but moves one
+                        // level down; a new upper node takes its place (and
+                        // its NodeId, so the parent pointer stays valid).
+                        let lower = Node::<O>::Inner {
+                            prefix: lower_prefix,
+                            entries,
+                        };
+                        let lower_id = self.store.allocate(&lower, Some(node_id.page))?;
+                        let upper = Node::<O>::Inner {
+                            prefix: upper_prefix,
+                            entries: vec![Entry {
+                                pred: lower_pred,
+                                child: lower_id,
+                            }],
+                        };
+                        let current = self.write_node(node_id, &upper, parent)?;
+                        // Retry the insertion at the restructured node.
+                        self.insert_at(current, parent, level, key, row, ctx)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Builds the inner node replacing an overfull leaf, materializing all
+    /// partitions produced by PickSplit (recursively when a partition itself
+    /// exceeds the bucket size, unless the instantiation uses the
+    /// split-once / PMR rule).
+    fn build_split(
+        &mut self,
+        near: PageId,
+        items: &[(O::Key, RowId)],
+        split: PickSplit<O::Prefix, O::Pred>,
+        level: u32,
+        ctx: &O::Context,
+    ) -> StorageResult<Node<O>> {
+        let cfg = self.ops.config();
+        let delta = self.ops.descend_levels(split.prefix.as_ref());
+        let mut entries = Vec::with_capacity(split.partitions.len());
+        for (pred, indices) in split.partitions {
+            if indices.is_empty() && cfg.node_shrink == NodeShrink::OmitEmpty {
+                continue;
+            }
+            let part_items: Vec<(O::Key, RowId)> =
+                indices.iter().map(|&i| items[i].clone()).collect();
+            let child_ctx = self
+                .ops
+                .child_context(ctx, split.prefix.as_ref(), &pred, level);
+            let child = self.build_subtree(near, part_items, level + delta, &child_ctx)?;
+            entries.push(Entry { pred, child });
+        }
+        Ok(Node::Inner {
+            prefix: split.prefix,
+            entries,
+        })
+    }
+
+    fn build_subtree(
+        &mut self,
+        near: PageId,
+        items: Vec<(O::Key, RowId)>,
+        level: u32,
+        ctx: &O::Context,
+    ) -> StorageResult<NodeId> {
+        let cfg = self.ops.config();
+        if items.len() <= cfg.bucket_size || level >= cfg.resolution || cfg.split_once {
+            return self.store.allocate(&Node::<O>::Leaf { items }, Some(near));
+        }
+        let keys: Vec<O::Key> = items.iter().map(|(k, _)| k.clone()).collect();
+        let split = self.ops.picksplit(&keys, level, ctx);
+        if split.is_degenerate(items.len()) {
+            return self.store.allocate(&Node::<O>::Leaf { items }, Some(near));
+        }
+        let inner = self.build_split(near, &items, split, level, ctx)?;
+        self.store.allocate(&inner, Some(near))
+    }
+
+    /// Writes `node` at `node_id`, relocating it if it no longer fits in its
+    /// page and fixing the parent (or root) pointer.  Returns the node's
+    /// current address.
+    fn write_node(
+        &mut self,
+        node_id: NodeId,
+        node: &Node<O>,
+        parent: Option<(NodeId, usize)>,
+    ) -> StorageResult<NodeId> {
+        let near = parent.map(|(p, _)| p.page).unwrap_or(node_id.page);
+        match self.store.update(node_id, node, Some(near))? {
+            None => Ok(node_id),
+            Some(new_id) => {
+                match parent {
+                    None => {
+                        self.root = Some(new_id);
+                        self.write_meta()?;
+                    }
+                    Some((parent_id, entry_idx)) => {
+                        let mut parent_node: Node<O> = self.store.read(parent_id)?;
+                        match &mut parent_node {
+                            Node::Inner { entries, .. } => {
+                                entries
+                                    .get_mut(entry_idx)
+                                    .ok_or_else(|| {
+                                        StorageError::Corrupt(
+                                            "parent entry index out of range".into(),
+                                        )
+                                    })?
+                                    .child = new_id;
+                            }
+                            Node::Leaf { .. } => {
+                                return Err(StorageError::Corrupt(
+                                    "parent of a relocated node is a leaf".into(),
+                                ))
+                            }
+                        }
+                        // The child pointer has a fixed encoded size, so this
+                        // update always succeeds in place.
+                        if self.store.update(parent_id, &parent_node, None)?.is_some() {
+                            return Err(StorageError::Corrupt(
+                                "fixed-size parent pointer update relocated the parent".into(),
+                            ));
+                        }
+                    }
+                }
+                Ok(new_id)
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Search
+    // ------------------------------------------------------------------
+
+    /// Returns every `(key, row)` item satisfying `query`.
+    ///
+    /// Spatial instantiations that replicate objects across partitions (the
+    /// PMR quadtree) may report the same row id more than once; their
+    /// index-level wrappers deduplicate.
+    pub fn search(&self, query: &O::Query) -> StorageResult<Vec<(O::Key, RowId)>> {
+        let mut results = Vec::new();
+        self.search_visit(query, |key, row| results.push((key.clone(), row)))?;
+        Ok(results)
+    }
+
+    /// Streams every matching `(key, row)` item to `visit`.
+    pub fn search_visit(
+        &self,
+        query: &O::Query,
+        mut visit: impl FnMut(&O::Key, RowId),
+    ) -> StorageResult<()> {
+        let Some(root) = self.root else {
+            return Ok(());
+        };
+        let mut stack = vec![(root, 0u32)];
+        while let Some((node_id, level)) = stack.pop() {
+            match self.store.read::<O>(node_id)? {
+                Node::Leaf { items } => {
+                    for (key, row) in &items {
+                        if self.ops.leaf_consistent(key, query, level) {
+                            visit(key, *row);
+                        }
+                    }
+                }
+                Node::Inner { prefix, entries } => {
+                    if let Some(p) = &prefix {
+                        if !self.ops.prefix_consistent(p, query, level) {
+                            continue;
+                        }
+                    }
+                    let delta = self.ops.descend_levels(prefix.as_ref());
+                    for entry in &entries {
+                        if self.ops.consistent(prefix.as_ref(), &entry.pred, query, level) {
+                            stack.push((entry.child, level + delta));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Incremental nearest-neighbour search (paper Section 5): returns an
+    /// iterator yielding items in non-decreasing distance from `query`.
+    pub fn nn_iter(&self, query: O::Query) -> NnIter<'_, O> {
+        NnIter::new(self, query, self.root)
+    }
+
+    /// Convenience wrapper: the `k` nearest items to `query`.
+    pub fn nn_search(&self, query: O::Query, k: usize) -> StorageResult<Vec<(O::Key, RowId, f64)>> {
+        self.nn_iter(query).take(k).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Delete
+    // ------------------------------------------------------------------
+
+    /// Deletes the item `(key, row)`.  Returns `true` if an item was removed.
+    pub fn delete(&mut self, key: &O::Key, row: RowId) -> StorageResult<bool> {
+        let Some(root) = self.root else {
+            return Ok(false);
+        };
+        let query = self.ops.key_query(key);
+        // Locate every leaf that may contain the key, then remove the first
+        // matching (key, row) occurrence.
+        let mut stack = vec![(root, 0u32)];
+        let mut target: Option<(NodeId, usize)> = None;
+        'outer: while let Some((node_id, level)) = stack.pop() {
+            match self.store.read::<O>(node_id)? {
+                Node::Leaf { items } => {
+                    for (idx, (k, r)) in items.iter().enumerate() {
+                        if *r == row && self.ops.leaf_consistent(k, &query, level) {
+                            target = Some((node_id, idx));
+                            break 'outer;
+                        }
+                    }
+                }
+                Node::Inner { prefix, entries } => {
+                    if let Some(p) = &prefix {
+                        if !self.ops.prefix_consistent(p, &query, level) {
+                            continue;
+                        }
+                    }
+                    let delta = self.ops.descend_levels(prefix.as_ref());
+                    for entry in &entries {
+                        if self.ops.consistent(prefix.as_ref(), &entry.pred, &query, level) {
+                            stack.push((entry.child, level + delta));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((leaf_id, item_idx)) = target else {
+            return Ok(false);
+        };
+        let mut node: Node<O> = self.store.read(leaf_id)?;
+        if let Node::Leaf { items } = &mut node {
+            items.remove(item_idx);
+        }
+        // Shrinking updates always fit in place.
+        self.store.update(leaf_id, &node, None)?;
+        self.item_count -= 1;
+        self.write_meta()?;
+        Ok(true)
+    }
+
+    // ------------------------------------------------------------------
+    // Clustering / repacking
+    // ------------------------------------------------------------------
+
+    /// Re-clusters the whole tree into fresh pages so that each page holds a
+    /// *top portion of a subtree*, minimizing the tree's page height.
+    ///
+    /// This is the offline counterpart of the paper's clustering technique
+    /// (after Diwan et al., "Clustering techniques for minimizing external
+    /// path length"): starting from the root, nodes are taken in
+    /// breadth-first order into the current page until it is full; every
+    /// child that did not fit becomes the root of its own packed page,
+    /// recursively.  Along any root-to-leaf path the number of page
+    /// transitions is therefore roughly the node height divided by the depth
+    /// of a subtree that fits in one page.  The logical tree is unchanged;
+    /// only the node→page mapping is rewritten.  Pages previously used by
+    /// the tree are abandoned (the simple pager has no free-space reuse), so
+    /// `stats().pages` reflects the freshly packed layout.
+    pub fn repack(&mut self) -> StorageResult<()> {
+        let Some(root) = self.root else {
+            return Ok(());
+        };
+        let mut fresh = NodeStore::new(Arc::clone(self.store.pool()), self.ops.config().clustering);
+        let new_root = Self::repack_group(&self.store, &mut fresh, root)?;
+        self.store = fresh;
+        self.root = Some(new_root);
+        self.write_meta()
+    }
+
+    /// Packs the subtree rooted at `old_root` into one fresh page (breadth
+    /// first, as many nodes as fit) and recursively packs the subtrees that
+    /// spill over.  Returns the new address of the subtree root.
+    fn repack_group(
+        old: &NodeStore,
+        fresh: &mut NodeStore,
+        old_root: NodeId,
+    ) -> StorageResult<NodeId> {
+        use std::collections::{HashMap, VecDeque};
+
+        // Phase 1: breadth-first selection of the nodes this page will hold.
+        // Per-record overhead: 4 bytes of slot entry; keep headroom so the
+        // in-place pointer patching below can never overflow the page.
+        const PAGE_BUDGET: usize = spgist_storage::PAGE_SIZE - 128;
+        let mut group: Vec<(NodeId, Node<O>)> = Vec::new();
+        let mut in_group: HashMap<NodeId, usize> = HashMap::new();
+        let mut used = 0usize;
+        let mut queue = VecDeque::from([old_root]);
+        while let Some(id) = queue.pop_front() {
+            if in_group.contains_key(&id) {
+                continue;
+            }
+            let node: Node<O> = old.read(id)?;
+            let cost = node.encode().len() + 4;
+            if !group.is_empty() && used + cost > PAGE_BUDGET {
+                // The root always goes in (a single node is guaranteed to
+                // fit); later nodes are only taken while the budget lasts.
+                continue;
+            }
+            used += cost;
+            in_group.insert(id, group.len());
+            if let Node::Inner { entries, .. } = &node {
+                for entry in entries {
+                    queue.push_back(entry.child);
+                }
+            }
+            group.push((id, node));
+        }
+
+        // Phase 2: materialize the group in one fresh page (placeholders keep
+        // the final size because child pointers are fixed-width), recursively
+        // pack the spilled subtrees, then patch the child pointers in place.
+        let page = fresh.fresh_page()?;
+        let mut new_ids = Vec::with_capacity(group.len());
+        for (_, node) in &group {
+            new_ids.push(fresh.allocate_in_page(node, page)?);
+        }
+        for (idx, (_, node)) in group.iter().enumerate() {
+            let Node::Inner { prefix, entries } = node else {
+                continue;
+            };
+            let mut new_entries = Vec::with_capacity(entries.len());
+            for entry in entries {
+                let child = match in_group.get(&entry.child) {
+                    Some(&member) => new_ids[member],
+                    None => Self::repack_group(old, fresh, entry.child)?,
+                };
+                new_entries.push(Entry {
+                    pred: entry.pred.clone(),
+                    child,
+                });
+            }
+            let patched = Node::<O>::Inner {
+                prefix: prefix.clone(),
+                entries: new_entries,
+            };
+            if fresh.update(new_ids[idx], &patched, None)?.is_some() {
+                return Err(StorageError::Corrupt(
+                    "repacked inner node changed size while patching child pointers".into(),
+                ));
+            }
+        }
+        Ok(new_ids[0])
+    }
+
+    // ------------------------------------------------------------------
+    // Stats
+    // ------------------------------------------------------------------
+
+    /// Gathers size and height statistics by traversing the whole tree.
+    pub fn stats(&self) -> StorageResult<TreeStats> {
+        let mut stats = TreeStats {
+            pages: self.store.page_count() as u64,
+            size_bytes: self.store.size_bytes(),
+            utilization: self.store.utilization()?,
+            ..TreeStats::default()
+        };
+        let Some(root) = self.root else {
+            return Ok(stats);
+        };
+        // Depth-first traversal tracking (node depth, pages on path).
+        let mut stack: Vec<(NodeId, u32, u32, PageId)> = vec![(root, 1, 1, root.page)];
+        while let Some((node_id, node_depth, page_depth, last_page)) = stack.pop() {
+            let page_depth = if node_id.page == last_page {
+                page_depth
+            } else {
+                page_depth + 1
+            };
+            stats.max_node_height = stats.max_node_height.max(node_depth);
+            stats.max_page_height = stats.max_page_height.max(page_depth);
+            match self.store.read::<O>(node_id)? {
+                Node::Leaf { items } => {
+                    stats.leaf_nodes += 1;
+                    stats.items += items.len() as u64;
+                }
+                Node::Inner { entries, .. } => {
+                    stats.inner_nodes += 1;
+                    for entry in &entries {
+                        stack.push((entry.child, node_depth + 1, page_depth, node_id.page));
+                    }
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    pub(crate) fn store(&self) -> &NodeStore {
+        &self.store
+    }
+
+    pub(crate) fn ops_ref(&self) -> &O {
+        &self.ops
+    }
+
+    fn write_meta(&mut self) -> StorageResult<()> {
+        let bytes = encode_meta(self.root, self.item_count);
+        self.store
+            .pool()
+            .with_page_mut(self.meta_page, |p| p.update(0, &bytes))??;
+        Ok(())
+    }
+}
+
+impl<O: SpGistOps> std::fmt::Debug for SpGistTree<O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpGistTree")
+            .field("items", &self.item_count)
+            .field("root", &self.root)
+            .field("meta_page", &self.meta_page)
+            .finish()
+    }
+}
+
+/// Fixed-size meta record: root presence flag, root address, item count.
+fn encode_meta(root: Option<NodeId>, item_count: u64) -> Vec<u8> {
+    let mut out = Vec::with_capacity(15);
+    match root {
+        Some(id) => {
+            out.push(1);
+            id.page.encode(&mut out);
+            id.slot.encode(&mut out);
+        }
+        None => {
+            out.push(0);
+            0u32.encode(&mut out);
+            0u16.encode(&mut out);
+        }
+    }
+    item_count.encode(&mut out);
+    out
+}
+
+fn decode_meta(bytes: &[u8]) -> StorageResult<(Option<NodeId>, u64)> {
+    let mut buf = bytes;
+    let flag = u8::decode(&mut buf)?;
+    let page = u32::decode(&mut buf)?;
+    let slot = u16::decode(&mut buf)?;
+    let count = u64::decode(&mut buf)?;
+    let root = if flag == 1 {
+        Some(NodeId::new(page, slot))
+    } else {
+        None
+    };
+    Ok((root, count))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusteringPolicy;
+    use crate::testing::DigitTrieOps;
+    use spgist_storage::{BufferPoolConfig, FilePager, MemPager};
+
+    fn new_tree() -> SpGistTree<DigitTrieOps> {
+        SpGistTree::create(BufferPool::in_memory(), DigitTrieOps::default()).unwrap()
+    }
+
+    #[test]
+    fn empty_tree_has_no_matches() {
+        let tree = new_tree();
+        assert!(tree.is_empty());
+        assert!(tree.search(&42).unwrap().is_empty());
+        assert_eq!(tree.stats().unwrap().items, 0);
+    }
+
+    #[test]
+    fn insert_and_exact_search() {
+        let mut tree = new_tree();
+        for key in [1u32, 12, 123, 1234, 2, 23, 42, 421, 4242] {
+            tree.insert(key, u64::from(key) * 10).unwrap();
+        }
+        assert_eq!(tree.len(), 9);
+        assert_eq!(tree.search(&123).unwrap(), vec![(123, 1230)]);
+        assert_eq!(tree.search(&4242).unwrap(), vec![(4242, 42420)]);
+        assert!(tree.search(&999).unwrap().is_empty());
+    }
+
+    #[test]
+    fn duplicate_keys_are_all_returned() {
+        let mut tree = new_tree();
+        tree.insert(77, 1).unwrap();
+        tree.insert(77, 2).unwrap();
+        tree.insert(77, 3).unwrap();
+        let mut rows: Vec<u64> = tree.search(&77).unwrap().into_iter().map(|(_, r)| r).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn splits_produce_searchable_tree() {
+        let mut tree = new_tree();
+        // Far more keys than one bucket: forces repeated PickSplit calls.
+        for key in 0..500u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        for key in (0..500u32).step_by(17) {
+            assert_eq!(tree.search(&key).unwrap(), vec![(key, u64::from(key))]);
+        }
+        let stats = tree.stats().unwrap();
+        assert_eq!(stats.items, 500);
+        assert!(stats.inner_nodes > 0, "bucket overflow must create inner nodes");
+        assert!(stats.max_node_height > 1);
+    }
+
+    #[test]
+    fn delete_removes_only_the_requested_row() {
+        let mut tree = new_tree();
+        for key in 0..100u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        assert!(tree.delete(&50, 50).unwrap());
+        assert!(!tree.delete(&50, 50).unwrap(), "second delete finds nothing");
+        assert!(tree.search(&50).unwrap().is_empty());
+        assert_eq!(tree.search(&51).unwrap(), vec![(51, 51)]);
+        assert_eq!(tree.len(), 99);
+    }
+
+    #[test]
+    fn stats_track_pages_and_heights() {
+        let mut tree = new_tree();
+        for key in 0..2000u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        let stats = tree.stats().unwrap();
+        assert_eq!(stats.items, 2000);
+        assert!(stats.total_nodes() >= stats.leaf_nodes);
+        assert!(stats.max_page_height <= stats.max_node_height);
+        assert!(stats.pages >= 1);
+        assert!(stats.size_bytes >= stats.pages * 8192);
+        assert!(stats.utilization > 0.0 && stats.utilization <= 1.0);
+    }
+
+    #[test]
+    fn clustering_reduces_page_height() {
+        let keys: Vec<u32> = (0..3000).collect();
+
+        let clustered_cfg = DigitTrieOps::default().config();
+        let mut clustered = SpGistTree::create(
+            BufferPool::in_memory(),
+            DigitTrieOps::with_config(clustered_cfg),
+        )
+        .unwrap();
+
+        let naive_cfg = clustered_cfg.with_clustering(ClusteringPolicy::NewPagePerNode);
+        let mut naive =
+            SpGistTree::create(BufferPool::in_memory(), DigitTrieOps::with_config(naive_cfg))
+                .unwrap();
+
+        for &k in &keys {
+            clustered.insert(k, u64::from(k)).unwrap();
+            naive.insert(k, u64::from(k)).unwrap();
+        }
+        let clustered_stats = clustered.stats().unwrap();
+        let naive_stats = naive.stats().unwrap();
+        assert_eq!(
+            clustered_stats.max_node_height, naive_stats.max_node_height,
+            "clustering must not change the logical tree"
+        );
+        assert!(
+            clustered_stats.max_page_height < naive_stats.max_page_height,
+            "parent-first clustering ({}) must beat one-node-per-page ({})",
+            clustered_stats.max_page_height,
+            naive_stats.max_page_height
+        );
+        assert!(clustered_stats.pages < naive_stats.pages);
+    }
+
+    #[test]
+    fn repack_preserves_contents_and_reduces_page_height() {
+        let mut tree = new_tree();
+        for key in 0..5000u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        let before = tree.stats().unwrap();
+        tree.repack().unwrap();
+        let after = tree.stats().unwrap();
+        assert_eq!(after.items, before.items);
+        assert_eq!(after.max_node_height, before.max_node_height);
+        assert!(
+            after.max_page_height <= before.max_page_height,
+            "repacking must not worsen page height ({} -> {})",
+            before.max_page_height,
+            after.max_page_height
+        );
+        // Everything is still searchable after re-clustering.
+        for key in (0..5000u32).step_by(487) {
+            assert_eq!(tree.search(&key).unwrap(), vec![(key, u64::from(key))]);
+        }
+        // Deletes and inserts keep working on the repacked tree.
+        assert!(tree.delete(&1234, 1234).unwrap());
+        tree.insert(99999, 1).unwrap();
+        assert_eq!(tree.search(&99999).unwrap(), vec![(99999, 1)]);
+    }
+
+    #[test]
+    fn bulk_load_matches_individual_inserts() {
+        let mut bulk = new_tree();
+        bulk.bulk_load((0..200u32).map(|k| (k, u64::from(k)))).unwrap();
+        let mut single = new_tree();
+        for k in 0..200u32 {
+            single.insert(k, u64::from(k)).unwrap();
+        }
+        for k in (0..200u32).step_by(13) {
+            assert_eq!(bulk.search(&k).unwrap(), single.search(&k).unwrap());
+        }
+    }
+
+    #[test]
+    fn persists_and_reopens_from_file() {
+        let dir = std::env::temp_dir().join(format!("spgist-tree-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tree.pages");
+        let meta;
+        {
+            let pool = Arc::new(BufferPool::new(
+                Arc::new(FilePager::create(&path).unwrap()),
+                BufferPoolConfig { capacity: 64 },
+            ));
+            let mut tree = SpGistTree::create(pool.clone(), DigitTrieOps::default()).unwrap();
+            for key in 0..300u32 {
+                tree.insert(key, u64::from(key)).unwrap();
+            }
+            meta = tree.meta_page();
+            pool.flush_all().unwrap();
+        }
+        {
+            let pool = Arc::new(BufferPool::new(
+                Arc::new(FilePager::open(&path).unwrap()),
+                BufferPoolConfig { capacity: 64 },
+            ));
+            let tree = SpGistTree::open(pool, DigitTrieOps::default(), meta).unwrap();
+            assert_eq!(tree.len(), 300);
+            assert_eq!(tree.search(&123).unwrap(), vec![(123, 123)]);
+            assert_eq!(tree.search(&299).unwrap(), vec![(299, 299)]);
+            assert!(tree.search(&300).unwrap().is_empty());
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nn_search_orders_by_distance() {
+        let mut tree = new_tree();
+        for key in [10u32, 20, 30, 40, 500, 600, 9000] {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        let neighbours = tree.nn_search(33, 3).unwrap();
+        let keys: Vec<u32> = neighbours.iter().map(|(k, _, _)| *k).collect();
+        assert_eq!(keys, vec![30, 40, 20]);
+        let dists: Vec<f64> = neighbours.iter().map(|(_, _, d)| *d).collect();
+        assert!(dists.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn small_buffer_pool_still_correct_under_eviction() {
+        let pool = Arc::new(BufferPool::new(
+            Arc::new(MemPager::new()),
+            BufferPoolConfig { capacity: 4 },
+        ));
+        let mut tree = SpGistTree::create(pool, DigitTrieOps::default()).unwrap();
+        for key in 0..1500u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        for key in (0..1500u32).step_by(101) {
+            assert_eq!(tree.search(&key).unwrap(), vec![(key, u64::from(key))]);
+        }
+        let io = tree.pool().stats();
+        assert!(io.evictions > 0, "a 4-frame pool must evict while building");
+    }
+
+    #[test]
+    fn meta_codec_roundtrip() {
+        let cases = [
+            (None, 0u64),
+            (Some(NodeId::new(3, 9)), 12345u64),
+            (Some(NodeId::new(u32::MAX, u16::MAX)), u64::MAX),
+        ];
+        for (root, count) in cases {
+            let bytes = encode_meta(root, count);
+            assert_eq!(decode_meta(&bytes).unwrap(), (root, count));
+        }
+    }
+}

@@ -1,0 +1,192 @@
+//! Deterministic workload generators for the SP-GiST experiments.
+//!
+//! The paper's evaluation uses three synthetic dataset families
+//! (Section 6): words whose length is uniform over `[1, 15]` with letters
+//! `'a'..='z'`, two-dimensional points uniform in `[0, 100]²`, and random
+//! line segments in the same space.  All generators here are seeded so every
+//! experiment is reproducible run-to-run.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use spgist_indexes::geom::{Point, Rect, Segment};
+
+/// Paper word-length range: uniform over `[1, 15]`.
+pub const WORD_LEN_RANGE: (usize, usize) = (1, 15);
+/// Paper coordinate space: `[0, 100]` on both axes.
+pub const WORLD_MAX: f64 = 100.0;
+
+/// The world rectangle of the spatial experiments.
+pub fn world() -> Rect {
+    Rect::new(0.0, 0.0, WORLD_MAX, WORLD_MAX)
+}
+
+/// Generates `n` random words, length uniform in [`WORD_LEN_RANGE`], letters
+/// `'a'..='z'` (the paper's string datasets).
+pub fn words(n: usize, seed: u64) -> Vec<String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let len = rng.gen_range(WORD_LEN_RANGE.0..=WORD_LEN_RANGE.1);
+            (0..len)
+                .map(|_| char::from(b'a' + rng.gen_range(0..26u8)))
+                .collect()
+        })
+        .collect()
+}
+
+/// Generates `n` uniform points in `[0, 100]²`.
+pub fn points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0..=WORLD_MAX), rng.gen_range(0.0..=WORLD_MAX)))
+        .collect()
+}
+
+/// Generates `n` random line segments inside the world, with length uniform
+/// in `(0, max_len]`.
+pub fn segments(n: usize, max_len: f64, seed: u64) -> Vec<Segment> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let a = Point::new(rng.gen_range(0.0..=WORLD_MAX), rng.gen_range(0.0..=WORLD_MAX));
+            let angle = rng.gen_range(0.0..std::f64::consts::TAU);
+            let len = rng.gen_range(0.0..=max_len).max(1e-3);
+            let b = Point::new(
+                (a.x + angle.cos() * len).clamp(0.0, WORLD_MAX),
+                (a.y + angle.sin() * len).clamp(0.0, WORLD_MAX),
+            );
+            Segment::new(a, b)
+        })
+        .collect()
+}
+
+/// Query workloads derived from a dataset, mirroring the paper's search
+/// experiments.
+pub struct QueryWorkload;
+
+impl QueryWorkload {
+    /// Picks `n` existing keys for exact-match queries.
+    pub fn existing<T: Clone>(data: &[T], n: usize, seed: u64) -> Vec<T> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| data[rng.gen_range(0..data.len())].clone())
+            .collect()
+    }
+
+    /// Builds `n` prefix queries by truncating existing words.
+    pub fn prefixes(words: &[String], n: usize, min_len: usize, seed: u64) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let w = &words[rng.gen_range(0..words.len())];
+                let len = rng.gen_range(min_len..=w.len().max(min_len)).min(w.len());
+                w[..len.max(1).min(w.len())].to_string()
+            })
+            .collect()
+    }
+
+    /// Builds `n` `?`-wildcard patterns by replacing `wildcards` random
+    /// positions of existing words (the paper notes B⁺-tree performance is
+    /// very sensitive to where those wildcards fall, including position 0).
+    pub fn regexes(words: &[String], n: usize, wildcards: usize, seed: u64) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let w = &words[rng.gen_range(0..words.len())];
+                let mut pattern: Vec<u8> = w.as_bytes().to_vec();
+                for _ in 0..wildcards.min(pattern.len()) {
+                    let pos = rng.gen_range(0..pattern.len());
+                    pattern[pos] = b'?';
+                }
+                String::from_utf8(pattern).expect("ascii pattern")
+            })
+            .collect()
+    }
+
+    /// Builds `n` substring queries by slicing existing words.
+    pub fn substrings(words: &[String], n: usize, len: usize, seed: u64) -> Vec<String> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let w = &words[rng.gen_range(0..words.len())];
+                if w.len() <= len {
+                    w.clone()
+                } else {
+                    let start = rng.gen_range(0..=w.len() - len);
+                    w[start..start + len].to_string()
+                }
+            })
+            .collect()
+    }
+
+    /// Builds `n` square range-query windows with the given side length.
+    pub fn windows(n: usize, side: f64, seed: u64) -> Vec<Rect> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let x = rng.gen_range(0.0..=(WORLD_MAX - side).max(0.0));
+                let y = rng.gen_range(0.0..=(WORLD_MAX - side).max(0.0));
+                Rect::new(x, y, x + side, y + side)
+            })
+            .collect()
+    }
+
+    /// Builds `n` NN query anchor points.
+    pub fn nn_points(n: usize, seed: u64) -> Vec<Point> {
+        points(n, seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_are_deterministic_and_in_range() {
+        let a = words(500, 7);
+        let b = words(500, 7);
+        assert_eq!(a, b, "same seed, same dataset");
+        assert_ne!(a, words(500, 8));
+        assert!(a.iter().all(|w| {
+            (WORD_LEN_RANGE.0..=WORD_LEN_RANGE.1).contains(&w.len())
+                && w.bytes().all(|c| c.is_ascii_lowercase())
+        }));
+    }
+
+    #[test]
+    fn points_and_segments_stay_in_world() {
+        let pts = points(500, 3);
+        assert!(pts
+            .iter()
+            .all(|p| world().contains_point(p)));
+        let segs = segments(300, 10.0, 3);
+        assert!(segs.iter().all(|s| world().contains_point(&s.a) && world().contains_point(&s.b)));
+        assert!(segs.iter().all(|s| s.length() <= 10.0 + 1e-9));
+    }
+
+    #[test]
+    fn query_workloads_derive_from_data() {
+        let ws = words(200, 11);
+        let exact = QueryWorkload::existing(&ws, 50, 1);
+        assert_eq!(exact.len(), 50);
+        assert!(exact.iter().all(|q| ws.contains(q)));
+
+        let prefixes = QueryWorkload::prefixes(&ws, 50, 2, 2);
+        assert!(prefixes
+            .iter()
+            .all(|p| ws.iter().any(|w| w.starts_with(p.as_str()))));
+
+        let regexes = QueryWorkload::regexes(&ws, 50, 2, 3);
+        assert!(regexes.iter().all(|r| r.contains('?') || r.len() <= 2));
+
+        let subs = QueryWorkload::substrings(&ws, 50, 3, 4);
+        assert!(subs.iter().all(|s| ws.iter().any(|w| w.contains(s.as_str()))));
+
+        let wins = QueryWorkload::windows(20, 5.0, 5);
+        assert!(wins.iter().all(|r| (r.width() - 5.0).abs() < 1e-9));
+    }
+}

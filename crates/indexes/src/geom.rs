@@ -1,0 +1,361 @@
+//! Planar geometry used by the spatial instantiations: points, axis-aligned
+//! rectangles, and line segments.
+
+use spgist_storage::{Codec, StorageResult};
+
+/// A point in the plane.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point.
+    pub fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// Coordinate along dimension `dim` (0 = x, 1 = y).
+    pub fn coord(&self, dim: u32) -> f64 {
+        if dim % 2 == 0 {
+            self.x
+        } else {
+            self.y
+        }
+    }
+
+    /// Euclidean distance to `other`.
+    pub fn distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+}
+
+impl Codec for Point {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.x.encode(out);
+        self.y.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(Point {
+            x: f64::decode(buf)?,
+            y: f64::decode(buf)?,
+        })
+    }
+}
+
+/// An axis-aligned rectangle, closed on all sides.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Rect {
+    /// Smallest x coordinate.
+    pub min_x: f64,
+    /// Smallest y coordinate.
+    pub min_y: f64,
+    /// Largest x coordinate.
+    pub max_x: f64,
+    /// Largest y coordinate.
+    pub max_y: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle from its corner coordinates (normalizing order).
+    pub fn new(min_x: f64, min_y: f64, max_x: f64, max_y: f64) -> Self {
+        Rect {
+            min_x: min_x.min(max_x),
+            min_y: min_y.min(max_y),
+            max_x: min_x.max(max_x),
+            max_y: min_y.max(max_y),
+        }
+    }
+
+    /// The rectangle covering both corner points.
+    pub fn from_points(a: Point, b: Point) -> Self {
+        Rect::new(a.x, a.y, b.x, b.y)
+    }
+
+    /// Width along x.
+    pub fn width(&self) -> f64 {
+        self.max_x - self.min_x
+    }
+
+    /// Height along y.
+    pub fn height(&self) -> f64 {
+        self.max_y - self.min_y
+    }
+
+    /// Area of the rectangle.
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Geometric center.
+    pub fn center(&self) -> Point {
+        Point::new(
+            (self.min_x + self.max_x) / 2.0,
+            (self.min_y + self.max_y) / 2.0,
+        )
+    }
+
+    /// True if `p` lies inside or on the boundary.
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.min_x && p.x <= self.max_x && p.y >= self.min_y && p.y <= self.max_y
+    }
+
+    /// True if `other` lies entirely inside this rectangle.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.min_x >= self.min_x
+            && other.max_x <= self.max_x
+            && other.min_y >= self.min_y
+            && other.max_y <= self.max_y
+    }
+
+    /// True if the two rectangles share any point.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        self.min_x <= other.max_x
+            && other.min_x <= self.max_x
+            && self.min_y <= other.max_y
+            && other.min_y <= self.max_y
+    }
+
+    /// Smallest rectangle covering both inputs.
+    pub fn union(&self, other: &Rect) -> Rect {
+        Rect {
+            min_x: self.min_x.min(other.min_x),
+            min_y: self.min_y.min(other.min_y),
+            max_x: self.max_x.max(other.max_x),
+            max_y: self.max_y.max(other.max_y),
+        }
+    }
+
+    /// Area increase needed to also cover `other`.
+    pub fn enlargement(&self, other: &Rect) -> f64 {
+        self.union(other).area() - self.area()
+    }
+
+    /// Minimum Euclidean distance from `p` to this rectangle (0 inside).
+    pub fn min_distance(&self, p: &Point) -> f64 {
+        let dx = (self.min_x - p.x).max(0.0).max(p.x - self.max_x);
+        let dy = (self.min_y - p.y).max(0.0).max(p.y - self.max_y);
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// The four quadrants of this rectangle: NW, NE, SW, SE.
+    pub fn quadrants(&self) -> [Rect; 4] {
+        let c = self.center();
+        [
+            Rect::new(self.min_x, c.y, c.x, self.max_y), // NW
+            Rect::new(c.x, c.y, self.max_x, self.max_y), // NE
+            Rect::new(self.min_x, self.min_y, c.x, c.y), // SW
+            Rect::new(c.x, self.min_y, self.max_x, c.y), // SE
+        ]
+    }
+}
+
+impl Codec for Rect {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.min_x.encode(out);
+        self.min_y.encode(out);
+        self.max_x.encode(out);
+        self.max_y.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(Rect {
+            min_x: f64::decode(buf)?,
+            min_y: f64::decode(buf)?,
+            max_x: f64::decode(buf)?,
+            max_y: f64::decode(buf)?,
+        })
+    }
+}
+
+/// A line segment between two end points.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Segment {
+    /// First end point.
+    pub a: Point,
+    /// Second end point.
+    pub b: Point,
+}
+
+impl Segment {
+    /// Creates a segment.
+    pub fn new(a: Point, b: Point) -> Self {
+        Segment { a, b }
+    }
+
+    /// Minimum bounding rectangle of the segment.
+    pub fn mbr(&self) -> Rect {
+        Rect::from_points(self.a, self.b)
+    }
+
+    /// Length of the segment.
+    pub fn length(&self) -> f64 {
+        self.a.distance(&self.b)
+    }
+
+    /// True if the segment shares any point with `rect`
+    /// (Liang–Barsky clipping test).
+    pub fn intersects_rect(&self, rect: &Rect) -> bool {
+        let (x0, y0) = (self.a.x, self.a.y);
+        let dx = self.b.x - x0;
+        let dy = self.b.y - y0;
+        let mut t0 = 0.0f64;
+        let mut t1 = 1.0f64;
+        let checks = [
+            (-dx, x0 - rect.min_x),
+            (dx, rect.max_x - x0),
+            (-dy, y0 - rect.min_y),
+            (dy, rect.max_y - y0),
+        ];
+        for (p, q) in checks {
+            if p == 0.0 {
+                if q < 0.0 {
+                    return false;
+                }
+            } else {
+                let r = q / p;
+                if p < 0.0 {
+                    if r > t1 {
+                        return false;
+                    }
+                    if r > t0 {
+                        t0 = r;
+                    }
+                } else {
+                    if r < t0 {
+                        return false;
+                    }
+                    if r < t1 {
+                        t1 = r;
+                    }
+                }
+            }
+        }
+        t0 <= t1
+    }
+}
+
+impl Codec for Segment {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.a.encode(out);
+        self.b.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(Segment {
+            a: Point::decode(buf)?,
+            b: Point::decode(buf)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codec_roundtrips() {
+        let p = Point::new(1.5, -2.25);
+        assert_eq!(Point::from_bytes(&p.to_bytes()).unwrap(), p);
+        let r = Rect::new(0.0, 1.0, 4.0, 9.0);
+        assert_eq!(Rect::from_bytes(&r.to_bytes()).unwrap(), r);
+        let s = Segment::new(p, Point::new(3.0, 3.0));
+        assert_eq!(Segment::from_bytes(&s.to_bytes()).unwrap(), s);
+    }
+
+    #[test]
+    fn point_distance_and_coord() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert!((a.distance(&b) - 5.0).abs() < 1e-12);
+        assert_eq!(b.coord(0), 3.0);
+        assert_eq!(b.coord(1), 4.0);
+        assert_eq!(b.coord(2), 3.0, "dimension wraps modulo 2");
+    }
+
+    #[test]
+    fn rect_normalizes_and_measures() {
+        let r = Rect::new(5.0, 7.0, 1.0, 2.0);
+        assert_eq!(r.min_x, 1.0);
+        assert_eq!(r.max_y, 7.0);
+        assert_eq!(r.width(), 4.0);
+        assert_eq!(r.height(), 5.0);
+        assert_eq!(r.area(), 20.0);
+        assert_eq!(r.center(), Point::new(3.0, 4.5));
+    }
+
+    #[test]
+    fn rect_containment_and_intersection() {
+        let big = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let small = Rect::new(2.0, 2.0, 4.0, 4.0);
+        let outside = Rect::new(11.0, 11.0, 12.0, 12.0);
+        let touching = Rect::new(10.0, 0.0, 12.0, 5.0);
+        assert!(big.contains_rect(&small));
+        assert!(!small.contains_rect(&big));
+        assert!(big.intersects(&small));
+        assert!(!big.intersects(&outside));
+        assert!(big.intersects(&touching), "shared edge counts as intersecting");
+        assert!(big.contains_point(&Point::new(10.0, 10.0)));
+        assert!(!big.contains_point(&Point::new(10.1, 10.0)));
+    }
+
+    #[test]
+    fn rect_union_and_enlargement() {
+        let a = Rect::new(0.0, 0.0, 2.0, 2.0);
+        let b = Rect::new(3.0, 3.0, 4.0, 4.0);
+        let u = a.union(&b);
+        assert_eq!(u, Rect::new(0.0, 0.0, 4.0, 4.0));
+        assert!((a.enlargement(&b) - (16.0 - 4.0)).abs() < 1e-12);
+        assert_eq!(a.enlargement(&a), 0.0);
+    }
+
+    #[test]
+    fn rect_min_distance() {
+        let r = Rect::new(0.0, 0.0, 2.0, 2.0);
+        assert_eq!(r.min_distance(&Point::new(1.0, 1.0)), 0.0);
+        assert_eq!(r.min_distance(&Point::new(5.0, 1.0)), 3.0);
+        assert!((r.min_distance(&Point::new(5.0, 6.0)) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrants_tile_the_rect() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let quads = r.quadrants();
+        let total_area: f64 = quads.iter().map(Rect::area).sum();
+        assert!((total_area - r.area()).abs() < 1e-9);
+        for q in &quads {
+            assert!(r.contains_rect(q));
+        }
+        // Quadrants only overlap along their shared edges.
+        assert!(quads[0].intersects(&quads[1]));
+        assert!((quads[0].center().x - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn segment_rect_intersection() {
+        let rect = Rect::new(0.0, 0.0, 10.0, 10.0);
+        // Fully inside.
+        assert!(Segment::new(Point::new(1.0, 1.0), Point::new(2.0, 2.0)).intersects_rect(&rect));
+        // Crossing through.
+        assert!(Segment::new(Point::new(-5.0, 5.0), Point::new(15.0, 5.0)).intersects_rect(&rect));
+        // Completely outside.
+        assert!(!Segment::new(Point::new(11.0, 11.0), Point::new(20.0, 20.0)).intersects_rect(&rect));
+        // Diagonal that misses the corner.
+        assert!(!Segment::new(Point::new(11.0, 0.0), Point::new(20.0, 5.0)).intersects_rect(&rect));
+        // Touching an edge.
+        assert!(Segment::new(Point::new(10.0, 5.0), Point::new(20.0, 5.0)).intersects_rect(&rect));
+        // Degenerate (point) segment inside and outside.
+        assert!(Segment::new(Point::new(5.0, 5.0), Point::new(5.0, 5.0)).intersects_rect(&rect));
+        assert!(!Segment::new(Point::new(50.0, 5.0), Point::new(50.0, 5.0)).intersects_rect(&rect));
+    }
+
+    #[test]
+    fn segment_mbr_and_length() {
+        let s = Segment::new(Point::new(4.0, 1.0), Point::new(0.0, 4.0));
+        assert_eq!(s.mbr(), Rect::new(0.0, 1.0, 4.0, 4.0));
+        assert!((s.length() - 5.0).abs() < 1e-12);
+    }
+}

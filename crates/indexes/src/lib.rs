@@ -1,0 +1,37 @@
+//! SP-GiST index instantiations.
+//!
+//! The paper realizes five disk-based space-partitioning indexes through the
+//! SP-GiST framework; this crate contains their external methods
+//! (`consistent`, `picksplit`, `choose`, NN distance functions) and a
+//! high-level wrapper per index exposing the operators registered for it in
+//! PostgreSQL (paper Tables 4–6):
+//!
+//! | Index | Wrapper | Operators |
+//! |---|---|---|
+//! | patricia trie | [`trie::TrieIndex`] | `=` equality, `#=` prefix, `?=` regular expression, `@@` NN (Hamming) |
+//! | suffix tree | [`suffix::SuffixTreeIndex`] | `@=` substring match |
+//! | kd-tree | [`kdtree::KdTreeIndex`] | `@` point equality, `^` range (box), `@@` NN (Euclidean) |
+//! | point quadtree | [`quadtree::PointQuadtreeIndex`] | `@`, `^`, `@@` |
+//! | PMR quadtree | [`pmr::PmrQuadtreeIndex`] | segment equality, window (range) query |
+//!
+//! Everything is generic over the storage substrate: pass any
+//! [`spgist_storage::BufferPool`] (in-memory or file-backed).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod geom;
+pub mod kdtree;
+pub mod pmr;
+pub mod quadtree;
+pub mod query;
+pub mod suffix;
+pub mod trie;
+
+pub use geom::{Point, Rect, Segment};
+pub use kdtree::{KdTreeIndex, KdTreeOps};
+pub use pmr::{PmrQuadtreeIndex, PmrQuadtreeOps};
+pub use quadtree::{PointQuadtreeIndex, PointQuadtreeOps};
+pub use query::{PointQuery, SegmentQuery, StringQuery};
+pub use suffix::SuffixTreeIndex;
+pub use trie::{TrieIndex, TrieOps};

@@ -1,0 +1,354 @@
+//! The disk-based PMR quadtree over line segments (paper Section 6,
+//! Figure 15).
+//!
+//! The PMR quadtree is *space-driven*: the world rectangle is recursively
+//! quartered regardless of the data distribution, a segment is stored in
+//! every leaf quadrant it intersects, and a leaf is split **once** when an
+//! insertion pushes it past the splitting threshold (children may remain
+//! temporarily over the threshold — the PMR splitting rule, expressed here
+//! through `SpGistConfig::split_once`).
+//!
+//! The node's region is not stored in the tree; it is reconstructed during
+//! descent through the [`SpGistOps::Context`] traversal value, exactly like
+//! PostgreSQL SP-GiST reconstructs quadrant boxes.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use spgist_core::{
+    Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
+    TreeStats,
+};
+use spgist_storage::{BufferPool, StorageResult};
+
+use crate::geom::{Rect, Segment};
+use crate::query::SegmentQuery;
+
+/// Default PMR splitting threshold (maximum segments per leaf quadrant
+/// before a split is triggered).
+pub const DEFAULT_SPLITTING_THRESHOLD: usize = 8;
+
+/// External methods of the SP-GiST PMR quadtree.
+#[derive(Debug, Clone)]
+pub struct PmrQuadtreeOps {
+    config: SpGistConfig,
+    world: Rect,
+}
+
+impl PmrQuadtreeOps {
+    /// Creates the ops for segments inside `world` with the default
+    /// splitting threshold.
+    pub fn new(world: Rect) -> Self {
+        Self::with_threshold(world, DEFAULT_SPLITTING_THRESHOLD)
+    }
+
+    /// Creates the ops with an explicit splitting threshold.
+    pub fn with_threshold(world: Rect, threshold: usize) -> Self {
+        PmrQuadtreeOps {
+            config: SpGistConfig {
+                partitions: 4,
+                bucket_size: threshold.max(1),
+                resolution: 16,
+                path_shrink: PathShrink::NeverShrink,
+                node_shrink: NodeShrink::KeepEmpty,
+                split_once: true,
+                ..SpGistConfig::default()
+            },
+            world,
+        }
+    }
+
+    /// The world rectangle this index decomposes.
+    pub fn world(&self) -> Rect {
+        self.world
+    }
+}
+
+impl SpGistOps for PmrQuadtreeOps {
+    type Key = Segment;
+    type Prefix = Rect;
+    type Pred = Rect;
+    type Query = SegmentQuery;
+    type Context = Rect;
+
+    fn config(&self) -> SpGistConfig {
+        self.config
+    }
+
+    fn root_context(&self) -> Rect {
+        self.world
+    }
+
+    fn child_context(
+        &self,
+        _ctx: &Rect,
+        _prefix: Option<&Rect>,
+        pred: &Rect,
+        _level: u32,
+    ) -> Rect {
+        // The entry predicate *is* the child quadrant.
+        *pred
+    }
+
+    fn key_query(&self, key: &Segment) -> SegmentQuery {
+        SegmentQuery::Equals(*key)
+    }
+
+    fn consistent(
+        &self,
+        _prefix: Option<&Rect>,
+        pred: &Rect,
+        query: &SegmentQuery,
+        _level: u32,
+    ) -> bool {
+        match query {
+            SegmentQuery::Equals(s) => s.intersects_rect(pred),
+            SegmentQuery::InRect(r) => r.intersects(pred),
+        }
+    }
+
+    fn leaf_consistent(&self, key: &Segment, query: &SegmentQuery, _level: u32) -> bool {
+        query.matches(key)
+    }
+
+    fn choose(
+        &self,
+        _prefix: Option<&Rect>,
+        preds: &[Rect],
+        key: &Segment,
+        _level: u32,
+    ) -> Choose<Rect, Rect> {
+        // A segment descends into every quadrant it intersects.
+        let indices: Vec<usize> = preds
+            .iter()
+            .enumerate()
+            .filter(|(_, quadrant)| key.intersects_rect(quadrant))
+            .map(|(idx, _)| idx)
+            .collect();
+        if indices.is_empty() {
+            // The segment lies outside the world bounds; keep it reachable by
+            // storing it under the first quadrant (its leaf re-check still
+            // applies the exact predicate).
+            Choose::Descend(vec![0])
+        } else {
+            Choose::Descend(indices)
+        }
+    }
+
+    fn picksplit(&self, items: &[Segment], _level: u32, ctx: &Rect) -> PickSplit<Rect, Rect> {
+        let quadrants = ctx.quadrants();
+        let partitions = quadrants
+            .iter()
+            .map(|quadrant| {
+                let members: Vec<usize> = items
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.intersects_rect(quadrant))
+                    .map(|(idx, _)| idx)
+                    .collect();
+                (*quadrant, members)
+            })
+            .collect();
+        PickSplit {
+            prefix: None,
+            partitions,
+        }
+    }
+}
+
+/// A disk-based PMR quadtree index over line segments.
+///
+/// Because a segment is replicated in every quadrant it crosses, query
+/// results are deduplicated by row id before being returned.
+pub struct PmrQuadtreeIndex {
+    tree: SpGistTree<PmrQuadtreeOps>,
+}
+
+impl PmrQuadtreeIndex {
+    /// Creates a PMR quadtree decomposing `world` with the default splitting
+    /// threshold.
+    pub fn create(pool: Arc<BufferPool>, world: Rect) -> StorageResult<Self> {
+        Self::with_ops(pool, PmrQuadtreeOps::new(world))
+    }
+
+    /// Creates a PMR quadtree with explicit parameters.
+    pub fn with_ops(pool: Arc<BufferPool>, ops: PmrQuadtreeOps) -> StorageResult<Self> {
+        Ok(PmrQuadtreeIndex {
+            tree: SpGistTree::create(pool, ops)?,
+        })
+    }
+
+    /// Inserts a segment pointing at heap row `row`.
+    pub fn insert(&mut self, segment: Segment, row: RowId) -> StorageResult<()> {
+        self.tree.insert(segment, row)
+    }
+
+    /// Exact-match query: rows whose segment equals `segment`.
+    pub fn equals(&self, segment: Segment) -> StorageResult<Vec<RowId>> {
+        let mut rows = dedupe_rows(
+            self.tree
+                .search(&SegmentQuery::Equals(segment))?
+                .into_iter()
+                .map(|(_, row)| row),
+        );
+        rows.sort_unstable();
+        Ok(rows)
+    }
+
+    /// Window (range) query: `(segment, row)` pairs intersecting `rect`,
+    /// deduplicated by row id.
+    pub fn window(&self, rect: Rect) -> StorageResult<Vec<(Segment, RowId)>> {
+        let mut seen = HashSet::new();
+        let mut results = Vec::new();
+        self.tree
+            .search_visit(&SegmentQuery::InRect(rect), |segment, row| {
+                if seen.insert(row) {
+                    results.push((*segment, row));
+                }
+            })?;
+        Ok(results)
+    }
+
+    /// Number of indexed segments (each counted once, regardless of
+    /// replication).
+    pub fn len(&self) -> u64 {
+        self.tree.len()
+    }
+
+    /// True if the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tree.is_empty()
+    }
+
+    /// Structural statistics (heights, pages, size).
+    pub fn stats(&self) -> StorageResult<TreeStats> {
+        self.tree.stats()
+    }
+
+    /// Re-clusters the tree to minimize page height (offline Diwan-style
+    /// packing); see [`SpGistTree::repack`].
+    pub fn repack(&mut self) -> StorageResult<()> {
+        self.tree.repack()
+    }
+
+    /// Access to the underlying generalized tree.
+    pub fn tree(&self) -> &SpGistTree<PmrQuadtreeOps> {
+        &self.tree
+    }
+}
+
+fn dedupe_rows(rows: impl Iterator<Item = RowId>) -> Vec<RowId> {
+    let mut seen = HashSet::new();
+    rows.filter(|row| seen.insert(*row)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::Point;
+
+    const WORLD: Rect = Rect {
+        min_x: 0.0,
+        min_y: 0.0,
+        max_x: 100.0,
+        max_y: 100.0,
+    };
+
+    fn segments() -> Vec<Segment> {
+        vec![
+            Segment::new(Point::new(5.0, 5.0), Point::new(20.0, 15.0)),
+            Segment::new(Point::new(50.0, 50.0), Point::new(90.0, 90.0)),
+            Segment::new(Point::new(10.0, 80.0), Point::new(30.0, 60.0)),
+            Segment::new(Point::new(0.0, 50.0), Point::new(100.0, 50.0)), // spans the world
+            Segment::new(Point::new(75.0, 10.0), Point::new(75.0, 40.0)),
+        ]
+    }
+
+    fn index() -> PmrQuadtreeIndex {
+        let mut index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        for (i, s) in segments().iter().enumerate() {
+            index.insert(*s, i as RowId).unwrap();
+        }
+        index
+    }
+
+    #[test]
+    fn exact_match_finds_each_segment_once() {
+        let index = index();
+        for (i, s) in segments().iter().enumerate() {
+            assert_eq!(index.equals(*s).unwrap(), vec![i as RowId]);
+        }
+        let missing = Segment::new(Point::new(1.0, 1.0), Point::new(2.0, 1.0));
+        assert!(index.equals(missing).unwrap().is_empty());
+    }
+
+    #[test]
+    fn window_query_matches_scan_and_deduplicates() {
+        let index = index();
+        let window = Rect::new(40.0, 40.0, 80.0, 80.0);
+        let mut hits: Vec<RowId> = index.window(window).unwrap().into_iter().map(|(_, r)| r).collect();
+        hits.sort_unstable();
+        let expected: Vec<RowId> = segments()
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.intersects_rect(&window))
+            .map(|(i, _)| i as RowId)
+            .collect();
+        assert_eq!(hits, expected);
+    }
+
+    #[test]
+    fn many_segments_force_quadrant_splits() {
+        let mut state = 7u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / u32::MAX as f64) * 100.0
+        };
+        let mut segs = Vec::new();
+        for _ in 0..800 {
+            let a = Point::new(next(), next());
+            let b = Point::new(
+                (a.x + next() / 10.0).min(100.0),
+                (a.y + next() / 10.0).min(100.0),
+            );
+            segs.push(Segment::new(a, b));
+        }
+        let mut index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        for (i, s) in segs.iter().enumerate() {
+            index.insert(*s, i as RowId).unwrap();
+        }
+        let stats = index.stats().unwrap();
+        assert!(stats.inner_nodes > 0, "splitting threshold must trigger splits");
+        assert_eq!(index.len(), 800);
+
+        // Window query agrees with a scan.
+        let window = Rect::new(25.0, 25.0, 45.0, 55.0);
+        let expected = segs.iter().filter(|s| s.intersects_rect(&window)).count();
+        assert_eq!(index.window(window).unwrap().len(), expected);
+
+        // Exact match for a sample of segments.
+        for (i, s) in segs.iter().enumerate().step_by(97) {
+            assert_eq!(index.equals(*s).unwrap(), vec![i as RowId]);
+        }
+    }
+
+    #[test]
+    fn segment_outside_world_is_still_searchable() {
+        let mut index = index();
+        let outside = Segment::new(Point::new(150.0, 150.0), Point::new(160.0, 160.0));
+        index.insert(outside, 99).unwrap();
+        assert_eq!(index.equals(outside).unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn duplicate_segments_report_each_row() {
+        let mut index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        let s = Segment::new(Point::new(10.0, 10.0), Point::new(60.0, 60.0));
+        for row in 0..4 {
+            index.insert(s, row).unwrap();
+        }
+        assert_eq!(index.equals(s).unwrap(), vec![0, 1, 2, 3]);
+        let window_hits = index.window(Rect::new(0.0, 0.0, 100.0, 100.0)).unwrap();
+        assert_eq!(window_hits.len(), 4);
+    }
+}

@@ -1,0 +1,151 @@
+//! Query predicates of the operators the paper registers for its indexes
+//! (Tables 3 and 4).
+
+use crate::geom::{Point, Rect, Segment};
+
+/// Query predicates over string keys (trie and suffix-tree operator classes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StringQuery {
+    /// `=` — exact match.
+    Equals(String),
+    /// `#=` — the key starts with the given prefix.
+    Prefix(String),
+    /// `?=` — regular-expression match with the single-character wildcard
+    /// `?` (the only wildcard the paper supports).
+    Regex(String),
+    /// `@=` — the key contains the given substring (suffix-tree operator).
+    Substring(String),
+    /// `@@` — nearest-neighbour anchor; used only to order results by the
+    /// Hamming-style distance to this string.
+    Nearest(String),
+}
+
+impl StringQuery {
+    /// Does `key` satisfy this predicate?  This is the straight-line
+    /// re-check used on leaf items and by the sequential-scan baseline.
+    pub fn matches(&self, key: &str) -> bool {
+        match self {
+            StringQuery::Equals(s) => key == s,
+            StringQuery::Prefix(p) => key.starts_with(p.as_str()),
+            StringQuery::Regex(pattern) => regex_matches(pattern, key),
+            StringQuery::Substring(s) => key.contains(s.as_str()),
+            StringQuery::Nearest(_) => true,
+        }
+    }
+}
+
+/// Matches `key` against a pattern whose only metacharacter is `?`
+/// (exactly one arbitrary character), as in the paper's Section 4.2.
+pub fn regex_matches(pattern: &str, key: &str) -> bool {
+    let p = pattern.as_bytes();
+    let k = key.as_bytes();
+    p.len() == k.len() && p.iter().zip(k).all(|(pc, kc)| *pc == b'?' || pc == kc)
+}
+
+/// Hamming-style edit distance used by the trie's NN operator: positionwise
+/// mismatches plus the length difference.
+pub fn hamming_distance(a: &str, b: &str) -> f64 {
+    let ab = a.as_bytes();
+    let bb = b.as_bytes();
+    let common = ab.len().min(bb.len());
+    let mismatches = ab[..common]
+        .iter()
+        .zip(&bb[..common])
+        .filter(|(x, y)| x != y)
+        .count();
+    (mismatches + (ab.len().max(bb.len()) - common)) as f64
+}
+
+/// Query predicates over point keys (kd-tree and point-quadtree operator
+/// classes).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointQuery {
+    /// `@` — exact point match.
+    Equals(Point),
+    /// `^` — the point lies inside the given box (range query).
+    InRect(Rect),
+    /// `@@` — nearest-neighbour anchor (Euclidean distance).
+    Nearest(Point),
+}
+
+impl PointQuery {
+    /// Does `point` satisfy this predicate?
+    pub fn matches(&self, point: &Point) -> bool {
+        match self {
+            PointQuery::Equals(p) => point == p,
+            PointQuery::InRect(r) => r.contains_point(point),
+            PointQuery::Nearest(_) => true,
+        }
+    }
+}
+
+/// Query predicates over line-segment keys (PMR-quadtree operator class).
+#[derive(Debug, Clone, PartialEq)]
+pub enum SegmentQuery {
+    /// Exact segment match.
+    Equals(Segment),
+    /// Window query: the segment intersects the given rectangle.
+    InRect(Rect),
+}
+
+impl SegmentQuery {
+    /// Does `segment` satisfy this predicate?
+    pub fn matches(&self, segment: &Segment) -> bool {
+        match self {
+            SegmentQuery::Equals(s) => segment == s,
+            SegmentQuery::InRect(r) => segment.intersects_rect(r),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn string_query_matches() {
+        assert!(StringQuery::Equals("spade".into()).matches("spade"));
+        assert!(!StringQuery::Equals("spade".into()).matches("spades"));
+        assert!(StringQuery::Prefix("spa".into()).matches("spade"));
+        assert!(!StringQuery::Prefix("spz".into()).matches("spade"));
+        assert!(StringQuery::Substring("pad".into()).matches("spade"));
+        assert!(!StringQuery::Substring("dap".into()).matches("spade"));
+        assert!(StringQuery::Nearest("x".into()).matches("anything"));
+    }
+
+    #[test]
+    fn regex_wildcard_semantics() {
+        assert!(regex_matches("?at?r", "water"));
+        assert!(regex_matches("?????", "water"));
+        assert!(!regex_matches("?at?r", "wader"));
+        assert!(!regex_matches("?at?r", "waters"), "length must match exactly");
+        assert!(regex_matches("", ""));
+        assert!(!regex_matches("?", ""));
+    }
+
+    #[test]
+    fn hamming_distance_counts_mismatches_and_length() {
+        assert_eq!(hamming_distance("abc", "abc"), 0.0);
+        assert_eq!(hamming_distance("abc", "abd"), 1.0);
+        assert_eq!(hamming_distance("abc", "abcd"), 1.0);
+        assert_eq!(hamming_distance("", "xyz"), 3.0);
+        assert_eq!(hamming_distance("kitten", "sitten"), 1.0);
+    }
+
+    #[test]
+    fn point_query_matches() {
+        let p = Point::new(1.0, 2.0);
+        assert!(PointQuery::Equals(p).matches(&p));
+        assert!(!PointQuery::Equals(p).matches(&Point::new(1.0, 2.1)));
+        assert!(PointQuery::InRect(Rect::new(0.0, 0.0, 5.0, 5.0)).matches(&p));
+        assert!(!PointQuery::InRect(Rect::new(2.0, 2.0, 5.0, 5.0)).matches(&p));
+    }
+
+    #[test]
+    fn segment_query_matches() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(2.0, 2.0));
+        assert!(SegmentQuery::Equals(s).matches(&s));
+        assert!(SegmentQuery::InRect(Rect::new(1.0, 1.0, 3.0, 3.0)).matches(&s));
+        assert!(!SegmentQuery::InRect(Rect::new(5.0, 5.0, 6.0, 6.0)).matches(&s));
+    }
+}

@@ -1,0 +1,146 @@
+//! The disk-based suffix tree for substring matching (paper Section 6,
+//! Figure 16).
+//!
+//! Substring search on a trie becomes prefix search over *suffixes*: for
+//! every indexed string, all of its suffixes are inserted into a patricia
+//! trie, each pointing back at the original row.  A substring query `@=` is
+//! answered as a prefix query over the suffix trie, deduplicated by row id —
+//! which is why the paper can compare the suffix tree only against sequential
+//! scanning: none of the other access methods supports substring match.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use spgist_core::{RowId, TreeStats};
+use spgist_storage::{BufferPool, StorageResult};
+
+use crate::query::StringQuery;
+use crate::trie::{TrieIndex, TrieOps};
+
+/// A disk-based suffix-tree index over strings (the paper's
+/// `SP_GiST_suffix` operator class with its `@=` substring operator).
+pub struct SuffixTreeIndex {
+    trie: TrieIndex,
+    /// Number of original strings indexed (not suffixes).
+    strings: u64,
+}
+
+impl SuffixTreeIndex {
+    /// Creates a suffix-tree index on `pool`.
+    pub fn create(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Ok(SuffixTreeIndex {
+            trie: TrieIndex::with_ops(pool, TrieOps::patricia())?,
+            strings: 0,
+        })
+    }
+
+    /// Indexes `word`: every suffix of the word is inserted, pointing at
+    /// heap row `row`.
+    pub fn insert(&mut self, word: &str, row: RowId) -> StorageResult<()> {
+        for start in 0..word.len() {
+            self.trie.insert(&word[start..], row)?;
+        }
+        // The empty string has one suffix: itself.
+        if word.is_empty() {
+            self.trie.insert("", row)?;
+        }
+        self.strings += 1;
+        Ok(())
+    }
+
+    /// `@=` operator: rows whose key contains `needle` as a substring.
+    pub fn substring(&self, needle: &str) -> StorageResult<Vec<RowId>> {
+        let hits = self.trie.search(&StringQuery::Prefix(needle.to_string()))?;
+        let mut seen = HashSet::new();
+        let mut rows: Vec<RowId> = hits
+            .into_iter()
+            .map(|(_, row)| row)
+            .filter(|row| seen.insert(*row))
+            .collect();
+        rows.sort_unstable();
+        Ok(rows)
+    }
+
+    /// Number of indexed strings.
+    pub fn len(&self) -> u64 {
+        self.strings
+    }
+
+    /// True if nothing has been indexed.
+    pub fn is_empty(&self) -> bool {
+        self.strings == 0
+    }
+
+    /// Number of suffix entries stored in the underlying trie.
+    pub fn suffix_count(&self) -> u64 {
+        self.trie.len()
+    }
+
+    /// Structural statistics of the underlying trie.
+    pub fn stats(&self) -> StorageResult<TreeStats> {
+        self.trie.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn index_with(words: &[&str]) -> SuffixTreeIndex {
+        let mut index = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
+        for (i, w) in words.iter().enumerate() {
+            index.insert(w, i as RowId).unwrap();
+        }
+        index
+    }
+
+    #[test]
+    fn substring_finds_matches_anywhere_in_the_word() {
+        let index = index_with(&["database", "partition", "tree", "substring"]);
+        assert_eq!(index.substring("base").unwrap(), vec![0]);
+        assert_eq!(index.substring("art").unwrap(), vec![1]);
+        assert_eq!(index.substring("tri").unwrap(), vec![3]);
+        assert_eq!(index.substring("t").unwrap(), vec![0, 1, 2, 3]);
+        assert!(index.substring("zzz").unwrap().is_empty());
+    }
+
+    #[test]
+    fn each_row_reported_once_despite_repeated_substrings() {
+        let index = index_with(&["banana"]);
+        // "an" occurs twice in "banana" but the row must be reported once.
+        assert_eq!(index.substring("an").unwrap(), vec![0]);
+        assert_eq!(index.substring("a").unwrap(), vec![0]);
+    }
+
+    #[test]
+    fn suffix_count_is_sum_of_lengths() {
+        let index = index_with(&["abc", "de"]);
+        assert_eq!(index.suffix_count(), 5);
+        assert_eq!(index.len(), 2);
+    }
+
+    #[test]
+    fn agreement_with_sequential_contains_scan() {
+        let words = [
+            "space", "partitioning", "trees", "postgresql", "realization", "performance",
+            "quadtree", "kdtree", "suffix", "patricia",
+        ];
+        let index = index_with(&words);
+        for needle in ["a", "tr", "ti", "on", "qu", "zz", "post"] {
+            let expected: Vec<RowId> = words
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| w.contains(needle))
+                .map(|(i, _)| i as RowId)
+                .collect();
+            assert_eq!(index.substring(needle).unwrap(), expected, "needle {needle}");
+        }
+    }
+
+    #[test]
+    fn whole_word_is_a_substring_of_itself() {
+        let index = index_with(&["hello"]);
+        assert_eq!(index.substring("hello").unwrap(), vec![0]);
+        assert!(index.substring("helloo").unwrap().is_empty());
+    }
+}

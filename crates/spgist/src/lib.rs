@@ -1,0 +1,50 @@
+//! SP-GiST for Rust — umbrella crate.
+//!
+//! Re-exports the whole public API of the reproduction of
+//! *"Space-Partitioning Trees in PostgreSQL: Realization and Performance"*
+//! (Eltabakh, Eltarras, Aref — ICDE 2006):
+//!
+//! * [`storage`] — pages, pager, buffer pool, heap files,
+//! * [`core`] — the SP-GiST framework (external-method trait, generalized
+//!   insert/search/delete/NN, node→page clustering),
+//! * [`indexes`] — the five instantiations: patricia trie, suffix tree,
+//!   kd-tree, point quadtree, PMR quadtree,
+//! * [`baselines`] — the B⁺-tree, R-tree and sequential-scan comparators,
+//! * [`catalog`] — the PostgreSQL-style access-method / operator-class
+//!   catalog, cost model and planner,
+//! * [`datagen`] — the paper's synthetic workload generators.
+//!
+//! ```
+//! use spgist::prelude::*;
+//!
+//! let pool = BufferPool::in_memory();
+//! let mut trie = TrieIndex::create(pool).unwrap();
+//! trie.insert("space", 1).unwrap();
+//! trie.insert("spade", 2).unwrap();
+//! assert_eq!(trie.regex("spa?e").unwrap().len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub use spgist_baselines as baselines;
+pub use spgist_catalog as catalog;
+pub use spgist_core as core;
+pub use spgist_datagen as datagen;
+pub use spgist_indexes as indexes;
+pub use spgist_storage as storage;
+
+/// Commonly used types, re-exported for `use spgist::prelude::*`.
+pub mod prelude {
+    pub use spgist_baselines::{BPlusTree, RTree, SeqScanTable};
+    pub use spgist_catalog::{AccessMethod, Catalog, Planner, QueryPredicate, TableStats};
+    pub use spgist_core::{
+        ClusteringPolicy, NodeShrink, PathShrink, RowId, SpGistConfig, SpGistOps, SpGistTree,
+        TreeStats,
+    };
+    pub use spgist_indexes::{
+        KdTreeIndex, PmrQuadtreeIndex, Point, PointQuadtreeIndex, PointQuery, Rect, Segment,
+        SegmentQuery, StringQuery, SuffixTreeIndex, TrieIndex, TrieOps,
+    };
+    pub use spgist_storage::{BufferPool, BufferPoolConfig, FilePager, MemPager, Pager};
+}

@@ -1,0 +1,375 @@
+//! LRU buffer pool with I/O accounting.
+//!
+//! Every access method in the workspace reads and writes pages through a
+//! [`BufferPool`].  The pool keeps a bounded number of frames in memory,
+//! evicts the least-recently-used unpinned frame when full, and writes dirty
+//! frames back to the [`Pager`] on eviction or on [`BufferPool::flush_all`].
+//!
+//! [`IoStats`] counts logical reads (page requests), physical reads (requests
+//! that missed the pool and went to the pager), physical writes, and
+//! evictions.  The experiment harness reports these counters next to
+//! wall-clock time: page-I/O counts are the deterministic component of the
+//! paper's timings and reproduce its performance *shapes* even on noisy
+//! machines.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId};
+use crate::pager::Pager;
+
+/// Configuration for a [`BufferPool`].
+#[derive(Debug, Clone, Copy)]
+pub struct BufferPoolConfig {
+    /// Maximum number of pages held in memory at once.
+    pub capacity: usize,
+}
+
+impl Default for BufferPoolConfig {
+    fn default() -> Self {
+        // 1024 pages x 8 KiB = 8 MiB, a deliberately small pool so that the
+        // experiments exercise eviction even at scaled-down data sizes.
+        BufferPoolConfig { capacity: 1024 }
+    }
+}
+
+/// Counters of buffer-pool activity since the last reset.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct IoStats {
+    /// Page requests served (hits + misses).
+    pub logical_reads: u64,
+    /// Page requests that had to read from the pager.
+    pub physical_reads: u64,
+    /// Dirty pages written back to the pager.
+    pub physical_writes: u64,
+    /// Frames evicted to make room.
+    pub evictions: u64,
+}
+
+impl IoStats {
+    /// Buffer-pool hit ratio in `[0, 1]`; `1.0` when no reads occurred.
+    pub fn hit_ratio(&self) -> f64 {
+        if self.logical_reads == 0 {
+            1.0
+        } else {
+            1.0 - self.physical_reads as f64 / self.logical_reads as f64
+        }
+    }
+
+    /// Component-wise difference (`self - earlier`), for measuring a single
+    /// operation between two snapshots.
+    pub fn delta_since(&self, earlier: &IoStats) -> IoStats {
+        IoStats {
+            logical_reads: self.logical_reads - earlier.logical_reads,
+            physical_reads: self.physical_reads - earlier.physical_reads,
+            physical_writes: self.physical_writes - earlier.physical_writes,
+            evictions: self.evictions - earlier.evictions,
+        }
+    }
+}
+
+struct Frame {
+    page: Page,
+    page_id: PageId,
+    dirty: bool,
+    pins: u32,
+    last_used: u64,
+}
+
+struct PoolInner {
+    frames: Vec<Frame>,
+    by_page: HashMap<PageId, usize>,
+    clock: u64,
+    stats: IoStats,
+}
+
+/// A shared, thread-safe buffer pool over a [`Pager`].
+pub struct BufferPool {
+    pager: Arc<dyn Pager>,
+    capacity: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl BufferPool {
+    /// Creates a pool over `pager` with the given configuration.
+    pub fn new(pager: Arc<dyn Pager>, config: BufferPoolConfig) -> Self {
+        BufferPool {
+            pager,
+            capacity: config.capacity.max(1),
+            inner: Mutex::new(PoolInner {
+                frames: Vec::new(),
+                by_page: HashMap::new(),
+                clock: 0,
+                stats: IoStats::default(),
+            }),
+        }
+    }
+
+    /// Creates a pool with the default configuration.
+    pub fn with_default_config(pager: Arc<dyn Pager>) -> Self {
+        Self::new(pager, BufferPoolConfig::default())
+    }
+
+    /// Convenience constructor: a pool over a fresh in-memory pager.
+    pub fn in_memory() -> Arc<Self> {
+        Arc::new(Self::with_default_config(Arc::new(crate::pager::MemPager::new())))
+    }
+
+    /// Number of pages allocated in the underlying pager.
+    pub fn page_count(&self) -> u32 {
+        self.pager.page_count()
+    }
+
+    /// Allocates a new page and returns its id.  The new page starts cached
+    /// and clean.
+    pub fn allocate_page(&self) -> StorageResult<PageId> {
+        let id = self.pager.allocate()?;
+        let mut inner = self.inner.lock();
+        self.install_frame(&mut inner, id, Page::new(), false)?;
+        Ok(id)
+    }
+
+    /// Runs `f` with a shared view of page `id`.
+    pub fn with_page<R>(&self, id: PageId, f: impl FnOnce(&Page) -> R) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.fetch(&mut inner, id)?;
+        inner.frames[idx].pins += 1;
+        let result = f(&inner.frames[idx].page);
+        inner.frames[idx].pins -= 1;
+        Ok(result)
+    }
+
+    /// Runs `f` with a mutable view of page `id`; the page is marked dirty.
+    pub fn with_page_mut<R>(
+        &self,
+        id: PageId,
+        f: impl FnOnce(&mut Page) -> R,
+    ) -> StorageResult<R> {
+        let mut inner = self.inner.lock();
+        let idx = self.fetch(&mut inner, id)?;
+        inner.frames[idx].pins += 1;
+        inner.frames[idx].dirty = true;
+        let result = f(&mut inner.frames[idx].page);
+        inner.frames[idx].pins -= 1;
+        Ok(result)
+    }
+
+    /// Writes all dirty frames back to the pager and syncs it.
+    pub fn flush_all(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        for idx in 0..inner.frames.len() {
+            if inner.frames[idx].dirty {
+                let (pid, page) = {
+                    let frame = &inner.frames[idx];
+                    (frame.page_id, frame.page.clone())
+                };
+                self.pager.write(pid, &page)?;
+                inner.frames[idx].dirty = false;
+                inner.stats.physical_writes += 1;
+            }
+        }
+        self.pager.sync()
+    }
+
+    /// Snapshot of the I/O counters.
+    pub fn stats(&self) -> IoStats {
+        self.inner.lock().stats
+    }
+
+    /// Resets the I/O counters to zero.
+    pub fn reset_stats(&self) {
+        self.inner.lock().stats = IoStats::default();
+    }
+
+    /// Number of frames currently cached.
+    pub fn cached_pages(&self) -> usize {
+        self.inner.lock().frames.len()
+    }
+
+    fn fetch(&self, inner: &mut PoolInner, id: PageId) -> StorageResult<usize> {
+        inner.stats.logical_reads += 1;
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(&idx) = inner.by_page.get(&id) {
+            inner.frames[idx].last_used = clock;
+            return Ok(idx);
+        }
+        inner.stats.physical_reads += 1;
+        let mut page = Page::new();
+        self.pager.read(id, &mut page)?;
+        self.install_frame(inner, id, page, false)
+    }
+
+    fn install_frame(
+        &self,
+        inner: &mut PoolInner,
+        id: PageId,
+        page: Page,
+        dirty: bool,
+    ) -> StorageResult<usize> {
+        if let Some(&idx) = inner.by_page.get(&id) {
+            inner.frames[idx].page = page;
+            inner.frames[idx].dirty |= dirty;
+            return Ok(idx);
+        }
+        inner.clock += 1;
+        let clock = inner.clock;
+        if inner.frames.len() < self.capacity {
+            let idx = inner.frames.len();
+            inner.frames.push(Frame {
+                page,
+                page_id: id,
+                dirty,
+                pins: 0,
+                last_used: clock,
+            });
+            inner.by_page.insert(id, idx);
+            return Ok(idx);
+        }
+        // Evict the least-recently-used unpinned frame.
+        let victim = inner
+            .frames
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| f.pins == 0)
+            .min_by_key(|(_, f)| f.last_used)
+            .map(|(i, _)| i)
+            .ok_or_else(|| {
+                StorageError::Corrupt("all buffer-pool frames are pinned".to_string())
+            })?;
+        if inner.frames[victim].dirty {
+            let (pid, old) = {
+                let frame = &inner.frames[victim];
+                (frame.page_id, frame.page.clone())
+            };
+            self.pager.write(pid, &old)?;
+            inner.stats.physical_writes += 1;
+        }
+        inner.stats.evictions += 1;
+        let old_id = inner.frames[victim].page_id;
+        inner.by_page.remove(&old_id);
+        inner.frames[victim] = Frame {
+            page,
+            page_id: id,
+            dirty,
+            pins: 0,
+            last_used: clock,
+        };
+        inner.by_page.insert(id, victim);
+        Ok(victim)
+    }
+}
+
+impl std::fmt::Debug for BufferPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BufferPool")
+            .field("capacity", &self.capacity)
+            .field("cached", &self.cached_pages())
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::{FilePager, MemPager};
+
+    fn small_pool(capacity: usize) -> BufferPool {
+        BufferPool::new(
+            Arc::new(MemPager::new()),
+            BufferPoolConfig { capacity },
+        )
+    }
+
+    #[test]
+    fn allocate_write_read_roundtrip() {
+        let pool = small_pool(8);
+        let pid = pool.allocate_page().unwrap();
+        let slot = pool
+            .with_page_mut(pid, |p| p.insert(b"buffered").unwrap())
+            .unwrap();
+        let data = pool
+            .with_page(pid, |p| p.get(slot).unwrap().to_vec())
+            .unwrap();
+        assert_eq!(data, b"buffered");
+    }
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let pool = small_pool(8);
+        let pid = pool.allocate_page().unwrap();
+        pool.reset_stats();
+        pool.with_page(pid, |_| ()).unwrap();
+        pool.with_page(pid, |_| ()).unwrap();
+        let stats = pool.stats();
+        assert_eq!(stats.logical_reads, 2);
+        assert_eq!(stats.physical_reads, 0, "page was cached by allocate_page");
+        assert!((stats.hit_ratio() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eviction_writes_back_dirty_pages() {
+        let pool = small_pool(2);
+        let pids: Vec<_> = (0..4).map(|_| pool.allocate_page().unwrap()).collect();
+        for (i, pid) in pids.iter().enumerate() {
+            pool.with_page_mut(*pid, |p| {
+                p.insert(format!("page-{i}").as_bytes()).unwrap()
+            })
+            .unwrap();
+        }
+        // Re-read the first page: it must have been evicted and written back.
+        let value = pool
+            .with_page(pids[0], |p| p.get(0).unwrap().to_vec())
+            .unwrap();
+        assert_eq!(value, b"page-0");
+        let stats = pool.stats();
+        assert!(stats.evictions >= 2);
+        assert!(stats.physical_writes >= 2);
+    }
+
+    #[test]
+    fn flush_all_persists_to_file_pager() {
+        let dir = std::env::temp_dir().join(format!("spgist-buffer-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pool.pages");
+        let slot;
+        let pid;
+        {
+            let pool = BufferPool::with_default_config(Arc::new(FilePager::create(&path).unwrap()));
+            pid = pool.allocate_page().unwrap();
+            slot = pool
+                .with_page_mut(pid, |p| p.insert(b"durable").unwrap())
+                .unwrap();
+            pool.flush_all().unwrap();
+        }
+        {
+            let pool = BufferPool::with_default_config(Arc::new(FilePager::open(&path).unwrap()));
+            let value = pool
+                .with_page(pid, |p| p.get(slot).unwrap().to_vec())
+                .unwrap();
+            assert_eq!(value, b"durable");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn delta_since_subtracts_counters() {
+        let pool = small_pool(2);
+        let pid = pool.allocate_page().unwrap();
+        let before = pool.stats();
+        pool.with_page(pid, |_| ()).unwrap();
+        let after = pool.stats();
+        let delta = after.delta_since(&before);
+        assert_eq!(delta.logical_reads, 1);
+    }
+
+    #[test]
+    fn missing_page_is_an_error() {
+        let pool = small_pool(2);
+        assert!(pool.with_page(42, |_| ()).is_err());
+    }
+}

@@ -1,0 +1,225 @@
+//! A small length-prefixed binary codec.
+//!
+//! All access methods in the workspace serialize their node and record
+//! payloads with this codec before storing them in slotted pages.  It is a
+//! deliberately simple little-endian, length-prefixed format — enough to make
+//! the trees genuinely disk-resident without pulling in a serialization
+//! framework.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Types that can be written to and read from a byte buffer.
+pub trait Codec: Sized {
+    /// Appends the encoded representation to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+
+    /// Decodes a value from the front of `buf`, advancing it past the
+    /// consumed bytes.
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self>;
+
+    /// Encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decodes from a complete buffer, requiring all bytes to be consumed.
+    fn from_bytes(mut buf: &[u8]) -> StorageResult<Self> {
+        let value = Self::decode(&mut buf)?;
+        if !buf.is_empty() {
+            return Err(StorageError::Decode(format!(
+                "{} trailing bytes after decode",
+                buf.len()
+            )));
+        }
+        Ok(value)
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> StorageResult<&'a [u8]> {
+    if buf.len() < n {
+        return Err(StorageError::Decode(format!(
+            "need {n} bytes, only {} remain",
+            buf.len()
+        )));
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+macro_rules! impl_codec_for_int {
+    ($($t:ty),*) => {
+        $(
+            impl Codec for $t {
+                fn encode(&self, out: &mut Vec<u8>) {
+                    out.extend_from_slice(&self.to_le_bytes());
+                }
+                fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+                    let bytes = take(buf, std::mem::size_of::<$t>())?;
+                    Ok(<$t>::from_le_bytes(bytes.try_into().expect("length checked")))
+                }
+            }
+        )*
+    };
+}
+
+impl_codec_for_int!(u8, u16, u32, u64, i32, i64);
+
+impl Codec for f64 {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.to_le_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        let bytes = take(buf, 8)?;
+        Ok(f64::from_le_bytes(bytes.try_into().expect("length checked")))
+    }
+}
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(take(buf, 1)?[0] != 0)
+    }
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|e| StorageError::Decode(format!("invalid utf-8 string: {e}")))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        match take(buf, 1)?[0] {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            tag => Err(StorageError::Decode(format!("invalid Option tag {tag}"))),
+        }
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (self.len() as u32).encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        let len = u32::decode(buf)? as usize;
+        let mut items = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            items.push(T::decode(buf)?);
+        }
+        Ok(items)
+    }
+}
+
+impl Codec for () {
+    fn encode(&self, _out: &mut Vec<u8>) {}
+    fn decode(_buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        let decoded = T::from_bytes(&bytes).unwrap();
+        assert_eq!(decoded, value);
+    }
+
+    #[test]
+    fn integer_roundtrips() {
+        roundtrip(0u8);
+        roundtrip(255u8);
+        roundtrip(65_535u16);
+        roundtrip(123_456_789u32);
+        roundtrip(u64::MAX);
+        roundtrip(-42i32);
+        roundtrip(i64::MIN);
+    }
+
+    #[test]
+    fn float_bool_string_roundtrips() {
+        roundtrip(3.25f64);
+        roundtrip(-0.0f64);
+        roundtrip(true);
+        roundtrip(false);
+        roundtrip(String::from("space-partitioning"));
+        roundtrip(String::new());
+    }
+
+    #[test]
+    fn container_roundtrips() {
+        roundtrip(Some(17u32));
+        roundtrip(Option::<u32>::None);
+        roundtrip(vec![1u64, 2, 3]);
+        roundtrip(Vec::<String>::new());
+        roundtrip((String::from("k"), 9u64));
+        roundtrip(vec![(String::from("a"), 1u64), (String::from("b"), 2u64)]);
+        roundtrip(vec![0u8, 1, 2, 255]);
+    }
+
+    #[test]
+    fn truncated_input_is_an_error() {
+        let bytes = 123_456u32.to_bytes();
+        assert!(u64::from_bytes(&bytes).is_err());
+        let mut string_bytes = String::from("hello").to_bytes();
+        string_bytes.truncate(6);
+        assert!(String::from_bytes(&string_bytes).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_an_error() {
+        let mut bytes = 1u32.to_bytes();
+        bytes.push(0);
+        assert!(u32::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn invalid_option_tag_is_an_error() {
+        assert!(Option::<u32>::from_bytes(&[7]).is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_is_an_error() {
+        let mut bytes = Vec::new();
+        2u32.encode(&mut bytes);
+        bytes.extend_from_slice(&[0xff, 0xfe]);
+        assert!(String::from_bytes(&bytes).is_err());
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types shared by the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// An underlying I/O error from the operating system.
+    Io(std::io::Error),
+    /// A page id that has never been allocated was requested.
+    PageOutOfBounds {
+        /// The requested page id.
+        requested: u32,
+        /// The number of allocated pages.
+        page_count: u32,
+    },
+    /// A slot id that does not exist (or has been deleted) was requested.
+    InvalidSlot {
+        /// The page that was addressed.
+        page: u32,
+        /// The slot that was addressed.
+        slot: u16,
+    },
+    /// A record does not fit in a page even when the page is empty.
+    RecordTooLarge {
+        /// Size of the record in bytes.
+        size: usize,
+        /// Maximum record size a page can hold.
+        max: usize,
+    },
+    /// The page image read from disk is corrupt (bad header or slot table).
+    Corrupt(String),
+    /// Decoding a record failed (truncated or malformed bytes).
+    Decode(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "i/o error: {e}"),
+            StorageError::PageOutOfBounds {
+                requested,
+                page_count,
+            } => write!(
+                f,
+                "page {requested} out of bounds (only {page_count} pages allocated)"
+            ),
+            StorageError::InvalidSlot { page, slot } => {
+                write!(f, "invalid slot {slot} on page {page}")
+            }
+            StorageError::RecordTooLarge { size, max } => {
+                write!(f, "record of {size} bytes exceeds the page capacity of {max} bytes")
+            }
+            StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
+            StorageError::Decode(msg) => write!(f, "decode error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Convenience result alias for storage operations.
+pub type StorageResult<T> = Result<T, StorageError>;

@@ -1,0 +1,38 @@
+//! Storage substrate for the SP-GiST reproduction.
+//!
+//! The paper realizes SP-GiST inside PostgreSQL and relies on the PostgreSQL
+//! storage manager and buffer manager for "the allocation and retrieval of
+//! disk pages" (Section 4.2).  This crate provides the equivalent substrate
+//! from scratch:
+//!
+//! * [`page`] — an 8 KiB slotted page, the unit of disk transfer,
+//! * [`pager`] — page allocation and retrieval ([`pager::FilePager`] backed by a
+//!   file, [`pager::MemPager`] for tests and fast experiments),
+//! * [`buffer`] — an LRU buffer pool with pin/unpin semantics and I/O
+//!   accounting ([`buffer::IoStats`]),
+//! * [`heap`] — a heap file (PostgreSQL "heap access" / sequential scan),
+//! * [`codec`] — a tiny length-prefixed binary codec used by every access
+//!   method in the workspace to lay records out on pages.
+//!
+//! All access methods in the workspace (SP-GiST trees, the B+-tree and R-tree
+//! baselines, heap files) perform their page reads and writes through
+//! [`buffer::BufferPool`], so logical and physical page I/O is counted
+//! uniformly — the experiment harness reports those counters next to
+//! wall-clock time.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod buffer;
+pub mod codec;
+pub mod error;
+pub mod heap;
+pub mod page;
+pub mod pager;
+
+pub use buffer::{BufferPool, BufferPoolConfig, IoStats};
+pub use codec::Codec;
+pub use error::{StorageError, StorageResult};
+pub use heap::{HeapFile, RecordId};
+pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use pager::{FilePager, MemPager, Pager};

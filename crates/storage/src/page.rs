@@ -1,0 +1,383 @@
+//! Slotted page layout.
+//!
+//! A [`Page`] is the unit of disk transfer, [`PAGE_SIZE`] bytes long (8 KiB,
+//! matching PostgreSQL).  Records are stored with a classic slotted layout:
+//!
+//! ```text
+//! +-----------+------------------+..free..+---------------+--------------+
+//! | header    | slot directory → |        | ← record data | record data  |
+//! +-----------+------------------+--------+---------------+--------------+
+//! ```
+//!
+//! * the header stores the number of slots and the offset of the start of the
+//!   record-data area,
+//! * the slot directory grows forward; each slot holds `(offset, len)` of a
+//!   record, with `offset == 0` marking a dead (deleted) slot,
+//! * record data grows backward from the end of the page.
+//!
+//! Slot ids are stable: deleting a record leaves a dead slot behind so other
+//! records (and external pointers such as tree child pointers or heap
+//! [`crate::heap::RecordId`]s) are never invalidated.  Updating a record in
+//! place is supported when the new payload fits either in the old byte range
+//! or in the page's remaining free space.
+
+use crate::error::{StorageError, StorageResult};
+
+/// Size of a disk page in bytes (PostgreSQL's default block size).
+pub const PAGE_SIZE: usize = 8192;
+
+/// Bytes of page header: `slot_count: u16`, `data_start: u16`.
+const HEADER_SIZE: usize = 4;
+/// Bytes per slot directory entry: `offset: u16`, `len: u16`.
+const SLOT_SIZE: usize = 4;
+
+/// Identifier of a page within a pager (0-based).
+pub type PageId = u32;
+/// Identifier of a slot within a page.
+pub type SlotId = u16;
+
+/// Largest record that fits in an otherwise empty page.
+pub const MAX_RECORD_SIZE: usize = PAGE_SIZE - HEADER_SIZE - SLOT_SIZE;
+
+/// A fixed-size disk page with a slotted record layout.
+#[derive(Clone)]
+pub struct Page {
+    bytes: Box<[u8; PAGE_SIZE]>,
+}
+
+impl Default for Page {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Page {
+    /// Creates an empty, formatted page.
+    pub fn new() -> Self {
+        let mut page = Page {
+            bytes: Box::new([0u8; PAGE_SIZE]),
+        };
+        page.set_slot_count(0);
+        page.set_data_start(PAGE_SIZE as u16);
+        page
+    }
+
+    /// Builds a page from a raw on-disk image.
+    pub fn from_bytes(bytes: [u8; PAGE_SIZE]) -> Self {
+        Page {
+            bytes: Box::new(bytes),
+        }
+    }
+
+    /// Raw page image (for writing to disk).
+    pub fn as_bytes(&self) -> &[u8; PAGE_SIZE] {
+        &self.bytes
+    }
+
+    fn slot_count(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[0], self.bytes[1]])
+    }
+
+    fn set_slot_count(&mut self, n: u16) {
+        self.bytes[0..2].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn data_start(&self) -> u16 {
+        u16::from_le_bytes([self.bytes[2], self.bytes[3]])
+    }
+
+    fn set_data_start(&mut self, n: u16) {
+        self.bytes[2..4].copy_from_slice(&n.to_le_bytes());
+    }
+
+    fn slot(&self, slot: SlotId) -> (u16, u16) {
+        let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+        let off = u16::from_le_bytes([self.bytes[base], self.bytes[base + 1]]);
+        let len = u16::from_le_bytes([self.bytes[base + 2], self.bytes[base + 3]]);
+        (off, len)
+    }
+
+    fn set_slot(&mut self, slot: SlotId, off: u16, len: u16) {
+        let base = HEADER_SIZE + slot as usize * SLOT_SIZE;
+        self.bytes[base..base + 2].copy_from_slice(&off.to_le_bytes());
+        self.bytes[base + 2..base + 4].copy_from_slice(&len.to_le_bytes());
+    }
+
+    /// Number of slots in the page, including dead ones.
+    pub fn num_slots(&self) -> u16 {
+        self.slot_count()
+    }
+
+    /// Number of live (non-deleted) records in the page.
+    pub fn num_live_records(&self) -> u16 {
+        (0..self.slot_count())
+            .filter(|&s| self.slot(s).0 != 0)
+            .count() as u16
+    }
+
+    /// Free space available for a new record (including its slot entry).
+    pub fn free_space(&self) -> usize {
+        let dir_end = HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE;
+        let data_start = self.data_start() as usize;
+        (data_start - dir_end).saturating_sub(SLOT_SIZE)
+    }
+
+    /// True if a record of `len` bytes can be inserted.
+    pub fn fits(&self, len: usize) -> bool {
+        len <= self.free_space()
+    }
+
+    /// Inserts a record, returning its slot id.
+    ///
+    /// Returns [`StorageError::RecordTooLarge`] if the record can never fit in
+    /// a page, and [`StorageError::Corrupt`] if it does not fit in this page's
+    /// remaining free space (callers are expected to check [`Page::fits`]).
+    pub fn insert(&mut self, record: &[u8]) -> StorageResult<SlotId> {
+        if record.len() > MAX_RECORD_SIZE {
+            return Err(StorageError::RecordTooLarge {
+                size: record.len(),
+                max: MAX_RECORD_SIZE,
+            });
+        }
+        if !self.fits(record.len()) {
+            return Err(StorageError::Corrupt(format!(
+                "insert of {} bytes into a page with {} free bytes",
+                record.len(),
+                self.free_space()
+            )));
+        }
+        let slot = self.slot_count();
+        let new_start = self.data_start() as usize - record.len();
+        self.bytes[new_start..new_start + record.len()].copy_from_slice(record);
+        self.set_data_start(new_start as u16);
+        self.set_slot(slot, new_start as u16, record.len() as u16);
+        self.set_slot_count(slot + 1);
+        Ok(slot)
+    }
+
+    /// Reads the record stored in `slot`.
+    pub fn get(&self, slot: SlotId) -> StorageResult<&[u8]> {
+        if slot >= self.slot_count() {
+            return Err(StorageError::InvalidSlot { page: 0, slot });
+        }
+        let (off, len) = self.slot(slot);
+        if off == 0 {
+            return Err(StorageError::InvalidSlot { page: 0, slot });
+        }
+        Ok(&self.bytes[off as usize..off as usize + len as usize])
+    }
+
+    /// True if `slot` holds a live record.
+    pub fn is_live(&self, slot: SlotId) -> bool {
+        slot < self.slot_count() && self.slot(slot).0 != 0
+    }
+
+    /// Deletes the record in `slot`.  The slot id is not reused; the space is
+    /// reclaimed lazily by [`Page::compact`].
+    pub fn delete(&mut self, slot: SlotId) -> StorageResult<()> {
+        if slot >= self.slot_count() || self.slot(slot).0 == 0 {
+            return Err(StorageError::InvalidSlot { page: 0, slot });
+        }
+        self.set_slot(slot, 0, 0);
+        Ok(())
+    }
+
+    /// Updates the record in `slot` in place.
+    ///
+    /// The update succeeds if the new payload fits in the old byte range or in
+    /// the remaining free space (possibly after compaction).  Returns `true`
+    /// if the update was applied, `false` if the record must be relocated to
+    /// another page by the caller.
+    pub fn update(&mut self, slot: SlotId, record: &[u8]) -> StorageResult<bool> {
+        if slot >= self.slot_count() || self.slot(slot).0 == 0 {
+            return Err(StorageError::InvalidSlot { page: 0, slot });
+        }
+        let (off, len) = self.slot(slot);
+        if record.len() <= len as usize {
+            // Reuse the existing byte range (leaving a gap of len - record.len()
+            // bytes which compaction can reclaim later).
+            let start = off as usize + (len as usize - record.len());
+            self.bytes[start..start + record.len()].copy_from_slice(record);
+            self.set_slot(slot, start as u16, record.len() as u16);
+            return Ok(true);
+        }
+        // Growing: drop the old copy, compact to coalesce every gap (including
+        // garbage left by earlier growths), and append the new copy.  If it
+        // still does not fit the old record is restored untouched and the
+        // caller must relocate.
+        let needed = record.len();
+        let old = self.bytes[off as usize..off as usize + len as usize].to_vec();
+        self.set_slot(slot, 0, 0);
+        self.compact();
+        let append_space =
+            self.data_start() as usize - (HEADER_SIZE + self.slot_count() as usize * SLOT_SIZE);
+        let (payload, fits): (&[u8], bool) = if needed <= append_space {
+            (record, true)
+        } else {
+            (old.as_slice(), false)
+        };
+        let new_start = self.data_start() as usize - payload.len();
+        self.bytes[new_start..new_start + payload.len()].copy_from_slice(payload);
+        self.set_data_start(new_start as u16);
+        self.set_slot(slot, new_start as u16, payload.len() as u16);
+        Ok(fits)
+    }
+
+    /// Rewrites the record area to remove gaps left by deletions and
+    /// shrinking updates.  Slot ids are preserved.
+    pub fn compact(&mut self) {
+        let slot_count = self.slot_count();
+        let mut records: Vec<(SlotId, Vec<u8>)> = Vec::with_capacity(slot_count as usize);
+        for s in 0..slot_count {
+            let (off, len) = self.slot(s);
+            if off != 0 {
+                records.push((
+                    s,
+                    self.bytes[off as usize..off as usize + len as usize].to_vec(),
+                ));
+            }
+        }
+        let mut data_start = PAGE_SIZE;
+        for (s, rec) in &records {
+            data_start -= rec.len();
+            self.bytes[data_start..data_start + rec.len()].copy_from_slice(rec);
+            self.set_slot(*s, data_start as u16, rec.len() as u16);
+        }
+        self.set_data_start(data_start as u16);
+    }
+
+    /// Iterates over `(slot, record)` pairs of live records.
+    pub fn iter(&self) -> impl Iterator<Item = (SlotId, &[u8])> + '_ {
+        (0..self.slot_count()).filter_map(move |s| {
+            let (off, len) = self.slot(s);
+            if off == 0 {
+                None
+            } else {
+                Some((s, &self.bytes[off as usize..off as usize + len as usize]))
+            }
+        })
+    }
+}
+
+impl std::fmt::Debug for Page {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Page")
+            .field("slots", &self.slot_count())
+            .field("live", &self.num_live_records())
+            .field("free", &self.free_space())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_page_is_empty() {
+        let page = Page::new();
+        assert_eq!(page.num_slots(), 0);
+        assert_eq!(page.num_live_records(), 0);
+        assert!(page.free_space() > PAGE_SIZE - 16);
+    }
+
+    #[test]
+    fn insert_and_get_roundtrip() {
+        let mut page = Page::new();
+        let a = page.insert(b"hello").unwrap();
+        let b = page.insert(b"world!").unwrap();
+        assert_eq!(page.get(a).unwrap(), b"hello");
+        assert_eq!(page.get(b).unwrap(), b"world!");
+        assert_eq!(page.num_live_records(), 2);
+    }
+
+    #[test]
+    fn delete_keeps_other_slots_stable() {
+        let mut page = Page::new();
+        let a = page.insert(b"aaa").unwrap();
+        let b = page.insert(b"bbb").unwrap();
+        page.delete(a).unwrap();
+        assert!(page.get(a).is_err());
+        assert_eq!(page.get(b).unwrap(), b"bbb");
+        assert!(!page.is_live(a));
+        assert!(page.is_live(b));
+    }
+
+    #[test]
+    fn update_in_place_smaller_and_larger() {
+        let mut page = Page::new();
+        let a = page.insert(b"0123456789").unwrap();
+        assert!(page.update(a, b"xy").unwrap());
+        assert_eq!(page.get(a).unwrap(), b"xy");
+        assert!(page.update(a, b"a longer record than before").unwrap());
+        assert_eq!(page.get(a).unwrap(), b"a longer record than before");
+    }
+
+    #[test]
+    fn update_relocation_signalled_when_full() {
+        let mut page = Page::new();
+        let a = page.insert(&vec![1u8; 100]).unwrap();
+        // Fill the page almost completely.
+        while page.fits(200) {
+            page.insert(&vec![2u8; 200]).unwrap();
+        }
+        let huge = vec![3u8; 4000];
+        if !page.fits(huge.len()) {
+            assert!(!page.update(a, &huge).unwrap());
+            // The original record is still intact after a failed grow.
+            assert_eq!(page.get(a).unwrap(), &vec![1u8; 100][..]);
+        }
+    }
+
+    #[test]
+    fn record_too_large_is_rejected() {
+        let mut page = Page::new();
+        let err = page.insert(&vec![0u8; PAGE_SIZE]).unwrap_err();
+        assert!(matches!(err, StorageError::RecordTooLarge { .. }));
+    }
+
+    #[test]
+    fn fill_page_until_full() {
+        let mut page = Page::new();
+        let mut count = 0;
+        while page.fits(64) {
+            page.insert(&vec![7u8; 64]).unwrap();
+            count += 1;
+        }
+        assert!(count > 100, "8 KiB page should hold >100 64-byte records");
+        assert_eq!(page.num_live_records() as usize, count);
+        // All records are retrievable.
+        for (_, rec) in page.iter() {
+            assert_eq!(rec, &vec![7u8; 64][..]);
+        }
+    }
+
+    #[test]
+    fn compact_reclaims_deleted_space() {
+        let mut page = Page::new();
+        let mut slots = Vec::new();
+        while page.fits(256) {
+            slots.push(page.insert(&vec![9u8; 256]).unwrap());
+        }
+        let before = page.free_space();
+        // Delete every other record and compact.
+        for s in slots.iter().step_by(2) {
+            page.delete(*s).unwrap();
+        }
+        page.compact();
+        assert!(page.free_space() > before + 100);
+        // Remaining records survive compaction.
+        for s in slots.iter().skip(1).step_by(2) {
+            assert_eq!(page.get(*s).unwrap(), &vec![9u8; 256][..]);
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_bytes() {
+        let mut page = Page::new();
+        let a = page.insert(b"persisted").unwrap();
+        let image = *page.as_bytes();
+        let reloaded = Page::from_bytes(image);
+        assert_eq!(reloaded.get(a).unwrap(), b"persisted");
+    }
+}

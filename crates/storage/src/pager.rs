@@ -1,0 +1,246 @@
+//! Page allocation and retrieval.
+//!
+//! A [`Pager`] is the storage-manager abstraction of the paper's Section 4.2
+//! ("PostgreSQL storage interface ... for the allocation and retrieval of
+//! disk pages").  Two implementations are provided:
+//!
+//! * [`FilePager`] — pages live in a single file, read and written with
+//!   positioned I/O; this is the durable, disk-based configuration,
+//! * [`MemPager`] — pages live in memory; used by unit tests and by
+//!   experiments that want deterministic page-I/O counts without disk noise.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use parking_lot::Mutex;
+
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+
+/// Allocation and retrieval of fixed-size pages.
+pub trait Pager: Send + Sync {
+    /// Allocates a fresh, zeroed page and returns its id.
+    fn allocate(&self) -> StorageResult<PageId>;
+
+    /// Reads page `id` into `out`.
+    fn read(&self, id: PageId, out: &mut Page) -> StorageResult<()>;
+
+    /// Writes `page` as page `id`.
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()>;
+
+    /// Number of allocated pages.
+    fn page_count(&self) -> u32;
+
+    /// Flushes any buffered writes to stable storage.
+    fn sync(&self) -> StorageResult<()>;
+}
+
+/// An in-memory pager.
+pub struct MemPager {
+    pages: Mutex<Vec<Box<[u8; PAGE_SIZE]>>>,
+}
+
+impl MemPager {
+    /// Creates an empty in-memory pager.
+    pub fn new() -> Self {
+        MemPager {
+            pages: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl Default for MemPager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Pager for MemPager {
+    fn allocate(&self) -> StorageResult<PageId> {
+        let mut pages = self.pages.lock();
+        let id = pages.len() as PageId;
+        pages.push(Box::new(*Page::new().as_bytes()));
+        Ok(id)
+    }
+
+    fn read(&self, id: PageId, out: &mut Page) -> StorageResult<()> {
+        let pages = self.pages.lock();
+        let bytes = pages
+            .get(id as usize)
+            .ok_or(StorageError::PageOutOfBounds {
+                requested: id,
+                page_count: pages.len() as u32,
+            })?;
+        *out = Page::from_bytes(**bytes);
+        Ok(())
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        let mut pages = self.pages.lock();
+        let count = pages.len() as u32;
+        let slot = pages
+            .get_mut(id as usize)
+            .ok_or(StorageError::PageOutOfBounds {
+                requested: id,
+                page_count: count,
+            })?;
+        **slot = *page.as_bytes();
+        Ok(())
+    }
+
+    fn page_count(&self) -> u32 {
+        self.pages.lock().len() as u32
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        Ok(())
+    }
+}
+
+/// A pager backed by a single file of consecutive 8 KiB pages.
+pub struct FilePager {
+    file: Mutex<File>,
+    page_count: Mutex<u32>,
+}
+
+impl FilePager {
+    /// Creates (or truncates) a pager file at `path`.
+    pub fn create<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(path)?;
+        Ok(FilePager {
+            file: Mutex::new(file),
+            page_count: Mutex::new(0),
+        })
+    }
+
+    /// Opens an existing pager file at `path`.
+    pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let len = file.metadata()?.len();
+        if len % PAGE_SIZE as u64 != 0 {
+            return Err(StorageError::Corrupt(format!(
+                "file length {len} is not a multiple of the page size"
+            )));
+        }
+        Ok(FilePager {
+            file: Mutex::new(file),
+            page_count: Mutex::new((len / PAGE_SIZE as u64) as u32),
+        })
+    }
+}
+
+impl Pager for FilePager {
+    fn allocate(&self) -> StorageResult<PageId> {
+        let mut count = self.page_count.lock();
+        let id = *count;
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.write_all(Page::new().as_bytes())?;
+        *count += 1;
+        Ok(id)
+    }
+
+    fn read(&self, id: PageId, out: &mut Page) -> StorageResult<()> {
+        let count = *self.page_count.lock();
+        if id >= count {
+            return Err(StorageError::PageOutOfBounds {
+                requested: id,
+                page_count: count,
+            });
+        }
+        let mut buf = [0u8; PAGE_SIZE];
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.read_exact(&mut buf)?;
+        *out = Page::from_bytes(buf);
+        Ok(())
+    }
+
+    fn write(&self, id: PageId, page: &Page) -> StorageResult<()> {
+        let count = *self.page_count.lock();
+        if id >= count {
+            return Err(StorageError::PageOutOfBounds {
+                requested: id,
+                page_count: count,
+            });
+        }
+        let mut file = self.file.lock();
+        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.write_all(page.as_bytes())?;
+        Ok(())
+    }
+
+    fn page_count(&self) -> u32 {
+        *self.page_count.lock()
+    }
+
+    fn sync(&self) -> StorageResult<()> {
+        self.file.lock().sync_all()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exercise_pager(pager: &dyn Pager) {
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        assert_ne!(a, b);
+        assert_eq!(pager.page_count(), 2);
+
+        let mut page = Page::new();
+        let slot = page.insert(b"page payload").unwrap();
+        pager.write(b, &page).unwrap();
+
+        let mut read_back = Page::new();
+        pager.read(b, &mut read_back).unwrap();
+        assert_eq!(read_back.get(slot).unwrap(), b"page payload");
+
+        // Page `a` is still the empty formatted page.
+        pager.read(a, &mut read_back).unwrap();
+        assert_eq!(read_back.num_slots(), 0);
+
+        // Out-of-bounds access is an error.
+        assert!(pager.read(99, &mut read_back).is_err());
+        assert!(pager.write(99, &page).is_err());
+        pager.sync().unwrap();
+    }
+
+    #[test]
+    fn mem_pager_basic() {
+        exercise_pager(&MemPager::new());
+    }
+
+    #[test]
+    fn file_pager_basic_and_reopen() {
+        let dir = std::env::temp_dir().join(format!("spgist-pager-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("test.pages");
+        {
+            let pager = FilePager::create(&path).unwrap();
+            exercise_pager(&pager);
+        }
+        {
+            // Re-open and verify persistence.
+            let pager = FilePager::open(&path).unwrap();
+            assert_eq!(pager.page_count(), 2);
+            let mut page = Page::new();
+            pager.read(1, &mut page).unwrap();
+            assert_eq!(page.get(0).unwrap(), b"page payload");
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_pager_open_missing_is_error() {
+        assert!(FilePager::open("/nonexistent/path/to/pages").is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Quickstart: build a patricia-trie index, run the paper's string operators,
+//! and look at the tree statistics.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use spgist::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // All indexes live on a buffer pool; in-memory here, file-backed via
+    // `FilePager` for durable indexes (see the persistence integration test).
+    let pool = BufferPool::in_memory();
+    let mut trie = TrieIndex::create(pool)?;
+
+    // The words of the paper's Figure 2.
+    let words = ["blue", "bit", "take", "top", "zero", "space", "spade", "star"];
+    for (row, word) in words.iter().enumerate() {
+        trie.insert(word, row as RowId)?;
+    }
+
+    // `=` equality operator.
+    println!("=  'space'   -> rows {:?}", trie.equals("space")?);
+    // `#=` prefix operator.
+    let prefixed: Vec<String> = trie.prefix("sp")?.into_iter().map(|(w, _)| w).collect();
+    println!("#= 'sp'      -> {prefixed:?}");
+    // `?=` regular-expression operator (single-character wildcard).
+    let matched: Vec<String> = trie.regex("t??")?.into_iter().map(|(w, _)| w).collect();
+    println!("?= 't??'     -> {matched:?}");
+    // `@@` nearest-neighbour operator (Hamming-style distance).
+    let nearest: Vec<(String, f64)> = trie
+        .nearest("spate", 3)?
+        .into_iter()
+        .map(|(w, _, d)| (w, d))
+        .collect();
+    println!("@@ 'spate'   -> {nearest:?}");
+
+    let stats = trie.stats()?;
+    println!(
+        "index: {} items, {} nodes over {} pages, node height {}, page height {}",
+        stats.items,
+        stats.total_nodes(),
+        stats.pages,
+        stats.max_node_height,
+        stats.max_page_height
+    );
+    Ok(())
+}

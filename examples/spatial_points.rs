@@ -1,0 +1,63 @@
+//! Spatial workload: kd-tree and point quadtree against the R-tree on
+//! two-dimensional points — a miniature of the paper's Figure 13.
+//!
+//! ```text
+//! cargo run --release --example spatial_points
+//! ```
+
+use std::time::Instant;
+
+use spgist::datagen::{points, QueryWorkload};
+use spgist::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = points(30_000, 3);
+    println!("indexing {} uniform points in [0,100]^2", data.len());
+
+    let mut kd = KdTreeIndex::create(BufferPool::in_memory())?;
+    let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory())?;
+    let mut rtree = RTree::create(BufferPool::in_memory())?;
+    for (row, p) in data.iter().enumerate() {
+        kd.insert(*p, row as RowId)?;
+        quad.insert(*p, row as RowId)?;
+        rtree.insert_point(*p, row as RowId)?;
+    }
+
+    // Point-match queries.
+    let queries = QueryWorkload::existing(&data, 500, 1);
+    let time = |f: &mut dyn FnMut() -> usize| {
+        let start = Instant::now();
+        let hits = f();
+        (hits, start.elapsed().as_secs_f64() * 1e3)
+    };
+    let (kd_hits, kd_ms) = time(&mut || queries.iter().map(|q| kd.equals(*q).unwrap().len()).sum());
+    let (quad_hits, quad_ms) =
+        time(&mut || queries.iter().map(|q| quad.equals(*q).unwrap().len()).sum());
+    let (rt_hits, rt_ms) =
+        time(&mut || queries.iter().map(|q| rtree.point_match(*q).unwrap().len()).sum());
+    assert_eq!(kd_hits, rt_hits);
+    assert_eq!(quad_hits, rt_hits);
+    println!("point match : kd {kd_ms:.1} ms | quadtree {quad_ms:.1} ms | R-tree {rt_ms:.1} ms");
+
+    // Range (window) queries of side 5 (≈ 0.25% of the space).
+    let windows = QueryWorkload::windows(200, 5.0, 2);
+    let (kd_hits, kd_ms) = time(&mut || windows.iter().map(|w| kd.range(*w).unwrap().len()).sum());
+    let (quad_hits, quad_ms) =
+        time(&mut || windows.iter().map(|w| quad.range(*w).unwrap().len()).sum());
+    let (rt_hits, rt_ms) =
+        time(&mut || windows.iter().map(|w| rtree.window(*w).unwrap().len()).sum());
+    assert_eq!(kd_hits, rt_hits);
+    assert_eq!(quad_hits, rt_hits);
+    println!("range search: kd {kd_ms:.1} ms | quadtree {quad_ms:.1} ms | R-tree {rt_ms:.1} ms");
+
+    let kd_stats = kd.stats()?;
+    println!(
+        "kd-tree: {} pages, node height {}, page height {}; R-tree: {} pages, height {}",
+        kd_stats.pages,
+        kd_stats.max_node_height,
+        kd_stats.max_page_height,
+        rtree.stats().pages,
+        rtree.stats().height
+    );
+    Ok(())
+}

@@ -1,0 +1,97 @@
+//! Durability integration: indexes built on a file-backed buffer pool can be
+//! flushed, re-opened from disk, queried, and updated again.
+
+use std::sync::Arc;
+
+use spgist::datagen::words;
+use spgist::indexes::trie::TrieOps;
+use spgist::prelude::*;
+
+fn temp_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spgist-it-{}-{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn file_pool(path: &std::path::Path, create: bool) -> Arc<BufferPool> {
+    let pager = if create {
+        FilePager::create(path).unwrap()
+    } else {
+        FilePager::open(path).unwrap()
+    };
+    Arc::new(BufferPool::new(
+        Arc::new(pager),
+        BufferPoolConfig { capacity: 256 },
+    ))
+}
+
+#[test]
+fn trie_survives_restart_and_remains_updatable() {
+    let dir = temp_dir("trie");
+    let path = dir.join("trie.pages");
+    let data = words(5_000, 99);
+    let meta;
+    {
+        let pool = file_pool(&path, true);
+        let mut tree =
+            spgist::core::SpGistTree::create(Arc::clone(&pool), TrieOps::patricia()).unwrap();
+        for (row, w) in data.iter().enumerate() {
+            tree.insert(w.clone(), row as RowId).unwrap();
+        }
+        meta = tree.meta_page();
+        pool.flush_all().unwrap();
+    }
+    {
+        // Re-open from the file and verify queries and further updates.
+        let pool = file_pool(&path, false);
+        let mut tree =
+            spgist::core::SpGistTree::open(Arc::clone(&pool), TrieOps::patricia(), meta).unwrap();
+        assert_eq!(tree.len(), data.len() as u64);
+        for (row, w) in data.iter().enumerate().step_by(501) {
+            let hits = tree.search(&StringQuery::Equals(w.clone())).unwrap();
+            assert!(hits.iter().any(|(_, r)| *r == row as RowId), "lost {w:?}");
+        }
+        // The index keeps working after reopening.
+        tree.insert("freshlyinserted".to_string(), 1_000_000).unwrap();
+        let hits = tree
+            .search(&StringQuery::Equals("freshlyinserted".to_string()))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert!(tree.delete(&data[0], 0).unwrap());
+        pool.flush_all().unwrap();
+    }
+    {
+        // A third open sees the post-restart modifications.
+        let pool = file_pool(&path, false);
+        let tree = spgist::core::SpGistTree::open(pool, TrieOps::patricia(), meta).unwrap();
+        let hits = tree
+            .search(&StringQuery::Equals("freshlyinserted".to_string()))
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        let gone = tree.search(&StringQuery::Equals(data[0].clone())).unwrap();
+        assert!(gone.iter().all(|(_, r)| *r != 0));
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn buffer_pool_io_counters_reflect_disk_activity() {
+    let dir = temp_dir("io");
+    let path = dir.join("kd.pages");
+    {
+        let pool = file_pool(&path, true);
+        let mut kd = KdTreeIndex::create(Arc::clone(&pool)).unwrap();
+        let pts = spgist::datagen::points(5_000, 5);
+        for (row, p) in pts.iter().enumerate() {
+            kd.insert(*p, row as RowId).unwrap();
+        }
+        pool.flush_all().unwrap();
+        let io = pool.stats();
+        assert!(io.logical_reads > 0);
+        assert!(io.physical_writes > 0, "flush must write dirty pages");
+        // With a 256-page pool and a ~5k-point kd-tree everything fits, so the
+        // hit ratio should be very high.
+        assert!(io.hit_ratio() > 0.9, "hit ratio {}", io.hit_ratio());
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}

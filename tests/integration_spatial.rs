@@ -1,0 +1,139 @@
+//! Cross-crate integration: the kd-tree, point quadtree, PMR quadtree and the
+//! R-tree baseline agree on every spatial query of the paper's evaluation.
+
+use spgist::datagen::{points, segments, world, QueryWorkload};
+use spgist::prelude::*;
+
+#[test]
+fn point_indexes_agree_with_rtree_and_linear_scan() {
+    let data = points(10_000, 21);
+    let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+    let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+    let mut rt = RTree::create(BufferPool::in_memory()).unwrap();
+    for (row, p) in data.iter().enumerate() {
+        kd.insert(*p, row as RowId).unwrap();
+        quad.insert(*p, row as RowId).unwrap();
+        rt.insert_point(*p, row as RowId).unwrap();
+    }
+
+    // Point match.
+    for q in QueryWorkload::existing(&data, 100, 22) {
+        let mut expected: Vec<RowId> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == q)
+            .map(|(i, _)| i as RowId)
+            .collect();
+        expected.sort_unstable();
+        let sorted = |mut v: Vec<RowId>| {
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(sorted(kd.equals(q).unwrap()), expected);
+        assert_eq!(sorted(quad.equals(q).unwrap()), expected);
+        assert_eq!(sorted(rt.point_match(q).unwrap()), expected);
+    }
+
+    // Range queries of several selectivities.
+    for side in [1.0, 5.0, 20.0] {
+        for w in QueryWorkload::windows(30, side, 23) {
+            let expected = data.iter().filter(|p| w.contains_point(p)).count();
+            assert_eq!(kd.range(w).unwrap().len(), expected, "kd range {w:?}");
+            assert_eq!(quad.range(w).unwrap().len(), expected, "quad range {w:?}");
+            assert_eq!(rt.window(w).unwrap().len(), expected, "rtree window {w:?}");
+        }
+    }
+}
+
+#[test]
+fn nn_results_match_brute_force_for_kdtree_and_quadtree() {
+    let data = points(3_000, 31);
+    let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+    let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+    for (row, p) in data.iter().enumerate() {
+        kd.insert(*p, row as RowId).unwrap();
+        quad.insert(*p, row as RowId).unwrap();
+    }
+    for q in QueryWorkload::nn_points(20, 32) {
+        let mut brute: Vec<f64> = data.iter().map(|p| p.distance(&q)).collect();
+        brute.sort_by(f64::total_cmp);
+        for k in [1, 8, 32] {
+            let kd_nn = kd.nearest(q, k).unwrap();
+            let quad_nn = quad.nearest(q, k).unwrap();
+            assert_eq!(kd_nn.len(), k);
+            assert_eq!(quad_nn.len(), k);
+            for i in 0..k {
+                assert!(
+                    (kd_nn[i].2 - brute[i]).abs() < 1e-9,
+                    "kd-tree {i}-th NN distance mismatch"
+                );
+                assert!(
+                    (quad_nn[i].2 - brute[i]).abs() < 1e-9,
+                    "quadtree {i}-th NN distance mismatch"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pmr_quadtree_agrees_with_rtree_after_exact_geometry_recheck() {
+    let data = segments(4_000, 10.0, 41);
+    let mut pmr = PmrQuadtreeIndex::create(BufferPool::in_memory(), world()).unwrap();
+    let mut rt = RTree::create(BufferPool::in_memory()).unwrap();
+    for (row, s) in data.iter().enumerate() {
+        pmr.insert(*s, row as RowId).unwrap();
+        rt.insert_segment(*s, row as RowId).unwrap();
+    }
+
+    // Exact match agrees (the R-tree matches by MBR; for random segments the
+    // MBR identifies the segment).
+    for q in QueryWorkload::existing(&data, 60, 42) {
+        let pmr_rows = pmr.equals(q).unwrap();
+        let mut rt_rows = rt.segment_match(q).unwrap();
+        rt_rows.sort_unstable();
+        assert_eq!(pmr_rows, rt_rows, "exact match mismatch for {q:?}");
+        assert!(!pmr_rows.is_empty());
+    }
+
+    // Window queries: the PMR quadtree checks exact segment/rectangle
+    // intersection, the R-tree only MBR intersection, so the PMR result must
+    // equal the scan and be a subset of the R-tree result.
+    for w in QueryWorkload::windows(40, 8.0, 43) {
+        let expected: Vec<RowId> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.intersects_rect(&w))
+            .map(|(i, _)| i as RowId)
+            .collect();
+        let mut pmr_rows: Vec<RowId> = pmr.window(w).unwrap().into_iter().map(|(_, r)| r).collect();
+        pmr_rows.sort_unstable();
+        assert_eq!(pmr_rows, expected, "pmr window mismatch for {w:?}");
+        let rt_rows: Vec<RowId> = rt.window(w).unwrap().into_iter().map(|(_, r)| r).collect();
+        for row in &pmr_rows {
+            assert!(rt_rows.contains(row), "MBR filtering lost row {row}");
+        }
+    }
+}
+
+#[test]
+fn repacking_spatial_indexes_preserves_results_and_improves_page_height() {
+    let data = points(8_000, 51);
+    let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+    for (row, p) in data.iter().enumerate() {
+        kd.insert(*p, row as RowId).unwrap();
+    }
+    let window = Rect::new(10.0, 10.0, 30.0, 40.0);
+    let before_rows = kd.range(window).unwrap().len();
+    let before = kd.stats().unwrap();
+    kd.repack().unwrap();
+    let after = kd.stats().unwrap();
+    assert_eq!(kd.range(window).unwrap().len(), before_rows);
+    assert_eq!(after.items, before.items);
+    assert!(after.max_page_height <= before.max_page_height);
+    assert!(
+        after.max_page_height <= 8,
+        "packed kd-tree page height should be small, got {}",
+        after.max_page_height
+    );
+}

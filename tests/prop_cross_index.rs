@@ -1,0 +1,153 @@
+//! Property-based tests: for arbitrary datasets and queries, every index
+//! agrees with a straightforward in-memory model.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spgist::prelude::*;
+
+fn word_strategy() -> impl Strategy<Value = String> {
+    // Lengths 0..=15 over a small alphabet to maximize prefix sharing and
+    // duplicate keys.
+    vec(prop::sample::select(vec!['a', 'b', 'c', 'd']), 0..=15)
+        .prop_map(|chars| chars.into_iter().collect())
+}
+
+fn point_strategy() -> impl Strategy<Value = Point> {
+    // A coarse grid produces many duplicate coordinates and exact duplicates.
+    (0..50u32, 0..50u32).prop_map(|(x, y)| Point::new(f64::from(x) * 2.0, f64::from(y) * 2.0))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn trie_matches_model_for_equality_prefix_and_regex(
+        word_list in vec(word_strategy(), 1..200),
+        probe in word_strategy(),
+    ) {
+        let mut trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
+        for (row, w) in word_list.iter().enumerate() {
+            trie.insert(w, row as RowId).unwrap();
+        }
+
+        // Equality.
+        let mut got = trie.equals(&probe).unwrap();
+        got.sort_unstable();
+        let expected: Vec<RowId> = word_list
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| **w == probe)
+            .map(|(i, _)| i as RowId)
+            .collect();
+        prop_assert_eq!(got, expected);
+
+        // Prefix.
+        let prefix: String = probe.chars().take(2).collect();
+        let mut got: Vec<RowId> = trie.prefix(&prefix).unwrap().into_iter().map(|(_, r)| r).collect();
+        got.sort_unstable();
+        let expected: Vec<RowId> = word_list
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| w.starts_with(&prefix))
+            .map(|(i, _)| i as RowId)
+            .collect();
+        prop_assert_eq!(got, expected);
+
+        // Regular expression built from the probe with a wildcard in the middle.
+        if probe.len() >= 2 {
+            let mut pattern = probe.clone().into_bytes();
+            pattern[probe.len() / 2] = b'?';
+            let pattern = String::from_utf8(pattern).unwrap();
+            let mut got: Vec<RowId> = trie.regex(&pattern).unwrap().into_iter().map(|(_, r)| r).collect();
+            got.sort_unstable();
+            let expected: Vec<RowId> = word_list
+                .iter()
+                .enumerate()
+                .filter(|(_, w)| {
+                    w.len() == pattern.len()
+                        && pattern.bytes().zip(w.bytes()).all(|(p, c)| p == b'?' || p == c)
+                })
+                .map(|(i, _)| i as RowId)
+                .collect();
+            prop_assert_eq!(got, expected);
+        }
+    }
+
+    #[test]
+    fn trie_deletion_removes_exactly_the_requested_rows(
+        word_list in vec(word_strategy(), 1..100),
+        delete_mask in vec(any::<bool>(), 1..100),
+    ) {
+        let mut trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
+        for (row, w) in word_list.iter().enumerate() {
+            trie.insert(w, row as RowId).unwrap();
+        }
+        let mut kept: Vec<(usize, &String)> = Vec::new();
+        for (row, w) in word_list.iter().enumerate() {
+            if delete_mask.get(row).copied().unwrap_or(false) {
+                prop_assert!(trie.delete(w, row as RowId).unwrap());
+            } else {
+                kept.push((row, w));
+            }
+        }
+        for (row, w) in kept {
+            let hits = trie.equals(w).unwrap();
+            prop_assert!(hits.contains(&(row as RowId)), "row {row} for {w:?} lost");
+        }
+    }
+
+    #[test]
+    fn kdtree_and_quadtree_match_model_for_equality_and_range(
+        point_list in vec(point_strategy(), 1..200),
+        win in (0..40u32, 0..40u32, 1..30u32, 1..30u32),
+    ) {
+        let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+        for (row, p) in point_list.iter().enumerate() {
+            kd.insert(*p, row as RowId).unwrap();
+            quad.insert(*p, row as RowId).unwrap();
+        }
+        // Equality on the first point (duplicates likely on the coarse grid).
+        let probe = point_list[0];
+        let expected: Vec<RowId> = point_list
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| **p == probe)
+            .map(|(i, _)| i as RowId)
+            .collect();
+        let sorted = |mut v: Vec<RowId>| { v.sort_unstable(); v };
+        prop_assert_eq!(sorted(kd.equals(probe).unwrap()), expected.clone());
+        prop_assert_eq!(sorted(quad.equals(probe).unwrap()), expected);
+
+        // Range query.
+        let rect = Rect::new(
+            f64::from(win.0) * 2.0,
+            f64::from(win.1) * 2.0,
+            f64::from(win.0 + win.2) * 2.0,
+            f64::from(win.1 + win.3) * 2.0,
+        );
+        let expected = point_list.iter().filter(|p| rect.contains_point(p)).count();
+        prop_assert_eq!(kd.range(rect).unwrap().len(), expected);
+        prop_assert_eq!(quad.range(rect).unwrap().len(), expected);
+    }
+
+    #[test]
+    fn kdtree_nn_matches_brute_force(
+        point_list in vec(point_strategy(), 1..150),
+        query in point_strategy(),
+        k in 1..10usize,
+    ) {
+        let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+        for (row, p) in point_list.iter().enumerate() {
+            kd.insert(*p, row as RowId).unwrap();
+        }
+        let k = k.min(point_list.len());
+        let nn = kd.nearest(query, k).unwrap();
+        prop_assert_eq!(nn.len(), k);
+        let mut brute: Vec<f64> = point_list.iter().map(|p| p.distance(&query)).collect();
+        brute.sort_by(f64::total_cmp);
+        for (i, (_, _, d)) in nn.iter().enumerate() {
+            prop_assert!((d - brute[i]).abs() < 1e-9, "k={i}: {} vs {}", d, brute[i]);
+        }
+    }
+}
