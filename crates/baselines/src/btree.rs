@@ -108,7 +108,9 @@ impl BNode {
                 let next = Option::<PageId>::decode(&mut buf)?;
                 Ok(BNode::Leaf { items, next })
             }
-            other => Err(StorageError::Decode(format!("unknown b-tree node tag {other}"))),
+            other => Err(StorageError::Decode(format!(
+                "unknown b-tree node tag {other}"
+            ))),
         }
     }
 
@@ -174,7 +176,8 @@ impl BPlusTree {
 
     fn alloc(&mut self, node: &BNode) -> StorageResult<PageId> {
         let page = self.pool.allocate_page()?;
-        self.pool.with_page_mut(page, |p| p.insert(&node.encode()))??;
+        self.pool
+            .with_page_mut(page, |p| p.insert(&node.encode()))??;
         self.pages += 1;
         Ok(page)
     }
@@ -235,7 +238,10 @@ impl BPlusTree {
                 )?;
                 Ok(Some((sep, right_page)))
             }
-            BNode::Internal { mut keys, mut children } => {
+            BNode::Internal {
+                mut keys,
+                mut children,
+            } => {
                 let child_idx = keys.partition_point(|k| k.as_slice() <= key);
                 let child = children[child_idx];
                 let Some((sep, right)) = self.insert_rec(child, key, row)? else {
@@ -248,7 +254,11 @@ impl BPlusTree {
                     self.write(page, &node)?;
                     return Ok(None);
                 }
-                let BNode::Internal { mut keys, mut children } = node else {
+                let BNode::Internal {
+                    mut keys,
+                    mut children,
+                } = node
+                else {
                     unreachable!()
                 };
                 let mid = keys.len() / 2;
@@ -286,11 +296,16 @@ impl BPlusTree {
     /// Exact-match search: all rows stored under `key`.
     pub fn search(&self, key: &[u8]) -> StorageResult<Vec<RowId>> {
         let mut rows = Vec::new();
-        self.scan_range(key, |k| k == key, |k| k > key, |k, row| {
-            if k == key {
-                rows.push(row);
-            }
-        })?;
+        self.scan_range(
+            key,
+            |k| k == key,
+            |k| k > key,
+            |k, row| {
+                if k == key {
+                    rows.push(row);
+                }
+            },
+        )?;
         Ok(rows)
     }
 
@@ -321,7 +336,10 @@ impl BPlusTree {
     /// it range-scans that prefix and re-checks the full pattern; a leading
     /// wildcard degenerates to a full leaf scan.
     pub fn regex_search(&self, pattern: &str) -> StorageResult<Vec<(String, RowId)>> {
-        let literal_len = pattern.bytes().position(|b| b == b'?').unwrap_or(pattern.len());
+        let literal_len = pattern
+            .bytes()
+            .position(|b| b == b'?')
+            .unwrap_or(pattern.len());
         let literal = &pattern.as_bytes()[..literal_len];
         let mut out = Vec::new();
         self.scan_range(
@@ -350,7 +368,9 @@ impl BPlusTree {
         let mut page = self.leaf_for(start)?;
         loop {
             let BNode::Leaf { items, next } = self.read(page)? else {
-                return Err(StorageError::Corrupt("leaf_for returned an internal node".into()));
+                return Err(StorageError::Corrupt(
+                    "leaf_for returned an internal node".into(),
+                ));
             };
             for (k, row) in &items {
                 if stop(k.as_slice()) {
@@ -372,11 +392,8 @@ impl BPlusTree {
     pub fn scan_all(&self, mut visit: impl FnMut(&[u8], RowId)) -> StorageResult<()> {
         // Find the leftmost leaf.
         let mut page = self.root;
-        loop {
-            match self.read(page)? {
-                BNode::Internal { children, .. } => page = children[0],
-                BNode::Leaf { .. } => break,
-            }
+        while let BNode::Internal { children, .. } = self.read(page)? {
+            page = children[0];
         }
         loop {
             let BNode::Leaf { items, next } = self.read(page)? else {
@@ -406,14 +423,9 @@ impl BPlusTree {
     pub fn stats(&self) -> StorageResult<BTreeStats> {
         let mut height = 1;
         let mut page = self.root;
-        loop {
-            match self.read(page)? {
-                BNode::Internal { children, .. } => {
-                    height += 1;
-                    page = children[0];
-                }
-                BNode::Leaf { .. } => break,
-            }
+        while let BNode::Internal { children, .. } = self.read(page)? {
+            height += 1;
+            page = children[0];
         }
         Ok(BTreeStats {
             height,

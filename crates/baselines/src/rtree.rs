@@ -70,7 +70,9 @@ impl RNode {
                 }
                 Ok(RNode::Leaf { entries })
             }
-            other => Err(StorageError::Decode(format!("unknown r-tree node tag {other}"))),
+            other => Err(StorageError::Decode(format!(
+                "unknown r-tree node tag {other}"
+            ))),
         }
     }
 }
@@ -133,7 +135,8 @@ impl RTree {
 
     fn alloc(&mut self, node: &RNode) -> StorageResult<PageId> {
         let page = self.pool.allocate_page()?;
-        self.pool.with_page_mut(page, |p| p.insert(&node.encode()))??;
+        self.pool
+            .with_page_mut(page, |p| p.insert(&node.encode()))??;
         self.pages += 1;
         Ok(page)
     }
@@ -340,14 +343,16 @@ fn mbr_of<T>(entries: &[(Rect, T)]) -> Rect {
 /// Guttman's quadratic split: pick the pair of entries that would waste the
 /// most area together as seeds, then assign the rest by least enlargement,
 /// respecting the minimum fill factor.
+#[allow(clippy::type_complexity)]
 fn quadratic_split<T: Copy>(entries: Vec<(Rect, T)>) -> (Vec<(Rect, T)>, Vec<(Rect, T)>) {
     debug_assert!(entries.len() > 2);
     // PickSeeds.
     let (mut seed_a, mut seed_b, mut worst) = (0, 1, f64::NEG_INFINITY);
     for i in 0..entries.len() {
         for j in (i + 1)..entries.len() {
-            let waste =
-                entries[i].0.union(&entries[j].0).area() - entries[i].0.area() - entries[j].0.area();
+            let waste = entries[i].0.union(&entries[j].0).area()
+                - entries[i].0.area()
+                - entries[j].0.area();
             if waste > worst {
                 worst = waste;
                 seed_a = i;
@@ -403,7 +408,9 @@ mod tests {
     fn lcg(seed: u64) -> impl FnMut() -> f64 {
         let mut state = seed;
         move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / u32::MAX as f64) * 100.0
         }
     }
@@ -423,7 +430,12 @@ mod tests {
         assert_eq!(tree.point_match(points[2]).unwrap(), vec![2]);
         assert!(tree.point_match(Point::new(1.0, 1.0)).unwrap().is_empty());
         let window = Rect::new(0.0, 0.0, 30.0, 100.0);
-        let mut rows: Vec<RowId> = tree.window(window).unwrap().into_iter().map(|(_, r)| r).collect();
+        let mut rows: Vec<RowId> = tree
+            .window(window)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         rows.sort_unstable();
         assert_eq!(rows, vec![0, 1]);
     }
@@ -455,14 +467,20 @@ mod tests {
         let mut segments = Vec::new();
         for i in 0..2000u64 {
             let a = Point::new(next(), next());
-            let b = Point::new((a.x + next() / 20.0).min(100.0), (a.y + next() / 20.0).min(100.0));
+            let b = Point::new(
+                (a.x + next() / 20.0).min(100.0),
+                (a.y + next() / 20.0).min(100.0),
+            );
             let s = Segment::new(a, b);
             segments.push(s);
             tree.insert_segment(s, i).unwrap();
         }
         let window = Rect::new(40.0, 40.0, 60.0, 60.0);
         let got = tree.window(window).unwrap().len();
-        let expected_mbr = segments.iter().filter(|s| s.mbr().intersects(&window)).count();
+        let expected_mbr = segments
+            .iter()
+            .filter(|s| s.mbr().intersects(&window))
+            .count();
         assert_eq!(got, expected_mbr, "R-tree reports MBR intersections");
         // Exact segment match.
         assert_eq!(tree.segment_match(segments[100]).unwrap(), vec![100]);
@@ -497,7 +515,10 @@ mod tests {
     fn empty_tree_queries() {
         let tree = RTree::create(BufferPool::in_memory()).unwrap();
         assert!(tree.is_empty());
-        assert!(tree.window(Rect::new(0.0, 0.0, 100.0, 100.0)).unwrap().is_empty());
+        assert!(tree
+            .window(Rect::new(0.0, 0.0, 100.0, 100.0))
+            .unwrap()
+            .is_empty());
         assert_eq!(tree.stats().height, 1);
     }
 }

@@ -90,9 +90,18 @@ mod tests {
     #[test]
     fn other_queries_work_by_scan_too() {
         let table = table_with(&["star", "space", "spade"]);
-        assert_eq!(table.scan(&StringQuery::Equals("space".into())).unwrap(), vec![1]);
-        assert_eq!(table.scan(&StringQuery::Prefix("sp".into())).unwrap(), vec![1, 2]);
-        assert_eq!(table.scan(&StringQuery::Regex("spa?e".into())).unwrap(), vec![1, 2]);
+        assert_eq!(
+            table.scan(&StringQuery::Equals("space".into())).unwrap(),
+            vec![1]
+        );
+        assert_eq!(
+            table.scan(&StringQuery::Prefix("sp".into())).unwrap(),
+            vec![1, 2]
+        );
+        assert_eq!(
+            table.scan(&StringQuery::Regex("spa?e".into())).unwrap(),
+            vec![1, 2]
+        );
     }
 
     #[test]

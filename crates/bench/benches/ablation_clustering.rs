@@ -5,12 +5,12 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spgist_bench::experiment_pool;
 use spgist_core::{ClusteringPolicy, RowId, SpGistOps};
 use spgist_datagen::{words, QueryWorkload};
+use spgist_indexes::SpIndex;
 use spgist_indexes::{TrieIndex, TrieOps};
 
 fn build(policy: ClusteringPolicy, data: &[String]) -> TrieIndex {
     let config = TrieOps::patricia().config().with_clustering(policy);
-    let mut index =
-        TrieIndex::with_ops(experiment_pool(), TrieOps::with_config(config)).unwrap();
+    let mut index = TrieIndex::with_ops(experiment_pool(), TrieOps::with_config(config)).unwrap();
     for (i, w) in data.iter().enumerate() {
         index.insert(w, i as RowId).unwrap();
     }

@@ -3,6 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spgist_bench::{build_btree, build_trie};
 use spgist_datagen::words;
+use spgist_indexes::SpIndex;
 
 fn bench(c: &mut Criterion) {
     let data = words(5_000, 42);

@@ -3,6 +3,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spgist_bench::{build_kdtree, build_rtree_points};
 use spgist_datagen::{points, QueryWorkload};
+use spgist_indexes::SpIndex;
 
 fn bench(c: &mut Criterion) {
     let data = points(20_000, 42);

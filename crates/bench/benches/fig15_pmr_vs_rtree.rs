@@ -4,6 +4,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use spgist_bench::{build_pmr, build_rtree_segments};
 use spgist_datagen::{segments, QueryWorkload};
+use spgist_indexes::SpIndex;
 
 fn bench(c: &mut Criterion) {
     let data = segments(10_000, 10.0, 42);

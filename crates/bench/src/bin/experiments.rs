@@ -101,7 +101,10 @@ fn main() {
 
 fn print_table7() {
     println!("== Table 7: external-method code size per index ==");
-    println!("{:<16} {:>16} {:>18}", "index", "external lines", "% of total code");
+    println!(
+        "{:<16} {:>16} {:>18}",
+        "index", "external lines", "% of total code"
+    );
     for row in table7() {
         println!(
             "{:<16} {:>16} {:>17.1}%",
@@ -134,7 +137,10 @@ fn print_string_figures(opts: &Options, run_all: bool) {
     }
     if show("fig7") {
         println!("== Figure 7: regular-expression search, log10(B+-tree / trie) ==");
-        println!("{:>10} {:>14} {:>14} {:>12}", "keys", "trie (ms)", "btree (ms)", "log10 ratio");
+        println!(
+            "{:>10} {:>14} {:>14} {:>12}",
+            "keys", "trie (ms)", "btree (ms)", "log10 ratio"
+        );
         for r in &rows {
             println!(
                 "{:>10} {:>14.4} {:>14.4} {:>12.2}",
@@ -150,13 +156,19 @@ fn print_string_figures(opts: &Options, run_all: bool) {
         println!("== Figure 8: trie exact-match search time standard deviation ==");
         println!("{:>10} {:>14} {:>14}", "keys", "mean (ms)", "stddev (ms)");
         for r in &rows {
-            println!("{:>10} {:>14.4} {:>14.4}", r.size, r.trie_exact_ms, r.trie_exact_stddev_ms);
+            println!(
+                "{:>10} {:>14.4} {:>14.4}",
+                r.size, r.trie_exact_ms, r.trie_exact_stddev_ms
+            );
         }
         println!();
     }
     if show("fig9") {
         println!("== Figure 9: insert time relative performance, (B+-tree / trie) x 100 ==");
-        println!("{:>10} {:>14} {:>14} {:>12}", "keys", "trie (ms)", "btree (ms)", "ratio %");
+        println!(
+            "{:>10} {:>14} {:>14} {:>12}",
+            "keys", "trie (ms)", "btree (ms)", "ratio %"
+        );
         for r in &rows {
             println!(
                 "{:>10} {:>14.1} {:>14.1} {:>12.1}",
@@ -170,7 +182,10 @@ fn print_string_figures(opts: &Options, run_all: bool) {
     }
     if show("fig10") {
         println!("== Figure 10: relative index size, (B+-tree / trie) x 100 ==");
-        println!("{:>10} {:>14} {:>14} {:>12}", "keys", "trie pages", "btree pages", "ratio %");
+        println!(
+            "{:>10} {:>14} {:>14} {:>12}",
+            "keys", "trie pages", "btree pages", "ratio %"
+        );
         for r in &rows {
             println!(
                 "{:>10} {:>14} {:>14} {:>12.1}",
@@ -186,7 +201,10 @@ fn print_string_figures(opts: &Options, run_all: bool) {
         println!("== Figure 11: maximum tree height in nodes ==");
         println!("{:>10} {:>12} {:>12}", "keys", "B-tree", "SP-GiST trie");
         for r in &rows {
-            println!("{:>10} {:>12} {:>12}", r.size, r.btree_height, r.trie_node_height);
+            println!(
+                "{:>10} {:>12} {:>12}",
+                r.size, r.btree_height, r.trie_node_height
+            );
         }
         println!();
     }
@@ -194,7 +212,10 @@ fn print_string_figures(opts: &Options, run_all: bool) {
         println!("== Figure 12: maximum tree height in pages ==");
         println!("{:>10} {:>12} {:>12}", "keys", "B-tree", "SP-GiST trie");
         for r in &rows {
-            println!("{:>10} {:>12} {:>12}", r.size, r.btree_height, r.trie_page_height);
+            println!(
+                "{:>10} {:>12} {:>12}",
+                r.size, r.btree_height, r.trie_page_height
+            );
         }
         println!();
     }
@@ -224,7 +245,10 @@ fn print_point_figures(opts: &Options, run_all: bool) {
     }
     if show("fig14") {
         println!("== Figure 14: relative index size, (R-tree / kd-tree) x 100 ==");
-        println!("{:>10} {:>14} {:>14} {:>12}", "points", "kd pages", "rtree pages", "ratio %");
+        println!(
+            "{:>10} {:>14} {:>14} {:>12}",
+            "points", "kd pages", "rtree pages", "ratio %"
+        );
         for r in &rows {
             println!(
                 "{:>10} {:>14} {:>14} {:>12.1}",
@@ -284,7 +308,10 @@ fn print_nn_figure(opts: &Options) {
     let n = 20_000 * opts.scale.max(1);
     let rows = run_nn_experiments(n, &NN_KS, opts.queries.min(20), SEED);
     println!("== Figure 17: NN search performance ({n} tuples per relation) ==");
-    println!("{:>8} {:>14} {:>14} {:>14}", "k", "kd-tree (ms)", "pquadtree (ms)", "trie (ms)");
+    println!(
+        "{:>8} {:>14} {:>14} {:>14}",
+        "k", "kd-tree (ms)", "pquadtree (ms)", "trie (ms)"
+    );
     for r in &rows {
         println!(
             "{:>8} {:>14.3} {:>14.3} {:>14.3}",
@@ -297,7 +324,10 @@ fn print_nn_figure(opts: &Options) {
 fn print_clustering_ablation(opts: &Options) {
     let rows = run_clustering_ablation(20_000 * opts.scale.max(1), opts.queries, SEED);
     println!("== Ablation: node-to-page clustering policy (patricia trie) ==");
-    println!("{:>18} {:>12} {:>10} {:>14}", "policy", "page height", "pages", "exact (ms)");
+    println!(
+        "{:>18} {:>12} {:>10} {:>14}",
+        "policy", "page height", "pages", "exact (ms)"
+    );
     for r in &rows {
         println!(
             "{:>18} {:>12} {:>10} {:>14.4}",

@@ -8,7 +8,7 @@ use spgist_core::{ClusteringPolicy, RowId, SpGistOps};
 use spgist_datagen::{points, segments, words, world, QueryWorkload};
 use spgist_indexes::geom::{Point, Segment};
 use spgist_indexes::{
-    KdTreeIndex, PmrQuadtreeIndex, PointQuadtreeIndex, SuffixTreeIndex, TrieIndex, TrieOps,
+    KdTreeIndex, PmrQuadtreeIndex, PointQuadtreeIndex, SpIndex, SuffixTreeIndex, TrieIndex, TrieOps,
 };
 use spgist_storage::{BufferPool, BufferPoolConfig, MemPager};
 
@@ -230,7 +230,8 @@ pub fn run_string_experiments(sizes: &[usize], queries: usize, seed: u64) -> Vec
             let mut btree_prefix = Vec::with_capacity(queries);
             for q in &prefix_queries {
                 trie_prefix.push(timed(|| trie.prefix(q).expect("trie prefix")).1);
-                btree_prefix.push(timed(|| btree.prefix_search(q.as_bytes()).expect("btree prefix")).1);
+                btree_prefix
+                    .push(timed(|| btree.prefix_search(q.as_bytes()).expect("btree prefix")).1);
             }
             // Regular-expression match (Figure 7).
             let mut trie_regex = Vec::with_capacity(queries);
@@ -559,8 +560,14 @@ pub fn run_trie_variant_ablation(size: usize, queries: usize, seed: u64) -> Vec<
     let data = words(size, seed);
     let exact_queries = QueryWorkload::existing(&data, queries, seed ^ 0xb1);
     let variants: Vec<(String, TrieOps)> = vec![
-        ("patricia (TreeShrink, bucket 16)".to_string(), TrieOps::patricia()),
-        ("plain (NeverShrink, bucket 16)".to_string(), TrieOps::never_shrink()),
+        (
+            "patricia (TreeShrink, bucket 16)".to_string(),
+            TrieOps::patricia(),
+        ),
+        (
+            "plain (NeverShrink, bucket 16)".to_string(),
+            TrieOps::never_shrink(),
+        ),
         (
             "patricia (TreeShrink, bucket 1)".to_string(),
             TrieOps::with_config(TrieOps::patricia().config().with_bucket_size(1)),

@@ -62,7 +62,8 @@ pub fn table7() -> Vec<LocRow> {
     let indexes = root.join("crates/indexes/src");
     // Shared code every instantiation reuses: the SP-GiST core (internal
     // methods, clustering, NN search) and the storage substrate.
-    let core_lines = dir_lines(&root.join("crates/core/src")) + dir_lines(&root.join("crates/storage/src"));
+    let core_lines =
+        dir_lines(&root.join("crates/core/src")) + dir_lines(&root.join("crates/storage/src"));
     let files = [
         ("trie", "trie.rs"),
         ("kd-tree", "kdtree.rs"),

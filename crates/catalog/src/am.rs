@@ -130,6 +130,14 @@ impl Catalog {
         self.operator_classes.insert(class.name.clone(), class);
     }
 
+    /// Removes an operator class (`DROP OPERATOR CLASS`); returns the
+    /// removed class, if any.  Physical indexes built with the class become
+    /// unplannable, so queries over them fall back to sequential scans —
+    /// routing is decided purely by the catalog.
+    pub fn unregister_operator_class(&mut self, name: &str) -> Option<OperatorClass> {
+        self.operator_classes.remove(name)
+    }
+
     /// Looks up an access method by name.
     pub fn access_method(&self, name: &str) -> Option<&AccessMethod> {
         self.access_methods.get(name)

@@ -133,6 +133,9 @@ mod tests {
     fn unselective_index_scan_loses_to_seq_scan() {
         let seq = CostEstimate::seq_scan(&STATS);
         let idx = CostEstimate::index_scan(&STATS, 5_000, 3, 0.9);
-        assert!(idx.total_cost > seq.total_cost, "random I/O makes a 90% scan slower");
+        assert!(
+            idx.total_cost > seq.total_cost,
+            "random I/O makes a 90% scan slower"
+        );
     }
 }

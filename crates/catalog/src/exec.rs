@@ -1,0 +1,965 @@
+//! The executable query layer: plan → cursor → results.
+//!
+//! The planner ([`crate::planner::Planner`]) chooses an [`AccessPath`]; this
+//! module makes that choice *executable*.  A [`Table`] registers heap data
+//! plus physical indexes (any of the five `SpIndex` implementations), derives
+//! the planner's [`AvailableIndex`] statistics automatically from each
+//! index's [`TreeStats`], runs the plan, and then dispatches execution to the
+//! chosen index — or falls back to a heap sequential scan when no registered
+//! operator class supports the predicate.  Results stream through an
+//! [`ExecCursor`] instead of a materialized `Vec`, so callers can stop
+//! pulling early.
+//!
+//! [`Database`] is the top-level facade: a catalog, a shared buffer pool and
+//! a set of named tables — the "many scenarios, one API" surface of the
+//! paper carried to its logical end.
+
+use std::cell::Cell;
+use std::collections::{BTreeMap, HashSet};
+use std::sync::Arc;
+
+use spgist_core::{RowId, TreeStats};
+use spgist_indexes::geom::{Point, Rect, Segment};
+use spgist_indexes::query::{PointQuery, SegmentQuery, StringQuery};
+use spgist_indexes::{
+    KdTreeIndex, PmrQuadtreeIndex, PointQuadtreeIndex, SpIndex, SuffixTreeIndex, TrieIndex,
+};
+use spgist_storage::{BufferPool, Codec, HeapFile, RecordId, StorageError, StorageResult};
+
+use crate::am::Catalog;
+use crate::cost::TableStats;
+use crate::planner::{AccessPath, AvailableIndex, Planner, QueryPredicate};
+
+// ---------------------------------------------------------------------------
+// Typed values and predicates
+// ---------------------------------------------------------------------------
+
+/// Key type of a table column (the `key_type` the catalog's operator
+/// classes are defined over).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KeyType {
+    /// String keys (`VARCHAR`): trie, suffix tree, B⁺-tree classes.
+    Varchar,
+    /// 2-D point keys (`POINT`): kd-tree, point quadtree, R-tree classes.
+    Point,
+    /// Line-segment keys (`SEGMENT`): the PMR-quadtree class.
+    Segment,
+}
+
+impl KeyType {
+    /// Catalog spelling of the type name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            KeyType::Varchar => "VARCHAR",
+            KeyType::Point => "POINT",
+            KeyType::Segment => "SEGMENT",
+        }
+    }
+}
+
+/// A typed value stored in a table's key column.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Datum {
+    /// A string.
+    Text(String),
+    /// A 2-D point.
+    Point(Point),
+    /// A line segment.
+    Segment(Segment),
+}
+
+impl Datum {
+    /// The key type this value belongs to.
+    pub fn key_type(&self) -> KeyType {
+        match self {
+            Datum::Text(_) => KeyType::Varchar,
+            Datum::Point(_) => KeyType::Point,
+            Datum::Segment(_) => KeyType::Segment,
+        }
+    }
+
+    fn encode_record(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Datum::Text(s) => {
+                0u8.encode(&mut out);
+                s.encode(&mut out);
+            }
+            Datum::Point(p) => {
+                1u8.encode(&mut out);
+                p.encode(&mut out);
+            }
+            Datum::Segment(s) => {
+                2u8.encode(&mut out);
+                s.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    fn decode_record(bytes: &[u8]) -> StorageResult<Self> {
+        let mut buf = bytes;
+        match u8::decode(&mut buf)? {
+            0 => Ok(Datum::Text(String::decode(&mut buf)?)),
+            1 => Ok(Datum::Point(Point::decode(&mut buf)?)),
+            2 => Ok(Datum::Segment(Segment::decode(&mut buf)?)),
+            tag => Err(StorageError::Decode(format!("invalid datum tag {tag}"))),
+        }
+    }
+}
+
+impl From<&str> for Datum {
+    fn from(s: &str) -> Self {
+        Datum::Text(s.to_string())
+    }
+}
+
+impl From<String> for Datum {
+    fn from(s: String) -> Self {
+        Datum::Text(s)
+    }
+}
+
+impl From<Point> for Datum {
+    fn from(p: Point) -> Self {
+        Datum::Point(p)
+    }
+}
+
+impl From<Segment> for Datum {
+    fn from(s: Segment) -> Self {
+        Datum::Segment(s)
+    }
+}
+
+/// An executable query predicate: one of the paper's registered operators
+/// applied to a typed argument.
+///
+/// Unlike [`QueryPredicate`] (operator *name* + key type, all the planner
+/// needs), a `Predicate` carries the actual argument, so the executor can
+/// both run it through an index and re-check it against heap tuples on a
+/// sequential scan.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// A predicate over string keys.
+    Str(StringQuery),
+    /// A predicate over point keys.
+    Point(PointQuery),
+    /// A predicate over segment keys.
+    Segment(SegmentQuery),
+}
+
+impl Predicate {
+    /// `=` over strings.
+    pub fn str_equals(word: &str) -> Self {
+        Predicate::Str(StringQuery::Equals(word.to_string()))
+    }
+
+    /// `#=` (prefix) over strings.
+    pub fn str_prefix(prefix: &str) -> Self {
+        Predicate::Str(StringQuery::Prefix(prefix.to_string()))
+    }
+
+    /// `?=` (single-character-wildcard regex) over strings.
+    pub fn str_regex(pattern: &str) -> Self {
+        Predicate::Str(StringQuery::Regex(pattern.to_string()))
+    }
+
+    /// `@=` (substring) over strings.
+    pub fn str_substring(needle: &str) -> Self {
+        Predicate::Str(StringQuery::Substring(needle.to_string()))
+    }
+
+    /// `@` (point equality).
+    pub fn point_equals(point: Point) -> Self {
+        Predicate::Point(PointQuery::Equals(point))
+    }
+
+    /// `^` (point inside box).
+    pub fn point_in_rect(rect: Rect) -> Self {
+        Predicate::Point(PointQuery::InRect(rect))
+    }
+
+    /// `=` over segments.
+    pub fn segment_equals(segment: Segment) -> Self {
+        Predicate::Segment(SegmentQuery::Equals(segment))
+    }
+
+    /// `&&` (segment intersects box — the PMR window query).
+    pub fn segment_in_rect(rect: Rect) -> Self {
+        Predicate::Segment(SegmentQuery::InRect(rect))
+    }
+
+    /// The catalog operator name this predicate maps to, or `None` for
+    /// predicates the set-oriented executor cannot run (nearest-neighbour
+    /// anchors, which need the ordered [`spgist_core::NnIter`] interface).
+    pub fn operator(&self) -> Option<&'static str> {
+        match self {
+            Predicate::Str(StringQuery::Equals(_)) => Some("="),
+            Predicate::Str(StringQuery::Prefix(_)) => Some("#="),
+            Predicate::Str(StringQuery::Regex(_)) => Some("?="),
+            Predicate::Str(StringQuery::Substring(_)) => Some("@="),
+            Predicate::Str(StringQuery::Nearest(_)) => None,
+            Predicate::Point(PointQuery::Equals(_)) => Some("@"),
+            Predicate::Point(PointQuery::InRect(_)) => Some("^"),
+            Predicate::Point(PointQuery::Nearest(_)) => None,
+            Predicate::Segment(SegmentQuery::Equals(_)) => Some("="),
+            Predicate::Segment(SegmentQuery::InRect(_)) => Some("&&"),
+        }
+    }
+
+    /// The key type this predicate applies to.
+    pub fn key_type(&self) -> KeyType {
+        match self {
+            Predicate::Str(_) => KeyType::Varchar,
+            Predicate::Point(_) => KeyType::Point,
+            Predicate::Segment(_) => KeyType::Segment,
+        }
+    }
+
+    /// Straight-line re-check against a heap tuple (the sequential-scan
+    /// filter).  Type-mismatched tuples never match.
+    pub fn matches(&self, datum: &Datum) -> bool {
+        match (self, datum) {
+            (Predicate::Str(q), Datum::Text(s)) => q.matches(s),
+            (Predicate::Point(q), Datum::Point(p)) => q.matches(p),
+            (Predicate::Segment(q), Datum::Segment(s)) => q.matches(s),
+            _ => false,
+        }
+    }
+
+    /// The planner-facing form of this predicate.
+    pub fn to_query_predicate(&self) -> Option<QueryPredicate> {
+        self.operator()
+            .map(|op| QueryPredicate::new(op, self.key_type().name()))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical indexes
+// ---------------------------------------------------------------------------
+
+/// What kind of physical index to build on a table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum IndexSpec {
+    /// Patricia trie (`SP_GiST_trie`, `VARCHAR`).
+    Trie,
+    /// Suffix tree (`SP_GiST_suffix`, `VARCHAR`).
+    SuffixTree,
+    /// kd-tree (`SP_GiST_kdtree`, `POINT`).
+    KdTree,
+    /// Point quadtree (`SP_GiST_pquadtree`, `POINT`).
+    PointQuadtree,
+    /// PMR quadtree over the given world rectangle (`SP_GiST_pmr`,
+    /// `SEGMENT`).
+    PmrQuadtree {
+        /// The world rectangle the quadtree decomposes.
+        world: Rect,
+    },
+}
+
+impl IndexSpec {
+    /// The operator class this physical index is created with.
+    pub fn operator_class(&self) -> &'static str {
+        match self {
+            IndexSpec::Trie => "SP_GiST_trie",
+            IndexSpec::SuffixTree => "SP_GiST_suffix",
+            IndexSpec::KdTree => "SP_GiST_kdtree",
+            IndexSpec::PointQuadtree => "SP_GiST_pquadtree",
+            IndexSpec::PmrQuadtree { .. } => "SP_GiST_pmr",
+        }
+    }
+
+    /// The key type this index can serve.
+    pub fn key_type(&self) -> KeyType {
+        match self {
+            IndexSpec::Trie | IndexSpec::SuffixTree => KeyType::Varchar,
+            IndexSpec::KdTree | IndexSpec::PointQuadtree => KeyType::Point,
+            IndexSpec::PmrQuadtree { .. } => KeyType::Segment,
+        }
+    }
+}
+
+/// One of the five physical index kinds, behind a common dispatch point.
+enum PhysicalIndex {
+    Trie(TrieIndex),
+    Suffix(SuffixTreeIndex),
+    KdTree(KdTreeIndex),
+    Quadtree(PointQuadtreeIndex),
+    Pmr(PmrQuadtreeIndex),
+}
+
+impl PhysicalIndex {
+    fn insert(&mut self, datum: &Datum, row: RowId) -> StorageResult<()> {
+        match (self, datum) {
+            (PhysicalIndex::Trie(ix), Datum::Text(s)) => SpIndex::insert(ix, s.clone(), row),
+            (PhysicalIndex::Suffix(ix), Datum::Text(s)) => SpIndex::insert(ix, s.clone(), row),
+            (PhysicalIndex::KdTree(ix), Datum::Point(p)) => ix.insert(*p, row),
+            (PhysicalIndex::Quadtree(ix), Datum::Point(p)) => ix.insert(*p, row),
+            (PhysicalIndex::Pmr(ix), Datum::Segment(s)) => ix.insert(*s, row),
+            _ => Err(StorageError::Unsupported(
+                "datum type does not match the index key type".into(),
+            )),
+        }
+    }
+
+    fn delete(&mut self, datum: &Datum, row: RowId) -> StorageResult<bool> {
+        match (self, datum) {
+            (PhysicalIndex::Trie(ix), Datum::Text(s)) => SpIndex::delete(ix, s, row),
+            (PhysicalIndex::Suffix(ix), Datum::Text(s)) => SpIndex::delete(ix, s, row),
+            (PhysicalIndex::KdTree(ix), Datum::Point(p)) => ix.delete(p, row),
+            (PhysicalIndex::Quadtree(ix), Datum::Point(p)) => ix.delete(p, row),
+            (PhysicalIndex::Pmr(ix), Datum::Segment(s)) => ix.delete(s, row),
+            _ => Err(StorageError::Unsupported(
+                "datum type does not match the index key type".into(),
+            )),
+        }
+    }
+
+    fn stats(&self) -> StorageResult<TreeStats> {
+        match self {
+            PhysicalIndex::Trie(ix) => ix.stats(),
+            PhysicalIndex::Suffix(ix) => ix.stats(),
+            PhysicalIndex::KdTree(ix) => ix.stats(),
+            PhysicalIndex::Quadtree(ix) => ix.stats(),
+            PhysicalIndex::Pmr(ix) => ix.stats(),
+        }
+    }
+
+    /// Streaming scan through this index for `predicate`, yielding matching
+    /// row ids.  The planner only routes a predicate here when the index's
+    /// operator class supports it, so a type mismatch is a planning bug.
+    fn scan<'t>(
+        &'t self,
+        predicate: &Predicate,
+    ) -> StorageResult<Box<dyn Iterator<Item = StorageResult<RowId>> + 't>> {
+        fn rows<'t, K: 't>(
+            cursor: spgist_indexes::Cursor<'t, K>,
+        ) -> Box<dyn Iterator<Item = StorageResult<RowId>> + 't> {
+            Box::new(cursor.map(|item| item.map(|(_, row)| row)))
+        }
+        match (self, predicate) {
+            (PhysicalIndex::Trie(ix), Predicate::Str(q)) => Ok(rows(ix.cursor(q)?)),
+            (PhysicalIndex::Suffix(ix), Predicate::Str(q)) => Ok(rows(ix.cursor(q)?)),
+            (PhysicalIndex::KdTree(ix), Predicate::Point(q)) => Ok(rows(ix.cursor(q)?)),
+            (PhysicalIndex::Quadtree(ix), Predicate::Point(q)) => Ok(rows(ix.cursor(q)?)),
+            (PhysicalIndex::Pmr(ix), Predicate::Segment(q)) => Ok(rows(ix.cursor(q)?)),
+            _ => Err(StorageError::Unsupported(
+                "planner routed a predicate to an index of a different key type".into(),
+            )),
+        }
+    }
+}
+
+struct NamedIndex {
+    name: String,
+    spec: IndexSpec,
+    index: PhysicalIndex,
+    /// Memoized planner statistics `(pages, page_height)`.  Deriving them
+    /// from [`TreeStats`] walks the whole tree, so the result is cached
+    /// until the next write invalidates it — planning a query must not cost
+    /// more than running it.
+    cached_stats: Cell<Option<(u64, u32)>>,
+}
+
+impl NamedIndex {
+    fn planner_stats(&self) -> StorageResult<(u64, u32)> {
+        if let Some(cached) = self.cached_stats.get() {
+            return Ok(cached);
+        }
+        let stats = self.index.stats()?;
+        let derived = (stats.pages, stats.max_page_height);
+        self.cached_stats.set(Some(derived));
+        Ok(derived)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Execution cursors
+// ---------------------------------------------------------------------------
+
+/// Where an [`ExecCursor`]'s rows actually come from — recorded at dispatch
+/// time, so tests can prove the planner's chosen index is the one scanned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScanSource {
+    /// Heap sequential scan with a per-tuple predicate re-check.
+    Heap,
+    /// Scan through the named physical index.
+    Index {
+        /// Name of the index being scanned.
+        name: String,
+    },
+}
+
+/// A streaming query result: `(row id, key datum)` pairs pulled lazily from
+/// the chosen access path.
+pub struct ExecCursor<'t> {
+    path: AccessPath,
+    source: ScanSource,
+    inner: Box<dyn Iterator<Item = StorageResult<(RowId, Datum)>> + 't>,
+}
+
+impl ExecCursor<'_> {
+    /// The access path the planner chose for this query.
+    pub fn path(&self) -> &AccessPath {
+        &self.path
+    }
+
+    /// The access path actually being scanned.
+    pub fn source(&self) -> &ScanSource {
+        &self.source
+    }
+
+    /// Drains the cursor into the row ids of every match.
+    pub fn rows(self) -> StorageResult<Vec<RowId>> {
+        self.map(|item| item.map(|(row, _)| row)).collect()
+    }
+}
+
+impl Iterator for ExecCursor<'_> {
+    type Item = StorageResult<(RowId, Datum)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+}
+
+impl std::fmt::Debug for ExecCursor<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecCursor")
+            .field("path", &self.path)
+            .field("source", &self.source)
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Table
+// ---------------------------------------------------------------------------
+
+/// A heap-backed table with one typed key column and any number of physical
+/// indexes over it.
+pub struct Table {
+    name: String,
+    key_type: KeyType,
+    pool: Arc<BufferPool>,
+    heap: HeapFile,
+    /// Row id → heap record (None once deleted).  Row ids are dense and
+    /// assigned in insertion order, like the paper's heap tuple pointers.
+    rows: Vec<Option<RecordId>>,
+    live_rows: u64,
+    /// Encoded key values seen on insert, for the planner's `distinct_values`
+    /// statistic (deletions are not subtracted — statistics, not truth).
+    distinct: HashSet<Vec<u8>>,
+    indexes: Vec<NamedIndex>,
+}
+
+impl Table {
+    /// Creates an empty table whose heap pages come from `pool`.
+    pub fn create(name: &str, key_type: KeyType, pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Ok(Table {
+            name: name.to_string(),
+            key_type,
+            heap: HeapFile::create(Arc::clone(&pool))?,
+            pool,
+            rows: Vec::new(),
+            live_rows: 0,
+            distinct: HashSet::new(),
+            indexes: Vec::new(),
+        })
+    }
+
+    /// The table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The key type of the table's indexed column.
+    pub fn key_type(&self) -> KeyType {
+        self.key_type
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> u64 {
+        self.live_rows
+    }
+
+    /// True if the table holds no live rows.
+    pub fn is_empty(&self) -> bool {
+        self.live_rows == 0
+    }
+
+    /// Inserts a key value, returning its row id.  The value is appended to
+    /// the heap and inserted into every registered index.
+    pub fn insert(&mut self, datum: impl Into<Datum>) -> StorageResult<RowId> {
+        let datum = datum.into();
+        if datum.key_type() != self.key_type {
+            return Err(StorageError::Unsupported(format!(
+                "cannot insert a {} value into table {:?} of type {}",
+                datum.key_type().name(),
+                self.name,
+                self.key_type.name()
+            )));
+        }
+        let record = datum.encode_record();
+        let rid = self.heap.insert(&record)?;
+        let row = self.rows.len() as RowId;
+        self.rows.push(Some(rid));
+        self.live_rows += 1;
+        self.distinct.insert(record);
+        for named in &mut self.indexes {
+            named.index.insert(&datum, row)?;
+            named.cached_stats.set(None);
+        }
+        Ok(row)
+    }
+
+    /// Deletes the row, removing it from the heap and every index; returns
+    /// whether the row existed.
+    pub fn delete(&mut self, row: RowId) -> StorageResult<bool> {
+        let Some(slot) = self.rows.get_mut(row as usize) else {
+            return Ok(false);
+        };
+        let Some(rid) = slot.take() else {
+            return Ok(false);
+        };
+        let datum = Datum::decode_record(&self.heap.get(rid)?)?;
+        self.heap.delete(rid)?;
+        self.live_rows -= 1;
+        for named in &mut self.indexes {
+            named.index.delete(&datum, row)?;
+            named.cached_stats.set(None);
+        }
+        Ok(true)
+    }
+
+    /// Reads the key value of a live row.
+    pub fn datum(&self, row: RowId) -> StorageResult<Datum> {
+        let rid = self
+            .rows
+            .get(row as usize)
+            .copied()
+            .flatten()
+            .ok_or_else(|| StorageError::Unsupported(format!("row {row} does not exist")))?;
+        Datum::decode_record(&self.heap.get(rid)?)
+    }
+
+    /// Builds a physical index described by `spec`, backfilling it from the
+    /// existing heap rows (`CREATE INDEX`).
+    pub fn create_index(&mut self, name: &str, spec: IndexSpec) -> StorageResult<()> {
+        if spec.key_type() != self.key_type {
+            return Err(StorageError::Unsupported(format!(
+                "index {name:?} ({}) cannot serve table {:?} of type {}",
+                spec.key_type().name(),
+                self.name,
+                self.key_type.name()
+            )));
+        }
+        if self.indexes.iter().any(|i| i.name == name) {
+            return Err(StorageError::Unsupported(format!(
+                "index {name:?} already exists on table {:?}",
+                self.name
+            )));
+        }
+        let pool = Arc::clone(&self.pool);
+        let mut index = match spec {
+            IndexSpec::Trie => PhysicalIndex::Trie(TrieIndex::create(pool)?),
+            IndexSpec::SuffixTree => PhysicalIndex::Suffix(SuffixTreeIndex::create(pool)?),
+            IndexSpec::KdTree => PhysicalIndex::KdTree(KdTreeIndex::create(pool)?),
+            IndexSpec::PointQuadtree => PhysicalIndex::Quadtree(PointQuadtreeIndex::create(pool)?),
+            IndexSpec::PmrQuadtree { world } => {
+                PhysicalIndex::Pmr(PmrQuadtreeIndex::create(pool, world)?)
+            }
+        };
+        for row in 0..self.rows.len() as RowId {
+            if self.rows[row as usize].is_some() {
+                let datum = self.datum(row)?;
+                index.insert(&datum, row)?;
+            }
+        }
+        self.indexes.push(NamedIndex {
+            name: name.to_string(),
+            spec,
+            index,
+            cached_stats: Cell::new(None),
+        });
+        Ok(())
+    }
+
+    /// Drops a physical index; returns whether it existed.
+    pub fn drop_index(&mut self, name: &str) -> bool {
+        let before = self.indexes.len();
+        self.indexes.retain(|i| i.name != name);
+        self.indexes.len() < before
+    }
+
+    /// Names of the physical indexes on this table.
+    pub fn index_names(&self) -> Vec<&str> {
+        self.indexes.iter().map(|i| i.name.as_str()).collect()
+    }
+
+    /// Planner statistics of the heap (the `pg_class` analog).
+    pub fn table_stats(&self) -> TableStats {
+        TableStats {
+            rows: self.live_rows,
+            heap_pages: (self.heap.page_count() as u64).max(1),
+            distinct_values: self.distinct.len() as u64,
+        }
+    }
+
+    /// The planner's view of the physical indexes, derived automatically
+    /// from each index's measured [`TreeStats`] (memoized between writes).
+    pub fn available_indexes(&self) -> StorageResult<Vec<AvailableIndex>> {
+        self.indexes
+            .iter()
+            .map(|named| {
+                let (pages, page_height) = named.planner_stats()?;
+                Ok(AvailableIndex {
+                    name: named.name.clone(),
+                    operator_class: named.spec.operator_class().to_string(),
+                    pages,
+                    page_height,
+                })
+            })
+            .collect()
+    }
+
+    /// Plans `predicate` against this table (choosing index scan vs
+    /// sequential scan) without executing it (`EXPLAIN`).
+    pub fn plan(&self, catalog: &Catalog, predicate: &Predicate) -> StorageResult<AccessPath> {
+        if predicate.key_type() != self.key_type {
+            return Err(StorageError::Unsupported(format!(
+                "predicate over {} cannot run on table {:?} of type {}",
+                predicate.key_type().name(),
+                self.name,
+                self.key_type.name()
+            )));
+        }
+        let Some(query) = predicate.to_query_predicate() else {
+            return Err(StorageError::Unsupported(
+                "nearest-neighbour predicates need the ordered NN interface, \
+                 not the set-oriented executor"
+                    .into(),
+            ));
+        };
+        let planner = Planner::new(catalog);
+        Ok(planner.plan(&query, &self.table_stats(), &self.available_indexes()?))
+    }
+
+    /// Plans and executes `predicate`, returning a streaming cursor over the
+    /// matching `(row id, key)` pairs.
+    ///
+    /// The dispatch is driven entirely by the planner's choice: an
+    /// [`AccessPath::IndexScan`] pulls from the named physical index (keys
+    /// are still resolved through the heap, so results are identical across
+    /// access paths); an [`AccessPath::SeqScan`] walks the heap and
+    /// re-checks the predicate on every tuple.
+    pub fn query<'t>(
+        &'t self,
+        catalog: &Catalog,
+        predicate: &Predicate,
+    ) -> StorageResult<ExecCursor<'t>> {
+        let path = self.plan(catalog, predicate)?;
+        match &path {
+            AccessPath::IndexScan { index, .. } => {
+                let named = self
+                    .indexes
+                    .iter()
+                    .find(|i| i.name == *index)
+                    .ok_or_else(|| {
+                        StorageError::Unsupported(format!("planner chose unknown index {index:?}"))
+                    })?;
+                let rows = named.index.scan(predicate)?;
+                let inner = rows.map(move |item| {
+                    item.and_then(|row| self.datum(row).map(|datum| (row, datum)))
+                });
+                Ok(ExecCursor {
+                    source: ScanSource::Index {
+                        name: named.name.clone(),
+                    },
+                    path,
+                    inner: Box::new(inner),
+                })
+            }
+            AccessPath::SeqScan { .. } => {
+                let predicate = predicate.clone();
+                let inner = (0..self.rows.len() as RowId).filter_map(move |row| {
+                    self.rows[row as usize]?;
+                    match self.datum(row) {
+                        Err(e) => Some(Err(e)),
+                        Ok(datum) if predicate.matches(&datum) => Some(Ok((row, datum))),
+                        Ok(_) => None,
+                    }
+                });
+                Ok(ExecCursor {
+                    source: ScanSource::Heap,
+                    path,
+                    inner: Box::new(inner),
+                })
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Table")
+            .field("name", &self.name)
+            .field("key_type", &self.key_type)
+            .field("rows", &self.live_rows)
+            .field("indexes", &self.index_names())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Database
+// ---------------------------------------------------------------------------
+
+/// The top-level facade: a catalog, a shared buffer pool and named tables.
+///
+/// ```
+/// use spgist_catalog::exec::{Database, IndexSpec, KeyType, Predicate};
+///
+/// let mut db = Database::in_memory();
+/// db.create_table("words", KeyType::Varchar).unwrap();
+/// let table = db.table_mut("words").unwrap();
+/// table.insert("space").unwrap();
+/// table.insert("spade").unwrap();
+/// table.create_index("words_trie", IndexSpec::Trie).unwrap();
+/// let rows = db
+///     .query("words", &Predicate::str_prefix("sp"))
+///     .unwrap()
+///     .rows()
+///     .unwrap();
+/// assert_eq!(rows.len(), 2);
+/// ```
+pub struct Database {
+    catalog: Catalog,
+    pool: Arc<BufferPool>,
+    tables: BTreeMap<String, Table>,
+}
+
+impl Database {
+    /// A database on an in-memory buffer pool with the paper's catalog
+    /// registrations.
+    pub fn in_memory() -> Self {
+        Self::with_pool(BufferPool::in_memory())
+    }
+
+    /// A database over an explicit buffer pool (e.g. file-backed).
+    pub fn with_pool(pool: Arc<BufferPool>) -> Self {
+        Database {
+            catalog: Catalog::with_paper_defaults(),
+            pool,
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// The system catalog (access methods and operator classes).
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable catalog access — registering or dropping operator classes
+    /// changes how subsequent queries are routed, without touching any
+    /// physical index.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Creates an empty table with the given key type.
+    pub fn create_table(&mut self, name: &str, key_type: KeyType) -> StorageResult<()> {
+        if self.tables.contains_key(name) {
+            return Err(StorageError::Unsupported(format!(
+                "table {name:?} already exists"
+            )));
+        }
+        let table = Table::create(name, key_type, Arc::clone(&self.pool))?;
+        self.tables.insert(name.to_string(), table);
+        Ok(())
+    }
+
+    /// Looks up a table.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(name)
+    }
+
+    /// Looks up a table for modification.
+    pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
+        self.tables.get_mut(name)
+    }
+
+    fn table_or_err(&self, name: &str) -> StorageResult<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::Unsupported(format!("no table named {name:?}")))
+    }
+
+    /// Plans `predicate` against the named table (`EXPLAIN`).
+    pub fn plan(&self, table: &str, predicate: &Predicate) -> StorageResult<AccessPath> {
+        self.table_or_err(table)?.plan(&self.catalog, predicate)
+    }
+
+    /// Plans and executes `predicate` against the named table, returning a
+    /// streaming cursor.
+    pub fn query<'d>(
+        &'d self,
+        table: &str,
+        predicate: &Predicate,
+    ) -> StorageResult<ExecCursor<'d>> {
+        self.table_or_err(table)?.query(&self.catalog, predicate)
+    }
+}
+
+impl std::fmt::Debug for Database {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Database")
+            .field("tables", &self.tables.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn word_table(n: usize) -> Database {
+        let mut db = Database::in_memory();
+        db.create_table("words", KeyType::Varchar).unwrap();
+        let table = db.table_mut("words").unwrap();
+        for i in 0..n {
+            // Deterministic five-letter words over a small alphabet.
+            let mut word = String::new();
+            let mut v = i;
+            for _ in 0..5 {
+                word.push(char::from(b'a' + (v % 7) as u8));
+                v /= 7;
+            }
+            table.insert(word).unwrap();
+        }
+        db
+    }
+
+    #[test]
+    fn seq_scan_answers_queries_without_any_index() {
+        let db = word_table(500);
+        let cursor = db.query("words", &Predicate::str_prefix("ab")).unwrap();
+        assert_eq!(cursor.source(), &ScanSource::Heap);
+        let rows = cursor.rows().unwrap();
+        assert!(!rows.is_empty());
+        for &row in &rows {
+            let Datum::Text(word) = db.table("words").unwrap().datum(row).unwrap() else {
+                panic!("non-text datum in a varchar table");
+            };
+            assert!(word.starts_with("ab"));
+        }
+    }
+
+    #[test]
+    fn index_scan_and_seq_scan_return_identical_rows() {
+        let mut db = word_table(4000);
+        // Plan before the index exists: sequential scan.
+        let seq_rows = {
+            let cursor = db.query("words", &Predicate::str_regex("a?a?a")).unwrap();
+            assert_eq!(cursor.source(), &ScanSource::Heap);
+            let mut rows = cursor.rows().unwrap();
+            rows.sort_unstable();
+            rows
+        };
+        db.table_mut("words")
+            .unwrap()
+            .create_index("words_trie", IndexSpec::Trie)
+            .unwrap();
+        let cursor = db.query("words", &Predicate::str_regex("a?a?a")).unwrap();
+        assert_eq!(
+            cursor.source(),
+            &ScanSource::Index {
+                name: "words_trie".into()
+            },
+            "a selective regex over 4000 rows must route to the trie"
+        );
+        let mut idx_rows = cursor.rows().unwrap();
+        idx_rows.sort_unstable();
+        assert_eq!(idx_rows, seq_rows);
+        assert!(!idx_rows.is_empty());
+    }
+
+    #[test]
+    fn create_index_backfills_existing_rows() {
+        let mut db = word_table(3000);
+        db.table_mut("words")
+            .unwrap()
+            .create_index("words_trie", IndexSpec::Trie)
+            .unwrap();
+        let available = db.table("words").unwrap().available_indexes().unwrap();
+        assert_eq!(available.len(), 1);
+        assert_eq!(available[0].operator_class, "SP_GiST_trie");
+        assert!(
+            available[0].pages > 0,
+            "stats must come from the built tree"
+        );
+        assert!(available[0].page_height > 0);
+    }
+
+    #[test]
+    fn table_delete_removes_the_row_from_heap_and_indexes() {
+        let mut db = word_table(2000);
+        db.table_mut("words")
+            .unwrap()
+            .create_index("words_trie", IndexSpec::Trie)
+            .unwrap();
+        let probe = {
+            let Datum::Text(w) = db.table("words").unwrap().datum(123).unwrap() else {
+                panic!("non-text datum");
+            };
+            w
+        };
+        let before = db
+            .query("words", &Predicate::str_equals(&probe))
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert!(before.contains(&123));
+        assert!(db.table_mut("words").unwrap().delete(123).unwrap());
+        assert!(!db.table_mut("words").unwrap().delete(123).unwrap());
+        let after = db
+            .query("words", &Predicate::str_equals(&probe))
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert!(!after.contains(&123));
+    }
+
+    #[test]
+    fn type_mismatches_are_rejected_not_panicked() {
+        let mut db = word_table(10);
+        let table = db.table_mut("words").unwrap();
+        assert!(table.insert(Point::new(1.0, 2.0)).is_err());
+        assert!(table.create_index("kd", IndexSpec::KdTree).is_err());
+        assert!(db
+            .plan("words", &Predicate::point_equals(Point::new(1.0, 2.0)))
+            .is_err());
+        assert!(db.query("missing", &Predicate::str_equals("x")).is_err());
+        // NN predicates need the ordered interface.
+        assert!(db
+            .plan("words", &Predicate::Str(StringQuery::Nearest("abc".into())))
+            .is_err());
+    }
+
+    #[test]
+    fn cursor_streams_lazily() {
+        let mut db = word_table(3000);
+        db.table_mut("words")
+            .unwrap()
+            .create_index("words_trie", IndexSpec::Trie)
+            .unwrap();
+        let mut cursor = db.query("words", &Predicate::str_prefix("a")).unwrap();
+        // Pulling a single item must work without draining the cursor.
+        let first = cursor.next().unwrap().unwrap();
+        let Datum::Text(word) = first.1 else {
+            panic!("non-text datum");
+        };
+        assert!(word.starts_with('a'));
+    }
+}

@@ -12,17 +12,24 @@
 //! * [`cost::CostEstimate`] and [`planner::Planner`] — the
 //!   `spgistcostestimate` analog: selectivity estimation per operator
 //!   (`eqsel`, `contsel`, `likesel`) and an index-vs-sequential-scan choice
-//!   based on estimated page reads.
+//!   based on estimated page reads,
+//! * [`exec::Database`] / [`exec::Table`] — the executable query layer on
+//!   top of the planner: heap storage plus physical indexes behind one
+//!   `query(predicate)` entry point that plans, dispatches to the chosen
+//!   index (or falls back to a sequential scan) and streams results through
+//!   an [`exec::ExecCursor`].
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
 pub mod am;
 pub mod cost;
+pub mod exec;
 pub mod operator;
 pub mod planner;
 
 pub use am::{AccessMethod, Catalog};
 pub use cost::{CostEstimate, Selectivity, TableStats};
+pub use exec::{Database, Datum, ExecCursor, IndexSpec, KeyType, Predicate, ScanSource, Table};
 pub use operator::{Operator, OperatorClass, Strategy, SupportFunction};
-pub use planner::{AccessPath, Planner, QueryPredicate};
+pub use planner::{AccessPath, AvailableIndex, Planner, QueryPredicate};

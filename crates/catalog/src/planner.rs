@@ -8,7 +8,6 @@
 
 use crate::am::Catalog;
 use crate::cost::{CostEstimate, TableStats};
-use crate::operator::OperatorClass;
 
 /// A query predicate: an operator name applied to an indexed column type.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,15 +97,16 @@ impl<'a> Planner<'a> {
             let Some(class) = self.catalog.operator_class(&index.operator_class) else {
                 continue;
             };
-            if !self.class_supports(class, predicate) {
+            // One lookup doubles as the support check; an index whose class
+            // lacks the operator is simply not a candidate (no panic path).
+            if class.key_type != predicate.key_type {
                 continue;
             }
-            let operator = class
-                .operator(&predicate.operator)
-                .expect("class_supports checked the operator exists");
+            let Some(operator) = class.operator(&predicate.operator) else {
+                continue;
+            };
             let selectivity = operator.restrict.estimate(stats.distinct_values);
-            let cost =
-                CostEstimate::index_scan(stats, index.pages, index.page_height, selectivity);
+            let cost = CostEstimate::index_scan(stats, index.pages, index.page_height, selectivity);
             if cost.total_cost < best.total_cost() {
                 best = AccessPath::IndexScan {
                     index: index.name.clone(),
@@ -116,10 +116,6 @@ impl<'a> Planner<'a> {
             }
         }
         best
-    }
-
-    fn class_supports(&self, class: &OperatorClass, predicate: &QueryPredicate) -> bool {
-        class.key_type == predicate.key_type && class.operator(&predicate.operator).is_some()
     }
 }
 

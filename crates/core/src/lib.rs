@@ -53,8 +53,8 @@
 #![warn(rust_2018_idioms)]
 
 pub mod config;
-pub mod node;
 pub mod nn;
+pub mod node;
 pub mod ops;
 pub mod stats;
 pub mod store;
@@ -62,12 +62,12 @@ pub mod testing;
 pub mod tree;
 
 pub use config::{ClusteringPolicy, NodeShrink, PathShrink, SpGistConfig};
-pub use node::{Node, NodeId};
 pub use nn::NnIter;
+pub use node::{Node, NodeId};
 pub use ops::{Choose, PickSplit, SpGistOps};
 pub use stats::TreeStats;
 pub use store::NodeStore;
-pub use tree::SpGistTree;
+pub use tree::{SearchCursor, SpGistTree};
 
 /// Row identifier stored alongside every key in leaf nodes — the analog of a
 /// PostgreSQL heap tuple pointer.

@@ -59,7 +59,7 @@ impl<Prefix, Pred> PickSplit<Prefix, Pred> {
             && self
                 .partitions
                 .first()
-                .map_or(true, |(_, items)| items.len() >= input_len)
+                .is_none_or(|(_, items)| items.len() >= input_len)
     }
 }
 
@@ -205,7 +205,10 @@ mod tests {
             prefix: Some("ab".to_string()),
             partitions: vec![(b'a', vec![0, 1, 2])],
         };
-        assert!(!with_prefix.is_degenerate(3), "consuming a prefix is progress");
+        assert!(
+            !with_prefix.is_degenerate(3),
+            "consuming a prefix is progress"
+        );
 
         let real_split: PickSplit<String, u8> = PickSplit {
             prefix: None,

@@ -19,7 +19,9 @@
 
 use std::sync::Arc;
 
-use spgist_storage::{BufferPool, PageId, StorageResult, PAGE_SIZE};
+use spgist_storage::{
+    BufferPool, Codec, PageId, StorageError, StorageResult, MAX_RECORD_SIZE, PAGE_SIZE,
+};
 
 use crate::config::ClusteringPolicy;
 use crate::node::{Node, NodeId};
@@ -28,6 +30,59 @@ use crate::ops::SpGistOps;
 /// Number of partially filled pages the store keeps as candidates for new
 /// node placement.
 const OPEN_PAGE_LIMIT: usize = 16;
+
+/// Record-header tags.  Every node record starts with one byte saying how
+/// the node's bytes are laid out.
+///
+/// A node is usually far smaller than a page, but a data node full of
+/// duplicate keys (rampant in the suffix tree, where short suffixes repeat
+/// across thousands of words) cannot be decomposed by `PickSplit` and may
+/// outgrow a page.  Such nodes are spilled transparently across a chain of
+/// records — the TOAST idea scaled down to tree nodes — so the internal
+/// methods never see a size limit.
+const TAG_INLINE: u8 = 0;
+const TAG_CHAIN_HEAD: u8 = 1;
+const TAG_CHAIN_CONT: u8 = 2;
+
+/// Per-record header overhead: tag byte + continuation pointer
+/// (page `u32` + slot `u16`).
+const CHAIN_HEADER: usize = 7;
+
+/// Largest node-byte payload a single record can carry.  Slack is reserved
+/// below the hard record limit because dead slot-directory entries are never
+/// reclaimed: a full-size chunk would stop fitting on a page after a single
+/// free/reallocate cycle, defeating space reuse.
+const MAX_CHUNK: usize = MAX_RECORD_SIZE - CHAIN_HEADER - 256;
+
+/// Continuation pointer marking the end of a chain.
+const CHAIN_END: NodeId = NodeId {
+    page: u32::MAX,
+    slot: u16::MAX,
+};
+
+fn encode_chain_record(tag: u8, next: NodeId, chunk: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(CHAIN_HEADER + chunk.len());
+    tag.encode(&mut out);
+    next.page.encode(&mut out);
+    next.slot.encode(&mut out);
+    out.extend_from_slice(chunk);
+    out
+}
+
+fn encode_inline_record(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + bytes.len());
+    TAG_INLINE.encode(&mut out);
+    out.extend_from_slice(bytes);
+    out
+}
+
+/// Decodes the continuation pointer of a chain record, returning it along
+/// with the record's payload chunk.
+fn decode_chain_rest(mut buf: &[u8]) -> StorageResult<(NodeId, &[u8])> {
+    let page = u32::decode(&mut buf)?;
+    let slot = u16::decode(&mut buf)?;
+    Ok((NodeId::new(page, slot), buf))
+}
 
 /// Maps tree nodes onto slotted pages obtained from a [`BufferPool`].
 pub struct NodeStore {
@@ -84,21 +139,117 @@ impl NodeStore {
         Ok(used as f64 / (self.pages.len() * PAGE_SIZE) as f64)
     }
 
-    /// Reads and decodes the node at `id`.
+    /// Reads and decodes the node at `id`, reassembling spilled chains
+    /// transparently.
     pub fn read<O: SpGistOps>(&self, id: NodeId) -> StorageResult<Node<O>> {
-        self.pool
-            .with_page(id.page, |p| p.get(id.slot).map(Node::<O>::decode))??
+        let record = self
+            .pool
+            .with_page(id.page, |p| p.get(id.slot).map(<[u8]>::to_vec))??;
+        let mut buf = record.as_slice();
+        match u8::decode(&mut buf)? {
+            TAG_INLINE => Node::decode(buf),
+            TAG_CHAIN_HEAD => {
+                let (next, chunk) = decode_chain_rest(buf)?;
+                let mut bytes = chunk.to_vec();
+                let mut cursor = next;
+                while cursor != CHAIN_END {
+                    let record = self
+                        .pool
+                        .with_page(cursor.page, |p| p.get(cursor.slot).map(<[u8]>::to_vec))??;
+                    let mut buf = record.as_slice();
+                    if u8::decode(&mut buf)? != TAG_CHAIN_CONT {
+                        return Err(StorageError::Corrupt(
+                            "chain continuation record has the wrong tag".into(),
+                        ));
+                    }
+                    let (next, chunk) = decode_chain_rest(buf)?;
+                    bytes.extend_from_slice(chunk);
+                    cursor = next;
+                }
+                Node::decode(&bytes)
+            }
+            tag => Err(StorageError::Corrupt(format!(
+                "node record has unexpected tag {tag}"
+            ))),
+        }
     }
 
     /// Places a brand-new node, preferring the page `near` according to the
-    /// clustering policy.  Returns the node's address.
+    /// clustering policy.  Nodes larger than a page spill across a record
+    /// chain.  Returns the node's address.
     pub fn allocate<O: SpGistOps>(
         &mut self,
         node: &Node<O>,
         near: Option<PageId>,
     ) -> StorageResult<NodeId> {
         let bytes = node.encode();
-        self.place(&bytes, near)
+        let record = self.encode_node_record(&bytes)?;
+        self.place(&record, near)
+    }
+
+    /// Encodes node bytes into the record written at the node's address:
+    /// inline when they fit a single record, otherwise a chain head whose
+    /// continuation records are placed as a side effect.
+    fn encode_node_record(&mut self, bytes: &[u8]) -> StorageResult<Vec<u8>> {
+        if bytes.len() < MAX_RECORD_SIZE {
+            return Ok(encode_inline_record(bytes));
+        }
+        let next = self.place_continuations(bytes)?;
+        Ok(encode_chain_record(
+            TAG_CHAIN_HEAD,
+            next,
+            &bytes[..MAX_CHUNK],
+        ))
+    }
+
+    /// Writes every chunk of `bytes` past the first into continuation
+    /// records (tail-first, so each record knows its successor) and returns
+    /// the id of the first continuation.
+    fn place_continuations(&mut self, bytes: &[u8]) -> StorageResult<NodeId> {
+        let mut next = CHAIN_END;
+        let mut chunks: Vec<&[u8]> = bytes[MAX_CHUNK..].chunks(MAX_CHUNK).collect();
+        while let Some(chunk) = chunks.pop() {
+            let record = encode_chain_record(TAG_CHAIN_CONT, next, chunk);
+            next = self.place(&record, None)?;
+        }
+        Ok(next)
+    }
+
+    /// Frees the continuation records of the chain starting at `id`, which
+    /// must be a chain head or an inline record (the head itself is kept).
+    fn free_continuations(&mut self, id: NodeId) -> StorageResult<()> {
+        let start = self.continuation_of(id)?;
+        self.free_chain_from(start)
+    }
+
+    /// Frees every continuation record from `cursor` to the end of a chain.
+    fn free_chain_from(&mut self, mut cursor: NodeId) -> StorageResult<()> {
+        while cursor != CHAIN_END {
+            let record = self
+                .pool
+                .with_page(cursor.page, |p| p.get(cursor.slot).map(<[u8]>::to_vec))??;
+            let mut buf = record.as_slice();
+            u8::decode(&mut buf)?;
+            let (next, _) = decode_chain_rest(buf)?;
+            self.pool
+                .with_page_mut(cursor.page, |p| p.delete(cursor.slot))??;
+            self.note_open_page(cursor.page);
+            cursor = next;
+        }
+        Ok(())
+    }
+
+    /// The first continuation record of `id`, or [`CHAIN_END`] for inline
+    /// records.
+    fn continuation_of(&self, id: NodeId) -> StorageResult<NodeId> {
+        let record = self
+            .pool
+            .with_page(id.page, |p| p.get(id.slot).map(<[u8]>::to_vec))??;
+        let mut buf = record.as_slice();
+        match u8::decode(&mut buf)? {
+            TAG_CHAIN_HEAD => Ok(decode_chain_rest(buf)?.0),
+            _ => Ok(CHAIN_END),
+        }
     }
 
     /// Rewrites the node at `id` in place when possible.  If the new encoding
@@ -111,25 +262,53 @@ impl NodeStore {
         node: &Node<O>,
         near: Option<PageId>,
     ) -> StorageResult<Option<NodeId>> {
+        // Any previous spill chain is rewritten wholesale; in-place reuse of
+        // continuation records is not worth the bookkeeping.
+        self.free_continuations(id)?;
         let bytes = node.encode();
+        let record = self.encode_node_record(&bytes)?;
         let updated = self
             .pool
-            .with_page_mut(id.page, |p| p.update(id.slot, &bytes))??;
+            .with_page_mut(id.page, |p| p.update(id.slot, &record))??;
         if updated {
             return Ok(None);
         }
+        // A node shrinking out of chain format can still miss the in-place
+        // window: an inline record is up to CHAIN_HEADER-1 bytes *larger*
+        // than the chain head it replaces, and the head's page may have no
+        // slack.  Deletion call sites rely on shrinking updates never
+        // relocating (they do not know the parent pointer), so retry in
+        // chain format — the head record is capped at the old head's size,
+        // and `read` handles an immediate CHAIN_END.
+        if record.first() == Some(&TAG_INLINE) {
+            let head_len = bytes.len().min(MAX_CHUNK);
+            let next = if bytes.len() > MAX_CHUNK {
+                self.place_continuations(&bytes)?
+            } else {
+                CHAIN_END
+            };
+            let chain_head = encode_chain_record(TAG_CHAIN_HEAD, next, &bytes[..head_len]);
+            let updated = self
+                .pool
+                .with_page_mut(id.page, |p| p.update(id.slot, &chain_head))??;
+            if updated {
+                return Ok(None);
+            }
+            // The retry failed too; reclaim its continuations before
+            // relocating the inline record.
+            self.free_chain_from(next)?;
+        }
         // Relocate: delete the old record and place the node elsewhere.
-        self.pool
-            .with_page_mut(id.page, |p| p.delete(id.slot))??;
+        self.pool.with_page_mut(id.page, |p| p.delete(id.slot))??;
         self.note_open_page(id.page);
-        let new_id = self.place(&bytes, near)?;
+        let new_id = self.place(&record, near)?;
         Ok(Some(new_id))
     }
 
-    /// Deletes the node record at `id`.
+    /// Deletes the node record at `id` (and its spill chain, if any).
     pub fn free(&mut self, id: NodeId) -> StorageResult<()> {
-        self.pool
-            .with_page_mut(id.page, |p| p.delete(id.slot))??;
+        self.free_continuations(id)?;
+        self.pool.with_page_mut(id.page, |p| p.delete(id.slot))??;
         self.note_open_page(id.page);
         Ok(())
     }
@@ -174,14 +353,17 @@ impl NodeStore {
         Ok(page)
     }
 
-    /// Places `node` in the given page; the caller guarantees it fits.
+    /// Places `node` in the given page; the caller guarantees the page has
+    /// room for it (oversized nodes spill their tail into a chain, with only
+    /// the head record in `page`).
     pub fn allocate_in_page<O: SpGistOps>(
         &mut self,
         node: &Node<O>,
         page: PageId,
     ) -> StorageResult<NodeId> {
         let bytes = node.encode();
-        let slot = self.pool.with_page_mut(page, |p| p.insert(&bytes))??;
+        let record = self.encode_node_record(&bytes)?;
+        let slot = self.pool.with_page_mut(page, |p| p.insert(&record))??;
         Ok(NodeId::new(page, slot))
     }
 
@@ -198,7 +380,18 @@ impl NodeStore {
     fn try_place_in(&self, page: PageId, bytes: &[u8]) -> StorageResult<Option<NodeId>> {
         let fits = self.pool.with_page(page, |p| p.fits(bytes.len()))?;
         if !fits {
-            return Ok(None);
+            // Deleted records leave dead space that only compaction
+            // reclaims; compact opportunistically when it could make room
+            // (slot ids survive compaction, so node addresses stay valid).
+            let compacted = self.pool.with_page_mut(page, |p| {
+                if p.num_live_records() < p.num_slots() {
+                    p.compact();
+                }
+                p.fits(bytes.len())
+            })?;
+            if !compacted {
+                return Ok(None);
+            }
         }
         let slot = self.pool.with_page_mut(page, |p| p.insert(bytes))??;
         Ok(Some(NodeId::new(page, slot)))
@@ -263,7 +456,10 @@ mod tests {
                 same_page += 1;
             }
         }
-        assert_eq!(same_page, 10, "small children should share the parent's page");
+        assert_eq!(
+            same_page, 10,
+            "small children should share the parent's page"
+        );
         assert_eq!(store.page_count(), 1);
     }
 
@@ -343,6 +539,78 @@ mod tests {
             store.allocate(&leaf(8), None).unwrap();
         }
         store
+    }
+
+    #[test]
+    fn oversized_nodes_spill_across_a_record_chain() {
+        let mut store = store(ClusteringPolicy::ParentFirst);
+        // ~40 KB of items: several continuation records.
+        let huge = leaf(3500);
+        assert!(
+            huge.encode().len() > 4 * PAGE_SIZE,
+            "test node must be oversized"
+        );
+        let id = store.allocate(&huge, None).unwrap();
+        let read: TestNode = store.read(id).unwrap();
+        assert_eq!(read, huge);
+
+        // Growing and shrinking the chained node keeps it readable.
+        let bigger = leaf(4000);
+        let id = store.update(id, &bigger, None).unwrap().unwrap_or(id);
+        assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), bigger);
+        let small = leaf(2);
+        let id = store.update(id, &small, None).unwrap().unwrap_or(id);
+        assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), small);
+
+        // Freeing a chained node reclaims its continuation records: a fresh
+        // oversized allocation reuses the freed space instead of only
+        // growing the file.
+        let id = store.allocate(&huge, None).unwrap();
+        let pages_before = store.page_count();
+        store.free(id).unwrap();
+        let id2 = store.allocate(&huge, None).unwrap();
+        assert_eq!(
+            store.page_count(),
+            pages_before,
+            "freed chain space is reused"
+        );
+        assert_eq!(store.read::<DigitTrieOps>(id2).unwrap(), huge);
+    }
+
+    #[test]
+    fn shrinking_a_chained_node_never_relocates() {
+        let mut store = store(ClusteringPolicy::ParentFirst);
+        let huge = leaf(3500);
+        let id = store.allocate(&huge, None).unwrap();
+        // Fill the head's page so an in-place rewrite larger than the old
+        // head record cannot fit.
+        let filler = leaf(1);
+        let filler_len = filler.encode().len() + 1;
+        loop {
+            let free = store.pool().with_page(id.page, |p| p.free_space()).unwrap();
+            if free < filler_len + 8 {
+                break;
+            }
+            store.allocate(&filler, Some(id.page)).unwrap();
+        }
+        // Shrink into the awkward window just below the inline threshold,
+        // where the inline record (1 + len) is larger than the chain head
+        // record it replaces (MAX_RECORD_SIZE - 256 bytes).  Deletion call
+        // sites assume shrinks stay in place.
+        let n = (0..u32::MAX)
+            .find(|&n| {
+                let len = leaf(n).encode().len();
+                len > MAX_RECORD_SIZE - 250 && len < MAX_RECORD_SIZE
+            })
+            .expect("item granularity is far below the 250-byte window");
+        let shrunk = leaf(n);
+        let relocated = store.update(id, &shrunk, None).unwrap();
+        assert!(relocated.is_none(), "shrinking update must stay in place");
+        assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), shrunk);
+        // Shrinking all the way down to a trivial node also stays in place.
+        let tiny = leaf(2);
+        assert!(store.update(id, &tiny, None).unwrap().is_none());
+        assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), tiny);
     }
 
     #[test]

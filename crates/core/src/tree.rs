@@ -349,9 +349,24 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// PMR quadtree) may report the same row id more than once; their
     /// index-level wrappers deduplicate.
     pub fn search(&self, query: &O::Query) -> StorageResult<Vec<(O::Key, RowId)>> {
-        let mut results = Vec::new();
-        self.search_visit(query, |key, row| results.push((key.clone(), row)))?;
-        Ok(results)
+        self.search_cursor(query.clone()).collect()
+    }
+
+    /// Incremental search: returns a pull-based cursor yielding every
+    /// matching `(key, row)` item.
+    ///
+    /// This is the streaming counterpart of [`SpGistTree::search`]: the
+    /// traversal advances only as far as the caller pulls, so an executor can
+    /// stop early (`LIMIT`-style) without paying for the full result set.
+    /// Items are yielded in the same order `search` returns them.
+    pub fn search_cursor(&self, query: O::Query) -> SearchCursor<'_, O> {
+        SearchCursor {
+            tree: self,
+            query,
+            stack: self.root.map(|root| vec![(root, 0)]).unwrap_or_default(),
+            pending: Vec::new().into_iter(),
+            done: false,
+        }
     }
 
     /// Streams every matching `(key, row)` item to `visit`.
@@ -381,7 +396,10 @@ impl<O: SpGistOps> SpGistTree<O> {
                     }
                     let delta = self.ops.descend_levels(prefix.as_ref());
                     for entry in &entries {
-                        if self.ops.consistent(prefix.as_ref(), &entry.pred, query, level) {
+                        if self
+                            .ops
+                            .consistent(prefix.as_ref(), &entry.pred, query, level)
+                        {
                             stack.push((entry.child, level + delta));
                         }
                     }
@@ -408,21 +426,45 @@ impl<O: SpGistOps> SpGistTree<O> {
 
     /// Deletes the item `(key, row)`.  Returns `true` if an item was removed.
     pub fn delete(&mut self, key: &O::Key, row: RowId) -> StorageResult<bool> {
+        self.delete_impl(key, row, false)
+    }
+
+    /// Deletes every physical occurrence of the item `(key, row)`, counting
+    /// it as one logical removal.  Returns `true` if anything was removed.
+    ///
+    /// Replicating instantiations (the PMR quadtree) store one logical item
+    /// in every partition it intersects, while [`SpGistTree::insert`] counts
+    /// it once; plain [`SpGistTree::delete`] would remove a single replica
+    /// and leave the others reachable.  This method removes the first
+    /// matching `(key, row)` occurrence from *every* leaf that holds one and
+    /// decrements the item count once.
+    pub fn delete_replicated(&mut self, key: &O::Key, row: RowId) -> StorageResult<bool> {
+        self.delete_impl(key, row, true)
+    }
+
+    /// Shared deletion: locate leaves holding `(key, row)` by consistent
+    /// descent (the first matching item per leaf; one leaf, or every leaf
+    /// when `all_replicas` is set), remove the occurrences, and count one
+    /// logical removal.
+    fn delete_impl(&mut self, key: &O::Key, row: RowId, all_replicas: bool) -> StorageResult<bool> {
         let Some(root) = self.root else {
             return Ok(false);
         };
         let query = self.ops.key_query(key);
-        // Locate every leaf that may contain the key, then remove the first
-        // matching (key, row) occurrence.
         let mut stack = vec![(root, 0u32)];
-        let mut target: Option<(NodeId, usize)> = None;
+        let mut targets: Vec<(NodeId, usize)> = Vec::new();
         'outer: while let Some((node_id, level)) = stack.pop() {
             match self.store.read::<O>(node_id)? {
                 Node::Leaf { items } => {
                     for (idx, (k, r)) in items.iter().enumerate() {
                         if *r == row && self.ops.leaf_consistent(k, &query, level) {
-                            target = Some((node_id, idx));
-                            break 'outer;
+                            if !targets.iter().any(|(id, _)| *id == node_id) {
+                                targets.push((node_id, idx));
+                            }
+                            if !all_replicas {
+                                break 'outer;
+                            }
+                            break;
                         }
                     }
                 }
@@ -434,22 +476,29 @@ impl<O: SpGistOps> SpGistTree<O> {
                     }
                     let delta = self.ops.descend_levels(prefix.as_ref());
                     for entry in &entries {
-                        if self.ops.consistent(prefix.as_ref(), &entry.pred, &query, level) {
+                        if self
+                            .ops
+                            .consistent(prefix.as_ref(), &entry.pred, &query, level)
+                        {
                             stack.push((entry.child, level + delta));
                         }
                     }
                 }
             }
         }
-        let Some((leaf_id, item_idx)) = target else {
+        if targets.is_empty() {
             return Ok(false);
-        };
-        let mut node: Node<O> = self.store.read(leaf_id)?;
-        if let Node::Leaf { items } = &mut node {
-            items.remove(item_idx);
         }
-        // Shrinking updates always fit in place.
-        self.store.update(leaf_id, &node, None)?;
+        for (leaf_id, item_idx) in targets {
+            let mut node: Node<O> = self.store.read(leaf_id)?;
+            if let Node::Leaf { items } = &mut node {
+                items.remove(item_idx);
+            }
+            // Shrinking updates stay in place (NodeStore falls back to chain
+            // format when an inline re-encoding would outgrow the old chain
+            // head record), so no parent pointer needs fixing here.
+            self.store.update(leaf_id, &node, None)?;
+        }
         self.item_count -= 1;
         self.write_meta()?;
         Ok(true)
@@ -495,8 +544,9 @@ impl<O: SpGistOps> SpGistTree<O> {
         use std::collections::{HashMap, VecDeque};
 
         // Phase 1: breadth-first selection of the nodes this page will hold.
-        // Per-record overhead: 4 bytes of slot entry; keep headroom so the
-        // in-place pointer patching below can never overflow the page.
+        // Per-record overhead: 1 byte of record header plus 4 bytes of slot
+        // entry; keep headroom so the in-place pointer patching below can
+        // never overflow the page.
         const PAGE_BUDGET: usize = spgist_storage::PAGE_SIZE - 128;
         let mut group: Vec<(NodeId, Node<O>)> = Vec::new();
         let mut in_group: HashMap<NodeId, usize> = HashMap::new();
@@ -507,7 +557,7 @@ impl<O: SpGistOps> SpGistTree<O> {
                 continue;
             }
             let node: Node<O> = old.read(id)?;
-            let cost = node.encode().len() + 4;
+            let cost = node.encode().len() + 5;
             if !group.is_empty() && used + cost > PAGE_BUDGET {
                 // The root always goes in (a single node is guaranteed to
                 // fit); later nodes are only taken while the budget lasts.
@@ -617,6 +667,78 @@ impl<O: SpGistOps> SpGistTree<O> {
     }
 }
 
+/// Pull-based streaming search over an [`SpGistTree`]; created by
+/// [`SpGistTree::search_cursor`].
+///
+/// Yields `StorageResult<(key, row)>`: a page read can fail mid-scan, and a
+/// streaming iterator has nowhere else to surface that.  After the first
+/// error the cursor is exhausted.
+pub struct SearchCursor<'t, O: SpGistOps> {
+    tree: &'t SpGistTree<O>,
+    query: O::Query,
+    /// Inner nodes (and unvisited leaves) still to be expanded, with their
+    /// decomposition level.
+    stack: Vec<(NodeId, u32)>,
+    /// Matching items of the most recently expanded leaf.
+    pending: std::vec::IntoIter<(O::Key, RowId)>,
+    done: bool,
+}
+
+impl<O: SpGistOps> Iterator for SearchCursor<'_, O> {
+    type Item = StorageResult<(O::Key, RowId)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        loop {
+            if let Some(item) = self.pending.next() {
+                return Some(Ok(item));
+            }
+            let Some((node_id, level)) = self.stack.pop() else {
+                self.done = true;
+                return None;
+            };
+            let ops = &self.tree.ops;
+            match self.tree.store.read::<O>(node_id) {
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+                Ok(Node::Leaf { items }) => {
+                    let matched: Vec<(O::Key, RowId)> = items
+                        .into_iter()
+                        .filter(|(key, _)| ops.leaf_consistent(key, &self.query, level))
+                        .collect();
+                    self.pending = matched.into_iter();
+                }
+                Ok(Node::Inner { prefix, entries }) => {
+                    if let Some(p) = &prefix {
+                        if !ops.prefix_consistent(p, &self.query, level) {
+                            continue;
+                        }
+                    }
+                    let delta = ops.descend_levels(prefix.as_ref());
+                    for entry in &entries {
+                        if ops.consistent(prefix.as_ref(), &entry.pred, &self.query, level) {
+                            self.stack.push((entry.child, level + delta));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl<O: SpGistOps> std::fmt::Debug for SearchCursor<'_, O> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchCursor")
+            .field("stack_depth", &self.stack.len())
+            .field("done", &self.done)
+            .finish()
+    }
+}
+
 impl<O: SpGistOps> std::fmt::Debug for SpGistTree<O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpGistTree")
@@ -697,7 +819,12 @@ mod tests {
         tree.insert(77, 1).unwrap();
         tree.insert(77, 2).unwrap();
         tree.insert(77, 3).unwrap();
-        let mut rows: Vec<u64> = tree.search(&77).unwrap().into_iter().map(|(_, r)| r).collect();
+        let mut rows: Vec<u64> = tree
+            .search(&77)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         rows.sort_unstable();
         assert_eq!(rows, vec![1, 2, 3]);
     }
@@ -714,7 +841,10 @@ mod tests {
         }
         let stats = tree.stats().unwrap();
         assert_eq!(stats.items, 500);
-        assert!(stats.inner_nodes > 0, "bucket overflow must create inner nodes");
+        assert!(
+            stats.inner_nodes > 0,
+            "bucket overflow must create inner nodes"
+        );
         assert!(stats.max_node_height > 1);
     }
 
@@ -725,7 +855,10 @@ mod tests {
             tree.insert(key, u64::from(key)).unwrap();
         }
         assert!(tree.delete(&50, 50).unwrap());
-        assert!(!tree.delete(&50, 50).unwrap(), "second delete finds nothing");
+        assert!(
+            !tree.delete(&50, 50).unwrap(),
+            "second delete finds nothing"
+        );
         assert!(tree.search(&50).unwrap().is_empty());
         assert_eq!(tree.search(&51).unwrap(), vec![(51, 51)]);
         assert_eq!(tree.len(), 99);
@@ -758,9 +891,11 @@ mod tests {
         .unwrap();
 
         let naive_cfg = clustered_cfg.with_clustering(ClusteringPolicy::NewPagePerNode);
-        let mut naive =
-            SpGistTree::create(BufferPool::in_memory(), DigitTrieOps::with_config(naive_cfg))
-                .unwrap();
+        let mut naive = SpGistTree::create(
+            BufferPool::in_memory(),
+            DigitTrieOps::with_config(naive_cfg),
+        )
+        .unwrap();
 
         for &k in &keys {
             clustered.insert(k, u64::from(k)).unwrap();
@@ -811,7 +946,8 @@ mod tests {
     #[test]
     fn bulk_load_matches_individual_inserts() {
         let mut bulk = new_tree();
-        bulk.bulk_load((0..200u32).map(|k| (k, u64::from(k)))).unwrap();
+        bulk.bulk_load((0..200u32).map(|k| (k, u64::from(k))))
+            .unwrap();
         let mut single = new_tree();
         for k in 0..200u32 {
             single.insert(k, u64::from(k)).unwrap();
@@ -881,6 +1017,43 @@ mod tests {
         }
         let io = tree.pool().stats();
         assert!(io.evictions > 0, "a 4-frame pool must evict while building");
+    }
+
+    #[test]
+    fn search_cursor_streams_the_same_results_as_search() {
+        let mut tree = new_tree();
+        for key in 0..800u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        for probe in [0u32, 17, 799, 999] {
+            let eager = tree.search(&probe).unwrap();
+            let streamed: Vec<(u32, u64)> = tree
+                .search_cursor(probe)
+                .collect::<StorageResult<_>>()
+                .unwrap();
+            assert_eq!(streamed, eager, "probe {probe}");
+        }
+        // Early termination: pulling one item must not require a full scan.
+        let first = tree.search_cursor(42).next().unwrap().unwrap();
+        assert_eq!(first, (42, 42));
+    }
+
+    #[test]
+    fn search_cursor_on_empty_tree_is_empty() {
+        let tree = new_tree();
+        assert!(tree.search_cursor(7).next().is_none());
+    }
+
+    #[test]
+    fn delete_replicated_removes_item_and_counts_once() {
+        let mut tree = new_tree();
+        for key in 0..50u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        assert!(tree.delete_replicated(&30, 30).unwrap());
+        assert!(!tree.delete_replicated(&30, 30).unwrap());
+        assert!(tree.search(&30).unwrap().is_empty());
+        assert_eq!(tree.len(), 49);
     }
 
     #[test]

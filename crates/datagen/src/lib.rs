@@ -9,10 +9,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
 use spgist_indexes::geom::{Point, Rect, Segment};
+
+pub mod rng;
+
+use rng::DetRng;
 
 /// Paper word-length range: uniform over `[1, 15]`.
 pub const WORD_LEN_RANGE: (usize, usize) = (1, 15);
@@ -27,7 +28,7 @@ pub fn world() -> Rect {
 /// Generates `n` random words, length uniform in [`WORD_LEN_RANGE`], letters
 /// `'a'..='z'` (the paper's string datasets).
 pub fn words(n: usize, seed: u64) -> Vec<String> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
             let len = rng.gen_range(WORD_LEN_RANGE.0..=WORD_LEN_RANGE.1);
@@ -40,19 +41,27 @@ pub fn words(n: usize, seed: u64) -> Vec<String> {
 
 /// Generates `n` uniform points in `[0, 100]²`.
 pub fn points(n: usize, seed: u64) -> Vec<Point> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..n)
-        .map(|_| Point::new(rng.gen_range(0.0..=WORLD_MAX), rng.gen_range(0.0..=WORLD_MAX)))
+        .map(|_| {
+            Point::new(
+                rng.gen_range(0.0..=WORLD_MAX),
+                rng.gen_range(0.0..=WORLD_MAX),
+            )
+        })
         .collect()
 }
 
 /// Generates `n` random line segments inside the world, with length uniform
 /// in `(0, max_len]`.
 pub fn segments(n: usize, max_len: f64, seed: u64) -> Vec<Segment> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = DetRng::seed_from_u64(seed);
     (0..n)
         .map(|_| {
-            let a = Point::new(rng.gen_range(0.0..=WORLD_MAX), rng.gen_range(0.0..=WORLD_MAX));
+            let a = Point::new(
+                rng.gen_range(0.0..=WORLD_MAX),
+                rng.gen_range(0.0..=WORLD_MAX),
+            );
             let angle = rng.gen_range(0.0..std::f64::consts::TAU);
             let len = rng.gen_range(0.0..=max_len).max(1e-3);
             let b = Point::new(
@@ -71,7 +80,7 @@ pub struct QueryWorkload;
 impl QueryWorkload {
     /// Picks `n` existing keys for exact-match queries.
     pub fn existing<T: Clone>(data: &[T], n: usize, seed: u64) -> Vec<T> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         (0..n)
             .map(|_| data[rng.gen_range(0..data.len())].clone())
             .collect()
@@ -79,7 +88,7 @@ impl QueryWorkload {
 
     /// Builds `n` prefix queries by truncating existing words.
     pub fn prefixes(words: &[String], n: usize, min_len: usize, seed: u64) -> Vec<String> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let w = &words[rng.gen_range(0..words.len())];
@@ -93,7 +102,7 @@ impl QueryWorkload {
     /// positions of existing words (the paper notes B⁺-tree performance is
     /// very sensitive to where those wildcards fall, including position 0).
     pub fn regexes(words: &[String], n: usize, wildcards: usize, seed: u64) -> Vec<String> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let w = &words[rng.gen_range(0..words.len())];
@@ -109,7 +118,7 @@ impl QueryWorkload {
 
     /// Builds `n` substring queries by slicing existing words.
     pub fn substrings(words: &[String], n: usize, len: usize, seed: u64) -> Vec<String> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let w = &words[rng.gen_range(0..words.len())];
@@ -125,7 +134,7 @@ impl QueryWorkload {
 
     /// Builds `n` square range-query windows with the given side length.
     pub fn windows(n: usize, side: f64, seed: u64) -> Vec<Rect> {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = DetRng::seed_from_u64(seed);
         (0..n)
             .map(|_| {
                 let x = rng.gen_range(0.0..=(WORLD_MAX - side).max(0.0));
@@ -160,11 +169,11 @@ mod tests {
     #[test]
     fn points_and_segments_stay_in_world() {
         let pts = points(500, 3);
-        assert!(pts
-            .iter()
-            .all(|p| world().contains_point(p)));
+        assert!(pts.iter().all(|p| world().contains_point(p)));
         let segs = segments(300, 10.0, 3);
-        assert!(segs.iter().all(|s| world().contains_point(&s.a) && world().contains_point(&s.b)));
+        assert!(segs
+            .iter()
+            .all(|s| world().contains_point(&s.a) && world().contains_point(&s.b)));
         assert!(segs.iter().all(|s| s.length() <= 10.0 + 1e-9));
     }
 
@@ -184,7 +193,9 @@ mod tests {
         assert!(regexes.iter().all(|r| r.contains('?') || r.len() <= 2));
 
         let subs = QueryWorkload::substrings(&ws, 50, 3, 4);
-        assert!(subs.iter().all(|s| ws.iter().any(|w| w.contains(s.as_str()))));
+        assert!(subs
+            .iter()
+            .all(|s| ws.iter().any(|w| w.contains(s.as_str()))));
 
         let wins = QueryWorkload::windows(20, 5.0, 5);
         assert!(wins.iter().all(|r| (r.width() - 5.0).abs() < 1e-9));

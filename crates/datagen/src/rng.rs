@@ -1,0 +1,142 @@
+//! A small deterministic pseudo-random generator.
+//!
+//! The workload generators only need reproducible, reasonably uniform
+//! streams — not cryptographic quality — and the build environment is
+//! offline, so depending on the `rand` crate is not an option.  `DetRng`
+//! is a SplitMix64 generator (Steele, Lea & Flood, OOPSLA 2014) exposing
+//! the same `seed_from_u64` / `gen_range` call shape the generators were
+//! originally written against.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic generator: same seed, same stream, on every platform.
+#[derive(Debug, Clone)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Creates a generator from a 64-bit seed (the `rand::SeedableRng`
+    /// call shape).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        DetRng { state: seed }
+    }
+
+    /// Next raw 64-bit output (SplitMix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `range` (half-open or inclusive; empty ranges are a
+    /// caller bug, as in `rand`).
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+}
+
+/// Ranges that can be sampled uniformly by [`DetRng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    fn sample_from(self, rng: &mut DetRng) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty),+) => {
+        $(
+            impl SampleRange<$t> for Range<$t> {
+                fn sample_from(self, rng: &mut DetRng) -> $t {
+                    assert!(self.start < self.end, "empty range");
+                    let span = (self.end - self.start) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl SampleRange<$t> for RangeInclusive<$t> {
+                fn sample_from(self, rng: &mut DetRng) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "empty range");
+                    let span = (end - start) as u64 + 1;
+                    if span == 0 {
+                        // The range covers the whole u64 domain.
+                        return rng.next_u64() as $t;
+                    }
+                    start + (rng.next_u64() % span) as $t
+                }
+            }
+        )+
+    };
+}
+
+int_sample_range!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from(self, rng: &mut DetRng) -> f64 {
+        assert!(self.start < self.end, "empty range");
+        self.start + rng.next_f64() * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    fn sample_from(self, rng: &mut DetRng) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range");
+        start + rng.next_f64() * (end - start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::seed_from_u64(42);
+        let mut b = DetRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = DetRng::seed_from_u64(43);
+        assert_ne!(DetRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = DetRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..10usize);
+            assert!((3..10).contains(&v));
+            let v = rng.gen_range(1..=15usize);
+            assert!((1..=15).contains(&v));
+            let v = rng.gen_range(0..26u8);
+            assert!(v < 26);
+            let f = rng.gen_range(0.0..=100.0);
+            assert!((0.0..=100.0).contains(&f));
+            let f = rng.gen_range(2.5..3.5);
+            assert!((2.5..3.5).contains(&f));
+        }
+    }
+
+    #[test]
+    fn output_is_roughly_uniform() {
+        let mut rng = DetRng::seed_from_u64(123);
+        let mut counts = [0usize; 10];
+        for _ in 0..10_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (700..1300).contains(&c),
+                "bucket count {c} far from uniform"
+            );
+        }
+    }
+}

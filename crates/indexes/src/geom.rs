@@ -20,7 +20,7 @@ impl Point {
 
     /// Coordinate along dimension `dim` (0 = x, 1 = y).
     pub fn coord(&self, dim: u32) -> f64 {
-        if dim % 2 == 0 {
+        if dim.is_multiple_of(2) {
             self.x
         } else {
             self.y
@@ -297,7 +297,10 @@ mod tests {
         assert!(!small.contains_rect(&big));
         assert!(big.intersects(&small));
         assert!(!big.intersects(&outside));
-        assert!(big.intersects(&touching), "shared edge counts as intersecting");
+        assert!(
+            big.intersects(&touching),
+            "shared edge counts as intersecting"
+        );
         assert!(big.contains_point(&Point::new(10.0, 10.0)));
         assert!(!big.contains_point(&Point::new(10.1, 10.0)));
     }
@@ -342,7 +345,9 @@ mod tests {
         // Crossing through.
         assert!(Segment::new(Point::new(-5.0, 5.0), Point::new(15.0, 5.0)).intersects_rect(&rect));
         // Completely outside.
-        assert!(!Segment::new(Point::new(11.0, 11.0), Point::new(20.0, 20.0)).intersects_rect(&rect));
+        assert!(
+            !Segment::new(Point::new(11.0, 11.0), Point::new(20.0, 20.0)).intersects_rect(&rect)
+        );
         // Diagonal that misses the corner.
         assert!(!Segment::new(Point::new(11.0, 0.0), Point::new(20.0, 5.0)).intersects_rect(&rect));
         // Touching an edge.

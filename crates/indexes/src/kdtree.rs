@@ -14,12 +14,12 @@ use std::sync::Arc;
 
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
-    TreeStats,
 };
 use spgist_storage::{BufferPool, Codec, StorageError, StorageResult};
 
 use crate::geom::{Point, Rect};
 use crate::query::PointQuery;
+use crate::spindex::{SpGistBacked, SpIndex};
 
 /// Partition predicate of the kd-tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,7 +126,7 @@ impl SpGistOps for KdTreeOps {
                 KdSide::Here => p == split,
             },
             PointQuery::InRect(r) => {
-                let (lo, hi) = if level % 2 == 0 {
+                let (lo, hi) = if level.is_multiple_of(2) {
                     (r.min_x, r.max_x)
                 } else {
                     (r.min_y, r.max_y)
@@ -238,8 +238,28 @@ impl SpGistOps for KdTreeOps {
 
 /// A disk-based kd-tree index over 2-D points (the paper's `SP_GiST_kdtree`
 /// operator class).
+///
+/// The uniform surface (`insert`, `delete`, `execute`, `cursor`, `len`,
+/// `stats`, `repack`) comes from the [`SpIndex`] trait; the inherent
+/// methods below are thin operator sugar (`@`, `^`, `@@`).
 pub struct KdTreeIndex {
     tree: SpGistTree<KdTreeOps>,
+}
+
+impl SpGistBacked for KdTreeIndex {
+    type Ops = KdTreeOps;
+
+    fn backing_tree(&self) -> &SpGistTree<KdTreeOps> {
+        &self.tree
+    }
+
+    fn backing_tree_mut(&mut self) -> &mut SpGistTree<KdTreeOps> {
+        &mut self.tree
+    }
+
+    fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Self::create(pool)
+    }
 }
 
 impl KdTreeIndex {
@@ -256,55 +276,19 @@ impl KdTreeIndex {
         })
     }
 
-    /// Inserts a point pointing at heap row `row`.
-    pub fn insert(&mut self, point: Point, row: RowId) -> StorageResult<()> {
-        self.tree.insert(point, row)
-    }
-
-    /// Deletes one `(point, row)` entry.
-    pub fn delete(&mut self, point: Point, row: RowId) -> StorageResult<bool> {
-        self.tree.delete(&point, row)
-    }
-
     /// `@` operator: rows whose point equals `point`.
     pub fn equals(&self, point: Point) -> StorageResult<Vec<RowId>> {
-        Ok(self
-            .tree
-            .search(&PointQuery::Equals(point))?
-            .into_iter()
-            .map(|(_, row)| row)
-            .collect())
+        self.cursor(&PointQuery::Equals(point))?.rows()
     }
 
     /// `^` operator: `(point, row)` pairs inside the box.
     pub fn range(&self, rect: Rect) -> StorageResult<Vec<(Point, RowId)>> {
-        self.tree.search(&PointQuery::InRect(rect))
+        self.execute(&PointQuery::InRect(rect))
     }
 
     /// `@@` operator: the `k` nearest points to `query`, nearest first.
     pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Point, RowId, f64)>> {
         self.tree.nn_search(PointQuery::Nearest(query), k)
-    }
-
-    /// Number of indexed points.
-    pub fn len(&self) -> u64 {
-        self.tree.len()
-    }
-
-    /// True if the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
-    }
-
-    /// Structural statistics (heights, pages, size).
-    pub fn stats(&self) -> StorageResult<TreeStats> {
-        self.tree.stats()
-    }
-
-    /// Re-clusters the tree to minimize page height (offline Diwan-style
-    /// packing); see [`SpGistTree::repack`].
-    pub fn repack(&mut self) -> StorageResult<()> {
-        self.tree.repack()
     }
 
     /// Access to the underlying generalized tree.
@@ -351,7 +335,12 @@ mod tests {
     fn range_query_matches_linear_scan() {
         let index = city_index();
         let rect = Rect::new(20.0, 20.0, 70.0, 80.0);
-        let mut hits: Vec<RowId> = index.range(rect).unwrap().into_iter().map(|(_, r)| r).collect();
+        let mut hits: Vec<RowId> = index
+            .range(rect)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         hits.sort_unstable();
         let expected: Vec<RowId> = cities()
             .iter()
@@ -383,7 +372,9 @@ mod tests {
         // Deterministic pseudo-random points via a small LCG.
         let mut state = 12345u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / u32::MAX as f64) * 100.0
         };
         let points: Vec<Point> = (0..4000).map(|_| Point::new(next(), next())).collect();
@@ -417,7 +408,7 @@ mod tests {
             index.insert(p, row).unwrap();
         }
         assert_eq!(index.equals(p).unwrap().len(), 5);
-        assert!(index.delete(p, 3).unwrap());
+        assert!(index.delete(&p, 3).unwrap());
         let rows = index.equals(p).unwrap();
         assert_eq!(rows.len(), 4);
         assert!(!rows.contains(&3));

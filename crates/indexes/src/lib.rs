@@ -16,6 +16,12 @@
 //!
 //! Everything is generic over the storage substrate: pass any
 //! [`spgist_storage::BufferPool`] (in-memory or file-backed).
+//!
+//! All five wrappers implement the unified [`spindex::SpIndex`] trait
+//! (`open` / `insert` / `delete` / `execute` / `cursor` / `len` / `stats` /
+//! `repack`), so generic code — the `spgist-catalog` executor, benchmarks,
+//! tests — is written once against the trait; the per-index inherent
+//! methods are thin operator sugar over it.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,6 +31,7 @@ pub mod kdtree;
 pub mod pmr;
 pub mod quadtree;
 pub mod query;
+pub mod spindex;
 pub mod suffix;
 pub mod trie;
 
@@ -33,5 +40,6 @@ pub use kdtree::{KdTreeIndex, KdTreeOps};
 pub use pmr::{PmrQuadtreeIndex, PmrQuadtreeOps};
 pub use quadtree::{PointQuadtreeIndex, PointQuadtreeOps};
 pub use query::{PointQuery, SegmentQuery, StringQuery};
+pub use spindex::{Cursor, SpGistBacked, SpIndex};
 pub use suffix::SuffixTreeIndex;
 pub use trie::{TrieIndex, TrieOps};

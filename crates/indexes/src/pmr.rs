@@ -12,21 +12,30 @@
 //! descent through the [`SpGistOps::Context`] traversal value, exactly like
 //! PostgreSQL SP-GiST reconstructs quadrant boxes.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
-    TreeStats,
 };
 use spgist_storage::{BufferPool, StorageResult};
 
 use crate::geom::{Rect, Segment};
 use crate::query::SegmentQuery;
+use crate::spindex::{SpGistBacked, SpIndex};
 
 /// Default PMR splitting threshold (maximum segments per leaf quadrant
 /// before a split is triggered).
 pub const DEFAULT_SPLITTING_THRESHOLD: usize = 8;
+
+/// World rectangle used by [`SpIndex::open`]: the `[0, 100]²` space of the
+/// paper's spatial experiments.  Indexes over a different region should be
+/// built with [`PmrQuadtreeIndex::create`] instead.
+pub const DEFAULT_WORLD: Rect = Rect {
+    min_x: 0.0,
+    min_y: 0.0,
+    max_x: 100.0,
+    max_y: 100.0,
+};
 
 /// External methods of the SP-GiST PMR quadtree.
 #[derive(Debug, Clone)]
@@ -79,13 +88,7 @@ impl SpGistOps for PmrQuadtreeOps {
         self.world
     }
 
-    fn child_context(
-        &self,
-        _ctx: &Rect,
-        _prefix: Option<&Rect>,
-        pred: &Rect,
-        _level: u32,
-    ) -> Rect {
+    fn child_context(&self, _ctx: &Rect, _prefix: Option<&Rect>, pred: &Rect, _level: u32) -> Rect {
         // The entry predicate *is* the child quadrant.
         *pred
     }
@@ -158,10 +161,35 @@ impl SpGistOps for PmrQuadtreeOps {
 
 /// A disk-based PMR quadtree index over line segments.
 ///
-/// Because a segment is replicated in every quadrant it crosses, query
-/// results are deduplicated by row id before being returned.
+/// Because a segment is replicated in every quadrant it crosses, the
+/// [`SpIndex`] cursor deduplicates results by row id, and the uniform
+/// [`SpIndex::delete`] removes every replica of the `(segment, row)` item
+/// (via [`SpGistTree::delete_replicated`]) while counting one logical
+/// removal.
 pub struct PmrQuadtreeIndex {
     tree: SpGistTree<PmrQuadtreeOps>,
+}
+
+impl SpGistBacked for PmrQuadtreeIndex {
+    type Ops = PmrQuadtreeOps;
+
+    const DEDUPE_ROWS: bool = true;
+
+    fn backing_tree(&self) -> &SpGistTree<PmrQuadtreeOps> {
+        &self.tree
+    }
+
+    fn backing_tree_mut(&mut self) -> &mut SpGistTree<PmrQuadtreeOps> {
+        &mut self.tree
+    }
+
+    fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Self::create(pool, DEFAULT_WORLD)
+    }
+
+    fn delete_key(&mut self, segment: &Segment, row: RowId) -> StorageResult<bool> {
+        self.tree.delete_replicated(segment, row)
+    }
 }
 
 impl PmrQuadtreeIndex {
@@ -178,19 +206,9 @@ impl PmrQuadtreeIndex {
         })
     }
 
-    /// Inserts a segment pointing at heap row `row`.
-    pub fn insert(&mut self, segment: Segment, row: RowId) -> StorageResult<()> {
-        self.tree.insert(segment, row)
-    }
-
     /// Exact-match query: rows whose segment equals `segment`.
     pub fn equals(&self, segment: Segment) -> StorageResult<Vec<RowId>> {
-        let mut rows = dedupe_rows(
-            self.tree
-                .search(&SegmentQuery::Equals(segment))?
-                .into_iter()
-                .map(|(_, row)| row),
-        );
+        let mut rows = self.cursor(&SegmentQuery::Equals(segment))?.rows()?;
         rows.sort_unstable();
         Ok(rows)
     }
@@ -198,48 +216,13 @@ impl PmrQuadtreeIndex {
     /// Window (range) query: `(segment, row)` pairs intersecting `rect`,
     /// deduplicated by row id.
     pub fn window(&self, rect: Rect) -> StorageResult<Vec<(Segment, RowId)>> {
-        let mut seen = HashSet::new();
-        let mut results = Vec::new();
-        self.tree
-            .search_visit(&SegmentQuery::InRect(rect), |segment, row| {
-                if seen.insert(row) {
-                    results.push((*segment, row));
-                }
-            })?;
-        Ok(results)
-    }
-
-    /// Number of indexed segments (each counted once, regardless of
-    /// replication).
-    pub fn len(&self) -> u64 {
-        self.tree.len()
-    }
-
-    /// True if the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
-    }
-
-    /// Structural statistics (heights, pages, size).
-    pub fn stats(&self) -> StorageResult<TreeStats> {
-        self.tree.stats()
-    }
-
-    /// Re-clusters the tree to minimize page height (offline Diwan-style
-    /// packing); see [`SpGistTree::repack`].
-    pub fn repack(&mut self) -> StorageResult<()> {
-        self.tree.repack()
+        self.execute(&SegmentQuery::InRect(rect))
     }
 
     /// Access to the underlying generalized tree.
     pub fn tree(&self) -> &SpGistTree<PmrQuadtreeOps> {
         &self.tree
     }
-}
-
-fn dedupe_rows(rows: impl Iterator<Item = RowId>) -> Vec<RowId> {
-    let mut seen = HashSet::new();
-    rows.filter(|row| seen.insert(*row)).collect()
 }
 
 #[cfg(test)]
@@ -286,7 +269,12 @@ mod tests {
     fn window_query_matches_scan_and_deduplicates() {
         let index = index();
         let window = Rect::new(40.0, 40.0, 80.0, 80.0);
-        let mut hits: Vec<RowId> = index.window(window).unwrap().into_iter().map(|(_, r)| r).collect();
+        let mut hits: Vec<RowId> = index
+            .window(window)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         hits.sort_unstable();
         let expected: Vec<RowId> = segments()
             .iter()
@@ -301,7 +289,9 @@ mod tests {
     fn many_segments_force_quadrant_splits() {
         let mut state = 7u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / u32::MAX as f64) * 100.0
         };
         let mut segs = Vec::new();
@@ -318,7 +308,10 @@ mod tests {
             index.insert(*s, i as RowId).unwrap();
         }
         let stats = index.stats().unwrap();
-        assert!(stats.inner_nodes > 0, "splitting threshold must trigger splits");
+        assert!(
+            stats.inner_nodes > 0,
+            "splitting threshold must trigger splits"
+        );
         assert_eq!(index.len(), 800);
 
         // Window query agrees with a scan.
@@ -338,6 +331,40 @@ mod tests {
         let outside = Segment::new(Point::new(150.0, 150.0), Point::new(160.0, 160.0));
         index.insert(outside, 99).unwrap();
         assert_eq!(index.equals(outside).unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn delete_removes_every_replica_of_a_segment() {
+        let mut index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        // Enough segments to force quadrant splits, so the world-spanning
+        // segment is replicated across several leaves.
+        let mut segs = segments();
+        for i in 0..40 {
+            let t = f64::from(i);
+            segs.push(Segment::new(
+                Point::new(t * 2.0, 5.0),
+                Point::new(t * 2.0 + 5.0, 95.0),
+            ));
+        }
+        for (i, s) in segs.iter().enumerate() {
+            index.insert(*s, i as RowId).unwrap();
+        }
+        let spanning = segs[3]; // (0,50)-(100,50): crosses every column
+        assert_eq!(index.equals(spanning).unwrap(), vec![3]);
+        assert!(index.delete(&spanning, 3).unwrap());
+        assert!(index.equals(spanning).unwrap().is_empty());
+        assert_eq!(index.len(), segs.len() as u64 - 1);
+        // A window query over the whole world no longer reports row 3.
+        let rows: Vec<RowId> = index
+            .window(WORLD)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert!(!rows.contains(&3));
+        // Second delete finds nothing and the count is untouched.
+        assert!(!index.delete(&spanning, 3).unwrap());
+        assert_eq!(index.len(), segs.len() as u64 - 1);
     }
 
     #[test]

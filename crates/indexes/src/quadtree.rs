@@ -9,12 +9,12 @@ use std::sync::Arc;
 
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
-    TreeStats,
 };
 use spgist_storage::{BufferPool, Codec, StorageError, StorageResult};
 
 use crate::geom::{Point, Rect};
 use crate::query::PointQuery;
+use crate::spindex::{SpGistBacked, SpIndex};
 
 /// Partition predicate of the point quadtree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +49,9 @@ impl Codec for Quadrant {
             2 => Ok(Quadrant::SouthWest),
             3 => Ok(Quadrant::SouthEast),
             4 => Ok(Quadrant::Here),
-            other => Err(StorageError::Decode(format!("invalid Quadrant tag {other}"))),
+            other => Err(StorageError::Decode(format!(
+                "invalid Quadrant tag {other}"
+            ))),
         }
     }
 }
@@ -234,8 +236,28 @@ impl SpGistOps for PointQuadtreeOps {
 }
 
 /// A disk-based point-quadtree index over 2-D points.
+///
+/// The uniform surface (`insert`, `delete`, `execute`, `cursor`, `len`,
+/// `stats`, `repack`) comes from the [`SpIndex`] trait; the inherent
+/// methods below are thin operator sugar (`@`, `^`, `@@`).
 pub struct PointQuadtreeIndex {
     tree: SpGistTree<PointQuadtreeOps>,
+}
+
+impl SpGistBacked for PointQuadtreeIndex {
+    type Ops = PointQuadtreeOps;
+
+    fn backing_tree(&self) -> &SpGistTree<PointQuadtreeOps> {
+        &self.tree
+    }
+
+    fn backing_tree_mut(&mut self) -> &mut SpGistTree<PointQuadtreeOps> {
+        &mut self.tree
+    }
+
+    fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Self::create(pool)
+    }
 }
 
 impl PointQuadtreeIndex {
@@ -251,55 +273,19 @@ impl PointQuadtreeIndex {
         })
     }
 
-    /// Inserts a point pointing at heap row `row`.
-    pub fn insert(&mut self, point: Point, row: RowId) -> StorageResult<()> {
-        self.tree.insert(point, row)
-    }
-
-    /// Deletes one `(point, row)` entry.
-    pub fn delete(&mut self, point: Point, row: RowId) -> StorageResult<bool> {
-        self.tree.delete(&point, row)
-    }
-
     /// `@` operator: rows whose point equals `point`.
     pub fn equals(&self, point: Point) -> StorageResult<Vec<RowId>> {
-        Ok(self
-            .tree
-            .search(&PointQuery::Equals(point))?
-            .into_iter()
-            .map(|(_, row)| row)
-            .collect())
+        self.cursor(&PointQuery::Equals(point))?.rows()
     }
 
     /// `^` operator: `(point, row)` pairs inside the box.
     pub fn range(&self, rect: Rect) -> StorageResult<Vec<(Point, RowId)>> {
-        self.tree.search(&PointQuery::InRect(rect))
+        self.execute(&PointQuery::InRect(rect))
     }
 
     /// `@@` operator: the `k` nearest points to `query`, nearest first.
     pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Point, RowId, f64)>> {
         self.tree.nn_search(PointQuery::Nearest(query), k)
-    }
-
-    /// Number of indexed points.
-    pub fn len(&self) -> u64 {
-        self.tree.len()
-    }
-
-    /// True if the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
-    }
-
-    /// Structural statistics (heights, pages, size).
-    pub fn stats(&self) -> StorageResult<TreeStats> {
-        self.tree.stats()
-    }
-
-    /// Re-clusters the tree to minimize page height (offline Diwan-style
-    /// packing); see [`SpGistTree::repack`].
-    pub fn repack(&mut self) -> StorageResult<()> {
-        self.tree.repack()
     }
 
     /// Access to the underlying generalized tree.
@@ -345,7 +331,12 @@ mod tests {
     fn range_query_matches_scan() {
         let index = index();
         let rect = Rect::new(20.0, 20.0, 70.0, 80.0);
-        let mut hits: Vec<RowId> = index.range(rect).unwrap().into_iter().map(|(_, r)| r).collect();
+        let mut hits: Vec<RowId> = index
+            .range(rect)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         hits.sort_unstable();
         let expected: Vec<RowId> = points()
             .iter()
@@ -373,7 +364,9 @@ mod tests {
     fn larger_dataset_consistency_with_kdtree_semantics() {
         let mut state = 99u64;
         let mut next = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f64 / u32::MAX as f64) * 100.0
         };
         let pts: Vec<Point> = (0..2500).map(|_| Point::new(next(), next())).collect();

@@ -118,7 +118,10 @@ mod tests {
         assert!(regex_matches("?at?r", "water"));
         assert!(regex_matches("?????", "water"));
         assert!(!regex_matches("?at?r", "wader"));
-        assert!(!regex_matches("?at?r", "waters"), "length must match exactly");
+        assert!(
+            !regex_matches("?at?r", "waters"),
+            "length must match exactly"
+        );
         assert!(regex_matches("", ""));
         assert!(!regex_matches("?", ""));
     }

@@ -1,0 +1,401 @@
+//! The unified index interface: one typed trait served by all five
+//! space-partitioning indexes.
+//!
+//! The paper's thesis is that one extensible framework can serve many
+//! space-partitioning indexes; [`SpIndex`] is that idea carried up to the
+//! wrapper layer.  Every instantiation — patricia trie, suffix tree,
+//! kd-tree, point quadtree, PMR quadtree — exposes the same typed surface
+//! (`open` / `insert` / `delete` / `execute` / `cursor` / `len` / `stats` /
+//! `repack`), so generic code (the `spgist-catalog` executor, benchmarks,
+//! tests) is written once against the trait instead of five times against
+//! divergent wrappers.
+//!
+//! The implementation collapses the former per-wrapper boilerplate into a
+//! single blanket impl over [`SpGistBacked`]: a wrapper only states how to
+//! reach its [`SpGistTree`] and overrides the few hooks where its semantics
+//! differ (the suffix tree expands words into suffixes; replicating indexes
+//! deduplicate result rows).
+//!
+//! Query results stream through a [`Cursor`] — an iterator over
+//! `StorageResult<(key, row)>` — rather than a materialized `Vec`, so an
+//! executor can stop pulling early.
+
+use std::collections::HashSet;
+use std::sync::Arc;
+
+use spgist_core::{RowId, SpGistOps, SpGistTree, TreeStats};
+use spgist_storage::{BufferPool, StorageResult};
+
+/// A streaming query result: an iterator of `(key, row)` items.
+///
+/// Page reads can fail mid-scan, so every item is a [`StorageResult`].
+/// Cursors over replicating indexes (PMR quadtree, suffix tree) deduplicate
+/// by row id while streaming.
+pub struct Cursor<'c, K> {
+    inner: Box<dyn Iterator<Item = StorageResult<(K, RowId)>> + 'c>,
+    seen: Option<HashSet<RowId>>,
+}
+
+impl<'c, K> Cursor<'c, K> {
+    /// Wraps a raw item iterator.
+    pub fn new(inner: impl Iterator<Item = StorageResult<(K, RowId)>> + 'c) -> Self {
+        Cursor {
+            inner: Box::new(inner),
+            seen: None,
+        }
+    }
+
+    /// Wraps a raw item iterator, reporting each row id at most once (for
+    /// indexes that replicate one logical item across partitions).
+    pub fn deduplicated(inner: impl Iterator<Item = StorageResult<(K, RowId)>> + 'c) -> Self {
+        Cursor {
+            inner: Box::new(inner),
+            seen: Some(HashSet::new()),
+        }
+    }
+
+    /// Drains the cursor into the row ids of every match.
+    pub fn rows(self) -> StorageResult<Vec<RowId>> {
+        self.map(|item| item.map(|(_, row)| row)).collect()
+    }
+}
+
+impl<K> Iterator for Cursor<'_, K> {
+    type Item = StorageResult<(K, RowId)>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            let item = self.inner.next()?;
+            if let (Ok((_, row)), Some(seen)) = (&item, &mut self.seen) {
+                if !seen.insert(*row) {
+                    continue;
+                }
+            }
+            return Some(item);
+        }
+    }
+}
+
+impl<K> std::fmt::Debug for Cursor<'_, K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cursor")
+            .field("deduplicating", &self.seen.is_some())
+            .finish()
+    }
+}
+
+/// The unified interface of every space-partitioning index.
+///
+/// All five wrappers implement this trait (through the [`SpGistBacked`]
+/// blanket impl), so one generic function can build, maintain and query any
+/// of them:
+///
+/// ```
+/// use spgist_indexes::{SpIndex, TrieIndex, StringQuery};
+/// use spgist_storage::BufferPool;
+///
+/// fn count_matches<I: SpIndex>(index: &I, query: &I::Query) -> u64 {
+///     index.cursor(query).unwrap().count() as u64
+/// }
+///
+/// let mut trie = TrieIndex::open(BufferPool::in_memory()).unwrap();
+/// trie.insert("space", 1).unwrap();
+/// trie.insert("spade", 2).unwrap();
+/// assert_eq!(count_matches(&trie, &StringQuery::Prefix("sp".into())), 2);
+/// ```
+pub trait SpIndex {
+    /// Key type stored by the index (the paper's *KeyType*).
+    type Key: Clone;
+    /// Query predicate type of the operators registered for the index.
+    type Query: Clone;
+
+    /// Opens a fresh index with default parameters on `pool`.
+    fn open(pool: Arc<BufferPool>) -> StorageResult<Self>
+    where
+        Self: Sized;
+
+    /// Inserts one `(key, row)` item.
+    fn insert(&mut self, key: Self::Key, row: RowId) -> StorageResult<()>;
+
+    /// Deletes one `(key, row)` item; returns whether something was removed.
+    fn delete(&mut self, key: &Self::Key, row: RowId) -> StorageResult<bool>;
+
+    /// Runs `query`, returning a streaming [`Cursor`] over the matches.
+    fn cursor(&self, query: &Self::Query) -> StorageResult<Cursor<'_, Self::Key>>;
+
+    /// Runs `query`, materializing every match (the eager counterpart of
+    /// [`SpIndex::cursor`]).
+    fn execute(&self, query: &Self::Query) -> StorageResult<Vec<(Self::Key, RowId)>> {
+        self.cursor(query)?.collect()
+    }
+
+    /// Number of logical items in the index.
+    fn len(&self) -> u64;
+
+    /// True if the index holds no items.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Structural statistics (heights, pages, size) gathered from the
+    /// backing tree.
+    fn stats(&self) -> StorageResult<TreeStats>;
+
+    /// Re-clusters the backing tree into fresh pages to minimize page
+    /// height (see [`SpGistTree::repack`]).
+    fn repack(&mut self) -> StorageResult<()>;
+}
+
+/// Glue between a concrete wrapper and the [`SpIndex`] blanket impl.
+///
+/// A wrapper states how to reach its backing [`SpGistTree`] and overrides
+/// only the hooks where its semantics differ from plain tree delegation.
+/// Everything else — cursor construction, statistics, repacking — is
+/// written once in the blanket impl.
+pub trait SpGistBacked {
+    /// External methods of the backing tree.
+    type Ops: SpGistOps;
+
+    /// Whether one logical item may surface several times in a raw tree
+    /// search (replicating indexes); cursors then deduplicate by row id.
+    const DEDUPE_ROWS: bool = false;
+
+    /// The backing generalized tree.
+    fn backing_tree(&self) -> &SpGistTree<Self::Ops>;
+
+    /// Mutable access to the backing generalized tree.
+    fn backing_tree_mut(&mut self) -> &mut SpGistTree<Self::Ops>;
+
+    /// Opens a fresh index with this wrapper's default parameters.
+    fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self>
+    where
+        Self: Sized;
+
+    /// Inserts one logical item.  The default inserts the key as-is; the
+    /// suffix tree overrides it to insert every suffix.
+    fn insert_key(&mut self, key: <Self::Ops as SpGistOps>::Key, row: RowId) -> StorageResult<()> {
+        self.backing_tree_mut().insert(key, row)
+    }
+
+    /// Deletes one logical item.  The default removes a single physical
+    /// occurrence; replicating or expanding indexes override it.
+    fn delete_key(
+        &mut self,
+        key: &<Self::Ops as SpGistOps>::Key,
+        row: RowId,
+    ) -> StorageResult<bool> {
+        self.backing_tree_mut().delete(key, row)
+    }
+
+    /// Rewrites a query into the form the backing tree executes (the suffix
+    /// tree answers substring queries as prefix queries over suffixes).
+    fn translate_query(
+        &self,
+        query: &<Self::Ops as SpGistOps>::Query,
+    ) -> <Self::Ops as SpGistOps>::Query {
+        query.clone()
+    }
+
+    /// Number of logical items (the suffix tree counts indexed words, not
+    /// stored suffixes).
+    fn item_count(&self) -> u64 {
+        self.backing_tree().len()
+    }
+}
+
+impl<T: SpGistBacked> SpIndex for T {
+    type Key = <T::Ops as SpGistOps>::Key;
+    type Query = <T::Ops as SpGistOps>::Query;
+
+    fn open(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        T::open_default(pool)
+    }
+
+    fn insert(&mut self, key: Self::Key, row: RowId) -> StorageResult<()> {
+        self.insert_key(key, row)
+    }
+
+    fn delete(&mut self, key: &Self::Key, row: RowId) -> StorageResult<bool> {
+        self.delete_key(key, row)
+    }
+
+    fn cursor(&self, query: &Self::Query) -> StorageResult<Cursor<'_, Self::Key>> {
+        let translated = self.translate_query(query);
+        let inner = self.backing_tree().search_cursor(translated);
+        Ok(if T::DEDUPE_ROWS {
+            Cursor::deduplicated(inner)
+        } else {
+            Cursor::new(inner)
+        })
+    }
+
+    fn len(&self) -> u64 {
+        self.item_count()
+    }
+
+    fn stats(&self) -> StorageResult<TreeStats> {
+        self.backing_tree().stats()
+    }
+
+    fn repack(&mut self) -> StorageResult<()> {
+        self.backing_tree_mut().repack()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geom::{Point, Rect, Segment};
+    use crate::query::{PointQuery, SegmentQuery, StringQuery};
+    use crate::{KdTreeIndex, PmrQuadtreeIndex, PointQuadtreeIndex, SuffixTreeIndex, TrieIndex};
+    use spgist_storage::BufferPool;
+
+    /// Exercises the whole trait surface through a generic function — the
+    /// point of the redesign is that this compiles once for all five
+    /// indexes.
+    fn exercise<I: SpIndex>(
+        mut index: I,
+        items: Vec<(I::Key, RowId)>,
+        query: I::Query,
+        expected_rows: &[RowId],
+    ) {
+        assert!(index.is_empty());
+        let total = items.len() as u64;
+        for (key, row) in &items {
+            index.insert(key.clone(), *row).unwrap();
+        }
+        assert_eq!(index.len(), total);
+
+        // Streaming and eager execution agree.
+        let eager = index.execute(&query).unwrap();
+        let streamed: Vec<_> = index
+            .cursor(&query)
+            .unwrap()
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        assert_eq!(eager.len(), streamed.len());
+        let mut rows: Vec<RowId> = eager.iter().map(|(_, r)| *r).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, expected_rows);
+
+        // Stats and repack work uniformly.
+        let stats = index.stats().unwrap();
+        assert!(stats.items > 0);
+        index.repack().unwrap();
+        assert_eq!(
+            index.cursor(&query).unwrap().rows().unwrap().len(),
+            expected_rows.len()
+        );
+
+        // Uniform delete: removing the first item makes it unfindable.
+        let (key, row) = &items[0];
+        assert!(index.delete(key, *row).unwrap());
+        assert!(!index.delete(key, *row).unwrap());
+        assert_eq!(index.len(), total - 1);
+    }
+
+    #[test]
+    fn trie_implements_spindex() {
+        let index = TrieIndex::open(BufferPool::in_memory()).unwrap();
+        exercise(
+            index,
+            vec![
+                ("star".to_string(), 0),
+                ("space".to_string(), 1),
+                ("spade".to_string(), 2),
+            ],
+            StringQuery::Prefix("sp".into()),
+            &[1, 2],
+        );
+    }
+
+    #[test]
+    fn suffix_tree_implements_spindex() {
+        let index = SuffixTreeIndex::open(BufferPool::in_memory()).unwrap();
+        exercise(
+            index,
+            vec![
+                ("database".to_string(), 0),
+                ("base".to_string(), 1),
+                ("tree".to_string(), 2),
+            ],
+            StringQuery::Substring("base".into()),
+            &[0, 1],
+        );
+    }
+
+    #[test]
+    fn kdtree_implements_spindex() {
+        let index = KdTreeIndex::open(BufferPool::in_memory()).unwrap();
+        exercise(
+            index,
+            vec![
+                (Point::new(1.0, 1.0), 0),
+                (Point::new(5.0, 5.0), 1),
+                (Point::new(9.0, 9.0), 2),
+            ],
+            PointQuery::InRect(Rect::new(0.0, 0.0, 6.0, 6.0)),
+            &[0, 1],
+        );
+    }
+
+    #[test]
+    fn quadtree_implements_spindex() {
+        let index = PointQuadtreeIndex::open(BufferPool::in_memory()).unwrap();
+        exercise(
+            index,
+            vec![
+                (Point::new(1.0, 1.0), 0),
+                (Point::new(5.0, 5.0), 1),
+                (Point::new(9.0, 9.0), 2),
+            ],
+            PointQuery::InRect(Rect::new(4.0, 4.0, 10.0, 10.0)),
+            &[1, 2],
+        );
+    }
+
+    #[test]
+    fn pmr_quadtree_implements_spindex() {
+        let index = PmrQuadtreeIndex::open(BufferPool::in_memory()).unwrap();
+        exercise(
+            index,
+            vec![
+                (
+                    Segment::new(Point::new(5.0, 5.0), Point::new(20.0, 15.0)),
+                    0,
+                ),
+                (
+                    Segment::new(Point::new(40.0, 40.0), Point::new(90.0, 90.0)),
+                    1,
+                ),
+                (
+                    Segment::new(Point::new(10.0, 80.0), Point::new(30.0, 60.0)),
+                    2,
+                ),
+            ],
+            SegmentQuery::InRect(Rect::new(0.0, 0.0, 30.0, 30.0)),
+            &[0],
+        );
+    }
+
+    #[test]
+    fn cursor_deduplicates_rows_while_streaming() {
+        let items = || {
+            vec![
+                ("a".to_string(), 1),
+                ("b".to_string(), 1),
+                ("c".to_string(), 2),
+            ]
+            .into_iter()
+            .map(StorageResult::Ok)
+        };
+        let plain: Vec<_> = Cursor::new(items()).collect::<StorageResult<_>>().unwrap();
+        assert_eq!(plain.len(), 3);
+        let deduped: Vec<_> = Cursor::deduplicated(items())
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        assert_eq!(deduped.len(), 2);
+        assert_eq!(deduped[0].1, 1);
+        assert_eq!(deduped[1].1, 2);
+    }
+}

@@ -8,21 +8,101 @@
 //! which is why the paper can compare the suffix tree only against sequential
 //! scanning: none of the other access methods supports substring match.
 
-use std::collections::HashSet;
 use std::sync::Arc;
 
-use spgist_core::{RowId, TreeStats};
+use spgist_core::{RowId, SpGistTree};
 use spgist_storage::{BufferPool, StorageResult};
 
 use crate::query::StringQuery;
+use crate::spindex::{SpGistBacked, SpIndex};
 use crate::trie::{TrieIndex, TrieOps};
 
 /// A disk-based suffix-tree index over strings (the paper's
 /// `SP_GiST_suffix` operator class with its `@=` substring operator).
+///
+/// One logical item (a word) is stored as all of its suffixes, so the
+/// [`SpIndex`] hooks expand inserts and deletes accordingly, report the
+/// word count (not the suffix count) from [`SpIndex::len`], and
+/// deduplicate query results by row id.  [`StringQuery::Substring`]
+/// queries are rewritten into prefix queries over the stored suffixes —
+/// the trick that lets the paper answer `@=` with trie navigation.
 pub struct SuffixTreeIndex {
     trie: TrieIndex,
     /// Number of original strings indexed (not suffixes).
     strings: u64,
+}
+
+impl SpGistBacked for SuffixTreeIndex {
+    type Ops = TrieOps;
+
+    const DEDUPE_ROWS: bool = true;
+
+    fn backing_tree(&self) -> &SpGistTree<TrieOps> {
+        self.trie.backing_tree()
+    }
+
+    fn backing_tree_mut(&mut self) -> &mut SpGistTree<TrieOps> {
+        self.trie.backing_tree_mut()
+    }
+
+    fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Self::create(pool)
+    }
+
+    fn insert_key(&mut self, word: String, row: RowId) -> StorageResult<()> {
+        for start in 0..word.len() {
+            self.trie.insert(&word[start..], row)?;
+        }
+        // The empty string has one suffix: itself.
+        if word.is_empty() {
+            self.trie.insert("", row)?;
+        }
+        self.strings += 1;
+        Ok(())
+    }
+
+    /// Removes every suffix entry of `word` for `row`.
+    ///
+    /// The caller must pass the word originally indexed for that row (the
+    /// `spgist-catalog` executor reads it back from the heap).  Passing a
+    /// *different* word cannot be detected in general — a stored suffix of
+    /// the indexed word is indistinguishable from a suffix of the requested
+    /// one — but the common misuses are contained: every suffix is verified
+    /// present *before* anything is removed (so a word that was never
+    /// indexed deletes nothing and returns `false`), and the word counter
+    /// never underflows.
+    fn delete_key(&mut self, word: &String, row: RowId) -> StorageResult<bool> {
+        let suffixes: Vec<&str> = if word.is_empty() {
+            vec![""]
+        } else {
+            (0..word.len()).map(|start| &word[start..]).collect()
+        };
+        for suffix in &suffixes {
+            let query = StringQuery::Equals((*suffix).to_string());
+            let mut cursor = self.trie.cursor(&query)?;
+            let present = cursor.any(|item| matches!(item, Ok((_, r)) if r == row));
+            if !present {
+                return Ok(false);
+            }
+        }
+        for suffix in suffixes {
+            self.trie.delete(suffix, row)?;
+        }
+        self.strings = self.strings.saturating_sub(1);
+        Ok(true)
+    }
+
+    fn translate_query(&self, query: &StringQuery) -> StringQuery {
+        match query {
+            // Substring match over words = prefix match over suffixes.
+            StringQuery::Substring(needle) => StringQuery::Prefix(needle.clone()),
+            other => other.clone(),
+        }
+    }
+
+    fn item_count(&self) -> u64 {
+        self.strings
+    }
 }
 
 impl SuffixTreeIndex {
@@ -35,50 +115,29 @@ impl SuffixTreeIndex {
     }
 
     /// Indexes `word`: every suffix of the word is inserted, pointing at
-    /// heap row `row`.
+    /// heap row `row` (borrowed-`str` shim over [`SpIndex::insert`]).
     pub fn insert(&mut self, word: &str, row: RowId) -> StorageResult<()> {
-        for start in 0..word.len() {
-            self.trie.insert(&word[start..], row)?;
-        }
-        // The empty string has one suffix: itself.
-        if word.is_empty() {
-            self.trie.insert("", row)?;
-        }
-        self.strings += 1;
-        Ok(())
+        SpIndex::insert(self, word.to_string(), row)
+    }
+
+    /// Removes the word previously indexed for `row`; returns whether
+    /// anything was removed (borrowed-`str` shim over [`SpIndex::delete`]).
+    pub fn delete(&mut self, word: &str, row: RowId) -> StorageResult<bool> {
+        SpIndex::delete(self, &word.to_string(), row)
     }
 
     /// `@=` operator: rows whose key contains `needle` as a substring.
     pub fn substring(&self, needle: &str) -> StorageResult<Vec<RowId>> {
-        let hits = self.trie.search(&StringQuery::Prefix(needle.to_string()))?;
-        let mut seen = HashSet::new();
-        let mut rows: Vec<RowId> = hits
-            .into_iter()
-            .map(|(_, row)| row)
-            .filter(|row| seen.insert(*row))
-            .collect();
+        let mut rows = self
+            .cursor(&StringQuery::Substring(needle.to_string()))?
+            .rows()?;
         rows.sort_unstable();
         Ok(rows)
     }
 
-    /// Number of indexed strings.
-    pub fn len(&self) -> u64 {
-        self.strings
-    }
-
-    /// True if nothing has been indexed.
-    pub fn is_empty(&self) -> bool {
-        self.strings == 0
-    }
-
     /// Number of suffix entries stored in the underlying trie.
     pub fn suffix_count(&self) -> u64 {
-        self.trie.len()
-    }
-
-    /// Structural statistics of the underlying trie.
-    pub fn stats(&self) -> StorageResult<TreeStats> {
-        self.trie.stats()
+        self.backing_tree().len()
     }
 }
 
@@ -122,8 +181,16 @@ mod tests {
     #[test]
     fn agreement_with_sequential_contains_scan() {
         let words = [
-            "space", "partitioning", "trees", "postgresql", "realization", "performance",
-            "quadtree", "kdtree", "suffix", "patricia",
+            "space",
+            "partitioning",
+            "trees",
+            "postgresql",
+            "realization",
+            "performance",
+            "quadtree",
+            "kdtree",
+            "suffix",
+            "patricia",
         ];
         let index = index_with(&words);
         for needle in ["a", "tr", "ti", "on", "qu", "zz", "post"] {
@@ -133,7 +200,11 @@ mod tests {
                 .filter(|(_, w)| w.contains(needle))
                 .map(|(i, _)| i as RowId)
                 .collect();
-            assert_eq!(index.substring(needle).unwrap(), expected, "needle {needle}");
+            assert_eq!(
+                index.substring(needle).unwrap(),
+                expected,
+                "needle {needle}"
+            );
         }
     }
 
@@ -142,5 +213,42 @@ mod tests {
         let index = index_with(&["hello"]);
         assert_eq!(index.substring("hello").unwrap(), vec![0]);
         assert!(index.substring("helloo").unwrap().is_empty());
+    }
+
+    #[test]
+    fn delete_removes_every_suffix_of_the_word() {
+        let mut index = index_with(&["database", "base"]);
+        assert_eq!(index.substring("base").unwrap(), vec![0, 1]);
+        assert!(index.delete("database", 0).unwrap());
+        assert_eq!(index.substring("base").unwrap(), vec![1]);
+        assert!(index.substring("data").unwrap().is_empty());
+        assert_eq!(index.len(), 1);
+        // Suffixes of the surviving word are untouched.
+        assert_eq!(index.suffix_count(), 4);
+        // Deleting again (or a word never indexed) removes nothing.
+        assert!(!index.delete("database", 0).unwrap());
+        assert!(!index.delete("tree", 7).unwrap());
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn deleting_an_unindexed_word_leaves_overlapping_suffixes_intact() {
+        let mut index = index_with(&["database"]);
+        // "xbase" was never indexed; its tail suffixes collide with stored
+        // suffixes of "database", but every suffix is verified present
+        // before anything is removed, so nothing is deleted.
+        assert!(!index.delete("xbase", 0).unwrap());
+        assert_eq!(index.substring("base").unwrap(), vec![0]);
+        assert_eq!(index.len(), 1);
+    }
+
+    #[test]
+    fn empty_word_roundtrip() {
+        let mut index = index_with(&[]);
+        index.insert("", 3).unwrap();
+        assert_eq!(index.len(), 1);
+        assert_eq!(index.substring("").unwrap(), vec![3]);
+        assert!(index.delete("", 3).unwrap());
+        assert!(index.is_empty());
     }
 }

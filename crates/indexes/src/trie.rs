@@ -15,11 +15,11 @@ use std::sync::Arc;
 
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
-    TreeStats,
 };
 use spgist_storage::{BufferPool, StorageResult};
 
 use crate::query::{hamming_distance, StringQuery};
+use crate::spindex::{SpGistBacked, SpIndex};
 
 /// Entry predicate marking "the key ends at this position" (the paper's
 /// *blank* predicate).  Zero never collides with real characters.
@@ -188,11 +188,7 @@ impl SpGistOps for TrieOps {
             let pb = pfx.as_bytes();
             let kb = key.as_bytes();
             let rest = &kb[pos.min(kb.len())..];
-            let common = pb
-                .iter()
-                .zip(rest)
-                .take_while(|(a, b)| a == b)
-                .count();
+            let common = pb.iter().zip(rest).take_while(|(a, b)| a == b).count();
             if common < pb.len() {
                 // The new key disagrees with the stored prefix: split it.
                 return Choose::SplitPrefix {
@@ -222,11 +218,7 @@ impl SpGistOps for TrieOps {
                 common = Some(match common {
                     None => rest,
                     Some(current) => {
-                        let len = current
-                            .iter()
-                            .zip(rest)
-                            .take_while(|(a, b)| a == b)
-                            .count();
+                        let len = current.iter().zip(rest).take_while(|(a, b)| a == b).count();
                         &current[..len]
                     }
                 });
@@ -245,8 +237,7 @@ impl SpGistOps for TrieOps {
             }
         }
         PickSplit {
-            prefix: (!common.is_empty())
-                .then(|| String::from_utf8_lossy(common).into_owned()),
+            prefix: (!common.is_empty()).then(|| String::from_utf8_lossy(common).into_owned()),
             partitions,
         }
     }
@@ -289,9 +280,29 @@ impl SpGistOps for TrieOps {
 ///
 /// This is the user-facing wrapper combining [`TrieOps`] with the generalized
 /// [`SpGistTree`]; it exposes the operators of the paper's `SP_GiST_trie`
-/// operator class.
+/// operator class.  The uniform surface — `open` / `insert` / `delete` /
+/// `execute` / `cursor` / `len` / `stats` / `repack` — comes from the
+/// [`SpIndex`] trait; the inherent methods below are thin operator sugar
+/// (`=`, `#=`, `?=`, `@@`) plus `&str`-taking shims kept for source
+/// compatibility with the pre-`SpIndex` API.
 pub struct TrieIndex {
     tree: SpGistTree<TrieOps>,
+}
+
+impl SpGistBacked for TrieIndex {
+    type Ops = TrieOps;
+
+    fn backing_tree(&self) -> &SpGistTree<TrieOps> {
+        &self.tree
+    }
+
+    fn backing_tree_mut(&mut self) -> &mut SpGistTree<TrieOps> {
+        &mut self.tree
+    }
+
+    fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
+        Self::create(pool)
+    }
 }
 
 impl TrieIndex {
@@ -308,34 +319,31 @@ impl TrieIndex {
         })
     }
 
-    /// Inserts a word pointing at heap row `row`.
+    /// Inserts a word pointing at heap row `row` (borrowed-`str` shim over
+    /// [`SpIndex::insert`]).
     pub fn insert(&mut self, word: &str, row: RowId) -> StorageResult<()> {
-        self.tree.insert(word.to_string(), row)
+        SpIndex::insert(self, word.to_string(), row)
     }
 
-    /// Deletes one `(word, row)` entry; returns whether something was removed.
+    /// Deletes one `(word, row)` entry; returns whether something was
+    /// removed (borrowed-`str` shim over [`SpIndex::delete`]).
     pub fn delete(&mut self, word: &str, row: RowId) -> StorageResult<bool> {
-        self.tree.delete(&word.to_string(), row)
+        SpIndex::delete(self, &word.to_string(), row)
     }
 
     /// `=` operator: rows whose key equals `word`.
     pub fn equals(&self, word: &str) -> StorageResult<Vec<RowId>> {
-        Ok(self
-            .tree
-            .search(&StringQuery::Equals(word.to_string()))?
-            .into_iter()
-            .map(|(_, row)| row)
-            .collect())
+        self.cursor(&StringQuery::Equals(word.to_string()))?.rows()
     }
 
     /// `#=` operator: `(key, row)` pairs whose key starts with `prefix`.
     pub fn prefix(&self, prefix: &str) -> StorageResult<Vec<(String, RowId)>> {
-        self.tree.search(&StringQuery::Prefix(prefix.to_string()))
+        self.execute(&StringQuery::Prefix(prefix.to_string()))
     }
 
     /// `?=` operator: `(key, row)` pairs matching a `?`-wildcard pattern.
     pub fn regex(&self, pattern: &str) -> StorageResult<Vec<(String, RowId)>> {
-        self.tree.search(&StringQuery::Regex(pattern.to_string()))
+        self.execute(&StringQuery::Regex(pattern.to_string()))
     }
 
     /// `@@` operator: the `k` nearest keys to `word` under the Hamming-style
@@ -345,30 +353,10 @@ impl TrieIndex {
             .nn_search(StringQuery::Nearest(word.to_string()), k)
     }
 
-    /// Runs an arbitrary [`StringQuery`] against the index.
+    /// Runs an arbitrary [`StringQuery`] against the index (shim kept for
+    /// the pre-`SpIndex` API; prefer [`SpIndex::execute`]).
     pub fn search(&self, query: &StringQuery) -> StorageResult<Vec<(String, RowId)>> {
-        self.tree.search(query)
-    }
-
-    /// Number of indexed words.
-    pub fn len(&self) -> u64 {
-        self.tree.len()
-    }
-
-    /// True if the index is empty.
-    pub fn is_empty(&self) -> bool {
-        self.tree.is_empty()
-    }
-
-    /// Structural statistics (heights, pages, size).
-    pub fn stats(&self) -> StorageResult<TreeStats> {
-        self.tree.stats()
-    }
-
-    /// Re-clusters the tree to minimize page height (offline Diwan-style
-    /// packing); see [`SpGistTree::repack`].
-    pub fn repack(&mut self) -> StorageResult<()> {
-        self.tree.repack()
+        self.execute(query)
     }
 
     /// Access to the underlying generalized tree.
@@ -389,7 +377,9 @@ mod tests {
         index
     }
 
-    const PAPER_WORDS: &[&str] = &["star", "space", "spade", "blue", "bit", "take", "top", "zero"];
+    const PAPER_WORDS: &[&str] = &[
+        "star", "space", "spade", "blue", "bit", "take", "top", "zero",
+    ];
 
     #[test]
     fn equality_matches_exactly_one_word() {

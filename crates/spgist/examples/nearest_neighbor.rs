@@ -27,18 +27,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let anchor = Point::new(50.0, 50.0);
     println!("5 nearest points to (50, 50):");
     for (p, row, d) in kd.nearest(anchor, 5)? {
-        println!("  kd-tree   row {row:>5}  ({:>6.2}, {:>6.2})  dist {d:.3}", p.x, p.y);
+        println!(
+            "  kd-tree   row {row:>5}  ({:>6.2}, {:>6.2})  dist {d:.3}",
+            p.x, p.y
+        );
     }
     for (p, row, d) in quad.nearest(anchor, 5)? {
-        println!("  quadtree  row {row:>5}  ({:>6.2}, {:>6.2})  dist {d:.3}", p.x, p.y);
+        println!(
+            "  quadtree  row {row:>5}  ({:>6.2}, {:>6.2})  dist {d:.3}",
+            p.x, p.y
+        );
     }
     // Both spatial indexes must agree on the distances (the points may tie).
     let kd_d: Vec<f64> = kd.nearest(anchor, 5)?.iter().map(|(_, _, d)| *d).collect();
-    let quad_d: Vec<f64> = quad.nearest(anchor, 5)?.iter().map(|(_, _, d)| *d).collect();
-    assert!(kd_d
+    let quad_d: Vec<f64> = quad
+        .nearest(anchor, 5)?
         .iter()
-        .zip(&quad_d)
-        .all(|(a, b)| (a - b).abs() < 1e-9));
+        .map(|(_, _, d)| *d)
+        .collect();
+    assert!(kd_d.iter().zip(&quad_d).all(|(a, b)| (a - b).abs() < 1e-9));
 
     let target = &word_data[42];
     println!("5 nearest words to {target:?} (Hamming-style distance):");

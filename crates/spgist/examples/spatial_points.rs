@@ -33,8 +33,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (kd_hits, kd_ms) = time(&mut || queries.iter().map(|q| kd.equals(*q).unwrap().len()).sum());
     let (quad_hits, quad_ms) =
         time(&mut || queries.iter().map(|q| quad.equals(*q).unwrap().len()).sum());
-    let (rt_hits, rt_ms) =
-        time(&mut || queries.iter().map(|q| rtree.point_match(*q).unwrap().len()).sum());
+    let (rt_hits, rt_ms) = time(&mut || {
+        queries
+            .iter()
+            .map(|q| rtree.point_match(*q).unwrap().len())
+            .sum()
+    });
     assert_eq!(kd_hits, rt_hits);
     assert_eq!(quad_hits, rt_hits);
     println!("point match : kd {kd_ms:.1} ms | quadtree {quad_ms:.1} ms | R-tree {rt_ms:.1} ms");
@@ -44,8 +48,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (kd_hits, kd_ms) = time(&mut || windows.iter().map(|w| kd.range(*w).unwrap().len()).sum());
     let (quad_hits, quad_ms) =
         time(&mut || windows.iter().map(|w| quad.range(*w).unwrap().len()).sum());
-    let (rt_hits, rt_ms) =
-        time(&mut || windows.iter().map(|w| rtree.window(*w).unwrap().len()).sum());
+    let (rt_hits, rt_ms) = time(&mut || {
+        windows
+            .iter()
+            .map(|w| rtree.window(*w).unwrap().len())
+            .sum()
+    });
     assert_eq!(kd_hits, rt_hits);
     assert_eq!(quad_hits, rt_hits);
     println!("range search: kd {kd_ms:.1} ms | quadtree {quad_ms:.1} ms | R-tree {rt_ms:.1} ms");

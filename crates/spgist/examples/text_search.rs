@@ -13,7 +13,10 @@ use spgist::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = words(20_000, 7);
-    println!("indexing {} words (uniform length 1..=15, letters a..z)", data.len());
+    println!(
+        "indexing {} words (uniform length 1..=15, letters a..z)",
+        data.len()
+    );
 
     let mut trie = TrieIndex::create(BufferPool::in_memory())?;
     let mut btree = BPlusTree::create(BufferPool::in_memory())?;
@@ -36,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|p| btree.regex_search(p).unwrap().len())
         .sum();
     let btree_time = start.elapsed();
-    assert_eq!(trie_hits, btree_hits, "both access paths agree on the result");
+    assert_eq!(
+        trie_hits, btree_hits,
+        "both access paths agree on the result"
+    );
     println!(
         "regex '?': trie {:.1} ms vs B+-tree {:.1} ms ({} hits, {:.0}x)",
         trie_time.as_secs_f64() * 1e3,
@@ -48,7 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Substring search: only the suffix tree can prune; everyone else scans.
     let needles = QueryWorkload::substrings(&data, 50, 4, 11);
     let start = Instant::now();
-    let sub_hits: usize = needles.iter().map(|n| suffix.substring(n).unwrap().len()).sum();
+    let sub_hits: usize = needles
+        .iter()
+        .map(|n| suffix.substring(n).unwrap().len())
+        .sum();
     let suffix_time = start.elapsed();
     let start = Instant::now();
     let scan_hits: usize = needles

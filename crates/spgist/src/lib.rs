@@ -6,19 +6,43 @@
 //!
 //! * [`storage`] — pages, pager, buffer pool, heap files,
 //! * [`core`] — the SP-GiST framework (external-method trait, generalized
-//!   insert/search/delete/NN, node→page clustering),
-//! * [`indexes`] — the five instantiations: patricia trie, suffix tree,
+//!   insert/search/delete/NN, streaming search cursors, node→page
+//!   clustering),
+//! * [`indexes`] — the five instantiations behind the unified
+//!   [`SpIndex`](indexes::SpIndex) trait: patricia trie, suffix tree,
 //!   kd-tree, point quadtree, PMR quadtree,
 //! * [`baselines`] — the B⁺-tree, R-tree and sequential-scan comparators,
 //! * [`catalog`] — the PostgreSQL-style access-method / operator-class
-//!   catalog, cost model and planner,
+//!   catalog, cost model, planner, and the executable query layer
+//!   ([`Database`](catalog::Database): plan → cursor → results),
 //! * [`datagen`] — the paper's synthetic workload generators.
+//!
+//! The one-API surface in action — the same predicate is planned against the
+//! catalog, routed to a physical index chosen by cost, and executed through
+//! a streaming cursor:
 //!
 //! ```
 //! use spgist::prelude::*;
 //!
-//! let pool = BufferPool::in_memory();
-//! let mut trie = TrieIndex::create(pool).unwrap();
+//! let mut db = Database::in_memory();
+//! db.create_table("words", KeyType::Varchar).unwrap();
+//! let table = db.table_mut("words").unwrap();
+//! for (row, word) in ["space", "spade", "star", "blue"].iter().enumerate() {
+//!     assert_eq!(table.insert(*word).unwrap(), row as RowId);
+//! }
+//! table.create_index("words_trie", IndexSpec::Trie).unwrap();
+//!
+//! // `?=` regular-expression predicate: planned, then executed.
+//! let rows = db.query("words", &Predicate::str_regex("spa?e")).unwrap();
+//! assert_eq!(rows.rows().unwrap(), vec![0, 1]);
+//! ```
+//!
+//! Each index is also usable directly through [`SpIndex`](indexes::SpIndex):
+//!
+//! ```
+//! use spgist::prelude::*;
+//!
+//! let mut trie = TrieIndex::open(BufferPool::in_memory()).unwrap();
 //! trie.insert("space", 1).unwrap();
 //! trie.insert("spade", 2).unwrap();
 //! assert_eq!(trie.regex("spa?e").unwrap().len(), 2);
@@ -37,14 +61,17 @@ pub use spgist_storage as storage;
 /// Commonly used types, re-exported for `use spgist::prelude::*`.
 pub mod prelude {
     pub use spgist_baselines::{BPlusTree, RTree, SeqScanTable};
-    pub use spgist_catalog::{AccessMethod, Catalog, Planner, QueryPredicate, TableStats};
+    pub use spgist_catalog::{
+        AccessMethod, AccessPath, AvailableIndex, Catalog, Database, Datum, ExecCursor, IndexSpec,
+        KeyType, Planner, Predicate, QueryPredicate, ScanSource, Table, TableStats,
+    };
     pub use spgist_core::{
-        ClusteringPolicy, NodeShrink, PathShrink, RowId, SpGistConfig, SpGistOps, SpGistTree,
-        TreeStats,
+        ClusteringPolicy, NodeShrink, PathShrink, RowId, SearchCursor, SpGistConfig, SpGistOps,
+        SpGistTree, TreeStats,
     };
     pub use spgist_indexes::{
-        KdTreeIndex, PmrQuadtreeIndex, Point, PointQuadtreeIndex, PointQuery, Rect, Segment,
-        SegmentQuery, StringQuery, SuffixTreeIndex, TrieIndex, TrieOps,
+        Cursor, KdTreeIndex, PmrQuadtreeIndex, Point, PointQuadtreeIndex, PointQuery, Rect,
+        Segment, SegmentQuery, SpIndex, StringQuery, SuffixTreeIndex, TrieIndex, TrieOps,
     };
     pub use spgist_storage::{BufferPool, BufferPoolConfig, FilePager, MemPager, Pager};
 }

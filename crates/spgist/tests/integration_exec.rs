@@ -1,0 +1,248 @@
+//! End-to-end plan→execute tests: the access path the planner chooses is
+//! the one the executor actually scans, routing is decided purely by the
+//! catalog and the measured index statistics, and every path returns the
+//! same rows.
+
+use spgist::datagen::words;
+use spgist::prelude::*;
+
+/// A words table large enough that selective predicates favour index scans.
+fn word_database(n: usize) -> (Database, Vec<String>) {
+    let mut db = Database::in_memory();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    let data = words(n, 77);
+    let table = db.table_mut("words").unwrap();
+    for w in &data {
+        table.insert(w.as_str()).unwrap();
+    }
+    (db, data)
+}
+
+fn scan_model(data: &[String], pred: impl Fn(&str) -> bool) -> Vec<RowId> {
+    data.iter()
+        .enumerate()
+        .filter(|(_, w)| pred(w))
+        .map(|(i, _)| i as RowId)
+        .collect()
+}
+
+#[test]
+fn planner_routes_each_operator_to_the_index_that_supports_it() {
+    let (mut db, data) = word_database(6_000);
+    let table = db.table_mut("words").unwrap();
+    table.create_index("words_trie", IndexSpec::Trie).unwrap();
+    table
+        .create_index("words_suffix", IndexSpec::SuffixTree)
+        .unwrap();
+
+    // `?=` (regex) is only in the trie operator class.
+    let pattern = {
+        let mut p = data[100].clone().into_bytes();
+        p[0] = b'?';
+        String::from_utf8(p).unwrap()
+    };
+    let cursor = db.query("words", &Predicate::str_regex(&pattern)).unwrap();
+    assert!(matches!(cursor.path(), AccessPath::IndexScan { index, .. } if index == "words_trie"));
+    assert_eq!(
+        cursor.source(),
+        &ScanSource::Index {
+            name: "words_trie".into()
+        },
+        "the planned index is the one scanned"
+    );
+    let mut rows = cursor.rows().unwrap();
+    rows.sort_unstable();
+    let pb = pattern.as_bytes();
+    assert_eq!(
+        rows,
+        scan_model(&data, |w| {
+            w.len() == pb.len() && pb.iter().zip(w.bytes()).all(|(p, c)| *p == b'?' || *p == c)
+        })
+    );
+
+    // `@=` (substring) is only in the suffix-tree operator class.
+    let needle = &data[200][..data[200].len().min(3)];
+    let cursor = db
+        .query("words", &Predicate::str_substring(needle))
+        .unwrap();
+    assert!(
+        matches!(cursor.path(), AccessPath::IndexScan { index, .. } if index == "words_suffix")
+    );
+    assert_eq!(
+        cursor.source(),
+        &ScanSource::Index {
+            name: "words_suffix".into()
+        }
+    );
+    let mut rows = cursor.rows().unwrap();
+    rows.sort_unstable();
+    assert_eq!(rows, scan_model(&data, |w| w.contains(needle)));
+}
+
+#[test]
+fn unsupported_operator_falls_back_to_a_sequential_scan_with_same_results() {
+    let (mut db, data) = word_database(4_000);
+    db.table_mut("words")
+        .unwrap()
+        .create_index("words_trie", IndexSpec::Trie)
+        .unwrap();
+
+    // The trie class does not register `@=`: with no suffix tree built, the
+    // planner must fall back to the heap even though an index exists.
+    let needle = &data[42][..data[42].len().min(3)];
+    let cursor = db
+        .query("words", &Predicate::str_substring(needle))
+        .unwrap();
+    assert!(matches!(cursor.path(), AccessPath::SeqScan { .. }));
+    assert_eq!(cursor.source(), &ScanSource::Heap);
+    let mut rows = cursor.rows().unwrap();
+    rows.sort_unstable();
+    assert_eq!(rows, scan_model(&data, |w| w.contains(needle)));
+}
+
+#[test]
+fn routing_follows_the_catalog_not_the_physical_indexes() {
+    let (mut db, data) = word_database(5_000);
+    db.table_mut("words")
+        .unwrap()
+        .create_index("words_trie", IndexSpec::Trie)
+        .unwrap();
+    let probe = data[7].clone();
+
+    // With the trie's operator class registered, equality uses the trie.
+    let cursor = db.query("words", &Predicate::str_equals(&probe)).unwrap();
+    assert_eq!(
+        cursor.source(),
+        &ScanSource::Index {
+            name: "words_trie".into()
+        }
+    );
+    let indexed = cursor.rows().unwrap();
+
+    // Drop the operator class from the catalog (`DROP OPERATOR CLASS`): the
+    // physical index is untouched, but the planner can no longer use it —
+    // the same query now routes to the heap, purely by catalog decision.
+    db.catalog_mut().unregister_operator_class("SP_GiST_trie");
+    let cursor = db.query("words", &Predicate::str_equals(&probe)).unwrap();
+    assert!(matches!(cursor.path(), AccessPath::SeqScan { .. }));
+    assert_eq!(cursor.source(), &ScanSource::Heap);
+    assert_eq!(cursor.rows().unwrap(), indexed, "same rows either way");
+
+    // Re-register the class: the index is immediately chosen again.
+    db.catalog_mut().register_operator_class(
+        spgist::catalog::OperatorClass::paper_classes()
+            .into_iter()
+            .find(|c| c.name == "SP_GiST_trie")
+            .unwrap(),
+    );
+    let cursor = db.query("words", &Predicate::str_equals(&probe)).unwrap();
+    assert_eq!(
+        cursor.source(),
+        &ScanSource::Index {
+            name: "words_trie".into()
+        }
+    );
+}
+
+#[test]
+fn same_query_routes_to_different_physical_indexes_per_table_setup() {
+    // Two identical point tables, indexed differently: the identical
+    // predicate is served by the kd-tree on one and the quadtree on the
+    // other, with identical results — one API, interchangeable physical
+    // structures.  The table must be large enough that descending a deep
+    // spatial index beats rescanning the (compact) point heap.
+    let mut db = Database::in_memory();
+    let pts = spgist::datagen::points(20_000, 9);
+    for (name, spec) in [
+        ("kd_points", IndexSpec::KdTree),
+        ("quad_points", IndexSpec::PointQuadtree),
+    ] {
+        db.create_table(name, KeyType::Point).unwrap();
+        let table = db.table_mut(name).unwrap();
+        for p in &pts {
+            table.insert(*p).unwrap();
+        }
+        table.create_index(&format!("{name}_idx"), spec).unwrap();
+    }
+
+    let predicate = Predicate::point_equals(pts[123]);
+    let kd_cursor = db.query("kd_points", &predicate).unwrap();
+    assert_eq!(
+        kd_cursor.source(),
+        &ScanSource::Index {
+            name: "kd_points_idx".into()
+        }
+    );
+    let quad_cursor = db.query("quad_points", &predicate).unwrap();
+    assert_eq!(
+        quad_cursor.source(),
+        &ScanSource::Index {
+            name: "quad_points_idx".into()
+        }
+    );
+    let mut kd_rows = kd_cursor.rows().unwrap();
+    let mut quad_rows = quad_cursor.rows().unwrap();
+    kd_rows.sort_unstable();
+    quad_rows.sort_unstable();
+    assert_eq!(kd_rows, quad_rows);
+    assert!(kd_rows.contains(&123));
+}
+
+#[test]
+fn segment_table_routes_window_queries_to_the_pmr_quadtree() {
+    let mut db = Database::in_memory();
+    db.create_table("roads", KeyType::Segment).unwrap();
+    let world = spgist::datagen::world();
+    let segs = spgist::datagen::segments(3_000, 15.0, 4);
+    let table = db.table_mut("roads").unwrap();
+    for s in &segs {
+        table.insert(*s).unwrap();
+    }
+    table
+        .create_index("roads_pmr", IndexSpec::PmrQuadtree { world })
+        .unwrap();
+
+    let window = Rect::new(30.0, 30.0, 45.0, 45.0);
+    let cursor = db
+        .query("roads", &Predicate::segment_in_rect(window))
+        .unwrap();
+    assert_eq!(
+        cursor.source(),
+        &ScanSource::Index {
+            name: "roads_pmr".into()
+        }
+    );
+    let mut rows = cursor.rows().unwrap();
+    rows.sort_unstable();
+    let expected: Vec<RowId> = segs
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.intersects_rect(&window))
+        .map(|(i, _)| i as RowId)
+        .collect();
+    assert_eq!(
+        rows, expected,
+        "deduplicated index scan equals a model scan"
+    );
+}
+
+#[test]
+fn streamed_rows_equal_materialized_rows_through_the_executor() {
+    let (mut db, data) = word_database(3_000);
+    db.table_mut("words")
+        .unwrap()
+        .create_index("words_trie", IndexSpec::Trie)
+        .unwrap();
+    let prefix = &data[11][..data[11].len().min(2)];
+    let predicate = Predicate::str_prefix(prefix);
+
+    // Pull the first three matches lazily, then compare to the full drain.
+    let mut cursor = db.query("words", &predicate).unwrap();
+    let first3: Vec<RowId> = cursor
+        .by_ref()
+        .take(3)
+        .map(|item| item.unwrap().0)
+        .collect();
+    let full: Vec<RowId> = db.query("words", &predicate).unwrap().rows().unwrap();
+    assert_eq!(&full[..first3.len()], &first3[..]);
+}

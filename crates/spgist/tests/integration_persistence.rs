@@ -52,7 +52,8 @@ fn trie_survives_restart_and_remains_updatable() {
             assert!(hits.iter().any(|(_, r)| *r == row as RowId), "lost {w:?}");
         }
         // The index keeps working after reopening.
-        tree.insert("freshlyinserted".to_string(), 1_000_000).unwrap();
+        tree.insert("freshlyinserted".to_string(), 1_000_000)
+            .unwrap();
         let hits = tree
             .search(&StringQuery::Equals("freshlyinserted".to_string()))
             .unwrap();

@@ -7,7 +7,15 @@ use spgist::catalog::AccessPath;
 use spgist::datagen::words;
 use spgist::prelude::*;
 
-fn build_table(n: usize) -> (Vec<String>, TrieIndex, BPlusTree, SuffixTreeIndex, TableStats) {
+fn build_table(
+    n: usize,
+) -> (
+    Vec<String>,
+    TrieIndex,
+    BPlusTree,
+    SuffixTreeIndex,
+    TableStats,
+) {
     let data = words(n, 77);
     let mut trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
     let mut btree = BPlusTree::create(BufferPool::in_memory()).unwrap();

@@ -38,7 +38,12 @@ fn equality_queries_agree_between_trie_and_btree() {
 fn prefix_queries_agree_between_trie_and_btree() {
     let (data, trie, btree, _) = build(8_000, 3);
     for q in QueryWorkload::prefixes(&data, 100, 1, 4) {
-        let mut a: Vec<RowId> = trie.prefix(&q).unwrap().into_iter().map(|(_, r)| r).collect();
+        let mut a: Vec<RowId> = trie
+            .prefix(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         let mut b: Vec<RowId> = btree
             .prefix_search(q.as_bytes())
             .unwrap()
@@ -55,14 +60,26 @@ fn prefix_queries_agree_between_trie_and_btree() {
 fn regex_queries_agree_between_trie_and_btree_and_scan() {
     let (data, trie, btree, _) = build(8_000, 5);
     for q in QueryWorkload::regexes(&data, 100, 2, 6) {
-        let mut a: Vec<RowId> = trie.regex(&q).unwrap().into_iter().map(|(_, r)| r).collect();
-        let mut b: Vec<RowId> = btree.regex_search(&q).unwrap().into_iter().map(|(_, r)| r).collect();
+        let mut a: Vec<RowId> = trie
+            .regex(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        let mut b: Vec<RowId> = btree
+            .regex_search(&q)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
         let mut scan: Vec<RowId> = data
             .iter()
             .enumerate()
             .filter(|(_, w)| {
                 w.len() == q.len()
-                    && q.bytes().zip(w.bytes()).all(|(pc, wc)| pc == b'?' || pc == wc)
+                    && q.bytes()
+                        .zip(w.bytes())
+                        .all(|(pc, wc)| pc == b'?' || pc == wc)
             })
             .map(|(i, _)| i as RowId)
             .collect();
@@ -84,7 +101,11 @@ fn substring_queries_agree_between_suffix_tree_and_scan() {
             .filter(|(_, w)| w.contains(q.as_str()))
             .map(|(i, _)| i as RowId)
             .collect();
-        assert_eq!(suffix.substring(&q).unwrap(), expected, "substring mismatch for {q:?}");
+        assert_eq!(
+            suffix.substring(&q).unwrap(),
+            expected,
+            "substring mismatch for {q:?}"
+        );
     }
 }
 

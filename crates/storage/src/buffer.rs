@@ -115,7 +115,9 @@ impl BufferPool {
 
     /// Convenience constructor: a pool over a fresh in-memory pager.
     pub fn in_memory() -> Arc<Self> {
-        Arc::new(Self::with_default_config(Arc::new(crate::pager::MemPager::new())))
+        Arc::new(Self::with_default_config(Arc::new(
+            crate::pager::MemPager::new(),
+        )))
     }
 
     /// Number of pages allocated in the underlying pager.
@@ -143,11 +145,7 @@ impl BufferPool {
     }
 
     /// Runs `f` with a mutable view of page `id`; the page is marked dirty.
-    pub fn with_page_mut<R>(
-        &self,
-        id: PageId,
-        f: impl FnOnce(&mut Page) -> R,
-    ) -> StorageResult<R> {
+    pub fn with_page_mut<R>(&self, id: PageId, f: impl FnOnce(&mut Page) -> R) -> StorageResult<R> {
         let mut inner = self.inner.lock();
         let idx = self.fetch(&mut inner, id)?;
         inner.frames[idx].pins += 1;
@@ -279,10 +277,7 @@ mod tests {
     use crate::pager::{FilePager, MemPager};
 
     fn small_pool(capacity: usize) -> BufferPool {
-        BufferPool::new(
-            Arc::new(MemPager::new()),
-            BufferPoolConfig { capacity },
-        )
+        BufferPool::new(Arc::new(MemPager::new()), BufferPoolConfig { capacity })
     }
 
     #[test]
@@ -316,10 +311,8 @@ mod tests {
         let pool = small_pool(2);
         let pids: Vec<_> = (0..4).map(|_| pool.allocate_page().unwrap()).collect();
         for (i, pid) in pids.iter().enumerate() {
-            pool.with_page_mut(*pid, |p| {
-                p.insert(format!("page-{i}").as_bytes()).unwrap()
-            })
-            .unwrap();
+            pool.with_page_mut(*pid, |p| p.insert(format!("page-{i}").as_bytes()).unwrap())
+                .unwrap();
         }
         // Re-read the first page: it must have been evicted and written back.
         let value = pool

@@ -73,7 +73,9 @@ impl Codec for f64 {
     }
     fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
         let bytes = take(buf, 8)?;
-        Ok(f64::from_le_bytes(bytes.try_into().expect("length checked")))
+        Ok(f64::from_le_bytes(
+            bytes.try_into().expect("length checked"),
+        ))
     }
 }
 

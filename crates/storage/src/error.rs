@@ -32,6 +32,9 @@ pub enum StorageError {
     Corrupt(String),
     /// Decoding a record failed (truncated or malformed bytes).
     Decode(String),
+    /// The request is valid but not supported by the addressed component
+    /// (e.g. a query predicate no registered access path can execute).
+    Unsupported(String),
 }
 
 impl fmt::Display for StorageError {
@@ -49,10 +52,14 @@ impl fmt::Display for StorageError {
                 write!(f, "invalid slot {slot} on page {page}")
             }
             StorageError::RecordTooLarge { size, max } => {
-                write!(f, "record of {size} bytes exceeds the page capacity of {max} bytes")
+                write!(
+                    f,
+                    "record of {size} bytes exceeds the page capacity of {max} bytes"
+                )
             }
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
             StorageError::Decode(msg) => write!(f, "decode error: {msg}"),
+            StorageError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
         }
     }
 }

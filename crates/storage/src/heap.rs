@@ -101,7 +101,8 @@ impl HeapFile {
 
     /// Deletes the record at `rid`.
     pub fn delete(&mut self, rid: RecordId) -> StorageResult<()> {
-        self.pool.with_page_mut(rid.page, |p| p.delete(rid.slot))??;
+        self.pool
+            .with_page_mut(rid.page, |p| p.delete(rid.slot))??;
         self.record_count -= 1;
         Ok(())
     }

@@ -34,5 +34,5 @@ pub use buffer::{BufferPool, BufferPoolConfig, IoStats};
 pub use codec::Codec;
 pub use error::{StorageError, StorageResult};
 pub use heap::{HeapFile, RecordId};
-pub use page::{Page, PageId, SlotId, PAGE_SIZE};
+pub use page::{Page, PageId, SlotId, MAX_RECORD_SIZE, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};

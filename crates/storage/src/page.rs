@@ -316,10 +316,10 @@ mod tests {
     #[test]
     fn update_relocation_signalled_when_full() {
         let mut page = Page::new();
-        let a = page.insert(&vec![1u8; 100]).unwrap();
+        let a = page.insert(&[1u8; 100]).unwrap();
         // Fill the page almost completely.
         while page.fits(200) {
-            page.insert(&vec![2u8; 200]).unwrap();
+            page.insert(&[2u8; 200]).unwrap();
         }
         let huge = vec![3u8; 4000];
         if !page.fits(huge.len()) {
@@ -341,7 +341,7 @@ mod tests {
         let mut page = Page::new();
         let mut count = 0;
         while page.fits(64) {
-            page.insert(&vec![7u8; 64]).unwrap();
+            page.insert(&[7u8; 64]).unwrap();
             count += 1;
         }
         assert!(count > 100, "8 KiB page should hold >100 64-byte records");
