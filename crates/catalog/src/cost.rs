@@ -64,6 +64,10 @@ pub const SEQ_PAGE_COST: f64 = 1.0;
 pub const RANDOM_PAGE_COST: f64 = 4.0;
 /// CPU cost per tuple visited.
 pub const CPU_TUPLE_COST: f64 = 0.01;
+/// CPU cost per operator/predicate evaluation on a tuple
+/// (PostgreSQL `cpu_operator_cost`).  Charged for index-tuple re-checks,
+/// residual-filter evaluations and priority-queue work in ordered scans.
+pub const CPU_OPERATOR_COST: f64 = 0.0025;
 
 impl CostEstimate {
     /// Cost of a full sequential scan of the table.
@@ -73,7 +77,7 @@ impl CostEstimate {
             correlation: 0.0,
             startup_cost: 0.0,
             total_cost: stats.heap_pages as f64 * SEQ_PAGE_COST
-                + stats.rows as f64 * CPU_TUPLE_COST,
+                + stats.rows as f64 * (CPU_TUPLE_COST + CPU_OPERATOR_COST),
         }
     }
 
@@ -97,7 +101,54 @@ impl CostEstimate {
             startup_cost,
             total_cost: startup_cost
                 + (index_leaf_pages + heap_pages_fetched) * RANDOM_PAGE_COST
-                + rows_fetched * CPU_TUPLE_COST,
+                + rows_fetched * (CPU_TUPLE_COST + CPU_OPERATOR_COST),
+        }
+    }
+
+    /// Cost of an ordered (nearest-neighbour) index scan driven by the
+    /// incremental best-first search: descend `index_height` pages to seed
+    /// the priority queue, then fetch roughly the reported fraction of index
+    /// and heap pages at random, paying queue maintenance per reported row.
+    /// `k` is the pushed-down `LIMIT`; without one the whole table is
+    /// reported in distance order.
+    pub fn ordered_scan(
+        stats: &TableStats,
+        index_pages: u64,
+        index_height: u32,
+        k: Option<u64>,
+    ) -> CostEstimate {
+        let rows = stats.rows.max(1);
+        let reported = k.map_or(rows, |k| k.min(rows).max(1));
+        let fraction = reported as f64 / rows as f64;
+        let startup_cost = f64::from(index_height) * RANDOM_PAGE_COST;
+        let index_pages_fetched = (index_pages as f64 * fraction).ceil();
+        let heap_pages_fetched = (stats.heap_pages as f64 * fraction).ceil();
+        // log₂-ish priority-queue factor per reported row.
+        let queue_depth = (rows as f64).log2().max(1.0);
+        CostEstimate {
+            selectivity: fraction,
+            correlation: 0.0,
+            startup_cost,
+            total_cost: startup_cost
+                + (index_pages_fetched + heap_pages_fetched) * RANDOM_PAGE_COST
+                + reported as f64 * (CPU_TUPLE_COST + queue_depth * CPU_OPERATOR_COST),
+        }
+    }
+
+    /// Cost of answering an ordered query without an index: scan the whole
+    /// heap, compute every distance, sort.  The full scan-and-sort happens
+    /// before the first row comes out, so the startup cost is nearly the
+    /// total — the planner's reason to prefer an incremental ordered scan
+    /// whenever one exists.
+    pub fn seq_scan_sorted(stats: &TableStats) -> CostEstimate {
+        let seq = Self::seq_scan(stats);
+        let rows = stats.rows.max(1) as f64;
+        let sort_cost = rows * rows.log2().max(1.0) * CPU_OPERATOR_COST;
+        CostEstimate {
+            selectivity: 1.0,
+            correlation: 0.0,
+            startup_cost: seq.total_cost + sort_cost,
+            total_cost: seq.total_cost + sort_cost + rows * CPU_TUPLE_COST,
         }
     }
 }
@@ -136,6 +187,40 @@ mod tests {
         assert!(
             idx.total_cost > seq.total_cost,
             "random I/O makes a 90% scan slower"
+        );
+    }
+
+    #[test]
+    fn ordered_scan_with_a_small_limit_is_cheap_and_incremental() {
+        let idx = CostEstimate::ordered_scan(&STATS, 5_000, 3, Some(10));
+        let sorted = CostEstimate::seq_scan_sorted(&STATS);
+        assert!(idx.total_cost < sorted.total_cost / 100.0);
+        assert!(
+            idx.startup_cost < sorted.startup_cost,
+            "best-first search reports its first row without a full sort"
+        );
+        // Without a limit the ordered scan reports everything; it still
+        // avoids the sort but pays for the full fetch.
+        let full = CostEstimate::ordered_scan(&STATS, 5_000, 3, None);
+        assert!(full.total_cost > idx.total_cost);
+        assert_eq!(full.selectivity, 1.0);
+    }
+
+    #[test]
+    fn index_scan_crossover_tracks_selectivity() {
+        // The regression the planner relies on: as a predicate's estimated
+        // selectivity degrades, the index scan must cross over and lose to
+        // the sequential scan instead of being preferred unconditionally.
+        let seq = CostEstimate::seq_scan(&STATS);
+        assert!(CostEstimate::index_scan(&STATS, 5_000, 3, 0.001).total_cost < seq.total_cost);
+        assert!(CostEstimate::index_scan(&STATS, 5_000, 3, 1.0).total_cost > seq.total_cost);
+        let crossover = (0..=100)
+            .map(|i| i as f64 / 100.0)
+            .find(|&s| CostEstimate::index_scan(&STATS, 5_000, 3, s).total_cost > seq.total_cost)
+            .expect("a crossover point must exist");
+        assert!(
+            crossover > 0.0 && crossover < 0.5,
+            "random-I/O penalty puts the crossover well below half the table, got {crossover}"
         );
     }
 }

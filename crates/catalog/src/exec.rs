@@ -1,14 +1,23 @@
-//! The executable query layer: plan → cursor → results.
+//! The executable query layer: compositional plan → cursor → results.
 //!
-//! The planner ([`crate::planner::Planner`]) chooses an [`AccessPath`]; this
-//! module makes that choice *executable*.  A [`Table`] registers heap data
-//! plus physical indexes (any of the five `SpIndex` implementations), derives
-//! the planner's [`AvailableIndex`] statistics automatically from each
-//! index's [`TreeStats`], runs the plan, and then dispatches execution to the
-//! chosen index — or falls back to a heap sequential scan when no registered
-//! operator class supports the predicate.  Results stream through an
-//! [`ExecCursor`] instead of a materialized `Vec`, so callers can stop
-//! pulling early.
+//! Queries are boolean [`Predicate`] trees (`And`/`Or`/`Not` over the
+//! paper's operators, including `@@` nearest-neighbour leaves) with an
+//! optional `LIMIT` ([`Query`]).  Planning decomposes a tree into a physical
+//! operator tree surfaced as an [`AccessPath`]: index scans for indexable
+//! leaves, residual [`AccessPath::Filter`]s for the rest, row-id stream
+//! [`AccessPath::Intersect`]/[`AccessPath::Union`] (deduplicated while
+//! streaming), [`AccessPath::OrderedScan`]s that run `@@` through the
+//! incremental NN search costed like any other path, and
+//! [`AccessPath::Limit`] pushdown so cursors stop early instead of
+//! materializing.  The sequential scan competes against every strategy on
+//! honest cost, and is the fallback when no operator class helps.
+//!
+//! A [`Table`] registers heap data plus physical indexes (any of the five
+//! `SpIndex` implementations), derives the planner's [`AvailableIndex`]
+//! statistics automatically from each index's [`TreeStats`], and executes
+//! the chosen plan; results stream through an [`ExecCursor`] whose
+//! [`ExecCursor::path`]/[`ExecCursor::source`] expose the planned and the
+//! actually-dispatched operator trees.
 //!
 //! [`Database`] is the top-level facade: a catalog, a shared buffer pool and
 //! a set of named tables — the "many scenarios, one API" surface of the
@@ -27,7 +36,7 @@ use spgist_indexes::{
 use spgist_storage::{BufferPool, Codec, HeapFile, RecordId, StorageError, StorageResult};
 
 use crate::am::Catalog;
-use crate::cost::TableStats;
+use crate::cost::{CostEstimate, Selectivity, TableStats, CPU_OPERATOR_COST};
 use crate::planner::{AccessPath, AvailableIndex, Planner, QueryPredicate};
 
 // ---------------------------------------------------------------------------
@@ -132,13 +141,26 @@ impl From<Segment> for Datum {
     }
 }
 
-/// An executable query predicate: one of the paper's registered operators
-/// applied to a typed argument.
+/// An executable query predicate: a boolean tree of `And`/`Or`/`Not` over
+/// the paper's registered operators applied to typed arguments.
 ///
 /// Unlike [`QueryPredicate`] (operator *name* + key type, all the planner
-/// needs), a `Predicate` carries the actual argument, so the executor can
-/// both run it through an index and re-check it against heap tuples on a
-/// sequential scan.
+/// needs), a `Predicate` carries the actual arguments, so the executor can
+/// both run its leaves through indexes and re-check the whole tree against
+/// heap tuples.  Leaves are built with the constructors below and composed
+/// with [`Predicate::and`] / [`Predicate::or`] / [`Predicate::negate`];
+/// [`Predicate::limit`] turns the tree into a [`Query`] with `LIMIT`
+/// pushdown.
+///
+/// ```
+/// use spgist_catalog::exec::Predicate;
+///
+/// let q = Predicate::str_prefix("sp")
+///     .and(Predicate::str_regex("spa?e"))
+///     .or(Predicate::str_equals("star"))
+///     .limit(10);
+/// # let _ = q;
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub enum Predicate {
     /// A predicate over string keys.
@@ -147,6 +169,14 @@ pub enum Predicate {
     Point(PointQuery),
     /// A predicate over segment keys.
     Segment(SegmentQuery),
+    /// Conjunction: every child predicate must hold (vacuously true when
+    /// empty).
+    And(Vec<Predicate>),
+    /// Disjunction: at least one child predicate must hold (vacuously false
+    /// when empty).
+    Or(Vec<Predicate>),
+    /// Negation of the inner predicate.
+    Not(Box<Predicate>),
 }
 
 impl Predicate {
@@ -190,48 +220,312 @@ impl Predicate {
         Predicate::Segment(SegmentQuery::InRect(rect))
     }
 
-    /// The catalog operator name this predicate maps to, or `None` for
-    /// predicates the set-oriented executor cannot run (nearest-neighbour
-    /// anchors, which need the ordered [`spgist_core::NnIter`] interface).
+    /// `@@` over strings: order results by Hamming-style distance to `word`.
+    pub fn str_nearest(word: &str) -> Self {
+        Predicate::Str(StringQuery::Nearest(word.to_string()))
+    }
+
+    /// `@@` over points: order results by Euclidean distance to `anchor`.
+    pub fn point_nearest(anchor: Point) -> Self {
+        Predicate::Point(PointQuery::Nearest(anchor))
+    }
+
+    /// `@@` over segments: order results by minimum Euclidean distance from
+    /// `anchor` to the segment.
+    pub fn segment_nearest(anchor: Point) -> Self {
+        Predicate::Segment(SegmentQuery::Nearest(anchor))
+    }
+
+    /// Conjunction with `other`, flattening nested `And`s.
+    pub fn and(self, other: Predicate) -> Predicate {
+        match self {
+            Predicate::And(mut children) => {
+                children.push(other);
+                Predicate::And(children)
+            }
+            leaf => Predicate::And(vec![leaf, other]),
+        }
+    }
+
+    /// Disjunction with `other`, flattening nested `Or`s.
+    pub fn or(self, other: Predicate) -> Predicate {
+        match self {
+            Predicate::Or(mut children) => {
+                children.push(other);
+                Predicate::Or(children)
+            }
+            leaf => Predicate::Or(vec![leaf, other]),
+        }
+    }
+
+    /// Negation of this predicate.
+    pub fn negate(self) -> Predicate {
+        Predicate::Not(Box::new(self))
+    }
+
+    /// Turns the predicate into a [`Query`] reporting at most `k` rows,
+    /// with the limit pushed into every scan operator.
+    pub fn limit(self, k: usize) -> Query {
+        Query::new(self).limit(k)
+    }
+
+    /// The catalog operator name a *leaf* predicate maps to (`"@@"` for
+    /// nearest-neighbour anchors, which plan as ordered scans); `None` for
+    /// the boolean composites, which have no single operator.
     pub fn operator(&self) -> Option<&'static str> {
         match self {
             Predicate::Str(StringQuery::Equals(_)) => Some("="),
             Predicate::Str(StringQuery::Prefix(_)) => Some("#="),
             Predicate::Str(StringQuery::Regex(_)) => Some("?="),
             Predicate::Str(StringQuery::Substring(_)) => Some("@="),
-            Predicate::Str(StringQuery::Nearest(_)) => None,
+            Predicate::Str(StringQuery::Nearest(_))
+            | Predicate::Point(PointQuery::Nearest(_))
+            | Predicate::Segment(SegmentQuery::Nearest(_)) => Some("@@"),
             Predicate::Point(PointQuery::Equals(_)) => Some("@"),
             Predicate::Point(PointQuery::InRect(_)) => Some("^"),
-            Predicate::Point(PointQuery::Nearest(_)) => None,
             Predicate::Segment(SegmentQuery::Equals(_)) => Some("="),
             Predicate::Segment(SegmentQuery::InRect(_)) => Some("&&"),
+            Predicate::And(_) | Predicate::Or(_) | Predicate::Not(_) => None,
         }
     }
 
-    /// The key type this predicate applies to.
-    pub fn key_type(&self) -> KeyType {
+    /// True for a `@@` (nearest-neighbour) leaf.
+    pub fn is_ordered_leaf(&self) -> bool {
+        matches!(
+            self,
+            Predicate::Str(StringQuery::Nearest(_))
+                | Predicate::Point(PointQuery::Nearest(_))
+                | Predicate::Segment(SegmentQuery::Nearest(_))
+        )
+    }
+
+    /// The `@@` leaf that orders this predicate's output: the leaf itself,
+    /// or the single ordered conjunct of a top-level `And` (the constrained
+    /// k-NN shape).  `None` for unordered predicates.
+    pub fn ordered_driver(&self) -> Option<&Predicate> {
         match self {
-            Predicate::Str(_) => KeyType::Varchar,
-            Predicate::Point(_) => KeyType::Point,
-            Predicate::Segment(_) => KeyType::Segment,
+            Predicate::And(children) => children.iter().find(|c| c.is_ordered_leaf()),
+            leaf if leaf.is_ordered_leaf() => Some(leaf),
+            _ => None,
         }
     }
 
-    /// Straight-line re-check against a heap tuple (the sequential-scan
-    /// filter).  Type-mismatched tuples never match.
+    /// True if this tree has any operator leaf at all (an empty `And`/`Or`
+    /// has none and is type-agnostic).
+    fn has_leaves(&self) -> bool {
+        match self {
+            Predicate::And(children) | Predicate::Or(children) => {
+                children.iter().any(Predicate::has_leaves)
+            }
+            Predicate::Not(inner) => inner.has_leaves(),
+            _ => true,
+        }
+    }
+
+    /// True if this tree contains a `@@` leaf anywhere.
+    pub fn contains_ordered(&self) -> bool {
+        match self {
+            Predicate::And(children) | Predicate::Or(children) => {
+                children.iter().any(Predicate::contains_ordered)
+            }
+            Predicate::Not(inner) => inner.contains_ordered(),
+            leaf => leaf.is_ordered_leaf(),
+        }
+    }
+
+    /// The key type this predicate applies to: the type shared by all of its
+    /// leaves, or `None` for a leafless tree (empty `And`/`Or`) — and for a
+    /// mixed-type tree, which no single-column table can satisfy anyway and
+    /// which [`Table::plan`] rejects.
+    pub fn key_type(&self) -> Option<KeyType> {
+        match self {
+            Predicate::Str(_) => Some(KeyType::Varchar),
+            Predicate::Point(_) => Some(KeyType::Point),
+            Predicate::Segment(_) => Some(KeyType::Segment),
+            Predicate::And(children) | Predicate::Or(children) => {
+                let mut found = None;
+                for child in children {
+                    match (found, child.key_type()) {
+                        (_, None) => {}
+                        (None, some) => found = some,
+                        (Some(a), Some(b)) if a == b => {}
+                        (Some(_), Some(_)) => return None,
+                    }
+                }
+                found
+            }
+            Predicate::Not(inner) => inner.key_type(),
+        }
+    }
+
+    /// Straight-line re-check against a heap tuple (the sequential-scan and
+    /// residual filter).  Type-mismatched leaves never match; `@@` leaves
+    /// match every tuple of their type (they order, they do not select).
     pub fn matches(&self, datum: &Datum) -> bool {
-        match (self, datum) {
-            (Predicate::Str(q), Datum::Text(s)) => q.matches(s),
-            (Predicate::Point(q), Datum::Point(p)) => q.matches(p),
-            (Predicate::Segment(q), Datum::Segment(s)) => q.matches(s),
-            _ => false,
+        match self {
+            Predicate::Str(q) => matches!(datum, Datum::Text(s) if q.matches(s)),
+            Predicate::Point(q) => matches!(datum, Datum::Point(p) if q.matches(p)),
+            Predicate::Segment(q) => matches!(datum, Datum::Segment(s) if q.matches(s)),
+            Predicate::And(children) => children.iter().all(|c| c.matches(datum)),
+            Predicate::Or(children) => children.iter().any(|c| c.matches(datum)),
+            Predicate::Not(inner) => !inner.matches(datum),
         }
     }
 
-    /// The planner-facing form of this predicate.
+    /// Distance from a `@@` leaf's anchor to `datum` (the ordering key of
+    /// the sorted sequential-scan fallback).  Infinite for type mismatches
+    /// and for non-ordered predicates.
+    pub fn distance(&self, datum: &Datum) -> f64 {
+        match (self, datum) {
+            (Predicate::Str(StringQuery::Nearest(q)), Datum::Text(s)) => {
+                spgist_indexes::query::hamming_distance(s, q)
+            }
+            (Predicate::Point(PointQuery::Nearest(q)), Datum::Point(p)) => p.distance(q),
+            (Predicate::Segment(SegmentQuery::Nearest(q)), Datum::Segment(s)) => {
+                s.distance_to_point(q)
+            }
+            _ => f64::INFINITY,
+        }
+    }
+
+    /// The planner-facing form of a leaf predicate, carrying an
+    /// argument-aware selectivity estimate where the argument tells more
+    /// than the operator's class-level default.
     pub fn to_query_predicate(&self) -> Option<QueryPredicate> {
-        self.operator()
-            .map(|op| QueryPredicate::new(op, self.key_type().name()))
+        let op = self.operator()?;
+        let key_type = self.key_type()?;
+        let qp = QueryPredicate::new(op, key_type.name());
+        Some(match self.selectivity_hint() {
+            Some(s) => qp.with_selectivity(s),
+            None => qp,
+        })
+    }
+
+    /// Argument-aware selectivity for string-match leaves: an empty prefix,
+    /// pattern or needle retrieves (nearly) the whole table, and every fixed
+    /// character cuts the match fraction — the honesty the planner needs to
+    /// route low-selectivity predicates to the heap.
+    fn selectivity_hint(&self) -> Option<f64> {
+        /// Fraction of rows matched per fixed character: one letter of the
+        /// paper's 26-letter uniform word alphabet.
+        const PER_CHAR_SEL: f64 = 1.0 / 26.0;
+        /// A needle can match at any of roughly `avg word length` positions.
+        const POSITIONS: f64 = 8.0;
+        /// Rough chance that a random word has exactly the pattern's length
+        /// (lengths are uniform over `[1, 15]`).
+        const LENGTH_SEL: f64 = 1.0 / 15.0;
+        let clamp = |s: f64| s.clamp(1e-9, 1.0);
+        match self {
+            Predicate::Str(StringQuery::Prefix(p)) => Some(if p.is_empty() {
+                1.0
+            } else {
+                clamp(PER_CHAR_SEL.powi(p.len() as i32))
+            }),
+            Predicate::Str(StringQuery::Substring(n)) => Some(if n.is_empty() {
+                1.0
+            } else {
+                clamp(POSITIONS * PER_CHAR_SEL.powi(n.len() as i32))
+            }),
+            Predicate::Str(StringQuery::Regex(r)) => {
+                let fixed = r.bytes().filter(|b| *b != b'?').count();
+                // The length must match exactly even with all wildcards.
+                Some(clamp(LENGTH_SEL * PER_CHAR_SEL.powi(fixed as i32)))
+            }
+            Predicate::Point(PointQuery::InRect(r))
+            | Predicate::Segment(SegmentQuery::InRect(r)) => {
+                // Area fraction relative to the paper's [0, 100]² world —
+                // far more honest than a flat contsel for window queries,
+                // and what the constrained-k-NN costing needs to size the
+                // ordered scan's effective limit.
+                const WORLD_AREA: f64 = 100.0 * 100.0;
+                Some((r.area() / WORLD_AREA).clamp(5e-4, 1.0))
+            }
+            _ => None,
+        }
+    }
+
+    /// Estimated fraction of table rows this predicate tree retrieves, under
+    /// the planner's independence assumption.
+    fn estimate_selectivity(&self, stats: &TableStats) -> f64 {
+        match self {
+            Predicate::And(children) => children
+                .iter()
+                .map(|c| c.estimate_selectivity(stats))
+                .product(),
+            Predicate::Or(children) => children
+                .iter()
+                .map(|c| c.estimate_selectivity(stats))
+                .sum::<f64>()
+                .min(1.0),
+            Predicate::Not(inner) => 1.0 - inner.estimate_selectivity(stats),
+            leaf if leaf.is_ordered_leaf() => 1.0,
+            leaf => leaf.selectivity_hint().unwrap_or_else(|| {
+                match leaf.operator() {
+                    // Equality: eqsel.
+                    Some("=") | Some("@") => Selectivity::EqSel.estimate(stats.distinct_values),
+                    // Containment / overlap: contsel.
+                    Some("^") | Some("&&") => Selectivity::ContSel.estimate(stats.distinct_values),
+                    _ => Selectivity::LikeSel.estimate(stats.distinct_values),
+                }
+            }),
+        }
+    }
+}
+
+/// A complete query: a [`Predicate`] tree plus an optional `LIMIT`.
+///
+/// Anything accepting `impl Into<Query>` (notably [`Table::query`] and
+/// [`Database::query`]) also takes a bare [`Predicate`] or `&Predicate`, so
+/// the one-liner form keeps working:
+///
+/// ```
+/// use spgist_catalog::exec::{Predicate, Query};
+///
+/// let bare: Query = Predicate::str_prefix("sp").into();
+/// assert_eq!(bare.limit, None);
+/// let limited = Predicate::str_prefix("sp").limit(5);
+/// assert_eq!(limited.limit, Some(5));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// The boolean predicate tree to evaluate.
+    pub predicate: Predicate,
+    /// Maximum number of rows to report; pushed into every scan operator so
+    /// cursors stop early instead of materializing.
+    pub limit: Option<usize>,
+}
+
+impl Query {
+    /// A query over `predicate` with no limit.
+    pub fn new(predicate: Predicate) -> Self {
+        Query {
+            predicate,
+            limit: None,
+        }
+    }
+
+    /// Caps the result at `k` rows (`LIMIT k`).
+    pub fn limit(mut self, k: usize) -> Self {
+        self.limit = Some(k);
+        self
+    }
+}
+
+impl From<Predicate> for Query {
+    fn from(predicate: Predicate) -> Self {
+        Query::new(predicate)
+    }
+}
+
+impl From<&Predicate> for Query {
+    fn from(predicate: &Predicate) -> Self {
+        Query::new(predicate.clone())
+    }
+}
+
+impl From<&Query> for Query {
+    fn from(query: &Query) -> Self {
+        query.clone()
     }
 }
 
@@ -349,6 +643,37 @@ impl PhysicalIndex {
             )),
         }
     }
+
+    /// Ordered (distance) scan through this index for a `@@` predicate,
+    /// yielding row ids in non-decreasing distance from the anchor, driven
+    /// by the incremental NN search.  The planner only chooses an ordered
+    /// scan for classes registering `@@`, so an index without distance
+    /// support here is a planning bug.
+    fn ordered_scan<'t>(
+        &'t self,
+        predicate: &Predicate,
+    ) -> StorageResult<Box<dyn Iterator<Item = StorageResult<RowId>> + 't>> {
+        fn rows<'t, K: 't>(
+            cursor: Option<spgist_indexes::Cursor<'t, K>>,
+        ) -> StorageResult<Box<dyn Iterator<Item = StorageResult<RowId>> + 't>> {
+            match cursor {
+                Some(cursor) => Ok(Box::new(cursor.map(|item| item.map(|(_, row)| row)))),
+                None => Err(StorageError::Unsupported(
+                    "planner chose an ordered scan on an index without distance support".into(),
+                )),
+            }
+        }
+        match (self, predicate) {
+            (PhysicalIndex::Trie(ix), Predicate::Str(q)) => rows(ix.ordered_cursor(q)?),
+            (PhysicalIndex::Suffix(ix), Predicate::Str(q)) => rows(ix.ordered_cursor(q)?),
+            (PhysicalIndex::KdTree(ix), Predicate::Point(q)) => rows(ix.ordered_cursor(q)?),
+            (PhysicalIndex::Quadtree(ix), Predicate::Point(q)) => rows(ix.ordered_cursor(q)?),
+            (PhysicalIndex::Pmr(ix), Predicate::Segment(q)) => rows(ix.ordered_cursor(q)?),
+            _ => Err(StorageError::Unsupported(
+                "planner routed a predicate to an index of a different key type".into(),
+            )),
+        }
+    }
 }
 
 struct NamedIndex {
@@ -379,7 +704,8 @@ impl NamedIndex {
 // ---------------------------------------------------------------------------
 
 /// Where an [`ExecCursor`]'s rows actually come from — recorded at dispatch
-/// time, so tests can prove the planner's chosen index is the one scanned.
+/// time, so tests can prove the planner's chosen plan is the one executed.
+/// Mirrors the shape of the [`AccessPath`] operator tree.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ScanSource {
     /// Heap sequential scan with a per-tuple predicate re-check.
@@ -389,6 +715,45 @@ pub enum ScanSource {
         /// Name of the index being scanned.
         name: String,
     },
+    /// Ordered (nearest-neighbour) scan through the named physical index.
+    OrderedIndex {
+        /// Name of the index being scanned.
+        name: String,
+    },
+    /// Residual filter over the input source.
+    Filter {
+        /// The driving source.
+        input: Box<ScanSource>,
+    },
+    /// Intersection of several row-id streams.
+    Intersect {
+        /// The participating sources.
+        inputs: Vec<ScanSource>,
+    },
+    /// Deduplicated union of several row-id streams.
+    Union {
+        /// The participating sources.
+        inputs: Vec<ScanSource>,
+    },
+    /// `LIMIT` applied over the input source.
+    Limit {
+        /// The limited source.
+        input: Box<ScanSource>,
+    },
+}
+
+impl ScanSource {
+    /// True if any node of this source tree scans the named index.
+    pub fn scans_index(&self, index: &str) -> bool {
+        match self {
+            ScanSource::Heap => false,
+            ScanSource::Index { name } | ScanSource::OrderedIndex { name } => name == index,
+            ScanSource::Filter { input } | ScanSource::Limit { input } => input.scans_index(index),
+            ScanSource::Intersect { inputs } | ScanSource::Union { inputs } => {
+                inputs.iter().any(|s| s.scans_index(index))
+            }
+        }
+    }
 }
 
 /// A streaming query result: `(row id, key datum)` pairs pulled lazily from
@@ -430,6 +795,220 @@ impl std::fmt::Debug for ExecCursor<'_> {
             .field("path", &self.path)
             .field("source", &self.source)
             .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Physical plans
+// ---------------------------------------------------------------------------
+
+/// Item type flowing between physical operators: a row id, plus the key
+/// datum when an upstream operator already fetched it from the heap.
+type RowStream<'t> = Box<dyn Iterator<Item = StorageResult<(RowId, Option<Datum>)>> + 't>;
+
+/// Everything leaf planning needs, derived once per query.
+struct PlanContext<'a> {
+    catalog: &'a Catalog,
+    stats: TableStats,
+    available: Vec<AvailableIndex>,
+}
+
+/// The executable physical operator tree: the [`AccessPath`] shape plus the
+/// actual predicate arguments each operator runs with.
+#[derive(Debug, Clone)]
+enum PhysNode {
+    SeqScan {
+        /// Predicate re-checked on every heap tuple.
+        filter: Predicate,
+        /// For ordered queries without an NN-capable index: the `@@` leaf
+        /// whose anchor distance sorts the output.
+        order: Option<Predicate>,
+        cost: CostEstimate,
+    },
+    IndexScan {
+        index: String,
+        operator_class: String,
+        leaf: Predicate,
+        cost: CostEstimate,
+    },
+    OrderedScan {
+        index: String,
+        operator_class: String,
+        leaf: Predicate,
+        cost: CostEstimate,
+    },
+    Filter {
+        input: Box<PhysNode>,
+        residual: Vec<Predicate>,
+        cost: CostEstimate,
+    },
+    Intersect {
+        inputs: Vec<PhysNode>,
+        cost: CostEstimate,
+    },
+    Union {
+        inputs: Vec<PhysNode>,
+        cost: CostEstimate,
+    },
+    Limit {
+        input: Box<PhysNode>,
+        k: usize,
+    },
+}
+
+impl PhysNode {
+    fn cost(&self) -> CostEstimate {
+        match self {
+            PhysNode::SeqScan { cost, .. }
+            | PhysNode::IndexScan { cost, .. }
+            | PhysNode::OrderedScan { cost, .. }
+            | PhysNode::Filter { cost, .. }
+            | PhysNode::Intersect { cost, .. }
+            | PhysNode::Union { cost, .. } => *cost,
+            PhysNode::Limit { input, .. } => input.cost(),
+        }
+    }
+
+    fn total_cost(&self) -> f64 {
+        self.cost().total_cost
+    }
+
+    fn uses_index(&self) -> bool {
+        match self {
+            PhysNode::SeqScan { .. } => false,
+            PhysNode::IndexScan { .. } | PhysNode::OrderedScan { .. } => true,
+            PhysNode::Filter { input, .. } | PhysNode::Limit { input, .. } => input.uses_index(),
+            PhysNode::Intersect { inputs, .. } | PhysNode::Union { inputs, .. } => {
+                inputs.iter().any(PhysNode::uses_index)
+            }
+        }
+    }
+
+    /// The planner-visible form of this plan (`EXPLAIN` output).
+    fn access_path(&self) -> AccessPath {
+        match self {
+            PhysNode::SeqScan { cost, .. } => AccessPath::SeqScan { cost: *cost },
+            PhysNode::IndexScan {
+                index,
+                operator_class,
+                cost,
+                ..
+            } => AccessPath::IndexScan {
+                index: index.clone(),
+                operator_class: operator_class.clone(),
+                cost: *cost,
+            },
+            PhysNode::OrderedScan {
+                index,
+                operator_class,
+                cost,
+                ..
+            } => AccessPath::OrderedScan {
+                index: index.clone(),
+                operator_class: operator_class.clone(),
+                cost: *cost,
+            },
+            PhysNode::Filter { input, cost, .. } => AccessPath::Filter {
+                input: Box::new(input.access_path()),
+                cost: *cost,
+            },
+            PhysNode::Intersect { inputs, cost } => AccessPath::Intersect {
+                inputs: inputs.iter().map(PhysNode::access_path).collect(),
+                cost: *cost,
+            },
+            PhysNode::Union { inputs, cost } => AccessPath::Union {
+                inputs: inputs.iter().map(PhysNode::access_path).collect(),
+                cost: *cost,
+            },
+            PhysNode::Limit { input, k } => AccessPath::Limit {
+                input: Box::new(input.access_path()),
+                k: *k,
+            },
+        }
+    }
+}
+
+/// Cost of re-checking `residual_count` predicates against the input's
+/// output rows.
+fn filter_cost(
+    input: &CostEstimate,
+    stats: &TableStats,
+    residual_count: usize,
+    output_selectivity: f64,
+) -> CostEstimate {
+    let input_rows = stats.rows as f64 * input.selectivity;
+    CostEstimate {
+        selectivity: output_selectivity.min(input.selectivity),
+        correlation: 0.0,
+        startup_cost: input.startup_cost,
+        total_cost: input.total_cost
+            + input_rows * CPU_OPERATOR_COST * residual_count.max(1) as f64,
+    }
+}
+
+/// Cost of intersecting several row-id streams: every non-driving input is
+/// drained into a hash set before the driver streams through the membership
+/// test, so their full costs land in the startup.
+fn intersect_cost(inputs: &[PhysNode], stats: &TableStats) -> CostEstimate {
+    let costs: Vec<CostEstimate> = inputs.iter().map(PhysNode::cost).collect();
+    let selectivity = costs.iter().map(|c| c.selectivity).product();
+    let hash_rows: f64 = costs
+        .iter()
+        .map(|c| stats.rows as f64 * c.selectivity)
+        .sum();
+    let total: f64 =
+        costs.iter().map(|c| c.total_cost).sum::<f64>() + hash_rows * CPU_OPERATOR_COST;
+    let driver_startup = costs.first().map_or(0.0, |c| c.startup_cost);
+    let side_total: f64 = costs.iter().skip(1).map(|c| c.total_cost).sum();
+    CostEstimate {
+        selectivity,
+        correlation: 0.0,
+        startup_cost: driver_startup + side_total,
+        total_cost: total,
+    }
+}
+
+/// Cost of a deduplicated union of several row-id streams.
+fn union_cost(inputs: &[PhysNode], stats: &TableStats) -> CostEstimate {
+    let costs: Vec<CostEstimate> = inputs.iter().map(PhysNode::cost).collect();
+    let selectivity = costs.iter().map(|c| c.selectivity).sum::<f64>().min(1.0);
+    let dedup_rows: f64 = costs
+        .iter()
+        .map(|c| stats.rows as f64 * c.selectivity)
+        .sum();
+    CostEstimate {
+        selectivity,
+        correlation: 0.0,
+        startup_cost: costs.first().map_or(0.0, |c| c.startup_cost),
+        total_cost: costs.iter().map(|c| c.total_cost).sum::<f64>()
+            + dedup_rows * CPU_OPERATOR_COST,
+    }
+}
+
+/// Rejects predicate trees whose `@@` leaves the executor cannot give a
+/// meaning to: an ordered leaf must be the whole query or a top-level
+/// conjunct (the *constrained k-NN* shape); under `Or`/`Not` there is no
+/// coherent output order.
+fn validate_ordered(predicate: &Predicate) -> StorageResult<()> {
+    let ok = match predicate {
+        leaf if leaf.is_ordered_leaf() => true,
+        Predicate::And(children) => {
+            children
+                .iter()
+                .filter(|c| c.contains_ordered())
+                .all(Predicate::is_ordered_leaf)
+                && children.iter().filter(|c| c.is_ordered_leaf()).count() <= 1
+        }
+        other => !other.contains_ordered(),
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(StorageError::Unsupported(
+            "`@@` (nearest) must be the whole predicate or a single top-level conjunct; \
+             it cannot appear under Or/Not or more than once"
+                .into(),
+        ))
     }
 }
 
@@ -624,78 +1203,475 @@ impl Table {
             .collect()
     }
 
-    /// Plans `predicate` against this table (choosing index scan vs
-    /// sequential scan) without executing it (`EXPLAIN`).
-    pub fn plan(&self, catalog: &Catalog, predicate: &Predicate) -> StorageResult<AccessPath> {
-        if predicate.key_type() != self.key_type {
-            return Err(StorageError::Unsupported(format!(
-                "predicate over {} cannot run on table {:?} of type {}",
-                predicate.key_type().name(),
-                self.name,
-                self.key_type.name()
-            )));
-        }
-        let Some(query) = predicate.to_query_predicate() else {
-            return Err(StorageError::Unsupported(
-                "nearest-neighbour predicates need the ordered NN interface, \
-                 not the set-oriented executor"
-                    .into(),
-            ));
-        };
-        let planner = Planner::new(catalog);
-        Ok(planner.plan(&query, &self.table_stats(), &self.available_indexes()?))
+    /// Plans `query` against this table without executing it (`EXPLAIN`):
+    /// boolean predicate trees decompose into index scans, residual filters,
+    /// row-id intersections/unions; `@@` leaves route through ordered scans;
+    /// a `LIMIT` is pushed down over the whole plan.
+    pub fn plan(&self, catalog: &Catalog, query: impl Into<Query>) -> StorageResult<AccessPath> {
+        Ok(self.plan_phys(catalog, &query.into())?.access_path())
     }
 
-    /// Plans and executes `predicate`, returning a streaming cursor over the
+    /// Plans and executes `query`, returning a streaming cursor over the
     /// matching `(row id, key)` pairs.
     ///
-    /// The dispatch is driven entirely by the planner's choice: an
-    /// [`AccessPath::IndexScan`] pulls from the named physical index (keys
-    /// are still resolved through the heap, so results are identical across
-    /// access paths); an [`AccessPath::SeqScan`] walks the heap and
-    /// re-checks the predicate on every tuple.
+    /// The dispatch is driven entirely by the planner's choice; every
+    /// operator streams, so a `LIMIT` (or a caller that stops pulling)
+    /// cuts the work short instead of materializing the full result, and
+    /// results are identical across access paths (keys are always resolved
+    /// through the heap).
     pub fn query<'t>(
         &'t self,
         catalog: &Catalog,
-        predicate: &Predicate,
+        query: impl Into<Query>,
     ) -> StorageResult<ExecCursor<'t>> {
-        let path = self.plan(catalog, predicate)?;
-        match &path {
-            AccessPath::IndexScan { index, .. } => {
-                let named = self
-                    .indexes
-                    .iter()
-                    .find(|i| i.name == *index)
-                    .ok_or_else(|| {
-                        StorageError::Unsupported(format!("planner chose unknown index {index:?}"))
-                    })?;
-                let rows = named.index.scan(predicate)?;
-                let inner = rows.map(move |item| {
-                    item.and_then(|row| self.datum(row).map(|datum| (row, datum)))
-                });
-                Ok(ExecCursor {
-                    source: ScanSource::Index {
+        let phys = self.plan_phys(catalog, &query.into())?;
+        let path = phys.access_path();
+        let (stream, source) = self.execute_node(&phys)?;
+        let inner = stream.map(move |item| {
+            let (row, datum) = item?;
+            match datum {
+                Some(datum) => Ok((row, datum)),
+                None => self.datum(row).map(|datum| (row, datum)),
+            }
+        });
+        Ok(ExecCursor {
+            path,
+            source,
+            inner: Box::new(inner),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Planning (logical predicate tree → physical operator tree)
+    // ------------------------------------------------------------------
+
+    /// Plans `query` into an executable physical operator tree.
+    fn plan_phys(&self, catalog: &Catalog, query: &Query) -> StorageResult<PhysNode> {
+        match query.predicate.key_type() {
+            Some(kt) if kt != self.key_type => {
+                return Err(StorageError::Unsupported(format!(
+                    "predicate over {} cannot run on table {:?} of type {}",
+                    kt.name(),
+                    self.name,
+                    self.key_type.name()
+                )));
+            }
+            None if query.predicate.has_leaves() => {
+                return Err(StorageError::Unsupported(
+                    "predicate tree mixes key types".into(),
+                ));
+            }
+            _ => {}
+        }
+        validate_ordered(&query.predicate)?;
+        let ctx = PlanContext {
+            catalog,
+            stats: self.table_stats(),
+            available: self.available_indexes()?,
+        };
+        let node = self.plan_node(&ctx, &query.predicate, query.limit)?;
+        Ok(match query.limit {
+            Some(k) => PhysNode::Limit {
+                input: Box::new(node),
+                k,
+            },
+            None => node,
+        })
+    }
+
+    /// Recursively plans one predicate subtree.  `limit` is the pushed-down
+    /// `LIMIT` when this subtree's output is the query's output (it caps
+    /// ordered-scan cost estimates; execution is lazy regardless).
+    fn plan_node(
+        &self,
+        ctx: &PlanContext<'_>,
+        predicate: &Predicate,
+        limit: Option<usize>,
+    ) -> StorageResult<PhysNode> {
+        match predicate {
+            Predicate::And(children) => self.plan_and(ctx, predicate, children, limit),
+            Predicate::Or(children) => self.plan_or(ctx, predicate, children),
+            // Negation cannot enumerate its complement from an index.
+            Predicate::Not(_) => Ok(self.seq_scan_node(ctx, predicate)),
+            leaf => self.plan_leaf(ctx, leaf, limit),
+        }
+    }
+
+    /// Plans a leaf predicate: the classic one-operator access-path choice,
+    /// ordered (`@@`) leaves going through [`Planner::plan_ordered`].
+    fn plan_leaf(
+        &self,
+        ctx: &PlanContext<'_>,
+        leaf: &Predicate,
+        limit: Option<usize>,
+    ) -> StorageResult<PhysNode> {
+        let qp = leaf.to_query_predicate().ok_or_else(|| {
+            StorageError::Unsupported("composite predicate where a leaf was expected".into())
+        })?;
+        let planner = Planner::new(ctx.catalog);
+        let path = if leaf.is_ordered_leaf() {
+            planner.plan_ordered(&qp, &ctx.stats, &ctx.available, limit)
+        } else {
+            planner.plan(&qp, &ctx.stats, &ctx.available)
+        };
+        Ok(match path {
+            AccessPath::IndexScan {
+                index,
+                operator_class,
+                cost,
+            } => PhysNode::IndexScan {
+                index,
+                operator_class,
+                leaf: leaf.clone(),
+                cost,
+            },
+            AccessPath::OrderedScan {
+                index,
+                operator_class,
+                cost,
+            } => PhysNode::OrderedScan {
+                index,
+                operator_class,
+                leaf: leaf.clone(),
+                cost,
+            },
+            _ => self.seq_scan_node(ctx, leaf),
+        })
+    }
+
+    /// The always-available fallback: scan the heap, re-check `predicate` on
+    /// every tuple — and, for ordered queries, sort by anchor distance
+    /// before reporting (which is why the planner prices it with the
+    /// scan-and-sort estimate).
+    fn seq_scan_node(&self, ctx: &PlanContext<'_>, predicate: &Predicate) -> PhysNode {
+        let order = predicate.ordered_driver().cloned();
+        let cost = if order.is_some() {
+            CostEstimate::seq_scan_sorted(&ctx.stats)
+        } else {
+            CostEstimate::seq_scan(&ctx.stats)
+        };
+        PhysNode::SeqScan {
+            filter: predicate.clone(),
+            order,
+            cost,
+        }
+    }
+
+    /// Plans a conjunction: pick a driving scan (the cheapest indexable
+    /// conjunct — or the ordered scan when one conjunct is a `@@` leaf),
+    /// apply the remaining conjuncts as a residual filter, and consider
+    /// intersecting several index scans' row-id streams when more than one
+    /// conjunct is indexable.  The sequential scan always competes.
+    fn plan_and(
+        &self,
+        ctx: &PlanContext<'_>,
+        whole: &Predicate,
+        children: &[Predicate],
+        limit: Option<usize>,
+    ) -> StorageResult<PhysNode> {
+        // Constrained k-NN: one `@@` conjunct drives an ordered scan, the
+        // other conjuncts filter it (order survives filtering).
+        if let Some(driver_idx) = children.iter().position(Predicate::is_ordered_leaf) {
+            let residual: Vec<Predicate> = children
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != driver_idx)
+                .map(|(_, c)| c.clone())
+                .collect();
+            // A residual that keeps only fraction `s` of rows means the
+            // ordered scan must report roughly k/s rows before k survive —
+            // cost the scan at that inflated limit, and keep the sorted
+            // heap fallback in the running for unselective drivers.
+            let residual_sel = Predicate::And(residual.clone())
+                .estimate_selectivity(&ctx.stats)
+                .max(1e-9);
+            let effective_limit = limit.map(|k| ((k as f64 / residual_sel).ceil() as usize).max(k));
+            let driver = self.plan_leaf(ctx, &children[driver_idx], effective_limit)?;
+            if residual.is_empty() {
+                return Ok(driver);
+            }
+            return Ok(match driver {
+                ordered @ PhysNode::OrderedScan { .. } => {
+                    let cost = filter_cost(
+                        &ordered.cost(),
+                        &ctx.stats,
+                        residual.len(),
+                        whole.estimate_selectivity(&ctx.stats),
+                    );
+                    let filtered = PhysNode::Filter {
+                        input: Box::new(ordered),
+                        residual,
+                        cost,
+                    };
+                    let fallback = self.seq_scan_node(ctx, whole);
+                    if filtered.total_cost() <= fallback.total_cost() {
+                        filtered
+                    } else {
+                        fallback
+                    }
+                }
+                // No ordered index: the sorted heap fallback filters inline.
+                _ => self.seq_scan_node(ctx, whole),
+            });
+        }
+
+        let seq = self.seq_scan_node(ctx, whole);
+        let mut indexable: Vec<(usize, PhysNode)> = Vec::new();
+        for (i, child) in children.iter().enumerate() {
+            let node = self.plan_node(ctx, child, None)?;
+            if node.uses_index() {
+                indexable.push((i, node));
+            }
+        }
+        if indexable.is_empty() {
+            return Ok(seq);
+        }
+
+        let output_sel = whole.estimate_selectivity(&ctx.stats);
+        // Strategy A — drive with the cheapest indexable conjunct, re-check
+        // the rest against the fetched tuples.
+        let (driver_idx, driver) = indexable
+            .iter()
+            .min_by(|(_, a), (_, b)| a.total_cost().total_cmp(&b.total_cost()))
+            .map(|(i, n)| (*i, n.clone()))
+            .expect("indexable is non-empty");
+        let residual: Vec<Predicate> = children
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != driver_idx)
+            .map(|(_, c)| c.clone())
+            .collect();
+        let filter_plan = if residual.is_empty() {
+            driver
+        } else {
+            let cost = filter_cost(&driver.cost(), &ctx.stats, residual.len(), output_sel);
+            PhysNode::Filter {
+                input: Box::new(driver),
+                residual,
+                cost,
+            }
+        };
+
+        // Strategy B — intersect every indexable conjunct's row-id stream,
+        // then re-check only the non-indexable leftovers.
+        let intersect_plan = (indexable.len() >= 2).then(|| {
+            let member: HashSet<usize> = indexable.iter().map(|(i, _)| *i).collect();
+            let inputs: Vec<PhysNode> = indexable.into_iter().map(|(_, n)| n).collect();
+            let cost = intersect_cost(&inputs, &ctx.stats);
+            let node = PhysNode::Intersect { inputs, cost };
+            let residual: Vec<Predicate> = children
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !member.contains(i))
+                .map(|(_, c)| c.clone())
+                .collect();
+            if residual.is_empty() {
+                node
+            } else {
+                let cost = filter_cost(&node.cost(), &ctx.stats, residual.len(), output_sel);
+                PhysNode::Filter {
+                    input: Box::new(node),
+                    residual,
+                    cost,
+                }
+            }
+        });
+
+        let mut best = seq;
+        for candidate in [Some(filter_plan), intersect_plan].into_iter().flatten() {
+            if candidate.total_cost() < best.total_cost() {
+                best = candidate;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Plans a disjunction: a deduplicated union of the disjuncts' plans —
+    /// unless any disjunct needs the heap anyway (then one sequential scan
+    /// answers everything) or the union costs more than the scan.
+    fn plan_or(
+        &self,
+        ctx: &PlanContext<'_>,
+        whole: &Predicate,
+        children: &[Predicate],
+    ) -> StorageResult<PhysNode> {
+        let seq = self.seq_scan_node(ctx, whole);
+        let mut inputs = Vec::new();
+        for child in children {
+            let node = self.plan_node(ctx, child, None)?;
+            if !node.uses_index() {
+                return Ok(seq);
+            }
+            inputs.push(node);
+        }
+        if inputs.is_empty() {
+            return Ok(seq);
+        }
+        let cost = union_cost(&inputs, &ctx.stats);
+        let union = PhysNode::Union { inputs, cost };
+        Ok(if union.total_cost() < seq.total_cost() {
+            union
+        } else {
+            seq
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Execution (physical operator tree → streaming cursor)
+    // ------------------------------------------------------------------
+
+    fn named_index(&self, name: &str) -> StorageResult<&NamedIndex> {
+        self.indexes.iter().find(|i| i.name == name).ok_or_else(|| {
+            StorageError::Unsupported(format!("planner chose unknown index {name:?}"))
+        })
+    }
+
+    /// Walks every live heap row lazily.
+    fn heap_stream(&self) -> impl Iterator<Item = StorageResult<(RowId, Datum)>> + '_ {
+        (0..self.rows.len() as RowId).filter_map(move |row| {
+            self.rows[row as usize]?;
+            Some(self.datum(row).map(|datum| (row, datum)))
+        })
+    }
+
+    /// Turns one physical operator into its row stream, recording the
+    /// [`ScanSource`] tree actually dispatched to (which tests compare with
+    /// the planned [`AccessPath`]).  Streams carry the key datum when the
+    /// operator already fetched it, so downstream operators and the cursor
+    /// never read the heap twice for one row.
+    fn execute_node<'t>(&'t self, node: &PhysNode) -> StorageResult<(RowStream<'t>, ScanSource)> {
+        match node {
+            PhysNode::SeqScan { filter, order, .. } => {
+                let filter = filter.clone();
+                match order.clone() {
+                    Some(order) => {
+                        // Ordered fallback: nothing can stream before the
+                        // full scan-and-sort (exactly what the cost model
+                        // charges for).
+                        let mut rows: Vec<(f64, RowId, Datum)> = Vec::new();
+                        for item in self.heap_stream() {
+                            let (row, datum) = item?;
+                            if filter.matches(&datum) {
+                                rows.push((order.distance(&datum), row, datum));
+                            }
+                        }
+                        rows.sort_by(|a, b| a.0.total_cmp(&b.0));
+                        let inner = rows
+                            .into_iter()
+                            .map(|(_, row, datum)| Ok((row, Some(datum))));
+                        Ok((Box::new(inner), ScanSource::Heap))
+                    }
+                    None => {
+                        let inner = self.heap_stream().filter_map(move |item| match item {
+                            Err(e) => Some(Err(e)),
+                            Ok((row, datum)) if filter.matches(&datum) => {
+                                Some(Ok((row, Some(datum))))
+                            }
+                            Ok(_) => None,
+                        });
+                        Ok((Box::new(inner), ScanSource::Heap))
+                    }
+                }
+            }
+            PhysNode::IndexScan { index, leaf, .. } => {
+                let named = self.named_index(index)?;
+                let rows = named.index.scan(leaf)?;
+                Ok((
+                    Box::new(rows.map(|item| item.map(|row| (row, None)))),
+                    ScanSource::Index {
                         name: named.name.clone(),
                     },
-                    path,
-                    inner: Box::new(inner),
-                })
+                ))
             }
-            AccessPath::SeqScan { .. } => {
-                let predicate = predicate.clone();
-                let inner = (0..self.rows.len() as RowId).filter_map(move |row| {
-                    self.rows[row as usize]?;
-                    match self.datum(row) {
-                        Err(e) => Some(Err(e)),
-                        Ok(datum) if predicate.matches(&datum) => Some(Ok((row, datum))),
-                        Ok(_) => None,
+            PhysNode::OrderedScan { index, leaf, .. } => {
+                let named = self.named_index(index)?;
+                let rows = named.index.ordered_scan(leaf)?;
+                Ok((
+                    Box::new(rows.map(|item| item.map(|row| (row, None)))),
+                    ScanSource::OrderedIndex {
+                        name: named.name.clone(),
+                    },
+                ))
+            }
+            PhysNode::Filter {
+                input, residual, ..
+            } => {
+                let (stream, source) = self.execute_node(input)?;
+                let residual = residual.clone();
+                let inner = stream
+                    .map(
+                        move |item| -> StorageResult<Option<(RowId, Option<Datum>)>> {
+                            let (row, datum) = item?;
+                            let datum = match datum {
+                                Some(datum) => datum,
+                                None => self.datum(row)?,
+                            };
+                            Ok(residual
+                                .iter()
+                                .all(|p| p.matches(&datum))
+                                .then_some((row, Some(datum))))
+                        },
+                    )
+                    .filter_map(StorageResult::transpose);
+                Ok((
+                    Box::new(inner),
+                    ScanSource::Filter {
+                        input: Box::new(source),
+                    },
+                ))
+            }
+            PhysNode::Intersect { inputs, .. } => {
+                let mut nodes = inputs.iter();
+                let first = nodes
+                    .next()
+                    .ok_or_else(|| StorageError::Unsupported("empty intersection plan".into()))?;
+                let (driver, driver_source) = self.execute_node(first)?;
+                let mut sources = vec![driver_source];
+                // The non-driving streams materialize row-id sets (ids only
+                // — no heap fetches); the driver then streams through the
+                // membership test.
+                let mut sets: Vec<HashSet<RowId>> = Vec::new();
+                for node in nodes {
+                    let (stream, source) = self.execute_node(node)?;
+                    sources.push(source);
+                    let mut set = HashSet::new();
+                    for item in stream {
+                        set.insert(item?.0);
                     }
+                    sets.push(set);
+                }
+                let inner = driver.filter(move |item| match item {
+                    Ok((row, _)) => sets.iter().all(|set| set.contains(row)),
+                    Err(_) => true,
                 });
-                Ok(ExecCursor {
-                    source: ScanSource::Heap,
-                    path,
-                    inner: Box::new(inner),
-                })
+                Ok((Box::new(inner), ScanSource::Intersect { inputs: sources }))
+            }
+            PhysNode::Union { inputs, .. } => {
+                let mut streams = Vec::new();
+                let mut sources = Vec::new();
+                for node in inputs {
+                    let (stream, source) = self.execute_node(node)?;
+                    streams.push(stream);
+                    sources.push(source);
+                }
+                // Chained lazily and deduplicated by row id while streaming
+                // (one disjunct's rows may satisfy another disjunct too).
+                let chained = streams
+                    .into_iter()
+                    .flatten()
+                    .map(|item| item.map(|(row, datum)| (datum, row)));
+                let inner = spgist_indexes::Cursor::deduplicated(chained)
+                    .map(|item| item.map(|(datum, row)| (row, datum)));
+                Ok((Box::new(inner), ScanSource::Union { inputs: sources }))
+            }
+            PhysNode::Limit { input, k } => {
+                let (stream, source) = self.execute_node(input)?;
+                Ok((
+                    Box::new(stream.take(*k)),
+                    ScanSource::Limit {
+                        input: Box::new(source),
+                    },
+                ))
             }
         }
     }
@@ -761,6 +1737,12 @@ impl Database {
         &self.catalog
     }
 
+    /// The shared buffer pool behind every table and index (exposes I/O
+    /// accounting: `db.pool().stats()`).
+    pub fn pool(&self) -> &Arc<BufferPool> {
+        &self.pool
+    }
+
     /// Mutable catalog access — registering or dropping operator classes
     /// changes how subsequent queries are routed, without touching any
     /// physical index.
@@ -796,19 +1778,20 @@ impl Database {
             .ok_or_else(|| StorageError::Unsupported(format!("no table named {name:?}")))
     }
 
-    /// Plans `predicate` against the named table (`EXPLAIN`).
-    pub fn plan(&self, table: &str, predicate: &Predicate) -> StorageResult<AccessPath> {
-        self.table_or_err(table)?.plan(&self.catalog, predicate)
+    /// Plans `query` (a [`Query`] or bare [`Predicate`]) against the named
+    /// table (`EXPLAIN`).
+    pub fn plan(&self, table: &str, query: impl Into<Query>) -> StorageResult<AccessPath> {
+        self.table_or_err(table)?.plan(&self.catalog, query)
     }
 
-    /// Plans and executes `predicate` against the named table, returning a
-    /// streaming cursor.
+    /// Plans and executes `query` (a [`Query`] or bare [`Predicate`])
+    /// against the named table, returning a streaming cursor.
     pub fn query<'d>(
         &'d self,
         table: &str,
-        predicate: &Predicate,
+        query: impl Into<Query>,
     ) -> StorageResult<ExecCursor<'d>> {
-        self.table_or_err(table)?.query(&self.catalog, predicate)
+        self.table_or_err(table)?.query(&self.catalog, query)
     }
 }
 
@@ -844,7 +1827,7 @@ mod tests {
     #[test]
     fn seq_scan_answers_queries_without_any_index() {
         let db = word_table(500);
-        let cursor = db.query("words", &Predicate::str_prefix("ab")).unwrap();
+        let cursor = db.query("words", Predicate::str_prefix("ab")).unwrap();
         assert_eq!(cursor.source(), &ScanSource::Heap);
         let rows = cursor.rows().unwrap();
         assert!(!rows.is_empty());
@@ -861,7 +1844,7 @@ mod tests {
         let mut db = word_table(4000);
         // Plan before the index exists: sequential scan.
         let seq_rows = {
-            let cursor = db.query("words", &Predicate::str_regex("a?a?a")).unwrap();
+            let cursor = db.query("words", Predicate::str_regex("a?a?a")).unwrap();
             assert_eq!(cursor.source(), &ScanSource::Heap);
             let mut rows = cursor.rows().unwrap();
             rows.sort_unstable();
@@ -871,7 +1854,7 @@ mod tests {
             .unwrap()
             .create_index("words_trie", IndexSpec::Trie)
             .unwrap();
-        let cursor = db.query("words", &Predicate::str_regex("a?a?a")).unwrap();
+        let cursor = db.query("words", Predicate::str_regex("a?a?a")).unwrap();
         assert_eq!(
             cursor.source(),
             &ScanSource::Index {
@@ -916,7 +1899,7 @@ mod tests {
             w
         };
         let before = db
-            .query("words", &Predicate::str_equals(&probe))
+            .query("words", Predicate::str_equals(&probe))
             .unwrap()
             .rows()
             .unwrap();
@@ -924,7 +1907,7 @@ mod tests {
         assert!(db.table_mut("words").unwrap().delete(123).unwrap());
         assert!(!db.table_mut("words").unwrap().delete(123).unwrap());
         let after = db
-            .query("words", &Predicate::str_equals(&probe))
+            .query("words", Predicate::str_equals(&probe))
             .unwrap()
             .rows()
             .unwrap();
@@ -938,13 +1921,33 @@ mod tests {
         assert!(table.insert(Point::new(1.0, 2.0)).is_err());
         assert!(table.create_index("kd", IndexSpec::KdTree).is_err());
         assert!(db
-            .plan("words", &Predicate::point_equals(Point::new(1.0, 2.0)))
+            .plan("words", Predicate::point_equals(Point::new(1.0, 2.0)))
             .is_err());
-        assert!(db.query("missing", &Predicate::str_equals("x")).is_err());
-        // NN predicates need the ordered interface.
+        assert!(db.query("missing", Predicate::str_equals("x")).is_err());
+        // Mixed-type predicate trees cannot run on any single-column table.
+        let mixed = Predicate::str_prefix("a").and(Predicate::point_equals(Point::new(0.0, 0.0)));
+        assert!(db.plan("words", &mixed).is_err());
+        // `@@` leaves are only meaningful as the whole predicate or a single
+        // top-level conjunct.
         assert!(db
-            .plan("words", &Predicate::Str(StringQuery::Nearest("abc".into())))
+            .plan(
+                "words",
+                Predicate::str_nearest("abc").or(Predicate::str_equals("x"))
+            )
             .is_err());
+        assert!(db
+            .plan("words", Predicate::str_nearest("abc").negate())
+            .is_err());
+        assert!(db
+            .plan(
+                "words",
+                Predicate::str_nearest("a").and(Predicate::str_nearest("b"))
+            )
+            .is_err());
+        // As the whole predicate it plans fine (sorted heap fallback here).
+        assert!(db
+            .plan("words", Predicate::Str(StringQuery::Nearest("abc".into())))
+            .is_ok());
     }
 
     #[test]
@@ -954,7 +1957,7 @@ mod tests {
             .unwrap()
             .create_index("words_trie", IndexSpec::Trie)
             .unwrap();
-        let mut cursor = db.query("words", &Predicate::str_prefix("a")).unwrap();
+        let mut cursor = db.query("words", Predicate::str_prefix("a")).unwrap();
         // Pulling a single item must work without draining the cursor.
         let first = cursor.next().unwrap().unwrap();
         let Datum::Text(word) = first.1 else {

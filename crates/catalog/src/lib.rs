@@ -30,6 +30,8 @@ pub mod planner;
 
 pub use am::{AccessMethod, Catalog};
 pub use cost::{CostEstimate, Selectivity, TableStats};
-pub use exec::{Database, Datum, ExecCursor, IndexSpec, KeyType, Predicate, ScanSource, Table};
+pub use exec::{
+    Database, Datum, ExecCursor, IndexSpec, KeyType, Predicate, Query, ScanSource, Table,
+};
 pub use operator::{Operator, OperatorClass, Strategy, SupportFunction};
 pub use planner::{AccessPath, AvailableIndex, Planner, QueryPredicate};

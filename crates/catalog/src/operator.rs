@@ -162,6 +162,7 @@ impl OperatorClass {
                 operators: vec![
                     Operator::new("=", "SEGMENT", "SEGMENT", "segment_equal", EqSel, 1),
                     Operator::new("&&", "SEGMENT", "BOX", "segment_overlaps", ContSel, 2),
+                    Operator::new("@@", "SEGMENT", "POINT", "segment_nn", ContSel, 20),
                 ],
                 support: (1..=4).map(nn).collect(),
             },
@@ -169,10 +170,17 @@ impl OperatorClass {
                 name: "SP_GiST_suffix".into(),
                 key_type: "VARCHAR".into(),
                 access_method: "SP_GiST".into(),
-                operators: vec![
-                    Operator::new("@=", "VARCHAR", "VARCHAR", "suffix_substring", LikeSel, 1),
-                    Operator::new("@@", "VARCHAR", "VARCHAR", "suffix_nn", LikeSel, 20),
-                ],
+                // No `@@` here: distance over *suffixes* does not order the
+                // indexed words, so the suffix tree registers no ordered
+                // scan and the planner never routes one to it.
+                operators: vec![Operator::new(
+                    "@=",
+                    "VARCHAR",
+                    "VARCHAR",
+                    "suffix_substring",
+                    LikeSel,
+                    1,
+                )],
                 support: vec![
                     SupportFunction {
                         number: 1,

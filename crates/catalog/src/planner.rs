@@ -10,12 +10,18 @@ use crate::am::Catalog;
 use crate::cost::{CostEstimate, TableStats};
 
 /// A query predicate: an operator name applied to an indexed column type.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryPredicate {
-    /// Operator name, e.g. `"="`, `"#="`, `"?="`, `"@"`, `"^"`, `"@="`.
+    /// Operator name, e.g. `"="`, `"#="`, `"?="`, `"@"`, `"^"`, `"@="`,
+    /// `"@@"`.
     pub operator: String,
     /// Key type of the column, e.g. `"VARCHAR"` or `"POINT"`.
     pub key_type: String,
+    /// Argument-aware selectivity override.  When present it replaces the
+    /// operator's class-level default (`eqsel`/`contsel`/`likesel`), letting
+    /// the executor tell the planner that e.g. an empty-prefix match
+    /// retrieves the whole table.
+    pub selectivity: Option<f64>,
 }
 
 impl QueryPredicate {
@@ -24,7 +30,14 @@ impl QueryPredicate {
         QueryPredicate {
             operator: operator.to_string(),
             key_type: key_type.to_string(),
+            selectivity: None,
         }
+    }
+
+    /// Attaches an argument-aware selectivity estimate in `[0, 1]`.
+    pub fn with_selectivity(mut self, selectivity: f64) -> Self {
+        self.selectivity = Some(selectivity.clamp(0.0, 1.0));
+        self
     }
 }
 
@@ -42,10 +55,16 @@ pub struct AvailableIndex {
     pub page_height: u32,
 }
 
-/// The access path selected by the planner.
+/// A physical plan: the operator tree the planner selects for a (possibly
+/// compositional) predicate.
+///
+/// Single predicates plan to the classic leaves (`SeqScan` / `IndexScan` /
+/// `OrderedScan`); boolean predicate trees compose them with residual
+/// filters, row-id stream intersection/union, and `LIMIT` pushdown.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AccessPath {
-    /// Full sequential scan of the heap.
+    /// Full sequential scan of the heap (with the query predicate re-checked
+    /// on every tuple; for ordered queries the fallback also sorts).
     SeqScan {
         /// Estimated cost.
         cost: CostEstimate,
@@ -59,13 +78,77 @@ pub enum AccessPath {
         /// Estimated cost.
         cost: CostEstimate,
     },
+    /// Ordered (nearest-neighbour) scan through the named index: rows stream
+    /// in non-decreasing distance from the query anchor, driven by the
+    /// incremental best-first search.
+    OrderedScan {
+        /// Index chosen.
+        index: String,
+        /// Operator class providing the `@@` operator.
+        operator_class: String,
+        /// Estimated cost.
+        cost: CostEstimate,
+    },
+    /// Residual filter: re-check the predicates the input scan does not
+    /// cover against each tuple it produces.
+    Filter {
+        /// The driving scan.
+        input: Box<AccessPath>,
+        /// Estimated cost including the re-checks.
+        cost: CostEstimate,
+    },
+    /// Intersection of several row-id streams (`AND` of index scans),
+    /// deduplicated by row id.
+    Intersect {
+        /// The participating scans.
+        inputs: Vec<AccessPath>,
+        /// Estimated cost.
+        cost: CostEstimate,
+    },
+    /// Union of several row-id streams (`OR` of index scans), deduplicated
+    /// by row id.
+    Union {
+        /// The participating scans.
+        inputs: Vec<AccessPath>,
+        /// Estimated cost.
+        cost: CostEstimate,
+    },
+    /// `LIMIT k` pushed down over the input: the cursor stops pulling after
+    /// `k` rows instead of materializing the full result.
+    Limit {
+        /// The limited plan.
+        input: Box<AccessPath>,
+        /// Maximum number of rows to report.
+        k: usize,
+    },
 }
 
 impl AccessPath {
     /// The total estimated cost of this path.
     pub fn total_cost(&self) -> f64 {
         match self {
-            AccessPath::SeqScan { cost } | AccessPath::IndexScan { cost, .. } => cost.total_cost,
+            AccessPath::SeqScan { cost }
+            | AccessPath::IndexScan { cost, .. }
+            | AccessPath::OrderedScan { cost, .. }
+            | AccessPath::Filter { cost, .. }
+            | AccessPath::Intersect { cost, .. }
+            | AccessPath::Union { cost, .. } => cost.total_cost,
+            AccessPath::Limit { input, .. } => input.total_cost(),
+        }
+    }
+
+    /// True if any node of this plan is an index or ordered scan (i.e. the
+    /// plan touches a physical index at all).
+    pub fn uses_index(&self) -> bool {
+        match self {
+            AccessPath::SeqScan { .. } => false,
+            AccessPath::IndexScan { .. } | AccessPath::OrderedScan { .. } => true,
+            AccessPath::Filter { input, .. } | AccessPath::Limit { input, .. } => {
+                input.uses_index()
+            }
+            AccessPath::Intersect { inputs, .. } | AccessPath::Union { inputs, .. } => {
+                inputs.iter().any(AccessPath::uses_index)
+            }
         }
     }
 }
@@ -84,6 +167,10 @@ impl<'a> Planner<'a> {
 
     /// Picks the cheapest access path for `predicate` over a table with
     /// `stats`, given the physically `available` indexes.
+    ///
+    /// The comparison against the sequential scan is honest: a predicate
+    /// whose (argument-aware) selectivity is poor loses to the heap scan
+    /// even when an index supports its operator.
     pub fn plan(
         &self,
         predicate: &QueryPredicate,
@@ -94,18 +181,12 @@ impl<'a> Planner<'a> {
             cost: CostEstimate::seq_scan(stats),
         };
         for index in available {
-            let Some(class) = self.catalog.operator_class(&index.operator_class) else {
+            let Some(operator) = self.supported_operator(index, predicate) else {
                 continue;
             };
-            // One lookup doubles as the support check; an index whose class
-            // lacks the operator is simply not a candidate (no panic path).
-            if class.key_type != predicate.key_type {
-                continue;
-            }
-            let Some(operator) = class.operator(&predicate.operator) else {
-                continue;
-            };
-            let selectivity = operator.restrict.estimate(stats.distinct_values);
+            let selectivity = predicate
+                .selectivity
+                .unwrap_or_else(|| operator.restrict.estimate(stats.distinct_values));
             let cost = CostEstimate::index_scan(stats, index.pages, index.page_height, selectivity);
             if cost.total_cost < best.total_cost() {
                 best = AccessPath::IndexScan {
@@ -116,6 +197,58 @@ impl<'a> Planner<'a> {
             }
         }
         best
+    }
+
+    /// Picks the cheapest *ordered* access path for an `@@` predicate: an
+    /// [`AccessPath::OrderedScan`] through an index whose class registers
+    /// the ordered operator, or the scan-everything-and-sort fallback.
+    /// `k` is the pushed-down `LIMIT`, which caps how much of the index the
+    /// best-first search has to visit.
+    pub fn plan_ordered(
+        &self,
+        predicate: &QueryPredicate,
+        stats: &TableStats,
+        available: &[AvailableIndex],
+        k: Option<usize>,
+    ) -> AccessPath {
+        let mut best = AccessPath::SeqScan {
+            cost: CostEstimate::seq_scan_sorted(stats),
+        };
+        for index in available {
+            if self.supported_operator(index, predicate).is_none() {
+                continue;
+            }
+            let cost = CostEstimate::ordered_scan(
+                stats,
+                index.pages,
+                index.page_height,
+                k.map(|k| k as u64),
+            );
+            if cost.total_cost < best.total_cost() {
+                best = AccessPath::OrderedScan {
+                    index: index.name.clone(),
+                    operator_class: index.operator_class.clone(),
+                    cost,
+                };
+            }
+        }
+        best
+    }
+
+    /// The operator of `index`'s class matching `predicate`, if the class
+    /// supports it over the right key type.  One lookup doubles as the
+    /// support check; an index whose class lacks the operator is simply not
+    /// a candidate (no panic path).
+    fn supported_operator<'c>(
+        &'c self,
+        index: &AvailableIndex,
+        predicate: &QueryPredicate,
+    ) -> Option<&'c crate::operator::Operator> {
+        let class = self.catalog.operator_class(&index.operator_class)?;
+        if class.key_type != predicate.key_type {
+            return None;
+        }
+        class.operator(&predicate.operator)
     }
 }
 
@@ -186,6 +319,50 @@ mod tests {
         // Without any physical index the planner also falls back.
         let path = planner.plan(&QueryPredicate::new("=", "VARCHAR"), &stats(), &[]);
         assert!(matches!(path, AccessPath::SeqScan { .. }));
+    }
+
+    #[test]
+    fn poor_selectivity_loses_to_the_seq_scan_even_with_an_index() {
+        let catalog = Catalog::with_paper_defaults();
+        let planner = Planner::new(&catalog);
+        // An empty-prefix match retrieves every row; the executor reports
+        // that through the selectivity override, and the planner must route
+        // it to the heap despite the matching trie.
+        let all = QueryPredicate::new("#=", "VARCHAR").with_selectivity(1.0);
+        assert!(matches!(
+            planner.plan(&all, &stats(), &indexes()),
+            AccessPath::SeqScan { .. }
+        ));
+        // The same operator with a selective argument keeps the index, so
+        // the crossover exists and sits between the two.
+        let selective = QueryPredicate::new("#=", "VARCHAR").with_selectivity(1e-4);
+        assert!(matches!(
+            planner.plan(&selective, &stats(), &indexes()),
+            AccessPath::IndexScan { .. }
+        ));
+    }
+
+    #[test]
+    fn ordered_scans_route_to_an_nn_capable_index() {
+        let catalog = Catalog::with_paper_defaults();
+        let planner = Planner::new(&catalog);
+        let nn = QueryPredicate::new("@@", "VARCHAR");
+        // With a small LIMIT the trie's incremental NN search wins.
+        let path = planner.plan_ordered(&nn, &stats(), &indexes(), Some(10));
+        match path {
+            AccessPath::OrderedScan { index, .. } => assert_eq!(index, "sp_trie_index"),
+            other => panic!("expected an ordered scan, got {other:?}"),
+        }
+        // The suffix tree and the B⁺-tree register no `@@`; without the trie
+        // the fallback is scan-and-sort.
+        let no_trie: Vec<AvailableIndex> = indexes()
+            .into_iter()
+            .filter(|i| i.operator_class != "SP_GiST_trie")
+            .collect();
+        assert!(matches!(
+            planner.plan_ordered(&nn, &stats(), &no_trie, Some(10)),
+            AccessPath::SeqScan { .. }
+        ));
     }
 
     #[test]

@@ -520,17 +520,24 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// transitions is therefore roughly the node height divided by the depth
     /// of a subtree that fits in one page.  The logical tree is unchanged;
     /// only the node→page mapping is rewritten.  Pages previously used by
-    /// the tree are abandoned (the simple pager has no free-space reuse), so
-    /// `stats().pages` reflects the freshly packed layout.
+    /// the tree are returned to the pager's free list, so repeated repacking
+    /// reuses space instead of growing the file, and `stats().pages`
+    /// reflects the freshly packed layout.
     pub fn repack(&mut self) -> StorageResult<()> {
         let Some(root) = self.root else {
             return Ok(());
         };
         let mut fresh = NodeStore::new(Arc::clone(self.store.pool()), self.ops.config().clustering);
         let new_root = Self::repack_group(&self.store, &mut fresh, root)?;
-        self.store = fresh;
+        let old = std::mem::replace(&mut self.store, fresh);
         self.root = Some(new_root);
-        self.write_meta()
+        self.write_meta()?;
+        // Every node now lives in the fresh store; hand the old layout's
+        // pages back for reuse by subsequent allocations.
+        for &page in old.pages() {
+            self.store.pool().free_page(page)?;
+        }
+        Ok(())
     }
 
     /// Packs the subtree rooted at `old_root` into one fresh page (breadth
@@ -941,6 +948,46 @@ mod tests {
         assert!(tree.delete(&1234, 1234).unwrap());
         tree.insert(99999, 1).unwrap();
         assert_eq!(tree.search(&99999).unwrap(), vec![(99999, 1)]);
+    }
+
+    #[test]
+    fn repack_returns_old_pages_for_reuse() {
+        let pool = BufferPool::in_memory();
+        let mut tree = SpGistTree::create(Arc::clone(&pool), DigitTrieOps::default()).unwrap();
+        for key in 0..3000u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        // Repeated delete-then-insert churn plus repacks must not grow the
+        // underlying store: freed pages go on the free list and come back.
+        // Rounds 0-1 reach the steady state (the first repack trades the
+        // online clustering's tight packing for page-height-minimizing
+        // groups); later identical rounds must be served entirely from
+        // recycled pages.
+        let mut steady_state = 0;
+        for round in 0..4 {
+            for key in (0..3000u32).step_by(7) {
+                tree.delete(&key, u64::from(key)).unwrap();
+            }
+            for key in (0..3000u32).step_by(7) {
+                tree.insert(key, u64::from(key)).unwrap();
+            }
+            tree.repack().unwrap();
+            if round == 1 {
+                steady_state = pool.page_count();
+                assert!(
+                    pool.free_page_count() > 0,
+                    "repack must return its old pages to the free list"
+                );
+            } else if round > 1 {
+                assert_eq!(
+                    pool.page_count(),
+                    steady_state,
+                    "round {round}: repack must recycle its old pages"
+                );
+            }
+        }
+        assert_eq!(tree.search(&7).unwrap(), vec![(7, 7)]);
+        assert_eq!(tree.len(), 3000);
     }
 
     #[test]

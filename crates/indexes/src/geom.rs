@@ -197,6 +197,20 @@ impl Segment {
         self.a.distance(&self.b)
     }
 
+    /// Minimum Euclidean distance from `p` to any point of the segment
+    /// (0 when `p` lies on it).
+    pub fn distance_to_point(&self, p: &Point) -> f64 {
+        let dx = self.b.x - self.a.x;
+        let dy = self.b.y - self.a.y;
+        let len_sq = dx * dx + dy * dy;
+        let t = if len_sq == 0.0 {
+            0.0
+        } else {
+            (((p.x - self.a.x) * dx + (p.y - self.a.y) * dy) / len_sq).clamp(0.0, 1.0)
+        };
+        p.distance(&Point::new(self.a.x + t * dx, self.a.y + t * dy))
+    }
+
     /// True if the segment shares any point with `rect`
     /// (Liang–Barsky clipping test).
     pub fn intersects_rect(&self, rect: &Rect) -> bool {
@@ -355,6 +369,18 @@ mod tests {
         // Degenerate (point) segment inside and outside.
         assert!(Segment::new(Point::new(5.0, 5.0), Point::new(5.0, 5.0)).intersects_rect(&rect));
         assert!(!Segment::new(Point::new(50.0, 5.0), Point::new(50.0, 5.0)).intersects_rect(&rect));
+    }
+
+    #[test]
+    fn segment_point_distance() {
+        let s = Segment::new(Point::new(0.0, 0.0), Point::new(10.0, 0.0));
+        assert_eq!(s.distance_to_point(&Point::new(5.0, 0.0)), 0.0);
+        assert_eq!(s.distance_to_point(&Point::new(5.0, 3.0)), 3.0);
+        // Beyond an endpoint: distance to the endpoint itself.
+        assert!((s.distance_to_point(&Point::new(13.0, 4.0)) - 5.0).abs() < 1e-12);
+        // Degenerate segment.
+        let d = Segment::new(Point::new(1.0, 1.0), Point::new(1.0, 1.0));
+        assert!((d.distance_to_point(&Point::new(4.0, 5.0)) - 5.0).abs() < 1e-12);
     }
 
     #[test]

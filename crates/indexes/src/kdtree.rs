@@ -249,6 +249,8 @@ pub struct KdTreeIndex {
 impl SpGistBacked for KdTreeIndex {
     type Ops = KdTreeOps;
 
+    const ORDERED_SCANS: bool = true;
+
     fn backing_tree(&self) -> &SpGistTree<KdTreeOps> {
         &self.tree
     }

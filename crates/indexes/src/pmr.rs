@@ -19,7 +19,7 @@ use spgist_core::{
 };
 use spgist_storage::{BufferPool, StorageResult};
 
-use crate::geom::{Rect, Segment};
+use crate::geom::{Point, Rect, Segment};
 use crate::query::SegmentQuery;
 use crate::spindex::{SpGistBacked, SpIndex};
 
@@ -107,6 +107,7 @@ impl SpGistOps for PmrQuadtreeOps {
         match query {
             SegmentQuery::Equals(s) => s.intersects_rect(pred),
             SegmentQuery::InRect(r) => r.intersects(pred),
+            SegmentQuery::Nearest(_) => true,
         }
     }
 
@@ -157,6 +158,33 @@ impl SpGistOps for PmrQuadtreeOps {
             partitions,
         }
     }
+
+    fn inner_distance(
+        &self,
+        _prefix: Option<&Rect>,
+        pred: &Rect,
+        query: &SegmentQuery,
+        parent_dist: f64,
+        _level: u32,
+    ) -> f64 {
+        let SegmentQuery::Nearest(q) = query else {
+            return parent_dist;
+        };
+        // The entry predicate is the child quadrant: no segment stored
+        // inside it can be closer to the anchor than the quadrant itself.
+        // Segments lying entirely outside the world rectangle are parked
+        // under the first quadrant, where this bound is not admissible —
+        // their NN order is only exact for in-world data (see
+        // [`PmrQuadtreeIndex::nearest`]).
+        parent_dist.max(pred.min_distance(q))
+    }
+
+    fn leaf_distance(&self, key: &Segment, query: &SegmentQuery) -> f64 {
+        match query {
+            SegmentQuery::Nearest(q) => key.distance_to_point(q),
+            SegmentQuery::Equals(_) | SegmentQuery::InRect(_) => 0.0,
+        }
+    }
 }
 
 /// A disk-based PMR quadtree index over line segments.
@@ -174,6 +202,7 @@ impl SpGistBacked for PmrQuadtreeIndex {
     type Ops = PmrQuadtreeOps;
 
     const DEDUPE_ROWS: bool = true;
+    const ORDERED_SCANS: bool = true;
 
     fn backing_tree(&self) -> &SpGistTree<PmrQuadtreeOps> {
         &self.tree
@@ -217,6 +246,25 @@ impl PmrQuadtreeIndex {
     /// deduplicated by row id.
     pub fn window(&self, rect: Rect) -> StorageResult<Vec<(Segment, RowId)>> {
         self.execute(&SegmentQuery::InRect(rect))
+    }
+
+    /// `@@` operator: the `k` segments nearest to `query` (minimum Euclidean
+    /// distance from the anchor point to the segment), nearest first and
+    /// deduplicated by row id.
+    ///
+    /// Exact for segments inside the index's world rectangle; segments
+    /// stored entirely outside it carry no usable quadrant bound and may
+    /// surface out of order.
+    pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Segment, RowId, f64)>> {
+        let mut seen = std::collections::HashSet::new();
+        self.tree
+            .nn_iter(SegmentQuery::Nearest(query))
+            .filter(|item| match item {
+                Ok((_, row, _)) => seen.insert(*row),
+                Err(_) => true,
+            })
+            .take(k)
+            .collect()
     }
 
     /// Access to the underlying generalized tree.
@@ -365,6 +413,29 @@ mod tests {
         // Second delete finds nothing and the count is untouched.
         assert!(!index.delete(&spanning, 3).unwrap());
         assert_eq!(index.len(), segs.len() as u64 - 1);
+    }
+
+    #[test]
+    fn nearest_segments_match_brute_force() {
+        let index = index();
+        let anchor = Point::new(60.0, 55.0);
+        let nn = index.nearest(anchor, 3).unwrap();
+        assert_eq!(nn.len(), 3);
+        assert!(nn.windows(2).all(|w| w[0].2 <= w[1].2));
+        let mut brute: Vec<f64> = segments()
+            .iter()
+            .map(|s| s.distance_to_point(&anchor))
+            .collect();
+        brute.sort_by(f64::total_cmp);
+        for (i, (_, _, d)) in nn.iter().enumerate() {
+            assert!((d - brute[i]).abs() < 1e-9, "k={i} distance mismatch");
+        }
+        // A replicated segment (the world spanner) is reported once.
+        let all = index.nearest(anchor, 100).unwrap();
+        assert_eq!(all.len(), segments().len());
+        let mut rows: Vec<RowId> = all.iter().map(|(_, r, _)| *r).collect();
+        rows.sort_unstable();
+        assert_eq!(rows, vec![0, 1, 2, 3, 4]);
     }
 
     #[test]

@@ -247,6 +247,8 @@ pub struct PointQuadtreeIndex {
 impl SpGistBacked for PointQuadtreeIndex {
     type Ops = PointQuadtreeOps;
 
+    const ORDERED_SCANS: bool = true;
+
     fn backing_tree(&self) -> &SpGistTree<PointQuadtreeOps> {
         &self.tree
     }

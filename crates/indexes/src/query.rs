@@ -86,6 +86,9 @@ pub enum SegmentQuery {
     Equals(Segment),
     /// Window query: the segment intersects the given rectangle.
     InRect(Rect),
+    /// `@@` — nearest-neighbour anchor: order segments by their minimum
+    /// Euclidean distance to this point.
+    Nearest(Point),
 }
 
 impl SegmentQuery {
@@ -94,6 +97,7 @@ impl SegmentQuery {
         match self {
             SegmentQuery::Equals(s) => segment == s,
             SegmentQuery::InRect(r) => segment.intersects_rect(r),
+            SegmentQuery::Nearest(_) => true,
         }
     }
 }
@@ -150,5 +154,6 @@ mod tests {
         assert!(SegmentQuery::Equals(s).matches(&s));
         assert!(SegmentQuery::InRect(Rect::new(1.0, 1.0, 3.0, 3.0)).matches(&s));
         assert!(!SegmentQuery::InRect(Rect::new(5.0, 5.0, 6.0, 6.0)).matches(&s));
+        assert!(SegmentQuery::Nearest(Point::new(9.0, 9.0)).matches(&s));
     }
 }

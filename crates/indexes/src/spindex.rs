@@ -123,6 +123,14 @@ pub trait SpIndex {
     /// Runs `query`, returning a streaming [`Cursor`] over the matches.
     fn cursor(&self, query: &Self::Query) -> StorageResult<Cursor<'_, Self::Key>>;
 
+    /// Runs `query` as an *ordered* scan: a streaming [`Cursor`] that yields
+    /// items in non-decreasing distance from the query's anchor, driven by
+    /// the incremental NN search ([`spgist_core::NnIter`]).  Each pull does
+    /// just enough work to report the next-closest item, so `LIMIT k` stops
+    /// after `k` heap probes.  Returns `None` for indexes that register no
+    /// distance functions (their operator classes have no `@@` operator).
+    fn ordered_cursor(&self, query: &Self::Query) -> StorageResult<Option<Cursor<'_, Self::Key>>>;
+
     /// Runs `query`, materializing every match (the eager counterpart of
     /// [`SpIndex::cursor`]).
     fn execute(&self, query: &Self::Query) -> StorageResult<Vec<(Self::Key, RowId)>> {
@@ -159,6 +167,11 @@ pub trait SpGistBacked {
     /// Whether one logical item may surface several times in a raw tree
     /// search (replicating indexes); cursors then deduplicate by row id.
     const DEDUPE_ROWS: bool = false;
+
+    /// Whether the instantiation registers NN distance functions
+    /// (`inner_distance` / `leaf_distance`), making ordered scans through
+    /// [`SpIndex::ordered_cursor`] available (the `@@` operator).
+    const ORDERED_SCANS: bool = false;
 
     /// The backing generalized tree.
     fn backing_tree(&self) -> &SpGistTree<Self::Ops>;
@@ -227,6 +240,22 @@ impl<T: SpGistBacked> SpIndex for T {
         } else {
             Cursor::new(inner)
         })
+    }
+
+    fn ordered_cursor(&self, query: &Self::Query) -> StorageResult<Option<Cursor<'_, Self::Key>>> {
+        if !T::ORDERED_SCANS {
+            return Ok(None);
+        }
+        let translated = self.translate_query(query);
+        let inner = self
+            .backing_tree()
+            .nn_iter(translated)
+            .map(|item| item.map(|(key, row, _)| (key, row)));
+        Ok(Some(if T::DEDUPE_ROWS {
+            Cursor::deduplicated(inner)
+        } else {
+            Cursor::new(inner)
+        }))
     }
 
     fn len(&self) -> u64 {
@@ -376,6 +405,38 @@ mod tests {
             SegmentQuery::InRect(Rect::new(0.0, 0.0, 30.0, 30.0)),
             &[0],
         );
+    }
+
+    #[test]
+    fn ordered_cursor_streams_in_distance_order() {
+        let mut kd = KdTreeIndex::open(BufferPool::in_memory()).unwrap();
+        let pts = [
+            Point::new(10.0, 10.0),
+            Point::new(50.0, 50.0),
+            Point::new(51.0, 49.0),
+            Point::new(90.0, 90.0),
+        ];
+        for (row, p) in pts.iter().enumerate() {
+            kd.insert(*p, row as RowId).unwrap();
+        }
+        let anchor = PointQuery::Nearest(Point::new(45.0, 45.0));
+        let ordered: Vec<(Point, RowId)> = kd
+            .ordered_cursor(&anchor)
+            .unwrap()
+            .expect("kd-tree registers distance functions")
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        assert_eq!(ordered.len(), pts.len());
+        assert_eq!(ordered[0].1, 1);
+        assert_eq!(ordered[1].1, 2);
+        assert_eq!(ordered[3].1, 3);
+
+        // The suffix tree registers no distance functions: no ordered scan.
+        let suffix = SuffixTreeIndex::open(BufferPool::in_memory()).unwrap();
+        assert!(suffix
+            .ordered_cursor(&StringQuery::Nearest("abc".into()))
+            .unwrap()
+            .is_none());
     }
 
     #[test]

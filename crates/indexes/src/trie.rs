@@ -292,6 +292,8 @@ pub struct TrieIndex {
 impl SpGistBacked for TrieIndex {
     type Ops = TrieOps;
 
+    const ORDERED_SCANS: bool = true;
+
     fn backing_tree(&self) -> &SpGistTree<TrieOps> {
         &self.tree
     }

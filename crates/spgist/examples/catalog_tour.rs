@@ -73,6 +73,7 @@ fn main() {
                 "{description:<20} -> sequential scan (cost {:.0}); no registered index supports it",
                 cost.total_cost
             ),
+            other => println!("{description:<20} -> {other:?}"),
         }
     }
 }

@@ -59,5 +59,25 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let first_3: Vec<u64> = kd.nearest(anchor, 3)?.iter().map(|(_, r, _)| *r).collect();
     assert_eq!(&first_10[..3], &first_3[..]);
     println!("incremental get-next verified: first 3 of k=10 equal k=3 result");
+
+    // `@@` is also a planned access path: through the executor, a nearest
+    // predicate is costed, routed to an ordered scan over the chosen index,
+    // and can be constrained by ordinary predicates (constrained k-NN).
+    let mut db = Database::in_memory();
+    db.create_table("pts", KeyType::Point)?;
+    let table = db.table_mut("pts").unwrap();
+    for p in &point_data {
+        table.insert(*p)?;
+    }
+    table.create_index("pts_quad", IndexSpec::PointQuadtree)?;
+    let query = Predicate::point_nearest(anchor)
+        .and(Predicate::point_in_rect(Rect::new(40.0, 40.0, 60.0, 60.0)))
+        .limit(5);
+    let cursor = db.query("pts", query)?;
+    println!("planned constrained k-NN: {:?}", cursor.path());
+    for item in cursor {
+        let (row, datum) = item?;
+        println!("  row {row:>5}  {datum:?}");
+    }
     Ok(())
 }

@@ -45,6 +45,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let source = match cursor.source() {
             ScanSource::Heap => "seq scan".to_string(),
             ScanSource::Index { name } => format!("index {name}"),
+            other => format!("{other:?}"),
         };
         // The cursor streams: pull the first few matches lazily, then count
         // the rest without materializing them.
@@ -58,6 +59,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         let remaining = cursor.count();
         println!("{label} -> via {source:<18} -> {preview:?} … and {remaining} more");
+    }
+
+    // Predicates compose: `(prefix AND regex) OR equals`, LIMIT pushed into
+    // the plan — index scans + residual filter, streaming at most 5 rows.
+    let composed = Predicate::str_prefix("sp")
+        .and(Predicate::str_regex("spa??"))
+        .or(Predicate::str_equals("space"))
+        .limit(5);
+    let cursor = db.query("words", composed)?;
+    println!("(#='sp' AND ?='spa??') OR ='space' LIMIT 5");
+    println!("  plan: {:?}", cursor.path());
+    for item in cursor {
+        let (row, datum) = item?;
+        println!("  row {row}: {datum:?}");
     }
 
     // The same indexes are usable directly through the uniform SpIndex

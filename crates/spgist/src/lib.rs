@@ -63,7 +63,7 @@ pub mod prelude {
     pub use spgist_baselines::{BPlusTree, RTree, SeqScanTable};
     pub use spgist_catalog::{
         AccessMethod, AccessPath, AvailableIndex, Catalog, Database, Datum, ExecCursor, IndexSpec,
-        KeyType, Planner, Predicate, QueryPredicate, ScanSource, Table, TableStats,
+        KeyType, Planner, Predicate, Query, QueryPredicate, ScanSource, Table, TableStats,
     };
     pub use spgist_core::{
         ClusteringPolicy, NodeShrink, PathShrink, RowId, SearchCursor, SpGistConfig, SpGistOps,

@@ -41,7 +41,7 @@ fn planner_routes_each_operator_to_the_index_that_supports_it() {
         p[0] = b'?';
         String::from_utf8(p).unwrap()
     };
-    let cursor = db.query("words", &Predicate::str_regex(&pattern)).unwrap();
+    let cursor = db.query("words", Predicate::str_regex(&pattern)).unwrap();
     assert!(matches!(cursor.path(), AccessPath::IndexScan { index, .. } if index == "words_trie"));
     assert_eq!(
         cursor.source(),
@@ -62,9 +62,7 @@ fn planner_routes_each_operator_to_the_index_that_supports_it() {
 
     // `@=` (substring) is only in the suffix-tree operator class.
     let needle = &data[200][..data[200].len().min(3)];
-    let cursor = db
-        .query("words", &Predicate::str_substring(needle))
-        .unwrap();
+    let cursor = db.query("words", Predicate::str_substring(needle)).unwrap();
     assert!(
         matches!(cursor.path(), AccessPath::IndexScan { index, .. } if index == "words_suffix")
     );
@@ -90,9 +88,7 @@ fn unsupported_operator_falls_back_to_a_sequential_scan_with_same_results() {
     // The trie class does not register `@=`: with no suffix tree built, the
     // planner must fall back to the heap even though an index exists.
     let needle = &data[42][..data[42].len().min(3)];
-    let cursor = db
-        .query("words", &Predicate::str_substring(needle))
-        .unwrap();
+    let cursor = db.query("words", Predicate::str_substring(needle)).unwrap();
     assert!(matches!(cursor.path(), AccessPath::SeqScan { .. }));
     assert_eq!(cursor.source(), &ScanSource::Heap);
     let mut rows = cursor.rows().unwrap();
@@ -110,7 +106,7 @@ fn routing_follows_the_catalog_not_the_physical_indexes() {
     let probe = data[7].clone();
 
     // With the trie's operator class registered, equality uses the trie.
-    let cursor = db.query("words", &Predicate::str_equals(&probe)).unwrap();
+    let cursor = db.query("words", Predicate::str_equals(&probe)).unwrap();
     assert_eq!(
         cursor.source(),
         &ScanSource::Index {
@@ -123,7 +119,7 @@ fn routing_follows_the_catalog_not_the_physical_indexes() {
     // physical index is untouched, but the planner can no longer use it —
     // the same query now routes to the heap, purely by catalog decision.
     db.catalog_mut().unregister_operator_class("SP_GiST_trie");
-    let cursor = db.query("words", &Predicate::str_equals(&probe)).unwrap();
+    let cursor = db.query("words", Predicate::str_equals(&probe)).unwrap();
     assert!(matches!(cursor.path(), AccessPath::SeqScan { .. }));
     assert_eq!(cursor.source(), &ScanSource::Heap);
     assert_eq!(cursor.rows().unwrap(), indexed, "same rows either way");
@@ -135,7 +131,7 @@ fn routing_follows_the_catalog_not_the_physical_indexes() {
             .find(|c| c.name == "SP_GiST_trie")
             .unwrap(),
     );
-    let cursor = db.query("words", &Predicate::str_equals(&probe)).unwrap();
+    let cursor = db.query("words", Predicate::str_equals(&probe)).unwrap();
     assert_eq!(
         cursor.source(),
         &ScanSource::Index {
@@ -204,7 +200,7 @@ fn segment_table_routes_window_queries_to_the_pmr_quadtree() {
 
     let window = Rect::new(30.0, 30.0, 45.0, 45.0);
     let cursor = db
-        .query("roads", &Predicate::segment_in_rect(window))
+        .query("roads", Predicate::segment_in_rect(window))
         .unwrap();
     assert_eq!(
         cursor.source(),

@@ -108,7 +108,7 @@ fn planned_index_scan_returns_the_same_rows_as_executing_the_query() {
             "btree_index" => btree.search_str(&query_word).unwrap(),
             other => panic!("unexpected index {other}"),
         },
-        AccessPath::SeqScan { .. } => panic!("a selective equality query should use an index"),
+        other => panic!("a selective equality query should use an index scan, got {other:?}"),
     };
     let mut rows = rows;
     rows.sort_unstable();

@@ -1,0 +1,163 @@
+//! Property-style tests of the compositional pipeline against materialized
+//! set algebra, using the seeded workload generators from `spgist-datagen`:
+//!
+//! * random `And`/`Or`/`Not` predicate trees over an indexed words table
+//!   must return exactly the rows a heap-scan model selects, with and
+//!   without `LIMIT`;
+//! * `@@` k-NN through the executor must agree with brute-force distance
+//!   ranking on all three spatial indexes (kd-tree, point quadtree, PMR
+//!   quadtree).
+
+use spgist::datagen::rng::DetRng;
+use spgist::datagen::{points, segments, words, world, QueryWorkload};
+use spgist::prelude::*;
+
+/// Builds a random predicate tree of the given depth from workload-derived
+/// leaves (existing words, prefixes, wildcard patterns, substrings).
+fn random_tree(rng: &mut DetRng, data: &[String], depth: usize) -> Predicate {
+    if depth == 0 || rng.gen_range(0..4u32) == 0 {
+        let w = &data[rng.gen_range(0..data.len())];
+        return match rng.gen_range(0..4u32) {
+            0 => Predicate::str_equals(w),
+            1 => Predicate::str_prefix(&w[..rng.gen_range(1..=w.len().min(3))]),
+            2 => {
+                let mut p = w.clone().into_bytes();
+                let pos = rng.gen_range(0..p.len());
+                p[pos] = b'?';
+                Predicate::str_regex(&String::from_utf8(p).unwrap())
+            }
+            _ => {
+                let len = w.len().min(2);
+                let start = rng.gen_range(0..=w.len() - len);
+                Predicate::str_substring(&w[start..start + len])
+            }
+        };
+    }
+    let a = random_tree(rng, data, depth - 1);
+    match rng.gen_range(0..3u32) {
+        0 => a.and(random_tree(rng, data, depth - 1)),
+        1 => a.or(random_tree(rng, data, depth - 1)),
+        _ => a.negate(),
+    }
+}
+
+#[test]
+fn random_boolean_trees_match_materialized_set_algebra() {
+    let data = words(1_500, 42);
+    let mut db = Database::in_memory();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    let table = db.table_mut("words").unwrap();
+    for w in &data {
+        table.insert(w.as_str()).unwrap();
+    }
+    table.create_index("trie", IndexSpec::Trie).unwrap();
+    table.create_index("suffix", IndexSpec::SuffixTree).unwrap();
+
+    let mut rng = DetRng::seed_from_u64(20060403);
+    for case in 0..40 {
+        let predicate = random_tree(&mut rng, &data, 3);
+        let expected: Vec<RowId> = data
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| predicate.matches(&Datum::Text((*w).clone())))
+            .map(|(i, _)| i as RowId)
+            .collect();
+
+        let cursor = db.query("words", &predicate).unwrap();
+        let mut rows = cursor.rows().unwrap();
+        rows.sort_unstable();
+        assert_eq!(rows, expected, "case {case}: {predicate:?}");
+
+        // LIMIT returns a subset of the right size.
+        let limited = db
+            .query("words", predicate.clone().limit(5))
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert_eq!(limited.len(), expected.len().min(5), "case {case} limit");
+        assert!(
+            limited.iter().all(|r| expected.contains(r)),
+            "case {case}: limited rows must come from the full result"
+        );
+    }
+}
+
+#[test]
+fn knn_matches_brute_force_on_all_three_spatial_indexes() {
+    let mut db = Database::in_memory();
+    let pts = points(1_200, 5);
+    for (table, spec) in [
+        ("kd", IndexSpec::KdTree),
+        ("quad", IndexSpec::PointQuadtree),
+    ] {
+        db.create_table(table, KeyType::Point).unwrap();
+        let t = db.table_mut(table).unwrap();
+        for p in &pts {
+            t.insert(*p).unwrap();
+        }
+        t.create_index(&format!("{table}_idx"), spec).unwrap();
+    }
+    let segs = segments(900, 10.0, 6);
+    db.create_table("pmr", KeyType::Segment).unwrap();
+    let t = db.table_mut("pmr").unwrap();
+    for s in &segs {
+        t.insert(*s).unwrap();
+    }
+    t.create_index("pmr_idx", IndexSpec::PmrQuadtree { world: world() })
+        .unwrap();
+
+    for (q, anchor) in QueryWorkload::nn_points(10, 77).into_iter().enumerate() {
+        let k = 8;
+        for table in ["kd", "quad"] {
+            let cursor = db
+                .query(table, Predicate::point_nearest(anchor).limit(k))
+                .unwrap();
+            assert!(
+                matches!(cursor.path(), AccessPath::Limit { input, .. }
+                    if matches!(input.as_ref(), AccessPath::OrderedScan { .. })),
+                "query {q} on {table}: expected an ordered scan"
+            );
+            let dists: Vec<f64> = cursor
+                .collect::<Result<Vec<_>, _>>()
+                .unwrap()
+                .into_iter()
+                .map(|(_, d)| match d {
+                    Datum::Point(p) => p.distance(&anchor),
+                    other => panic!("non-point datum {other:?}"),
+                })
+                .collect();
+            let mut brute: Vec<f64> = pts.iter().map(|p| p.distance(&anchor)).collect();
+            brute.sort_by(f64::total_cmp);
+            assert_eq!(dists.len(), k);
+            for (i, d) in dists.iter().enumerate() {
+                assert!(
+                    (d - brute[i]).abs() < 1e-9,
+                    "query {q} on {table}: k={i} distance mismatch"
+                );
+            }
+        }
+        let cursor = db
+            .query("pmr", Predicate::segment_nearest(anchor).limit(k))
+            .unwrap();
+        assert!(matches!(cursor.path(), AccessPath::Limit { input, .. }
+            if matches!(input.as_ref(), AccessPath::OrderedScan { .. })));
+        let dists: Vec<f64> = cursor
+            .collect::<Result<Vec<_>, _>>()
+            .unwrap()
+            .into_iter()
+            .map(|(_, d)| match d {
+                Datum::Segment(s) => s.distance_to_point(&anchor),
+                other => panic!("non-segment datum {other:?}"),
+            })
+            .collect();
+        let mut brute: Vec<f64> = segs.iter().map(|s| s.distance_to_point(&anchor)).collect();
+        brute.sort_by(f64::total_cmp);
+        assert_eq!(dists.len(), k);
+        for (i, d) in dists.iter().enumerate() {
+            assert!(
+                (d - brute[i]).abs() < 1e-9,
+                "query {q} on pmr: k={i} distance mismatch"
+            );
+        }
+    }
+}

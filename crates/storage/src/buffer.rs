@@ -125,6 +125,11 @@ impl BufferPool {
         self.pager.page_count()
     }
 
+    /// Number of pages on the underlying pager's free list.
+    pub fn free_page_count(&self) -> u32 {
+        self.pager.free_page_count()
+    }
+
     /// Allocates a new page and returns its id.  The new page starts cached
     /// and clean.
     pub fn allocate_page(&self) -> StorageResult<PageId> {
@@ -132,6 +137,29 @@ impl BufferPool {
         let mut inner = self.inner.lock();
         self.install_frame(&mut inner, id, Page::new(), false)?;
         Ok(id)
+    }
+
+    /// Returns page `id` to the pager's free list for reuse by a later
+    /// [`BufferPool::allocate_page`].  Any cached frame is dropped without
+    /// write-back (the content is garbage once the page is free); freeing a
+    /// pinned page is an error.
+    pub fn free_page(&self, id: PageId) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        if let Some(&idx) = inner.by_page.get(&id) {
+            if inner.frames[idx].pins > 0 {
+                return Err(StorageError::Corrupt(format!(
+                    "cannot free pinned page {id}"
+                )));
+            }
+            // Swap-remove the frame and fix the moved frame's index.
+            inner.by_page.remove(&id);
+            inner.frames.swap_remove(idx);
+            if idx < inner.frames.len() {
+                let moved = inner.frames[idx].page_id;
+                inner.by_page.insert(moved, idx);
+            }
+        }
+        self.pager.free(id)
     }
 
     /// Runs `f` with a shared view of page `id`.
@@ -364,5 +392,23 @@ mod tests {
     fn missing_page_is_an_error() {
         let pool = small_pool(2);
         assert!(pool.with_page(42, |_| ()).is_err());
+    }
+
+    #[test]
+    fn free_page_drops_the_frame_and_reuses_the_page() {
+        let pool = small_pool(8);
+        let a = pool.allocate_page().unwrap();
+        let b = pool.allocate_page().unwrap();
+        pool.with_page_mut(a, |p| p.insert(b"doomed").unwrap())
+            .unwrap();
+        pool.free_page(a).unwrap();
+        // The next allocation reuses the freed page, zeroed — including the
+        // cached frame.
+        let c = pool.allocate_page().unwrap();
+        assert_eq!(c, a);
+        assert_eq!(pool.page_count(), 2);
+        let slots = pool.with_page(c, |p| p.num_slots()).unwrap();
+        assert_eq!(slots, 0, "reused page must not show stale cached content");
+        let _ = b;
     }
 }

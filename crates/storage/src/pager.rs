@@ -20,7 +20,8 @@ use crate::page::{Page, PageId, PAGE_SIZE};
 
 /// Allocation and retrieval of fixed-size pages.
 pub trait Pager: Send + Sync {
-    /// Allocates a fresh, zeroed page and returns its id.
+    /// Allocates a fresh, zeroed page and returns its id.  Implementations
+    /// with a free list reuse returned pages before growing the store.
     fn allocate(&self) -> StorageResult<PageId>;
 
     /// Reads page `id` into `out`.
@@ -29,16 +30,61 @@ pub trait Pager: Send + Sync {
     /// Writes `page` as page `id`.
     fn write(&self, id: PageId, page: &Page) -> StorageResult<()>;
 
-    /// Number of allocated pages.
+    /// Returns a whole page to the pager's free list so a later
+    /// [`Pager::allocate`] can reuse it instead of growing the store.
+    /// Freeing an already-free page is a no-op.  The default implementation
+    /// leaks the page (no free-space reuse).
+    fn free(&self, id: PageId) -> StorageResult<()> {
+        let _ = id;
+        Ok(())
+    }
+
+    /// Number of allocated pages (including pages currently on the free
+    /// list: the store never shrinks, it only stops growing).
     fn page_count(&self) -> u32;
+
+    /// Number of pages currently on the free list.
+    fn free_page_count(&self) -> u32 {
+        0
+    }
 
     /// Flushes any buffered writes to stable storage.
     fn sync(&self) -> StorageResult<()>;
 }
 
+/// Shared free-list bookkeeping for [`MemPager`] and [`FilePager`]: a stack
+/// for LIFO reuse plus a membership set so bulk frees (a whole tree's pages
+/// on repack) stay linear.
+#[derive(Default)]
+struct FreeList {
+    pages: Vec<PageId>,
+    members: std::collections::HashSet<PageId>,
+}
+
+impl FreeList {
+    fn push(&mut self, id: PageId) -> bool {
+        if !self.members.insert(id) {
+            return false;
+        }
+        self.pages.push(id);
+        true
+    }
+
+    fn pop(&mut self) -> Option<PageId> {
+        let id = self.pages.pop()?;
+        self.members.remove(&id);
+        Some(id)
+    }
+
+    fn len(&self) -> u32 {
+        self.pages.len() as u32
+    }
+}
+
 /// An in-memory pager.
 pub struct MemPager {
     pages: Mutex<Vec<Box<[u8; PAGE_SIZE]>>>,
+    free: Mutex<FreeList>,
 }
 
 impl MemPager {
@@ -46,6 +92,7 @@ impl MemPager {
     pub fn new() -> Self {
         MemPager {
             pages: Mutex::new(Vec::new()),
+            free: Mutex::new(FreeList::default()),
         }
     }
 }
@@ -58,10 +105,33 @@ impl Default for MemPager {
 
 impl Pager for MemPager {
     fn allocate(&self) -> StorageResult<PageId> {
+        if let Some(id) = self.free.lock().pop() {
+            let mut pages = self.pages.lock();
+            if let Some(slot) = pages.get_mut(id as usize) {
+                **slot = *Page::new().as_bytes();
+                return Ok(id);
+            }
+        }
         let mut pages = self.pages.lock();
         let id = pages.len() as PageId;
         pages.push(Box::new(*Page::new().as_bytes()));
         Ok(id)
+    }
+
+    fn free(&self, id: PageId) -> StorageResult<()> {
+        let count = self.pages.lock().len() as u32;
+        if id >= count {
+            return Err(StorageError::PageOutOfBounds {
+                requested: id,
+                page_count: count,
+            });
+        }
+        self.free.lock().push(id);
+        Ok(())
+    }
+
+    fn free_page_count(&self) -> u32 {
+        self.free.lock().len()
     }
 
     fn read(&self, id: PageId, out: &mut Page) -> StorageResult<()> {
@@ -102,6 +172,9 @@ impl Pager for MemPager {
 pub struct FilePager {
     file: Mutex<File>,
     page_count: Mutex<u32>,
+    /// Freed whole pages awaiting reuse.  The free list is kept in memory
+    /// only: after a reopen the file simply resumes append-only growth.
+    free: Mutex<FreeList>,
 }
 
 impl FilePager {
@@ -116,6 +189,7 @@ impl FilePager {
         Ok(FilePager {
             file: Mutex::new(file),
             page_count: Mutex::new(0),
+            free: Mutex::new(FreeList::default()),
         })
     }
 
@@ -131,12 +205,19 @@ impl FilePager {
         Ok(FilePager {
             file: Mutex::new(file),
             page_count: Mutex::new((len / PAGE_SIZE as u64) as u32),
+            free: Mutex::new(FreeList::default()),
         })
     }
 }
 
 impl Pager for FilePager {
     fn allocate(&self) -> StorageResult<PageId> {
+        if let Some(id) = self.free.lock().pop() {
+            let mut file = self.file.lock();
+            file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+            file.write_all(Page::new().as_bytes())?;
+            return Ok(id);
+        }
         let mut count = self.page_count.lock();
         let id = *count;
         let mut file = self.file.lock();
@@ -144,6 +225,22 @@ impl Pager for FilePager {
         file.write_all(Page::new().as_bytes())?;
         *count += 1;
         Ok(id)
+    }
+
+    fn free(&self, id: PageId) -> StorageResult<()> {
+        let count = *self.page_count.lock();
+        if id >= count {
+            return Err(StorageError::PageOutOfBounds {
+                requested: id,
+                page_count: count,
+            });
+        }
+        self.free.lock().push(id);
+        Ok(())
+    }
+
+    fn free_page_count(&self) -> u32 {
+        self.free.lock().len()
     }
 
     fn read(&self, id: PageId, out: &mut Page) -> StorageResult<()> {
@@ -242,5 +339,62 @@ mod tests {
     #[test]
     fn file_pager_open_missing_is_error() {
         assert!(FilePager::open("/nonexistent/path/to/pages").is_err());
+    }
+
+    fn exercise_free_list(pager: &dyn Pager) {
+        let ids: Vec<PageId> = (0..4).map(|_| pager.allocate().unwrap()).collect();
+        assert_eq!(pager.page_count(), 4);
+        assert_eq!(pager.free_page_count(), 0);
+
+        // Leave a fingerprint on a page, then free it.
+        let mut page = Page::new();
+        page.insert(b"stale").unwrap();
+        pager.write(ids[1], &page).unwrap();
+        pager.free(ids[1]).unwrap();
+        pager.free(ids[2]).unwrap();
+        assert_eq!(pager.free_page_count(), 2);
+        // Double free is a no-op.
+        pager.free(ids[1]).unwrap();
+        assert_eq!(pager.free_page_count(), 2);
+
+        // Delete-then-insert does not grow the store: the freed pages are
+        // handed back, zeroed.
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        let mut reused: Vec<PageId> = vec![a, b];
+        reused.sort_unstable();
+        assert_eq!(reused, vec![ids[1], ids[2]]);
+        assert_eq!(pager.page_count(), 4, "no growth while the free list lasts");
+        assert_eq!(pager.free_page_count(), 0);
+        let mut read_back = Page::new();
+        pager.read(ids[1], &mut read_back).unwrap();
+        assert_eq!(read_back.num_slots(), 0, "reused pages come back zeroed");
+
+        // Free list exhausted: the next allocation grows the store again.
+        assert_eq!(pager.allocate().unwrap(), 4);
+        assert_eq!(pager.page_count(), 5);
+
+        // Freeing a page that was never allocated is an error.
+        assert!(pager.free(99).is_err());
+    }
+
+    #[test]
+    fn mem_pager_reuses_freed_pages() {
+        exercise_free_list(&MemPager::new());
+    }
+
+    #[test]
+    fn file_pager_reuses_freed_pages_without_growing_the_file() {
+        let dir = std::env::temp_dir().join(format!("spgist-pager-free-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("free.pages");
+        {
+            let pager = FilePager::create(&path).unwrap();
+            exercise_free_list(&pager);
+            pager.sync().unwrap();
+        }
+        let len = std::fs::metadata(&path).unwrap().len();
+        assert_eq!(len, 5 * PAGE_SIZE as u64, "file holds exactly 5 pages");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
