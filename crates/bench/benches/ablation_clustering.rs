@@ -10,7 +10,7 @@ use spgist_indexes::{TrieIndex, TrieOps};
 
 fn build(policy: ClusteringPolicy, data: &[String]) -> TrieIndex {
     let config = TrieOps::patricia().config().with_clustering(policy);
-    let mut index = TrieIndex::with_ops(experiment_pool(), TrieOps::with_config(config)).unwrap();
+    let index = TrieIndex::with_ops(experiment_pool(), TrieOps::with_config(config)).unwrap();
     for (i, w) in data.iter().enumerate() {
         index.insert(w, i as RowId).unwrap();
     }
@@ -37,7 +37,7 @@ fn bench(c: &mut Criterion) {
         });
     }
     // Offline repack on top of the default policy.
-    let mut repacked = build(ClusteringPolicy::ParentFirst, &data);
+    let repacked = build(ClusteringPolicy::ParentFirst, &data);
     repacked.repack().unwrap();
     group.bench_function(BenchmarkId::new("policy", "ParentFirst+repack"), |b| {
         let mut i = 0;

@@ -8,7 +8,7 @@ use spgist_datagen::{words, QueryWorkload};
 use spgist_indexes::{TrieIndex, TrieOps};
 
 fn build(ops: TrieOps, data: &[String]) -> TrieIndex {
-    let mut index = TrieIndex::with_ops(experiment_pool(), ops).unwrap();
+    let index = TrieIndex::with_ops(experiment_pool(), ops).unwrap();
     for (i, w) in data.iter().enumerate() {
         index.insert(w, i as RowId).unwrap();
     }

@@ -13,9 +13,9 @@
 use spgist_bench::loc::table7;
 use spgist_bench::stats::{log10_ratio, ratio_pct};
 use spgist_bench::{
-    point_sizes, run_clustering_ablation, run_nn_experiments, run_point_experiments,
-    run_segment_experiments, run_string_experiments, run_substring_experiments,
-    run_trie_variant_ablation, word_sizes, NN_KS,
+    point_sizes, run_clustering_ablation, run_mixed_workload, run_nn_experiments,
+    run_point_experiments, run_read_scaling, run_segment_experiments, run_string_experiments,
+    run_substring_experiments, run_trie_variant_ablation, word_sizes, NN_KS,
 };
 
 struct Options {
@@ -60,7 +60,7 @@ fn usage(message: &str) -> ! {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|all] [--scale N] [--queries N]"
+        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|all] [--scale N] [--queries N]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -96,6 +96,9 @@ fn main() {
     }
     if wants("ablation-trie") {
         print_trie_ablation(&opts);
+    }
+    if wants("concurrency") {
+        print_concurrency(&opts);
     }
 }
 
@@ -337,6 +340,65 @@ fn print_clustering_ablation(opts: &Options) {
             r.exact_ms
         );
     }
+    println!();
+}
+
+fn print_concurrency(opts: &Options) {
+    let n = 20_000 * opts.scale.max(1);
+    let queries = opts.queries.max(20);
+    let thread_counts = [1usize, 2, 4, 8];
+    let rows = run_read_scaling(n, &thread_counts, queries, SEED);
+    println!("== Concurrency: read-scaling on a shared kd-tree ({n} points) ==");
+    println!(
+        "(host reports {} cores; read latches scale with real cores)",
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    );
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>12} {:>10}",
+        "threads", "queries", "elapsed ms", "queries/s", "mean ms", "p99 ms"
+    );
+    for r in &rows {
+        println!(
+            "{:>8} {:>10} {:>12.1} {:>14.0} {:>12.4} {:>10.4}",
+            r.threads, r.total_queries, r.elapsed_ms, r.throughput_qps, r.mean_ms, r.p99_ms
+        );
+    }
+    let base = rows.iter().find(|r| r.threads == 1);
+    let four = rows.iter().find(|r| r.threads == 4);
+    if let (Some(base), Some(four)) = (base, four) {
+        println!(
+            "read throughput speedup at 4 threads vs 1: {:.2}x",
+            four.throughput_qps / base.throughput_qps.max(1e-9)
+        );
+    }
+    println!();
+
+    let mixed = run_mixed_workload(n, 4, 2, queries, queries * 5, SEED);
+    println!("== Concurrency: mixed readers + writer bursts ==");
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>12} {:>10} {:>10} {:>12} {:>13}",
+        "readers",
+        "writers",
+        "reads",
+        "writes",
+        "elapsed ms",
+        "read q/s",
+        "ins/s",
+        "read p99 ms",
+        "write p99 ms"
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>12.1} {:>10.0} {:>10.0} {:>12.4} {:>13.4}",
+        mixed.readers,
+        mixed.writers,
+        mixed.reads,
+        mixed.writes,
+        mixed.elapsed_ms,
+        mixed.read_qps,
+        mixed.write_ips,
+        mixed.read_p99_ms,
+        mixed.write_p99_ms
+    );
     println!();
 }
 

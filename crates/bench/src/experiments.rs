@@ -69,7 +69,7 @@ pub const NN_KS: [usize; 8] = [8, 16, 32, 64, 128, 256, 512, 1024];
 /// Builds a patricia trie over `data`, returning the index and the total
 /// insertion time.
 pub fn build_trie(data: &[String]) -> (TrieIndex, Duration) {
-    let mut index = TrieIndex::create(experiment_pool()).expect("create trie");
+    let index = TrieIndex::create(experiment_pool()).expect("create trie");
     let (_, elapsed) = timed(|| {
         for (i, w) in data.iter().enumerate() {
             index.insert(w, i as RowId).expect("insert word");
@@ -91,7 +91,7 @@ pub fn build_btree(data: &[String]) -> (BPlusTree, Duration) {
 
 /// Builds a kd-tree over `data`, returning the index and the insertion time.
 pub fn build_kdtree(data: &[Point]) -> (KdTreeIndex, Duration) {
-    let mut index = KdTreeIndex::create(experiment_pool()).expect("create kd-tree");
+    let index = KdTreeIndex::create(experiment_pool()).expect("create kd-tree");
     let (_, elapsed) = timed(|| {
         for (i, p) in data.iter().enumerate() {
             index.insert(*p, i as RowId).expect("insert point");
@@ -102,7 +102,7 @@ pub fn build_kdtree(data: &[Point]) -> (KdTreeIndex, Duration) {
 
 /// Builds a point quadtree over `data`.
 pub fn build_pquadtree(data: &[Point]) -> (PointQuadtreeIndex, Duration) {
-    let mut index = PointQuadtreeIndex::create(experiment_pool()).expect("create quadtree");
+    let index = PointQuadtreeIndex::create(experiment_pool()).expect("create quadtree");
     let (_, elapsed) = timed(|| {
         for (i, p) in data.iter().enumerate() {
             index.insert(*p, i as RowId).expect("insert point");
@@ -124,7 +124,7 @@ pub fn build_rtree_points(data: &[Point]) -> (RTree, Duration) {
 
 /// Builds a PMR quadtree over segments.
 pub fn build_pmr(data: &[Segment]) -> (PmrQuadtreeIndex, Duration) {
-    let mut index = PmrQuadtreeIndex::create(experiment_pool(), world()).expect("create pmr");
+    let index = PmrQuadtreeIndex::create(experiment_pool(), world()).expect("create pmr");
     let (_, elapsed) = timed(|| {
         for (i, s) in data.iter().enumerate() {
             index.insert(*s, i as RowId).expect("insert segment");
@@ -146,7 +146,7 @@ pub fn build_rtree_segments(data: &[Segment]) -> (RTree, Duration) {
 
 /// Builds a suffix-tree index over `data`.
 pub fn build_suffix(data: &[String]) -> (SuffixTreeIndex, Duration) {
-    let mut index = SuffixTreeIndex::create(experiment_pool()).expect("create suffix tree");
+    let index = SuffixTreeIndex::create(experiment_pool()).expect("create suffix tree");
     let (_, elapsed) = timed(|| {
         for (i, w) in data.iter().enumerate() {
             index.insert(w, i as RowId).expect("insert word");
@@ -518,7 +518,7 @@ pub fn run_clustering_ablation(size: usize, queries: usize, seed: u64) -> Vec<Cl
     let mut rows = Vec::new();
     for policy in policies {
         let config = TrieOps::patricia().config().with_clustering(policy);
-        let mut index = TrieIndex::with_ops(experiment_pool(), TrieOps::with_config(config))
+        let index = TrieIndex::with_ops(experiment_pool(), TrieOps::with_config(config))
             .expect("create trie");
         for (i, w) in data.iter().enumerate() {
             index.insert(w, i as RowId).expect("insert");
@@ -576,7 +576,7 @@ pub fn run_trie_variant_ablation(size: usize, queries: usize, seed: u64) -> Vec<
     variants
         .into_iter()
         .map(|(name, ops)| {
-            let mut index = TrieIndex::with_ops(experiment_pool(), ops).expect("create trie");
+            let index = TrieIndex::with_ops(experiment_pool(), ops).expect("create trie");
             for (i, w) in data.iter().enumerate() {
                 index.insert(w, i as RowId).expect("insert");
             }

@@ -17,8 +17,10 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod concurrent;
 pub mod experiments;
 pub mod loc;
 pub mod stats;
 
+pub use concurrent::{run_mixed_workload, run_read_scaling, MixedRow, ReadScalingRow};
 pub use experiments::*;

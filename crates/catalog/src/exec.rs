@@ -22,10 +22,25 @@
 //! [`Database`] is the top-level facade: a catalog, a shared buffer pool and
 //! a set of named tables — the "many scenarios, one API" surface of the
 //! paper carried to its logical end.
+//!
+//! **Shared access.** Tables are handed out as `Arc<Table>` handles
+//! ([`Database::table_handle`]) that are `Send + Sync`: DML (`insert` /
+//! `delete`) and queries take `&self` and latch internally — the heap and
+//! row directory behind a table-level reader-writer latch, each physical
+//! index behind its own latch (updates acquire them one at a time, never
+//! nested, so the latch order is acyclic).  DDL (`create_index` /
+//! `drop_index` / `drop_table`) requires exclusive access (`&mut` /
+//! no outstanding handles), the executor's analog of PostgreSQL's
+//! `AccessExclusiveLock`.  [`Database::run_parallel`] runs a batch of
+//! queries across a scoped thread pool, and [`Table::query_parallel`]
+//! partitions large sequential and intersection scans across threads when
+//! the cost model says the table is big enough to amortize thread startup.
 
-use std::cell::Cell;
 use std::collections::{BTreeMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+use parking_lot::{Mutex, RwLock};
 
 use spgist_core::{RowId, TreeStats};
 use spgist_indexes::geom::{Point, Rect, Segment};
@@ -584,7 +599,7 @@ enum PhysicalIndex {
 }
 
 impl PhysicalIndex {
-    fn insert(&mut self, datum: &Datum, row: RowId) -> StorageResult<()> {
+    fn insert(&self, datum: &Datum, row: RowId) -> StorageResult<()> {
         match (self, datum) {
             (PhysicalIndex::Trie(ix), Datum::Text(s)) => SpIndex::insert(ix, s.clone(), row),
             (PhysicalIndex::Suffix(ix), Datum::Text(s)) => SpIndex::insert(ix, s.clone(), row),
@@ -597,7 +612,7 @@ impl PhysicalIndex {
         }
     }
 
-    fn delete(&mut self, datum: &Datum, row: RowId) -> StorageResult<bool> {
+    fn delete(&self, datum: &Datum, row: RowId) -> StorageResult<bool> {
         match (self, datum) {
             (PhysicalIndex::Trie(ix), Datum::Text(s)) => SpIndex::delete(ix, s, row),
             (PhysicalIndex::Suffix(ix), Datum::Text(s)) => SpIndex::delete(ix, s, row),
@@ -607,6 +622,18 @@ impl PhysicalIndex {
             _ => Err(StorageError::Unsupported(
                 "datum type does not match the index key type".into(),
             )),
+        }
+    }
+
+    /// Releases every page of the backing tree to the pager's free list
+    /// (`DROP INDEX`).
+    fn destroy(self) -> StorageResult<()> {
+        match self {
+            PhysicalIndex::Trie(ix) => ix.destroy(),
+            PhysicalIndex::Suffix(ix) => ix.destroy(),
+            PhysicalIndex::KdTree(ix) => ix.destroy(),
+            PhysicalIndex::Quadtree(ix) => ix.destroy(),
+            PhysicalIndex::Pmr(ix) => ix.destroy(),
         }
     }
 
@@ -676,6 +703,16 @@ impl PhysicalIndex {
     }
 }
 
+/// Memoized planner statistics with an invalidation epoch: a write that
+/// lands while a planner is mid-way through the slow `stats()` tree walk
+/// bumps the epoch, so the stale result is returned to that one planner but
+/// never cached.
+#[derive(Default)]
+struct StatsCache {
+    epoch: u64,
+    value: Option<(u64, u32)>,
+}
+
 struct NamedIndex {
     name: String,
     spec: IndexSpec,
@@ -683,19 +720,33 @@ struct NamedIndex {
     /// Memoized planner statistics `(pages, page_height)`.  Deriving them
     /// from [`TreeStats`] walks the whole tree, so the result is cached
     /// until the next write invalidates it — planning a query must not cost
-    /// more than running it.
-    cached_stats: Cell<Option<(u64, u32)>>,
+    /// more than running it.  A `Mutex` (not a `Cell`) so that concurrent
+    /// planners and writers share the memo safely.
+    cached_stats: Mutex<StatsCache>,
 }
 
 impl NamedIndex {
     fn planner_stats(&self) -> StorageResult<(u64, u32)> {
-        if let Some(cached) = self.cached_stats.get() {
-            return Ok(cached);
-        }
+        let epoch = {
+            let cache = self.cached_stats.lock();
+            if let Some(cached) = cache.value {
+                return Ok(cached);
+            }
+            cache.epoch
+        };
         let stats = self.index.stats()?;
         let derived = (stats.pages, stats.max_page_height);
-        self.cached_stats.set(Some(derived));
+        let mut cache = self.cached_stats.lock();
+        if cache.epoch == epoch {
+            cache.value = Some(derived);
+        }
         Ok(derived)
+    }
+
+    fn invalidate_stats(&self) {
+        let mut cache = self.cached_stats.lock();
+        cache.epoch += 1;
+        cache.value = None;
     }
 }
 
@@ -1016,12 +1067,9 @@ fn validate_ordered(predicate: &Predicate) -> StorageResult<()> {
 // Table
 // ---------------------------------------------------------------------------
 
-/// A heap-backed table with one typed key column and any number of physical
-/// indexes over it.
-pub struct Table {
-    name: String,
-    key_type: KeyType,
-    pool: Arc<BufferPool>,
+/// The latched mutable state of a [`Table`]: the heap file, the row
+/// directory, and the statistics that change with every write.
+struct TableInner {
     heap: HeapFile,
     /// Row id → heap record (None once deleted).  Row ids are dense and
     /// assigned in insertion order, like the paper's heap tuple pointers.
@@ -1030,6 +1078,24 @@ pub struct Table {
     /// Encoded key values seen on insert, for the planner's `distinct_values`
     /// statistic (deletions are not subtracted — statistics, not truth).
     distinct: HashSet<Vec<u8>>,
+}
+
+/// A heap-backed table with one typed key column and any number of physical
+/// indexes over it.
+///
+/// A `Table` is `Send + Sync`: share it behind an `Arc` and run DML and
+/// queries from many threads.  The heap and row directory sit behind a
+/// table-level reader-writer latch; each physical index latches itself.  An
+/// insert appends to the heap under the table latch, releases it, then
+/// updates the indexes — so a concurrent query sees either nothing (not yet
+/// indexed) or a fully fetchable row, never a dangling index entry.  DDL
+/// ([`Table::create_index`] / [`Table::drop_index`]) still requires `&mut`:
+/// exclusive access, the analog of PostgreSQL's `AccessExclusiveLock`.
+pub struct Table {
+    name: String,
+    key_type: KeyType,
+    pool: Arc<BufferPool>,
+    inner: RwLock<TableInner>,
     indexes: Vec<NamedIndex>,
 }
 
@@ -1039,11 +1105,13 @@ impl Table {
         Ok(Table {
             name: name.to_string(),
             key_type,
-            heap: HeapFile::create(Arc::clone(&pool))?,
+            inner: RwLock::new(TableInner {
+                heap: HeapFile::create(Arc::clone(&pool))?,
+                rows: Vec::new(),
+                live_rows: 0,
+                distinct: HashSet::new(),
+            }),
             pool,
-            rows: Vec::new(),
-            live_rows: 0,
-            distinct: HashSet::new(),
             indexes: Vec::new(),
         })
     }
@@ -1060,17 +1128,19 @@ impl Table {
 
     /// Number of live rows.
     pub fn len(&self) -> u64 {
-        self.live_rows
+        self.inner.read().live_rows
     }
 
     /// True if the table holds no live rows.
     pub fn is_empty(&self) -> bool {
-        self.live_rows == 0
+        self.len() == 0
     }
 
     /// Inserts a key value, returning its row id.  The value is appended to
-    /// the heap and inserted into every registered index.
-    pub fn insert(&mut self, datum: impl Into<Datum>) -> StorageResult<RowId> {
+    /// the heap under the table latch, which is released before the value is
+    /// inserted into the registered indexes (each takes its own write latch)
+    /// — latches are never held nested, so the order is acyclic.
+    pub fn insert(&self, datum: impl Into<Datum>) -> StorageResult<RowId> {
         let datum = datum.into();
         if datum.key_type() != self.key_type {
             return Err(StorageError::Unsupported(format!(
@@ -1081,50 +1151,68 @@ impl Table {
             )));
         }
         let record = datum.encode_record();
-        let rid = self.heap.insert(&record)?;
-        let row = self.rows.len() as RowId;
-        self.rows.push(Some(rid));
-        self.live_rows += 1;
-        self.distinct.insert(record);
-        for named in &mut self.indexes {
+        let row = {
+            let mut inner = self.inner.write();
+            let rid = inner.heap.insert(&record)?;
+            let row = inner.rows.len() as RowId;
+            inner.rows.push(Some(rid));
+            inner.live_rows += 1;
+            inner.distinct.insert(record);
+            row
+        };
+        for named in &self.indexes {
             named.index.insert(&datum, row)?;
-            named.cached_stats.set(None);
+            named.invalidate_stats();
         }
         Ok(row)
     }
 
     /// Deletes the row, removing it from the heap and every index; returns
-    /// whether the row existed.
-    pub fn delete(&mut self, row: RowId) -> StorageResult<bool> {
-        let Some(slot) = self.rows.get_mut(row as usize) else {
-            return Ok(false);
+    /// whether the row existed.  A query racing the delete may still report
+    /// the row (it was live when its cursor latched the index) or skip it —
+    /// never error.
+    pub fn delete(&self, row: RowId) -> StorageResult<bool> {
+        let datum = {
+            let mut inner = self.inner.write();
+            let Some(slot) = inner.rows.get_mut(row as usize) else {
+                return Ok(false);
+            };
+            let Some(rid) = slot.take() else {
+                return Ok(false);
+            };
+            let datum = Datum::decode_record(&inner.heap.get(rid)?)?;
+            inner.heap.delete(rid)?;
+            inner.live_rows -= 1;
+            datum
         };
-        let Some(rid) = slot.take() else {
-            return Ok(false);
-        };
-        let datum = Datum::decode_record(&self.heap.get(rid)?)?;
-        self.heap.delete(rid)?;
-        self.live_rows -= 1;
-        for named in &mut self.indexes {
+        for named in &self.indexes {
             named.index.delete(&datum, row)?;
-            named.cached_stats.set(None);
+            named.invalidate_stats();
         }
         Ok(true)
     }
 
-    /// Reads the key value of a live row.
+    /// Reads the key value of a live row; an error if the row is unknown or
+    /// deleted.
     pub fn datum(&self, row: RowId) -> StorageResult<Datum> {
-        let rid = self
-            .rows
-            .get(row as usize)
-            .copied()
-            .flatten()
-            .ok_or_else(|| StorageError::Unsupported(format!("row {row} does not exist")))?;
-        Datum::decode_record(&self.heap.get(rid)?)
+        self.try_datum(row)?
+            .ok_or_else(|| StorageError::Unsupported(format!("row {row} does not exist")))
+    }
+
+    /// Reads the key value of a row, `None` if it does not exist (deleted or
+    /// never inserted).  The execution paths use this so a row deleted
+    /// between an index probe and the heap fetch is skipped, not an error.
+    pub fn try_datum(&self, row: RowId) -> StorageResult<Option<Datum>> {
+        let inner = self.inner.read();
+        let Some(rid) = inner.rows.get(row as usize).copied().flatten() else {
+            return Ok(None);
+        };
+        Datum::decode_record(&inner.heap.get(rid)?).map(Some)
     }
 
     /// Builds a physical index described by `spec`, backfilling it from the
-    /// existing heap rows (`CREATE INDEX`).
+    /// existing heap rows (`CREATE INDEX`).  DDL: requires exclusive access
+    /// to the table.
     pub fn create_index(&mut self, name: &str, spec: IndexSpec) -> StorageResult<()> {
         if spec.key_type() != self.key_type {
             return Err(StorageError::Unsupported(format!(
@@ -1141,7 +1229,7 @@ impl Table {
             )));
         }
         let pool = Arc::clone(&self.pool);
-        let mut index = match spec {
+        let index = match spec {
             IndexSpec::Trie => PhysicalIndex::Trie(TrieIndex::create(pool)?),
             IndexSpec::SuffixTree => PhysicalIndex::Suffix(SuffixTreeIndex::create(pool)?),
             IndexSpec::KdTree => PhysicalIndex::KdTree(KdTreeIndex::create(pool)?),
@@ -1150,9 +1238,9 @@ impl Table {
                 PhysicalIndex::Pmr(PmrQuadtreeIndex::create(pool, world)?)
             }
         };
-        for row in 0..self.rows.len() as RowId {
-            if self.rows[row as usize].is_some() {
-                let datum = self.datum(row)?;
+        let row_count = self.inner.read().rows.len() as RowId;
+        for row in 0..row_count {
+            if let Some(datum) = self.try_datum(row)? {
                 index.insert(&datum, row)?;
             }
         }
@@ -1160,16 +1248,29 @@ impl Table {
             name: name.to_string(),
             spec,
             index,
-            cached_stats: Cell::new(None),
+            cached_stats: Mutex::new(StatsCache::default()),
         });
         Ok(())
     }
 
-    /// Drops a physical index; returns whether it existed.
-    pub fn drop_index(&mut self, name: &str) -> bool {
-        let before = self.indexes.len();
-        self.indexes.retain(|i| i.name != name);
-        self.indexes.len() < before
+    /// Drops a physical index, releasing its pages to the pager's free list;
+    /// returns whether it existed.  DDL: requires exclusive access.
+    pub fn drop_index(&mut self, name: &str) -> StorageResult<bool> {
+        let Some(pos) = self.indexes.iter().position(|i| i.name == name) else {
+            return Ok(false);
+        };
+        let named = self.indexes.remove(pos);
+        named.index.destroy()?;
+        Ok(true)
+    }
+
+    /// Destroys the table, releasing its heap pages and every index's pages
+    /// to the pager's free list (`DROP TABLE`).
+    pub fn destroy(self) -> StorageResult<()> {
+        for named in self.indexes {
+            named.index.destroy()?;
+        }
+        self.inner.into_inner().heap.destroy()
     }
 
     /// Names of the physical indexes on this table.
@@ -1179,10 +1280,11 @@ impl Table {
 
     /// Planner statistics of the heap (the `pg_class` analog).
     pub fn table_stats(&self) -> TableStats {
+        let inner = self.inner.read();
         TableStats {
-            rows: self.live_rows,
-            heap_pages: (self.heap.page_count() as u64).max(1),
-            distinct_values: self.distinct.len() as u64,
+            rows: inner.live_rows,
+            heap_pages: (inner.heap.page_count() as u64).max(1),
+            distinct_values: inner.distinct.len() as u64,
         }
     }
 
@@ -1227,18 +1329,201 @@ impl Table {
         let phys = self.plan_phys(catalog, &query.into())?;
         let path = phys.access_path();
         let (stream, source) = self.execute_node(&phys)?;
-        let inner = stream.map(move |item| {
-            let (row, datum) = item?;
-            match datum {
-                Some(datum) => Ok((row, datum)),
-                None => self.datum(row).map(|datum| (row, datum)),
-            }
-        });
+        let inner = stream
+            .map(move |item| -> StorageResult<Option<(RowId, Datum)>> {
+                let (row, datum) = item?;
+                match datum {
+                    Some(datum) => Ok(Some((row, datum))),
+                    // A row deleted between the index probe and the heap
+                    // fetch is skipped, not an error.
+                    None => Ok(self.try_datum(row)?.map(|datum| (row, datum))),
+                }
+            })
+            .filter_map(StorageResult::transpose);
         Ok(ExecCursor {
             path,
             source,
             inner: Box::new(inner),
         })
+    }
+
+    /// Plans and executes `query` with up to `n_threads` worker threads,
+    /// materializing the matching `(row id, key)` pairs.
+    ///
+    /// Parallelism applies where the plan shape allows it and the cost
+    /// model says the table is large enough to amortize thread startup
+    /// ([`CostEstimate::parallel_seq_scan`]):
+    ///
+    /// * an unordered, un-`LIMIT`ed **sequential scan** partitions the
+    ///   row-id range into contiguous chunks, one worker per chunk, and
+    ///   concatenates the chunk results — deterministically equal to the
+    ///   serial scan's row-id order (a limited scan stays serial: streaming
+    ///   stops at `k`, a chunked scan cannot);
+    /// * an **intersection** evaluates every participating input's row-id
+    ///   stream on its own worker, intersects the sets, and reports rows in
+    ///   ascending row-id order (again deterministic).
+    ///
+    /// Everything else (ordered scans, unions, index-driven filters, small
+    /// tables) falls back to the serial streaming path with identical
+    /// results.
+    pub fn query_parallel(
+        &self,
+        catalog: &Catalog,
+        query: impl Into<Query>,
+        n_threads: usize,
+    ) -> StorageResult<Vec<(RowId, Datum)>> {
+        let query = query.into();
+        let n_threads = n_threads.max(1);
+        if n_threads > 1 {
+            let phys = self.plan_phys(catalog, &query)?;
+            let (node, limit) = match &phys {
+                PhysNode::Limit { input, k } => (&**input, Some(*k)),
+                node => (node, None),
+            };
+            match node {
+                // A LIMIT-bearing seq scan stays serial: the streaming path
+                // stops after `k` matches, while a chunked parallel scan
+                // would filter the whole table before truncating.
+                PhysNode::SeqScan {
+                    filter,
+                    order: None,
+                    ..
+                } if limit.is_none() && self.parallel_seq_scan_pays(n_threads) => {
+                    return self.par_seq_scan(filter, n_threads);
+                }
+                PhysNode::Intersect { inputs, cost }
+                    if CostEstimate::parallel_pays(
+                        cost.total_cost,
+                        n_threads.min(inputs.len()),
+                    ) =>
+                {
+                    let mut rows = self.par_intersect(inputs, &[], n_threads)?;
+                    if let Some(k) = limit {
+                        rows.truncate(k);
+                    }
+                    return Ok(rows);
+                }
+                PhysNode::Filter {
+                    input, residual, ..
+                } => {
+                    if let PhysNode::Intersect { inputs, cost } = &**input {
+                        if CostEstimate::parallel_pays(cost.total_cost, n_threads.min(inputs.len()))
+                        {
+                            let mut rows = self.par_intersect(inputs, residual, n_threads)?;
+                            if let Some(k) = limit {
+                                rows.truncate(k);
+                            }
+                            return Ok(rows);
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+        self.query(catalog, query)?.collect()
+    }
+
+    /// Whether a parallel sequential scan over this table beats the serial
+    /// one under the cost model.
+    fn parallel_seq_scan_pays(&self, n_threads: usize) -> bool {
+        let stats = self.table_stats();
+        CostEstimate::parallel_seq_scan(&stats, n_threads).total_cost
+            < CostEstimate::seq_scan(&stats).total_cost
+    }
+
+    /// Partitions the row-id range into contiguous chunks and filters each
+    /// on its own scoped worker thread.  Chunk results concatenate in chunk
+    /// order, so the output matches the serial scan exactly.
+    fn par_seq_scan(
+        &self,
+        filter: &Predicate,
+        n_threads: usize,
+    ) -> StorageResult<Vec<(RowId, Datum)>> {
+        let row_count = self.inner.read().rows.len();
+        let workers = n_threads.min(row_count.max(1));
+        let chunk = row_count.div_ceil(workers);
+        let partials: Vec<StorageResult<Vec<(RowId, Datum)>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = (lo + chunk).min(row_count);
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for row in lo..hi {
+                            let row = row as RowId;
+                            if let Some(datum) = self.try_datum(row)? {
+                                if filter.matches(&datum) {
+                                    out.push((row, datum));
+                                }
+                            }
+                        }
+                        Ok(out)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel scan worker panicked"))
+                .collect()
+        });
+        let mut rows = Vec::new();
+        for part in partials {
+            rows.extend(part?);
+        }
+        Ok(rows)
+    }
+
+    /// Evaluates every intersection input's row-id stream on its own scoped
+    /// worker, intersects the sets, applies `residual` re-checks, and
+    /// reports surviving rows in ascending row-id order.
+    fn par_intersect(
+        &self,
+        inputs: &[PhysNode],
+        residual: &[Predicate],
+        n_threads: usize,
+    ) -> StorageResult<Vec<(RowId, Datum)>> {
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<StorageResult<HashSet<RowId>>>>> =
+            inputs.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads.min(inputs.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(node) = inputs.get(i) else { break };
+                    let result = self.execute_node(node).and_then(|(stream, _)| {
+                        let mut set = HashSet::new();
+                        for item in stream {
+                            set.insert(item?.0);
+                        }
+                        Ok(set)
+                    });
+                    *slots[i].lock() = Some(result);
+                });
+            }
+        });
+        let mut sets = Vec::with_capacity(inputs.len());
+        for slot in slots {
+            sets.push(slot.into_inner().expect("every input slot is filled")?);
+        }
+        // Intersect starting from the smallest set; sort for a
+        // deterministic output order.
+        sets.sort_by_key(HashSet::len);
+        let (first, rest) = sets.split_first().expect("intersection of >= 2 inputs");
+        let mut rows: Vec<RowId> = first
+            .iter()
+            .copied()
+            .filter(|row| rest.iter().all(|set| set.contains(row)))
+            .collect();
+        rows.sort_unstable();
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            if let Some(datum) = self.try_datum(row)? {
+                if residual.iter().all(|p| p.matches(&datum)) {
+                    out.push((row, datum));
+                }
+            }
+        }
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -1526,12 +1811,43 @@ impl Table {
         })
     }
 
-    /// Walks every live heap row lazily.
+    /// Walks every live heap row lazily.  The row-id range is snapshotted at
+    /// call time; each row is fetched under a short read latch, so rows
+    /// deleted mid-scan are skipped and rows inserted mid-scan are unseen.
     fn heap_stream(&self) -> impl Iterator<Item = StorageResult<(RowId, Datum)>> + '_ {
-        (0..self.rows.len() as RowId).filter_map(move |row| {
-            self.rows[row as usize]?;
-            Some(self.datum(row).map(|datum| (row, datum)))
+        let row_count = self.inner.read().rows.len() as RowId;
+        (0..row_count).filter_map(move |row| {
+            self.try_datum(row)
+                .map(|datum| datum.map(|datum| (row, datum)))
+                .transpose()
         })
+    }
+
+    /// The [`ScanSource`] tree a physical operator dispatches to, derived
+    /// from the plan shape (used where execution is lazy and the source
+    /// must be known before every input has opened).
+    fn scan_source(&self, node: &PhysNode) -> ScanSource {
+        match node {
+            PhysNode::SeqScan { .. } => ScanSource::Heap,
+            PhysNode::IndexScan { index, .. } => ScanSource::Index {
+                name: index.clone(),
+            },
+            PhysNode::OrderedScan { index, .. } => ScanSource::OrderedIndex {
+                name: index.clone(),
+            },
+            PhysNode::Filter { input, .. } => ScanSource::Filter {
+                input: Box::new(self.scan_source(input)),
+            },
+            PhysNode::Intersect { inputs, .. } => ScanSource::Intersect {
+                inputs: inputs.iter().map(|n| self.scan_source(n)).collect(),
+            },
+            PhysNode::Union { inputs, .. } => ScanSource::Union {
+                inputs: inputs.iter().map(|n| self.scan_source(n)).collect(),
+            },
+            PhysNode::Limit { input, .. } => ScanSource::Limit {
+                input: Box::new(self.scan_source(input)),
+            },
+        }
     }
 
     /// Turns one physical operator into its row stream, recording the
@@ -1604,7 +1920,11 @@ impl Table {
                             let (row, datum) = item?;
                             let datum = match datum {
                                 Some(datum) => datum,
-                                None => self.datum(row)?,
+                                // Deleted while the scan ran: skip the row.
+                                None => match self.try_datum(row)? {
+                                    Some(datum) => datum,
+                                    None => return Ok(None),
+                                },
                             };
                             Ok(residual
                                 .iter()
@@ -1625,12 +1945,15 @@ impl Table {
                 let first = nodes
                     .next()
                     .ok_or_else(|| StorageError::Unsupported("empty intersection plan".into()))?;
-                let (driver, driver_source) = self.execute_node(first)?;
-                let mut sources = vec![driver_source];
-                // The non-driving streams materialize row-id sets (ids only
-                // — no heap fetches); the driver then streams through the
-                // membership test.
+                // Materialize every non-driving row-id set (ids only — no
+                // heap fetches) *before* opening the driver cursor: each
+                // input's cursor is drained and dropped before the next
+                // opens, so at most one read latch is held at a time.  Two
+                // conjuncts served by the same index would otherwise hold
+                // two read latches at once and deadlock against a waiting
+                // writer.
                 let mut sets: Vec<HashSet<RowId>> = Vec::new();
+                let mut sources = Vec::with_capacity(inputs.len());
                 for node in nodes {
                     let (stream, source) = self.execute_node(node)?;
                     sources.push(source);
@@ -1640,6 +1963,8 @@ impl Table {
                     }
                     sets.push(set);
                 }
+                let (driver, driver_source) = self.execute_node(first)?;
+                sources.insert(0, driver_source);
                 let inner = driver.filter(move |item| match item {
                     Ok((row, _)) => sets.iter().all(|set| set.contains(row)),
                     Err(_) => true,
@@ -1647,19 +1972,24 @@ impl Table {
                 Ok((Box::new(inner), ScanSource::Intersect { inputs: sources }))
             }
             PhysNode::Union { inputs, .. } => {
-                let mut streams = Vec::new();
-                let mut sources = Vec::new();
-                for node in inputs {
-                    let (stream, source) = self.execute_node(node)?;
-                    streams.push(stream);
-                    sources.push(source);
-                }
-                // Chained lazily and deduplicated by row id while streaming
-                // (one disjunct's rows may satisfy another disjunct too).
-                let chained = streams
+                // Each input's cursor opens only when the previous one is
+                // exhausted (and dropped): opening them all upfront would
+                // hold several read latches at once, and two disjuncts on
+                // the same index would deadlock against a waiting writer.
+                // The dispatched sources are derived from the plan shape,
+                // which is what execution follows by construction.
+                let sources: Vec<ScanSource> =
+                    inputs.iter().map(|node| self.scan_source(node)).collect();
+                let nodes = inputs.clone();
+                let chained = nodes
                     .into_iter()
-                    .flatten()
+                    .flat_map(move |node| match self.execute_node(&node) {
+                        Ok((stream, _)) => stream,
+                        Err(e) => Box::new(std::iter::once(Err(e))) as RowStream<'t>,
+                    })
                     .map(|item| item.map(|(row, datum)| (datum, row)));
+                // Deduplicated by row id while streaming (one disjunct's
+                // rows may satisfy another disjunct too).
                 let inner = spgist_indexes::Cursor::deduplicated(chained)
                     .map(|item| item.map(|(datum, row)| (row, datum)));
                 Ok((Box::new(inner), ScanSource::Union { inputs: sources }))
@@ -1682,7 +2012,7 @@ impl std::fmt::Debug for Table {
         f.debug_struct("Table")
             .field("name", &self.name)
             .field("key_type", &self.key_type)
-            .field("rows", &self.live_rows)
+            .field("rows", &self.len())
             .field("indexes", &self.index_names())
             .finish()
     }
@@ -1693,6 +2023,11 @@ impl std::fmt::Debug for Table {
 // ---------------------------------------------------------------------------
 
 /// The top-level facade: a catalog, a shared buffer pool and named tables.
+///
+/// Tables live behind `Arc`s: [`Database::table_handle`] clones out a
+/// `Send + Sync` handle for concurrent DML and queries on other threads,
+/// while [`Database::table_mut`] grants the exclusive access DDL needs (and
+/// fails while handles are outstanding).
 ///
 /// ```
 /// use spgist_catalog::exec::{Database, IndexSpec, KeyType, Predicate};
@@ -1713,7 +2048,7 @@ impl std::fmt::Debug for Table {
 pub struct Database {
     catalog: Catalog,
     pool: Arc<BufferPool>,
-    tables: BTreeMap<String, Table>,
+    tables: BTreeMap<String, Arc<Table>>,
 }
 
 impl Database {
@@ -1758,23 +2093,55 @@ impl Database {
             )));
         }
         let table = Table::create(name, key_type, Arc::clone(&self.pool))?;
-        self.tables.insert(name.to_string(), table);
+        self.tables.insert(name.to_string(), Arc::new(table));
         Ok(())
+    }
+
+    /// Drops a table, releasing its heap pages and every index's pages to
+    /// the pager's free list; returns whether it existed.  Fails while
+    /// shared handles from [`Database::table_handle`] are outstanding
+    /// (`AccessExclusiveLock` semantics).
+    pub fn drop_table(&mut self, name: &str) -> StorageResult<bool> {
+        let Some(table) = self.tables.remove(name) else {
+            return Ok(false);
+        };
+        match Arc::try_unwrap(table) {
+            Ok(table) => {
+                table.destroy()?;
+                Ok(true)
+            }
+            Err(table) => {
+                // Put it back: dropping a shared table would pull pages out
+                // from under live handles.
+                self.tables.insert(name.to_string(), table);
+                Err(StorageError::Unsupported(format!(
+                    "cannot drop table {name:?} while shared handles are outstanding"
+                )))
+            }
+        }
     }
 
     /// Looks up a table.
     pub fn table(&self, name: &str) -> Option<&Table> {
-        self.tables.get(name)
+        self.tables.get(name).map(Arc::as_ref)
     }
 
-    /// Looks up a table for modification.
+    /// Clones out a shared, `Send + Sync` handle on a table for concurrent
+    /// DML and queries from other threads.
+    pub fn table_handle(&self, name: &str) -> Option<Arc<Table>> {
+        self.tables.get(name).cloned()
+    }
+
+    /// Looks up a table for DDL (exclusive access).  `None` if the table
+    /// does not exist *or* shared handles are outstanding.
     pub fn table_mut(&mut self, name: &str) -> Option<&mut Table> {
-        self.tables.get_mut(name)
+        self.tables.get_mut(name).and_then(Arc::get_mut)
     }
 
     fn table_or_err(&self, name: &str) -> StorageResult<&Table> {
         self.tables
             .get(name)
+            .map(Arc::as_ref)
             .ok_or_else(|| StorageError::Unsupported(format!("no table named {name:?}")))
     }
 
@@ -1792,6 +2159,53 @@ impl Database {
         query: impl Into<Query>,
     ) -> StorageResult<ExecCursor<'d>> {
         self.table_or_err(table)?.query(&self.catalog, query)
+    }
+
+    /// Plans and executes a batch of queries against the named table on a
+    /// pool of `n_threads` scoped worker threads — the multi-threaded query
+    /// driver.
+    ///
+    /// Workers pull queries from a shared counter (so skewed query costs
+    /// balance out) and each result lands in its query's input position:
+    /// the output is deterministic and identical to running the batch
+    /// serially, whatever the interleaving.  Fails with the first error any
+    /// query produced.
+    pub fn run_parallel(
+        &self,
+        table: &str,
+        queries: &[Query],
+        n_threads: usize,
+    ) -> StorageResult<Vec<Vec<RowId>>> {
+        let table = self.table_or_err(table)?;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<StorageResult<Vec<RowId>>>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..n_threads.clamp(1, queries.len().max(1)) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(query) = queries.get(i) else { break };
+                    let result = table.query(&self.catalog, query).and_then(ExecCursor::rows);
+                    *slots[i].lock() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every query slot is filled"))
+            .collect()
+    }
+
+    /// [`Database::run_parallel`] for one query per call site: plans and
+    /// executes `query` with [`Table::query_parallel`]'s partitioned scans.
+    pub fn query_parallel(
+        &self,
+        table: &str,
+        query: impl Into<Query>,
+        n_threads: usize,
+    ) -> StorageResult<Vec<(RowId, Datum)>> {
+        self.table_or_err(table)?
+            .query_parallel(&self.catalog, query, n_threads)
     }
 }
 
@@ -1948,6 +2362,154 @@ mod tests {
         assert!(db
             .plan("words", Predicate::Str(StringQuery::Nearest("abc".into())))
             .is_ok());
+    }
+
+    #[test]
+    fn run_parallel_matches_serial_execution() {
+        let mut db = word_table(3000);
+        db.table_mut("words")
+            .unwrap()
+            .create_index("words_trie", IndexSpec::Trie)
+            .unwrap();
+        let queries: Vec<Query> = ["a", "b", "ab", "ba", "ccc", "zzzz"]
+            .iter()
+            .map(|p| Query::new(Predicate::str_prefix(p)))
+            .collect();
+        let serial: Vec<Vec<RowId>> = queries
+            .iter()
+            .map(|q| db.query("words", q).unwrap().rows().unwrap())
+            .collect();
+        for threads in [1, 2, 4, 9] {
+            assert_eq!(
+                db.run_parallel("words", &queries, threads).unwrap(),
+                serial,
+                "batch results are deterministic at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn query_parallel_partitions_seq_scans_deterministically() {
+        // Large enough that the cost gate opens the parallel path.
+        let db = word_table(60_000);
+        let table = db.table("words").unwrap();
+        assert!(
+            table.parallel_seq_scan_pays(4),
+            "60k rows must amortize thread startup"
+        );
+        let pred = Predicate::str_prefix("a");
+        let serial: Vec<(RowId, Datum)> = db
+            .query("words", &pred)
+            .unwrap()
+            .collect::<StorageResult<_>>()
+            .unwrap();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(
+                db.query_parallel("words", &pred, threads).unwrap(),
+                serial,
+                "chunked scan merges identically at {threads} threads"
+            );
+        }
+        // A pushed-down LIMIT caps the merged result too.
+        let limited = db
+            .query_parallel("words", pred.clone().limit(17), 4)
+            .unwrap();
+        assert_eq!(limited, serial[..17.min(serial.len())]);
+
+        // Small tables fail the gate and stay serial, same answers.
+        let small = word_table(50);
+        assert!(!small.table("words").unwrap().parallel_seq_scan_pays(4));
+        let expect = small.query("words", &pred).unwrap().rows().unwrap();
+        let got: Vec<RowId> = small
+            .query_parallel("words", &pred, 4)
+            .unwrap()
+            .into_iter()
+            .map(|(row, _)| row)
+            .collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn query_parallel_agrees_on_composite_predicates() {
+        let mut db = word_table(4000);
+        db.table_mut("words")
+            .unwrap()
+            .create_index("words_trie", IndexSpec::Trie)
+            .unwrap();
+        db.table_mut("words")
+            .unwrap()
+            .create_index("words_suffix", IndexSpec::SuffixTree)
+            .unwrap();
+        let composite = Predicate::str_prefix("a").and(Predicate::str_substring("b"));
+        let mut serial = db.query("words", &composite).unwrap().rows().unwrap();
+        serial.sort_unstable();
+        for threads in [1, 3, 5] {
+            let mut rows: Vec<RowId> = db
+                .query_parallel("words", &composite, threads)
+                .unwrap()
+                .into_iter()
+                .map(|(row, _)| row)
+                .collect();
+            rows.sort_unstable();
+            assert_eq!(rows, serial, "composite plan agrees at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn drop_index_and_drop_table_release_pages() {
+        let mut db = word_table(2000);
+        let before_free = db.pool().free_page_count();
+        db.table_mut("words")
+            .unwrap()
+            .create_index("t", IndexSpec::Trie)
+            .unwrap();
+        assert!(db.table_mut("words").unwrap().drop_index("t").unwrap());
+        assert!(
+            !db.table_mut("words").unwrap().drop_index("t").unwrap(),
+            "second drop finds nothing"
+        );
+        let freed_after_index = db.pool().free_page_count();
+        assert!(
+            freed_after_index > before_free,
+            "dropping the index must return its pages"
+        );
+        assert!(db.drop_table("words").unwrap());
+        assert!(!db.drop_table("words").unwrap());
+        assert!(
+            db.pool().free_page_count() > freed_after_index,
+            "dropping the table must return its heap pages"
+        );
+        // A rebuilt same-sized table is served from the recycled pages.
+        let pages = db.pool().page_count();
+        db.create_table("words2", KeyType::Varchar).unwrap();
+        let table = db.table_mut("words2").unwrap();
+        for i in 0..2000u32 {
+            table.insert(format!("word{i:05}")).unwrap();
+        }
+        assert_eq!(
+            db.pool().page_count(),
+            pages,
+            "the file must not grow while freed pages last"
+        );
+    }
+
+    #[test]
+    fn ddl_requires_exclusive_access() {
+        let mut db = word_table(10);
+        let handle = db.table_handle("words").unwrap();
+        assert!(
+            db.table_mut("words").is_none(),
+            "DDL access denied while a handle is outstanding"
+        );
+        assert!(db.drop_table("words").is_err());
+        assert!(db.table("words").is_some(), "refused drop leaves the table");
+        // DML through the shared handle still works.
+        handle.insert("concurrent").unwrap();
+        assert_eq!(handle.len(), 11);
+        drop(handle);
+        assert!(db.table_mut("words").is_some());
+        assert!(db.drop_table("words").unwrap());
+        assert!(db.table("words").is_none());
     }
 
     #[test]

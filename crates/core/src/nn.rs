@@ -64,15 +64,31 @@ impl<O: SpGistOps> PartialOrd for QueueEntry<O> {
 /// Incremental nearest-neighbour iterator over an [`SpGistTree`].
 ///
 /// Yields `(key, row, distance)` triples in non-decreasing distance order.
-pub struct NnIter<'a, O: SpGistOps> {
-    tree: &'a SpGistTree<O>,
+///
+/// Like [`crate::tree::SearchCursor`], the iterator is generic over how it
+/// holds the tree: a plain `&SpGistTree` borrows, while a read-latch guard
+/// keeps the tree latched for shared access until the iterator is dropped.
+pub struct NnIter<T, O>
+where
+    T: std::ops::Deref<Target = SpGistTree<O>>,
+    O: SpGistOps,
+{
+    tree: T,
     query: O::Query,
     heap: BinaryHeap<QueueEntry<O>>,
     seq: u64,
 }
 
-impl<'a, O: SpGistOps> NnIter<'a, O> {
-    pub(crate) fn new(tree: &'a SpGistTree<O>, query: O::Query, root: Option<NodeId>) -> Self {
+impl<T, O> NnIter<T, O>
+where
+    T: std::ops::Deref<Target = SpGistTree<O>>,
+    O: SpGistOps,
+{
+    /// Builds the iterator from any owned or borrowed handle on a tree.
+    /// With a latch guard as the handle, the latch is held for the
+    /// iterator's lifetime.
+    pub fn over(tree: T, query: O::Query) -> Self {
+        let root = tree.root();
         let mut iter = NnIter {
             tree,
             query,
@@ -94,39 +110,52 @@ impl<'a, O: SpGistOps> NnIter<'a, O> {
     }
 
     fn expand(&mut self, id: NodeId, level: u32, parent_dist: f64) -> StorageResult<()> {
-        let ops = self.tree.ops_ref();
-        match self.tree.store().read::<O>(id)? {
-            Node::Leaf { items } => {
-                for (key, row) in items {
-                    let dist = ops.leaf_distance(&key, &self.query);
-                    self.push(dist, QueueItem::Object { key, row });
+        // Compute the children's bounds before touching the heap: `ops`
+        // borrows through the tree handle, which the heap pushes must not
+        // overlap.
+        let mut discovered: Vec<(f64, QueueItem<O>)> = Vec::new();
+        {
+            let ops = self.tree.ops_ref();
+            match self.tree.store().read::<O>(id)? {
+                Node::Leaf { items } => {
+                    for (key, row) in items {
+                        let dist = ops.leaf_distance(&key, &self.query);
+                        discovered.push((dist, QueueItem::Object { key, row }));
+                    }
+                }
+                Node::Inner { prefix, entries } => {
+                    let delta = ops.descend_levels(prefix.as_ref());
+                    for entry in entries {
+                        let dist = ops.inner_distance(
+                            prefix.as_ref(),
+                            &entry.pred,
+                            &self.query,
+                            parent_dist,
+                            level,
+                        );
+                        discovered.push((
+                            dist,
+                            QueueItem::Node {
+                                id: entry.child,
+                                level: level + delta,
+                            },
+                        ));
+                    }
                 }
             }
-            Node::Inner { prefix, entries } => {
-                let delta = ops.descend_levels(prefix.as_ref());
-                for entry in entries {
-                    let dist = ops.inner_distance(
-                        prefix.as_ref(),
-                        &entry.pred,
-                        &self.query,
-                        parent_dist,
-                        level,
-                    );
-                    self.push(
-                        dist,
-                        QueueItem::Node {
-                            id: entry.child,
-                            level: level + delta,
-                        },
-                    );
-                }
-            }
+        }
+        for (dist, item) in discovered {
+            self.push(dist, item);
         }
         Ok(())
     }
 }
 
-impl<O: SpGistOps> Iterator for NnIter<'_, O> {
+impl<T, O> Iterator for NnIter<T, O>
+where
+    T: std::ops::Deref<Target = SpGistTree<O>>,
+    O: SpGistOps,
+{
     type Item = StorageResult<(O::Key, RowId, f64)>;
 
     fn next(&mut self) -> Option<Self::Item> {

@@ -359,14 +359,12 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// traversal advances only as far as the caller pulls, so an executor can
     /// stop early (`LIMIT`-style) without paying for the full result set.
     /// Items are yielded in the same order `search` returns them.
-    pub fn search_cursor(&self, query: O::Query) -> SearchCursor<'_, O> {
-        SearchCursor {
-            tree: self,
-            query,
-            stack: self.root.map(|root| vec![(root, 0)]).unwrap_or_default(),
-            pending: Vec::new().into_iter(),
-            done: false,
-        }
+    ///
+    /// The cursor borrows the tree; to stream through a shared-access latch
+    /// instead, build the cursor from an owned guard with
+    /// [`SearchCursor::over`].
+    pub fn search_cursor(&self, query: O::Query) -> SearchCursor<&Self, O> {
+        SearchCursor::over(self, query)
     }
 
     /// Streams every matching `(key, row)` item to `visit`.
@@ -411,8 +409,11 @@ impl<O: SpGistOps> SpGistTree<O> {
 
     /// Incremental nearest-neighbour search (paper Section 5): returns an
     /// iterator yielding items in non-decreasing distance from `query`.
-    pub fn nn_iter(&self, query: O::Query) -> NnIter<'_, O> {
-        NnIter::new(self, query, self.root)
+    ///
+    /// The iterator borrows the tree; to stream through a shared-access
+    /// latch instead, build it from an owned guard with [`NnIter::over`].
+    pub fn nn_iter(&self, query: O::Query) -> NnIter<&Self, O> {
+        NnIter::over(self, query)
     }
 
     /// Convenience wrapper: the `k` nearest items to `query`.
@@ -657,12 +658,31 @@ impl<O: SpGistOps> SpGistTree<O> {
         Ok(stats)
     }
 
+    /// Releases every page this tree owns (node pages and the meta page) to
+    /// the pager's free list, consuming the tree (`DROP INDEX`).
+    ///
+    /// The page-ownership list is rebuilt lazily for re-opened trees, so a
+    /// tree opened from a file and destroyed immediately only frees the
+    /// pages it allocated in this session; trees built (or repacked) in the
+    /// current session free everything.
+    pub fn destroy(self) -> StorageResult<()> {
+        let pool = Arc::clone(self.store.pool());
+        for &page in self.store.pages() {
+            pool.free_page(page)?;
+        }
+        pool.free_page(self.meta_page)
+    }
+
     pub(crate) fn store(&self) -> &NodeStore {
         &self.store
     }
 
     pub(crate) fn ops_ref(&self) -> &O {
         &self.ops
+    }
+
+    pub(crate) fn root(&self) -> Option<NodeId> {
+        self.root
     }
 
     fn write_meta(&mut self) -> StorageResult<()> {
@@ -675,13 +695,25 @@ impl<O: SpGistOps> SpGistTree<O> {
 }
 
 /// Pull-based streaming search over an [`SpGistTree`]; created by
-/// [`SpGistTree::search_cursor`].
+/// [`SpGistTree::search_cursor`] or [`SearchCursor::over`].
+///
+/// The cursor is generic over *how it holds the tree*: any `T` that
+/// dereferences to the tree works, so a plain `&SpGistTree` gives the
+/// classic borrowing cursor while a read-latch guard
+/// (`RwLockReadGuard<'_, SpGistTree<O>>`) gives a cursor that keeps the
+/// tree latched for shared access until it is dropped — the mechanism the
+/// index wrappers use to stream query results while concurrent writers
+/// wait.
 ///
 /// Yields `StorageResult<(key, row)>`: a page read can fail mid-scan, and a
 /// streaming iterator has nowhere else to surface that.  After the first
 /// error the cursor is exhausted.
-pub struct SearchCursor<'t, O: SpGistOps> {
-    tree: &'t SpGistTree<O>,
+pub struct SearchCursor<T, O>
+where
+    T: std::ops::Deref<Target = SpGistTree<O>>,
+    O: SpGistOps,
+{
+    tree: T,
     query: O::Query,
     /// Inner nodes (and unvisited leaves) still to be expanded, with their
     /// decomposition level.
@@ -691,7 +723,31 @@ pub struct SearchCursor<'t, O: SpGistOps> {
     done: bool,
 }
 
-impl<O: SpGistOps> Iterator for SearchCursor<'_, O> {
+impl<T, O> SearchCursor<T, O>
+where
+    T: std::ops::Deref<Target = SpGistTree<O>>,
+    O: SpGistOps,
+{
+    /// Builds a cursor from any owned or borrowed handle on a tree.  With a
+    /// latch guard as the handle, the latch is held for the cursor's
+    /// lifetime.
+    pub fn over(tree: T, query: O::Query) -> Self {
+        let stack = tree.root.map(|root| vec![(root, 0)]).unwrap_or_default();
+        SearchCursor {
+            tree,
+            query,
+            stack,
+            pending: Vec::new().into_iter(),
+            done: false,
+        }
+    }
+}
+
+impl<T, O> Iterator for SearchCursor<T, O>
+where
+    T: std::ops::Deref<Target = SpGistTree<O>>,
+    O: SpGistOps,
+{
     type Item = StorageResult<(O::Key, RowId)>;
 
     fn next(&mut self) -> Option<Self::Item> {
@@ -737,7 +793,11 @@ impl<O: SpGistOps> Iterator for SearchCursor<'_, O> {
     }
 }
 
-impl<O: SpGistOps> std::fmt::Debug for SearchCursor<'_, O> {
+impl<T, O> std::fmt::Debug for SearchCursor<T, O>
+where
+    T: std::ops::Deref<Target = SpGistTree<O>>,
+    O: SpGistOps,
+{
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SearchCursor")
             .field("stack_depth", &self.stack.len())

@@ -12,6 +12,8 @@
 
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };
@@ -243,7 +245,7 @@ impl SpGistOps for KdTreeOps {
 /// `stats`, `repack`) comes from the [`SpIndex`] trait; the inherent
 /// methods below are thin operator sugar (`@`, `^`, `@@`).
 pub struct KdTreeIndex {
-    tree: SpGistTree<KdTreeOps>,
+    tree: RwLock<SpGistTree<KdTreeOps>>,
 }
 
 impl SpGistBacked for KdTreeIndex {
@@ -251,12 +253,12 @@ impl SpGistBacked for KdTreeIndex {
 
     const ORDERED_SCANS: bool = true;
 
-    fn backing_tree(&self) -> &SpGistTree<KdTreeOps> {
+    fn latch(&self) -> &RwLock<SpGistTree<KdTreeOps>> {
         &self.tree
     }
 
-    fn backing_tree_mut(&mut self) -> &mut SpGistTree<KdTreeOps> {
-        &mut self.tree
+    fn into_backing_tree(self) -> SpGistTree<KdTreeOps> {
+        self.tree.into_inner()
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
@@ -274,7 +276,7 @@ impl KdTreeIndex {
     /// Creates a kd-tree with explicit parameters.
     pub fn with_ops(pool: Arc<BufferPool>, ops: KdTreeOps) -> StorageResult<Self> {
         Ok(KdTreeIndex {
-            tree: SpGistTree::create(pool, ops)?,
+            tree: RwLock::new(SpGistTree::create(pool, ops)?),
         })
     }
 
@@ -290,12 +292,12 @@ impl KdTreeIndex {
 
     /// `@@` operator: the `k` nearest points to `query`, nearest first.
     pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Point, RowId, f64)>> {
-        self.tree.nn_search(PointQuery::Nearest(query), k)
+        self.tree.read().nn_search(PointQuery::Nearest(query), k)
     }
 
-    /// Access to the underlying generalized tree.
-    pub fn tree(&self) -> &SpGistTree<KdTreeOps> {
-        &self.tree
+    /// Shared (read-latched) access to the underlying generalized tree.
+    pub fn tree(&self) -> parking_lot::RwLockReadGuard<'_, SpGistTree<KdTreeOps>> {
+        self.tree.read()
     }
 }
 
@@ -317,7 +319,7 @@ mod tests {
     }
 
     fn city_index() -> KdTreeIndex {
-        let mut index = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let index = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
         for (i, (_, p)) in cities().iter().enumerate() {
             index.insert(*p, i as RowId).unwrap();
         }
@@ -380,7 +382,7 @@ mod tests {
             ((state >> 33) as f64 / u32::MAX as f64) * 100.0
         };
         let points: Vec<Point> = (0..4000).map(|_| Point::new(next(), next())).collect();
-        let mut index = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let index = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
         for (i, p) in points.iter().enumerate() {
             index.insert(*p, i as RowId).unwrap();
         }
@@ -404,7 +406,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_are_retrievable_and_deletable() {
-        let mut index = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let index = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
         let p = Point::new(10.0, 20.0);
         for row in 0..5 {
             index.insert(p, row).unwrap();

@@ -14,6 +14,8 @@
 
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };
@@ -195,7 +197,7 @@ impl SpGistOps for PmrQuadtreeOps {
 /// (via [`SpGistTree::delete_replicated`]) while counting one logical
 /// removal.
 pub struct PmrQuadtreeIndex {
-    tree: SpGistTree<PmrQuadtreeOps>,
+    tree: RwLock<SpGistTree<PmrQuadtreeOps>>,
 }
 
 impl SpGistBacked for PmrQuadtreeIndex {
@@ -204,20 +206,20 @@ impl SpGistBacked for PmrQuadtreeIndex {
     const DEDUPE_ROWS: bool = true;
     const ORDERED_SCANS: bool = true;
 
-    fn backing_tree(&self) -> &SpGistTree<PmrQuadtreeOps> {
+    fn latch(&self) -> &RwLock<SpGistTree<PmrQuadtreeOps>> {
         &self.tree
     }
 
-    fn backing_tree_mut(&mut self) -> &mut SpGistTree<PmrQuadtreeOps> {
-        &mut self.tree
+    fn into_backing_tree(self) -> SpGistTree<PmrQuadtreeOps> {
+        self.tree.into_inner()
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
         Self::create(pool, DEFAULT_WORLD)
     }
 
-    fn delete_key(&mut self, segment: &Segment, row: RowId) -> StorageResult<bool> {
-        self.tree.delete_replicated(segment, row)
+    fn delete_key(&self, segment: &Segment, row: RowId) -> StorageResult<bool> {
+        self.tree.write().delete_replicated(segment, row)
     }
 }
 
@@ -231,7 +233,7 @@ impl PmrQuadtreeIndex {
     /// Creates a PMR quadtree with explicit parameters.
     pub fn with_ops(pool: Arc<BufferPool>, ops: PmrQuadtreeOps) -> StorageResult<Self> {
         Ok(PmrQuadtreeIndex {
-            tree: SpGistTree::create(pool, ops)?,
+            tree: RwLock::new(SpGistTree::create(pool, ops)?),
         })
     }
 
@@ -257,8 +259,8 @@ impl PmrQuadtreeIndex {
     /// surface out of order.
     pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Segment, RowId, f64)>> {
         let mut seen = std::collections::HashSet::new();
-        self.tree
-            .nn_iter(SegmentQuery::Nearest(query))
+        let tree = self.tree.read();
+        tree.nn_iter(SegmentQuery::Nearest(query))
             .filter(|item| match item {
                 Ok((_, row, _)) => seen.insert(*row),
                 Err(_) => true,
@@ -267,9 +269,9 @@ impl PmrQuadtreeIndex {
             .collect()
     }
 
-    /// Access to the underlying generalized tree.
-    pub fn tree(&self) -> &SpGistTree<PmrQuadtreeOps> {
-        &self.tree
+    /// Shared (read-latched) access to the underlying generalized tree.
+    pub fn tree(&self) -> parking_lot::RwLockReadGuard<'_, SpGistTree<PmrQuadtreeOps>> {
+        self.tree.read()
     }
 }
 
@@ -296,7 +298,7 @@ mod tests {
     }
 
     fn index() -> PmrQuadtreeIndex {
-        let mut index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        let index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
         for (i, s) in segments().iter().enumerate() {
             index.insert(*s, i as RowId).unwrap();
         }
@@ -351,7 +353,7 @@ mod tests {
             );
             segs.push(Segment::new(a, b));
         }
-        let mut index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        let index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
         for (i, s) in segs.iter().enumerate() {
             index.insert(*s, i as RowId).unwrap();
         }
@@ -375,7 +377,7 @@ mod tests {
 
     #[test]
     fn segment_outside_world_is_still_searchable() {
-        let mut index = index();
+        let index = index();
         let outside = Segment::new(Point::new(150.0, 150.0), Point::new(160.0, 160.0));
         index.insert(outside, 99).unwrap();
         assert_eq!(index.equals(outside).unwrap(), vec![99]);
@@ -383,7 +385,7 @@ mod tests {
 
     #[test]
     fn delete_removes_every_replica_of_a_segment() {
-        let mut index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        let index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
         // Enough segments to force quadrant splits, so the world-spanning
         // segment is replicated across several leaves.
         let mut segs = segments();
@@ -440,7 +442,7 @@ mod tests {
 
     #[test]
     fn duplicate_segments_report_each_row() {
-        let mut index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        let index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
         let s = Segment::new(Point::new(10.0, 10.0), Point::new(60.0, 60.0));
         for row in 0..4 {
             index.insert(s, row).unwrap();

@@ -7,6 +7,8 @@
 
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };
@@ -241,7 +243,7 @@ impl SpGistOps for PointQuadtreeOps {
 /// `stats`, `repack`) comes from the [`SpIndex`] trait; the inherent
 /// methods below are thin operator sugar (`@`, `^`, `@@`).
 pub struct PointQuadtreeIndex {
-    tree: SpGistTree<PointQuadtreeOps>,
+    tree: RwLock<SpGistTree<PointQuadtreeOps>>,
 }
 
 impl SpGistBacked for PointQuadtreeIndex {
@@ -249,12 +251,12 @@ impl SpGistBacked for PointQuadtreeIndex {
 
     const ORDERED_SCANS: bool = true;
 
-    fn backing_tree(&self) -> &SpGistTree<PointQuadtreeOps> {
+    fn latch(&self) -> &RwLock<SpGistTree<PointQuadtreeOps>> {
         &self.tree
     }
 
-    fn backing_tree_mut(&mut self) -> &mut SpGistTree<PointQuadtreeOps> {
-        &mut self.tree
+    fn into_backing_tree(self) -> SpGistTree<PointQuadtreeOps> {
+        self.tree.into_inner()
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
@@ -271,7 +273,7 @@ impl PointQuadtreeIndex {
     /// Creates a point quadtree with explicit parameters.
     pub fn with_ops(pool: Arc<BufferPool>, ops: PointQuadtreeOps) -> StorageResult<Self> {
         Ok(PointQuadtreeIndex {
-            tree: SpGistTree::create(pool, ops)?,
+            tree: RwLock::new(SpGistTree::create(pool, ops)?),
         })
     }
 
@@ -287,12 +289,12 @@ impl PointQuadtreeIndex {
 
     /// `@@` operator: the `k` nearest points to `query`, nearest first.
     pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Point, RowId, f64)>> {
-        self.tree.nn_search(PointQuery::Nearest(query), k)
+        self.tree.read().nn_search(PointQuery::Nearest(query), k)
     }
 
-    /// Access to the underlying generalized tree.
-    pub fn tree(&self) -> &SpGistTree<PointQuadtreeOps> {
-        &self.tree
+    /// Shared (read-latched) access to the underlying generalized tree.
+    pub fn tree(&self) -> parking_lot::RwLockReadGuard<'_, SpGistTree<PointQuadtreeOps>> {
+        self.tree.read()
     }
 }
 
@@ -313,7 +315,7 @@ mod tests {
     }
 
     fn index() -> PointQuadtreeIndex {
-        let mut index = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+        let index = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
         for (i, p) in points().iter().enumerate() {
             index.insert(*p, i as RowId).unwrap();
         }
@@ -372,7 +374,7 @@ mod tests {
             ((state >> 33) as f64 / u32::MAX as f64) * 100.0
         };
         let pts: Vec<Point> = (0..2500).map(|_| Point::new(next(), next())).collect();
-        let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+        let quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
         for (i, p) in pts.iter().enumerate() {
             quad.insert(*p, i as RowId).unwrap();
         }

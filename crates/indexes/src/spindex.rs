@@ -16,6 +16,16 @@
 //! differ (the suffix tree expands words into suffixes; replicating indexes
 //! deduplicate result rows).
 //!
+//! **Shared access.** Every index is usable from many threads through a
+//! plain `&self`: the wrapper holds its tree behind a reader-writer latch
+//! (`parking_lot::RwLock`), updates (`insert` / `delete` / `repack`) take
+//! the write latch internally, and queries take a read latch that the
+//! returned [`Cursor`] *holds for its lifetime* — a streaming scan sees one
+//! consistent tree, concurrent readers share the latch, and writers wait
+//! until the last cursor is dropped.  There is no isolation beyond one
+//! latch acquisition: two inserts interleave freely, and a cursor opened
+//! after a write sees it.
+//!
 //! Query results stream through a [`Cursor`] — an iterator over
 //! `StorageResult<(key, row)>` — rather than a materialized `Vec`, so an
 //! executor can stop pulling early.
@@ -23,7 +33,8 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use spgist_core::{RowId, SpGistOps, SpGistTree, TreeStats};
+use parking_lot::RwLock;
+use spgist_core::{NnIter, RowId, SearchCursor, SpGistOps, SpGistTree, TreeStats};
 use spgist_storage::{BufferPool, StorageResult};
 
 /// A streaming query result: an iterator of `(key, row)` items.
@@ -88,7 +99,9 @@ impl<K> std::fmt::Debug for Cursor<'_, K> {
 ///
 /// All five wrappers implement this trait (through the [`SpGistBacked`]
 /// blanket impl), so one generic function can build, maintain and query any
-/// of them:
+/// of them.  Every method takes `&self`: updates latch the backing tree for
+/// writing internally, so an index shared behind an `Arc` serves concurrent
+/// readers and writers.
 ///
 /// ```
 /// use spgist_indexes::{SpIndex, TrieIndex, StringQuery};
@@ -98,7 +111,7 @@ impl<K> std::fmt::Debug for Cursor<'_, K> {
 ///     index.cursor(query).unwrap().count() as u64
 /// }
 ///
-/// let mut trie = TrieIndex::open(BufferPool::in_memory()).unwrap();
+/// let trie = TrieIndex::open(BufferPool::in_memory()).unwrap();
 /// trie.insert("space", 1).unwrap();
 /// trie.insert("spade", 2).unwrap();
 /// assert_eq!(count_matches(&trie, &StringQuery::Prefix("sp".into())), 2);
@@ -114,13 +127,19 @@ pub trait SpIndex {
     where
         Self: Sized;
 
-    /// Inserts one `(key, row)` item.
-    fn insert(&mut self, key: Self::Key, row: RowId) -> StorageResult<()>;
+    /// Inserts one `(key, row)` item (write latch held internally).
+    fn insert(&self, key: Self::Key, row: RowId) -> StorageResult<()>;
 
-    /// Deletes one `(key, row)` item; returns whether something was removed.
-    fn delete(&mut self, key: &Self::Key, row: RowId) -> StorageResult<bool>;
+    /// Deletes one `(key, row)` item; returns whether something was removed
+    /// (write latch held internally).
+    fn delete(&self, key: &Self::Key, row: RowId) -> StorageResult<bool>;
 
     /// Runs `query`, returning a streaming [`Cursor`] over the matches.
+    ///
+    /// The cursor holds a read latch on the backing tree for its lifetime:
+    /// concurrent cursors stream in parallel, while writers block until the
+    /// cursor is dropped.  Drop (or fully drain) cursors promptly on
+    /// write-heavy paths.
     fn cursor(&self, query: &Self::Query) -> StorageResult<Cursor<'_, Self::Key>>;
 
     /// Runs `query` as an *ordered* scan: a streaming [`Cursor`] that yields
@@ -150,16 +169,24 @@ pub trait SpIndex {
     fn stats(&self) -> StorageResult<TreeStats>;
 
     /// Re-clusters the backing tree into fresh pages to minimize page
-    /// height (see [`SpGistTree::repack`]).
-    fn repack(&mut self) -> StorageResult<()>;
+    /// height (see [`SpGistTree::repack`]); the write latch is held for the
+    /// whole rewrite.
+    fn repack(&self) -> StorageResult<()>;
+
+    /// Consumes the index and releases every page it owns back to the
+    /// pager's free list (`DROP INDEX`).
+    fn destroy(self) -> StorageResult<()>
+    where
+        Self: Sized;
 }
 
 /// Glue between a concrete wrapper and the [`SpIndex`] blanket impl.
 ///
-/// A wrapper states how to reach its backing [`SpGistTree`] and overrides
-/// only the hooks where its semantics differ from plain tree delegation.
-/// Everything else — cursor construction, statistics, repacking — is
-/// written once in the blanket impl.
+/// A wrapper states how to reach the reader-writer latch around its backing
+/// [`SpGistTree`] and overrides only the hooks where its semantics differ
+/// from plain tree delegation.  Everything else — latch discipline, cursor
+/// construction, statistics, repacking — is written once in the blanket
+/// impl.
 pub trait SpGistBacked {
     /// External methods of the backing tree.
     type Ops: SpGistOps;
@@ -173,31 +200,32 @@ pub trait SpGistBacked {
     /// [`SpIndex::ordered_cursor`] available (the `@@` operator).
     const ORDERED_SCANS: bool = false;
 
-    /// The backing generalized tree.
-    fn backing_tree(&self) -> &SpGistTree<Self::Ops>;
+    /// The reader-writer latch guarding the backing generalized tree.
+    fn latch(&self) -> &RwLock<SpGistTree<Self::Ops>>;
 
-    /// Mutable access to the backing generalized tree.
-    fn backing_tree_mut(&mut self) -> &mut SpGistTree<Self::Ops>;
+    /// Consumes the wrapper, returning the backing tree (for
+    /// [`SpIndex::destroy`]).
+    fn into_backing_tree(self) -> SpGistTree<Self::Ops>
+    where
+        Self: Sized;
 
     /// Opens a fresh index with this wrapper's default parameters.
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self>
     where
         Self: Sized;
 
-    /// Inserts one logical item.  The default inserts the key as-is; the
-    /// suffix tree overrides it to insert every suffix.
-    fn insert_key(&mut self, key: <Self::Ops as SpGistOps>::Key, row: RowId) -> StorageResult<()> {
-        self.backing_tree_mut().insert(key, row)
+    /// Inserts one logical item under the write latch.  The default inserts
+    /// the key as-is; the suffix tree overrides it to insert every suffix
+    /// in one latch acquisition.
+    fn insert_key(&self, key: <Self::Ops as SpGistOps>::Key, row: RowId) -> StorageResult<()> {
+        self.latch().write().insert(key, row)
     }
 
-    /// Deletes one logical item.  The default removes a single physical
-    /// occurrence; replicating or expanding indexes override it.
-    fn delete_key(
-        &mut self,
-        key: &<Self::Ops as SpGistOps>::Key,
-        row: RowId,
-    ) -> StorageResult<bool> {
-        self.backing_tree_mut().delete(key, row)
+    /// Deletes one logical item under the write latch.  The default removes
+    /// a single physical occurrence; replicating or expanding indexes
+    /// override it.
+    fn delete_key(&self, key: &<Self::Ops as SpGistOps>::Key, row: RowId) -> StorageResult<bool> {
+        self.latch().write().delete(key, row)
     }
 
     /// Rewrites a query into the form the backing tree executes (the suffix
@@ -212,7 +240,7 @@ pub trait SpGistBacked {
     /// Number of logical items (the suffix tree counts indexed words, not
     /// stored suffixes).
     fn item_count(&self) -> u64 {
-        self.backing_tree().len()
+        self.latch().read().len()
     }
 }
 
@@ -224,17 +252,19 @@ impl<T: SpGistBacked> SpIndex for T {
         T::open_default(pool)
     }
 
-    fn insert(&mut self, key: Self::Key, row: RowId) -> StorageResult<()> {
+    fn insert(&self, key: Self::Key, row: RowId) -> StorageResult<()> {
         self.insert_key(key, row)
     }
 
-    fn delete(&mut self, key: &Self::Key, row: RowId) -> StorageResult<bool> {
+    fn delete(&self, key: &Self::Key, row: RowId) -> StorageResult<bool> {
         self.delete_key(key, row)
     }
 
     fn cursor(&self, query: &Self::Query) -> StorageResult<Cursor<'_, Self::Key>> {
         let translated = self.translate_query(query);
-        let inner = self.backing_tree().search_cursor(translated);
+        // The read guard moves into the cursor, keeping the tree latched
+        // (shared) until the cursor is dropped.
+        let inner = SearchCursor::over(self.latch().read(), translated);
         Ok(if T::DEDUPE_ROWS {
             Cursor::deduplicated(inner)
         } else {
@@ -247,9 +277,7 @@ impl<T: SpGistBacked> SpIndex for T {
             return Ok(None);
         }
         let translated = self.translate_query(query);
-        let inner = self
-            .backing_tree()
-            .nn_iter(translated)
+        let inner = NnIter::over(self.latch().read(), translated)
             .map(|item| item.map(|(key, row, _)| (key, row)));
         Ok(Some(if T::DEDUPE_ROWS {
             Cursor::deduplicated(inner)
@@ -263,11 +291,15 @@ impl<T: SpGistBacked> SpIndex for T {
     }
 
     fn stats(&self) -> StorageResult<TreeStats> {
-        self.backing_tree().stats()
+        self.latch().read().stats()
     }
 
-    fn repack(&mut self) -> StorageResult<()> {
-        self.backing_tree_mut().repack()
+    fn repack(&self) -> StorageResult<()> {
+        self.latch().write().repack()
+    }
+
+    fn destroy(self) -> StorageResult<()> {
+        self.into_backing_tree().destroy()
     }
 }
 
@@ -283,7 +315,7 @@ mod tests {
     /// point of the redesign is that this compiles once for all five
     /// indexes.
     fn exercise<I: SpIndex>(
-        mut index: I,
+        index: I,
         items: Vec<(I::Key, RowId)>,
         query: I::Query,
         expected_rows: &[RowId],
@@ -409,7 +441,7 @@ mod tests {
 
     #[test]
     fn ordered_cursor_streams_in_distance_order() {
-        let mut kd = KdTreeIndex::open(BufferPool::in_memory()).unwrap();
+        let kd = KdTreeIndex::open(BufferPool::in_memory()).unwrap();
         let pts = [
             Point::new(10.0, 10.0),
             Point::new(50.0, 50.0),

@@ -8,8 +8,10 @@
 //! which is why the paper can compare the suffix tree only against sequential
 //! scanning: none of the other access methods supports substring match.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
+use parking_lot::RwLock;
 use spgist_core::{RowId, SpGistTree};
 use spgist_storage::{BufferPool, StorageResult};
 
@@ -26,10 +28,15 @@ use crate::trie::{TrieIndex, TrieOps};
 /// deduplicate query results by row id.  [`StringQuery::Substring`]
 /// queries are rewritten into prefix queries over the stored suffixes —
 /// the trick that lets the paper answer `@=` with trie navigation.
+///
+/// The multi-suffix expansion of one logical word happens under a *single*
+/// write-latch acquisition, so a concurrent cursor never observes a word
+/// with only some of its suffixes present.
 pub struct SuffixTreeIndex {
     trie: TrieIndex,
-    /// Number of original strings indexed (not suffixes).
-    strings: u64,
+    /// Number of original strings indexed (not suffixes).  Updated while the
+    /// write latch is held; atomic so `len()` needs no latch.
+    strings: AtomicU64,
 }
 
 impl SpGistBacked for SuffixTreeIndex {
@@ -37,27 +44,28 @@ impl SpGistBacked for SuffixTreeIndex {
 
     const DEDUPE_ROWS: bool = true;
 
-    fn backing_tree(&self) -> &SpGistTree<TrieOps> {
-        self.trie.backing_tree()
+    fn latch(&self) -> &RwLock<SpGistTree<TrieOps>> {
+        self.trie.latch()
     }
 
-    fn backing_tree_mut(&mut self) -> &mut SpGistTree<TrieOps> {
-        self.trie.backing_tree_mut()
+    fn into_backing_tree(self) -> SpGistTree<TrieOps> {
+        self.trie.into_backing_tree()
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
         Self::create(pool)
     }
 
-    fn insert_key(&mut self, word: String, row: RowId) -> StorageResult<()> {
+    fn insert_key(&self, word: String, row: RowId) -> StorageResult<()> {
+        let mut tree = self.latch().write();
         for start in 0..word.len() {
-            self.trie.insert(&word[start..], row)?;
+            tree.insert(word[start..].to_string(), row)?;
         }
         // The empty string has one suffix: itself.
         if word.is_empty() {
-            self.trie.insert("", row)?;
+            tree.insert(String::new(), row)?;
         }
-        self.strings += 1;
+        self.strings.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
@@ -70,25 +78,35 @@ impl SpGistBacked for SuffixTreeIndex {
     /// one — but the common misuses are contained: every suffix is verified
     /// present *before* anything is removed (so a word that was never
     /// indexed deletes nothing and returns `false`), and the word counter
-    /// never underflows.
-    fn delete_key(&mut self, word: &String, row: RowId) -> StorageResult<bool> {
+    /// never underflows.  Verification and removal happen under one write
+    /// latch, so they cannot race with another writer.
+    fn delete_key(&self, word: &String, row: RowId) -> StorageResult<bool> {
         let suffixes: Vec<&str> = if word.is_empty() {
             vec![""]
         } else {
             (0..word.len()).map(|start| &word[start..]).collect()
         };
+        let mut tree = self.latch().write();
         for suffix in &suffixes {
+            // Streaming presence probe: stop at the first hit instead of
+            // materializing every row sharing this (possibly very common)
+            // suffix.
             let query = StringQuery::Equals((*suffix).to_string());
-            let mut cursor = self.trie.cursor(&query)?;
-            let present = cursor.any(|item| matches!(item, Ok((_, r)) if r == row));
+            let present = tree
+                .search_cursor(query)
+                .any(|item| matches!(item, Ok((_, r)) if r == row));
             if !present {
                 return Ok(false);
             }
         }
         for suffix in suffixes {
-            self.trie.delete(suffix, row)?;
+            tree.delete(&suffix.to_string(), row)?;
         }
-        self.strings = self.strings.saturating_sub(1);
+        let _ = self
+            .strings
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| {
+                Some(n.saturating_sub(1))
+            });
         Ok(true)
     }
 
@@ -101,7 +119,7 @@ impl SpGistBacked for SuffixTreeIndex {
     }
 
     fn item_count(&self) -> u64 {
-        self.strings
+        self.strings.load(Ordering::Relaxed)
     }
 }
 
@@ -110,19 +128,19 @@ impl SuffixTreeIndex {
     pub fn create(pool: Arc<BufferPool>) -> StorageResult<Self> {
         Ok(SuffixTreeIndex {
             trie: TrieIndex::with_ops(pool, TrieOps::patricia())?,
-            strings: 0,
+            strings: AtomicU64::new(0),
         })
     }
 
     /// Indexes `word`: every suffix of the word is inserted, pointing at
     /// heap row `row` (borrowed-`str` shim over [`SpIndex::insert`]).
-    pub fn insert(&mut self, word: &str, row: RowId) -> StorageResult<()> {
+    pub fn insert(&self, word: &str, row: RowId) -> StorageResult<()> {
         SpIndex::insert(self, word.to_string(), row)
     }
 
     /// Removes the word previously indexed for `row`; returns whether
     /// anything was removed (borrowed-`str` shim over [`SpIndex::delete`]).
-    pub fn delete(&mut self, word: &str, row: RowId) -> StorageResult<bool> {
+    pub fn delete(&self, word: &str, row: RowId) -> StorageResult<bool> {
         SpIndex::delete(self, &word.to_string(), row)
     }
 
@@ -137,7 +155,7 @@ impl SuffixTreeIndex {
 
     /// Number of suffix entries stored in the underlying trie.
     pub fn suffix_count(&self) -> u64 {
-        self.backing_tree().len()
+        self.latch().read().len()
     }
 }
 
@@ -146,7 +164,7 @@ mod tests {
     use super::*;
 
     fn index_with(words: &[&str]) -> SuffixTreeIndex {
-        let mut index = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let index = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
         for (i, w) in words.iter().enumerate() {
             index.insert(w, i as RowId).unwrap();
         }
@@ -217,7 +235,7 @@ mod tests {
 
     #[test]
     fn delete_removes_every_suffix_of_the_word() {
-        let mut index = index_with(&["database", "base"]);
+        let index = index_with(&["database", "base"]);
         assert_eq!(index.substring("base").unwrap(), vec![0, 1]);
         assert!(index.delete("database", 0).unwrap());
         assert_eq!(index.substring("base").unwrap(), vec![1]);
@@ -233,7 +251,7 @@ mod tests {
 
     #[test]
     fn deleting_an_unindexed_word_leaves_overlapping_suffixes_intact() {
-        let mut index = index_with(&["database"]);
+        let index = index_with(&["database"]);
         // "xbase" was never indexed; its tail suffixes collide with stored
         // suffixes of "database", but every suffix is verified present
         // before anything is removed, so nothing is deleted.
@@ -244,7 +262,7 @@ mod tests {
 
     #[test]
     fn empty_word_roundtrip() {
-        let mut index = index_with(&[]);
+        let index = index_with(&[]);
         index.insert("", 3).unwrap();
         assert_eq!(index.len(), 1);
         assert_eq!(index.substring("").unwrap(), vec![3]);

@@ -13,6 +13,8 @@
 
 use std::sync::Arc;
 
+use parking_lot::RwLock;
+
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };
@@ -286,7 +288,7 @@ impl SpGistOps for TrieOps {
 /// (`=`, `#=`, `?=`, `@@`) plus `&str`-taking shims kept for source
 /// compatibility with the pre-`SpIndex` API.
 pub struct TrieIndex {
-    tree: SpGistTree<TrieOps>,
+    tree: RwLock<SpGistTree<TrieOps>>,
 }
 
 impl SpGistBacked for TrieIndex {
@@ -294,12 +296,12 @@ impl SpGistBacked for TrieIndex {
 
     const ORDERED_SCANS: bool = true;
 
-    fn backing_tree(&self) -> &SpGistTree<TrieOps> {
+    fn latch(&self) -> &RwLock<SpGistTree<TrieOps>> {
         &self.tree
     }
 
-    fn backing_tree_mut(&mut self) -> &mut SpGistTree<TrieOps> {
-        &mut self.tree
+    fn into_backing_tree(self) -> SpGistTree<TrieOps> {
+        self.tree.into_inner()
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
@@ -317,19 +319,19 @@ impl TrieIndex {
     /// trie-variant and clustering ablations).
     pub fn with_ops(pool: Arc<BufferPool>, ops: TrieOps) -> StorageResult<Self> {
         Ok(TrieIndex {
-            tree: SpGistTree::create(pool, ops)?,
+            tree: RwLock::new(SpGistTree::create(pool, ops)?),
         })
     }
 
     /// Inserts a word pointing at heap row `row` (borrowed-`str` shim over
     /// [`SpIndex::insert`]).
-    pub fn insert(&mut self, word: &str, row: RowId) -> StorageResult<()> {
+    pub fn insert(&self, word: &str, row: RowId) -> StorageResult<()> {
         SpIndex::insert(self, word.to_string(), row)
     }
 
     /// Deletes one `(word, row)` entry; returns whether something was
     /// removed (borrowed-`str` shim over [`SpIndex::delete`]).
-    pub fn delete(&mut self, word: &str, row: RowId) -> StorageResult<bool> {
+    pub fn delete(&self, word: &str, row: RowId) -> StorageResult<bool> {
         SpIndex::delete(self, &word.to_string(), row)
     }
 
@@ -352,6 +354,7 @@ impl TrieIndex {
     /// distance, nearest first.
     pub fn nearest(&self, word: &str, k: usize) -> StorageResult<Vec<(String, RowId, f64)>> {
         self.tree
+            .read()
             .nn_search(StringQuery::Nearest(word.to_string()), k)
     }
 
@@ -361,9 +364,9 @@ impl TrieIndex {
         self.execute(query)
     }
 
-    /// Access to the underlying generalized tree.
-    pub fn tree(&self) -> &SpGistTree<TrieOps> {
-        &self.tree
+    /// Shared (read-latched) access to the underlying generalized tree.
+    pub fn tree(&self) -> parking_lot::RwLockReadGuard<'_, SpGistTree<TrieOps>> {
+        self.tree.read()
     }
 }
 
@@ -372,7 +375,7 @@ mod tests {
     use super::*;
 
     fn index_with(words: &[&str]) -> TrieIndex {
-        let mut index = TrieIndex::create(BufferPool::in_memory()).unwrap();
+        let index = TrieIndex::create(BufferPool::in_memory()).unwrap();
         for (i, w) in words.iter().enumerate() {
             index.insert(w, i as RowId).unwrap();
         }
@@ -447,7 +450,7 @@ mod tests {
 
     #[test]
     fn duplicates_and_deletes() {
-        let mut index = index_with(&[]);
+        let index = index_with(&[]);
         index.insert("echo", 1).unwrap();
         index.insert("echo", 2).unwrap();
         let mut rows = index.equals("echo").unwrap();
@@ -473,7 +476,7 @@ mod tests {
                 w
             })
             .collect();
-        let mut index = TrieIndex::create(BufferPool::in_memory()).unwrap();
+        let index = TrieIndex::create(BufferPool::in_memory()).unwrap();
         for (i, w) in words.iter().enumerate() {
             index.insert(w, i as RowId).unwrap();
         }
@@ -494,7 +497,7 @@ mod tests {
     fn patricia_prefix_split_preserves_existing_keys() {
         // "romane", "romanus", "romulus" share prefixes and then diverge —
         // the classic patricia example that exercises SplitPrefix.
-        let mut index = index_with(&["romane", "romanus", "romulus"]);
+        let index = index_with(&["romane", "romanus", "romulus"]);
         index.insert("rubens", 10).unwrap();
         index.insert("ruber", 11).unwrap();
         index.insert("r", 12).unwrap();
@@ -516,8 +519,8 @@ mod tests {
     fn never_shrink_variant_answers_the_same_queries() {
         let pool_a = BufferPool::in_memory();
         let pool_b = BufferPool::in_memory();
-        let mut patricia = TrieIndex::with_ops(pool_a, TrieOps::patricia()).unwrap();
-        let mut plain = TrieIndex::with_ops(pool_b, TrieOps::never_shrink()).unwrap();
+        let patricia = TrieIndex::with_ops(pool_a, TrieOps::patricia()).unwrap();
+        let plain = TrieIndex::with_ops(pool_b, TrieOps::never_shrink()).unwrap();
         for (i, w) in PAPER_WORDS.iter().enumerate() {
             patricia.insert(w, i as RowId).unwrap();
             plain.insert(w, i as RowId).unwrap();
@@ -538,7 +541,7 @@ mod tests {
 
     #[test]
     fn empty_string_keys_are_supported() {
-        let mut index = index_with(&["", "a", "ab"]);
+        let index = index_with(&["", "a", "ab"]);
         assert_eq!(index.equals("").unwrap(), vec![0]);
         assert_eq!(index.prefix("").unwrap().len(), 3);
         assert!(index.delete("", 0).unwrap());

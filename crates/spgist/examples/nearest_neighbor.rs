@@ -13,9 +13,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let point_data = points(10_000, 5);
     let word_data = words(10_000, 6);
 
-    let mut kd = KdTreeIndex::create(BufferPool::in_memory())?;
-    let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory())?;
-    let mut trie = TrieIndex::create(BufferPool::in_memory())?;
+    let kd = KdTreeIndex::create(BufferPool::in_memory())?;
+    let quad = PointQuadtreeIndex::create(BufferPool::in_memory())?;
+    let trie = TrieIndex::create(BufferPool::in_memory())?;
     for (row, p) in point_data.iter().enumerate() {
         kd.insert(*p, row as RowId)?;
         quad.insert(*p, row as RowId)?;

@@ -78,7 +78,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The same indexes are usable directly through the uniform SpIndex
     // trait — `open / insert / delete / execute / cursor / len / stats /
     // repack` on every index kind.
-    let mut trie = TrieIndex::open(BufferPool::in_memory())?;
+    let trie = TrieIndex::open(BufferPool::in_memory())?;
     for (row, word) in ["space", "spade", "spate"].iter().enumerate() {
         trie.insert(word, row as RowId)?;
     }

@@ -14,8 +14,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = points(30_000, 3);
     println!("indexing {} uniform points in [0,100]^2", data.len());
 
-    let mut kd = KdTreeIndex::create(BufferPool::in_memory())?;
-    let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory())?;
+    let kd = KdTreeIndex::create(BufferPool::in_memory())?;
+    let quad = PointQuadtreeIndex::create(BufferPool::in_memory())?;
     let mut rtree = RTree::create(BufferPool::in_memory())?;
     for (row, p) in data.iter().enumerate() {
         kd.insert(*p, row as RowId)?;

@@ -18,9 +18,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         data.len()
     );
 
-    let mut trie = TrieIndex::create(BufferPool::in_memory())?;
+    let trie = TrieIndex::create(BufferPool::in_memory())?;
     let mut btree = BPlusTree::create(BufferPool::in_memory())?;
-    let mut suffix = SuffixTreeIndex::create(BufferPool::in_memory())?;
+    let suffix = SuffixTreeIndex::create(BufferPool::in_memory())?;
     for (row, word) in data.iter().enumerate() {
         trie.insert(word, row as RowId)?;
         btree.insert_str(word, row as RowId)?;

@@ -42,11 +42,17 @@
 //! ```
 //! use spgist::prelude::*;
 //!
-//! let mut trie = TrieIndex::open(BufferPool::in_memory()).unwrap();
+//! let trie = TrieIndex::open(BufferPool::in_memory()).unwrap();
 //! trie.insert("space", 1).unwrap();
 //! trie.insert("spade", 2).unwrap();
 //! assert_eq!(trie.regex("spa?e").unwrap().len(), 2);
 //! ```
+//!
+//! Indexes and tables are **shared-access**: every `SpIndex` method takes
+//! `&self` behind internal reader-writer latches, `Arc<Table>` handles are
+//! `Send + Sync`, and [`Database::run_parallel`](catalog::Database::run_parallel)
+//! drives a batch of queries across a scoped thread pool (see the README's
+//! *Concurrency model*).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -1,0 +1,289 @@
+//! Shared-access guarantees under real threads: cursors see consistent
+//! committed prefixes during writer bursts, every handle the executor gives
+//! out is `Send + Sync`, and the multi-threaded query driver agrees with
+//! serial execution while writers run.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spgist::prelude::*;
+
+/// Compile-time proof that the shared-access surface is actually shareable:
+/// `Database`, `Table`, and all five `SpIndex` implementations.
+#[test]
+fn shared_handles_are_send_sync() {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Database>();
+    assert_send_sync::<Table>();
+    assert_send_sync::<Arc<Table>>();
+    assert_send_sync::<TrieIndex>();
+    assert_send_sync::<SuffixTreeIndex>();
+    assert_send_sync::<KdTreeIndex>();
+    assert_send_sync::<PointQuadtreeIndex>();
+    assert_send_sync::<PmrQuadtreeIndex>();
+    assert_send_sync::<BufferPool>();
+}
+
+/// Deterministic point for row `i`, inside the `[0, 100]²` world.
+fn point_for(i: u64) -> Point {
+    let x = (i % 100) as f64 + 0.25;
+    let y = ((i / 100) % 100) as f64 + 0.75;
+    Point::new(x, y)
+}
+
+/// The core stress invariant: a single writer inserts rows `0, 1, 2, …` in
+/// order while readers repeatedly scan everything.  Because a cursor holds
+/// the tree's read latch for its whole drain, every result must be an exact
+/// *prefix* of the insert sequence — no torn states, no missing middles —
+/// and its length must be bracketed by the commit counter sampled around
+/// the scan.
+#[test]
+fn concurrent_readers_see_consistent_prefixes_of_committed_inserts() {
+    const TOTAL: u64 = 2_000;
+    let index = Arc::new(KdTreeIndex::open(BufferPool::in_memory()).unwrap());
+    let committed = Arc::new(AtomicU64::new(0));
+    let world = Rect::new(0.0, 0.0, 100.0, 100.0);
+
+    std::thread::scope(|scope| {
+        let writer_index = Arc::clone(&index);
+        let writer_committed = Arc::clone(&committed);
+        let writer = scope.spawn(move || {
+            for i in 0..TOTAL {
+                writer_index.insert(point_for(i), i).unwrap();
+                writer_committed.store(i + 1, Ordering::Release);
+            }
+        });
+
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let index = Arc::clone(&index);
+            let committed = Arc::clone(&committed);
+            readers.push(scope.spawn(move || {
+                let mut scans = 0u32;
+                loop {
+                    let before = committed.load(Ordering::Acquire);
+                    let mut rows = index
+                        .cursor(&PointQuery::InRect(world))
+                        .unwrap()
+                        .rows()
+                        .unwrap();
+                    let after = committed.load(Ordering::Acquire);
+                    let k = rows.len() as u64;
+                    // Everything committed before the scan started must be
+                    // visible; at most one insert can have latched in before
+                    // its commit counter was published.
+                    assert!(
+                        k >= before,
+                        "scan lost committed inserts: saw {k}, {before} were committed"
+                    );
+                    assert!(
+                        k <= after + 1,
+                        "scan saw {k} rows but only {after} inserts ever committed"
+                    );
+                    rows.sort_unstable();
+                    let expected: Vec<RowId> = (0..k).collect();
+                    assert_eq!(rows, expected, "result is not a prefix of the inserts");
+                    scans += 1;
+                    if before == TOTAL {
+                        break;
+                    }
+                }
+                scans
+            }));
+        }
+
+        writer.join().unwrap();
+        for reader in readers {
+            let scans = reader.join().unwrap();
+            assert!(scans > 0, "every reader completed at least one scan");
+        }
+    });
+
+    assert_eq!(index.len(), TOTAL);
+}
+
+/// The same invariant at the executor level: writers burst inserts through
+/// a shared `Arc<Table>` handle while readers query through the `Database`
+/// facade (trie-indexed), checking that every result is a consistent subset
+/// of what was ever inserted and a superset of what was committed when the
+/// query began.
+#[test]
+fn table_handles_support_concurrent_dml_and_queries() {
+    const TOTAL: u64 = 1_200;
+    let mut db = Database::in_memory();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    db.table_mut("words")
+        .unwrap()
+        .create_index("words_trie", IndexSpec::Trie)
+        .unwrap();
+    let handle = db.table_handle("words").unwrap();
+    let committed = Arc::new(AtomicU64::new(0));
+    let done = Arc::new(AtomicBool::new(false));
+
+    std::thread::scope(|scope| {
+        let writer_handle = Arc::clone(&handle);
+        let writer_committed = Arc::clone(&committed);
+        let writer_done = Arc::clone(&done);
+        scope.spawn(move || {
+            // Bursts: a batch of inserts, then a yield to let readers in.
+            for burst in 0..(TOTAL / 100) {
+                for i in (burst * 100)..((burst + 1) * 100) {
+                    let row = writer_handle.insert(format!("word{i:06}")).unwrap();
+                    assert_eq!(row, i);
+                    writer_committed.store(i + 1, Ordering::Release);
+                }
+                std::thread::yield_now();
+            }
+            writer_done.store(true, Ordering::Release);
+        });
+
+        for _ in 0..2 {
+            let db = &db;
+            let committed = Arc::clone(&committed);
+            let done = Arc::clone(&done);
+            scope.spawn(move || loop {
+                let finished = done.load(Ordering::Acquire);
+                let before = committed.load(Ordering::Acquire);
+                let mut rows = db
+                    .query("words", Predicate::str_prefix("word"))
+                    .unwrap()
+                    .rows()
+                    .unwrap();
+                let after = committed.load(Ordering::Acquire);
+                let k = rows.len() as u64;
+                assert!(
+                    k >= before && k <= after + 1,
+                    "saw {k} rows with {before} committed before and {after} after"
+                );
+                rows.sort_unstable();
+                let expected: Vec<RowId> = (0..k).collect();
+                assert_eq!(rows, expected, "result is not a committed prefix");
+                if finished {
+                    break;
+                }
+            });
+        }
+    });
+
+    assert_eq!(handle.len(), TOTAL);
+}
+
+/// The multi-threaded query driver returns exactly the serial answers, in
+/// input order, at every thread count.
+#[test]
+fn run_parallel_is_deterministic_across_thread_counts() {
+    let mut db = Database::in_memory();
+    db.create_table("points", KeyType::Point).unwrap();
+    let table = db.table_mut("points").unwrap();
+    for i in 0..4_000u64 {
+        table.insert(point_for(i)).unwrap();
+    }
+    table.create_index("points_kd", IndexSpec::KdTree).unwrap();
+
+    let queries: Vec<Query> = (0..12)
+        .map(|i| {
+            let lo = (i * 7) as f64;
+            Query::new(Predicate::point_in_rect(Rect::new(lo, 0.0, lo + 9.0, 50.0)))
+        })
+        .collect();
+    let serial: Vec<Vec<RowId>> = queries
+        .iter()
+        .map(|q| db.query("points", q).unwrap().rows().unwrap())
+        .collect();
+    assert!(serial.iter().any(|rows| !rows.is_empty()));
+    for threads in [1, 2, 4, 16] {
+        assert_eq!(
+            db.run_parallel("points", &queries, threads).unwrap(),
+            serial,
+            "driver output must match serial execution at {threads} threads"
+        );
+    }
+}
+
+/// Regression test for the composite-plan latch deadlock: a Union (or
+/// Intersect) whose inputs scan the *same* index must never hold two read
+/// latches at once — with a concurrent writer queued on the latch, the
+/// second acquisition would wait behind the writer, which waits behind the
+/// first, hanging the table forever.  Execution now drains each input
+/// before opening the next, so this test completing *is* the assertion.
+#[test]
+fn composite_plans_on_one_index_survive_concurrent_writers() {
+    let mut db = Database::in_memory();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    {
+        let table = db.table_mut("words").unwrap();
+        // Large enough that the cost model prefers index scans (and their
+        // union) over the heap: on a small table a seq scan genuinely wins
+        // and the composite latch pattern never runs.
+        for i in 0..12_000u64 {
+            let prefix = ["aa", "ab", "ba"][(i % 3) as usize];
+            table.insert(format!("{prefix}{i:05}")).unwrap();
+        }
+        table.create_index("trie", IndexSpec::Trie).unwrap();
+    }
+    let union_query = Predicate::str_prefix("aa").or(Predicate::str_prefix("ab"));
+    assert!(
+        matches!(
+            db.plan("words", &union_query).unwrap(),
+            AccessPath::Union { .. }
+        ),
+        "both disjuncts must route to the same trie for this test to bite"
+    );
+    let and_query = Predicate::str_prefix("a").and(Predicate::str_prefix("ab"));
+
+    let handle = db.table_handle("words").unwrap();
+    let done = Arc::new(AtomicBool::new(false));
+    std::thread::scope(|scope| {
+        let writer_handle = Arc::clone(&handle);
+        let writer_done = Arc::clone(&done);
+        scope.spawn(move || {
+            let mut i = 100_000u64;
+            while !writer_done.load(Ordering::Acquire) {
+                writer_handle.insert(format!("zz{i:06}")).unwrap();
+                i += 1;
+            }
+        });
+        for _ in 0..25 {
+            let rows = db.query("words", &union_query).unwrap().rows().unwrap();
+            assert_eq!(rows.len(), 8_000, "4000 aa-words and 4000 ab-words");
+            let rows = db.query("words", &and_query).unwrap().rows().unwrap();
+            assert_eq!(rows.len(), 4_000, "the ab-words satisfy both conjuncts");
+        }
+        done.store(true, Ordering::Release);
+    });
+}
+
+/// A long-lived cursor pins its read latch: a writer that sneaks in between
+/// two cursors changes what the *next* cursor sees, never the open one.
+#[test]
+fn open_cursors_are_isolated_from_later_writes() {
+    let index = Arc::new(TrieIndex::open(BufferPool::in_memory()).unwrap());
+    for (row, word) in ["alpha", "beta", "gamma"].iter().enumerate() {
+        index.insert(word, row as RowId).unwrap();
+    }
+
+    let mut cursor = index.cursor(&StringQuery::Prefix(String::new())).unwrap();
+    let first = cursor.next().unwrap().unwrap();
+    assert!(!first.0.is_empty());
+
+    // A writer on another thread blocks on the cursor's read latch…
+    let writer = {
+        let index = Arc::clone(&index);
+        std::thread::spawn(move || index.insert("delta", 3).unwrap())
+    };
+    // …so the open cursor drains exactly the three old words.
+    let rest: Vec<(String, RowId)> = cursor.map(Result::unwrap).collect();
+    assert_eq!(rest.len(), 2, "open cursor sees the pre-write tree");
+
+    writer.join().unwrap();
+    assert_eq!(
+        index
+            .cursor(&StringQuery::Prefix(String::new()))
+            .unwrap()
+            .rows()
+            .unwrap()
+            .len(),
+        4,
+        "a cursor opened after the write sees it"
+    );
+}

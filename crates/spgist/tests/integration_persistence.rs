@@ -81,7 +81,7 @@ fn buffer_pool_io_counters_reflect_disk_activity() {
     let path = dir.join("kd.pages");
     {
         let pool = file_pool(&path, true);
-        let mut kd = KdTreeIndex::create(Arc::clone(&pool)).unwrap();
+        let kd = KdTreeIndex::create(Arc::clone(&pool)).unwrap();
         let pts = spgist::datagen::points(5_000, 5);
         for (row, p) in pts.iter().enumerate() {
             kd.insert(*p, row as RowId).unwrap();

@@ -17,9 +17,9 @@ fn build_table(
     TableStats,
 ) {
     let data = words(n, 77);
-    let mut trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
+    let trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
     let mut btree = BPlusTree::create(BufferPool::in_memory()).unwrap();
-    let mut suffix = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
+    let suffix = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
     for (row, w) in data.iter().enumerate() {
         trie.insert(w, row as RowId).unwrap();
         btree.insert_str(w, row as RowId).unwrap();

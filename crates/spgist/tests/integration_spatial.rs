@@ -7,8 +7,8 @@ use spgist::prelude::*;
 #[test]
 fn point_indexes_agree_with_rtree_and_linear_scan() {
     let data = points(10_000, 21);
-    let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
-    let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+    let kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+    let quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
     let mut rt = RTree::create(BufferPool::in_memory()).unwrap();
     for (row, p) in data.iter().enumerate() {
         kd.insert(*p, row as RowId).unwrap();
@@ -48,8 +48,8 @@ fn point_indexes_agree_with_rtree_and_linear_scan() {
 #[test]
 fn nn_results_match_brute_force_for_kdtree_and_quadtree() {
     let data = points(3_000, 31);
-    let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
-    let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+    let kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+    let quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
     for (row, p) in data.iter().enumerate() {
         kd.insert(*p, row as RowId).unwrap();
         quad.insert(*p, row as RowId).unwrap();
@@ -79,7 +79,7 @@ fn nn_results_match_brute_force_for_kdtree_and_quadtree() {
 #[test]
 fn pmr_quadtree_agrees_with_rtree_after_exact_geometry_recheck() {
     let data = segments(4_000, 10.0, 41);
-    let mut pmr = PmrQuadtreeIndex::create(BufferPool::in_memory(), world()).unwrap();
+    let pmr = PmrQuadtreeIndex::create(BufferPool::in_memory(), world()).unwrap();
     let mut rt = RTree::create(BufferPool::in_memory()).unwrap();
     for (row, s) in data.iter().enumerate() {
         pmr.insert(*s, row as RowId).unwrap();
@@ -119,7 +119,7 @@ fn pmr_quadtree_agrees_with_rtree_after_exact_geometry_recheck() {
 #[test]
 fn repacking_spatial_indexes_preserves_results_and_improves_page_height() {
     let data = points(8_000, 51);
-    let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+    let kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
     for (row, p) in data.iter().enumerate() {
         kd.insert(*p, row as RowId).unwrap();
     }

@@ -7,9 +7,9 @@ use spgist::prelude::*;
 
 fn build(n: usize, seed: u64) -> (Vec<String>, TrieIndex, BPlusTree, SuffixTreeIndex) {
     let data = words(n, seed);
-    let mut trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
+    let trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
     let mut btree = BPlusTree::create(BufferPool::in_memory()).unwrap();
-    let mut suffix = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
+    let suffix = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
     for (row, w) in data.iter().enumerate() {
         trie.insert(w, row as RowId).unwrap();
         btree.insert_str(w, row as RowId).unwrap();

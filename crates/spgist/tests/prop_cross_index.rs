@@ -60,7 +60,7 @@ fn trie_matches_model_for_equality_prefix_and_regex() {
         let word_list = random_words(&mut rng, 200);
         let probe = random_word(&mut rng);
 
-        let mut trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
+        let trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
         for (row, w) in word_list.iter().enumerate() {
             trie.insert(w, row as RowId).unwrap();
         }
@@ -128,7 +128,7 @@ fn trie_deletion_removes_exactly_the_requested_rows() {
         let mut rng = DetRng::seed_from_u64(2000 + case);
         let word_list = random_words(&mut rng, 100);
 
-        let mut trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
+        let trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
         for (row, w) in word_list.iter().enumerate() {
             trie.insert(w, row as RowId).unwrap();
         }
@@ -159,8 +159,8 @@ fn kdtree_and_quadtree_match_model_for_equality_and_range() {
         let mut rng = DetRng::seed_from_u64(3000 + case);
         let point_list = random_points(&mut rng, 200);
 
-        let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
-        let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+        let kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
         for (row, p) in point_list.iter().enumerate() {
             kd.insert(*p, row as RowId).unwrap();
             quad.insert(*p, row as RowId).unwrap();
@@ -216,7 +216,7 @@ fn kdtree_nn_matches_brute_force() {
         let query = random_point(&mut rng);
         let k = rng.gen_range(1..10usize).min(point_list.len());
 
-        let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
         for (row, p) in point_list.iter().enumerate() {
             kd.insert(*p, row as RowId).unwrap();
         }
@@ -258,8 +258,8 @@ fn cursor_results_equal_materialized_results_on_all_five_indexes() {
 
         // String indexes share the word list.
         let words = random_words(&mut rng, 150);
-        let mut trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
-        let mut suffix = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let trie = TrieIndex::create(BufferPool::in_memory()).unwrap();
+        let suffix = SuffixTreeIndex::create(BufferPool::in_memory()).unwrap();
         for (row, w) in words.iter().enumerate() {
             trie.insert(w, row as RowId).unwrap();
             suffix.insert(w, row as RowId).unwrap();
@@ -281,8 +281,8 @@ fn cursor_results_equal_materialized_results_on_all_five_indexes() {
 
         // Point indexes share the point list.
         let points = random_points(&mut rng, 150);
-        let mut kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
-        let mut quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
+        let kd = KdTreeIndex::create(BufferPool::in_memory()).unwrap();
+        let quad = PointQuadtreeIndex::create(BufferPool::in_memory()).unwrap();
         for (row, p) in points.iter().enumerate() {
             kd.insert(*p, row as RowId).unwrap();
             quad.insert(*p, row as RowId).unwrap();
@@ -295,7 +295,7 @@ fn cursor_results_equal_materialized_results_on_all_five_indexes() {
 
         // PMR quadtree over random segments.
         let world = Rect::new(0.0, 0.0, 100.0, 100.0);
-        let mut pmr = PmrQuadtreeIndex::create(BufferPool::in_memory(), world).unwrap();
+        let pmr = PmrQuadtreeIndex::create(BufferPool::in_memory(), world).unwrap();
         let n_segments = rng.gen_range(1..=120usize);
         let segments: Vec<Segment> = (0..n_segments).map(|_| random_segment(&mut rng)).collect();
         for (row, s) in segments.iter().enumerate() {

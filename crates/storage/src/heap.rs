@@ -128,6 +128,17 @@ impl HeapFile {
         self.scan(|rid, rec| out.push((rid, rec.to_vec())))?;
         Ok(out)
     }
+
+    /// Consumes the heap file, releasing every page it owns to the pager's
+    /// free list (`DROP TABLE`): subsequent allocations reuse the space
+    /// instead of growing the store.
+    pub fn destroy(self) -> StorageResult<()> {
+        let HeapFile { pool, pages, .. } = self;
+        for page in pages {
+            pool.free_page(page)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

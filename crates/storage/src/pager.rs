@@ -168,13 +168,49 @@ impl Pager for MemPager {
     }
 }
 
+/// Magic marker identifying physical page 0 of a pager file as a
+/// [`FilePager`] meta page (`"SPGP"`).
+const META_MAGIC: u32 = 0x5350_4750;
+/// Meta-page format version.
+const META_VERSION: u32 = 1;
+/// Chain terminator for the persistent free list.
+const META_CHAIN_END: u32 = u32::MAX;
+/// Free-list entries the meta page holds after its fixed header
+/// (magic, version, page count, next pointer, entry count — 5 × 4 bytes).
+const META_HEAD_CAP: usize = (PAGE_SIZE - 20) / 4;
+/// Free-list entries a continuation page holds after its header
+/// (next pointer, entry count — 2 × 4 bytes).
+const META_CONT_CAP: usize = (PAGE_SIZE - 8) / 4;
+
 /// A pager backed by a single file of consecutive 8 KiB pages.
+///
+/// Physical page 0 of the file is the pager's own **meta page**: it records
+/// the logical page count and, chained through freed pages when it
+/// overflows, the free-page list.  [`FilePager::sync`] persists both, and
+/// [`FilePager::open`] restores them — so a reopened file resumes reusing
+/// its freed pages instead of growing append-only.  Logical page ids (what
+/// callers see) are dense from 0 and map to physical offset
+/// `(id + 1) * PAGE_SIZE`.
 pub struct FilePager {
     file: Mutex<File>,
     page_count: Mutex<u32>,
-    /// Freed whole pages awaiting reuse.  The free list is kept in memory
-    /// only: after a reopen the file simply resumes append-only growth.
+    /// Freed whole pages awaiting reuse; persisted to the meta page on
+    /// `sync` (frees after the last sync are lost on reopen, like any
+    /// unflushed write).
     free: Mutex<FreeList>,
+}
+
+/// Byte offset of logical page `id` (physical page 0 is the meta page).
+fn physical_offset(id: PageId) -> u64 {
+    (id as u64 + 1) * PAGE_SIZE as u64
+}
+
+fn read_u32(buf: &[u8], pos: usize) -> u32 {
+    u32::from_le_bytes([buf[pos], buf[pos + 1], buf[pos + 2], buf[pos + 3]])
+}
+
+fn write_u32(buf: &mut [u8], pos: usize, value: u32) {
+    buf[pos..pos + 4].copy_from_slice(&value.to_le_bytes());
 }
 
 impl FilePager {
@@ -186,42 +222,177 @@ impl FilePager {
             .create(true)
             .truncate(true)
             .open(path)?;
-        Ok(FilePager {
+        let pager = FilePager {
             file: Mutex::new(file),
             page_count: Mutex::new(0),
             free: Mutex::new(FreeList::default()),
-        })
+        };
+        // Establish the meta page immediately so even a never-synced file
+        // reopens as a valid, empty pager.
+        pager.write_meta()?;
+        Ok(pager)
     }
 
-    /// Opens an existing pager file at `path`.
+    /// Opens an existing pager file at `path`, restoring the page count and
+    /// the persistent free-page list from its meta page.
     pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
-        let file = OpenOptions::new().read(true).write(true).open(path)?;
+        let mut file = OpenOptions::new().read(true).write(true).open(path)?;
         let len = file.metadata()?.len();
-        if len % PAGE_SIZE as u64 != 0 {
+        if len % PAGE_SIZE as u64 != 0 || len < PAGE_SIZE as u64 {
             return Err(StorageError::Corrupt(format!(
-                "file length {len} is not a multiple of the page size"
+                "file length {len} is not a positive multiple of the page size"
             )));
+        }
+        let mut meta = [0u8; PAGE_SIZE];
+        file.seek(SeekFrom::Start(0))?;
+        file.read_exact(&mut meta)?;
+        if read_u32(&meta, 0) != META_MAGIC {
+            return Err(StorageError::Corrupt(
+                "file has no pager meta page (not a FilePager file)".into(),
+            ));
+        }
+        if read_u32(&meta, 4) != META_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported pager meta version {}",
+                read_u32(&meta, 4)
+            )));
+        }
+        // Trust the larger of the recorded count and the file length: pages
+        // allocated after the last sync exist on disk but not in the meta.
+        let recorded = read_u32(&meta, 8);
+        let from_len = (len / PAGE_SIZE as u64 - 1) as u32;
+        let page_count = recorded.max(from_len);
+
+        // Reassemble the free list: the meta page's entries, then each
+        // continuation page — which is itself a free page whose storage role
+        // ends once it is read — followed by its entries.
+        let mut free = FreeList::default();
+        let mut push = |id: u32| -> StorageResult<()> {
+            if id >= page_count {
+                return Err(StorageError::Corrupt(format!(
+                    "free list names page {id} beyond page count {page_count}"
+                )));
+            }
+            free.push(id);
+            Ok(())
+        };
+        let mut next = read_u32(&meta, 12);
+        let head_count = read_u32(&meta, 16) as usize;
+        if head_count > META_HEAD_CAP {
+            return Err(StorageError::Corrupt(format!(
+                "meta free-list count {head_count} exceeds page capacity"
+            )));
+        }
+        for i in 0..head_count {
+            push(read_u32(&meta, 20 + 4 * i))?;
+        }
+        let mut cont = [0u8; PAGE_SIZE];
+        let mut visited = std::collections::HashSet::new();
+        while next != META_CHAIN_END {
+            let cont_page = next;
+            if !visited.insert(cont_page) {
+                return Err(StorageError::Corrupt(format!(
+                    "free-list chain revisits page {cont_page}"
+                )));
+            }
+            push(cont_page)?;
+            file.seek(SeekFrom::Start(physical_offset(cont_page)))?;
+            file.read_exact(&mut cont)?;
+            next = read_u32(&cont, 0);
+            let count = read_u32(&cont, 4) as usize;
+            if count > META_CONT_CAP {
+                return Err(StorageError::Corrupt(format!(
+                    "free-list continuation count {count} exceeds page capacity"
+                )));
+            }
+            for i in 0..count {
+                push(read_u32(&cont, 8 + 4 * i))?;
+            }
         }
         Ok(FilePager {
             file: Mutex::new(file),
-            page_count: Mutex::new((len / PAGE_SIZE as u64) as u32),
-            free: Mutex::new(FreeList::default()),
+            page_count: Mutex::new(page_count),
+            free: Mutex::new(free),
         })
+    }
+
+    /// Writes the meta page — page count plus the free list, chained
+    /// through freed pages when it outgrows the meta page itself.
+    fn write_meta(&self) -> StorageResult<()> {
+        let page_count = *self.page_count.lock();
+        let free_pages: Vec<PageId> = self.free.lock().pages.clone();
+        let mut file = self.file.lock();
+
+        // Partition the list: entries that fit in the head, then chunks of
+        // continuation entries each stored *inside* one of the free pages
+        // (reconstructed as free on open when the chain is traversed).
+        let all = free_pages.as_slice();
+        let head_take = all.len().min(META_HEAD_CAP);
+        let (head_entries, mut rest) = all.split_at(head_take);
+        let mut chain: Vec<(PageId, &[PageId])> = Vec::new();
+        while !rest.is_empty() {
+            let (&cont_page, tail) = rest.split_first().expect("rest is non-empty");
+            let take = tail.len().min(META_CONT_CAP);
+            let (entries, tail) = tail.split_at(take);
+            chain.push((cont_page, entries));
+            rest = tail;
+        }
+
+        let mut meta = [0u8; PAGE_SIZE];
+        write_u32(&mut meta, 0, META_MAGIC);
+        write_u32(&mut meta, 4, META_VERSION);
+        write_u32(&mut meta, 8, page_count);
+        write_u32(
+            &mut meta,
+            12,
+            chain.first().map_or(META_CHAIN_END, |(page, _)| *page),
+        );
+        write_u32(&mut meta, 16, head_entries.len() as u32);
+        for (i, &id) in head_entries.iter().enumerate() {
+            write_u32(&mut meta, 20 + 4 * i, id);
+        }
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&meta)?;
+
+        for (idx, (cont_page, entries)) in chain.iter().enumerate() {
+            let mut cont = [0u8; PAGE_SIZE];
+            let next = chain.get(idx + 1).map_or(META_CHAIN_END, |(page, _)| *page);
+            write_u32(&mut cont, 0, next);
+            write_u32(&mut cont, 4, entries.len() as u32);
+            for (i, &id) in entries.iter().enumerate() {
+                write_u32(&mut cont, 8 + 4 * i, id);
+            }
+            file.seek(SeekFrom::Start(physical_offset(*cont_page)))?;
+            file.write_all(&cont)?;
+        }
+        Ok(())
     }
 }
 
 impl Pager for FilePager {
     fn allocate(&self) -> StorageResult<PageId> {
-        if let Some(id) = self.free.lock().pop() {
-            let mut file = self.file.lock();
-            file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
-            file.write_all(Page::new().as_bytes())?;
+        // Bind the pop result first: an `if let` on `self.free.lock().pop()`
+        // would hold the free-list mutex for the whole body, deadlocking
+        // against `write_meta`'s own acquisition.
+        let reused = self.free.lock().pop();
+        if let Some(id) = reused {
+            {
+                let mut file = self.file.lock();
+                file.seek(SeekFrom::Start(physical_offset(id)))?;
+                file.write_all(Page::new().as_bytes())?;
+            }
+            // Rewrite the meta now: the on-disk free list must never name a
+            // page that has been handed back out, or a reopen before the
+            // next sync would resurrect it under live data.  (Plain `free`
+            // can stay lazy — a stale meta that lists *fewer* free pages
+            // only leaks them until the next sync.)
+            self.write_meta()?;
             return Ok(id);
         }
         let mut count = self.page_count.lock();
         let id = *count;
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.seek(SeekFrom::Start(physical_offset(id)))?;
         file.write_all(Page::new().as_bytes())?;
         *count += 1;
         Ok(id)
@@ -253,7 +424,7 @@ impl Pager for FilePager {
         }
         let mut buf = [0u8; PAGE_SIZE];
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.seek(SeekFrom::Start(physical_offset(id)))?;
         file.read_exact(&mut buf)?;
         *out = Page::from_bytes(buf);
         Ok(())
@@ -268,7 +439,7 @@ impl Pager for FilePager {
             });
         }
         let mut file = self.file.lock();
-        file.seek(SeekFrom::Start(id as u64 * PAGE_SIZE as u64))?;
+        file.seek(SeekFrom::Start(physical_offset(id)))?;
         file.write_all(page.as_bytes())?;
         Ok(())
     }
@@ -278,6 +449,7 @@ impl Pager for FilePager {
     }
 
     fn sync(&self) -> StorageResult<()> {
+        self.write_meta()?;
         self.file.lock().sync_all()?;
         Ok(())
     }
@@ -394,7 +566,134 @@ mod tests {
             pager.sync().unwrap();
         }
         let len = std::fs::metadata(&path).unwrap().len();
-        assert_eq!(len, 5 * PAGE_SIZE as u64, "file holds exactly 5 pages");
+        assert_eq!(
+            len,
+            6 * PAGE_SIZE as u64,
+            "file holds exactly 5 data pages plus the pager meta page"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_pager_free_list_survives_reopen() {
+        let dir = std::env::temp_dir().join(format!("spgist-pager-persist-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("persist.pages");
+        {
+            // Create → free → sync.
+            let pager = FilePager::create(&path).unwrap();
+            for _ in 0..6 {
+                pager.allocate().unwrap();
+            }
+            pager.free(1).unwrap();
+            pager.free(4).unwrap();
+            pager.sync().unwrap();
+        }
+        let len_before = std::fs::metadata(&path).unwrap().len();
+        {
+            // Reopen → allocate: the freed pages come back instead of
+            // append-only growth.
+            let pager = FilePager::open(&path).unwrap();
+            assert_eq!(pager.page_count(), 6);
+            assert_eq!(pager.free_page_count(), 2, "free list restored");
+            let mut reused = vec![pager.allocate().unwrap(), pager.allocate().unwrap()];
+            reused.sort_unstable();
+            assert_eq!(reused, vec![1, 4], "freed pages are reused after reopen");
+            assert_eq!(pager.page_count(), 6, "no growth while the list lasts");
+            // Exhausted: only now does the file grow again.
+            assert_eq!(pager.allocate().unwrap(), 6);
+            pager.sync().unwrap();
+        }
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            len_before + PAGE_SIZE as u64,
+            "one net new page across the reopen"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_pager_persists_free_lists_longer_than_one_meta_page() {
+        let dir = std::env::temp_dir().join(format!("spgist-pager-chain-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chain.pages");
+        // More free pages than the meta page holds (META_HEAD_CAP = 2043):
+        // the list must chain through continuation pages stored in the free
+        // pages themselves.
+        let total: u32 = (META_HEAD_CAP + META_CONT_CAP / 2) as u32 + 10;
+        {
+            let pager = FilePager::create(&path).unwrap();
+            for _ in 0..total {
+                pager.allocate().unwrap();
+            }
+            for id in 0..total {
+                pager.free(id).unwrap();
+            }
+            pager.sync().unwrap();
+        }
+        {
+            let pager = FilePager::open(&path).unwrap();
+            assert_eq!(pager.page_count(), total);
+            assert_eq!(
+                pager.free_page_count(),
+                total,
+                "every freed page survives the reopen, including the chain pages"
+            );
+            // Reallocating everything drains the list without growing.
+            let mut seen = std::collections::HashSet::new();
+            for _ in 0..total {
+                assert!(seen.insert(pager.allocate().unwrap()), "no duplicates");
+            }
+            assert_eq!(pager.page_count(), total);
+            assert_eq!(pager.free_page_count(), 0);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_pager_never_resurrects_a_reused_page_after_reopen() {
+        let dir =
+            std::env::temp_dir().join(format!("spgist-pager-resurrect-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("resurrect.pages");
+        {
+            let pager = FilePager::create(&path).unwrap();
+            for _ in 0..3 {
+                pager.allocate().unwrap();
+            }
+            pager.free(1).unwrap();
+            pager.sync().unwrap(); // meta now lists page 1 as free
+            assert_eq!(pager.allocate().unwrap(), 1); // …and it gets reused
+            let mut page = Page::new();
+            page.insert(b"live data").unwrap();
+            pager.write(1, &page).unwrap();
+            // No final sync: the process "exits" with the write on disk but
+            // without an explicit flush.
+        }
+        {
+            let pager = FilePager::open(&path).unwrap();
+            assert_eq!(
+                pager.free_page_count(),
+                0,
+                "the reused page must not reappear on the free list"
+            );
+            // The live data survives; a fresh allocation grows the file
+            // instead of clobbering page 1.
+            let mut read_back = Page::new();
+            pager.read(1, &mut read_back).unwrap();
+            assert_eq!(read_back.get(0).unwrap(), b"live data");
+            assert_eq!(pager.allocate().unwrap(), 3);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_pager_open_rejects_files_without_meta() {
+        let dir = std::env::temp_dir().join(format!("spgist-pager-nometa-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("raw.pages");
+        std::fs::write(&path, vec![0u8; PAGE_SIZE]).unwrap();
+        assert!(FilePager::open(&path).is_err(), "no magic marker");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }
