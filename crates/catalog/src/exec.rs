@@ -1097,6 +1097,15 @@ pub struct Table {
     pool: Arc<BufferPool>,
     inner: RwLock<TableInner>,
     indexes: Vec<NamedIndex>,
+    /// Serializes whole DML statements (heap change **and** the index
+    /// updates that follow).  Without it, a delete racing an insert of the
+    /// same row could run its index removals *between* the insert's heap
+    /// append and index insert — the removal finds nothing, the insert
+    /// then lands, and the index permanently names a dead row.  Only
+    /// `insert`/`delete` take this lock, and they take it before any
+    /// latch, so it adds no ordering cycle with readers (which nest
+    /// index-read → table-read and never touch it).
+    dml: Mutex<()>,
 }
 
 impl Table {
@@ -1113,6 +1122,7 @@ impl Table {
             }),
             pool,
             indexes: Vec::new(),
+            dml: Mutex::new(()),
         })
     }
 
@@ -1139,7 +1149,10 @@ impl Table {
     /// Inserts a key value, returning its row id.  The value is appended to
     /// the heap under the table latch, which is released before the value is
     /// inserted into the registered indexes (each takes its own write latch)
-    /// — latches are never held nested, so the order is acyclic.
+    /// — latches are never held nested, so the order is acyclic.  The whole
+    /// statement runs under the table's DML lock so a concurrent delete of
+    /// the just-inserted row cannot interleave between the heap append and
+    /// the index updates.
     pub fn insert(&self, datum: impl Into<Datum>) -> StorageResult<RowId> {
         let datum = datum.into();
         if datum.key_type() != self.key_type {
@@ -1151,6 +1164,7 @@ impl Table {
             )));
         }
         let record = datum.encode_record();
+        let _dml = self.dml.lock();
         let row = {
             let mut inner = self.inner.write();
             let rid = inner.heap.insert(&record)?;
@@ -1170,8 +1184,11 @@ impl Table {
     /// Deletes the row, removing it from the heap and every index; returns
     /// whether the row existed.  A query racing the delete may still report
     /// the row (it was live when its cursor latched the index) or skip it —
-    /// never error.
+    /// never error.  Runs under the table's DML lock (see [`Table::insert`])
+    /// so the heap removal and index removals are one atomic statement with
+    /// respect to other DML.
     pub fn delete(&self, row: RowId) -> StorageResult<bool> {
+        let _dml = self.dml.lock();
         let datum = {
             let mut inner = self.inner.write();
             let Some(slot) = inner.rows.get_mut(row as usize) else {
@@ -1359,9 +1376,12 @@ impl Table {
     ///   concatenates the chunk results — deterministically equal to the
     ///   serial scan's row-id order (a limited scan stays serial: streaming
     ///   stops at `k`, a chunked scan cannot);
-    /// * an **intersection** evaluates every participating input's row-id
-    ///   stream on its own worker, intersects the sets, and reports rows in
-    ///   ascending row-id order (again deterministic).
+    /// * an un-`LIMIT`ed **intersection** evaluates every participating
+    ///   input's row-id stream on its own worker, intersects the sets, and
+    ///   reports rows in ascending row-id order (again deterministic).  A
+    ///   limited intersection stays serial: the parallel set-build reports
+    ///   the `k` lowest row ids, which is a valid but *different* subset
+    ///   than the serial driver order.
     ///
     /// Everything else (ordered scans, unions, index-driven filters, small
     /// tables) falls back to the serial streaming path with identical
@@ -1391,29 +1411,26 @@ impl Table {
                 } if limit.is_none() && self.parallel_seq_scan_pays(n_threads) => {
                     return self.par_seq_scan(filter, n_threads);
                 }
+                // Like the seq scan, a LIMIT-bearing intersection stays
+                // serial: truncating the parallel set-build's ascending
+                // row-id order would return the k *lowest* row ids, a valid
+                // but different subset than the serial driver produces.
                 PhysNode::Intersect { inputs, cost }
-                    if CostEstimate::parallel_pays(
-                        cost.total_cost,
-                        n_threads.min(inputs.len()),
-                    ) =>
+                    if limit.is_none()
+                        && CostEstimate::parallel_pays(
+                            cost.total_cost,
+                            n_threads.min(inputs.len()),
+                        ) =>
                 {
-                    let mut rows = self.par_intersect(inputs, &[], n_threads)?;
-                    if let Some(k) = limit {
-                        rows.truncate(k);
-                    }
-                    return Ok(rows);
+                    return self.par_intersect(inputs, &[], n_threads);
                 }
                 PhysNode::Filter {
                     input, residual, ..
-                } => {
+                } if limit.is_none() => {
                     if let PhysNode::Intersect { inputs, cost } = &**input {
                         if CostEstimate::parallel_pays(cost.total_cost, n_threads.min(inputs.len()))
                         {
-                            let mut rows = self.par_intersect(inputs, residual, n_threads)?;
-                            if let Some(k) = limit {
-                                rows.truncate(k);
-                            }
-                            return Ok(rows);
+                            return self.par_intersect(inputs, residual, n_threads);
                         }
                     }
                 }
@@ -1973,21 +1990,34 @@ impl Table {
             }
             PhysNode::Union { inputs, .. } => {
                 // Each input's cursor opens only when the previous one is
-                // exhausted (and dropped): opening them all upfront would
+                // exhausted **and dropped**: opening them all upfront would
                 // hold several read latches at once, and two disjuncts on
                 // the same index would deadlock against a waiting writer.
+                // The drop must come first — `flat_map` would build the
+                // next stream (taking a fresh read latch) while the spent
+                // one still pins its latch, recreating the same deadlock
+                // with a writer queued between the two acquisitions — so
+                // the hand-over is spelled out: release, then open.
                 // The dispatched sources are derived from the plan shape,
                 // which is what execution follows by construction.
                 let sources: Vec<ScanSource> =
                     inputs.iter().map(|node| self.scan_source(node)).collect();
-                let nodes = inputs.clone();
-                let chained = nodes
-                    .into_iter()
-                    .flat_map(move |node| match self.execute_node(&node) {
-                        Ok((stream, _)) => stream,
-                        Err(e) => Box::new(std::iter::once(Err(e))) as RowStream<'t>,
-                    })
-                    .map(|item| item.map(|(row, datum)| (datum, row)));
+                let mut pending = inputs.clone().into_iter();
+                let mut current: Option<RowStream<'t>> = None;
+                let chained = std::iter::from_fn(move || loop {
+                    if let Some(stream) = current.as_mut() {
+                        if let Some(item) = stream.next() {
+                            return Some(item);
+                        }
+                        current = None; // latch released before the next opens
+                    }
+                    let node = pending.next()?;
+                    match self.execute_node(&node) {
+                        Ok((stream, _)) => current = Some(stream),
+                        Err(e) => return Some(Err(e)),
+                    }
+                })
+                .map(|item| item.map(|(row, datum)| (datum, row)));
                 // Deduplicated by row id while streaming (one disjunct's
                 // rows may satisfy another disjunct too).
                 let inner = spgist_indexes::Cursor::deduplicated(chained)

@@ -253,6 +253,91 @@ fn composite_plans_on_one_index_survive_concurrent_writers() {
     });
 }
 
+/// DML statements are atomic with respect to each other: a delete racing an
+/// insert can never run its index removals *between* the insert's heap
+/// append and its index update.  Without that ordering, the removal finds
+/// nothing, the insert's index entry then lands anyway, and the index
+/// permanently names a dead row — a durable phantom every later query
+/// reports.  Deleters here target arbitrary recent row ids (modelling a
+/// scan-then-delete), and afterwards the index-backed answer must agree
+/// exactly with heap ground truth.
+#[test]
+fn interleaved_inserts_and_deletes_leave_no_phantom_index_entries() {
+    const WRITERS: u64 = 2;
+    const PER_WRITER: u64 = 3_000;
+    const TOTAL: u64 = WRITERS * PER_WRITER;
+    let mut db = Database::in_memory();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    db.table_mut("words")
+        .unwrap()
+        .create_index("trie", IndexSpec::Trie)
+        .unwrap();
+    let handle = db.table_handle("words").unwrap();
+    let committed = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let handle = Arc::clone(&handle);
+            let committed = Arc::clone(&committed);
+            scope.spawn(move || {
+                for i in 0..PER_WRITER {
+                    // A selective minority of aa-words keeps the check
+                    // query on the index instead of the heap.
+                    let prefix = if i % 8 == 0 { "aa" } else { "zz" };
+                    handle.insert(format!("{prefix}{w}{i:06}")).unwrap();
+                    committed.fetch_add(1, Ordering::Release);
+                }
+            });
+        }
+        for d in 0..2u64 {
+            let handle = Arc::clone(&handle);
+            let committed = Arc::clone(&committed);
+            scope.spawn(move || {
+                let mut probe = d; // deleters interleave over the id space
+                loop {
+                    let seen = committed.load(Ordering::Acquire);
+                    if seen >= TOTAL {
+                        break;
+                    }
+                    if seen > 0 {
+                        // Delete a recent row id — racing the tail of the
+                        // insert stream is what used to split a statement.
+                        handle.delete(probe % seen).unwrap();
+                        probe += 7;
+                    }
+                    std::thread::yield_now();
+                }
+            });
+        }
+    });
+
+    assert!(
+        matches!(
+            db.plan("words", Predicate::str_prefix("aa")).unwrap(),
+            AccessPath::IndexScan { .. }
+        ),
+        "the check must route through the index for phantoms to surface"
+    );
+    let mut via_index = db
+        .query("words", Predicate::str_prefix("aa"))
+        .unwrap()
+        .rows()
+        .unwrap();
+    via_index.sort_unstable();
+    let mut ground_truth: Vec<RowId> = Vec::new();
+    for row in 0..TOTAL {
+        if let Some(Datum::Text(word)) = handle.try_datum(row).unwrap() {
+            if word.starts_with("aa") {
+                ground_truth.push(row);
+            }
+        }
+    }
+    assert_eq!(
+        via_index, ground_truth,
+        "index-backed rows must exactly match heap-live rows once DML settles"
+    );
+}
+
 /// A long-lived cursor pins its read latch: a writer that sneaks in between
 /// two cursors changes what the *next* cursor sees, never the open one.
 #[test]

@@ -197,7 +197,21 @@ pub struct FilePager {
     /// Freed whole pages awaiting reuse; persisted to the meta page on
     /// `sync` (frees after the last sync are lost on reopen, like any
     /// unflushed write).
-    free: Mutex<FreeList>,
+    free: Mutex<FileFree>,
+}
+
+/// [`FilePager`]'s free-list state: the in-memory list plus what the
+/// on-disk meta is known to say about it.  One mutex guards both so every
+/// meta write observes (and records) a consistent pairing.
+#[derive(Default)]
+struct FileFree {
+    list: FreeList,
+    /// True when the on-disk meta page is known to name **zero** free
+    /// pages.  While this holds, reusing a free page needs no meta rewrite
+    /// at all — the stale meta cannot name the reused page — which keeps
+    /// draining a large free list O(1) per allocation instead of rewriting
+    /// the whole chain every time.
+    disk_names_none: bool,
 }
 
 /// Byte offset of logical page `id` (physical page 0 is the meta page).
@@ -225,7 +239,7 @@ impl FilePager {
         let pager = FilePager {
             file: Mutex::new(file),
             page_count: Mutex::new(0),
-            free: Mutex::new(FreeList::default()),
+            free: Mutex::new(FileFree::default()),
         };
         // Establish the meta page immediately so even a never-synced file
         // reopens as a valid, empty pager.
@@ -309,24 +323,36 @@ impl FilePager {
                 push(read_u32(&cont, 8 + 4 * i))?;
             }
         }
+        let disk_names_none = free.pages.is_empty();
         Ok(FilePager {
             file: Mutex::new(file),
             page_count: Mutex::new(page_count),
-            free: Mutex::new(free),
+            free: Mutex::new(FileFree {
+                list: free,
+                disk_names_none,
+            }),
         })
     }
 
     /// Writes the meta page — page count plus the free list, chained
     /// through freed pages when it outgrows the meta page itself.
+    ///
+    /// The free-list lock is held across the snapshot *and* the file write,
+    /// serializing all meta writers: a snapshot taken before a concurrent
+    /// `allocate` pops a page must also reach the file first, otherwise the
+    /// stale snapshot — still naming the reallocated page as free — could
+    /// land last and a reopen would resurrect the page under live data.
+    /// Lock order is free → page_count → file; no other path acquires the
+    /// free-list lock while holding either of the other two.
     fn write_meta(&self) -> StorageResult<()> {
+        let mut free = self.free.lock();
         let page_count = *self.page_count.lock();
-        let free_pages: Vec<PageId> = self.free.lock().pages.clone();
         let mut file = self.file.lock();
 
         // Partition the list: entries that fit in the head, then chunks of
         // continuation entries each stored *inside* one of the free pages
         // (reconstructed as free on open when the chain is traversed).
-        let all = free_pages.as_slice();
+        let all = free.list.pages.as_slice();
         let head_take = all.len().min(META_HEAD_CAP);
         let (head_entries, mut rest) = all.split_at(head_take);
         let mut chain: Vec<(PageId, &[PageId])> = Vec::new();
@@ -365,6 +391,36 @@ impl FilePager {
             file.seek(SeekFrom::Start(physical_offset(*cont_page)))?;
             file.write_all(&cont)?;
         }
+        let names_none = free.list.pages.is_empty();
+        free.disk_names_none = names_none;
+        Ok(())
+    }
+
+    /// Overwrites the meta page with an **empty** free list (keeping the
+    /// page count), without touching the in-memory list.  Called when a
+    /// free page is reused: the on-disk list must stop naming pages that
+    /// may now hold live data, and naming *none* achieves that with a
+    /// single page write — the rest of the list is merely leaked until the
+    /// next [`FilePager::sync`] republishes it, which a reopen tolerates.
+    /// Subsequent reuses skip even this write while `disk_names_none`
+    /// still holds, so draining a large free list stays O(1) per
+    /// allocation instead of rewriting the whole meta chain each time.
+    fn clear_disk_free_list(&self) -> StorageResult<()> {
+        let mut free = self.free.lock();
+        if free.disk_names_none {
+            return Ok(());
+        }
+        let page_count = *self.page_count.lock();
+        let mut file = self.file.lock();
+        let mut meta = [0u8; PAGE_SIZE];
+        write_u32(&mut meta, 0, META_MAGIC);
+        write_u32(&mut meta, 4, META_VERSION);
+        write_u32(&mut meta, 8, page_count);
+        write_u32(&mut meta, 12, META_CHAIN_END);
+        write_u32(&mut meta, 16, 0);
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&meta)?;
+        free.disk_names_none = true;
         Ok(())
     }
 }
@@ -373,20 +429,24 @@ impl Pager for FilePager {
     fn allocate(&self) -> StorageResult<PageId> {
         // Bind the pop result first: an `if let` on `self.free.lock().pop()`
         // would hold the free-list mutex for the whole body, deadlocking
-        // against `write_meta`'s own acquisition.
-        let reused = self.free.lock().pop();
+        // against the meta writers' own acquisition.
+        let reused = self.free.lock().list.pop();
         if let Some(id) = reused {
             {
                 let mut file = self.file.lock();
                 file.seek(SeekFrom::Start(physical_offset(id)))?;
                 file.write_all(Page::new().as_bytes())?;
             }
-            // Rewrite the meta now: the on-disk free list must never name a
-            // page that has been handed back out, or a reopen before the
-            // next sync would resurrect it under live data.  (Plain `free`
-            // can stay lazy — a stale meta that lists *fewer* free pages
-            // only leaks them until the next sync.)
-            self.write_meta()?;
+            // Blank the on-disk free list now: it must never name a page
+            // that has been handed back out, or a reopen before the next
+            // sync would resurrect it under live data.  (Plain `free` can
+            // stay lazy — a stale meta that lists *fewer* free pages only
+            // leaks them until the next sync.)  The blanking is a buffered
+            // write, so the no-resurrection guarantee covers clean process
+            // exits and post-`sync` state; a kernel crash or power loss can
+            // still reorder it behind the page's new contents, like any
+            // unsynced write in this pager.
+            self.clear_disk_free_list()?;
             return Ok(id);
         }
         let mut count = self.page_count.lock();
@@ -406,12 +466,12 @@ impl Pager for FilePager {
                 page_count: count,
             });
         }
-        self.free.lock().push(id);
+        self.free.lock().list.push(id);
         Ok(())
     }
 
     fn free_page_count(&self) -> u32 {
-        self.free.lock().len()
+        self.free.lock().list.len()
     }
 
     fn read(&self, id: PageId, out: &mut Page) -> StorageResult<()> {
@@ -667,8 +727,11 @@ mod tests {
             let mut page = Page::new();
             page.insert(b"live data").unwrap();
             pager.write(1, &page).unwrap();
-            // No final sync: the process "exits" with the write on disk but
-            // without an explicit flush.
+            // No final sync: the process "exits" cleanly with the write
+            // buffered but never explicitly flushed.  (This models a clean
+            // exit only — after a power loss the kernel may persist the
+            // reused page's contents but not the meta rewrite, which is
+            // outside the guarantee; see `FilePager::allocate`.)
         }
         {
             let pager = FilePager::open(&path).unwrap();
@@ -683,6 +746,79 @@ mod tests {
             pager.read(1, &mut read_back).unwrap();
             assert_eq!(read_back.get(0).unwrap(), b"live data");
             assert_eq!(pager.allocate().unwrap(), 3);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn file_pager_meta_never_stale_under_concurrent_allocate_and_sync() {
+        // Regression for a write_meta race: a meta snapshot taken before a
+        // concurrent allocate popped page P, but written to the file *after*
+        // the allocate's own meta rewrite, left P on the on-disk free list
+        // under live data.  Hammer allocate (draining a pre-seeded free
+        // list) against sync, then verify the reopened free list is empty
+        // and every fingerprint survived.
+        let dir = std::env::temp_dir().join(format!("spgist-pager-race-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("race.pages");
+        const SEED: u32 = 64;
+        {
+            let pager = std::sync::Arc::new(FilePager::create(&path).unwrap());
+            for _ in 0..SEED {
+                pager.allocate().unwrap();
+            }
+            for id in 0..SEED {
+                pager.free(id).unwrap();
+            }
+            pager.sync().unwrap();
+
+            let done = std::sync::atomic::AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                let syncer = {
+                    let pager = std::sync::Arc::clone(&pager);
+                    let done = &done;
+                    scope.spawn(move || {
+                        while !done.load(std::sync::atomic::Ordering::Relaxed) {
+                            pager.sync().unwrap();
+                        }
+                    })
+                };
+                let workers: Vec<_> = (0..4)
+                    .map(|worker| {
+                        let pager = std::sync::Arc::clone(&pager);
+                        scope.spawn(move || {
+                            for _ in 0..SEED / 4 {
+                                let id = pager.allocate().unwrap();
+                                let mut page = Page::new();
+                                page.insert(format!("live-{worker}").as_bytes()).unwrap();
+                                pager.write(id, &page).unwrap();
+                            }
+                        })
+                    })
+                    .collect();
+                for worker in workers {
+                    worker.join().unwrap();
+                }
+                done.store(true, std::sync::atomic::Ordering::Relaxed);
+                syncer.join().unwrap();
+            });
+            pager.sync().unwrap();
+        }
+        {
+            let pager = FilePager::open(&path).unwrap();
+            assert_eq!(
+                pager.free_page_count(),
+                0,
+                "no reallocated page may survive on the on-disk free list"
+            );
+            let mut page = Page::new();
+            for id in 0..SEED {
+                pager.read(id, &mut page).unwrap();
+                assert!(
+                    page.get(0).unwrap().starts_with(b"live-"),
+                    "page {id} lost its fingerprint"
+                );
+            }
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }
