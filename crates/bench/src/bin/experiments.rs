@@ -14,8 +14,9 @@ use spgist_bench::loc::table7;
 use spgist_bench::stats::{log10_ratio, ratio_pct};
 use spgist_bench::{
     point_sizes, run_clustering_ablation, run_mixed_workload, run_nn_experiments,
-    run_point_experiments, run_read_scaling, run_segment_experiments, run_string_experiments,
-    run_substring_experiments, run_trie_variant_ablation, word_sizes, NN_KS,
+    run_point_experiments, run_read_scaling, run_reopen_experiment, run_segment_experiments,
+    run_string_experiments, run_substring_experiments, run_trie_variant_ablation, word_sizes,
+    NN_KS,
 };
 
 struct Options {
@@ -60,7 +61,7 @@ fn usage(message: &str) -> ! {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|all] [--scale N] [--queries N]"
+        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|all] [--scale N] [--queries N]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -100,6 +101,46 @@ fn main() {
     if wants("concurrency") {
         print_concurrency(&opts);
     }
+    if wants("reopen") {
+        print_reopen(&opts);
+    }
+}
+
+fn print_reopen(opts: &Options) {
+    // Durable-catalog experiment: build → close → cold open vs. rebuilding
+    // from raw data, on a file-backed database.
+    let sizes: Vec<usize> = [10_000usize, 40_000]
+        .iter()
+        .map(|n| n * opts.scale.max(1))
+        .collect();
+    let rows = run_reopen_experiment(&sizes, SEED);
+    println!("== Reopen: durable-catalog cold open vs. rebuild from scratch ==");
+    println!(
+        "{:>10} {:>10} {:>13} {:>10} {:>11} {:>14} {:>13} {:>9}",
+        "rows",
+        "pages",
+        "rebuild ms",
+        "open ms",
+        "open reads",
+        "1st query ms",
+        "warm query ms",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>10} {:>13.1} {:>10.2} {:>11} {:>14.3} {:>13.3} {:>8.0}x",
+            r.rows,
+            r.file_pages,
+            r.rebuild_ms,
+            r.open_ms,
+            r.open_reads,
+            r.first_query_ms,
+            r.warm_query_ms,
+            r.rebuild_ms / r.open_ms.max(1e-9)
+        );
+    }
+    println!("(open reads = physical page reads at open: catalog chain + tree meta pages only)");
+    println!();
 }
 
 fn print_table7() {

@@ -20,7 +20,9 @@
 pub mod concurrent;
 pub mod experiments;
 pub mod loc;
+pub mod reopen;
 pub mod stats;
 
 pub use concurrent::{run_mixed_workload, run_read_scaling, MixedRow, ReadScalingRow};
 pub use experiments::*;
+pub use reopen::{run_reopen_experiment, ReopenRow};

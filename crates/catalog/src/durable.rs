@@ -1,0 +1,354 @@
+//! The durable catalog: the on-disk record that makes a whole [`Database`]
+//! reopenable.
+//!
+//! PostgreSQL's system catalogs are ordinary relations: an SP-GiST index
+//! survives a restart because `pg_class` / `pg_index` name its relfilenode
+//! and the access method knows how to pick the tree up from its meta page.
+//! This module is that idea scaled to the workspace: a **catalog meta-table**
+//! serialized with the workspace [`Codec`] and stored in a chain of ordinary
+//! pages rooted at a well-known page (logical page 0 of the database file,
+//! [`CATALOG_ROOT`]).  It records, for every table: the key type, the heap's
+//! page directory and record count, the row directory (row id → heap record),
+//! and every index's durable identity (class, configuration, tree meta page,
+//! owned-page list) — everything `Database::open` needs to reconstruct the
+//! executor state with **zero rebuild scans**.
+//!
+//! Durability scope: DDL writes the catalog through before returning, and
+//! `Database::close` / `Database::checkpoint` persist DML state (row
+//! directories, heap directories, index page lists).  This is
+//! clean-shutdown durability, not WAL crash recovery: a reopen after a
+//! crash between checkpoints sees the last checkpointed state at best, and
+//! a torn file fails [`read_catalog`] with [`StorageError::Corrupt`] rather
+//! than returning wrong rows.
+//!
+//! [`Database`]: crate::exec::Database
+
+use std::sync::Arc;
+
+use spgist_core::SpGistConfig;
+use spgist_indexes::geom::Rect;
+use spgist_storage::{
+    BufferPool, Codec, Page, PageId, RecordId, StorageError, StorageResult, MAX_RECORD_SIZE,
+};
+
+/// The well-known root of the catalog page chain: the first logical page of
+/// a database file, allocated by `Database::create` before anything else.
+pub(crate) const CATALOG_ROOT: PageId = 0;
+
+/// Magic marker leading the catalog blob (`"SPGC"`).
+const CATALOG_MAGIC: u32 = 0x5350_4743;
+
+/// Catalog format version.  Bumping it breaks open compatibility on purpose
+/// (the meta-v1 policy: no migrations, old files fail with `Corrupt`).
+const CATALOG_VERSION: u8 = 1;
+
+/// Chain terminator for catalog continuation pointers.
+const CHAIN_END: PageId = PageId::MAX;
+
+/// Payload bytes per catalog chain page: one record per page, minus the
+/// 4-byte continuation pointer, with slack for the slot directory.
+const CHUNK: usize = MAX_RECORD_SIZE - 64;
+
+/// Index kind tags persisted in the catalog (stable on-disk values).
+pub(crate) const KIND_TRIE: u8 = 0;
+pub(crate) const KIND_SUFFIX: u8 = 1;
+pub(crate) const KIND_KDTREE: u8 = 2;
+pub(crate) const KIND_PQUADTREE: u8 = 3;
+pub(crate) const KIND_PMR: u8 = 4;
+
+/// Durable identity of one physical index.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PersistedIndex {
+    /// Index name (unique per table).
+    pub name: String,
+    /// Index kind tag (`KIND_*`).
+    pub kind: u8,
+    /// The interface parameters the tree was created with (config
+    /// round-trip).
+    pub config: SpGistConfig,
+    /// World rectangle (meaningful for the PMR quadtree; zeroed otherwise).
+    pub world: Rect,
+    /// The backing tree's meta page.
+    pub meta_page: PageId,
+    /// Pages owned by the backing tree, in allocation order.
+    pub pages: Vec<PageId>,
+    /// Logical word count (suffix tree only; the tree's own item count is
+    /// the suffix count).
+    pub strings: u64,
+}
+
+impl Codec for PersistedIndex {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.kind.encode(out);
+        self.config.encode(out);
+        self.world.encode(out);
+        self.meta_page.encode(out);
+        self.pages.encode(out);
+        self.strings.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(PersistedIndex {
+            name: String::decode(buf)?,
+            kind: u8::decode(buf)?,
+            config: SpGistConfig::decode(buf)?,
+            world: Rect::decode(buf)?,
+            meta_page: PageId::decode(buf)?,
+            pages: Vec::decode(buf)?,
+            strings: u64::decode(buf)?,
+        })
+    }
+}
+
+/// Durable state of one table: heap directory, row directory, statistics
+/// seeds, and every index.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PersistedTable {
+    /// Table name.
+    pub name: String,
+    /// Key type tag (0 varchar, 1 point, 2 segment).
+    pub key_type: u8,
+    /// Pages owned by the heap file, in allocation order.
+    pub heap_pages: Vec<PageId>,
+    /// Live records in the heap.
+    pub heap_records: u64,
+    /// Live rows (row directory entries that are `Some`).
+    pub live_rows: u64,
+    /// Distinct-values statistic at checkpoint time (a seed, not truth).
+    pub distinct: u64,
+    /// Row directory: row id (dense index) → heap record, `None` once
+    /// deleted.
+    pub rows: Vec<Option<RecordId>>,
+    /// Every physical index on the table.
+    pub indexes: Vec<PersistedIndex>,
+}
+
+impl Codec for PersistedTable {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.key_type.encode(out);
+        self.heap_pages.encode(out);
+        self.heap_records.encode(out);
+        self.live_rows.encode(out);
+        self.distinct.encode(out);
+        self.rows.encode(out);
+        self.indexes.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(PersistedTable {
+            name: String::decode(buf)?,
+            key_type: u8::decode(buf)?,
+            heap_pages: Vec::decode(buf)?,
+            heap_records: u64::decode(buf)?,
+            live_rows: u64::decode(buf)?,
+            distinct: u64::decode(buf)?,
+            rows: Vec::decode(buf)?,
+            indexes: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// The whole catalog meta-table.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct PersistedCatalog {
+    /// Every table in the database.
+    pub tables: Vec<PersistedTable>,
+}
+
+impl Codec for PersistedCatalog {
+    fn encode(&self, out: &mut Vec<u8>) {
+        CATALOG_MAGIC.encode(out);
+        CATALOG_VERSION.encode(out);
+        self.tables.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        if u32::decode(buf)? != CATALOG_MAGIC {
+            return Err(StorageError::Corrupt(
+                "page 0 holds no catalog record (not a Database file)".into(),
+            ));
+        }
+        let version = u8::decode(buf)?;
+        if version != CATALOG_VERSION {
+            return Err(StorageError::Corrupt(format!(
+                "unsupported catalog version {version} (this build reads v{CATALOG_VERSION}; \
+                 no migration — rebuild the database file)"
+            )));
+        }
+        Ok(PersistedCatalog {
+            tables: Vec::decode(buf)?,
+        })
+    }
+}
+
+/// Writes `catalog` through the chain rooted at [`CATALOG_ROOT`], reusing
+/// the pages in `chain` (extending or shrinking it as the blob requires) and
+/// returning with `chain` naming exactly the pages now holding the catalog.
+/// Page contents go through the buffer pool; the caller decides when to
+/// flush (DDL flushes before returning; checkpoints flush at the end).
+pub(crate) fn write_catalog(
+    pool: &Arc<BufferPool>,
+    chain: &mut Vec<PageId>,
+    catalog: &PersistedCatalog,
+) -> StorageResult<()> {
+    debug_assert_eq!(chain.first(), Some(&CATALOG_ROOT), "chain starts at root");
+    let blob = catalog.to_bytes();
+    let chunks: Vec<&[u8]> = blob.chunks(CHUNK).collect();
+    debug_assert!(
+        !chunks.is_empty(),
+        "the magic header makes the blob non-empty"
+    );
+    // Size the chain to the blob: grow with fresh pages, return extras.
+    while chain.len() < chunks.len() {
+        chain.push(pool.allocate_page()?);
+    }
+    while chain.len() > chunks.len() {
+        let extra = chain.pop().expect("chain is longer than one chunk");
+        pool.free_page(extra)?;
+    }
+    for (i, chunk) in chunks.iter().enumerate() {
+        let next = chain.get(i + 1).copied().unwrap_or(CHAIN_END);
+        let mut record = Vec::with_capacity(4 + chunk.len());
+        next.encode(&mut record);
+        record.extend_from_slice(chunk);
+        pool.with_page_mut(chain[i], |p| {
+            *p = Page::new();
+            p.insert(&record).map(|_| ())
+        })??;
+    }
+    Ok(())
+}
+
+/// Reads the catalog blob from the chain rooted at [`CATALOG_ROOT`],
+/// returning the decoded catalog and the chain's page list (for subsequent
+/// rewrites).  Every failure — missing record, bad pointer, torn blob — is
+/// reported as [`StorageError::Corrupt`]: a damaged catalog must never be
+/// silently misread.
+pub(crate) fn read_catalog(
+    pool: &Arc<BufferPool>,
+) -> StorageResult<(PersistedCatalog, Vec<PageId>)> {
+    let corrupt = |msg: String| StorageError::Corrupt(msg);
+    let mut blob = Vec::new();
+    let mut chain = Vec::new();
+    let mut visited = std::collections::HashSet::new();
+    let mut cursor = CATALOG_ROOT;
+    while cursor != CHAIN_END {
+        if !visited.insert(cursor) {
+            return Err(corrupt(format!("catalog chain revisits page {cursor}")));
+        }
+        chain.push(cursor);
+        let record = pool
+            .with_page(cursor, |p| p.get(0).map(<[u8]>::to_vec))
+            .map_err(|e| corrupt(format!("catalog page {cursor} unreadable: {e}")))?
+            .map_err(|e| corrupt(format!("catalog page {cursor} holds no record: {e}")))?;
+        let mut buf = record.as_slice();
+        let next = PageId::decode(&mut buf)
+            .map_err(|e| corrupt(format!("catalog page {cursor} truncated: {e}")))?;
+        blob.extend_from_slice(buf);
+        cursor = next;
+    }
+    let catalog = PersistedCatalog::from_bytes(&blob)
+        .map_err(|e| corrupt(format!("catalog record does not decode: {e}")))?;
+    Ok((catalog, chain))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spgist_core::{ClusteringPolicy, NodeShrink, PathShrink};
+
+    fn sample_catalog(tables: usize, rows_per_table: usize) -> PersistedCatalog {
+        let config = SpGistConfig {
+            partitions: 27,
+            bucket_size: 16,
+            resolution: 128,
+            path_shrink: PathShrink::TreeShrink,
+            node_shrink: NodeShrink::OmitEmpty,
+            split_once: false,
+            clustering: ClusteringPolicy::ParentFirst,
+        };
+        PersistedCatalog {
+            tables: (0..tables)
+                .map(|t| PersistedTable {
+                    name: format!("table-{t}"),
+                    key_type: (t % 3) as u8,
+                    heap_pages: (0..10).map(|i| (t * 100 + i) as PageId).collect(),
+                    heap_records: rows_per_table as u64,
+                    live_rows: rows_per_table as u64,
+                    distinct: rows_per_table as u64 / 2,
+                    rows: (0..rows_per_table)
+                        .map(|i| {
+                            (i % 7 != 0)
+                                .then(|| RecordId::new((i / 100) as PageId, (i % 100) as u16))
+                        })
+                        .collect(),
+                    indexes: vec![PersistedIndex {
+                        name: format!("ix-{t}"),
+                        kind: KIND_TRIE,
+                        config,
+                        world: Rect::new(0.0, 0.0, 100.0, 100.0),
+                        meta_page: 7,
+                        pages: vec![7, 8, 9],
+                        strings: 0,
+                    }],
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn catalog_blob_roundtrips() {
+        let cat = sample_catalog(3, 50);
+        assert_eq!(PersistedCatalog::from_bytes(&cat.to_bytes()).unwrap(), cat);
+    }
+
+    #[test]
+    fn catalog_chain_roundtrips_including_multi_page_blobs() {
+        let pool = BufferPool::in_memory();
+        let root = pool.allocate_page().unwrap();
+        assert_eq!(root, CATALOG_ROOT);
+        let mut chain = vec![root];
+
+        // Small catalog: single page.
+        let small = sample_catalog(1, 10);
+        write_catalog(&pool, &mut chain, &small).unwrap();
+        assert_eq!(chain.len(), 1);
+        let (read, read_chain) = read_catalog(&pool).unwrap();
+        assert_eq!(read, small);
+        assert_eq!(read_chain, chain);
+
+        // Big catalog (a few thousand row-directory entries): multi-page.
+        let big = sample_catalog(4, 30_000);
+        write_catalog(&pool, &mut chain, &big).unwrap();
+        assert!(chain.len() > 1, "a big catalog must chain");
+        let (read, read_chain) = read_catalog(&pool).unwrap();
+        assert_eq!(read, big);
+        assert_eq!(read_chain, chain);
+
+        // Shrinking back releases the continuation pages.
+        let free_before = pool.free_page_count();
+        write_catalog(&pool, &mut chain, &small).unwrap();
+        assert_eq!(chain.len(), 1);
+        assert!(pool.free_page_count() > free_before);
+        let (read, _) = read_catalog(&pool).unwrap();
+        assert_eq!(read, small);
+    }
+
+    #[test]
+    fn torn_catalog_fails_with_corrupt() {
+        let pool = BufferPool::in_memory();
+        let root = pool.allocate_page().unwrap();
+        let mut chain = vec![root];
+        let big = sample_catalog(2, 30_000);
+        write_catalog(&pool, &mut chain, &big).unwrap();
+        assert!(chain.len() > 1);
+        // Zero a continuation page: the read must fail loudly.
+        pool.with_page_mut(chain[1], |p| *p = Page::new()).unwrap();
+        match read_catalog(&pool) {
+            Err(StorageError::Corrupt(_)) => {}
+            other => panic!("torn catalog must be Corrupt, got {other:?}"),
+        }
+        // Zero the root page: same.
+        pool.with_page_mut(root, |p| *p = Page::new()).unwrap();
+        assert!(matches!(read_catalog(&pool), Err(StorageError::Corrupt(_))));
+    }
+}

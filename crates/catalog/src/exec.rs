@@ -37,6 +37,7 @@
 //! the cost model says the table is big enough to amortize thread startup.
 
 use std::collections::{BTreeMap, HashSet};
+use std::path::Path;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
@@ -46,12 +47,20 @@ use spgist_core::{RowId, TreeStats};
 use spgist_indexes::geom::{Point, Rect, Segment};
 use spgist_indexes::query::{PointQuery, SegmentQuery, StringQuery};
 use spgist_indexes::{
-    KdTreeIndex, PmrQuadtreeIndex, PointQuadtreeIndex, SpIndex, SuffixTreeIndex, TrieIndex,
+    KdTreeIndex, KdTreeOps, PmrQuadtreeIndex, PmrQuadtreeOps, PointQuadtreeIndex, PointQuadtreeOps,
+    SpIndex, SuffixTreeIndex, TrieIndex, TrieOps,
 };
-use spgist_storage::{BufferPool, Codec, HeapFile, RecordId, StorageError, StorageResult};
+use spgist_storage::{
+    BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, PageId, RecordId, StorageError,
+    StorageResult,
+};
 
 use crate::am::Catalog;
 use crate::cost::{CostEstimate, Selectivity, TableStats, CPU_OPERATOR_COST};
+use crate::durable::{
+    self, PersistedCatalog, PersistedIndex, PersistedTable, KIND_KDTREE, KIND_PMR, KIND_PQUADTREE,
+    KIND_SUFFIX, KIND_TRIE,
+};
 use crate::planner::{AccessPath, AvailableIndex, Planner, QueryPredicate};
 
 // ---------------------------------------------------------------------------
@@ -77,6 +86,24 @@ impl KeyType {
             KeyType::Varchar => "VARCHAR",
             KeyType::Point => "POINT",
             KeyType::Segment => "SEGMENT",
+        }
+    }
+
+    /// Stable on-disk tag (durable catalog).
+    fn tag(&self) -> u8 {
+        match self {
+            KeyType::Varchar => 0,
+            KeyType::Point => 1,
+            KeyType::Segment => 2,
+        }
+    }
+
+    fn from_tag(tag: u8) -> StorageResult<Self> {
+        match tag {
+            0 => Ok(KeyType::Varchar),
+            1 => Ok(KeyType::Point),
+            2 => Ok(KeyType::Segment),
+            t => Err(StorageError::Corrupt(format!("invalid key-type tag {t}"))),
         }
     }
 }
@@ -647,6 +674,97 @@ impl PhysicalIndex {
         }
     }
 
+    /// The durable identity of this index: kind, configuration, tree meta
+    /// page, owned-page list, and kind-specific extras (the PMR world
+    /// rectangle, the suffix tree's logical word count).
+    fn persisted(&self, name: &str) -> PersistedIndex {
+        let no_world = Rect::new(0.0, 0.0, 0.0, 0.0);
+        let (kind, world, strings) = match self {
+            PhysicalIndex::Trie(_) => (KIND_TRIE, no_world, 0),
+            PhysicalIndex::Suffix(ix) => (KIND_SUFFIX, no_world, SpIndex::len(ix)),
+            PhysicalIndex::KdTree(_) => (KIND_KDTREE, no_world, 0),
+            PhysicalIndex::Quadtree(_) => (KIND_PQUADTREE, no_world, 0),
+            PhysicalIndex::Pmr(ix) => (KIND_PMR, ix.world(), 0),
+        };
+        let (config, meta_page, pages) = match self {
+            PhysicalIndex::Trie(ix) => (ix.config(), SpIndex::meta_page(ix), ix.owned_pages()),
+            PhysicalIndex::Suffix(ix) => (ix.config(), SpIndex::meta_page(ix), ix.owned_pages()),
+            PhysicalIndex::KdTree(ix) => (ix.config(), SpIndex::meta_page(ix), ix.owned_pages()),
+            PhysicalIndex::Quadtree(ix) => (ix.config(), SpIndex::meta_page(ix), ix.owned_pages()),
+            PhysicalIndex::Pmr(ix) => (ix.config(), SpIndex::meta_page(ix), ix.owned_pages()),
+        };
+        PersistedIndex {
+            name: name.to_string(),
+            kind,
+            config,
+            world,
+            meta_page,
+            pages,
+            strings,
+        }
+    }
+
+    /// Reopens an index from its durable identity — the inverse of
+    /// [`PhysicalIndex::persisted`].  The configuration (and, for the PMR
+    /// quadtree, the world rectangle) round-trips, so the reopened index
+    /// behaves identically to the never-closed one.
+    fn reopen(pool: Arc<BufferPool>, pi: &PersistedIndex) -> StorageResult<(Self, IndexSpec)> {
+        let pages = pi.pages.clone();
+        Ok(match pi.kind {
+            KIND_TRIE => (
+                PhysicalIndex::Trie(TrieIndex::open_with_ops(
+                    pool,
+                    TrieOps::with_config(pi.config),
+                    pi.meta_page,
+                    pages,
+                )?),
+                IndexSpec::Trie,
+            ),
+            KIND_SUFFIX => (
+                PhysicalIndex::Suffix(SuffixTreeIndex::open_with_ops(
+                    pool,
+                    TrieOps::with_config(pi.config),
+                    pi.meta_page,
+                    pages,
+                    pi.strings,
+                )?),
+                IndexSpec::SuffixTree,
+            ),
+            KIND_KDTREE => (
+                PhysicalIndex::KdTree(KdTreeIndex::open_with_ops(
+                    pool,
+                    KdTreeOps::with_config(pi.config),
+                    pi.meta_page,
+                    pages,
+                )?),
+                IndexSpec::KdTree,
+            ),
+            KIND_PQUADTREE => (
+                PhysicalIndex::Quadtree(PointQuadtreeIndex::open_with_ops(
+                    pool,
+                    PointQuadtreeOps::with_config(pi.config),
+                    pi.meta_page,
+                    pages,
+                )?),
+                IndexSpec::PointQuadtree,
+            ),
+            KIND_PMR => (
+                PhysicalIndex::Pmr(PmrQuadtreeIndex::open_with_ops(
+                    pool,
+                    PmrQuadtreeOps::with_config(pi.world, pi.config),
+                    pi.meta_page,
+                    pages,
+                )?),
+                IndexSpec::PmrQuadtree { world: pi.world },
+            ),
+            k => {
+                return Err(StorageError::Corrupt(format!(
+                    "catalog names unknown index kind {k}"
+                )))
+            }
+        })
+    }
+
     /// Streaming scan through this index for `predicate`, yielding matching
     /// row ids.  The planner only routes a predicate here when the index's
     /// operator class supports it, so a type mismatch is a planning bug.
@@ -1075,9 +1193,15 @@ struct TableInner {
     /// assigned in insertion order, like the paper's heap tuple pointers.
     rows: Vec<Option<RecordId>>,
     live_rows: u64,
-    /// Encoded key values seen on insert, for the planner's `distinct_values`
-    /// statistic (deletions are not subtracted — statistics, not truth).
+    /// Encoded key values seen on insert *this session*, for the planner's
+    /// `distinct_values` statistic (deletions are not subtracted —
+    /// statistics, not truth).
     distinct: HashSet<Vec<u8>>,
+    /// Distinct-count seed restored from the durable catalog on reopen; the
+    /// statistic reported is `distinct_base + distinct.len()`.  Values
+    /// re-inserted after a reopen may double-count — again statistics, not
+    /// truth.
+    distinct_base: u64,
 }
 
 /// A heap-backed table with one typed key column and any number of physical
@@ -1119,11 +1243,93 @@ impl Table {
                 rows: Vec::new(),
                 live_rows: 0,
                 distinct: HashSet::new(),
+                distinct_base: 0,
             }),
             pool,
             indexes: Vec::new(),
             dml: Mutex::new(()),
         })
+    }
+
+    /// Reconstructs a table from its durable-catalog record: the heap file
+    /// reopens from its persisted page directory, the row directory is
+    /// restored verbatim (no rebuild scan), and every index reopens from its
+    /// tree meta page and owned-page list.
+    pub(crate) fn from_persisted(
+        pool: Arc<BufferPool>,
+        pt: &PersistedTable,
+    ) -> StorageResult<Self> {
+        let key_type = KeyType::from_tag(pt.key_type)?;
+        let heap = HeapFile::open(Arc::clone(&pool), pt.heap_pages.clone(), pt.heap_records)?;
+        let mut indexes = Vec::with_capacity(pt.indexes.len());
+        for pi in &pt.indexes {
+            let (index, spec) = PhysicalIndex::reopen(Arc::clone(&pool), pi)?;
+            if spec.key_type() != key_type {
+                return Err(StorageError::Corrupt(format!(
+                    "catalog index {:?} ({}) does not match table {:?} of type {}",
+                    pi.name,
+                    spec.key_type().name(),
+                    pt.name,
+                    key_type.name()
+                )));
+            }
+            indexes.push(NamedIndex {
+                name: pi.name.clone(),
+                spec,
+                index,
+                cached_stats: Mutex::new(StatsCache::default()),
+            });
+        }
+        Ok(Table {
+            name: pt.name.clone(),
+            key_type,
+            inner: RwLock::new(TableInner {
+                heap,
+                rows: pt.rows.clone(),
+                live_rows: pt.live_rows,
+                distinct: HashSet::new(),
+                distinct_base: pt.distinct,
+            }),
+            pool,
+            indexes,
+            dml: Mutex::new(()),
+        })
+    }
+
+    /// Snapshots this table's durable-catalog record.  The snapshot is
+    /// taken under the table's **DML lock**: a concurrent insert or delete
+    /// statement (heap change *plus* the index updates that follow) either
+    /// lands wholly before the snapshot or wholly after it, so a checkpoint
+    /// racing DML through shared handles can never persist a row directory
+    /// that disagrees with its indexes.  The heap state is read under the
+    /// table latch (released before the index latches are touched, keeping
+    /// lock orders acyclic with query paths).
+    pub(crate) fn persisted(&self) -> PersistedTable {
+        let _dml = self.dml.lock();
+        let (heap_pages, heap_records, live_rows, distinct, rows) = {
+            let inner = self.inner.read();
+            (
+                inner.heap.pages().to_vec(),
+                inner.heap.record_count(),
+                inner.live_rows,
+                inner.distinct_base + inner.distinct.len() as u64,
+                inner.rows.clone(),
+            )
+        };
+        PersistedTable {
+            name: self.name.clone(),
+            key_type: self.key_type.tag(),
+            heap_pages,
+            heap_records,
+            live_rows,
+            distinct,
+            rows,
+            indexes: self
+                .indexes
+                .iter()
+                .map(|named| named.index.persisted(&named.name))
+                .collect(),
+        }
     }
 
     /// The table name.
@@ -1273,12 +1479,24 @@ impl Table {
     /// Drops a physical index, releasing its pages to the pager's free list;
     /// returns whether it existed.  DDL: requires exclusive access.
     pub fn drop_index(&mut self, name: &str) -> StorageResult<bool> {
-        let Some(pos) = self.indexes.iter().position(|i| i.name == name) else {
+        let Some(named) = self.detach_index(name) else {
             return Ok(false);
         };
-        let named = self.indexes.remove(pos);
         named.index.destroy()?;
         Ok(true)
+    }
+
+    /// Removes an index from the table *without* destroying it, so the
+    /// durable DDL path can persist the index-less catalog first and free
+    /// the pages only once the catalog no longer names them (re-attached on
+    /// checkpoint failure).
+    fn detach_index(&mut self, name: &str) -> Option<NamedIndex> {
+        let pos = self.indexes.iter().position(|i| i.name == name)?;
+        Some(self.indexes.remove(pos))
+    }
+
+    fn attach_index(&mut self, named: NamedIndex) {
+        self.indexes.push(named);
     }
 
     /// Destroys the table, releasing its heap pages and every index's pages
@@ -1301,7 +1519,7 @@ impl Table {
         TableStats {
             rows: inner.live_rows,
             heap_pages: (inner.heap.page_count() as u64).max(1),
-            distinct_values: inner.distinct.len() as u64,
+            distinct_values: inner.distinct_base + inner.distinct.len() as u64,
         }
     }
 
@@ -2079,6 +2297,10 @@ pub struct Database {
     catalog: Catalog,
     pool: Arc<BufferPool>,
     tables: BTreeMap<String, Arc<Table>>,
+    /// Pages of the on-disk catalog chain when this database is durable
+    /// (created with [`Database::create`] or [`Database::open`]); `None` for
+    /// in-memory databases, whose DDL skips catalog persistence.
+    catalog_chain: Option<Vec<PageId>>,
 }
 
 impl Database {
@@ -2088,13 +2310,127 @@ impl Database {
         Self::with_pool(BufferPool::in_memory())
     }
 
-    /// A database over an explicit buffer pool (e.g. file-backed).
+    /// A database over an explicit buffer pool (e.g. file-backed).  The
+    /// database is *not* durable — its catalog lives only in memory; use
+    /// [`Database::create`] / [`Database::open`] for a reopenable database.
     pub fn with_pool(pool: Arc<BufferPool>) -> Self {
         Database {
             catalog: Catalog::with_paper_defaults(),
             pool,
             tables: BTreeMap::new(),
+            catalog_chain: None,
         }
+    }
+
+    /// Creates a durable database in a fresh file at `path`.  The catalog
+    /// meta-table is rooted at the file's first logical page and written
+    /// through on every DDL statement, so even a database that is never
+    /// explicitly closed reopens (empty of un-checkpointed DML, see
+    /// [`Database::checkpoint`]).
+    pub fn create<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        Self::create_with_config(path, BufferPoolConfig::default())
+    }
+
+    /// [`Database::create`] with an explicit buffer-pool configuration.
+    ///
+    /// Refuses to overwrite an existing file: creating where a database
+    /// already lives would silently destroy it — open it with
+    /// [`Database::open`] or delete the file first.
+    pub fn create_with_config<P: AsRef<Path>>(
+        path: P,
+        config: BufferPoolConfig,
+    ) -> StorageResult<Self> {
+        let path = path.as_ref();
+        if path.exists() {
+            return Err(StorageError::Unsupported(format!(
+                "refusing to create database over existing file {path:?}; \
+                 open it with Database::open or remove it first"
+            )));
+        }
+        let pager = FilePager::create(path)?;
+        let pool = Arc::new(BufferPool::new(Arc::new(pager), config));
+        let root = pool.allocate_page()?;
+        if root != durable::CATALOG_ROOT {
+            return Err(StorageError::Corrupt(format!(
+                "fresh database file allocated page {root} first, expected the catalog root"
+            )));
+        }
+        let mut db = Database {
+            catalog: Catalog::with_paper_defaults(),
+            pool,
+            tables: BTreeMap::new(),
+            catalog_chain: Some(vec![root]),
+        };
+        db.checkpoint()?;
+        Ok(db)
+    }
+
+    /// Opens a previously created (and cleanly closed or checkpointed)
+    /// database file, restoring **all** tables and indexes from the durable
+    /// catalog with zero rebuild scans: heap row directories and index trees
+    /// are picked up where they were left, not reconstructed by scanning.
+    ///
+    /// Fails with [`StorageError::Corrupt`] when the file is not a database
+    /// file, was written by an incompatible version, or is torn (truncated /
+    /// zeroed past the last sync); a corrupt catalog is never silently
+    /// misread into wrong rows.
+    pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
+        Self::open_with_config(path, BufferPoolConfig::default())
+    }
+
+    /// [`Database::open`] with an explicit buffer-pool configuration.
+    pub fn open_with_config<P: AsRef<Path>>(
+        path: P,
+        config: BufferPoolConfig,
+    ) -> StorageResult<Self> {
+        let pager = FilePager::open(path)?;
+        let pool = Arc::new(BufferPool::new(Arc::new(pager), config));
+        let (persisted, chain) = durable::read_catalog(&pool)?;
+        let mut tables = BTreeMap::new();
+        for pt in &persisted.tables {
+            let table = Table::from_persisted(Arc::clone(&pool), pt).map_err(|e| {
+                StorageError::Corrupt(format!("table {:?} does not reopen: {e}", pt.name))
+            })?;
+            tables.insert(pt.name.clone(), Arc::new(table));
+        }
+        Ok(Database {
+            catalog: Catalog::with_paper_defaults(),
+            pool,
+            tables,
+            catalog_chain: Some(chain),
+        })
+    }
+
+    /// True when this database persists its catalog to a file (created with
+    /// [`Database::create`] / [`Database::open`]).
+    pub fn is_durable(&self) -> bool {
+        self.catalog_chain.is_some()
+    }
+
+    /// Persists the full catalog meta-table — every table's heap directory,
+    /// row directory and index identities — and flushes all dirty pages to
+    /// stable storage.  A no-op for in-memory databases.
+    ///
+    /// DDL calls this automatically (write-through); call it after DML
+    /// batches whose durability matters before the next [`Database::close`].
+    /// Reopen durability is **clean-shutdown-scoped**: DML between the last
+    /// checkpoint and a crash is not recovered (there is no WAL).
+    pub fn checkpoint(&mut self) -> StorageResult<()> {
+        let Some(chain) = self.catalog_chain.as_mut() else {
+            return Ok(());
+        };
+        let persisted = PersistedCatalog {
+            tables: self.tables.values().map(|t| t.persisted()).collect(),
+        };
+        durable::write_catalog(&self.pool, chain, &persisted)?;
+        self.pool.flush_all()
+    }
+
+    /// Checkpoints and consumes the database (clean shutdown).  A file
+    /// closed this way reopens with [`Database::open`] restoring every
+    /// table, row and index.
+    pub fn close(mut self) -> StorageResult<()> {
+        self.checkpoint()
     }
 
     /// The system catalog (access methods and operator classes).
@@ -2115,7 +2451,10 @@ impl Database {
         &mut self.catalog
     }
 
-    /// Creates an empty table with the given key type.
+    /// Creates an empty table with the given key type.  On a durable
+    /// database the catalog update is written through (checkpointed) before
+    /// returning; if the write-through fails, the in-memory table is rolled
+    /// back so memory and disk never diverge.
     pub fn create_table(&mut self, name: &str, key_type: KeyType) -> StorageResult<()> {
         if self.tables.contains_key(name) {
             return Err(StorageError::Unsupported(format!(
@@ -2124,7 +2463,63 @@ impl Database {
         }
         let table = Table::create(name, key_type, Arc::clone(&self.pool))?;
         self.tables.insert(name.to_string(), Arc::new(table));
+        if let Err(e) = self.checkpoint() {
+            // A fresh table owns no pages yet: dropping the entry is a
+            // complete rollback, and a retry can succeed.
+            self.tables.remove(name);
+            return Err(e);
+        }
         Ok(())
+    }
+
+    /// Builds a physical index on the named table, backfilling it from the
+    /// existing heap rows (`CREATE INDEX`).  DDL: fails while shared handles
+    /// are outstanding.  On a durable database the catalog update is written
+    /// through before returning; a failed write-through drops the
+    /// just-built index again (releasing its pages) so memory and disk
+    /// never diverge.
+    pub fn create_index(&mut self, table: &str, index: &str, spec: IndexSpec) -> StorageResult<()> {
+        self.table_ddl(table)?.create_index(index, spec)?;
+        if let Err(e) = self.checkpoint() {
+            if let Ok(t) = self.table_ddl(table) {
+                let _ = t.drop_index(index);
+            }
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Drops a physical index from the named table, releasing its pages;
+    /// returns whether it existed.  DDL: fails while shared handles are
+    /// outstanding.  The index-less catalog is persisted *before* the pages
+    /// are freed, so a crash in between merely leaks pages — the on-disk
+    /// catalog can never name pages that were already handed back for
+    /// reuse.  A failed write-through re-attaches the index.
+    pub fn drop_index(&mut self, table: &str, index: &str) -> StorageResult<bool> {
+        let Some(named) = self.table_ddl(table)?.detach_index(index) else {
+            return Ok(false);
+        };
+        if let Err(e) = self.checkpoint() {
+            self.table_ddl(table)?.attach_index(named);
+            return Err(e);
+        }
+        named.index.destroy()?;
+        Ok(true)
+    }
+
+    /// Exclusive (DDL) access to a table, as a `StorageResult` (unlike
+    /// [`Database::table_mut`], which collapses "missing" and "shared" into
+    /// `None`).
+    fn table_ddl(&mut self, name: &str) -> StorageResult<&mut Table> {
+        let arc = self
+            .tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::Unsupported(format!("no table named {name:?}")))?;
+        Arc::get_mut(arc).ok_or_else(|| {
+            StorageError::Unsupported(format!(
+                "cannot run DDL on table {name:?} while shared handles are outstanding"
+            ))
+        })
     }
 
     /// Drops a table, releasing its heap pages and every index's pages to
@@ -2137,6 +2532,15 @@ impl Database {
         };
         match Arc::try_unwrap(table) {
             Ok(table) => {
+                // Persist the table-less catalog *before* destroying: if
+                // the checkpoint fails the table is restored untouched, and
+                // a crash after the checkpoint but before the destroy only
+                // leaks the pages — the on-disk catalog never names pages
+                // that were already freed for reuse.
+                if let Err(e) = self.checkpoint() {
+                    self.tables.insert(name.to_string(), Arc::new(table));
+                    return Err(e);
+                }
                 table.destroy()?;
                 Ok(true)
             }
@@ -2540,6 +2944,105 @@ mod tests {
         assert!(db.table_mut("words").is_some());
         assert!(db.drop_table("words").unwrap());
         assert!(db.table("words").is_none());
+    }
+
+    #[test]
+    fn durable_database_reopens_tables_and_indexes() {
+        let dir = std::env::temp_dir().join(format!("spgist-exec-durable-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.pages");
+        {
+            let mut db = Database::create(&path).unwrap();
+            assert!(db.is_durable());
+            db.create_table("words", KeyType::Varchar).unwrap();
+            // Enough rows that the planner routes selective predicates to
+            // the index instead of the (honestly cheaper on tiny tables)
+            // sequential scan.
+            for i in 0..3000u32 {
+                let mut word = String::new();
+                let mut v = i;
+                for _ in 0..5 {
+                    word.push(char::from(b'a' + (v % 7) as u8));
+                    v /= 7;
+                }
+                db.table_mut("words").unwrap().insert(word).unwrap();
+            }
+            for w in ["space", "spade", "star", "blue"] {
+                db.table_mut("words").unwrap().insert(w).unwrap();
+            }
+            db.create_index("words", "words_trie", IndexSpec::Trie)
+                .unwrap();
+            db.create_table("pts", KeyType::Point).unwrap();
+            db.table_mut("pts")
+                .unwrap()
+                .insert(Point::new(3.0, 4.0))
+                .unwrap();
+            db.close().unwrap();
+        }
+        {
+            let mut db = Database::open(&path).unwrap();
+            assert_eq!(
+                db.table("words").unwrap().index_names(),
+                vec!["words_trie"],
+                "indexes restore from the catalog"
+            );
+            assert_eq!(db.table("words").unwrap().len(), 3004);
+            assert_eq!(db.table("pts").unwrap().len(), 1);
+            let cursor = db.query("words", Predicate::str_prefix("sp")).unwrap();
+            assert!(
+                cursor.source().scans_index("words_trie"),
+                "reopened index serves queries"
+            );
+            let rows = cursor.rows().unwrap();
+            assert_eq!(rows.len(), 2);
+            // The database stays fully operational: DML, DDL, drop.
+            db.table_handle("words").unwrap().insert("spark").unwrap();
+            assert_eq!(
+                db.query("words", Predicate::str_prefix("sp"))
+                    .unwrap()
+                    .rows()
+                    .unwrap()
+                    .len(),
+                3
+            );
+            assert!(db.drop_index("words", "words_trie").unwrap());
+            assert!(db.drop_table("words").unwrap());
+            db.close().unwrap();
+        }
+        {
+            // Third generation sees the second generation's DDL.
+            let db = Database::open(&path).unwrap();
+            assert!(db.table("words").is_none(), "dropped table stays dropped");
+            assert_eq!(db.table("pts").unwrap().len(), 1);
+        }
+        // Creating over an existing database is refused, not a silent wipe.
+        assert!(
+            Database::create(&path).is_err(),
+            "create must refuse to overwrite an existing database file"
+        );
+        assert_eq!(
+            Database::open(&path).unwrap().table("pts").unwrap().len(),
+            1,
+            "the refused create must leave the file untouched"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn in_memory_database_is_not_durable_but_fully_functional() {
+        let mut db = word_table(100);
+        assert!(!db.is_durable());
+        db.checkpoint().unwrap();
+        db.create_index("words", "t", IndexSpec::Trie).unwrap();
+        assert!(db.drop_index("words", "t").unwrap());
+        assert!(!db.drop_index("words", "t").unwrap());
+        assert!(db.create_index("missing", "t", IndexSpec::Trie).is_err());
+        let handle = db.table_handle("words").unwrap();
+        assert!(
+            db.create_index("words", "t", IndexSpec::Trie).is_err(),
+            "DDL refused while handles are outstanding"
+        );
+        drop(handle);
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Interface parameters of the SP-GiST framework (paper Section 3.1).
 
+use spgist_storage::{Codec, StorageError, StorageResult};
+
 /// How the index tree shrinks single-child paths (paper Figure 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum PathShrink {
@@ -42,7 +44,7 @@ pub enum ClusteringPolicy {
 }
 
 /// The SP-GiST interface parameters (paper Section 3.1, Table 1).
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SpGistConfig {
     /// Number of disjoint partitions produced at each decomposition
     /// (`NoOfSpacePartitions`): 27 for the dictionary trie, 2 for the kd-tree,
@@ -94,6 +96,89 @@ impl SpGistConfig {
     }
 }
 
+impl Codec for PathShrink {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            PathShrink::NeverShrink => 0,
+            PathShrink::LeafShrink => 1,
+            PathShrink::TreeShrink => 2,
+        });
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(PathShrink::NeverShrink),
+            1 => Ok(PathShrink::LeafShrink),
+            2 => Ok(PathShrink::TreeShrink),
+            tag => Err(StorageError::Decode(format!(
+                "invalid PathShrink tag {tag}"
+            ))),
+        }
+    }
+}
+
+impl Codec for NodeShrink {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            NodeShrink::KeepEmpty => 0,
+            NodeShrink::OmitEmpty => 1,
+        });
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(NodeShrink::KeepEmpty),
+            1 => Ok(NodeShrink::OmitEmpty),
+            tag => Err(StorageError::Decode(format!(
+                "invalid NodeShrink tag {tag}"
+            ))),
+        }
+    }
+}
+
+impl Codec for ClusteringPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            ClusteringPolicy::ParentFirst => 0,
+            ClusteringPolicy::FirstFit => 1,
+            ClusteringPolicy::NewPagePerNode => 2,
+        });
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        match u8::decode(buf)? {
+            0 => Ok(ClusteringPolicy::ParentFirst),
+            1 => Ok(ClusteringPolicy::FirstFit),
+            2 => Ok(ClusteringPolicy::NewPagePerNode),
+            tag => Err(StorageError::Decode(format!(
+                "invalid ClusteringPolicy tag {tag}"
+            ))),
+        }
+    }
+}
+
+/// The durable catalog persists every index's interface parameters so a
+/// reopened index runs with exactly the configuration it was created with.
+impl Codec for SpGistConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.partitions.encode(out);
+        (self.bucket_size as u64).encode(out);
+        self.resolution.encode(out);
+        self.path_shrink.encode(out);
+        self.node_shrink.encode(out);
+        self.split_once.encode(out);
+        self.clustering.encode(out);
+    }
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(SpGistConfig {
+            partitions: u32::decode(buf)?,
+            bucket_size: u64::decode(buf)? as usize,
+            resolution: u32::decode(buf)?,
+            path_shrink: PathShrink::decode(buf)?,
+            node_shrink: NodeShrink::decode(buf)?,
+            split_once: bool::decode(buf)?,
+            clustering: ClusteringPolicy::decode(buf)?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,6 +189,25 @@ mod tests {
         assert!(cfg.bucket_size >= 1);
         assert!(cfg.resolution > 0);
         assert_eq!(cfg.clustering, ClusteringPolicy::ParentFirst);
+    }
+
+    #[test]
+    fn config_codec_roundtrips() {
+        let cfg = SpGistConfig {
+            partitions: 27,
+            bucket_size: 16,
+            resolution: 128,
+            path_shrink: PathShrink::TreeShrink,
+            node_shrink: NodeShrink::OmitEmpty,
+            split_once: true,
+            clustering: ClusteringPolicy::FirstFit,
+        };
+        assert_eq!(SpGistConfig::from_bytes(&cfg.to_bytes()).unwrap(), cfg);
+        // A bad enum tag is a decode error, not a panic.
+        let mut bytes = cfg.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] = 9;
+        assert!(SpGistConfig::from_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -105,6 +105,26 @@ impl NodeStore {
         }
     }
 
+    /// Re-creates a store that already owns `pages` (a tree re-opened from a
+    /// durable catalog).  With the ownership list restored, statistics,
+    /// repacking and destruction work exactly as for a tree built in this
+    /// session; the most recently allocated pages are re-seeded as placement
+    /// candidates so inserts keep filling partially-used pages.
+    pub fn with_pages(pool: Arc<BufferPool>, policy: ClusteringPolicy, pages: Vec<PageId>) -> Self {
+        let open_pages = if policy == ClusteringPolicy::NewPagePerNode {
+            Vec::new()
+        } else {
+            let skip = pages.len().saturating_sub(OPEN_PAGE_LIMIT);
+            pages[skip..].to_vec()
+        };
+        NodeStore {
+            pool,
+            policy,
+            pages,
+            open_pages,
+        }
+    }
+
     /// The buffer pool this store writes through.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool

@@ -53,8 +53,43 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// the page-ownership list used for size statistics is rebuilt lazily, so
     /// [`SpGistTree::stats`] reports `pages = 0` for re-opened trees until new
     /// pages are allocated.  Query and update correctness are unaffected.
+    /// When the caller persisted the ownership list (the durable catalog
+    /// does), prefer [`SpGistTree::open_with_pages`], which restores full
+    /// statistics, repacking and destruction behavior.
     pub fn open(pool: Arc<BufferPool>, ops: O, meta_page: PageId) -> StorageResult<Self> {
         let store = NodeStore::new(Arc::clone(&pool), ops.config().clustering);
+        Self::open_with_store(pool, ops, meta_page, store)
+    }
+
+    /// Re-opens a tree from its meta page *and* its persisted page-ownership
+    /// list (the durable-catalog path).  Unlike [`SpGistTree::open`], the
+    /// reopened tree knows every page it owns, so [`SpGistTree::stats`]
+    /// reports true sizes, [`SpGistTree::repack`] recycles the old layout,
+    /// and [`SpGistTree::destroy`] frees everything — identical to a tree
+    /// built in this session.  Page ids are bounds-checked against the pool
+    /// so a truncated file fails with [`StorageError::Corrupt`] here.
+    pub fn open_with_pages(
+        pool: Arc<BufferPool>,
+        ops: O,
+        meta_page: PageId,
+        pages: Vec<PageId>,
+    ) -> StorageResult<Self> {
+        let allocated = pool.page_count();
+        if let Some(&bad) = pages.iter().find(|&&p| p >= allocated) {
+            return Err(StorageError::Corrupt(format!(
+                "tree page list names page {bad} beyond the {allocated} allocated pages"
+            )));
+        }
+        let store = NodeStore::with_pages(Arc::clone(&pool), ops.config().clustering, pages);
+        Self::open_with_store(pool, ops, meta_page, store)
+    }
+
+    fn open_with_store(
+        pool: Arc<BufferPool>,
+        ops: O,
+        meta_page: PageId,
+        store: NodeStore,
+    ) -> StorageResult<Self> {
         let bytes = pool.with_page(meta_page, |p| p.get(0).map(<[u8]>::to_vec))??;
         let (root, item_count) = decode_meta(&bytes)?;
         Ok(SpGistTree {
@@ -64,6 +99,14 @@ impl<O: SpGistOps> SpGistTree<O> {
             root,
             item_count,
         })
+    }
+
+    /// The pages owned by this tree's node store, in allocation order.
+    /// Persist them alongside [`SpGistTree::meta_page`] and hand both back
+    /// to [`SpGistTree::open_with_pages`] to reopen the tree with full
+    /// ownership knowledge.
+    pub fn owned_pages(&self) -> &[PageId] {
+        self.store.pages()
     }
 
     /// The meta page identifying this tree; pass it to [`SpGistTree::open`]

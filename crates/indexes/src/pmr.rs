@@ -19,7 +19,7 @@ use parking_lot::RwLock;
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };
-use spgist_storage::{BufferPool, StorageResult};
+use spgist_storage::{BufferPool, PageId, StorageResult};
 
 use crate::geom::{Point, Rect, Segment};
 use crate::query::SegmentQuery;
@@ -72,6 +72,13 @@ impl PmrQuadtreeOps {
     /// The world rectangle this index decomposes.
     pub fn world(&self) -> Rect {
         self.world
+    }
+
+    /// Rebuilds the ops from a persisted `(world, config)` pair — the
+    /// durable catalog's config round-trip (the splitting threshold lives in
+    /// `config.bucket_size`).
+    pub fn with_config(world: Rect, config: SpGistConfig) -> Self {
+        PmrQuadtreeOps { config, world }
     }
 }
 
@@ -235,6 +242,26 @@ impl PmrQuadtreeIndex {
         Ok(PmrQuadtreeIndex {
             tree: RwLock::new(SpGistTree::create(pool, ops)?),
         })
+    }
+
+    /// Re-opens a PMR quadtree previously created on the file behind `pool`
+    /// from its persisted identity (meta page, owned-page list, world
+    /// rectangle + configuration via [`PmrQuadtreeOps::with_config`]).
+    pub fn open_with_ops(
+        pool: Arc<BufferPool>,
+        ops: PmrQuadtreeOps,
+        meta_page: PageId,
+        pages: Vec<PageId>,
+    ) -> StorageResult<Self> {
+        Ok(PmrQuadtreeIndex {
+            tree: RwLock::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
+        })
+    }
+
+    /// The world rectangle this index decomposes (persisted by the durable
+    /// catalog).
+    pub fn world(&self) -> Rect {
+        self.tree.read().ops().world()
     }
 
     /// Exact-match query: rows whose segment equals `segment`.

@@ -12,7 +12,7 @@ use parking_lot::RwLock;
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };
-use spgist_storage::{BufferPool, Codec, StorageError, StorageResult};
+use spgist_storage::{BufferPool, Codec, PageId, StorageError, StorageResult};
 
 use crate::geom::{Point, Rect};
 use crate::query::PointQuery;
@@ -274,6 +274,20 @@ impl PointQuadtreeIndex {
     pub fn with_ops(pool: Arc<BufferPool>, ops: PointQuadtreeOps) -> StorageResult<Self> {
         Ok(PointQuadtreeIndex {
             tree: RwLock::new(SpGistTree::create(pool, ops)?),
+        })
+    }
+
+    /// Re-opens a point quadtree previously created on the file behind
+    /// `pool` from its persisted identity (meta page, owned-page list,
+    /// configuration).
+    pub fn open_with_ops(
+        pool: Arc<BufferPool>,
+        ops: PointQuadtreeOps,
+        meta_page: PageId,
+        pages: Vec<PageId>,
+    ) -> StorageResult<Self> {
+        Ok(PointQuadtreeIndex {
+            tree: RwLock::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
         })
     }
 

@@ -34,8 +34,8 @@ use std::collections::HashSet;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use spgist_core::{NnIter, RowId, SearchCursor, SpGistOps, SpGistTree, TreeStats};
-use spgist_storage::{BufferPool, StorageResult};
+use spgist_core::{NnIter, RowId, SearchCursor, SpGistConfig, SpGistOps, SpGistTree, TreeStats};
+use spgist_storage::{BufferPool, PageId, StorageResult};
 
 /// A streaming query result: an iterator of `(key, row)` items.
 ///
@@ -168,6 +168,20 @@ pub trait SpIndex {
     /// backing tree.
     fn stats(&self) -> StorageResult<TreeStats>;
 
+    /// The meta page identifying the backing tree on its pager — one half of
+    /// the index's durable identity (persist it, plus
+    /// [`SpIndex::owned_pages`], and the index reopens from disk).
+    fn meta_page(&self) -> PageId;
+
+    /// The pages the backing tree owns, in allocation order.  The durable
+    /// catalog persists this list so a reopened index keeps full statistics
+    /// and can free its pages on `DROP INDEX`.
+    fn owned_pages(&self) -> Vec<PageId>;
+
+    /// The interface parameters the backing tree runs with (persisted by the
+    /// durable catalog so reopening round-trips the configuration).
+    fn config(&self) -> SpGistConfig;
+
     /// Re-clusters the backing tree into fresh pages to minimize page
     /// height (see [`SpGistTree::repack`]); the write latch is held for the
     /// whole rewrite.
@@ -292,6 +306,18 @@ impl<T: SpGistBacked> SpIndex for T {
 
     fn stats(&self) -> StorageResult<TreeStats> {
         self.latch().read().stats()
+    }
+
+    fn meta_page(&self) -> PageId {
+        self.latch().read().meta_page()
+    }
+
+    fn owned_pages(&self) -> Vec<PageId> {
+        self.latch().read().owned_pages().to_vec()
+    }
+
+    fn config(&self) -> SpGistConfig {
+        self.latch().read().ops().config()
     }
 
     fn repack(&self) -> StorageResult<()> {

@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use spgist_core::{RowId, SpGistTree};
-use spgist_storage::{BufferPool, StorageResult};
+use spgist_storage::{BufferPool, PageId, StorageResult};
 
 use crate::query::StringQuery;
 use crate::spindex::{SpGistBacked, SpIndex};
@@ -129,6 +129,24 @@ impl SuffixTreeIndex {
         Ok(SuffixTreeIndex {
             trie: TrieIndex::with_ops(pool, TrieOps::patricia())?,
             strings: AtomicU64::new(0),
+        })
+    }
+
+    /// Re-opens a suffix tree previously created on the file behind `pool`
+    /// from its persisted identity.  On top of the backing trie's meta page,
+    /// owned-page list and configuration, the suffix tree persists its
+    /// logical word count (`strings`) — the trie's own item count is the
+    /// *suffix* count.
+    pub fn open_with_ops(
+        pool: Arc<BufferPool>,
+        ops: TrieOps,
+        meta_page: PageId,
+        pages: Vec<PageId>,
+        strings: u64,
+    ) -> StorageResult<Self> {
+        Ok(SuffixTreeIndex {
+            trie: TrieIndex::open_with_ops(pool, ops, meta_page, pages)?,
+            strings: AtomicU64::new(strings),
         })
     }
 

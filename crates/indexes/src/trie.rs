@@ -18,7 +18,7 @@ use parking_lot::RwLock;
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };
-use spgist_storage::{BufferPool, StorageResult};
+use spgist_storage::{BufferPool, PageId, StorageResult};
 
 use crate::query::{hamming_distance, StringQuery};
 use crate::spindex::{SpGistBacked, SpIndex};
@@ -320,6 +320,21 @@ impl TrieIndex {
     pub fn with_ops(pool: Arc<BufferPool>, ops: TrieOps) -> StorageResult<Self> {
         Ok(TrieIndex {
             tree: RwLock::new(SpGistTree::create(pool, ops)?),
+        })
+    }
+
+    /// Re-opens a trie previously created on the file behind `pool` from its
+    /// persisted identity: the tree's meta page, its owned-page list, and
+    /// the external-method parameters it was created with (the durable
+    /// catalog round-trips all three).
+    pub fn open_with_ops(
+        pool: Arc<BufferPool>,
+        ops: TrieOps,
+        meta_page: PageId,
+        pages: Vec<PageId>,
+    ) -> StorageResult<Self> {
+        Ok(TrieIndex {
+            tree: RwLock::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
         })
     }
 

@@ -59,6 +59,36 @@ impl HeapFile {
         })
     }
 
+    /// Re-opens a heap file from its persisted page directory (the list of
+    /// pages it owns, in allocation order) and live-record count — the
+    /// durable-catalog path: no scan, no rebuild.  Every page id is bounds-
+    /// checked against the pager so a truncated file fails here with
+    /// [`StorageError::Corrupt`] instead of returning wrong rows later.
+    pub fn open(
+        pool: Arc<BufferPool>,
+        pages: Vec<PageId>,
+        record_count: u64,
+    ) -> StorageResult<Self> {
+        let allocated = pool.page_count();
+        if let Some(&bad) = pages.iter().find(|&&p| p >= allocated) {
+            return Err(StorageError::Corrupt(format!(
+                "heap directory names page {bad} beyond the {allocated} allocated pages"
+            )));
+        }
+        Ok(HeapFile {
+            pool,
+            pages,
+            record_count,
+        })
+    }
+
+    /// The pages owned by this heap file, in allocation order (persisted by
+    /// the durable catalog so [`HeapFile::open`] can restore the directory
+    /// without scanning).
+    pub fn pages(&self) -> &[PageId] {
+        &self.pages
+    }
+
     /// Number of records inserted and not deleted.
     pub fn record_count(&self) -> u64 {
         self.record_count
