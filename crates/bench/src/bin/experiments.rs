@@ -13,16 +13,19 @@
 use spgist_bench::loc::table7;
 use spgist_bench::stats::{log10_ratio, ratio_pct};
 use spgist_bench::{
-    point_sizes, run_clustering_ablation, run_mixed_workload, run_nn_experiments,
-    run_point_experiments, run_read_scaling, run_reopen_experiment, run_segment_experiments,
-    run_string_experiments, run_substring_experiments, run_trie_variant_ablation, word_sizes,
-    NN_KS,
+    point_sizes, run_build_experiment, run_clustering_ablation, run_mixed_workload,
+    run_nn_experiments, run_point_experiments, run_read_scaling, run_reopen_experiment,
+    run_segment_experiments, run_string_experiments, run_substring_experiments,
+    run_trie_variant_ablation, word_sizes, write_build_json, NN_KS,
 };
 
 struct Options {
     command: String,
     scale: usize,
     queries: usize,
+    /// Directory machine-readable artifacts (`BENCH_build.json`) are written
+    /// into; `None` prints tables only.
+    json_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -30,6 +33,7 @@ fn parse_args() -> Options {
     let mut command = String::from("all");
     let mut scale = 1usize;
     let mut queries = 100usize;
+    let mut json_dir = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -44,6 +48,12 @@ fn parse_args() -> Options {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or_else(|| usage("--queries needs a positive integer"));
             }
+            "--json-dir" => {
+                json_dir =
+                    Some(std::path::PathBuf::from(args.next().unwrap_or_else(|| {
+                        usage("--json-dir needs a directory path")
+                    })));
+            }
             "--help" | "-h" => usage(""),
             other if !other.starts_with('-') => command = other.to_string(),
             other => usage(&format!("unknown flag {other}")),
@@ -53,6 +63,7 @@ fn parse_args() -> Options {
         command,
         scale,
         queries,
+        json_dir,
     }
 }
 
@@ -61,7 +72,7 @@ fn usage(message: &str) -> ! {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|all] [--scale N] [--queries N]"
+        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|build|all] [--scale N] [--queries N] [--json-dir DIR]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -103,6 +114,57 @@ fn main() {
     }
     if wants("reopen") {
         print_reopen(&opts);
+    }
+    if wants("build") {
+        print_build(&opts);
+    }
+}
+
+fn print_build(opts: &Options) {
+    let rows = run_build_experiment(opts.scale, SEED);
+    println!("== Build: insert-loop vs spgistbuild bulk build (eviction-bounded pool) ==");
+    println!(
+        "{:>10} {:>8} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6} {:>8}",
+        "class",
+        "rows",
+        "insert ms",
+        "bulk ms",
+        "ins wr",
+        "bulk wr",
+        "ins pg",
+        "bulk pg",
+        "ins h",
+        "bulk h",
+        "ins f",
+        "bulk f",
+        "speedup"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>8} {:>11.1} {:>9.1} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6.2} {:>6.2} {:>7.1}x",
+            r.class,
+            r.rows,
+            r.insert.ms,
+            r.bulk.ms,
+            r.insert.writes,
+            r.bulk.writes,
+            r.insert.pages,
+            r.bulk.pages,
+            r.insert.page_height,
+            r.bulk.page_height,
+            r.insert.fill,
+            r.bulk.fill,
+            r.speedup()
+        );
+    }
+    println!(
+        "(wr = physical page writes incl. final flush; h = tree height in pages; f = page fill)"
+    );
+    println!();
+    if let Some(dir) = &opts.json_dir {
+        write_build_json(&rows, opts.scale, dir).expect("write BENCH_build.json");
+        println!("wrote {}", dir.join("BENCH_build.json").display());
+        println!();
     }
 }
 

@@ -17,12 +17,14 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod build;
 pub mod concurrent;
 pub mod experiments;
 pub mod loc;
 pub mod reopen;
 pub mod stats;
 
+pub use build::{run_build_experiment, write_build_json, BuildRow, BuildSide};
 pub use concurrent::{run_mixed_workload, run_read_scaling, MixedRow, ReadScalingRow};
 pub use experiments::*;
 pub use reopen::{run_reopen_experiment, ReopenRow};

@@ -51,8 +51,8 @@ use spgist_indexes::{
     SpIndex, SuffixTreeIndex, TrieIndex, TrieOps,
 };
 use spgist_storage::{
-    BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, PageId, RecordId, StorageError,
-    StorageResult,
+    BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, MemPager, PageId, RecordId,
+    StorageError, StorageResult,
 };
 
 use crate::am::Catalog;
@@ -616,6 +616,44 @@ impl IndexSpec {
     }
 }
 
+fn key_type_mismatch() -> StorageError {
+    StorageError::Unsupported("datum type does not match the index key type".into())
+}
+
+/// Extracts the typed `(key, row)` items a `VARCHAR` index consumes,
+/// rejecting any mismatched datum.
+fn text_items(items: &[(Datum, RowId)]) -> StorageResult<Vec<(String, RowId)>> {
+    items
+        .iter()
+        .map(|(datum, row)| match datum {
+            Datum::Text(s) => Ok((s.clone(), *row)),
+            _ => Err(key_type_mismatch()),
+        })
+        .collect()
+}
+
+/// Extracts the typed `(key, row)` items a `POINT` index consumes.
+fn point_items(items: &[(Datum, RowId)]) -> StorageResult<Vec<(Point, RowId)>> {
+    items
+        .iter()
+        .map(|(datum, row)| match datum {
+            Datum::Point(p) => Ok((*p, *row)),
+            _ => Err(key_type_mismatch()),
+        })
+        .collect()
+}
+
+/// Extracts the typed `(key, row)` items a `SEGMENT` index consumes.
+fn segment_items(items: &[(Datum, RowId)]) -> StorageResult<Vec<(Segment, RowId)>> {
+    items
+        .iter()
+        .map(|(datum, row)| match datum {
+            Datum::Segment(s) => Ok((*s, *row)),
+            _ => Err(key_type_mismatch()),
+        })
+        .collect()
+}
+
 /// One of the five physical index kinds, behind a common dispatch point.
 enum PhysicalIndex {
     Trie(TrieIndex),
@@ -649,6 +687,32 @@ impl PhysicalIndex {
             _ => Err(StorageError::Unsupported(
                 "datum type does not match the index key type".into(),
             )),
+        }
+    }
+
+    /// Inserts a whole batch of `(datum, row)` items under **one**
+    /// write-latch acquisition per index (the DML-statement form used by
+    /// [`Table::insert_many`]).
+    fn insert_batch(&self, items: &[(Datum, RowId)]) -> StorageResult<()> {
+        match self {
+            PhysicalIndex::Trie(ix) => ix.insert_batch(text_items(items)?),
+            PhysicalIndex::Suffix(ix) => ix.insert_batch(text_items(items)?),
+            PhysicalIndex::KdTree(ix) => ix.insert_batch(point_items(items)?),
+            PhysicalIndex::Quadtree(ix) => ix.insert_batch(point_items(items)?),
+            PhysicalIndex::Pmr(ix) => ix.insert_batch(segment_items(items)?),
+        }
+    }
+
+    /// Builds the index from the full `(datum, row)` set in one
+    /// `spgistbuild` pass (see [`SpIndex::bulk_build`]); the index must be
+    /// freshly created and empty.
+    fn bulk_build(&self, items: &[(Datum, RowId)]) -> StorageResult<TreeStats> {
+        match self {
+            PhysicalIndex::Trie(ix) => ix.bulk_build(text_items(items)?),
+            PhysicalIndex::Suffix(ix) => ix.bulk_build(text_items(items)?),
+            PhysicalIndex::KdTree(ix) => ix.bulk_build(point_items(items)?),
+            PhysicalIndex::Quadtree(ix) => ix.bulk_build(point_items(items)?),
+            PhysicalIndex::Pmr(ix) => ix.bulk_build(segment_items(items)?),
         }
     }
 
@@ -1195,7 +1259,9 @@ struct TableInner {
     live_rows: u64,
     /// Encoded key values seen on insert *this session*, for the planner's
     /// `distinct_values` statistic (deletions are not subtracted —
-    /// statistics, not truth).
+    /// statistics, not truth).  A bulk index build ([`Table::create_index`]
+    /// on a populated table) re-seeds this set from its full heap scan, so
+    /// right after a build the statistic is the *exact* live distinct count.
     distinct: HashSet<Vec<u8>>,
     /// Distinct-count seed restored from the durable catalog on reopen; the
     /// statistic reported is `distinct_base + distinct.len()`.  Values
@@ -1387,6 +1453,55 @@ impl Table {
         Ok(row)
     }
 
+    /// Inserts a batch of key values as **one DML statement**, returning the
+    /// assigned row ids in input order.
+    ///
+    /// Unlike a loop of [`Table::insert`] calls, the whole batch takes the
+    /// table's DML lock once, appends every value to the heap under one
+    /// table-latch acquisition, and then updates each physical index under a
+    /// **single** write-latch acquisition per index
+    /// ([`SpIndex::insert_batch`]) — a concurrent query sees either none or
+    /// all of the batch in any given index, and writers stop paying one
+    /// latch round-trip per row.
+    pub fn insert_many<I>(&self, data: I) -> StorageResult<Vec<RowId>>
+    where
+        I: IntoIterator,
+        I::Item: Into<Datum>,
+    {
+        let data: Vec<Datum> = data.into_iter().map(Into::into).collect();
+        if let Some(bad) = data.iter().find(|d| d.key_type() != self.key_type) {
+            return Err(StorageError::Unsupported(format!(
+                "cannot insert a {} value into table {:?} of type {}",
+                bad.key_type().name(),
+                self.name,
+                self.key_type.name()
+            )));
+        }
+        if data.is_empty() {
+            return Ok(Vec::new());
+        }
+        let _dml = self.dml.lock();
+        let items: Vec<(Datum, RowId)> = {
+            let mut inner = self.inner.write();
+            let mut items = Vec::with_capacity(data.len());
+            for datum in data {
+                let record = datum.encode_record();
+                let rid = inner.heap.insert(&record)?;
+                let row = inner.rows.len() as RowId;
+                inner.rows.push(Some(rid));
+                inner.live_rows += 1;
+                inner.distinct.insert(record);
+                items.push((datum, row));
+            }
+            items
+        };
+        for named in &self.indexes {
+            named.index.insert_batch(&items)?;
+            named.invalidate_stats();
+        }
+        Ok(items.into_iter().map(|(_, row)| row).collect())
+    }
+
     /// Deletes the row, removing it from the heap and every index; returns
     /// whether the row existed.  A query racing the delete may still report
     /// the row (it was live when its cursor latched the index) or skip it —
@@ -1433,9 +1548,16 @@ impl Table {
         Datum::decode_record(&inner.heap.get(rid)?).map(Some)
     }
 
-    /// Builds a physical index described by `spec`, backfilling it from the
-    /// existing heap rows (`CREATE INDEX`).  DDL: requires exclusive access
-    /// to the table.
+    /// Builds a physical index described by `spec` over the existing heap
+    /// rows (`CREATE INDEX`).  DDL: requires exclusive access to the table.
+    ///
+    /// On an already-populated table the build routes through one heap scan
+    /// and [`SpIndex::bulk_build`] — the paper's `spgistbuild` pipeline —
+    /// instead of N planner-visible inserts: every tree node is partitioned
+    /// top-down and written exactly once.  The same scan seeds the planner's
+    /// statistics with the **exact** live distinct-key count, replacing
+    /// whatever session-local approximation had accumulated (first step on
+    /// the planner-statistics roadmap item).
     pub fn create_index(&mut self, name: &str, spec: IndexSpec) -> StorageResult<()> {
         if spec.key_type() != self.key_type {
             return Err(StorageError::Unsupported(format!(
@@ -1462,10 +1584,26 @@ impl Table {
             }
         };
         let row_count = self.inner.read().rows.len() as RowId;
+        let mut items: Vec<(Datum, RowId)> = Vec::new();
         for row in 0..row_count {
             if let Some(datum) = self.try_datum(row)? {
-                index.insert(&datum, row)?;
+                items.push((datum, row));
             }
+        }
+        if !items.is_empty() {
+            // Seed exact planner statistics from the build scan: the scan
+            // already visits every live key, so the distinct count stops
+            // being a session-local approximation.
+            let distinct: HashSet<Vec<u8>> = items
+                .iter()
+                .map(|(datum, _)| datum.encode_record())
+                .collect();
+            {
+                let mut inner = self.inner.write();
+                inner.distinct = distinct;
+                inner.distinct_base = 0;
+            }
+            index.bulk_build(&items)?;
         }
         self.indexes.push(NamedIndex {
             name: name.to_string(),
@@ -2310,6 +2448,16 @@ impl Database {
         Self::with_pool(BufferPool::in_memory())
     }
 
+    /// [`Database::in_memory`] with an explicit buffer-pool configuration —
+    /// the in-memory counterpart of [`Database::create_with_config`].
+    ///
+    /// A bounded capacity makes eviction observable at in-memory speeds, so
+    /// an eviction-bounded bulk build (a `CREATE INDEX` whose working set
+    /// exceeds the pool) can be demonstrated without a file.
+    pub fn in_memory_with_config(config: BufferPoolConfig) -> Self {
+        Self::with_pool(Arc::new(BufferPool::new(Arc::new(MemPager::new()), config)))
+    }
+
     /// A database over an explicit buffer pool (e.g. file-backed).  The
     /// database is *not* durable — its catalog lives only in memory; use
     /// [`Database::create`] / [`Database::open`] for a reopenable database.
@@ -2714,6 +2862,93 @@ mod tests {
         idx_rows.sort_unstable();
         assert_eq!(idx_rows, seq_rows);
         assert!(!idx_rows.is_empty());
+    }
+
+    #[test]
+    fn insert_many_matches_a_loop_of_inserts() {
+        let mut looped = Database::in_memory();
+        looped.create_table("words", KeyType::Varchar).unwrap();
+        let mut batched = Database::in_memory();
+        batched.create_table("words", KeyType::Varchar).unwrap();
+        batched
+            .table_mut("words")
+            .unwrap()
+            .create_index("t", IndexSpec::Trie)
+            .unwrap();
+        looped
+            .table_mut("words")
+            .unwrap()
+            .create_index("t", IndexSpec::Trie)
+            .unwrap();
+
+        let data = ["space", "spade", "star", "space", "blue"];
+        let loop_rows: Vec<RowId> = data
+            .iter()
+            .map(|w| looped.table("words").unwrap().insert(*w).unwrap())
+            .collect();
+        let batch_rows = batched
+            .table("words")
+            .unwrap()
+            .insert_many(data.iter().copied())
+            .unwrap();
+        assert_eq!(batch_rows, loop_rows, "row ids assigned in input order");
+        for probe in ["space", "blue", "zzz"] {
+            assert_eq!(
+                batched
+                    .query("words", Predicate::str_equals(probe))
+                    .unwrap()
+                    .rows()
+                    .unwrap(),
+                looped
+                    .query("words", Predicate::str_equals(probe))
+                    .unwrap()
+                    .rows()
+                    .unwrap(),
+                "probe {probe}"
+            );
+        }
+        // Type mismatches are rejected before anything lands; empty batches
+        // are a no-op.
+        assert!(batched
+            .table("words")
+            .unwrap()
+            .insert_many([Datum::Point(Point::new(1.0, 2.0))])
+            .is_err());
+        assert_eq!(batched.table("words").unwrap().len(), 5);
+        assert!(batched
+            .table("words")
+            .unwrap()
+            .insert_many(Vec::<Datum>::new())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn create_index_seeds_exact_distinct_statistics() {
+        let mut db = Database::in_memory();
+        db.create_table("words", KeyType::Varchar).unwrap();
+        let table = db.table_mut("words").unwrap();
+        // 40 rows over 10 distinct values, with deletions: the session
+        // approximation (insert-time set, deletions ignored) drifts from the
+        // live truth.
+        for i in 0..40 {
+            table.insert(format!("w{}", i % 10)).unwrap();
+        }
+        for row in 0..4 {
+            // Deletes every copy of "w0" .. leaves 9 live distinct values.
+            table.delete(row * 10).unwrap();
+        }
+        assert_eq!(
+            table.table_stats().distinct_values,
+            10,
+            "the running approximation ignores deletions"
+        );
+        table.create_index("t", IndexSpec::Trie).unwrap();
+        assert_eq!(
+            table.table_stats().distinct_values,
+            9,
+            "the bulk-build scan seeds the exact live distinct count"
+        );
     }
 
     #[test]

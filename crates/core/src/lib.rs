@@ -52,6 +52,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod build;
 pub mod config;
 pub mod nn;
 pub mod node;
@@ -61,6 +62,7 @@ pub mod store;
 pub mod testing;
 pub mod tree;
 
+pub use build::BulkBuilder;
 pub use config::{ClusteringPolicy, NodeShrink, PathShrink, SpGistConfig};
 pub use nn::NnIter;
 pub use node::{Node, NodeId};

@@ -9,6 +9,7 @@
 use spgist_storage::Codec;
 
 use crate::config::SpGistConfig;
+use crate::RowId;
 
 /// Decision returned by [`SpGistOps::choose`] when routing an insertion
 /// through an inner node.
@@ -60,6 +61,44 @@ impl<Prefix, Pred> PickSplit<Prefix, Pred> {
                 .partitions
                 .first()
                 .is_none_or(|(_, items)| items.len() >= input_len)
+    }
+
+    /// Parks every item index of `0..input_len` that appears in *no*
+    /// partition into the first partition, mirroring the
+    /// [`Choose::Descend`]`(vec![0])` insertion fallback (a PMR segment
+    /// outside the world rectangle intersects no quadrant).  Both the
+    /// insert path's split and the bulk builder call this so a
+    /// decomposition can never drop items.
+    pub fn park_unassigned(&mut self, input_len: usize) {
+        let mut assigned = vec![false; input_len];
+        for (_, members) in &self.partitions {
+            for &idx in members {
+                if let Some(slot) = assigned.get_mut(idx) {
+                    *slot = true;
+                }
+            }
+        }
+        let unassigned: Vec<usize> = (0..input_len).filter(|&i| !assigned[i]).collect();
+        if !unassigned.is_empty() {
+            if let Some((_, first)) = self.partitions.first_mut() {
+                first.extend(unassigned);
+            }
+        }
+    }
+
+    /// True if the split *replicated* the whole input without separating it:
+    /// two or more partitions each received every item.  Recursing into such
+    /// a split multiplies identical copies level after level (identical or
+    /// heavily overlapping PMR segments) without ever shrinking a partition,
+    /// so the bulk builder stops and allows an oversized leaf instead.  A
+    /// *single* full partition is fine — that is a plain descent chain,
+    /// bounded by the resolution.
+    pub fn replicates_without_separating(&self, input_len: usize) -> bool {
+        self.partitions
+            .iter()
+            .filter(|(_, members)| members.len() >= input_len.max(1))
+            .count()
+            >= 2
     }
 }
 
@@ -164,6 +203,23 @@ pub trait SpGistOps {
         ctx: &Self::Context,
     ) -> PickSplit<Self::Prefix, Self::Pred>;
 
+    /// Bulk-build hint (`spgistbuild`, paper Section 4): rearrange a whole
+    /// partition's items before the bulk builder decomposes it with
+    /// [`SpGistOps::picksplit`].
+    ///
+    /// The builder calls this once per partition it is about to split, with
+    /// the partition's decomposition `level` and traversal context.  Classes
+    /// whose `picksplit` is data-driven use it to choose *which* data drives
+    /// the split: the trie sorts the key set (level 0 only — partitions of a
+    /// sorted set stay sorted) so sibling runs are contiguous, and the
+    /// kd-tree / point quadtree move a spatial median to the front so the
+    /// "old point" `picksplit` splits on halves the partition instead of
+    /// reflecting insertion order.  Space-driven classes (the PMR quadtree),
+    /// whose partitions ignore item order, keep the default no-op.
+    fn bulk_prepare(&self, items: &mut [(Self::Key, RowId)], level: u32, ctx: &Self::Context) {
+        let _ = (items, level, ctx);
+    }
+
     /// Lower bound on the distance from `query` to any key stored below the
     /// entry `pred` of a node with `prefix`, given the lower bound
     /// `parent_dist` already established for the node itself
@@ -221,5 +277,45 @@ mod tests {
             partitions: vec![],
         };
         assert!(empty.is_degenerate(0));
+    }
+
+    #[test]
+    fn park_unassigned_routes_strays_to_the_first_partition() {
+        let mut split: PickSplit<String, u8> = PickSplit {
+            prefix: None,
+            partitions: vec![(b'a', vec![0]), (b'b', vec![2])],
+        };
+        split.park_unassigned(4);
+        assert_eq!(split.partitions[0].1, vec![0, 1, 3]);
+        assert_eq!(split.partitions[1].1, vec![2]);
+        // Fully-assigned splits are untouched.
+        let mut full: PickSplit<String, u8> = PickSplit {
+            prefix: None,
+            partitions: vec![(b'a', vec![0, 1])],
+        };
+        full.park_unassigned(2);
+        assert_eq!(full.partitions[0].1, vec![0, 1]);
+    }
+
+    #[test]
+    fn replication_without_separation_detection() {
+        // Two partitions each holding every item: no separation happened.
+        let stuck: PickSplit<String, u8> = PickSplit {
+            prefix: None,
+            partitions: vec![(b'a', vec![0, 1, 2]), (b'b', vec![0, 1, 2]), (b'c', vec![])],
+        };
+        assert!(stuck.replicates_without_separating(3));
+        // One full partition is a plain descent chain, not replication.
+        let chain: PickSplit<String, u8> = PickSplit {
+            prefix: None,
+            partitions: vec![(b'a', vec![0, 1, 2]), (b'b', vec![]), (b'c', vec![])],
+        };
+        assert!(!chain.replicates_without_separating(3));
+        // Replication with shrink (items split across partitions) is fine.
+        let progress: PickSplit<String, u8> = PickSplit {
+            prefix: None,
+            partitions: vec![(b'a', vec![0, 1]), (b'b', vec![1, 2])],
+        };
+        assert!(!progress.replicates_without_separating(3));
     }
 }

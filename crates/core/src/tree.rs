@@ -158,8 +158,15 @@ impl<O: SpGistOps> SpGistTree<O> {
         self.write_meta()
     }
 
-    /// Inserts every `(key, row)` pair from an iterator (bulk load helper).
-    pub fn bulk_load<I>(&mut self, items: I) -> StorageResult<()>
+    /// Inserts every `(key, row)` pair from an iterator, one
+    /// [`SpGistTree::insert`] at a time.
+    ///
+    /// This is the reference insert loop: every key walks the tree from the
+    /// root and pages are rewritten as later splits reshape them.  It is the
+    /// behavior the equivalence tests compare against; to *load* a known
+    /// data set, use [`SpGistTree::bulk_build`], which partitions the whole
+    /// set top-down and writes each node exactly once.
+    pub fn insert_all<I>(&mut self, items: I) -> StorageResult<()>
     where
         I: IntoIterator<Item = (O::Key, RowId)>,
     {
@@ -167,6 +174,42 @@ impl<O: SpGistOps> SpGistTree<O> {
             self.insert(key, row)?;
         }
         Ok(())
+    }
+
+    /// Builds the whole tree from `items` in one pass — the paper's
+    /// `spgistbuild` entry point (Section 4).
+    ///
+    /// The [`BulkBuilder`] recursively applies [`SpGistOps::picksplit`] to
+    /// whole partitions top-down, packs leaves to `BucketSize`, allocates
+    /// and writes each node exactly once (inner nodes parent-first, their
+    /// fixed-width child pointers patched in place), and accumulates the
+    /// returned [`TreeStats`] during the build instead of by a traversal.
+    /// Classes steer it through [`SpGistOps::bulk_prepare`].
+    ///
+    /// The tree must be empty; loading into a populated tree is an
+    /// [`StorageError::Unsupported`] error.  An empty `items` set is a
+    /// no-op.  Query results are identical to inserting the same items with
+    /// the insert loop (the tree *shape* may differ — and usually improves:
+    /// data-driven classes split on medians, split-once classes decompose
+    /// fully).
+    pub fn bulk_build(&mut self, items: Vec<(O::Key, RowId)>) -> StorageResult<TreeStats> {
+        if self.root.is_some() || self.item_count != 0 {
+            return Err(StorageError::Unsupported(
+                "bulk_build requires an empty tree; use insert for incremental loads".into(),
+            ));
+        }
+        if items.is_empty() {
+            return self.stats();
+        }
+        let logical = items.len() as u64;
+        let meta = self.meta_page;
+        let mut builder = crate::build::BulkBuilder::new(&self.ops, &mut self.store);
+        let root = builder.build_root(meta, items)?;
+        let stats = builder.finish()?;
+        self.root = Some(root);
+        self.item_count = logical;
+        self.write_meta()?;
+        Ok(stats)
     }
 
     fn insert_at(
@@ -291,24 +334,25 @@ impl<O: SpGistOps> SpGistTree<O> {
         ctx: &O::Context,
     ) -> StorageResult<Node<O>> {
         let cfg = self.ops.config();
-        let delta = self.ops.descend_levels(split.prefix.as_ref());
-        let mut entries = Vec::with_capacity(split.partitions.len());
-        for (pred, indices) in split.partitions {
+        let mut split = split;
+        // A split must never drop items (a PMR segment outside the world
+        // rectangle intersects no quadrant): park strays with the insert
+        // fallback rule.
+        split.park_unassigned(items.len());
+        let PickSplit { prefix, partitions } = split;
+        let delta = self.ops.descend_levels(prefix.as_ref());
+        let mut entries = Vec::with_capacity(partitions.len());
+        for (pred, indices) in partitions {
             if indices.is_empty() && cfg.node_shrink == NodeShrink::OmitEmpty {
                 continue;
             }
             let part_items: Vec<(O::Key, RowId)> =
                 indices.iter().map(|&i| items[i].clone()).collect();
-            let child_ctx = self
-                .ops
-                .child_context(ctx, split.prefix.as_ref(), &pred, level);
+            let child_ctx = self.ops.child_context(ctx, prefix.as_ref(), &pred, level);
             let child = self.build_subtree(near, part_items, level + delta, &child_ctx)?;
             entries.push(Entry { pred, child });
         }
-        Ok(Node::Inner {
-            prefix: split.prefix,
-            entries,
-        })
+        Ok(Node::Inner { prefix, entries })
     }
 
     fn build_subtree(
@@ -1094,9 +1138,9 @@ mod tests {
     }
 
     #[test]
-    fn bulk_load_matches_individual_inserts() {
+    fn insert_all_matches_individual_inserts() {
         let mut bulk = new_tree();
-        bulk.bulk_load((0..200u32).map(|k| (k, u64::from(k))))
+        bulk.insert_all((0..200u32).map(|k| (k, u64::from(k))))
             .unwrap();
         let mut single = new_tree();
         for k in 0..200u32 {
@@ -1105,6 +1149,121 @@ mod tests {
         for k in (0..200u32).step_by(13) {
             assert_eq!(bulk.search(&k).unwrap(), single.search(&k).unwrap());
         }
+    }
+
+    #[test]
+    fn bulk_build_matches_insert_loop_results() {
+        let items: Vec<(u32, u64)> = (0..2500u32).map(|k| (k, u64::from(k))).collect();
+        let mut bulk = new_tree();
+        let build_stats = bulk.bulk_build(items.clone()).unwrap();
+        let mut loop_tree = new_tree();
+        loop_tree.insert_all(items).unwrap();
+
+        assert_eq!(bulk.len(), loop_tree.len());
+        for k in (0..2500u32).step_by(97) {
+            assert_eq!(bulk.search(&k).unwrap(), loop_tree.search(&k).unwrap());
+        }
+        assert!(bulk.search(&9999).unwrap().is_empty());
+
+        // The stats accumulated during the build agree with a traversal.
+        let traversed = bulk.stats().unwrap();
+        assert_eq!(build_stats, traversed, "build-time stats match traversal");
+        assert!(build_stats.items >= 2500);
+        assert!(build_stats.inner_nodes > 0);
+        assert!(build_stats.max_page_height <= build_stats.max_node_height);
+
+        // The bulk-built tree stays fully updatable.
+        assert!(bulk.delete(&1234, 1234).unwrap());
+        bulk.insert(100_000, 7).unwrap();
+        assert_eq!(bulk.search(&100_000).unwrap(), vec![(100_000, 7)]);
+    }
+
+    #[test]
+    fn bulk_build_requires_an_empty_tree() {
+        let mut tree = new_tree();
+        tree.insert(1, 1).unwrap();
+        assert!(tree.bulk_build(vec![(2, 2)]).is_err());
+        // The failed build leaves the tree untouched.
+        assert_eq!(tree.len(), 1);
+        assert_eq!(tree.search(&1).unwrap(), vec![(1, 1)]);
+    }
+
+    #[test]
+    fn bulk_build_of_nothing_is_a_noop() {
+        let mut tree = new_tree();
+        let stats = tree.bulk_build(Vec::new()).unwrap();
+        assert_eq!(stats.items, 0);
+        assert!(tree.is_empty());
+        tree.insert(5, 5).unwrap();
+        assert_eq!(tree.search(&5).unwrap(), vec![(5, 5)]);
+    }
+
+    #[test]
+    fn bulk_build_handles_all_equal_keys() {
+        let mut tree = new_tree();
+        let stats = tree
+            .bulk_build((0..300).map(|row| (42u32, row as u64)).collect())
+            .unwrap();
+        assert_eq!(tree.len(), 300);
+        assert_eq!(stats.items, 300);
+        let mut rows: Vec<u64> = tree
+            .search(&42)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        rows.sort_unstable();
+        assert_eq!(rows.len(), 300);
+        assert_eq!(rows[0], 0);
+        assert_eq!(rows[299], 299);
+    }
+
+    #[test]
+    fn bulk_build_writes_fewer_pages_than_the_insert_loop() {
+        // An eviction-bounded pool (far smaller than the tree) is where the
+        // write-once property shows: the insert loop re-dirties hot pages
+        // which the evictor writes back over and over, while the bulk build
+        // touches each page once plus the patch of its inner nodes.
+        let mut items: Vec<(u32, u64)> = (0..6000u32).map(|k| (k, u64::from(k))).collect();
+        // Deterministic shuffle: sequential keys would land consecutive
+        // inserts on the same leaf page and hide the re-dirtying cost.
+        let mut state = 0x5eed_5eedu64;
+        for i in (1..items.len()).rev() {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            items.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let bounded_pool = || {
+            Arc::new(BufferPool::new(
+                Arc::new(MemPager::new()),
+                BufferPoolConfig { capacity: 8 },
+            ))
+        };
+
+        let loop_pool = bounded_pool();
+        let mut loop_tree =
+            SpGistTree::create(Arc::clone(&loop_pool), DigitTrieOps::default()).unwrap();
+        loop_pool.reset_stats();
+        loop_tree.insert_all(items.clone()).unwrap();
+        loop_pool.flush_all().unwrap();
+        let loop_writes = loop_pool.stats().physical_writes;
+
+        let bulk_pool = bounded_pool();
+        let mut bulk_tree =
+            SpGistTree::create(Arc::clone(&bulk_pool), DigitTrieOps::default()).unwrap();
+        bulk_pool.reset_stats();
+        bulk_tree.bulk_build(items).unwrap();
+        bulk_pool.flush_all().unwrap();
+        let bulk_writes = bulk_pool.stats().physical_writes;
+
+        assert!(
+            bulk_writes * 2 < loop_writes,
+            "bulk build must write far fewer pages than the insert loop under eviction \
+             (bulk {bulk_writes}, loop {loop_writes})"
+        );
+        assert_eq!(bulk_tree.len(), 6000);
+        assert_eq!(bulk_tree.search(&4242).unwrap(), vec![(4242, 4242)]);
     }
 
     #[test]

@@ -194,6 +194,20 @@ impl SpGistOps for KdTreeOps {
         }
     }
 
+    fn bulk_prepare(&self, items: &mut [(Point, RowId)], level: u32, _ctx: &()) {
+        // STR-flavored median split: `picksplit` discriminates on the first
+        // item (the paper's "old point"), so moving the median in this
+        // level's coordinate to the front makes every bulk-build split cut
+        // the partition in half — a balanced kd-tree instead of whatever
+        // insertion order would have produced.
+        if items.len() < 2 {
+            return;
+        }
+        let mid = items.len() / 2;
+        items.select_nth_unstable_by(mid, |a, b| a.0.coord(level).total_cmp(&b.0.coord(level)));
+        items.swap(0, mid);
+    }
+
     fn inner_distance(
         &self,
         prefix: Option<&Point>,

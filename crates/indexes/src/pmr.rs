@@ -113,9 +113,21 @@ impl SpGistOps for PmrQuadtreeOps {
         query: &SegmentQuery,
         _level: u32,
     ) -> bool {
+        // A query argument reaching beyond the world rectangle cannot
+        // prune: segments beyond the world are *parked* under the first
+        // quadrant (see [`PmrQuadtreeOps::choose`]) rather than placed
+        // geometrically, so quadrant tests say nothing about where their
+        // matches live — and any query poking past the world boundary (even
+        // one that also overlaps it) may match such a parked segment.
+        // Descending everywhere keeps them reachable; the leaf re-check
+        // still applies the exact predicate.  Queries whose argument lies
+        // entirely inside the world prune normally: a parked segment
+        // intersects no part of the world, so it cannot match them.
         match query {
-            SegmentQuery::Equals(s) => s.intersects_rect(pred),
-            SegmentQuery::InRect(r) => r.intersects(pred),
+            SegmentQuery::Equals(s) => {
+                s.intersects_rect(pred) || !self.world.contains_rect(&s.mbr())
+            }
+            SegmentQuery::InRect(r) => r.intersects(pred) || !self.world.contains_rect(r),
             SegmentQuery::Nearest(_) => true,
         }
     }
@@ -203,6 +215,14 @@ impl SpGistOps for PmrQuadtreeOps {
 /// [`SpIndex::delete`] removes every replica of the `(segment, row)` item
 /// (via [`SpGistTree::delete_replicated`]) while counting one logical
 /// removal.
+///
+/// [`SpIndex::bulk_build`] replicates every segment into the world
+/// partitions as it recursively quarters the space (the space-oriented
+/// packing of the space-driven quadtree: partition membership is decided by
+/// geometry, so no [`SpGistOps::bulk_prepare`] hint is needed), decomposing
+/// quadrants past the splitting threshold all the way down instead of
+/// once-per-insert — segments entirely outside the world rectangle are
+/// parked in the first quadrant exactly as the insert path parks them.
 pub struct PmrQuadtreeIndex {
     tree: RwLock<SpGistTree<PmrQuadtreeOps>>,
 }
@@ -408,6 +428,49 @@ mod tests {
         let outside = Segment::new(Point::new(150.0, 150.0), Point::new(160.0, 160.0));
         index.insert(outside, 99).unwrap();
         assert_eq!(index.equals(outside).unwrap(), vec![99]);
+    }
+
+    #[test]
+    fn segment_outside_world_stays_reachable_after_splits() {
+        // Regression: once the root has decomposed, quadrant pruning used to
+        // hide parked out-of-world segments from every search — `consistent`
+        // must stop pruning for query arguments beyond the world.
+        let index = PmrQuadtreeIndex::create(BufferPool::in_memory(), WORLD).unwrap();
+        let outside = Segment::new(Point::new(150.0, 150.0), Point::new(160.0, 160.0));
+        index.insert(outside, 999).unwrap();
+        for (i, s) in segments().iter().cycle().take(60).enumerate() {
+            index.insert(*s, i as RowId).unwrap();
+        }
+        let stats = index.stats().unwrap();
+        assert!(stats.inner_nodes > 0, "the tree must actually have split");
+        assert_eq!(index.equals(outside).unwrap(), vec![999]);
+        let window = Rect::new(140.0, 140.0, 170.0, 170.0);
+        assert_eq!(
+            index
+                .window(window)
+                .unwrap()
+                .into_iter()
+                .map(|(_, r)| r)
+                .collect::<Vec<_>>(),
+            vec![999],
+            "an out-of-world window finds the parked segment"
+        );
+        // A window *straddling* the world boundary may match parked
+        // segments too; pruning by quadrants would hide them (this window
+        // overlaps the world but avoids the NW quadrant where strays park).
+        let straddling = Rect::new(60.0, 0.0, 170.0, 170.0);
+        let rows: Vec<RowId> = index
+            .window(straddling)
+            .unwrap()
+            .into_iter()
+            .map(|(_, r)| r)
+            .collect();
+        assert!(
+            rows.contains(&999),
+            "a boundary-straddling window finds the parked segment (got {rows:?})"
+        );
+        assert!(index.delete(&outside, 999).unwrap());
+        assert!(index.equals(outside).unwrap().is_empty());
     }
 
     #[test]

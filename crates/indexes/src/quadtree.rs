@@ -189,6 +189,33 @@ impl SpGistOps for PointQuadtreeOps {
         }
     }
 
+    fn bulk_prepare(&self, items: &mut [(Point, RowId)], _level: u32, _ctx: &()) {
+        // Tile-median split: `picksplit` quarters the plane at the first
+        // item, so moving the point nearest the (median x, median y) center
+        // to the front spreads the partition across all four quadrants
+        // instead of replaying insertion order.
+        if items.len() < 2 {
+            return;
+        }
+        let mid = items.len() / 2;
+        let mut xs: Vec<f64> = items.iter().map(|(p, _)| p.x).collect();
+        let mut ys: Vec<f64> = items.iter().map(|(p, _)| p.y).collect();
+        xs.select_nth_unstable_by(mid, f64::total_cmp);
+        ys.select_nth_unstable_by(mid, f64::total_cmp);
+        let (cx, cy) = (xs[mid], ys[mid]);
+        let nearest_center = items
+            .iter()
+            .enumerate()
+            .min_by(|(_, (a, _)), (_, (b, _))| {
+                let da = (a.x - cx).powi(2) + (a.y - cy).powi(2);
+                let db = (b.x - cx).powi(2) + (b.y - cy).powi(2);
+                da.total_cmp(&db)
+            })
+            .map(|(idx, _)| idx)
+            .unwrap_or(0);
+        items.swap(0, nearest_center);
+    }
+
     fn inner_distance(
         &self,
         prefix: Option<&Point>,

@@ -130,6 +130,26 @@ pub trait SpIndex {
     /// Inserts one `(key, row)` item (write latch held internally).
     fn insert(&self, key: Self::Key, row: RowId) -> StorageResult<()>;
 
+    /// Inserts a batch of `(key, row)` items under **one** write-latch
+    /// acquisition — the DML-statement form of [`SpIndex::insert`].  A
+    /// concurrent cursor sees either none or all of the batch.
+    fn insert_batch(&self, items: Vec<(Self::Key, RowId)>) -> StorageResult<()>;
+
+    /// Builds the index from the full `(key, row)` set in one pass — the
+    /// paper's `spgistbuild` (Section 4) carried to the wrapper layer.
+    ///
+    /// The backing tree's [`spgist_core::BulkBuilder`] partitions the whole
+    /// set top-down with `picksplit` and writes each node exactly once;
+    /// wrappers with expanded representations translate first (the suffix
+    /// tree turns words into suffixes).  Requires an **empty** index and
+    /// holds the write latch for the whole build.  Returns the
+    /// [`TreeStats`] accumulated during the build.
+    ///
+    /// Query results are identical to loading the same items through
+    /// [`SpIndex::insert`]; the tree shape is usually better (median splits
+    /// for data-driven classes, full decomposition for split-once classes).
+    fn bulk_build(&self, items: Vec<(Self::Key, RowId)>) -> StorageResult<TreeStats>;
+
     /// Deletes one `(key, row)` item; returns whether something was removed
     /// (write latch held internally).
     fn delete(&self, key: &Self::Key, row: RowId) -> StorageResult<bool>;
@@ -242,6 +262,31 @@ pub trait SpGistBacked {
         self.latch().write().delete(key, row)
     }
 
+    /// Inserts a batch of logical items under one write-latch acquisition.
+    /// The default loops [`SpGistTree::insert`]; expanding indexes override
+    /// it (the suffix tree inserts every suffix of every word in the one
+    /// acquisition).
+    fn insert_batch_keys(
+        &self,
+        items: Vec<(<Self::Ops as SpGistOps>::Key, RowId)>,
+    ) -> StorageResult<()> {
+        let mut tree = self.latch().write();
+        for (key, row) in items {
+            tree.insert(key, row)?;
+        }
+        Ok(())
+    }
+
+    /// Bulk-builds the backing tree from the full logical item set.  The
+    /// default hands the items to [`SpGistTree::bulk_build`] unchanged;
+    /// expanding indexes override it to translate the representation first.
+    fn bulk_build_keys(
+        &self,
+        items: Vec<(<Self::Ops as SpGistOps>::Key, RowId)>,
+    ) -> StorageResult<TreeStats> {
+        self.latch().write().bulk_build(items)
+    }
+
     /// Rewrites a query into the form the backing tree executes (the suffix
     /// tree answers substring queries as prefix queries over suffixes).
     fn translate_query(
@@ -268,6 +313,14 @@ impl<T: SpGistBacked> SpIndex for T {
 
     fn insert(&self, key: Self::Key, row: RowId) -> StorageResult<()> {
         self.insert_key(key, row)
+    }
+
+    fn insert_batch(&self, items: Vec<(Self::Key, RowId)>) -> StorageResult<()> {
+        self.insert_batch_keys(items)
+    }
+
+    fn bulk_build(&self, items: Vec<(Self::Key, RowId)>) -> StorageResult<TreeStats> {
+        self.bulk_build_keys(items)
     }
 
     fn delete(&self, key: &Self::Key, row: RowId) -> StorageResult<bool> {
@@ -462,6 +515,103 @@ mod tests {
             ],
             SegmentQuery::InRect(Rect::new(0.0, 0.0, 30.0, 30.0)),
             &[0],
+        );
+    }
+
+    /// Bulk build vs. insert loop vs. one-latch batch: identical answers,
+    /// identical logical counts, and a second bulk load is refused —
+    /// compiled once, exercised for all five indexes.
+    fn exercise_bulk<I: SpIndex>(
+        make: impl Fn() -> I,
+        items: Vec<(I::Key, RowId)>,
+        query: I::Query,
+    ) {
+        let bulk = make();
+        let stats = bulk.bulk_build(items.clone()).unwrap();
+        assert!(stats.items >= 1);
+        let looped = make();
+        for (key, row) in items.clone() {
+            looped.insert(key, row).unwrap();
+        }
+        let batched = make();
+        batched.insert_batch(items.clone()).unwrap();
+
+        let rows = |ix: &I| {
+            let mut rows = ix.cursor(&query).unwrap().rows().unwrap();
+            rows.sort_unstable();
+            rows
+        };
+        let expected = rows(&looped);
+        assert_eq!(rows(&bulk), expected, "bulk build answers like the loop");
+        assert_eq!(
+            rows(&batched),
+            expected,
+            "batch insert answers like the loop"
+        );
+        assert_eq!(bulk.len(), looped.len());
+        assert_eq!(batched.len(), looped.len());
+        assert!(
+            bulk.bulk_build(items).is_err(),
+            "bulk build refuses a populated index"
+        );
+    }
+
+    #[test]
+    fn bulk_build_matches_insert_loop_on_all_five_indexes() {
+        let words = || {
+            [
+                "star", "space", "spade", "blue", "bit", "take", "top", "zero",
+            ]
+            .iter()
+            .enumerate()
+            .map(|(row, w)| (w.to_string(), row as RowId))
+            .collect::<Vec<_>>()
+        };
+        exercise_bulk(
+            || TrieIndex::open(BufferPool::in_memory()).unwrap(),
+            words(),
+            StringQuery::Prefix("sp".into()),
+        );
+        exercise_bulk(
+            || SuffixTreeIndex::open(BufferPool::in_memory()).unwrap(),
+            words(),
+            StringQuery::Substring("a".into()),
+        );
+        let points = || {
+            (0..40)
+                .map(|i| {
+                    let t = f64::from(i);
+                    (
+                        Point::new((t * 13.7) % 100.0, (t * 31.1) % 100.0),
+                        i as RowId,
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        exercise_bulk(
+            || KdTreeIndex::open(BufferPool::in_memory()).unwrap(),
+            points(),
+            PointQuery::InRect(Rect::new(10.0, 10.0, 70.0, 70.0)),
+        );
+        exercise_bulk(
+            || PointQuadtreeIndex::open(BufferPool::in_memory()).unwrap(),
+            points(),
+            PointQuery::InRect(Rect::new(10.0, 10.0, 70.0, 70.0)),
+        );
+        let segments = || {
+            (0..30)
+                .map(|i| {
+                    let t = f64::from(i);
+                    let a = Point::new((t * 11.3) % 100.0, (t * 23.9) % 100.0);
+                    let b = Point::new((a.x + 9.0).min(100.0), (a.y + 5.0).min(100.0));
+                    (Segment::new(a, b), i as RowId)
+                })
+                .collect::<Vec<_>>()
+        };
+        exercise_bulk(
+            || PmrQuadtreeIndex::open(BufferPool::in_memory()).unwrap(),
+            segments(),
+            SegmentQuery::InRect(Rect::new(0.0, 0.0, 60.0, 60.0)),
         );
     }
 

@@ -12,12 +12,23 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use spgist_core::{RowId, SpGistTree};
+use spgist_core::{RowId, SpGistTree, TreeStats};
 use spgist_storage::{BufferPool, PageId, StorageResult};
 
 use crate::query::StringQuery;
 use crate::spindex::{SpGistBacked, SpIndex};
 use crate::trie::{TrieIndex, TrieOps};
+
+/// Every stored suffix of `word` — the empty word has one suffix, itself.
+/// Suffixes are byte-indexed (the paper's word datasets are ASCII); the one
+/// place to change when adding non-ASCII support.
+fn suffixes(word: &str) -> Vec<&str> {
+    if word.is_empty() {
+        vec![""]
+    } else {
+        (0..word.len()).map(|start| &word[start..]).collect()
+    }
+}
 
 /// A disk-based suffix-tree index over strings (the paper's
 /// `SP_GiST_suffix` operator class with its `@=` substring operator).
@@ -58,12 +69,8 @@ impl SpGistBacked for SuffixTreeIndex {
 
     fn insert_key(&self, word: String, row: RowId) -> StorageResult<()> {
         let mut tree = self.latch().write();
-        for start in 0..word.len() {
-            tree.insert(word[start..].to_string(), row)?;
-        }
-        // The empty string has one suffix: itself.
-        if word.is_empty() {
-            tree.insert(String::new(), row)?;
+        for suffix in suffixes(&word) {
+            tree.insert(suffix.to_string(), row)?;
         }
         self.strings.fetch_add(1, Ordering::Relaxed);
         Ok(())
@@ -81,11 +88,7 @@ impl SpGistBacked for SuffixTreeIndex {
     /// never underflows.  Verification and removal happen under one write
     /// latch, so they cannot race with another writer.
     fn delete_key(&self, word: &String, row: RowId) -> StorageResult<bool> {
-        let suffixes: Vec<&str> = if word.is_empty() {
-            vec![""]
-        } else {
-            (0..word.len()).map(|start| &word[start..]).collect()
-        };
+        let suffixes = suffixes(word);
         let mut tree = self.latch().write();
         for suffix in &suffixes {
             // Streaming presence probe: stop at the first hit instead of
@@ -108,6 +111,40 @@ impl SpGistBacked for SuffixTreeIndex {
                 Some(n.saturating_sub(1))
             });
         Ok(true)
+    }
+
+    /// Inserts a batch of words — all suffixes of all words — under one
+    /// write-latch acquisition, so a concurrent cursor sees each word with
+    /// either none or all of its suffixes.
+    fn insert_batch_keys(&self, items: Vec<(String, RowId)>) -> StorageResult<()> {
+        let words = items.len() as u64;
+        {
+            let mut tree = self.latch().write();
+            for (word, row) in &items {
+                for suffix in suffixes(word) {
+                    tree.insert(suffix.to_string(), *row)?;
+                }
+            }
+        }
+        self.strings.fetch_add(words, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Bulk build: the words are expanded into the full suffix set *before*
+    /// the backing trie is built, so the sort-based trie build sees every
+    /// suffix at once and sibling runs of shared suffixes are contiguous.
+    fn bulk_build_keys(&self, items: Vec<(String, RowId)>) -> StorageResult<TreeStats> {
+        let words = items.len() as u64;
+        let total: usize = items.iter().map(|(w, _)| w.len().max(1)).sum();
+        let mut expanded: Vec<(String, RowId)> = Vec::with_capacity(total);
+        for (word, row) in &items {
+            for suffix in suffixes(word) {
+                expanded.push((suffix.to_string(), *row));
+            }
+        }
+        let stats = self.latch().write().bulk_build(expanded)?;
+        self.strings.fetch_add(words, Ordering::Relaxed);
+        Ok(stats)
     }
 
     fn translate_query(&self, query: &StringQuery) -> StringQuery {

@@ -244,6 +244,16 @@ impl SpGistOps for TrieOps {
         }
     }
 
+    fn bulk_prepare(&self, items: &mut [(String, RowId)], level: u32, _ctx: &()) {
+        // Sort-based build: ordering the key set once at the root keeps
+        // sibling runs contiguous for the whole build — a partition of a
+        // sorted set is itself sorted, because `picksplit` groups by the
+        // character at a single position and preserves relative order.
+        if level == 0 {
+            items.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        }
+    }
+
     fn inner_distance(
         &self,
         prefix: Option<&String>,
