@@ -6,9 +6,16 @@
 //! ```
 //!
 //! Subcommands: `table7`, `fig6`..`fig17` (Figures 6–12 share one string run,
-//! 13–14 one point run), `ablation-clustering`, `ablation-trie`, `all`.
-//! `--scale N` multiplies the dataset sizes (default 1); `--queries N` sets
-//! the number of queries per measurement (default 100).
+//! 13–14 one point run), `ablation-clustering`, `ablation-trie`, `wal`,
+//! `all`.  `--scale N` multiplies the dataset sizes (default 1);
+//! `--queries N` sets the number of queries per measurement (default 100).
+//! With `--json-dir DIR`, every experiment also writes a machine-readable
+//! `BENCH_<experiment>.json` artifact into DIR.
+//!
+//! Two extra commands drive the CI crash-recovery smoke test and take
+//! `--db PATH`: `crash-writer` runs an endless acknowledged-insert workload
+//! (meant to be SIGKILLed mid-run), `crash-verify` reopens the database and
+//! checks every acknowledged commit survived.
 
 use spgist_bench::loc::table7;
 use spgist_bench::stats::{log10_ratio, ratio_pct};
@@ -16,16 +23,19 @@ use spgist_bench::{
     point_sizes, run_build_experiment, run_clustering_ablation, run_mixed_workload,
     run_nn_experiments, run_point_experiments, run_read_scaling, run_reopen_experiment,
     run_segment_experiments, run_string_experiments, run_substring_experiments,
-    run_trie_variant_ablation, word_sizes, write_build_json, NN_KS,
+    run_trie_variant_ablation, run_wal_experiment, word_sizes, write_build_json, write_rows_json,
+    JsonVal, NN_KS,
 };
 
 struct Options {
     command: String,
     scale: usize,
     queries: usize,
-    /// Directory machine-readable artifacts (`BENCH_build.json`) are written
-    /// into; `None` prints tables only.
+    /// Directory machine-readable artifacts (`BENCH_<experiment>.json`) are
+    /// written into; `None` prints tables only.
     json_dir: Option<std::path::PathBuf>,
+    /// Database file for `crash-writer` / `crash-verify`.
+    db: Option<std::path::PathBuf>,
 }
 
 fn parse_args() -> Options {
@@ -34,6 +44,7 @@ fn parse_args() -> Options {
     let mut scale = 1usize;
     let mut queries = 100usize;
     let mut json_dir = None;
+    let mut db = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -54,6 +65,12 @@ fn parse_args() -> Options {
                         usage("--json-dir needs a directory path")
                     })));
             }
+            "--db" => {
+                db = Some(std::path::PathBuf::from(
+                    args.next()
+                        .unwrap_or_else(|| usage("--db needs a file path")),
+                ));
+            }
             "--help" | "-h" => usage(""),
             other if !other.starts_with('-') => command = other.to_string(),
             other => usage(&format!("unknown flag {other}")),
@@ -64,6 +81,7 @@ fn parse_args() -> Options {
         scale,
         queries,
         json_dir,
+        db,
     }
 }
 
@@ -72,20 +90,35 @@ fn usage(message: &str) -> ! {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|build|all] [--scale N] [--queries N] [--json-dir DIR]"
+        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|build|wal|all] [--scale N] [--queries N] [--json-dir DIR]\n       experiments crash-writer --db PATH\n       experiments crash-verify --db PATH"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+/// Writes `BENCH_<experiment>.json` into `--json-dir` when set.
+fn emit_json(opts: &Options, experiment: &str, columns: &[&str], rows: &[Vec<JsonVal>]) {
+    if let Some(dir) = &opts.json_dir {
+        let path = write_rows_json(dir, experiment, opts.scale, columns, rows)
+            .unwrap_or_else(|e| panic!("write BENCH_{experiment}.json: {e}"));
+        println!("wrote {}", path.display());
+        println!();
+    }
 }
 
 const SEED: u64 = 20060403;
 
 fn main() {
     let opts = parse_args();
+    match opts.command.as_str() {
+        "crash-writer" => run_crash_writer(&opts),
+        "crash-verify" => run_crash_verify(&opts),
+        _ => {}
+    }
     let run_all = opts.command == "all";
     let wants = |name: &str| run_all || opts.command == name;
 
     if wants("table7") {
-        print_table7();
+        print_table7(&opts);
     }
     let string_figs = ["fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12"];
     if run_all || string_figs.contains(&opts.command.as_str()) {
@@ -118,6 +151,196 @@ fn main() {
     if wants("build") {
         print_build(&opts);
     }
+    if wants("wal") {
+        print_wal(&opts);
+    }
+}
+
+fn print_wal(opts: &Options) {
+    let thread_counts = [1usize, 2, 4, 8];
+    let commits_per_thread = (opts.queries * 2).clamp(50, 2_000);
+    let rows = run_wal_experiment(&thread_counts, commits_per_thread);
+    println!("== WAL: commit throughput, per-commit fsync vs group commit ==");
+    println!(
+        "{:>12} {:>8} {:>8} {:>11} {:>11} {:>9} {:>9} {:>7} {:>11}",
+        "mode",
+        "threads",
+        "commits",
+        "elapsed ms",
+        "commits/s",
+        "mean ms",
+        "p99 ms",
+        "syncs",
+        "commit/sync"
+    );
+    for r in &rows {
+        println!(
+            "{:>12} {:>8} {:>8} {:>11.1} {:>11.0} {:>9.4} {:>9.4} {:>7} {:>11.1}",
+            r.mode,
+            r.threads,
+            r.commits,
+            r.elapsed_ms,
+            r.throughput_cps,
+            r.mean_ms,
+            r.p99_ms,
+            r.syncs,
+            r.commits_per_sync
+        );
+    }
+    for &threads in &thread_counts[1..] {
+        let per = rows
+            .iter()
+            .find(|r| r.threads == threads && r.mode == "per-commit");
+        let group = rows
+            .iter()
+            .find(|r| r.threads == threads && r.mode == "group");
+        if let (Some(per), Some(group)) = (per, group) {
+            println!(
+                "group-commit speedup at {threads} writers: {:.2}x ({:.0} vs {:.0} commits/s)",
+                group.throughput_cps / per.throughput_cps.max(1e-9),
+                group.throughput_cps,
+                per.throughput_cps
+            );
+        }
+    }
+    println!();
+    emit_json(
+        opts,
+        "wal",
+        &[
+            "mode",
+            "threads",
+            "commits",
+            "elapsed_ms",
+            "throughput_cps",
+            "mean_ms",
+            "p99_ms",
+            "syncs",
+            "commits_per_sync",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.mode.into(),
+                    r.threads.into(),
+                    r.commits.into(),
+                    r.elapsed_ms.into(),
+                    r.throughput_cps.into(),
+                    r.mean_ms.into(),
+                    r.p99_ms.into(),
+                    r.syncs.into(),
+                    r.commits_per_sync.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+/// `crash-writer --db PATH`: an endless acknowledged-insert workload for
+/// the CI crash-recovery smoke test.  After every insert the database
+/// acknowledges, the `(row, value)` pair is appended to `PATH.ack`; the
+/// harness SIGKILLs this process mid-run and `crash-verify` then checks
+/// that the reopened database holds every acknowledged pair.  Checkpoints
+/// run periodically so the kill also lands mid-checkpoint some of the time.
+fn run_crash_writer(opts: &Options) -> ! {
+    let db_path = opts
+        .db
+        .clone()
+        .unwrap_or_else(|| usage("crash-writer needs --db PATH"));
+    if let Some(parent) = db_path.parent() {
+        std::fs::create_dir_all(parent).expect("create --db parent directory");
+    }
+    let mut db = if db_path.exists() {
+        spgist_catalog::Database::open(&db_path).expect("reopen database")
+    } else {
+        spgist_catalog::Database::create(&db_path).expect("create database")
+    };
+    if db.table("log").is_none() {
+        db.create_table("log", spgist_catalog::KeyType::Varchar)
+            .expect("create log table");
+    }
+    let mut ack = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(ack_path(&db_path))
+        .expect("open ack file");
+
+    let mut committed = 0u64;
+    loop {
+        let table = db.table_handle("log").expect("log table");
+        for _ in 0..256 {
+            let value = format!("v{:08}", table.len());
+            let row = table.insert(value.clone()).expect("acknowledged insert");
+            // The database acknowledged the commit; only now does the ack
+            // file learn about it, so every complete ack line is a promise
+            // the reopened database must honor.
+            use std::io::Write as _;
+            writeln!(ack, "{row} {value}").expect("append ack line");
+            committed += 1;
+        }
+        drop(table);
+        // Periodic checkpoints put data pages + catalog writes in the kill
+        // window too, not just log appends.
+        db.checkpoint().expect("checkpoint");
+        println!("committed {committed}");
+    }
+}
+
+/// `crash-verify --db PATH`: reopens a (possibly SIGKILLed) database and
+/// asserts every acknowledged commit recorded in `PATH.ack` survived.
+fn run_crash_verify(opts: &Options) -> ! {
+    let db_path = opts
+        .db
+        .clone()
+        .unwrap_or_else(|| usage("crash-verify needs --db PATH"));
+    let db = spgist_catalog::Database::open(&db_path).expect("reopen after crash");
+    let table = db.table("log").expect("log table survived");
+    let ack = std::fs::read_to_string(ack_path(&db_path)).expect("read ack file");
+
+    let lines: Vec<&str> = ack.lines().collect();
+    let complete = if ack.ends_with('\n') {
+        lines.len()
+    } else {
+        // The writer was killed mid-append; the torn final line was never
+        // a completed acknowledgment handoff, so it is not checked.
+        lines.len().saturating_sub(1)
+    };
+    let mut verified = 0u64;
+    for line in &lines[..complete] {
+        let (row, value) = line
+            .split_once(' ')
+            .unwrap_or_else(|| panic!("malformed ack line {line:?}"));
+        let row: u64 = row.parse().expect("ack row id");
+        let datum = table
+            .try_datum(row)
+            .expect("read recovered row")
+            .unwrap_or_else(|| panic!("acknowledged row {row} lost after crash"));
+        assert_eq!(
+            datum,
+            spgist_catalog::Datum::Text(value.to_string()),
+            "acknowledged row {row} recovered with the wrong value"
+        );
+        verified += 1;
+    }
+    assert!(
+        table.len() >= verified,
+        "table holds {} rows but {verified} commits were acknowledged",
+        table.len()
+    );
+    println!(
+        "crash-verify: {verified} acknowledged commits all recovered ({} rows in table)",
+        table.len()
+    );
+    std::process::exit(0);
+}
+
+/// The acknowledgment journal the crash smoke test keeps next to the
+/// database file.
+fn ack_path(db_path: &std::path::Path) -> std::path::PathBuf {
+    let mut s = db_path.as_os_str().to_os_string();
+    s.push(".ack");
+    std::path::PathBuf::from(s)
 }
 
 fn print_build(opts: &Options) {
@@ -203,21 +426,64 @@ fn print_reopen(opts: &Options) {
     }
     println!("(open reads = physical page reads at open: catalog chain + tree meta pages only)");
     println!();
+    emit_json(
+        opts,
+        "reopen",
+        &[
+            "rows",
+            "file_pages",
+            "rebuild_ms",
+            "open_ms",
+            "open_reads",
+            "first_query_ms",
+            "warm_query_ms",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rows.into(),
+                    r.file_pages.into(),
+                    r.rebuild_ms.into(),
+                    r.open_ms.into(),
+                    r.open_reads.into(),
+                    r.first_query_ms.into(),
+                    r.warm_query_ms.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
-fn print_table7() {
+fn print_table7(opts: &Options) {
+    let rows = table7();
     println!("== Table 7: external-method code size per index ==");
     println!(
         "{:<16} {:>16} {:>18}",
         "index", "external lines", "% of total code"
     );
-    for row in table7() {
+    for row in &rows {
         println!(
             "{:<16} {:>16} {:>17.1}%",
             row.index, row.external_lines, row.percent_of_total
         );
     }
     println!();
+    emit_json(
+        opts,
+        "table7",
+        &["index", "external_lines", "percent_of_total"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.index.clone().into(),
+                    r.external_lines.into(),
+                    r.percent_of_total.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn print_string_figures(opts: &Options, run_all: bool) {
@@ -325,6 +591,49 @@ fn print_string_figures(opts: &Options, run_all: bool) {
         }
         println!();
     }
+    emit_json(
+        opts,
+        "strings",
+        &[
+            "size",
+            "trie_exact_ms",
+            "btree_exact_ms",
+            "trie_exact_stddev_ms",
+            "trie_prefix_ms",
+            "btree_prefix_ms",
+            "trie_regex_ms",
+            "btree_regex_ms",
+            "trie_insert_ms",
+            "btree_insert_ms",
+            "trie_pages",
+            "btree_pages",
+            "trie_node_height",
+            "trie_page_height",
+            "btree_height",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.into(),
+                    r.trie_exact_ms.into(),
+                    r.btree_exact_ms.into(),
+                    r.trie_exact_stddev_ms.into(),
+                    r.trie_prefix_ms.into(),
+                    r.btree_prefix_ms.into(),
+                    r.trie_regex_ms.into(),
+                    r.btree_regex_ms.into(),
+                    r.trie_insert_ms.into(),
+                    r.btree_insert_ms.into(),
+                    r.trie_pages.into(),
+                    r.btree_pages.into(),
+                    r.trie_node_height.into(),
+                    r.trie_page_height.into(),
+                    r.btree_height.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn print_point_figures(opts: &Options, run_all: bool) {
@@ -366,6 +675,37 @@ fn print_point_figures(opts: &Options, run_all: bool) {
         }
         println!();
     }
+    emit_json(
+        opts,
+        "points",
+        &[
+            "size",
+            "kd_insert_ms",
+            "rtree_insert_ms",
+            "kd_point_ms",
+            "rtree_point_ms",
+            "kd_range_ms",
+            "rtree_range_ms",
+            "kd_pages",
+            "rtree_pages",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.into(),
+                    r.kd_insert_ms.into(),
+                    r.rtree_insert_ms.into(),
+                    r.kd_point_ms.into(),
+                    r.rtree_point_ms.into(),
+                    r.kd_range_ms.into(),
+                    r.rtree_range_ms.into(),
+                    r.kd_pages.into(),
+                    r.rtree_pages.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn print_segment_figure(opts: &Options) {
@@ -388,6 +728,37 @@ fn print_segment_figure(opts: &Options) {
         );
     }
     println!();
+    emit_json(
+        opts,
+        "segments",
+        &[
+            "size",
+            "pmr_insert_ms",
+            "rtree_insert_ms",
+            "pmr_exact_ms",
+            "rtree_exact_ms",
+            "pmr_window_ms",
+            "rtree_window_ms",
+            "pmr_pages",
+            "rtree_pages",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.size.into(),
+                    r.pmr_insert_ms.into(),
+                    r.rtree_insert_ms.into(),
+                    r.pmr_exact_ms.into(),
+                    r.rtree_exact_ms.into(),
+                    r.pmr_window_ms.into(),
+                    r.rtree_window_ms.into(),
+                    r.pmr_pages.into(),
+                    r.rtree_pages.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn print_substring_figure(opts: &Options) {
@@ -408,6 +779,15 @@ fn print_substring_figure(opts: &Options) {
         );
     }
     println!();
+    emit_json(
+        opts,
+        "substring",
+        &["size", "suffix_ms", "seqscan_ms"],
+        &rows
+            .iter()
+            .map(|r| vec![r.size.into(), r.suffix_ms.into(), r.seqscan_ms.into()])
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn print_nn_figure(opts: &Options) {
@@ -425,6 +805,22 @@ fn print_nn_figure(opts: &Options) {
         );
     }
     println!();
+    emit_json(
+        opts,
+        "nn",
+        &["k", "kd_ms", "quad_ms", "trie_ms"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.k.into(),
+                    r.kd_ms.into(),
+                    r.quad_ms.into(),
+                    r.trie_ms.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn print_clustering_ablation(opts: &Options) {
@@ -444,6 +840,22 @@ fn print_clustering_ablation(opts: &Options) {
         );
     }
     println!();
+    emit_json(
+        opts,
+        "ablation_clustering",
+        &["policy", "page_height", "pages", "exact_ms"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    format!("{:?}", r.policy).into(),
+                    r.page_height.into(),
+                    r.pages.into(),
+                    r.exact_ms.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn print_concurrency(opts: &Options) {
@@ -503,6 +915,57 @@ fn print_concurrency(opts: &Options) {
         mixed.write_p99_ms
     );
     println!();
+    emit_json(
+        opts,
+        "concurrency",
+        &[
+            "threads",
+            "total_queries",
+            "elapsed_ms",
+            "throughput_qps",
+            "mean_ms",
+            "p99_ms",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.threads.into(),
+                    r.total_queries.into(),
+                    r.elapsed_ms.into(),
+                    r.throughput_qps.into(),
+                    r.mean_ms.into(),
+                    r.p99_ms.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    emit_json(
+        opts,
+        "concurrency_mixed",
+        &[
+            "readers",
+            "writers",
+            "reads",
+            "writes",
+            "elapsed_ms",
+            "read_qps",
+            "write_ips",
+            "read_p99_ms",
+            "write_p99_ms",
+        ],
+        &[vec![
+            mixed.readers.into(),
+            mixed.writers.into(),
+            mixed.reads.into(),
+            mixed.writes.into(),
+            mixed.elapsed_ms.into(),
+            mixed.read_qps.into(),
+            mixed.write_ips.into(),
+            mixed.read_p99_ms.into(),
+            mixed.write_p99_ms.into(),
+        ]],
+    );
 }
 
 fn print_trie_ablation(opts: &Options) {
@@ -519,4 +982,21 @@ fn print_trie_ablation(opts: &Options) {
         );
     }
     println!();
+    emit_json(
+        opts,
+        "ablation_trie",
+        &["variant", "nodes", "node_height", "pages", "exact_ms"],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.variant.clone().into(),
+                    r.nodes.into(),
+                    r.node_height.into(),
+                    r.pages.into(),
+                    r.exact_ms.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }

@@ -77,6 +77,7 @@ fn bounded_pool() -> Arc<BufferPool> {
         Arc::new(MemPager::new()),
         BufferPoolConfig {
             capacity: BUILD_POOL_PAGES,
+            ..Default::default()
         },
     ))
 }

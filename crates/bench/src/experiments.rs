@@ -25,6 +25,7 @@ pub fn experiment_pool() -> Arc<BufferPool> {
         Arc::new(MemPager::new()),
         BufferPoolConfig {
             capacity: EXPERIMENT_POOL_PAGES,
+            ..Default::default()
         },
     ))
 }

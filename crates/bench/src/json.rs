@@ -1,0 +1,160 @@
+//! Machine-readable experiment artifacts (`BENCH_<experiment>.json`).
+//!
+//! Every experiment the harness prints can also be archived as a small
+//! JSON file for cross-night trend tracking: one object with the
+//! experiment name, the scale it ran at, the column names, and one row
+//! object per printed table row.  The format is deliberately tiny and
+//! hand-rolled (the workspace has no serde dependency); the invariant the
+//! tests pin down is that braces balance and every row carries every
+//! column.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One JSON cell value.
+#[derive(Debug, Clone)]
+pub enum JsonVal {
+    /// An unsigned integer.
+    U(u64),
+    /// A float, serialized with enough precision for trend lines.
+    F(f64),
+    /// A string.
+    S(String),
+}
+
+impl From<u64> for JsonVal {
+    fn from(v: u64) -> Self {
+        JsonVal::U(v)
+    }
+}
+impl From<usize> for JsonVal {
+    fn from(v: usize) -> Self {
+        JsonVal::U(v as u64)
+    }
+}
+impl From<u32> for JsonVal {
+    fn from(v: u32) -> Self {
+        JsonVal::U(u64::from(v))
+    }
+}
+impl From<f64> for JsonVal {
+    fn from(v: f64) -> Self {
+        JsonVal::F(v)
+    }
+}
+impl From<&str> for JsonVal {
+    fn from(v: &str) -> Self {
+        JsonVal::S(v.to_string())
+    }
+}
+impl From<String> for JsonVal {
+    fn from(v: String) -> Self {
+        JsonVal::S(v)
+    }
+}
+
+fn push_val(out: &mut String, val: &JsonVal) {
+    match val {
+        JsonVal::U(v) => {
+            let _ = write!(out, "{v}");
+        }
+        JsonVal::F(v) => {
+            if v.is_finite() {
+                let _ = write!(out, "{v:.6}");
+            } else {
+                out.push_str("null");
+            }
+        }
+        JsonVal::S(v) => {
+            let _ = write!(out, "{:?}", v); // Debug escaping ≈ JSON for ASCII
+        }
+    }
+}
+
+/// Serializes an experiment's rows: `columns[i]` names `rows[_][i]`.
+///
+/// # Panics
+///
+/// Panics if any row's length differs from `columns` — a mismatched
+/// artifact is a bug at the call site, not something to archive.
+pub fn rows_json(
+    experiment: &str,
+    scale: usize,
+    columns: &[&str],
+    rows: &[Vec<JsonVal>],
+) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"experiment\": {experiment:?},");
+    let _ = writeln!(out, "  \"scale\": {scale},");
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(
+            row.len(),
+            columns.len(),
+            "experiment {experiment}: row {i} has {} cells for {} columns",
+            row.len(),
+            columns.len()
+        );
+        out.push_str("    {");
+        for (j, (name, val)) in columns.iter().zip(row).enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{name:?}: ");
+            push_val(&mut out, val);
+        }
+        out.push('}');
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes [`rows_json`] to `dir/BENCH_<experiment>.json`, creating `dir`
+/// if needed, and returns the path written.
+pub fn write_rows_json(
+    dir: &Path,
+    experiment: &str,
+    scale: usize,
+    columns: &[&str],
+    rows: &[Vec<JsonVal>],
+) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, rows_json(experiment, scale, columns, rows))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_json_is_balanced_and_complete() {
+        let rows = vec![
+            vec![
+                JsonVal::from("trie"),
+                JsonVal::from(10u64),
+                JsonVal::from(1.5),
+            ],
+            vec![
+                JsonVal::from("kdtree"),
+                JsonVal::from(20u64),
+                JsonVal::from(f64::NAN),
+            ],
+        ];
+        let json = rows_json("smoke", 2, &["class", "n", "ms"], &rows);
+        assert!(json.contains("\"experiment\": \"smoke\""));
+        assert!(json.contains("\"scale\": 2"));
+        assert!(json.contains("\"class\": \"trie\""));
+        assert!(json.contains("\"ms\": null"), "NaN must serialize as null");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    #[should_panic(expected = "row 0 has")]
+    fn mismatched_row_width_panics() {
+        rows_json("bad", 1, &["a", "b"], &[vec![JsonVal::from(1u64)]]);
+    }
+}

@@ -20,11 +20,15 @@
 pub mod build;
 pub mod concurrent;
 pub mod experiments;
+pub mod json;
 pub mod loc;
 pub mod reopen;
 pub mod stats;
+pub mod wal;
 
 pub use build::{run_build_experiment, write_build_json, BuildRow, BuildSide};
 pub use concurrent::{run_mixed_workload, run_read_scaling, MixedRow, ReadScalingRow};
 pub use experiments::*;
+pub use json::{rows_json, write_rows_json, JsonVal};
 pub use reopen::{run_reopen_experiment, ReopenRow};
+pub use wal::{run_wal_experiment, WalRow};

@@ -1,0 +1,163 @@
+//! WAL commit-throughput experiment: group commit vs per-commit `fsync`.
+//!
+//! Every acknowledged DML statement waits for its log record to be
+//! durable, so commit throughput is bounded by how many commits each
+//! `fsync` amortizes.  This experiment drives 1→N writer threads inserting
+//! into one table under two log configurations:
+//!
+//! * **per-commit** ([`WalConfig::per_commit`], `max_batch = 1`) — the
+//!   classical baseline: every commit pays a full `fsync`;
+//! * **group** ([`WalConfig::default`]) — writers submit and block on
+//!   their LSN while a single flusher thread batches everything queued
+//!   behind one `fsync`.
+//!
+//! With one writer the two are nearly identical (there is nobody to share
+//! the sync with); as writers pile up, group commit's commits-per-sync
+//! climbs and throughput follows.  The rows carry the measured sync counts
+//! so the mechanism — not just the wall clock — is visible in the output.
+
+use std::path::PathBuf;
+use std::time::{Duration, Instant};
+
+use spgist_catalog::{Database, KeyType, WalConfig};
+use spgist_storage::BufferPoolConfig;
+
+use crate::concurrent::p99_ms;
+use crate::stats::mean_ms;
+
+/// One row of the commit-throughput experiment: `threads` writers under
+/// one log configuration.
+#[derive(Debug, Clone)]
+pub struct WalRow {
+    /// Log configuration: `"per-commit"` or `"group"`.
+    pub mode: &'static str,
+    /// Number of concurrent writer threads.
+    pub threads: usize,
+    /// Total commits (acknowledged inserts) across all threads.
+    pub commits: usize,
+    /// Wall-clock time for the whole workload, milliseconds.
+    pub elapsed_ms: f64,
+    /// Aggregate commit throughput, commits per second.
+    pub throughput_cps: f64,
+    /// Mean per-commit latency, milliseconds.
+    pub mean_ms: f64,
+    /// 99th-percentile per-commit latency, milliseconds.
+    pub p99_ms: f64,
+    /// Log `fsync` calls spent on the workload.
+    pub syncs: u64,
+    /// Commits amortized per `fsync` — the group-commit batching factor.
+    pub commits_per_sync: f64,
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("spgist-bench-wal-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench scratch dir");
+    dir
+}
+
+/// Runs `commits_per_thread` acknowledged inserts on each of `threads`
+/// writer threads against a fresh durable database configured with
+/// `config`, returning the measured row.
+fn run_one(
+    mode: &'static str,
+    config: WalConfig,
+    threads: usize,
+    commits_per_thread: usize,
+) -> WalRow {
+    let dir = scratch_dir(&format!("{mode}-{threads}"));
+    let path = dir.join("db.pages");
+    let mut db = Database::create_with_wal_config(&path, BufferPoolConfig::default(), config)
+        .expect("create bench database");
+    db.create_table("commits", KeyType::Varchar)
+        .expect("create table");
+
+    let syncs_before = db.wal().expect("durable db has a wal").sync_count();
+    let started = Instant::now();
+    let per_thread: Vec<Vec<Duration>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let table = db.table_handle("commits").expect("table handle");
+                scope.spawn(move || {
+                    let mut latencies = Vec::with_capacity(commits_per_thread);
+                    for i in 0..commits_per_thread {
+                        let begun = Instant::now();
+                        table
+                            .insert(format!("w{t:02}-{i:06}"))
+                            .expect("acknowledged insert");
+                        latencies.push(begun.elapsed());
+                    }
+                    latencies
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let elapsed = started.elapsed();
+    let syncs = db.wal().expect("wal").sync_count() - syncs_before;
+
+    let mut latencies: Vec<Duration> = per_thread.into_iter().flatten().collect();
+    let commits = latencies.len();
+    db.close().expect("close bench database");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    WalRow {
+        mode,
+        threads,
+        commits,
+        elapsed_ms,
+        throughput_cps: commits as f64 / elapsed.as_secs_f64().max(1e-9),
+        mean_ms: mean_ms(&latencies),
+        p99_ms: p99_ms(&mut latencies),
+        syncs,
+        commits_per_sync: commits as f64 / (syncs.max(1)) as f64,
+    }
+}
+
+/// Runs the commit-throughput experiment: per-commit fsync vs group commit
+/// at each thread count, `commits_per_thread` acknowledged inserts per
+/// writer.
+pub fn run_wal_experiment(thread_counts: &[usize], commits_per_thread: usize) -> Vec<WalRow> {
+    let mut rows = Vec::new();
+    for &threads in thread_counts {
+        let threads = threads.max(1);
+        rows.push(run_one(
+            "per-commit",
+            WalConfig::per_commit(),
+            threads,
+            commits_per_thread,
+        ));
+        rows.push(run_one(
+            "group",
+            WalConfig::default(),
+            threads,
+            commits_per_thread,
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wal_experiment_measures_both_modes() {
+        let rows = run_wal_experiment(&[2], 25);
+        assert_eq!(rows.len(), 2);
+        let per_commit = &rows[0];
+        let group = &rows[1];
+        assert_eq!(per_commit.mode, "per-commit");
+        assert_eq!(group.mode, "group");
+        assert_eq!(per_commit.commits, 50);
+        assert_eq!(group.commits, 50);
+        assert!(per_commit.syncs >= 50, "per-commit pays one fsync each");
+        assert!(
+            group.syncs <= per_commit.syncs,
+            "group commit never syncs more than per-commit"
+        );
+        assert!(group.commits_per_sync >= 1.0);
+        assert!(per_commit.throughput_cps > 0.0 && group.throughput_cps > 0.0);
+    }
+}

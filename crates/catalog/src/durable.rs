@@ -40,7 +40,8 @@ const CATALOG_MAGIC: u32 = 0x5350_4743;
 
 /// Catalog format version.  Bumping it breaks open compatibility on purpose
 /// (the meta-v1 policy: no migrations, old files fail with `Corrupt`).
-const CATALOG_VERSION: u8 = 1;
+/// v2 added `checkpoint_lsn` for WAL recovery.
+const CATALOG_VERSION: u8 = 2;
 
 /// Chain terminator for catalog continuation pointers.
 const CHAIN_END: PageId = PageId::MAX;
@@ -151,6 +152,10 @@ impl Codec for PersistedTable {
 /// The whole catalog meta-table.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub(crate) struct PersistedCatalog {
+    /// The WAL position this catalog image corresponds to: recovery skips
+    /// log records below it (they are already reflected in the pages) and
+    /// replays everything at or above it.
+    pub checkpoint_lsn: u64,
     /// Every table in the database.
     pub tables: Vec<PersistedTable>,
 }
@@ -159,6 +164,7 @@ impl Codec for PersistedCatalog {
     fn encode(&self, out: &mut Vec<u8>) {
         CATALOG_MAGIC.encode(out);
         CATALOG_VERSION.encode(out);
+        self.checkpoint_lsn.encode(out);
         self.tables.encode(out);
     }
     fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
@@ -175,6 +181,7 @@ impl Codec for PersistedCatalog {
             )));
         }
         Ok(PersistedCatalog {
+            checkpoint_lsn: u64::decode(buf)?,
             tables: Vec::decode(buf)?,
         })
     }
@@ -267,6 +274,7 @@ mod tests {
             clustering: ClusteringPolicy::ParentFirst,
         };
         PersistedCatalog {
+            checkpoint_lsn: 41,
             tables: (0..tables)
                 .map(|t| PersistedTable {
                     name: format!("table-{t}"),

@@ -54,6 +54,7 @@ use spgist_storage::{
     BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, MemPager, PageId, RecordId,
     StorageError, StorageResult,
 };
+use spgist_wal::{Wal, WalConfig, WalRecord};
 
 use crate::am::Catalog;
 use crate::cost::{CostEstimate, Selectivity, TableStats, CPU_OPERATOR_COST};
@@ -613,6 +614,47 @@ impl IndexSpec {
             IndexSpec::KdTree | IndexSpec::PointQuadtree => KeyType::Point,
             IndexSpec::PmrQuadtree { .. } => KeyType::Segment,
         }
+    }
+
+    /// Stable byte encoding for WAL `CREATE INDEX` records: the durable
+    /// catalog's kind tag, plus the world rectangle where one applies.
+    fn encode_spec(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            IndexSpec::Trie => KIND_TRIE.encode(&mut out),
+            IndexSpec::SuffixTree => KIND_SUFFIX.encode(&mut out),
+            IndexSpec::KdTree => KIND_KDTREE.encode(&mut out),
+            IndexSpec::PointQuadtree => KIND_PQUADTREE.encode(&mut out),
+            IndexSpec::PmrQuadtree { world } => {
+                KIND_PMR.encode(&mut out);
+                world.encode(&mut out);
+            }
+        }
+        out
+    }
+
+    fn decode_spec(bytes: &[u8]) -> StorageResult<Self> {
+        let mut buf = bytes;
+        let spec = match u8::decode(&mut buf)? {
+            KIND_TRIE => IndexSpec::Trie,
+            KIND_SUFFIX => IndexSpec::SuffixTree,
+            KIND_KDTREE => IndexSpec::KdTree,
+            KIND_PQUADTREE => IndexSpec::PointQuadtree,
+            KIND_PMR => IndexSpec::PmrQuadtree {
+                world: Rect::decode(&mut buf)?,
+            },
+            tag => {
+                return Err(StorageError::Corrupt(format!(
+                    "WAL CREATE INDEX record names unknown index kind {tag}"
+                )))
+            }
+        };
+        if !buf.is_empty() {
+            return Err(StorageError::Corrupt(
+                "WAL CREATE INDEX record has trailing bytes".into(),
+            ));
+        }
+        Ok(spec)
     }
 }
 
@@ -1296,6 +1338,13 @@ pub struct Table {
     /// latch, so it adds no ordering cycle with readers (which nest
     /// index-read → table-read and never touch it).
     dml: Mutex<()>,
+    /// The database's write-ahead log, when this table belongs to a durable
+    /// database.  DML **submits** its redo record while still holding the
+    /// DML lock (so a checkpoint's log cut can never separate an applied
+    /// statement from its record) and **waits** for durability after
+    /// releasing it (so concurrent writers overlap their fsyncs — that wait
+    /// is where group commit batches).
+    wal: Option<Arc<Wal>>,
 }
 
 impl Table {
@@ -1314,6 +1363,7 @@ impl Table {
             pool,
             indexes: Vec::new(),
             dml: Mutex::new(()),
+            wal: None,
         })
     }
 
@@ -1359,7 +1409,15 @@ impl Table {
             pool,
             indexes,
             dml: Mutex::new(()),
+            wal: None,
         })
+    }
+
+    /// Hooks this table up to the database's write-ahead log; DML from here
+    /// on is logged before it is acknowledged.  Called once while the table
+    /// is still exclusively owned (create, open-after-replay).
+    pub(crate) fn attach_wal(&mut self, wal: Arc<Wal>) {
+        self.wal = Some(wal);
     }
 
     /// Snapshots this table's durable-catalog record.  The snapshot is
@@ -1436,7 +1494,8 @@ impl Table {
             )));
         }
         let record = datum.encode_record();
-        let _dml = self.dml.lock();
+        let wal_datum = self.wal.as_ref().map(|_| record.clone());
+        let dml = self.dml.lock();
         let row = {
             let mut inner = self.inner.write();
             let rid = inner.heap.insert(&record)?;
@@ -1449,6 +1508,22 @@ impl Table {
         for named in &self.indexes {
             named.index.insert(&datum, row)?;
             named.invalidate_stats();
+        }
+        // Submit the redo record *inside* the DML lock (a checkpoint's log
+        // cut must see statement-and-record as one unit), wait for the
+        // fsync *outside* it (so concurrent writers' waits overlap and
+        // group commit can batch them).
+        let lsn = match &self.wal {
+            Some(wal) => Some(wal.submit(&WalRecord::Insert {
+                table: self.name.clone(),
+                row,
+                datum: wal_datum.expect("cloned when the wal is attached"),
+            })?),
+            None => None,
+        };
+        drop(dml);
+        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
+            wal.wait_durable(lsn)?;
         }
         Ok(row)
     }
@@ -1480,7 +1555,8 @@ impl Table {
         if data.is_empty() {
             return Ok(Vec::new());
         }
-        let _dml = self.dml.lock();
+        let dml = self.dml.lock();
+        let mut wal_datums: Vec<Vec<u8>> = Vec::new();
         let items: Vec<(Datum, RowId)> = {
             let mut inner = self.inner.write();
             let mut items = Vec::with_capacity(data.len());
@@ -1490,6 +1566,9 @@ impl Table {
                 let row = inner.rows.len() as RowId;
                 inner.rows.push(Some(rid));
                 inner.live_rows += 1;
+                if self.wal.is_some() {
+                    wal_datums.push(record.clone());
+                }
                 inner.distinct.insert(record);
                 items.push((datum, row));
             }
@@ -1498,6 +1577,21 @@ impl Table {
         for named in &self.indexes {
             named.index.insert_batch(&items)?;
             named.invalidate_stats();
+        }
+        // One redo record for the whole batch: recovery reproduces its
+        // all-or-nothing visibility.  Submit under the DML lock, wait
+        // outside it (see `insert`).
+        let lsn = match &self.wal {
+            Some(wal) => Some(wal.submit(&WalRecord::InsertMany {
+                table: self.name.clone(),
+                first_row: items[0].1,
+                datums: wal_datums,
+            })?),
+            None => None,
+        };
+        drop(dml);
+        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
+            wal.wait_durable(lsn)?;
         }
         Ok(items.into_iter().map(|(_, row)| row).collect())
     }
@@ -1509,7 +1603,7 @@ impl Table {
     /// so the heap removal and index removals are one atomic statement with
     /// respect to other DML.
     pub fn delete(&self, row: RowId) -> StorageResult<bool> {
-        let _dml = self.dml.lock();
+        let dml = self.dml.lock();
         let datum = {
             let mut inner = self.inner.write();
             let Some(slot) = inner.rows.get_mut(row as usize) else {
@@ -1527,7 +1621,105 @@ impl Table {
             named.index.delete(&datum, row)?;
             named.invalidate_stats();
         }
+        // Submit under the DML lock, wait outside it (see `insert`).
+        let lsn = match &self.wal {
+            Some(wal) => Some(wal.submit(&WalRecord::Delete {
+                table: self.name.clone(),
+                row,
+            })?),
+            None => None,
+        };
+        drop(dml);
+        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
+            wal.wait_durable(lsn)?;
+        }
         Ok(true)
+    }
+
+    /// Re-executes a logged `INSERT` during recovery.  Row ids are assigned
+    /// deterministically (`rows.len()`), which makes replay **idempotent
+    /// and checkable**: a record whose row id is already past the row
+    /// directory's end was not yet applied and replays exactly where the
+    /// original landed; one below it is already reflected in the
+    /// checkpoint image and is skipped; a gap means the log and the
+    /// checkpoint disagree and recovery must stop rather than guess.
+    pub(crate) fn replay_insert(&self, row: RowId, record: &[u8]) -> StorageResult<()> {
+        let datum = Datum::decode_record(record)?;
+        let _dml = self.dml.lock();
+        let applied = {
+            let mut inner = self.inner.write();
+            let next = inner.rows.len() as RowId;
+            if next > row {
+                false
+            } else if next < row {
+                return Err(StorageError::Corrupt(format!(
+                    "WAL replay gap on table {:?}: next row is {next} but the log says {row}",
+                    self.name
+                )));
+            } else {
+                let rid = inner.heap.insert(record)?;
+                inner.rows.push(Some(rid));
+                inner.live_rows += 1;
+                inner.distinct.insert(record.to_vec());
+                true
+            }
+        };
+        if applied {
+            for named in &self.indexes {
+                named.index.insert(&datum, row)?;
+                named.invalidate_stats();
+            }
+        }
+        Ok(())
+    }
+
+    /// Re-executes a logged `insert_many` batch during recovery.  The batch
+    /// was applied (and, if checkpointed, snapshotted) atomically under the
+    /// DML lock, so it is either wholly in the checkpoint image or wholly
+    /// missing — anything in between is corruption.
+    pub(crate) fn replay_insert_many(
+        &self,
+        first_row: RowId,
+        records: &[Vec<u8>],
+    ) -> StorageResult<()> {
+        if records.is_empty() {
+            return Ok(());
+        }
+        let datums = records
+            .iter()
+            .map(|r| Datum::decode_record(r))
+            .collect::<StorageResult<Vec<_>>>()?;
+        let _dml = self.dml.lock();
+        let items: Vec<(Datum, RowId)> = {
+            let mut inner = self.inner.write();
+            let next = inner.rows.len() as RowId;
+            let end = first_row + records.len() as RowId;
+            if next >= end {
+                return Ok(()); // wholly inside the checkpoint image
+            }
+            if next != first_row {
+                return Err(StorageError::Corrupt(format!(
+                    "WAL replay gap on table {:?}: next row is {next} but the batch \
+                     covers rows {first_row}..{end}",
+                    self.name
+                )));
+            }
+            let mut items = Vec::with_capacity(records.len());
+            for (record, datum) in records.iter().zip(datums) {
+                let rid = inner.heap.insert(record)?;
+                let row = inner.rows.len() as RowId;
+                inner.rows.push(Some(rid));
+                inner.live_rows += 1;
+                inner.distinct.insert(record.clone());
+                items.push((datum, row));
+            }
+            items
+        };
+        for named in &self.indexes {
+            named.index.insert_batch(&items)?;
+            named.invalidate_stats();
+        }
+        Ok(())
     }
 
     /// Reads the key value of a live row; an error if the row is unknown or
@@ -2439,6 +2631,20 @@ pub struct Database {
     /// (created with [`Database::create`] or [`Database::open`]); `None` for
     /// in-memory databases, whose DDL skips catalog persistence.
     catalog_chain: Option<Vec<PageId>>,
+    /// The write-ahead log of a durable database.  Every acknowledged DML
+    /// statement has its redo record fsynced here before the call returns;
+    /// [`Database::open`] replays records past the catalog's checkpoint
+    /// LSN, so acknowledged writes survive a crash — even dropping the
+    /// database without [`Database::close`] loses nothing acknowledged.
+    wal: Option<Arc<Wal>>,
+}
+
+/// WAL segment file prefix for the database at `path`: segments are
+/// `<path>.wal.<seq>` siblings of the database file.
+fn wal_prefix(path: &Path) -> std::path::PathBuf {
+    let mut os = path.as_os_str().to_os_string();
+    os.push(".wal");
+    std::path::PathBuf::from(os)
 }
 
 impl Database {
@@ -2467,14 +2673,16 @@ impl Database {
             pool,
             tables: BTreeMap::new(),
             catalog_chain: None,
+            wal: None,
         }
     }
 
-    /// Creates a durable database in a fresh file at `path`.  The catalog
-    /// meta-table is rooted at the file's first logical page and written
-    /// through on every DDL statement, so even a database that is never
-    /// explicitly closed reopens (empty of un-checkpointed DML, see
-    /// [`Database::checkpoint`]).
+    /// Creates a durable database in a fresh file at `path`, with a
+    /// write-ahead log in `<path>.wal.*` siblings.  The catalog meta-table
+    /// is rooted at the file's first logical page and written through on
+    /// every DDL statement; every acknowledged DML statement is fsynced to
+    /// the log before its call returns, so a reopen after a crash recovers
+    /// it (see [`Database::open`]).
     pub fn create<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
         Self::create_with_config(path, BufferPoolConfig::default())
     }
@@ -2488,6 +2696,17 @@ impl Database {
         path: P,
         config: BufferPoolConfig,
     ) -> StorageResult<Self> {
+        Self::create_with_wal_config(path, config, WalConfig::default())
+    }
+
+    /// [`Database::create_with_config`] with an explicit WAL configuration
+    /// (group-commit window, batch bound, segment size) — the knobs the
+    /// commit-throughput experiments turn.
+    pub fn create_with_wal_config<P: AsRef<Path>>(
+        path: P,
+        config: BufferPoolConfig,
+        wal_config: WalConfig,
+    ) -> StorageResult<Self> {
         let path = path.as_ref();
         if path.exists() {
             return Err(StorageError::Unsupported(format!(
@@ -2495,32 +2714,59 @@ impl Database {
                  open it with Database::open or remove it first"
             )));
         }
-        let pager = FilePager::create(path)?;
-        let pool = Arc::new(BufferPool::new(Arc::new(pager), config));
+        let pager = Arc::new(FilePager::create(path)?);
+        Self::create_with_pager(pager, wal_prefix(path), config, wal_config)
+    }
+
+    /// Creates a durable database over an arbitrary pager — the hook the
+    /// crash-recovery suites use to interpose a fault-injection pager
+    /// (`spgist_storage::FaultPager`) between the executor and the file.
+    /// WAL segments are created at `<wal_path>.<seq>`; the log always
+    /// writes its own files directly (its fsyncs are the commit point and
+    /// cannot go through a pager that might lie about them).
+    pub fn create_with_pager(
+        pager: Arc<dyn spgist_storage::Pager>,
+        wal_path: impl AsRef<Path>,
+        config: BufferPoolConfig,
+        wal_config: WalConfig,
+    ) -> StorageResult<Self> {
+        // Durable databases run the pool in no-steal mode: between
+        // checkpoints no data page reaches the file, so after a crash the
+        // file holds exactly the state the log's replay starts from.
+        let config = BufferPoolConfig {
+            steal: false,
+            ..config
+        };
+        let pool = Arc::new(BufferPool::new(pager, config));
         let root = pool.allocate_page()?;
         if root != durable::CATALOG_ROOT {
             return Err(StorageError::Corrupt(format!(
                 "fresh database file allocated page {root} first, expected the catalog root"
             )));
         }
+        let wal = Arc::new(Wal::create(wal_path, wal_config)?);
         let mut db = Database {
             catalog: Catalog::with_paper_defaults(),
             pool,
             tables: BTreeMap::new(),
             catalog_chain: Some(vec![root]),
+            wal: Some(wal),
         };
         db.checkpoint()?;
         Ok(db)
     }
 
-    /// Opens a previously created (and cleanly closed or checkpointed)
-    /// database file, restoring **all** tables and indexes from the durable
-    /// catalog with zero rebuild scans: heap row directories and index trees
-    /// are picked up where they were left, not reconstructed by scanning.
+    /// Opens a previously created database file, restoring **all** tables
+    /// and indexes from the durable catalog with zero rebuild scans — and
+    /// then replaying the write-ahead log past the catalog's checkpoint
+    /// LSN, so every statement that was acknowledged before a crash (or an
+    /// unclosed drop) is back, exactly once.
     ///
     /// Fails with [`StorageError::Corrupt`] when the file is not a database
-    /// file, was written by an incompatible version, or is torn (truncated /
-    /// zeroed past the last sync); a corrupt catalog is never silently
+    /// file, was written by an incompatible version, or is torn past what
+    /// crash recovery can explain (a torn *tail* on the last log segment is
+    /// normal — that record was never acknowledged — but damage below the
+    /// durable horizon is not); a corrupt database is never silently
     /// misread into wrong rows.
     pub fn open<P: AsRef<Path>>(path: P) -> StorageResult<Self> {
         Self::open_with_config(path, BufferPoolConfig::default())
@@ -2531,8 +2777,33 @@ impl Database {
         path: P,
         config: BufferPoolConfig,
     ) -> StorageResult<Self> {
-        let pager = FilePager::open(path)?;
-        let pool = Arc::new(BufferPool::new(Arc::new(pager), config));
+        Self::open_with_wal_config(path, config, WalConfig::default())
+    }
+
+    /// [`Database::open_with_config`] with an explicit WAL configuration.
+    pub fn open_with_wal_config<P: AsRef<Path>>(
+        path: P,
+        config: BufferPoolConfig,
+        wal_config: WalConfig,
+    ) -> StorageResult<Self> {
+        let path = path.as_ref();
+        let pager = Arc::new(FilePager::open(path)?);
+        Self::open_with_pager(pager, wal_prefix(path), config, wal_config)
+    }
+
+    /// Opens a durable database over an arbitrary pager (the
+    /// fault-injection counterpart of [`Database::create_with_pager`]).
+    pub fn open_with_pager(
+        pager: Arc<dyn spgist_storage::Pager>,
+        wal_path: impl AsRef<Path>,
+        config: BufferPoolConfig,
+        wal_config: WalConfig,
+    ) -> StorageResult<Self> {
+        let config = BufferPoolConfig {
+            steal: false,
+            ..config
+        };
+        let pool = Arc::new(BufferPool::new(pager, config));
         let (persisted, chain) = durable::read_catalog(&pool)?;
         let mut tables = BTreeMap::new();
         for pt in &persisted.tables {
@@ -2541,12 +2812,101 @@ impl Database {
             })?;
             tables.insert(pt.name.clone(), Arc::new(table));
         }
-        Ok(Database {
+        let (wal, records) = Wal::open(wal_path, wal_config, persisted.checkpoint_lsn)?;
+        let wal = Arc::new(wal);
+        let mut db = Database {
             catalog: Catalog::with_paper_defaults(),
             pool,
             tables,
             catalog_chain: Some(chain),
-        })
+            // Replay runs with the log detached so the re-executed
+            // statements are not logged again.
+            wal: None,
+        };
+        let replayed = records.len();
+        for (lsn, record) in records {
+            db.replay_record(record).map_err(|e| {
+                StorageError::Corrupt(format!("WAL replay failed at lsn {lsn}: {e}"))
+            })?;
+        }
+        db.wal = Some(Arc::clone(&wal));
+        for table in db.tables.values_mut() {
+            Arc::get_mut(table)
+                .expect("tables are exclusively owned during open")
+                .attach_wal(Arc::clone(&wal));
+        }
+        if replayed > 0 {
+            // Fold the replayed tail into a fresh checkpoint so the log
+            // shrinks instead of being replayed again (and again) across
+            // reopens.
+            db.checkpoint()?;
+        }
+        Ok(db)
+    }
+
+    /// Applies one recovered redo record.  Each case is idempotent against
+    /// the checkpoint image (the log cut can overlap it — see
+    /// [`Database::checkpoint`]): DML verifies row-id positions, DDL checks
+    /// existence before re-executing.
+    fn replay_record(&mut self, record: WalRecord) -> StorageResult<()> {
+        let missing = |table: &str| {
+            StorageError::Corrupt(format!("WAL record names unknown table {table:?}"))
+        };
+        match record {
+            WalRecord::Insert { table, row, datum } => self
+                .tables
+                .get(&table)
+                .ok_or_else(|| missing(&table))?
+                .replay_insert(row, &datum),
+            WalRecord::InsertMany {
+                table,
+                first_row,
+                datums,
+            } => self
+                .tables
+                .get(&table)
+                .ok_or_else(|| missing(&table))?
+                .replay_insert_many(first_row, &datums),
+            WalRecord::Delete { table, row } => self
+                .tables
+                .get(&table)
+                .ok_or_else(|| missing(&table))?
+                .delete(row)
+                .map(|_| ()),
+            WalRecord::CreateTable { table, key_type } => {
+                if self.tables.contains_key(&table) {
+                    return Ok(()); // already in the checkpoint image
+                }
+                let t =
+                    Table::create(&table, KeyType::from_tag(key_type)?, Arc::clone(&self.pool))?;
+                self.tables.insert(table, Arc::new(t));
+                Ok(())
+            }
+            WalRecord::DropTable { table } => {
+                let Some(t) = self.tables.remove(&table) else {
+                    return Ok(());
+                };
+                Arc::try_unwrap(t)
+                    .expect("tables are exclusively owned during replay")
+                    .destroy()
+            }
+            WalRecord::CreateIndex { table, index, spec } => {
+                let spec = IndexSpec::decode_spec(&spec)?;
+                let t = self.tables.get_mut(&table).ok_or_else(|| missing(&table))?;
+                let t = Arc::get_mut(t).expect("tables are exclusively owned during replay");
+                if t.indexes.iter().any(|i| i.name == index) {
+                    return Ok(());
+                }
+                t.create_index(&index, spec)
+            }
+            WalRecord::DropIndex { table, index } => {
+                let t = self.tables.get_mut(&table).ok_or_else(|| missing(&table))?;
+                Arc::get_mut(t)
+                    .expect("tables are exclusively owned during replay")
+                    .drop_index(&index)
+                    .map(|_| ())
+            }
+        }
     }
 
     /// True when this database persists its catalog to a file (created with
@@ -2556,29 +2916,57 @@ impl Database {
     }
 
     /// Persists the full catalog meta-table — every table's heap directory,
-    /// row directory and index identities — and flushes all dirty pages to
-    /// stable storage.  A no-op for in-memory databases.
+    /// row directory and index identities — flushes all dirty pages to
+    /// stable storage, and **truncates the write-ahead log** up to the
+    /// checkpoint.  A no-op for in-memory databases.
     ///
-    /// DDL calls this automatically (write-through); call it after DML
-    /// batches whose durability matters before the next [`Database::close`].
-    /// Reopen durability is **clean-shutdown-scoped**: DML between the last
-    /// checkpoint and a crash is not recovered (there is no WAL).
+    /// The protocol: first the log is rotated (`cut` = everything appended
+    /// so far becomes durable and sealed), then every table is snapshotted
+    /// under its DML lock, then catalog + pages are written and synced with
+    /// `checkpoint_lsn = cut`, and only then are segments below the cut
+    /// deleted.  DML submits its record *inside* the DML lock after
+    /// applying, so any record below the cut is fully reflected in the
+    /// snapshots; records at or above it may or may not be — which is why
+    /// replay is idempotent.  A crash anywhere in between recovers from the
+    /// previous checkpoint plus the un-pruned log: nothing acknowledged is
+    /// lost, checkpointing is *purely* a log-truncation (and reopen-speed)
+    /// optimization.
     pub fn checkpoint(&mut self) -> StorageResult<()> {
         let Some(chain) = self.catalog_chain.as_mut() else {
             return Ok(());
         };
+        let checkpoint_lsn = match &self.wal {
+            Some(wal) => wal.rotate()?,
+            None => 0,
+        };
         let persisted = PersistedCatalog {
+            checkpoint_lsn,
             tables: self.tables.values().map(|t| t.persisted()).collect(),
         };
         durable::write_catalog(&self.pool, chain, &persisted)?;
-        self.pool.flush_all()
+        self.pool.flush_all()?;
+        if let Some(wal) = &self.wal {
+            wal.prune(checkpoint_lsn)?;
+        }
+        Ok(())
     }
 
     /// Checkpoints and consumes the database (clean shutdown).  A file
     /// closed this way reopens with [`Database::open`] restoring every
-    /// table, row and index.
+    /// table, row and index without any log replay.
+    ///
+    /// Dropping a durable database *without* closing it is safe too —
+    /// acknowledged statements are recovered from the write-ahead log on
+    /// the next open; closing just makes the reopen replay-free.
     pub fn close(mut self) -> StorageResult<()> {
         self.checkpoint()
+    }
+
+    /// The write-ahead log of a durable database (`None` in-memory):
+    /// fsync/record counters for the bench harness, plus the durable-LSN
+    /// watermark.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
     }
 
     /// The system catalog (access methods and operator classes).
@@ -2599,6 +2987,19 @@ impl Database {
         &mut self.catalog
     }
 
+    /// Appends a DDL redo record after the statement's write-through
+    /// checkpoint succeeded.  The record is technically redundant with that
+    /// checkpoint — replay only needs it when recovering from an *earlier*
+    /// checkpoint (a later one failed or was torn), where its existence
+    /// checks re-execute or skip it as the image requires.  Logged after
+    /// the checkpoint so a rolled-back statement leaves no record behind.
+    fn log_ddl(&self, record: WalRecord) -> StorageResult<()> {
+        match &self.wal {
+            Some(wal) => wal.append(&record).map(|_| ()),
+            None => Ok(()),
+        }
+    }
+
     /// Creates an empty table with the given key type.  On a durable
     /// database the catalog update is written through (checkpointed) before
     /// returning; if the write-through fails, the in-memory table is rolled
@@ -2609,7 +3010,10 @@ impl Database {
                 "table {name:?} already exists"
             )));
         }
-        let table = Table::create(name, key_type, Arc::clone(&self.pool))?;
+        let mut table = Table::create(name, key_type, Arc::clone(&self.pool))?;
+        if let Some(wal) = &self.wal {
+            table.attach_wal(Arc::clone(wal));
+        }
         self.tables.insert(name.to_string(), Arc::new(table));
         if let Err(e) = self.checkpoint() {
             // A fresh table owns no pages yet: dropping the entry is a
@@ -2617,7 +3021,10 @@ impl Database {
             self.tables.remove(name);
             return Err(e);
         }
-        Ok(())
+        self.log_ddl(WalRecord::CreateTable {
+            table: name.to_string(),
+            key_type: key_type.tag(),
+        })
     }
 
     /// Builds a physical index on the named table, backfilling it from the
@@ -2634,7 +3041,11 @@ impl Database {
             }
             return Err(e);
         }
-        Ok(())
+        self.log_ddl(WalRecord::CreateIndex {
+            table: table.to_string(),
+            index: index.to_string(),
+            spec: spec.encode_spec(),
+        })
     }
 
     /// Drops a physical index from the named table, releasing its pages;
@@ -2651,6 +3062,10 @@ impl Database {
             self.table_ddl(table)?.attach_index(named);
             return Err(e);
         }
+        self.log_ddl(WalRecord::DropIndex {
+            table: table.to_string(),
+            index: index.to_string(),
+        })?;
         named.index.destroy()?;
         Ok(true)
     }
@@ -2689,6 +3104,9 @@ impl Database {
                     self.tables.insert(name.to_string(), Arc::new(table));
                     return Err(e);
                 }
+                self.log_ddl(WalRecord::DropTable {
+                    table: name.to_string(),
+                })?;
                 table.destroy()?;
                 Ok(true)
             }

@@ -36,3 +36,4 @@ pub use exec::{
 };
 pub use operator::{Operator, OperatorClass, Strategy, SupportFunction};
 pub use planner::{AccessPath, AvailableIndex, Planner, QueryPredicate};
+pub use spgist_wal::{Wal, WalConfig};

@@ -1237,7 +1237,10 @@ mod tests {
         let bounded_pool = || {
             Arc::new(BufferPool::new(
                 Arc::new(MemPager::new()),
-                BufferPoolConfig { capacity: 8 },
+                BufferPoolConfig {
+                    capacity: 8,
+                    ..Default::default()
+                },
             ))
         };
 
@@ -1275,7 +1278,10 @@ mod tests {
         {
             let pool = Arc::new(BufferPool::new(
                 Arc::new(FilePager::create(&path).unwrap()),
-                BufferPoolConfig { capacity: 64 },
+                BufferPoolConfig {
+                    capacity: 64,
+                    ..Default::default()
+                },
             ));
             let mut tree = SpGistTree::create(pool.clone(), DigitTrieOps::default()).unwrap();
             for key in 0..300u32 {
@@ -1287,7 +1293,10 @@ mod tests {
         {
             let pool = Arc::new(BufferPool::new(
                 Arc::new(FilePager::open(&path).unwrap()),
-                BufferPoolConfig { capacity: 64 },
+                BufferPoolConfig {
+                    capacity: 64,
+                    ..Default::default()
+                },
             ));
             let tree = SpGistTree::open(pool, DigitTrieOps::default(), meta).unwrap();
             assert_eq!(tree.len(), 300);
@@ -1315,7 +1324,10 @@ mod tests {
     fn small_buffer_pool_still_correct_under_eviction() {
         let pool = Arc::new(BufferPool::new(
             Arc::new(MemPager::new()),
-            BufferPoolConfig { capacity: 4 },
+            BufferPoolConfig {
+                capacity: 4,
+                ..Default::default()
+            },
         ));
         let mut tree = SpGistTree::create(pool, DigitTrieOps::default()).unwrap();
         for key in 0..1500u32 {

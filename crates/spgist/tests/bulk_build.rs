@@ -424,7 +424,10 @@ fn create_index_bulk_path_answers_like_the_maintenance_path() {
 
     // Path A: populate first, CREATE INDEX bulk-builds from the heap scan —
     // on an eviction-bounded pool, the regime the bulk path exists for.
-    let mut after = Database::in_memory_with_config(BufferPoolConfig { capacity: 24 });
+    let mut after = Database::in_memory_with_config(BufferPoolConfig {
+        capacity: 24,
+        ..Default::default()
+    });
     after.create_table("words", KeyType::Varchar).unwrap();
     after
         .table("words")

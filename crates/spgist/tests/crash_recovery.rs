@@ -1,0 +1,492 @@
+//! Crash-point recovery suite: every acknowledged write survives, no
+//! unacknowledged write resurrects.
+//!
+//! These tests kill a durable [`Database`] at chosen points — dropped
+//! without `close()`, data pages lost before their fsync, a checkpoint
+//! aborted halfway, the log tail torn at *every byte offset* — then reopen
+//! and check the recovered state is exactly the acknowledged-commit prefix:
+//!
+//! * **never lost**: a statement whose call returned `Ok` is present after
+//!   reopen, and
+//! * **never phantom**: a statement whose record did not fully reach the
+//!   log is absent — a torn batch record restores none of the batch.
+//!
+//! The crash model: data pages live behind a [`FaultPager`] (a volatile
+//! write cache that `crash()` clears, emulating the kernel page cache),
+//! while the WAL writes its own files with its own fsyncs and is therefore
+//! real. Dropping a `Database` without `close()` is itself a faithful
+//! crash for data pages even without a `FaultPager` — the no-steal buffer
+//! pool keeps every dirty page in memory between checkpoints, so the drop
+//! loses them exactly as a power cut would.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use spgist::catalog::WalConfig;
+use spgist::prelude::*;
+use spgist::storage::{FaultPager, WriteFault};
+
+/// A scratch directory holding one database file plus its WAL segments.
+struct TempDb {
+    dir: PathBuf,
+}
+
+impl TempDb {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("spgist-crash-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        TempDb { dir }
+    }
+
+    fn path(&self) -> PathBuf {
+        self.dir.join("db.pages")
+    }
+
+    fn wal_prefix(&self) -> PathBuf {
+        self.dir.join("db.pages.wal")
+    }
+
+    /// WAL segment files, oldest first.
+    fn wal_segments(&self) -> Vec<PathBuf> {
+        let mut segments: Vec<PathBuf> = std::fs::read_dir(&self.dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("db.pages.wal."))
+            })
+            .collect();
+        segments.sort();
+        segments
+    }
+
+    fn last_segment(&self) -> PathBuf {
+        self.wal_segments().pop().expect("a WAL segment exists")
+    }
+
+    /// Copies every file (db + segments) aside so a destructive reopen can
+    /// be retried from the same crash image.
+    fn snapshot(&self) -> Vec<(PathBuf, Vec<u8>)> {
+        let mut files: Vec<PathBuf> = std::fs::read_dir(&self.dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .collect();
+        files.sort();
+        files
+            .into_iter()
+            .map(|p| {
+                let bytes = std::fs::read(&p).unwrap();
+                (p, bytes)
+            })
+            .collect()
+    }
+
+    /// Restores a snapshot, deleting any file the reopen created since.
+    fn restore(&self, snapshot: &[(PathBuf, Vec<u8>)]) {
+        for entry in std::fs::read_dir(&self.dir).unwrap() {
+            std::fs::remove_file(entry.unwrap().path()).unwrap();
+        }
+        for (path, bytes) in snapshot {
+            std::fs::write(path, bytes).unwrap();
+        }
+    }
+}
+
+impl Drop for TempDb {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.dir);
+    }
+}
+
+fn word(i: usize) -> String {
+    format!("word-{i:04}")
+}
+
+/// Asserts the `words` table holds exactly `word(0)..word(n)` live.
+fn assert_words(db: &Database, n: usize) {
+    let table = db.table("words").expect("words table exists");
+    assert_eq!(table.len(), n as u64, "live row count");
+    for row in 0..n {
+        assert_eq!(
+            table.datum(row as u64).unwrap(),
+            Datum::Text(word(row)),
+            "row {row} content"
+        );
+    }
+    // The sequential scan agrees with the row-at-a-time reads.
+    let rows = db
+        .query("words", Predicate::str_prefix("word-"))
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rows.len(), n, "scan row count");
+}
+
+#[test]
+fn drop_without_close_loses_nothing_acknowledged() {
+    let tmp = TempDb::new("drop-no-close");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    db.create_index("words", "words_trie", IndexSpec::Trie)
+        .unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..100 {
+            table.insert(word(i)).unwrap(); // acknowledged
+        }
+        for row in [3u64, 7, 50] {
+            assert!(table.delete(row).unwrap());
+        }
+        // Pad the table with one bulk statement so the prefix probe below
+        // is selective enough for the planner to pick the recovered index.
+        let bulk: Vec<Datum> = (0..2900)
+            .map(|i| Datum::Text(format!("zz-bulk-{i:05}")))
+            .collect();
+        table.insert_many(bulk).unwrap();
+    }
+    drop(db); // crash: no close(), no checkpoint — dirty pages are gone
+
+    let db = Database::open(tmp.path()).unwrap();
+    let table = db.table("words").unwrap();
+    assert_eq!(table.len(), 2997);
+    for row in 0..100u64 {
+        let expected = if [3, 7, 50].contains(&row) {
+            None
+        } else {
+            Some(Datum::Text(word(row as usize)))
+        };
+        assert_eq!(table.try_datum(row).unwrap(), expected, "row {row}");
+    }
+    assert_eq!(
+        table.datum(2999).unwrap(),
+        Datum::Text("zz-bulk-02899".to_string()),
+        "batch tail recovered"
+    );
+    // The recovered index answers queries (and is actually chosen).
+    let cursor = db.query("words", Predicate::str_prefix("word-00")).unwrap();
+    assert!(cursor.source().scans_index("words_trie"));
+    let mut rows = cursor.rows().unwrap();
+    rows.sort_unstable();
+    let expected: Vec<u64> = (0..100).filter(|r| ![3, 7, 50].contains(r)).collect();
+    assert_eq!(rows, expected);
+    db.close().unwrap();
+}
+
+/// The core prefix property, proven at *every byte*: truncate the log tail
+/// at each offset in turn and check the reopened state is exactly the
+/// records that fully fit below the cut — never one fewer (lost
+/// acknowledged work), never one more (phantom resurrection).
+#[test]
+fn torn_log_tail_recovers_exactly_the_acknowledged_prefix() {
+    const N: usize = 12;
+    let tmp = TempDb::new("torn-tail");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+
+    // `boundaries[i]` = segment length once insert `i` is durable: the
+    // record for insert `i` occupies bytes `boundaries[i-1]..boundaries[i]`.
+    let segment = tmp.last_segment();
+    let base = std::fs::metadata(&segment).unwrap().len();
+    let mut boundaries = Vec::with_capacity(N);
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..N {
+            table.insert(word(i)).unwrap();
+            boundaries.push(std::fs::metadata(&segment).unwrap().len());
+        }
+    }
+    drop(db); // crash
+
+    let crash_image = tmp.snapshot();
+    let full = *boundaries.last().unwrap();
+    assert!(base < full, "the log grew as inserts were acknowledged");
+
+    for cut in base..=full {
+        tmp.restore(&crash_image);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        let expected = boundaries.iter().filter(|&&b| b <= cut).count();
+        let db = Database::open(tmp.path())
+            .unwrap_or_else(|e| panic!("reopen failed at cut {cut}: {e}"));
+        let table = db.table("words").unwrap();
+        assert_eq!(
+            table.len(),
+            expected as u64,
+            "cut {cut}: exactly the fully-logged prefix survives"
+        );
+        for row in 0..expected {
+            assert_eq!(table.datum(row as u64).unwrap(), Datum::Text(word(row)));
+        }
+        assert_eq!(
+            table.try_datum(expected as u64).unwrap(),
+            None,
+            "cut {cut}: no phantom row past the prefix"
+        );
+    }
+}
+
+#[test]
+fn garbage_on_the_log_tail_is_discarded_not_fatal() {
+    const N: usize = 8;
+    let tmp = TempDb::new("garbage-tail");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..N {
+            table.insert(word(i)).unwrap();
+        }
+    }
+    drop(db); // crash
+
+    // A crash can leave preallocated junk past the last record — the log
+    // must treat it as a torn tail, not corruption.
+    let segment = tmp.last_segment();
+    let mut bytes = std::fs::read(&segment).unwrap();
+    bytes.extend_from_slice(&[0xDB; 100]);
+    std::fs::write(&segment, &bytes).unwrap();
+
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, N);
+    db.close().unwrap();
+}
+
+#[test]
+fn flipped_byte_in_the_last_record_drops_only_that_record() {
+    const N: usize = 8;
+    let tmp = TempDb::new("bitrot-tail");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    let segment = tmp.last_segment();
+    let before_last;
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..N - 1 {
+            table.insert(word(i)).unwrap();
+        }
+        before_last = std::fs::metadata(&segment).unwrap().len();
+        table.insert(word(N - 1)).unwrap();
+    }
+    drop(db); // crash
+
+    // Corrupt one byte inside the final record's payload: its CRC no
+    // longer matches, so recovery must stop *before* it — the record was
+    // never fully durable as far as the checksum can prove.
+    let mut bytes = std::fs::read(&segment).unwrap();
+    let target = before_last as usize + 9; // inside the len/crc/payload frame
+    bytes[target] ^= 0xFF;
+    std::fs::write(&segment, &bytes).unwrap();
+
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, N - 1);
+    db.close().unwrap();
+}
+
+#[test]
+fn crash_before_data_page_sync_recovers_from_the_log() {
+    let tmp = TempDb::new("pre-fsync");
+    let fault = Arc::new(FaultPager::new(Arc::new(
+        spgist::storage::FilePager::create(tmp.path()).unwrap(),
+    )));
+    let mut db = Database::create_with_pager(
+        Arc::clone(&fault) as Arc<dyn Pager>,
+        tmp.wal_prefix(),
+        BufferPoolConfig::default(),
+        WalConfig::default(),
+    )
+    .unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap(); // checkpointed + synced
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..50 {
+            table.insert(word(i)).unwrap(); // acknowledged via the WAL only
+        }
+    }
+    // Power cut: every data-page write since the last successful sync is
+    // lost. (With the no-steal pool there should be none in flight anyway
+    // — the pages are dirty in the pool, not in the OS cache.)
+    fault.crash();
+    drop(db);
+
+    // Reopen the *real* file: the data pages hold the post-DDL checkpoint,
+    // everything else comes back through replay.
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, 50);
+    db.close().unwrap();
+}
+
+#[test]
+fn crash_mid_checkpoint_recovers_the_previous_checkpoint_plus_log() {
+    let tmp = TempDb::new("mid-checkpoint");
+    let fault = Arc::new(FaultPager::new(Arc::new(
+        spgist::storage::FilePager::create(tmp.path()).unwrap(),
+    )));
+    let mut db = Database::create_with_pager(
+        Arc::clone(&fault) as Arc<dyn Pager>,
+        tmp.wal_prefix(),
+        BufferPoolConfig::default(),
+        WalConfig::default(),
+    )
+    .unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..20 {
+            table.insert(word(i)).unwrap();
+        }
+    }
+    db.checkpoint().unwrap(); // durable point: 20 rows in the image
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 20..35 {
+            table.insert(word(i)).unwrap(); // acknowledged, in the log only
+        }
+    }
+
+    // The next checkpoint dies after one data-page write: the flush fails,
+    // the error propagates, and nothing claims durability.
+    fault.set_write_fault(WriteFault::FailAfter(1));
+    assert!(
+        db.checkpoint().is_err(),
+        "a checkpoint that could not flush must report failure"
+    );
+    fault.crash(); // and then the machine dies too
+    drop(db);
+
+    // The half-written checkpoint never reached the platter; recovery
+    // starts from the previous one and replays the 15 logged inserts.
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, 35);
+    db.close().unwrap();
+}
+
+#[test]
+fn insert_many_batch_recovers_atomically() {
+    const SINGLES: usize = 3;
+    const BATCH: usize = 10;
+    let tmp = TempDb::new("batch-atomic");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    let segment = tmp.last_segment();
+    let before_batch;
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..SINGLES {
+            table.insert(word(i)).unwrap();
+        }
+        before_batch = std::fs::metadata(&segment).unwrap().len();
+        let batch: Vec<Datum> = (SINGLES..SINGLES + BATCH)
+            .map(|i| Datum::Text(word(i)))
+            .collect();
+        table.insert_many(batch).unwrap(); // one record, acknowledged once
+    }
+    drop(db); // crash
+    let after_batch = std::fs::metadata(&segment).unwrap().len();
+    let crash_image = tmp.snapshot();
+
+    // Intact log: the whole batch is back.
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, SINGLES + BATCH);
+    drop(db);
+
+    // Log torn in the middle of the batch record: *none* of the batch
+    // comes back — a multi-row statement is atomic under recovery, never
+    // a partial resurrection.
+    tmp.restore(&crash_image);
+    let cut = (before_batch + after_batch) / 2;
+    assert!(before_batch < cut && cut < after_batch);
+    let file = std::fs::OpenOptions::new()
+        .write(true)
+        .open(&segment)
+        .unwrap();
+    file.set_len(cut).unwrap();
+    drop(file);
+
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, SINGLES);
+    db.close().unwrap();
+}
+
+#[test]
+fn ddl_survives_crash_without_close() {
+    let tmp = TempDb::new("ddl");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..5 {
+            table.insert(word(i)).unwrap();
+        }
+    }
+    db.create_index("words", "words_trie", IndexSpec::Trie)
+        .unwrap();
+    db.create_table("scratch", KeyType::Varchar).unwrap();
+    {
+        let words = db.table_handle("words").unwrap();
+        let scratch = db.table_handle("scratch").unwrap();
+        for i in 5..8 {
+            words.insert(word(i)).unwrap();
+        }
+        scratch.insert("ephemeral").unwrap();
+    }
+    assert!(db.drop_table("scratch").unwrap());
+    drop(db); // crash
+
+    let mut db = Database::open(tmp.path()).unwrap();
+    assert!(db.table("scratch").is_none(), "dropped table stays dropped");
+    assert_words(&db, 8);
+    let table = db.table("words").unwrap();
+    assert_eq!(table.index_names(), vec!["words_trie"]);
+    // (The planner may still prefer a seq scan at 8 rows — index *usage*
+    // after recovery is proven in drop_without_close_loses_nothing above.)
+    let cursor = db.query("words", Predicate::str_prefix("word-")).unwrap();
+    assert_eq!(cursor.rows().unwrap().len(), 8);
+
+    // Index DDL in the other direction survives a crash too.
+    assert!(db.drop_index("words", "words_trie").unwrap());
+    drop(db); // crash
+
+    let db = Database::open(tmp.path()).unwrap();
+    let table = db.table("words").unwrap();
+    assert!(
+        table.index_names().is_empty(),
+        "dropped index stays dropped"
+    );
+    assert_words(&db, 8);
+    db.close().unwrap();
+}
+
+/// Recovery must converge: reopening a recovered database replays nothing
+/// new, and repeated crash/reopen cycles do not accumulate log segments.
+#[test]
+fn recovery_is_stable_across_repeated_crashes() {
+    let tmp = TempDb::new("stable");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    let mut n = 0;
+    for _round in 0..5 {
+        {
+            let table = db.table_handle("words").unwrap();
+            for _ in 0..7 {
+                table.insert(word(n)).unwrap();
+                n += 1;
+            }
+        }
+        drop(db); // crash every round, never a clean close
+        db = Database::open(tmp.path()).unwrap();
+        assert_words(&db, n);
+    }
+    assert!(
+        tmp.wal_segments().len() <= 2,
+        "recovery checkpoints fold the log instead of growing it: {:?}",
+        tmp.wal_segments()
+    );
+    db.close().unwrap();
+}

@@ -37,7 +37,10 @@ fn file_pool(path: &std::path::Path, create: bool) -> Arc<BufferPool> {
     };
     Arc::new(BufferPool::new(
         Arc::new(pager),
-        BufferPoolConfig { capacity: 256 },
+        BufferPoolConfig {
+            capacity: 256,
+            ..Default::default()
+        },
     ))
 }
 

@@ -7,7 +7,11 @@
 //! the two must agree — row ids, result sets, ordered-scan distance
 //! profiles, DDL outcomes.  Periodic close/reopen cycles are interleaved
 //! mid-sequence, so the durable catalog is exercised *while* state keeps
-//! mutating, not just at a final clean shutdown.
+//! mutating, not just at a final clean shutdown — and half of those
+//! cycles are *kill-points*: the database is dropped without `close()`
+//! (losing every dirty page) and sometimes garbage lands on the WAL tail,
+//! so reopening exercises crash recovery against the model's
+//! acknowledged state.
 //!
 //! Acceptance floor (ISSUE 4): ≥ 1,000 mixed operations with ≥ 5 reopen
 //! cycles per seed; the harness asserts both counters.
@@ -305,6 +309,25 @@ fn check_full_state(db: &Database, model: &Model, ctx: &str) {
 // The harness
 // ---------------------------------------------------------------------------
 
+/// The newest WAL segment file backing the database at `db_path`
+/// (segments are named `<file>.wal.<seq>` next to the database file).
+fn newest_wal_segment(db_path: &std::path::Path) -> Option<PathBuf> {
+    let dir = db_path.parent()?;
+    let prefix = format!("{}.wal.", db_path.file_name()?.to_str()?);
+    let mut segments: Vec<PathBuf> = std::fs::read_dir(dir)
+        .ok()?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(&prefix))
+        })
+        .collect();
+    segments.sort();
+    segments.pop()
+}
+
 fn run_seed(seed: u64) {
     let path = temp_path(seed);
     let mut rng = DetRng::seed_from_u64(seed);
@@ -319,12 +342,36 @@ fn run_seed(seed: u64) {
         ops += 1;
         let ctx = format!("seed {seed} op {ops}");
 
-        // Periodic close/reopen cycle, mid-sequence.
+        // Periodic close/reopen cycle, mid-sequence.  Half the epochs end
+        // in a clean `close()`; the other half are kill-points: the
+        // database is dropped mid-flight (losing every dirty page — the
+        // no-steal pool holds them all in memory) and sometimes the crash
+        // also leaves junk on the log tail.  Every operation in this
+        // harness is acknowledged before the model records it, so after
+        // *either* shutdown the reopened database must equal the model
+        // exactly: nothing acknowledged lost, nothing phantom.
         if ops.is_multiple_of(OPS_PER_EPOCH) {
-            db.close().unwrap();
-            db = Database::open(&path).unwrap_or_else(|e| panic!("{ctx}: reopen failed: {e}"));
+            let crash = rng.gen_range(0u32..2) == 0;
+            if crash {
+                drop(db); // kill-point: no close, no checkpoint
+                if rng.gen_range(0u32..2) == 0 {
+                    // A crash can leave preallocated garbage past the last
+                    // durable record; recovery must discard it.
+                    let segment = newest_wal_segment(&path)
+                        .unwrap_or_else(|| panic!("{ctx}: no WAL segment on disk"));
+                    let mut bytes = std::fs::read(&segment).unwrap();
+                    let junk = 1 + rng.gen_range(0u32..64) as usize;
+                    bytes.extend(std::iter::repeat_n(0xDEu8, junk));
+                    std::fs::write(&segment, &bytes).unwrap();
+                }
+            } else {
+                db.close().unwrap();
+            }
+            let kind = if crash { "crash" } else { "close" };
+            db = Database::open(&path)
+                .unwrap_or_else(|e| panic!("{ctx}: reopen after {kind} failed: {e}"));
             reopens += 1;
-            check_full_state(&db, &model, &format!("{ctx} (after reopen)"));
+            check_full_state(&db, &model, &format!("{ctx} (after {kind}+reopen)"));
             continue;
         }
 

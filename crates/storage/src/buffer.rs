@@ -26,13 +26,27 @@ use crate::pager::Pager;
 pub struct BufferPoolConfig {
     /// Maximum number of pages held in memory at once.
     pub capacity: usize,
+    /// Whether eviction may **steal** dirty frames (write them back to the
+    /// pager mid-run).  `true` is the classic cache behavior.  `false` is
+    /// the WAL discipline: between [`BufferPool::flush_all`] calls no data
+    /// page reaches the pager at all — eviction picks only clean victims
+    /// and the pool grows past `capacity` when every candidate is dirty
+    /// (trimming back at the next flush), and [`BufferPool::free_page`]
+    /// defers the pager free until the next flush.  Durable databases
+    /// force `steal = false` so that after a crash the file holds exactly
+    /// the last checkpoint's pages, the state logical WAL replay starts
+    /// from.
+    pub steal: bool,
 }
 
 impl Default for BufferPoolConfig {
     fn default() -> Self {
         // 1024 pages x 8 KiB = 8 MiB, a deliberately small pool so that the
         // experiments exercise eviction even at scaled-down data sizes.
-        BufferPoolConfig { capacity: 1024 }
+        BufferPoolConfig {
+            capacity: 1024,
+            steal: true,
+        }
     }
 }
 
@@ -84,12 +98,19 @@ struct PoolInner {
     by_page: HashMap<PageId, usize>,
     clock: u64,
     stats: IoStats,
+    /// Pages released by [`BufferPool::free_page`] under the no-steal
+    /// discipline, handed to the pager only at the next
+    /// [`BufferPool::flush_all`] — a page the last checkpoint still
+    /// references must not be reused (and rewritten on disk) before the
+    /// checkpoint that stops referencing it is durable.
+    pending_free: Vec<PageId>,
 }
 
 /// A shared, thread-safe buffer pool over a [`Pager`].
 pub struct BufferPool {
     pager: Arc<dyn Pager>,
     capacity: usize,
+    steal: bool,
     inner: Mutex<PoolInner>,
 }
 
@@ -99,11 +120,13 @@ impl BufferPool {
         BufferPool {
             pager,
             capacity: config.capacity.max(1),
+            steal: config.steal,
             inner: Mutex::new(PoolInner {
                 frames: Vec::new(),
                 by_page: HashMap::new(),
                 clock: 0,
                 stats: IoStats::default(),
+                pending_free: Vec::new(),
             }),
         }
     }
@@ -143,6 +166,11 @@ impl BufferPool {
     /// [`BufferPool::allocate_page`].  Any cached frame is dropped without
     /// write-back (the content is garbage once the page is free); freeing a
     /// pinned page is an error.
+    ///
+    /// In no-steal mode the pager free is deferred to the next
+    /// [`BufferPool::flush_all`]: freeing a page scribbles a free-list link
+    /// into it, and the last durable checkpoint may still reference its old
+    /// content.
     pub fn free_page(&self, id: PageId) -> StorageResult<()> {
         let mut inner = self.inner.lock();
         if let Some(&idx) = inner.by_page.get(&id) {
@@ -159,7 +187,21 @@ impl BufferPool {
                 inner.by_page.insert(moved, idx);
             }
         }
-        self.pager.free(id)
+        if self.steal {
+            self.pager.free(id)
+        } else {
+            // Bounds-check now so bad ids fail at the call site, not at an
+            // unrelated later flush.
+            let page_count = self.pager.page_count();
+            if id >= page_count {
+                return Err(StorageError::PageOutOfBounds {
+                    requested: id,
+                    page_count,
+                });
+            }
+            inner.pending_free.push(id);
+            Ok(())
+        }
     }
 
     /// Runs `f` with a shared view of page `id`.
@@ -183,7 +225,9 @@ impl BufferPool {
         Ok(result)
     }
 
-    /// Writes all dirty frames back to the pager and syncs it.
+    /// Writes all dirty frames back to the pager and syncs it, then (in
+    /// no-steal mode) publishes deferred frees and trims the pool back to
+    /// its configured capacity.
     pub fn flush_all(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
         for idx in 0..inner.frames.len() {
@@ -197,7 +241,42 @@ impl BufferPool {
                 inner.stats.physical_writes += 1;
             }
         }
-        self.pager.sync()
+        self.pager.sync()?;
+        // Only after the sync may deferred frees reach the pager: `free`
+        // writes a free-list link into the page itself, and until the sync
+        // lands the previous checkpoint (which may reference that content)
+        // is still the recovery point.  A crash right here leaks the
+        // pending pages; a leak is safe, premature reuse is not.
+        let pending = std::mem::take(&mut inner.pending_free);
+        for id in pending {
+            self.pager.free(id)?;
+        }
+        self.trim(&mut inner);
+        Ok(())
+    }
+
+    /// Drops clean unpinned frames (oldest first) until the pool is back at
+    /// its configured capacity.  No-ops unless eviction overflowed in
+    /// no-steal mode.
+    fn trim(&self, inner: &mut PoolInner) {
+        while inner.frames.len() > self.capacity {
+            let victim = inner
+                .frames
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.pins == 0 && !f.dirty)
+                .min_by_key(|(_, f)| f.last_used)
+                .map(|(i, _)| i);
+            let Some(idx) = victim else { break };
+            let id = inner.frames[idx].page_id;
+            inner.by_page.remove(&id);
+            inner.frames.swap_remove(idx);
+            if idx < inner.frames.len() {
+                let moved = inner.frames[idx].page_id;
+                inner.by_page.insert(moved, idx);
+            }
+            inner.stats.evictions += 1;
+        }
     }
 
     /// Snapshot of the I/O counters.
@@ -255,17 +334,38 @@ impl BufferPool {
             inner.by_page.insert(id, idx);
             return Ok(idx);
         }
-        // Evict the least-recently-used unpinned frame.
+        // Evict the least-recently-used unpinned frame; in no-steal mode
+        // only a *clean* one — a dirty page must never reach the pager
+        // between flushes.
         let victim = inner
             .frames
             .iter()
             .enumerate()
-            .filter(|(_, f)| f.pins == 0)
+            .filter(|(_, f)| f.pins == 0 && (self.steal || !f.dirty))
             .min_by_key(|(_, f)| f.last_used)
-            .map(|(i, _)| i)
-            .ok_or_else(|| {
-                StorageError::Corrupt("all buffer-pool frames are pinned".to_string())
-            })?;
+            .map(|(i, _)| i);
+        let victim = match victim {
+            Some(v) => v,
+            None if !self.steal => {
+                // Every candidate is dirty (or pinned): grow past capacity
+                // instead of flushing mid-epoch; `flush_all` trims back.
+                let idx = inner.frames.len();
+                inner.frames.push(Frame {
+                    page,
+                    page_id: id,
+                    dirty,
+                    pins: 0,
+                    last_used: clock,
+                });
+                inner.by_page.insert(id, idx);
+                return Ok(idx);
+            }
+            None => {
+                return Err(StorageError::Corrupt(
+                    "all buffer-pool frames are pinned".to_string(),
+                ))
+            }
+        };
         if inner.frames[victim].dirty {
             let (pid, old) = {
                 let frame = &inner.frames[victim];
@@ -305,7 +405,13 @@ mod tests {
     use crate::pager::{FilePager, MemPager};
 
     fn small_pool(capacity: usize) -> BufferPool {
-        BufferPool::new(Arc::new(MemPager::new()), BufferPoolConfig { capacity })
+        BufferPool::new(
+            Arc::new(MemPager::new()),
+            BufferPoolConfig {
+                capacity,
+                ..Default::default()
+            },
+        )
     }
 
     #[test]
@@ -392,6 +498,68 @@ mod tests {
     fn missing_page_is_an_error() {
         let pool = small_pool(2);
         assert!(pool.with_page(42, |_| ()).is_err());
+    }
+
+    fn no_steal_pool(capacity: usize) -> BufferPool {
+        BufferPool::new(
+            Arc::new(MemPager::new()),
+            BufferPoolConfig {
+                capacity,
+                steal: false,
+            },
+        )
+    }
+
+    #[test]
+    fn no_steal_eviction_never_writes_between_flushes() {
+        let pool = no_steal_pool(2);
+        let pids: Vec<_> = (0..4).map(|_| pool.allocate_page().unwrap()).collect();
+        for (i, pid) in pids.iter().enumerate() {
+            pool.with_page_mut(*pid, |p| p.insert(format!("page-{i}").as_bytes()).unwrap())
+                .unwrap();
+        }
+        // All four frames are dirty, so the pool grew past capacity rather
+        // than writing any of them back.
+        assert_eq!(pool.stats().physical_writes, 0);
+        assert_eq!(pool.cached_pages(), 4);
+        pool.flush_all().unwrap();
+        assert_eq!(pool.stats().physical_writes, 4);
+        assert_eq!(pool.cached_pages(), 2, "flush trims back to capacity");
+        for (i, pid) in pids.iter().enumerate() {
+            let value = pool
+                .with_page(*pid, |p| p.get(0).unwrap().to_vec())
+                .unwrap();
+            assert_eq!(value, format!("page-{i}").into_bytes());
+        }
+    }
+
+    #[test]
+    fn no_steal_defers_frees_until_flush() {
+        let pool = no_steal_pool(8);
+        let a = pool.allocate_page().unwrap();
+        let _b = pool.allocate_page().unwrap();
+        pool.free_page(a).unwrap();
+        assert_eq!(
+            pool.free_page_count(),
+            0,
+            "the free must not reach the pager before a flush"
+        );
+        // Mid-epoch allocations must not reuse the page either.
+        let c = pool.allocate_page().unwrap();
+        assert_ne!(c, a);
+        pool.flush_all().unwrap();
+        assert_eq!(pool.free_page_count(), 1);
+        let d = pool.allocate_page().unwrap();
+        assert_eq!(d, a, "after the flush the page is reusable");
+    }
+
+    #[test]
+    fn no_steal_free_of_unallocated_page_fails_fast() {
+        let pool = no_steal_pool(8);
+        assert!(matches!(
+            pool.free_page(42),
+            Err(StorageError::PageOutOfBounds { .. })
+        ));
     }
 
     #[test]

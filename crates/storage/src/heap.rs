@@ -180,7 +180,10 @@ mod tests {
     fn pool() -> Arc<BufferPool> {
         Arc::new(BufferPool::new(
             Arc::new(MemPager::new()),
-            BufferPoolConfig { capacity: 16 },
+            BufferPoolConfig {
+                capacity: 16,
+                ..Default::default()
+            },
         ))
     }
 

@@ -26,6 +26,7 @@
 pub mod buffer;
 pub mod codec;
 pub mod error;
+pub mod fault;
 pub mod heap;
 pub mod page;
 pub mod pager;
@@ -33,6 +34,7 @@ pub mod pager;
 pub use buffer::{BufferPool, BufferPoolConfig, IoStats};
 pub use codec::Codec;
 pub use error::{StorageError, StorageResult};
+pub use fault::{FaultPager, SyncFault, WriteFault};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, SlotId, MAX_RECORD_SIZE, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};

@@ -1,0 +1,242 @@
+//! Logical redo records.
+//!
+//! The WAL is **logical**: each record names a table-level statement
+//! (`INSERT`, `DELETE`, a DDL statement), not page images.  Recovery
+//! re-executes the statement against the reopened executor state, which
+//! works because the executor's row ids are deterministic — an insert always
+//! assigns `rows.len()` — so a redo record carrying its assigned row id can
+//! verify it lands exactly where the original did.
+//!
+//! Key values travel as the executor's own record encoding (opaque
+//! `Vec<u8>` here; the catalog layer encodes and decodes them), keeping this
+//! crate independent of the datum types above it.
+
+use spgist_storage::{Codec, StorageError, StorageResult};
+
+/// A log sequence number: records are numbered densely from 0 across the
+/// whole log, so `lsn` doubles as "number of records ever appended before
+/// this one".
+pub type Lsn = u64;
+
+const TAG_INSERT: u8 = 0;
+const TAG_INSERT_MANY: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_CREATE_TABLE: u8 = 3;
+const TAG_DROP_TABLE: u8 = 4;
+const TAG_CREATE_INDEX: u8 = 5;
+const TAG_DROP_INDEX: u8 = 6;
+
+/// One logical redo record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WalRecord {
+    /// One row inserted into `table`, assigned row id `row`; `datum` is the
+    /// executor's record encoding of the key value.
+    Insert {
+        /// Target table name.
+        table: String,
+        /// The row id the insert assigned (`rows.len()` at execution).
+        row: u64,
+        /// Encoded key value (the executor's heap record bytes).
+        datum: Vec<u8>,
+    },
+    /// A whole `insert_many` batch as **one** record: rows
+    /// `first_row .. first_row + datums.len()` in input order.  Logged as a
+    /// unit so recovery reproduces the batch's all-or-nothing visibility.
+    InsertMany {
+        /// Target table name.
+        table: String,
+        /// Row id assigned to the first value of the batch.
+        first_row: u64,
+        /// Encoded key values in input order.
+        datums: Vec<Vec<u8>>,
+    },
+    /// Row `row` deleted from `table`.
+    Delete {
+        /// Target table name.
+        table: String,
+        /// The deleted row id.
+        row: u64,
+    },
+    /// `CREATE TABLE` (key type as the catalog's stable tag).
+    CreateTable {
+        /// New table name.
+        table: String,
+        /// Key type tag (0 varchar, 1 point, 2 segment).
+        key_type: u8,
+    },
+    /// `DROP TABLE`.
+    DropTable {
+        /// Dropped table name.
+        table: String,
+    },
+    /// `CREATE INDEX`; `spec` is the catalog layer's encoding of the index
+    /// specification (kind tag plus parameters).
+    CreateIndex {
+        /// Table the index is built on.
+        table: String,
+        /// Index name.
+        index: String,
+        /// Encoded index specification.
+        spec: Vec<u8>,
+    },
+    /// `DROP INDEX`.
+    DropIndex {
+        /// Table the index belonged to.
+        table: String,
+        /// Dropped index name.
+        index: String,
+    },
+}
+
+impl WalRecord {
+    /// The table this record applies to.
+    pub fn table(&self) -> &str {
+        match self {
+            WalRecord::Insert { table, .. }
+            | WalRecord::InsertMany { table, .. }
+            | WalRecord::Delete { table, .. }
+            | WalRecord::CreateTable { table, .. }
+            | WalRecord::DropTable { table }
+            | WalRecord::CreateIndex { table, .. }
+            | WalRecord::DropIndex { table, .. } => table,
+        }
+    }
+}
+
+impl Codec for WalRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            WalRecord::Insert { table, row, datum } => {
+                TAG_INSERT.encode(out);
+                table.encode(out);
+                row.encode(out);
+                datum.encode(out);
+            }
+            WalRecord::InsertMany {
+                table,
+                first_row,
+                datums,
+            } => {
+                TAG_INSERT_MANY.encode(out);
+                table.encode(out);
+                first_row.encode(out);
+                datums.encode(out);
+            }
+            WalRecord::Delete { table, row } => {
+                TAG_DELETE.encode(out);
+                table.encode(out);
+                row.encode(out);
+            }
+            WalRecord::CreateTable { table, key_type } => {
+                TAG_CREATE_TABLE.encode(out);
+                table.encode(out);
+                key_type.encode(out);
+            }
+            WalRecord::DropTable { table } => {
+                TAG_DROP_TABLE.encode(out);
+                table.encode(out);
+            }
+            WalRecord::CreateIndex { table, index, spec } => {
+                TAG_CREATE_INDEX.encode(out);
+                table.encode(out);
+                index.encode(out);
+                spec.encode(out);
+            }
+            WalRecord::DropIndex { table, index } => {
+                TAG_DROP_INDEX.encode(out);
+                table.encode(out);
+                index.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> StorageResult<Self> {
+        Ok(match u8::decode(buf)? {
+            TAG_INSERT => WalRecord::Insert {
+                table: String::decode(buf)?,
+                row: u64::decode(buf)?,
+                datum: Vec::decode(buf)?,
+            },
+            TAG_INSERT_MANY => WalRecord::InsertMany {
+                table: String::decode(buf)?,
+                first_row: u64::decode(buf)?,
+                datums: Vec::decode(buf)?,
+            },
+            TAG_DELETE => WalRecord::Delete {
+                table: String::decode(buf)?,
+                row: u64::decode(buf)?,
+            },
+            TAG_CREATE_TABLE => WalRecord::CreateTable {
+                table: String::decode(buf)?,
+                key_type: u8::decode(buf)?,
+            },
+            TAG_DROP_TABLE => WalRecord::DropTable {
+                table: String::decode(buf)?,
+            },
+            TAG_CREATE_INDEX => WalRecord::CreateIndex {
+                table: String::decode(buf)?,
+                index: String::decode(buf)?,
+                spec: Vec::decode(buf)?,
+            },
+            TAG_DROP_INDEX => WalRecord::DropIndex {
+                table: String::decode(buf)?,
+                index: String::decode(buf)?,
+            },
+            tag => {
+                return Err(StorageError::Decode(format!(
+                    "unknown WAL record tag {tag}"
+                )))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(record: WalRecord) {
+        let bytes = record.to_bytes();
+        assert_eq!(WalRecord::from_bytes(&bytes).unwrap(), record);
+    }
+
+    #[test]
+    fn records_roundtrip() {
+        roundtrip(WalRecord::Insert {
+            table: "words".into(),
+            row: 17,
+            datum: vec![0, 3, 0, 0, 0, b'a', b'b', b'c'],
+        });
+        roundtrip(WalRecord::InsertMany {
+            table: "points".into(),
+            first_row: 1_000_000,
+            datums: vec![vec![1, 2, 3], vec![], vec![255]],
+        });
+        roundtrip(WalRecord::Delete {
+            table: "segments".into(),
+            row: 0,
+        });
+        roundtrip(WalRecord::CreateTable {
+            table: "t".into(),
+            key_type: 2,
+        });
+        roundtrip(WalRecord::DropTable { table: "t".into() });
+        roundtrip(WalRecord::CreateIndex {
+            table: "t".into(),
+            index: "t_trie".into(),
+            spec: vec![0],
+        });
+        roundtrip(WalRecord::DropIndex {
+            table: "t".into(),
+            index: "t_trie".into(),
+        });
+    }
+
+    #[test]
+    fn unknown_tag_is_a_decode_error() {
+        assert!(matches!(
+            WalRecord::from_bytes(&[99]),
+            Err(StorageError::Decode(_))
+        ));
+    }
+}
