@@ -36,12 +36,12 @@
 //! partitions large sequential and intersection scans across threads when
 //! the cost model says the table is big enough to amortize thread startup.
 
-use std::collections::{BTreeMap, HashSet};
-use std::path::Path;
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard, RwLock};
 
 use spgist_core::{RowId, TreeStats};
 use spgist_indexes::geom::{Point, Rect, Segment};
@@ -51,7 +51,7 @@ use spgist_indexes::{
     SpIndex, SuffixTreeIndex, TrieIndex, TrieOps,
 };
 use spgist_storage::{
-    BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, MemPager, PageId, RecordId,
+    journal, BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, MemPager, PageId, RecordId,
     StorageError, StorageResult,
 };
 use spgist_wal::{Wal, WalConfig, WalRecord};
@@ -1420,16 +1420,43 @@ impl Table {
         self.wal = Some(wal);
     }
 
-    /// Snapshots this table's durable-catalog record.  The snapshot is
-    /// taken under the table's **DML lock**: a concurrent insert or delete
-    /// statement (heap change *plus* the index updates that follow) either
-    /// lands wholly before the snapshot or wholly after it, so a checkpoint
-    /// racing DML through shared handles can never persist a row directory
-    /// that disagrees with its indexes.  The heap state is read under the
-    /// table latch (released before the index latches are touched, keeping
-    /// lock orders acyclic with query paths).
+    /// Fails when the database's write-ahead log has been poisoned by an
+    /// I/O failure.  At that point the in-memory state may be ahead of
+    /// stable storage with no way to close the gap (the flusher is dead),
+    /// so the table stops serving queries rather than hand out rows whose
+    /// durability is unknown; DML is already rejected by `Wal::submit`.
+    /// Reopening the database recovers to the acknowledged-durable state.
+    fn check_wal_health(&self) -> StorageResult<()> {
+        match &self.wal {
+            Some(wal) => wal.health().map_err(|e| {
+                StorageError::Io(std::io::Error::other(format!(
+                    "database failed after a write-ahead log error \
+                     (reopen to recover): {e}"
+                )))
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Acquires this table's DML lock for an external critical section.
+    /// The checkpoint protocol holds every table's guard across its whole
+    /// snapshot-and-flush window, so no statement can be half-applied (a
+    /// heap page without its index updates, half an index split) in the
+    /// page images being flushed.
+    pub(crate) fn dml_guard(&self) -> MutexGuard<'_, ()> {
+        self.dml.lock()
+    }
+
+    /// Snapshots this table's durable-catalog record.  The caller
+    /// (checkpoint) already holds this table's **DML lock** via
+    /// [`Table::dml_guard`], so a concurrent insert or delete statement
+    /// (heap change *plus* the index updates that follow) either lands
+    /// wholly before the snapshot or wholly after it — a checkpoint racing
+    /// DML through shared handles can never persist a row directory that
+    /// disagrees with its indexes.  The heap state is read under the table
+    /// latch (released before the index latches are touched, keeping lock
+    /// orders acyclic with query paths).
     pub(crate) fn persisted(&self) -> PersistedTable {
-        let _dml = self.dml.lock();
         let (heap_pages, heap_records, live_rows, distinct, rows) = {
             let inner = self.inner.read();
             (
@@ -1891,6 +1918,7 @@ impl Table {
         catalog: &Catalog,
         query: impl Into<Query>,
     ) -> StorageResult<ExecCursor<'t>> {
+        self.check_wal_health()?;
         let phys = self.plan_phys(catalog, &query.into())?;
         let path = phys.access_path();
         let (stream, source) = self.execute_node(&phys)?;
@@ -1940,6 +1968,7 @@ impl Table {
         query: impl Into<Query>,
         n_threads: usize,
     ) -> StorageResult<Vec<(RowId, Datum)>> {
+        self.check_wal_health()?;
         let query = query.into();
         let n_threads = n_threads.max(1);
         if n_threads > 1 {
@@ -2637,14 +2666,30 @@ pub struct Database {
     /// LSN, so acknowledged writes survive a crash — even dropping the
     /// database without [`Database::close`] loses nothing acknowledged.
     wal: Option<Arc<Wal>>,
+    /// Checkpoint pre-image journal path of a durable database
+    /// (`<wal prefix>.ckpt`).  [`Database::checkpoint`] journals the
+    /// on-disk image of every page it is about to overwrite before the
+    /// first in-place write; [`Database::open`] rolls a surviving journal
+    /// back, so a crash anywhere inside a checkpoint recovers the exact
+    /// previous checkpoint plus the still-un-pruned log.
+    journal: Option<PathBuf>,
 }
 
 /// WAL segment file prefix for the database at `path`: segments are
 /// `<path>.wal.<seq>` siblings of the database file.
-fn wal_prefix(path: &Path) -> std::path::PathBuf {
+fn wal_prefix(path: &Path) -> PathBuf {
     let mut os = path.as_os_str().to_os_string();
     os.push(".wal");
-    std::path::PathBuf::from(os)
+    PathBuf::from(os)
+}
+
+/// Checkpoint pre-image journal path for the log at `wal_path`:
+/// `<wal_path>.ckpt`, a sibling of the segments (the non-numeric suffix
+/// keeps it out of the segment scan).
+fn journal_path(wal_path: &Path) -> PathBuf {
+    let mut os = wal_path.as_os_str().to_os_string();
+    os.push(".ckpt");
+    PathBuf::from(os)
 }
 
 impl Database {
@@ -2674,6 +2719,7 @@ impl Database {
             tables: BTreeMap::new(),
             catalog_chain: None,
             wal: None,
+            journal: None,
         }
     }
 
@@ -2737,6 +2783,11 @@ impl Database {
             steal: false,
             ..config
         };
+        // A stale journal from a previous database at this path must be
+        // deleted, not rolled back: it holds that database's pages, and
+        // the file underneath is fresh.
+        let journal = journal_path(wal_path.as_ref());
+        journal::discard(&journal)?;
         let pool = Arc::new(BufferPool::new(pager, config));
         let root = pool.allocate_page()?;
         if root != durable::CATALOG_ROOT {
@@ -2751,6 +2802,7 @@ impl Database {
             tables: BTreeMap::new(),
             catalog_chain: Some(vec![root]),
             wal: Some(wal),
+            journal: Some(journal),
         };
         db.checkpoint()?;
         Ok(db)
@@ -2803,6 +2855,14 @@ impl Database {
             steal: false,
             ..config
         };
+        // A surviving checkpoint journal means the last checkpoint may be
+        // torn — an arbitrary subset of its in-place page writes may have
+        // hit the platter.  Roll every journaled pre-image back *before*
+        // reading the catalog: that restores the exact previous checkpoint
+        // image, and the log (un-pruned — pruning happens after the
+        // journal is deleted) replays everything acknowledged since.
+        let journal = journal_path(wal_path.as_ref());
+        journal::recover(&journal, pager.as_ref())?;
         let pool = Arc::new(BufferPool::new(pager, config));
         let (persisted, chain) = durable::read_catalog(&pool)?;
         let mut tables = BTreeMap::new();
@@ -2822,6 +2882,7 @@ impl Database {
             // Replay runs with the log detached so the re-executed
             // statements are not logged again.
             wal: None,
+            journal: Some(journal),
         };
         let replayed = records.len();
         for (lsn, record) in records {
@@ -2920,21 +2981,47 @@ impl Database {
     /// stable storage, and **truncates the write-ahead log** up to the
     /// checkpoint.  A no-op for in-memory databases.
     ///
-    /// The protocol: first the log is rotated (`cut` = everything appended
-    /// so far becomes durable and sealed), then every table is snapshotted
-    /// under its DML lock, then catalog + pages are written and synced with
-    /// `checkpoint_lsn = cut`, and only then are segments below the cut
-    /// deleted.  DML submits its record *inside* the DML lock after
-    /// applying, so any record below the cut is fully reflected in the
-    /// snapshots; records at or above it may or may not be — which is why
-    /// replay is idempotent.  A crash anywhere in between recovers from the
-    /// previous checkpoint plus the un-pruned log: nothing acknowledged is
-    /// lost, checkpointing is *purely* a log-truncation (and reopen-speed)
+    /// The protocol:
+    ///
+    /// 1. **Quiesce.**  Every table's DML lock is taken and held to the end
+    ///    of step 5, so no statement can be half-applied (a heap page
+    ///    without its index updates, half an index split) in the page
+    ///    images about to be flushed.  DML submits its redo record inside
+    ///    the DML lock after applying, so the quiesced state exactly
+    ///    matches a log position.
+    /// 2. **Rotate.**  The log is rotated; `cut` = everything appended so
+    ///    far becomes durable and sealed, and (thanks to step 1) every
+    ///    record below the cut is fully reflected in the state being
+    ///    checkpointed.
+    /// 3. **Journal.**  The current *on-disk* image of every page the
+    ///    flush will overwrite (dirty pool pages + the catalog chain) is
+    ///    written to the pre-image journal (`<wal prefix>.ckpt`) and
+    ///    synced.  From here until step 6 a crash recovers by rolling the
+    ///    journal back — restoring the exact previous checkpoint — and
+    ///    replaying the un-pruned log.  Without the journal, a power cut
+    ///    could persist an arbitrary *subset* of the in-place writes
+    ///    below, and logical replay cannot repair a physically torn page.
+    /// 4. **Flush data, sync.**  All dirty data pages are written and
+    ///    synced *before* any catalog write — so a torn crash can never
+    ///    persist a catalog that claims `checkpoint_lsn = cut` over data
+    ///    pages that do not reflect it.
+    /// 5. **Write catalog, sync.**  The catalog (with `checkpoint_lsn =
+    ///    cut`) is written into its chain and synced.
+    /// 6. **Commit.**  The journal is deleted — the checkpoint is now the
+    ///    recovery point.  Only then are deferred page frees published
+    ///    (rollback would re-expose their contents) and sealed log
+    ///    segments below the cut pruned.
+    ///
+    /// A crash anywhere before step 6 recovers from the previous
+    /// checkpoint plus the un-pruned log: nothing acknowledged is lost,
+    /// checkpointing is *purely* a log-truncation (and reopen-speed)
     /// optimization.
     pub fn checkpoint(&mut self) -> StorageResult<()> {
         let Some(chain) = self.catalog_chain.as_mut() else {
             return Ok(());
         };
+        let guards: Vec<MutexGuard<'_, ()>> =
+            self.tables.values().map(|t| t.dml_guard()).collect();
         let checkpoint_lsn = match &self.wal {
             Some(wal) => wal.rotate()?,
             None => 0,
@@ -2943,12 +3030,38 @@ impl Database {
             checkpoint_lsn,
             tables: self.tables.values().map(|t| t.persisted()).collect(),
         };
+        if let Some(journal) = &self.journal {
+            // Journal the pre-images before the first in-place write.  The
+            // ids are collected *before* write_catalog dirties the chain,
+            // so the chain is added explicitly; reads go through the pager
+            // (not the pool) to capture the on-disk content.
+            let mut ids: BTreeSet<PageId> = self.pool.dirty_page_ids().into_iter().collect();
+            ids.extend(chain.iter().copied());
+            journal::write_pre_images(journal, self.pool.pager().as_ref(), ids)?;
+        }
+        self.pool.flush_pages()?;
         durable::write_catalog(&self.pool, chain, &persisted)?;
-        self.pool.flush_all()?;
+        self.pool.flush_pages()?;
+        drop(guards);
+        if let Some(journal) = &self.journal {
+            journal::discard(journal)?;
+        }
+        self.pool.publish_pending()?;
         if let Some(wal) = &self.wal {
             wal.prune(checkpoint_lsn)?;
         }
         Ok(())
+    }
+
+    /// Test hook: poisons the write-ahead log exactly as a flusher I/O
+    /// failure would, so the fail-fast behavior above it (DML and queries
+    /// rejected until a reopen recovers) can be exercised without a real
+    /// disk fault.  No-op for in-memory databases.
+    #[doc(hidden)]
+    pub fn fail_wal_for_test(&self, msg: &str) {
+        if let Some(wal) = &self.wal {
+            wal.fail_for_test(msg);
+        }
     }
 
     /// Checkpoints and consumes the database (clean shutdown).  A file

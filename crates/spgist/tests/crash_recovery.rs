@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use spgist::catalog::WalConfig;
 use spgist::prelude::*;
-use spgist::storage::{FaultPager, WriteFault};
+use spgist::storage::{FaultPager, SyncFault, WriteFault};
 
 /// A scratch directory holding one database file plus its WAL segments.
 struct TempDb {
@@ -47,7 +47,8 @@ impl TempDb {
         self.dir.join("db.pages.wal")
     }
 
-    /// WAL segment files, oldest first.
+    /// WAL segment files, oldest first.  The numeric-suffix filter keeps
+    /// non-segment siblings (the `.ckpt` checkpoint journal) out.
     fn wal_segments(&self) -> Vec<PathBuf> {
         let mut segments: Vec<PathBuf> = std::fs::read_dir(&self.dir)
             .unwrap()
@@ -55,7 +56,10 @@ impl TempDb {
             .filter(|p| {
                 p.file_name()
                     .and_then(|n| n.to_str())
-                    .is_some_and(|n| n.starts_with("db.pages.wal."))
+                    .and_then(|n| n.strip_prefix("db.pages.wal."))
+                    .is_some_and(|suffix| {
+                        !suffix.is_empty() && suffix.bytes().all(|b| b.is_ascii_digit())
+                    })
             })
             .collect();
         segments.sort();
@@ -460,6 +464,190 @@ fn ddl_survives_crash_without_close() {
         "dropped index stays dropped"
     );
     assert_words(&db, 8);
+    db.close().unwrap();
+}
+
+/// The realistic power-cut model: the kernel had persisted an *arbitrary
+/// subset* of the checkpoint's in-place page writes when the power died —
+/// not the all-or-nothing cache flush `crash()` emulates.  Mixed-epoch
+/// data pages under the old catalog are unrecoverable by logical replay
+/// alone; the pre-image journal must roll every touched page back to the
+/// previous checkpoint before replay starts.
+#[test]
+fn power_cut_persisting_a_subset_of_a_checkpoint_rolls_back() {
+    let tmp = TempDb::new("subset-data");
+    let fault = Arc::new(FaultPager::new(Arc::new(
+        spgist::storage::FilePager::create(tmp.path()).unwrap(),
+    )));
+    let mut db = Database::create_with_pager(
+        Arc::clone(&fault) as Arc<dyn Pager>,
+        tmp.wal_prefix(),
+        BufferPoolConfig::default(),
+        WalConfig::default(),
+    )
+    .unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    db.create_index("words", "words_trie", IndexSpec::Trie)
+        .unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..30 {
+            table.insert(word(i)).unwrap();
+        }
+    }
+    db.checkpoint().unwrap(); // durable point: 30 rows in the image
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 30..60 {
+            table.insert(word(i)).unwrap(); // acknowledged, in the log only
+        }
+        for row in [2u64, 11, 29] {
+            assert!(table.delete(row).unwrap()); // in-place page mutations
+        }
+    }
+
+    // The next checkpoint's data sync never completes — but the power cut
+    // lets half its page writes reach the platter anyway.  (Without the
+    // pre-image journal this state is unrecoverable: replaying the logged
+    // statements over mixed-epoch pages corrupts, it does not heal.)
+    fault.set_sync_fault(SyncFault::Fail);
+    assert!(db.checkpoint().is_err());
+    fault.crash_keeping(|id| id % 2 == 0).unwrap();
+    drop(db);
+
+    let db = Database::open(tmp.path()).unwrap();
+    let table = db.table("words").unwrap();
+    assert_eq!(table.len(), 57);
+    for row in 0..60u64 {
+        let expected = if [2, 11, 29].contains(&row) {
+            None
+        } else {
+            Some(Datum::Text(word(row as usize)))
+        };
+        assert_eq!(table.try_datum(row).unwrap(), expected, "row {row}");
+    }
+    db.close().unwrap();
+}
+
+/// The ordering hazard from the other side: the data sync *succeeds*, the
+/// catalog sync does not, and the crash persists only the catalog chain's
+/// *root* page — a catalog whose head claims `checkpoint_lsn = cut` spliced
+/// onto stale continuation pages, the nightmare the reviewer's single-sync
+/// analysis predicted.  Rollback must restore both the old catalog and the
+/// old data pages (the data sync overwrote them in place), after which the
+/// un-pruned log replays everything acknowledged.
+#[test]
+fn torn_catalog_write_rolls_back_to_the_previous_checkpoint() {
+    let tmp = TempDb::new("torn-catalog");
+    let fault = Arc::new(FaultPager::new(Arc::new(
+        spgist::storage::FilePager::create(tmp.path()).unwrap(),
+    )));
+    let mut db = Database::create_with_pager(
+        Arc::clone(&fault) as Arc<dyn Pager>,
+        tmp.wal_prefix(),
+        BufferPoolConfig::default(),
+        WalConfig::default(),
+    )
+    .unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        // Enough rows that the catalog's row directory spans multiple
+        // chain pages — a torn chain write becomes possible at all.
+        for i in 0..3000 {
+            table.insert(word(i)).unwrap();
+        }
+    }
+    db.checkpoint().unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 3000..3040 {
+            table.insert(word(i)).unwrap();
+        }
+    }
+
+    // Checkpoint sync #1 (data pages) succeeds, sync #2 (catalog) fails:
+    // the cache now holds exactly the new catalog's chain writes, and the
+    // crash persists only the chain root (logical page 0).
+    fault.set_sync_fault(SyncFault::FailAfter(1));
+    assert!(db.checkpoint().is_err());
+    fault.crash_keeping(|id| id == 0).unwrap();
+    drop(db);
+
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, 3040);
+    db.close().unwrap();
+}
+
+/// After a WAL flusher failure the in-memory state may be ahead of stable
+/// storage with no way to close the gap, so the database fails fast — DML
+/// *and* queries are rejected — instead of serving rows whose durability
+/// is unknown.  Reopening recovers the acknowledged state.
+#[test]
+fn wal_poison_fails_dml_and_queries_until_reopen() {
+    let tmp = TempDb::new("poison");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..10 {
+            table.insert(word(i)).unwrap(); // acknowledged
+        }
+        db.fail_wal_for_test("injected flusher failure");
+        assert!(table.insert(word(10)).is_err(), "DML is rejected");
+        assert!(
+            db.query("words", Predicate::str_prefix("word-")).is_err(),
+            "queries are rejected too: visible rows may not be durable"
+        );
+    }
+    drop(db); // close() would fail as well — a poisoned log cannot rotate
+
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, 10);
+    db.close().unwrap();
+}
+
+/// Checkpoints racing DML through shared table handles: the checkpoint
+/// quiesces writers (takes every table's DML lock), so no flushed image
+/// can contain half a statement.  Every acknowledged row must survive the
+/// crash, whichever side of whichever checkpoint cut it landed on.
+#[test]
+fn checkpoint_quiesces_concurrent_writers() {
+    const THREADS: usize = 4;
+    const PER: usize = 50;
+    let tmp = TempDb::new("concurrent-ckpt");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    db.create_index("words", "words_trie", IndexSpec::Trie)
+        .unwrap();
+    let handles: Vec<_> = (0..THREADS)
+        .map(|_| db.table_handle("words").unwrap())
+        .collect();
+    std::thread::scope(|scope| {
+        for (t, table) in handles.into_iter().enumerate() {
+            scope.spawn(move || {
+                for i in 0..PER {
+                    table.insert(format!("w{t}-{i:04}")).unwrap();
+                }
+            });
+        }
+        for _ in 0..20 {
+            db.checkpoint().unwrap();
+        }
+    });
+    drop(db); // crash: the rows live in checkpoint images + the log only
+
+    let db = Database::open(tmp.path()).unwrap();
+    let table = db.table("words").unwrap();
+    assert_eq!(table.len(), (THREADS * PER) as u64);
+    for t in 0..THREADS {
+        let rows = db
+            .query("words", Predicate::str_prefix(&format!("w{t}-")))
+            .unwrap()
+            .rows()
+            .unwrap();
+        assert_eq!(rows.len(), PER, "every acknowledged row of thread {t}");
+    }
     db.close().unwrap();
 }
 

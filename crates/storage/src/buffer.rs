@@ -228,8 +228,22 @@ impl BufferPool {
     /// Writes all dirty frames back to the pager and syncs it, then (in
     /// no-steal mode) publishes deferred frees and trims the pool back to
     /// its configured capacity.
+    ///
+    /// Equivalent to [`flush_pages`](Self::flush_pages) followed by
+    /// [`publish_pending`](Self::publish_pending); checkpointing code that
+    /// needs an ordering barrier between data and catalog writes calls the
+    /// two halves separately.
     pub fn flush_all(&self) -> StorageResult<()> {
+        self.flush_pages()?;
+        self.publish_pending()
+    }
+
+    /// Writes all dirty frames back to the pager and syncs it.  Frames are
+    /// marked clean only after the sync succeeds, so a failed sync leaves
+    /// them dirty and a retry rewrites them.
+    pub fn flush_pages(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
+        let mut written = Vec::new();
         for idx in 0..inner.frames.len() {
             if inner.frames[idx].dirty {
                 let (pid, page) = {
@@ -237,22 +251,55 @@ impl BufferPool {
                     (frame.page_id, frame.page.clone())
                 };
                 self.pager.write(pid, &page)?;
-                inner.frames[idx].dirty = false;
                 inner.stats.physical_writes += 1;
+                written.push(idx);
             }
         }
         self.pager.sync()?;
-        // Only after the sync may deferred frees reach the pager: `free`
-        // writes a free-list link into the page itself, and until the sync
-        // lands the previous checkpoint (which may reference that content)
-        // is still the recovery point.  A crash right here leaks the
-        // pending pages; a leak is safe, premature reuse is not.
+        for idx in written {
+            inner.frames[idx].dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Publishes deferred frees to the pager and (in no-steal mode) trims
+    /// the pool back to its configured capacity.
+    ///
+    /// Only after a successful sync may deferred frees reach the pager:
+    /// `free` writes a free-list link into the page itself, and until the
+    /// sync lands the previous checkpoint (which may reference that
+    /// content) is still the recovery point.  A crash between the sync and
+    /// this call leaks the pending pages; a leak is safe, premature reuse
+    /// is not.  Checkpointing code defers this further — past the deletion
+    /// of the checkpoint journal — because a rollback to the previous
+    /// checkpoint re-exposes whatever those pages held.
+    pub fn publish_pending(&self) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
         let pending = std::mem::take(&mut inner.pending_free);
         for id in pending {
             self.pager.free(id)?;
         }
         self.trim(&mut inner);
         Ok(())
+    }
+
+    /// Page ids of every dirty frame — the set an in-place flush is about
+    /// to overwrite, i.e. the pages a checkpoint journal must pre-image.
+    pub fn dirty_page_ids(&self) -> Vec<PageId> {
+        self.inner
+            .lock()
+            .frames
+            .iter()
+            .filter(|f| f.dirty)
+            .map(|f| f.page_id)
+            .collect()
+    }
+
+    /// The underlying pager.  Used by checkpointing code to read pre-flush
+    /// on-disk page images without them being shadowed by the pool's dirty
+    /// copies.
+    pub fn pager(&self) -> &Arc<dyn Pager> {
+        &self.pager
     }
 
     /// Drops clean unpinned frames (oldest first) until the pool is back at

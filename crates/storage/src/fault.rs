@@ -38,6 +38,12 @@ pub enum SyncFault {
     /// Sync returns an I/O error; cached writes stay cached (a retry after
     /// clearing the fault can still succeed).
     Fail,
+    /// The next `n` syncs succeed normally, then one fails as [`Fail`]
+    /// (one-shot).  Lets a test target the *second* sync of a two-phase
+    /// checkpoint.
+    ///
+    /// [`Fail`]: SyncFault::Fail
+    FailAfter(u64),
     /// Sync reports success **without flushing anything** — the lying
     /// `fsync`.  A crash afterwards loses every cached write even though
     /// the caller was told they were durable.
@@ -95,6 +101,25 @@ impl FaultPager {
     /// sync disappears.
     pub fn crash(&self) {
         self.state.lock().cache.clear();
+    }
+
+    /// Simulates a crash where the kernel had already persisted an
+    /// arbitrary **subset** of the un-synced writes: cached writes for
+    /// which `keep` returns true reach the inner pager (in no particular
+    /// order, like a page-cache writeback racing the power cut), the rest
+    /// disappear.  [`crash`](Self::crash) is `crash_keeping(|_| false)`.
+    ///
+    /// This is the crash model the all-or-nothing `crash` cannot express,
+    /// and the one that breaks single-sync checkpoints: any mix of old and
+    /// new pages may be on the platter after the lights go out.
+    pub fn crash_keeping(&self, keep: impl Fn(PageId) -> bool) -> StorageResult<()> {
+        let mut state = self.state.lock();
+        for (id, page) in state.cache.drain() {
+            if keep(id) {
+                self.inner.write(id, &page)?;
+            }
+        }
+        Ok(())
     }
 
     /// Number of writes currently held only in the volatile cache.
@@ -164,6 +189,11 @@ impl Pager for FaultPager {
         let mut state = self.state.lock();
         match state.sync_fault {
             SyncFault::Fail => return Err(Self::injected("sync")),
+            SyncFault::FailAfter(0) => {
+                state.sync_fault = SyncFault::None;
+                return Err(Self::injected("sync"));
+            }
+            SyncFault::FailAfter(n) => state.sync_fault = SyncFault::FailAfter(n - 1),
             SyncFault::SilentDrop => return Ok(()),
             SyncFault::None => {}
         }
@@ -271,6 +301,37 @@ mod tests {
             0x11,
             "second half is the old"
         );
+    }
+
+    #[test]
+    fn crash_keeping_persists_an_arbitrary_subset() {
+        let fault = FaultPager::new(Arc::new(MemPager::new()));
+        let a = fault.allocate().unwrap();
+        let b = fault.allocate().unwrap();
+        fault.write(a, &Page::from_bytes([0xAA; PAGE_SIZE])).unwrap();
+        fault.write(b, &Page::from_bytes([0xBB; PAGE_SIZE])).unwrap();
+        fault.crash_keeping(|id| id == b).unwrap();
+        let mut page = Page::new();
+        fault.read(a, &mut page).unwrap();
+        assert_ne!(page.as_bytes()[0], 0xAA, "un-kept write is lost");
+        fault.read(b, &mut page).unwrap();
+        assert_eq!(page.as_bytes()[0], 0xBB, "kept write hit the platter");
+        assert_eq!(fault.cached_writes(), 0, "cache is gone either way");
+    }
+
+    #[test]
+    fn sync_fail_after_targets_a_later_sync() {
+        let fault = FaultPager::new(Arc::new(MemPager::new()));
+        let id = fault.allocate().unwrap();
+        fault.set_sync_fault(SyncFault::FailAfter(1));
+        fault.write(id, &Page::from_bytes([0x01; PAGE_SIZE])).unwrap();
+        fault.sync().unwrap();
+        assert!(fault.sync().is_err(), "second sync fails");
+        assert!(fault.sync().is_ok(), "fault is one-shot");
+        fault.crash();
+        let mut page = Page::new();
+        fault.read(id, &mut page).unwrap();
+        assert_eq!(page.as_bytes()[0], 0x01, "first sync was honest");
     }
 
     #[test]

@@ -1,0 +1,340 @@
+//! Checkpoint pre-image journal: crash atomicity for multi-page,
+//! multi-`fsync` checkpoint writes.
+//!
+//! A checkpoint overwrites many pages in place — data pages, index pages
+//! and the catalog chain — and a power cut mid-way can leave the file with
+//! an arbitrary *subset* of those writes persisted (the kernel flushes its
+//! page cache in any order it likes).  Logical WAL replay cannot repair a
+//! physically torn page image, so before the first in-place write the
+//! checkpointer journals the **pre-image** of every page it is about to
+//! touch ([`write_pre_images`]), syncs the journal, and only then starts
+//! overwriting.  On reopen, [`recover`] rolls any surviving journal back,
+//! restoring the exact previous-checkpoint image; the still-un-pruned WAL
+//! then replays everything acknowledged since.  This is SQLite's rollback
+//! journal, scoped to checkpoints.
+//!
+//! The commit point is the **deletion** of the journal file: a valid
+//! journal on disk means "the checkpoint that was running may be torn —
+//! roll it back"; no journal means the last checkpoint completed.  Because
+//! the journal is written to a temporary file, synced, and renamed into
+//! place, a journal that is present but fails validation (short file, bad
+//! CRC) can only be a journal whose *own* write was interrupted — at that
+//! point no in-place page write had begun, so discarding it is safe.
+//!
+//! On-disk format (all integers little-endian):
+//!
+//! ```text
+//! magic "SPGJ" u32 | version u32 | entry count u32 | crc32(entries) u32
+//! entry* : page id u32 | page image [PAGE_SIZE]
+//! ```
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Write};
+use std::path::Path;
+
+use crate::crc::crc32;
+use crate::error::{StorageError, StorageResult};
+use crate::page::{Page, PageId, PAGE_SIZE};
+use crate::pager::Pager;
+
+/// `"SPGJ"` little-endian.
+const MAGIC: u32 = u32::from_le_bytes(*b"SPGJ");
+const VERSION: u32 = 1;
+const HEADER_BYTES: usize = 16;
+const ENTRY_BYTES: usize = 4 + PAGE_SIZE;
+
+/// Syncs the directory holding `path` so a create/rename/delete of the
+/// journal itself is durable.  Best-effort: not every filesystem supports
+/// directory fsync, and the fallback (an extra rollback or an extra
+/// recovery replay) is correct either way.
+fn sync_parent(path: &Path) {
+    let dir = path.parent().unwrap_or_else(|| Path::new("."));
+    if let Ok(handle) = File::open(dir) {
+        let _ = handle.sync_all();
+    }
+}
+
+/// Reads and validates the journal at `path`.  `Ok(None)` when the file
+/// is missing or fails validation — that can only be a journal whose own
+/// write was interrupted, i.e. before any in-place page write, so it is
+/// safe to ignore.  An unknown *version* under a valid magic is different:
+/// a torn write of this version cannot produce it, only other software
+/// can, and skipping a rollback it may require is not safe — `Corrupt`
+/// (the workspace's no-migrations policy).
+fn load_valid(path: &Path) -> StorageResult<Option<BTreeMap<PageId, Page>>> {
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut file) => file.read_to_end(&mut bytes)?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if bytes.len() < HEADER_BYTES {
+        return Ok(None);
+    }
+    let word = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().unwrap());
+    if word(0) != MAGIC {
+        return Ok(None);
+    }
+    if word(4) != VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "checkpoint journal {path:?} has version {} (this build reads v{VERSION}; \
+             no migration)",
+            word(4)
+        )));
+    }
+    let count = word(8) as usize;
+    let body = &bytes[HEADER_BYTES..];
+    if body.len() != count * ENTRY_BYTES || crc32(body) != word(12) {
+        return Ok(None);
+    }
+    let mut entries = BTreeMap::new();
+    for entry in body.chunks_exact(ENTRY_BYTES) {
+        let id = u32::from_le_bytes(entry[..4].try_into().unwrap());
+        let image: [u8; PAGE_SIZE] = entry[4..].try_into().unwrap();
+        entries.insert(id, Page::from_bytes(image));
+    }
+    Ok(Some(entries))
+}
+
+fn write_file(path: &Path, entries: &BTreeMap<PageId, Page>) -> StorageResult<()> {
+    let mut body = Vec::with_capacity(entries.len() * ENTRY_BYTES);
+    for (id, page) in entries {
+        body.extend_from_slice(&id.to_le_bytes());
+        body.extend_from_slice(page.as_bytes());
+    }
+    let mut header = [0u8; HEADER_BYTES];
+    header[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    header[4..8].copy_from_slice(&VERSION.to_le_bytes());
+    header[8..12].copy_from_slice(&(entries.len() as u32).to_le_bytes());
+    header[12..16].copy_from_slice(&crc32(&body).to_le_bytes());
+
+    // Write-to-temp, sync, rename: the journal appears atomically, so a
+    // crash during its own construction leaves either no journal or the
+    // previous (still-valid) one.
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    let tmp = Path::new(&tmp);
+    let mut file = OpenOptions::new()
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(tmp)?;
+    file.write_all(&header)?;
+    file.write_all(&body)?;
+    file.sync_all()?;
+    drop(file);
+    std::fs::rename(tmp, path)?;
+    sync_parent(path);
+    Ok(())
+}
+
+/// Journals the current on-disk image of every page in `ids`, merging with
+/// any valid journal already at `path` (old entries win: after a failed
+/// checkpoint attempt the on-disk image of an already-journaled page may be
+/// mid-overwrite, and the *original* pre-image is the one that restores the
+/// last completed checkpoint).  The journal is durable when this returns.
+///
+/// Pre-images are read through `pager` directly — callers journal before
+/// flushing, so the buffer pool's dirty copies must not shadow the on-disk
+/// content being protected.
+pub fn write_pre_images(
+    path: &Path,
+    pager: &dyn Pager,
+    ids: impl IntoIterator<Item = PageId>,
+) -> StorageResult<()> {
+    let mut entries = load_valid(path)?.unwrap_or_default();
+    let page_count = pager.page_count();
+    for id in ids {
+        if entries.contains_key(&id) {
+            continue;
+        }
+        // Pages allocated since the last completed checkpoint may sit past
+        // the durable page count after rollback; the old catalog does not
+        // reference them, so they need no pre-image.
+        if id >= page_count {
+            continue;
+        }
+        let mut page = Page::new();
+        pager.read(id, &mut page)?;
+        entries.insert(id, page);
+    }
+    write_file(path, &entries)
+}
+
+/// Rolls back the journal at `path`, if a valid one exists: writes every
+/// pre-image through `pager`, syncs, then deletes the journal.  Returns
+/// `true` when a rollback happened.  An invalid journal is deleted without
+/// being applied (see the module docs for why that is safe).
+pub fn recover(path: &Path, pager: &dyn Pager) -> StorageResult<bool> {
+    let Some(entries) = load_valid(path)? else {
+        discard(path)?;
+        return Ok(false);
+    };
+    let page_count = pager.page_count();
+    for (&id, page) in &entries {
+        if id >= page_count {
+            return Err(StorageError::Corrupt(format!(
+                "checkpoint journal references page {id} beyond file end ({page_count} pages)"
+            )));
+        }
+        pager.write(id, page)?;
+    }
+    pager.sync()?;
+    discard(path)?;
+    Ok(true)
+}
+
+/// Removes the journal (and any leftover temp file); missing files are
+/// fine.  Deleting the journal is the checkpoint's commit point, so the
+/// removal is followed by a directory sync.
+pub fn discard(path: &Path) -> StorageResult<()> {
+    let mut tmp = path.as_os_str().to_os_string();
+    tmp.push(".tmp");
+    for p in [Path::new(&tmp), path] {
+        match std::fs::remove_file(p) {
+            Ok(()) => {}
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+    sync_parent(path);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pager::MemPager;
+    use std::path::PathBuf;
+
+    struct TempDir(PathBuf);
+
+    impl TempDir {
+        fn new(tag: &str) -> Self {
+            let dir =
+                std::env::temp_dir().join(format!("spgist-journal-{tag}-{}", std::process::id()));
+            let _ = std::fs::remove_dir_all(&dir);
+            std::fs::create_dir_all(&dir).unwrap();
+            TempDir(dir)
+        }
+    }
+
+    impl Drop for TempDir {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn page(fill: u8) -> Page {
+        Page::from_bytes([fill; PAGE_SIZE])
+    }
+
+    #[test]
+    fn rollback_restores_journaled_pre_images() {
+        let dir = TempDir::new("roundtrip");
+        let path = dir.0.join("db.ckpt");
+        let pager = MemPager::new();
+        let a = pager.allocate().unwrap();
+        let b = pager.allocate().unwrap();
+        pager.write(a, &page(0x0A)).unwrap();
+        pager.write(b, &page(0x0B)).unwrap();
+
+        write_pre_images(&path, &pager, [a, b]).unwrap();
+        // "Checkpoint" overwrites both, then crashes before committing.
+        pager.write(a, &page(0xFA)).unwrap();
+        pager.write(b, &page(0xFB)).unwrap();
+
+        assert!(recover(&path, &pager).unwrap());
+        let mut out = Page::new();
+        pager.read(a, &mut out).unwrap();
+        assert_eq!(out.as_bytes()[0], 0x0A);
+        pager.read(b, &mut out).unwrap();
+        assert_eq!(out.as_bytes()[0], 0x0B);
+        assert!(!path.exists(), "rollback consumes the journal");
+        assert!(!recover(&path, &pager).unwrap(), "idempotent when absent");
+    }
+
+    #[test]
+    fn merge_keeps_the_oldest_pre_image() {
+        let dir = TempDir::new("merge");
+        let path = dir.0.join("db.ckpt");
+        let pager = MemPager::new();
+        let a = pager.allocate().unwrap();
+        pager.write(a, &page(0x01)).unwrap();
+
+        // First (failed) checkpoint attempt journals the original image...
+        write_pre_images(&path, &pager, [a]).unwrap();
+        // ...then overwrites the page and dies.  The retry journals again;
+        // the on-disk image is now mid-overwrite garbage, and the merge
+        // must keep the original.
+        pager.write(a, &page(0x99)).unwrap();
+        write_pre_images(&path, &pager, [a]).unwrap();
+
+        assert!(recover(&path, &pager).unwrap());
+        let mut out = Page::new();
+        pager.read(a, &mut out).unwrap();
+        assert_eq!(out.as_bytes()[0], 0x01, "original pre-image wins");
+    }
+
+    #[test]
+    fn torn_journal_is_discarded_not_applied() {
+        let dir = TempDir::new("torn");
+        let path = dir.0.join("db.ckpt");
+        let pager = MemPager::new();
+        let a = pager.allocate().unwrap();
+        pager.write(a, &page(0x42)).unwrap();
+        write_pre_images(&path, &pager, [a]).unwrap();
+
+        // Truncate mid-entry: the CRC/length check must reject it.
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        pager.write(a, &page(0x43)).unwrap();
+
+        assert!(!recover(&path, &pager).unwrap(), "torn journal ignored");
+        assert!(!path.exists(), "and cleaned up");
+        let mut out = Page::new();
+        pager.read(a, &mut out).unwrap();
+        assert_eq!(out.as_bytes()[0], 0x43, "no rollback happened");
+    }
+
+    #[test]
+    fn out_of_range_ids_are_skipped_on_write_and_corrupt_on_recover() {
+        let dir = TempDir::new("range");
+        let path = dir.0.join("db.ckpt");
+        let pager = MemPager::new();
+        let a = pager.allocate().unwrap();
+        pager.write(a, &page(0x07)).unwrap();
+        // Page 57 does not exist yet — e.g. freshly allocated this epoch.
+        write_pre_images(&path, &pager, [a, 57]).unwrap();
+        assert!(recover(&path, &pager).unwrap());
+
+        // A journal that *does* reference a page beyond the file is corrupt.
+        let mut entries = BTreeMap::new();
+        entries.insert(57u32, page(0x00));
+        write_file(&path, &entries).unwrap();
+        assert!(matches!(
+            recover(&path, &pager),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_journal_version_is_corrupt_not_discarded() {
+        let dir = TempDir::new("version");
+        let path = dir.0.join("db.ckpt");
+        let pager = MemPager::new();
+        let a = pager.allocate().unwrap();
+        write_pre_images(&path, &pager, [a]).unwrap();
+        // Bump the version byte: only other software writes this, and
+        // skipping a rollback it may require is not safe.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[4] = 99;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            recover(&path, &pager),
+            Err(StorageError::Corrupt(_))
+        ));
+        assert!(path.exists(), "a version-mismatched journal is kept");
+    }
+}

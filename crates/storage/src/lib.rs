@@ -25,14 +25,17 @@
 
 pub mod buffer;
 pub mod codec;
+pub mod crc;
 pub mod error;
 pub mod fault;
 pub mod heap;
+pub mod journal;
 pub mod page;
 pub mod pager;
 
 pub use buffer::{BufferPool, BufferPoolConfig, IoStats};
 pub use codec::Codec;
+pub use crc::crc32;
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultPager, SyncFault, WriteFault};
 pub use heap::{HeapFile, RecordId};

@@ -1,69 +1,7 @@
-//! CRC-32 (IEEE 802.3, the polynomial used by zlib, PNG and PostgreSQL's
-//! pre-9.5 WAL) over record payloads.
+//! CRC-32 over record payloads.
 //!
-//! The build environment is offline, so the checksum is implemented here
-//! rather than pulled from crates.io: a table-driven, byte-at-a-time
-//! reflected CRC with polynomial `0xEDB88320`.  Speed is a non-goal — WAL
-//! records are small and the cost is dominated by the `fsync` that follows.
+//! The implementation lives in [`spgist_storage::crc`] (the checkpoint
+//! pre-image journal checksums with the same polynomial); this module
+//! re-exports it so WAL code and its historical imports keep working.
 
-/// Reflected CRC-32 lookup table for polynomial `0xEDB88320`, built at
-/// compile time.
-const TABLE: [u32; 256] = {
-    let mut table = [0u32; 256];
-    let mut i = 0;
-    while i < 256 {
-        let mut crc = i as u32;
-        let mut bit = 0;
-        while bit < 8 {
-            crc = if crc & 1 != 0 {
-                (crc >> 1) ^ 0xEDB8_8320
-            } else {
-                crc >> 1
-            };
-            bit += 1;
-        }
-        table[i] = crc;
-        i += 1;
-    }
-    table
-};
-
-/// CRC-32 of `bytes` (initial value all-ones, final xor all-ones — the
-/// standard "CRC-32" everyone means by the name).
-pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = u32::MAX;
-    for &byte in bytes {
-        crc = (crc >> 8) ^ TABLE[((crc ^ byte as u32) & 0xFF) as usize];
-    }
-    !crc
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn known_vectors() {
-        // The canonical check value for CRC-32/IEEE.
-        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
-        assert_eq!(crc32(b""), 0);
-        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
-        assert_eq!(
-            crc32(b"The quick brown fox jumps over the lazy dog"),
-            0x414F_A339
-        );
-    }
-
-    #[test]
-    fn single_bit_flips_change_the_checksum() {
-        let base = b"wal record payload".to_vec();
-        let crc = crc32(&base);
-        for byte in 0..base.len() {
-            for bit in 0..8 {
-                let mut flipped = base.clone();
-                flipped[byte] ^= 1 << bit;
-                assert_ne!(crc32(&flipped), crc, "flip at byte {byte} bit {bit}");
-            }
-        }
-    }
-}
+pub use spgist_storage::crc::crc32;

@@ -308,6 +308,44 @@ mod tests {
     }
 
     #[test]
+    fn lone_headerless_segment_is_a_fresh_empty_log() {
+        // A crash during the very first `Wal::create` — after the segment
+        // file appeared but before its 16-byte header was synced — leaves
+        // a lone sub-header file.  With nothing checkpointed that is an
+        // empty log, not corruption.
+        let dir = TempDir::new("lone-headerless");
+        std::fs::write(segment_1(&dir), [0xAB; 7]).unwrap();
+        let (wal, records) = Wal::open(dir.prefix(), WalConfig::default(), 0).unwrap();
+        assert!(records.is_empty());
+        assert_eq!(wal.next_lsn(), 0);
+        append_n(&wal, 2);
+        drop(wal);
+        assert_eq!(reopen_records(&dir.prefix(), 0).len(), 2);
+
+        // With a *nonzero* checkpoint the same file really is missing
+        // acknowledged records: corrupt, exactly as before.
+        std::fs::write(segment_1(&dir), [0xAB; 7]).unwrap();
+        assert!(matches!(
+            Wal::open(dir.prefix(), WalConfig::default(), 5),
+            Err(StorageError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn wal_poison_surfaces_through_health() {
+        let dir = TempDir::new("health");
+        let wal = Wal::create(dir.prefix(), WalConfig::default()).unwrap();
+        append_n(&wal, 2);
+        assert!(wal.health().is_ok());
+        wal.fail_for_test("injected flusher failure");
+        assert!(wal.health().is_err(), "poison is visible to health checks");
+        assert!(
+            wal.append(&insert("t", 2)).is_err(),
+            "a poisoned log accepts nothing"
+        );
+    }
+
+    #[test]
     fn create_removes_stale_segments() {
         let dir = TempDir::new("stale");
         {

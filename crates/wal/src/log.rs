@@ -371,14 +371,39 @@ impl Wal {
 
         // A crash between creating a new segment and syncing its header can
         // leave a headerless last file: drop it and recover from the one
-        // before.
-        if segments.len() > 1 {
+        // before.  When it is the *only* file, the crash happened during
+        // the very first `Wal::create` — nothing was ever logged, so with
+        // nothing checkpointed the log is simply empty and fresh.  (With a
+        // nonzero checkpoint a lone sub-header file really is missing
+        // acknowledged records; fall through and let `scan_segment` report
+        // it as corrupt.)
+        {
             let (_, last_path) = segments.last().expect("non-empty");
             let len = std::fs::metadata(last_path)?.len();
             if len < HEADER_BYTES {
-                std::fs::remove_file(last_path)?;
-                sync_dir(&dir);
-                segments.pop();
+                if segments.len() > 1 {
+                    std::fs::remove_file(last_path)?;
+                    sync_dir(&dir);
+                    segments.pop();
+                } else if checkpoint_lsn == 0 {
+                    std::fs::remove_file(last_path)?;
+                    sync_dir(&dir);
+                    let (file, path) = create_segment(&dir, &name, 1, 0)?;
+                    let wal = Self::start(
+                        config,
+                        dir,
+                        name,
+                        file,
+                        path,
+                        1,
+                        0,
+                        0,
+                        HEADER_BYTES,
+                        Vec::new(),
+                        0,
+                    );
+                    return Ok((wal, Vec::new()));
+                }
             }
         }
 
@@ -673,6 +698,28 @@ impl Wal {
         }
         drop(durable);
         self.shared.durable_cv.notify_all();
+    }
+
+    /// `Ok` while the log can still accept and persist records.  After any
+    /// flusher I/O failure the log is **poisoned** — every subsequent
+    /// `submit`/`append` fails, and this returns the original failure.
+    /// Callers that serve reads from state whose durability the poisoned
+    /// log can no longer vouch for check this and fail fast instead of
+    /// serving possibly-non-durable data; the recovery path is to reopen
+    /// the database and replay.
+    pub fn health(&self) -> StorageResult<()> {
+        match self.poison() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Test hook: poisons the log as an I/O failure in the flusher would,
+    /// so failure-handling above the WAL can be exercised without a real
+    /// disk fault.
+    #[doc(hidden)]
+    pub fn fail_for_test(&self, msg: &str) {
+        self.fail(msg.to_string());
     }
 
     fn poison(&self) -> Option<StorageError> {
