@@ -20,11 +20,11 @@
 use spgist_bench::loc::table7;
 use spgist_bench::stats::{log10_ratio, ratio_pct};
 use spgist_bench::{
-    point_sizes, run_build_experiment, run_clustering_ablation, run_mixed_workload,
-    run_nn_experiments, run_point_experiments, run_read_scaling, run_reopen_experiment,
-    run_segment_experiments, run_string_experiments, run_substring_experiments,
-    run_trie_variant_ablation, run_wal_experiment, word_sizes, write_build_json, write_rows_json,
-    JsonVal, NN_KS,
+    point_sizes, run_build_experiment, run_clustering_ablation, run_io_patterns,
+    run_mixed_workload, run_nn_experiments, run_point_experiments, run_pool_overhead,
+    run_read_scaling, run_reopen_experiment, run_segment_experiments, run_string_experiments,
+    run_substring_experiments, run_trie_variant_ablation, run_wal_experiment, word_sizes,
+    write_build_json, write_rows_json, JsonVal, NN_KS,
 };
 
 struct Options {
@@ -90,7 +90,7 @@ fn usage(message: &str) -> ! {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|build|wal|all] [--scale N] [--queries N] [--json-dir DIR]\n       experiments crash-writer --db PATH\n       experiments crash-verify --db PATH"
+        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|build|wal|io-patterns|all] [--scale N] [--queries N] [--json-dir DIR]\n       experiments crash-writer --db PATH\n       experiments crash-verify --db PATH"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -154,6 +154,157 @@ fn main() {
     if wants("wal") {
         print_wal(&opts);
     }
+    if wants("io-patterns") {
+        print_io_patterns(&opts);
+    }
+}
+
+fn print_io_patterns(opts: &Options) {
+    let n = 20_000 * opts.scale.max(1);
+    let queries = opts.queries.max(16);
+    let rows = run_io_patterns(n, queries, SEED);
+    println!("== I/O patterns: replacement policy x pool size x workload ({n} points) ==");
+    println!(
+        "{:>10} {:>6} {:>7} {:>11} {:>8} {:>9} {:>9} {:>7} {:>9} {:>11} {:>9}",
+        "workload",
+        "pool%",
+        "frames",
+        "policy",
+        "queries",
+        "logical",
+        "physical",
+        "evict",
+        "hit rate",
+        "elapsed ms",
+        "p99 ms"
+    );
+    for r in &rows {
+        println!(
+            "{:>10} {:>6} {:>7} {:>11} {:>8} {:>9} {:>9} {:>7} {:>9.4} {:>11.2} {:>9.4}",
+            r.workload,
+            r.pool_pct,
+            r.frames,
+            r.policy,
+            r.queries,
+            r.logical_reads,
+            r.physical_reads,
+            r.evictions,
+            r.hit_rate,
+            r.elapsed_ms,
+            r.p99_ms
+        );
+    }
+    // The acceptance summary: at a pool 10% of the data, do the
+    // scan-resistant policies hold more of the hot set than plain LRU?
+    let hit = |policy: &str| {
+        rows.iter()
+            .find(|r| r.policy == policy && r.pool_pct == 10 && r.workload == "scan+point")
+            .map_or(f64::NAN, |r| r.hit_rate)
+    };
+    println!(
+        "scan+point @ 10% pool hit rates: sieve {:.4}, clock {:.4}, lru {:.4}, lru-scan {:.4}",
+        hit("sieve"),
+        hit("clock"),
+        hit("lru"),
+        hit("lru-scan")
+    );
+    println!();
+    emit_json(
+        opts,
+        "io_patterns",
+        &[
+            "workload",
+            "pool_pct",
+            "frames",
+            "data_pages",
+            "policy",
+            "queries",
+            "logical_reads",
+            "physical_reads",
+            "evictions",
+            "hit_rate",
+            "elapsed_ms",
+            "p99_ms",
+            "result_rows",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.workload.into(),
+                    r.pool_pct.into(),
+                    r.frames.into(),
+                    r.data_pages.into(),
+                    r.policy.into(),
+                    r.queries.into(),
+                    r.logical_reads.into(),
+                    r.physical_reads.into(),
+                    r.evictions.into(),
+                    r.hit_rate.into(),
+                    r.elapsed_ms.into(),
+                    r.p99_ms.into(),
+                    r.result_rows.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+
+    let overhead = run_pool_overhead(4_096, 200_000, SEED ^ 0xf0);
+    println!("== I/O patterns: replacement bookkeeping, 4096-frame pool, ~50% miss rate ==");
+    println!(
+        "{:>11} {:>8} {:>8} {:>9} {:>11} {:>13} {:>10}",
+        "policy", "frames", "pages", "fetches", "elapsed ms", "fetches/s", "misses"
+    );
+    for r in &overhead {
+        println!(
+            "{:>11} {:>8} {:>8} {:>9} {:>11.1} {:>13.0} {:>10}",
+            r.policy,
+            r.frames,
+            r.pages,
+            r.fetches,
+            r.elapsed_ms,
+            r.fetches_per_sec,
+            r.physical_reads
+        );
+    }
+    let scan = overhead.iter().find(|r| r.policy == "lru-scan");
+    let sieve = overhead.iter().find(|r| r.policy == "sieve");
+    if let (Some(scan), Some(sieve)) = (scan, sieve) {
+        println!(
+            "O(1) eviction speedup vs linear victim scan: {:.1}x ({:.0} vs {:.0} fetches/s)",
+            sieve.fetches_per_sec / scan.fetches_per_sec.max(1e-9),
+            sieve.fetches_per_sec,
+            scan.fetches_per_sec
+        );
+    }
+    println!();
+    emit_json(
+        opts,
+        "pool_overhead",
+        &[
+            "policy",
+            "frames",
+            "pages",
+            "fetches",
+            "elapsed_ms",
+            "fetches_per_sec",
+            "physical_reads",
+        ],
+        &overhead
+            .iter()
+            .map(|r| {
+                vec![
+                    r.policy.into(),
+                    r.frames.into(),
+                    r.pages.into(),
+                    r.fetches.into(),
+                    r.elapsed_ms.into(),
+                    r.fetches_per_sec.into(),
+                    r.physical_reads.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 fn print_wal(opts: &Options) {
@@ -347,13 +498,15 @@ fn print_build(opts: &Options) {
     let rows = run_build_experiment(opts.scale, SEED);
     println!("== Build: insert-loop vs spgistbuild bulk build (eviction-bounded pool) ==");
     println!(
-        "{:>10} {:>8} {:>11} {:>9} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6} {:>8}",
+        "{:>10} {:>8} {:>11} {:>9} {:>9} {:>9} {:>7} {:>7} {:>9} {:>9} {:>7} {:>7} {:>6} {:>6} {:>8}",
         "class",
         "rows",
         "insert ms",
         "bulk ms",
         "ins wr",
         "bulk wr",
+        "ins hr",
+        "bulk hr",
         "ins pg",
         "bulk pg",
         "ins h",
@@ -364,13 +517,15 @@ fn print_build(opts: &Options) {
     );
     for r in &rows {
         println!(
-            "{:>10} {:>8} {:>11.1} {:>9.1} {:>9} {:>9} {:>9} {:>9} {:>7} {:>7} {:>6.2} {:>6.2} {:>7.1}x",
+            "{:>10} {:>8} {:>11.1} {:>9.1} {:>9} {:>9} {:>7.3} {:>7.3} {:>9} {:>9} {:>7} {:>7} {:>6.2} {:>6.2} {:>7.1}x",
             r.class,
             r.rows,
             r.insert.ms,
             r.bulk.ms,
             r.insert.writes,
             r.bulk.writes,
+            r.insert.hit_rate,
+            r.bulk.hit_rate,
             r.insert.pages,
             r.bulk.pages,
             r.insert.page_height,
@@ -381,7 +536,8 @@ fn print_build(opts: &Options) {
         );
     }
     println!(
-        "(wr = physical page writes incl. final flush; h = tree height in pages; f = page fill)"
+        "(wr = physical page writes incl. final flush; hr = pool hit rate; h = tree height in pages; f = page fill; pool policy: {})",
+        spgist_storage::BufferPoolConfig::default().policy.name()
     );
     println!();
     if let Some(dir) = &opts.json_dir {
@@ -401,30 +557,34 @@ fn print_reopen(opts: &Options) {
     let rows = run_reopen_experiment(&sizes, SEED);
     println!("== Reopen: durable-catalog cold open vs. rebuild from scratch ==");
     println!(
-        "{:>10} {:>10} {:>13} {:>10} {:>11} {:>14} {:>13} {:>9}",
+        "{:>10} {:>10} {:>13} {:>10} {:>11} {:>9} {:>8} {:>14} {:>13} {:>9}",
         "rows",
         "pages",
         "rebuild ms",
         "open ms",
         "open reads",
+        "policy",
+        "cold hr",
         "1st query ms",
         "warm query ms",
         "speedup"
     );
     for r in &rows {
         println!(
-            "{:>10} {:>10} {:>13.1} {:>10.2} {:>11} {:>14.3} {:>13.3} {:>8.0}x",
+            "{:>10} {:>10} {:>13.1} {:>10.2} {:>11} {:>9} {:>8.3} {:>14.3} {:>13.3} {:>8.0}x",
             r.rows,
             r.file_pages,
             r.rebuild_ms,
             r.open_ms,
             r.open_reads,
+            r.policy,
+            r.cold_hit_rate,
             r.first_query_ms,
             r.warm_query_ms,
             r.rebuild_ms / r.open_ms.max(1e-9)
         );
     }
-    println!("(open reads = physical page reads at open: catalog chain + tree meta pages only)");
+    println!("(open reads = physical page reads at open: catalog chain + tree meta pages only; cold hr = pool hit rate through the first query)");
     println!();
     emit_json(
         opts,
@@ -435,6 +595,8 @@ fn print_reopen(opts: &Options) {
             "rebuild_ms",
             "open_ms",
             "open_reads",
+            "policy",
+            "cold_hit_rate",
             "first_query_ms",
             "warm_query_ms",
         ],
@@ -447,6 +609,8 @@ fn print_reopen(opts: &Options) {
                     r.rebuild_ms.into(),
                     r.open_ms.into(),
                     r.open_reads.into(),
+                    r.policy.into(),
+                    r.cold_hit_rate.into(),
                     r.first_query_ms.into(),
                     r.warm_query_ms.into(),
                 ]

@@ -44,6 +44,8 @@ pub struct BuildSide {
     pub ms: f64,
     /// Physical page writes during the load, including the final flush.
     pub writes: u64,
+    /// Buffer-pool hit rate over the whole load, in `[0, 1]`.
+    pub hit_rate: f64,
     /// Pages of the resulting tree.
     pub pages: u64,
     /// Resulting maximum tree height in pages.
@@ -99,11 +101,12 @@ fn measure<I: SpIndex>(
         }
     });
     pool.flush_all().expect("flush");
-    let writes = pool.stats().physical_writes;
+    let io = pool.stats();
     let stats = index.stats().expect("stats");
     BuildSide {
         ms: elapsed.as_secs_f64() * 1e3,
-        writes,
+        writes: io.physical_writes,
+        hit_rate: io.hit_ratio(),
         pages: stats.pages,
         page_height: stats.max_page_height,
         fill: stats.utilization,
@@ -180,8 +183,8 @@ pub fn build_json(rows: &[BuildRow], scale: usize) -> String {
     for (i, r) in rows.iter().enumerate() {
         let side = |s: &BuildSide| {
             format!(
-                "{{\"ms\": {:.3}, \"writes\": {}, \"pages\": {}, \"page_height\": {}, \"fill\": {:.4}}}",
-                s.ms, s.writes, s.pages, s.page_height, s.fill
+                "{{\"ms\": {:.3}, \"writes\": {}, \"hit_rate\": {:.4}, \"pages\": {}, \"page_height\": {}, \"fill\": {:.4}}}",
+                s.ms, s.writes, s.hit_rate, s.pages, s.page_height, s.fill
             )
         };
         out.push_str(&format!(
@@ -234,6 +237,7 @@ mod tests {
             insert: BuildSide {
                 ms: 1.0,
                 writes: 5,
+                hit_rate: 0.9,
                 pages: 3,
                 page_height: 2,
                 fill: 0.5,
@@ -241,6 +245,7 @@ mod tests {
             bulk: BuildSide {
                 ms: 0.5,
                 writes: 3,
+                hit_rate: 0.95,
                 pages: 3,
                 page_height: 2,
                 fill: 0.6,

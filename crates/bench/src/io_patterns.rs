@@ -1,0 +1,486 @@
+//! I/O-pattern experiment: buffer replacement policies under a
+//! larger-than-memory read path.
+//!
+//! The paper's evaluation (Section 6) runs on a PostgreSQL installation
+//! whose shared-buffer pool is far smaller than the 2M–32M-key indexes, so
+//! every reported number is shaped by the replacement policy as much as by
+//! the tree.  This experiment makes that dimension explicit: one kd-tree
+//! over uniform points is built once, then re-opened cold under every
+//! replacement policy ([`ReplacementPolicyKind::ALL`]) at pool sizes from
+//! 5% to 100% of the index's pages, and four query mixes are replayed over
+//! identical traces:
+//!
+//! * **point** — Zipf-ranked exact-match lookups (a hot set exists);
+//! * **range** — small window queries centered on Zipf-ranked points;
+//! * **knn** — `@@`-style 10-nearest-neighbour queries at Zipf anchors;
+//! * **scan+point** — the scan-resistance probe: the same Zipf point
+//!   lookups with a full sequential scan of the backing heap table (the
+//!   `AccessHint::Scan`-tagged one-touch pattern the executor's seq
+//!   scans emit) injected every eighth query — the access mix that
+//!   flushes a hint-oblivious pool's index hot set.
+//!
+//! Each cell warms the pool with one pass of the trace, resets the
+//! counters, and measures a second pass: steady-state hit rate, physical
+//! reads, evictions, wall-clock and per-query p99.  A second table
+//! ([`run_pool_overhead`]) isolates the *replacement bookkeeping* cost:
+//! uniform-random fetches on a pool at 50% of the page set, where the
+//! legacy `lru-scan` baseline pays an O(frames) victim scan per miss and
+//! the intrusive-list policies pay O(1).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use spgist_datagen::rng::DetRng;
+use spgist_datagen::{points, WORLD_MAX};
+use spgist_indexes::geom::{Point, Rect};
+use spgist_indexes::{KdTreeIndex, KdTreeOps, SpIndex};
+use spgist_storage::{
+    BufferPool, BufferPoolConfig, HeapFile, MemPager, PageId, Pager, ReplacementPolicyKind,
+};
+
+use crate::stats::timed;
+
+/// Pool sizes exercised, as percentages of the index's page count.
+pub const POOL_FRACTIONS_PCT: [usize; 5] = [5, 10, 25, 50, 100];
+
+/// Window-query side length (world units; the world is `[0, 100]²`).
+const RANGE_SIDE: f64 = 4.0;
+
+/// Neighbours per k-NN query.
+const KNN_K: usize = 10;
+
+/// One op in `queries` of the scan+point mix is a full-index sweep.
+const SCAN_EVERY: usize = 8;
+
+/// One measured cell: a `(policy, pool size, workload)` combination.
+#[derive(Debug, Clone)]
+pub struct IoPatternRow {
+    /// Replacement policy name (`lru`, `clock`, `sieve`, `lru-scan`).
+    pub policy: &'static str,
+    /// Pool size as a percentage of the index's pages.
+    pub pool_pct: usize,
+    /// Pool frames the cell ran with.
+    pub frames: usize,
+    /// Pages the index occupies (the working set a 100% pool holds).
+    pub data_pages: usize,
+    /// Workload name (`point`, `range`, `knn`, `scan+point`).
+    pub workload: &'static str,
+    /// Queries in the measured pass.
+    pub queries: usize,
+    /// Logical page reads during the measured pass.
+    pub logical_reads: u64,
+    /// Physical page reads during the measured pass.
+    pub physical_reads: u64,
+    /// Frames evicted during the measured pass.
+    pub evictions: u64,
+    /// Steady-state hit rate of the measured pass, in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Wall-clock milliseconds for the measured pass.
+    pub elapsed_ms: f64,
+    /// 99th-percentile single-query latency, milliseconds.
+    pub p99_ms: f64,
+    /// Total rows every query of the pass reported (work checksum —
+    /// identical across policies, or the cell measured different work).
+    pub result_rows: u64,
+}
+
+/// One row of the replacement-bookkeeping microbenchmark.
+#[derive(Debug, Clone)]
+pub struct PoolOverheadRow {
+    /// Replacement policy name.
+    pub policy: &'static str,
+    /// Pool frames.
+    pub frames: usize,
+    /// Distinct pages fetched from (twice the frames: ~50% miss rate).
+    pub pages: usize,
+    /// Fetches performed.
+    pub fetches: usize,
+    /// Wall-clock milliseconds for all fetches.
+    pub elapsed_ms: f64,
+    /// Fetches per second.
+    pub fetches_per_sec: f64,
+    /// Physical reads (≈ misses) the run paid.
+    pub physical_reads: u64,
+}
+
+/// One pre-generated query of a workload trace.  Traces are generated once
+/// per workload and replayed verbatim for every `(policy, pool size)` cell,
+/// so cells differ only in the pool under test.
+#[derive(Debug, Clone)]
+enum Op {
+    PointLookup(Point),
+    Range(Rect),
+    Knn(Point),
+    FullScan,
+}
+
+/// Zipf(s=1) sampler over ranks `0..n` via the cumulative harmonic weights.
+struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    fn new(n: usize) -> Self {
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for rank in 0..n {
+            total += 1.0 / (rank as f64 + 1.0);
+            cumulative.push(total);
+        }
+        Zipf { cumulative }
+    }
+
+    fn sample(&self, rng: &mut DetRng) -> usize {
+        let total = *self.cumulative.last().expect("non-empty domain");
+        let u = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c <= u)
+    }
+}
+
+fn window_around(center: Point) -> Rect {
+    let half = RANGE_SIDE / 2.0;
+    Rect::new(
+        (center.x - half).max(0.0),
+        (center.y - half).max(0.0),
+        (center.x + half).min(WORLD_MAX),
+        (center.y + half).min(WORLD_MAX),
+    )
+}
+
+/// Generates the trace of one workload: Zipf ranks index into `data`, so
+/// the hot set of the trace is a hot set of stored keys (and therefore of
+/// leaf pages).
+fn make_trace(
+    workload: &'static str,
+    data: &[Point],
+    zipf: &Zipf,
+    queries: usize,
+    seed: u64,
+) -> Vec<Op> {
+    let mut rng = DetRng::seed_from_u64(seed);
+    (0..queries)
+        .map(|i| match workload {
+            "point" => Op::PointLookup(data[zipf.sample(&mut rng)]),
+            "range" => Op::Range(window_around(data[zipf.sample(&mut rng)])),
+            "knn" => Op::Knn(data[zipf.sample(&mut rng)]),
+            "scan+point" => {
+                if i % SCAN_EVERY == SCAN_EVERY - 1 {
+                    Op::FullScan
+                } else {
+                    Op::PointLookup(data[zipf.sample(&mut rng)])
+                }
+            }
+            other => unreachable!("unknown workload {other}"),
+        })
+        .collect()
+}
+
+/// Runs one op, returning the number of rows it reported.
+fn run_op(kd: &KdTreeIndex, heap: &HeapFile, op: &Op) -> u64 {
+    match op {
+        Op::PointLookup(p) => kd.equals(*p).expect("point lookup").len() as u64,
+        Op::Range(rect) => kd.range(*rect).expect("range query").len() as u64,
+        Op::Knn(anchor) => kd.nearest(*anchor, KNN_K).expect("knn query").len() as u64,
+        // The sweep is the executor's table scan: every heap page touched
+        // exactly once.  [`HeapFile::scan`] tags its fetches Scan, so
+        // hint-aware policies keep the index's hot set resident.
+        Op::FullScan => {
+            let mut rows = 0u64;
+            heap.scan(|_, _| rows += 1).expect("heap scan");
+            rows
+        }
+    }
+}
+
+/// Heap record width: a plausible tuple (two coordinates plus payload), so
+/// the scanned table occupies a meaningful number of pages.
+const HEAP_RECORD_BYTES: usize = 64;
+
+fn heap_record(p: Point) -> [u8; HEAP_RECORD_BYTES] {
+    let mut rec = [0u8; HEAP_RECORD_BYTES];
+    rec[..8].copy_from_slice(&p.x.to_le_bytes());
+    rec[8..16].copy_from_slice(&p.y.to_le_bytes());
+    rec
+}
+
+/// The durable identity of the built dataset: the shared pager plus what
+/// every cold pool needs to reopen the same physical index and heap.
+struct Dataset {
+    pager: Arc<MemPager>,
+    meta: PageId,
+    index_pages: Vec<PageId>,
+    heap_pages: Vec<PageId>,
+    heap_records: u64,
+}
+
+/// Builds the kd-tree and its backing heap table once on a throwaway pool
+/// and flushes both — every measurement cell then re-opens the *same
+/// physical data* under a cold pool.
+fn build_dataset(data: &[Point]) -> Dataset {
+    let pager = Arc::new(MemPager::new());
+    let pool = Arc::new(BufferPool::new(
+        Arc::clone(&pager) as Arc<dyn Pager>,
+        BufferPoolConfig {
+            capacity: 4096,
+            ..Default::default()
+        },
+    ));
+    let kd = KdTreeIndex::create(Arc::clone(&pool)).expect("create kd-tree");
+    kd.bulk_build(
+        data.iter()
+            .enumerate()
+            .map(|(row, p)| (*p, row as u64))
+            .collect(),
+    )
+    .expect("bulk build");
+    let mut heap = HeapFile::create(Arc::clone(&pool)).expect("create heap");
+    for p in data {
+        heap.insert(&heap_record(*p)).expect("insert heap record");
+    }
+    let dataset = Dataset {
+        pager: Arc::clone(&pager),
+        meta: kd.meta_page(),
+        index_pages: kd.owned_pages(),
+        heap_pages: heap.pages().to_vec(),
+        heap_records: heap.record_count(),
+    };
+    pool.flush_all().expect("flush built dataset");
+    dataset
+}
+
+fn p99_ms(samples: &mut [Duration]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_unstable();
+    let idx = ((samples.len() as f64 * 0.99).ceil() as usize).clamp(1, samples.len()) - 1;
+    samples[idx].as_secs_f64() * 1e3
+}
+
+/// Runs the full policy × pool-size × workload grid over `n` points with
+/// `queries` queries per trace.
+pub fn run_io_patterns(n: usize, queries: usize, seed: u64) -> Vec<IoPatternRow> {
+    let data = points(n, seed);
+    let dataset = build_dataset(&data);
+    let data_pages = dataset.index_pages.len() + dataset.heap_pages.len();
+    let zipf = Zipf::new(data.len());
+
+    let workloads: [&'static str; 4] = ["point", "range", "knn", "scan+point"];
+    let traces: Vec<(&'static str, Vec<Op>)> = workloads
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| {
+            (
+                w,
+                make_trace(w, &data, &zipf, queries, seed ^ (i as u64 + 1)),
+            )
+        })
+        .collect();
+
+    let mut rows = Vec::new();
+    for &pct in &POOL_FRACTIONS_PCT {
+        let frames = (data_pages * pct / 100).max(8);
+        for kind in ReplacementPolicyKind::ALL {
+            for (workload, trace) in &traces {
+                // A cold pool per cell: every policy starts from the same
+                // flushed on-"disk" state and replays the same trace.
+                let pool = Arc::new(BufferPool::new(
+                    Arc::clone(&dataset.pager) as Arc<dyn Pager>,
+                    BufferPoolConfig {
+                        capacity: frames,
+                        policy: kind,
+                        ..Default::default()
+                    },
+                ));
+                let kd = KdTreeIndex::open_with_ops(
+                    Arc::clone(&pool),
+                    KdTreeOps::default(),
+                    dataset.meta,
+                    dataset.index_pages.clone(),
+                )
+                .expect("reopen kd-tree");
+                let heap = HeapFile::open(
+                    Arc::clone(&pool),
+                    dataset.heap_pages.clone(),
+                    dataset.heap_records,
+                )
+                .expect("reopen heap");
+
+                // Warm pass: reach the policy's steady state, then measure.
+                for op in trace {
+                    run_op(&kd, &heap, op);
+                }
+                pool.reset_stats();
+
+                let mut latencies = Vec::with_capacity(trace.len());
+                let mut result_rows = 0u64;
+                let (_, elapsed) = timed(|| {
+                    for op in trace {
+                        let started = Instant::now();
+                        result_rows += run_op(&kd, &heap, op);
+                        latencies.push(started.elapsed());
+                    }
+                });
+                let stats = pool.stats();
+                rows.push(IoPatternRow {
+                    policy: pool.policy_name(),
+                    pool_pct: pct,
+                    frames,
+                    data_pages,
+                    workload,
+                    queries: trace.len(),
+                    logical_reads: stats.logical_reads,
+                    physical_reads: stats.physical_reads,
+                    evictions: stats.evictions,
+                    hit_rate: stats.hit_ratio(),
+                    elapsed_ms: elapsed.as_secs_f64() * 1e3,
+                    p99_ms: p99_ms(&mut latencies),
+                    result_rows,
+                });
+            }
+        }
+    }
+    rows
+}
+
+/// Measures raw replacement bookkeeping: `fetches` uniform-random page
+/// fetches against a pool holding half the page set, so roughly every
+/// second fetch misses and must pick a victim.  At `frames` in the
+/// thousands this is where the legacy O(frames)-scan eviction separates
+/// from the O(1) intrusive-list policies.
+pub fn run_pool_overhead(frames: usize, fetches: usize, seed: u64) -> Vec<PoolOverheadRow> {
+    let pages = frames * 2;
+    let pager = Arc::new(MemPager::new());
+    {
+        let writer = BufferPool::new(
+            Arc::clone(&pager) as Arc<dyn Pager>,
+            BufferPoolConfig {
+                capacity: 64,
+                ..Default::default()
+            },
+        );
+        for _ in 0..pages {
+            writer.allocate_page().expect("allocate page");
+        }
+        writer.flush_all().expect("flush page set");
+    }
+
+    ReplacementPolicyKind::ALL
+        .into_iter()
+        .map(|kind| {
+            let pool = BufferPool::new(
+                Arc::clone(&pager) as Arc<dyn Pager>,
+                BufferPoolConfig {
+                    capacity: frames,
+                    policy: kind,
+                    ..Default::default()
+                },
+            );
+            let mut rng = DetRng::seed_from_u64(seed);
+            let (_, elapsed) = timed(|| {
+                for _ in 0..fetches {
+                    let id = rng.gen_range(0..pages as u64) as PageId;
+                    pool.with_page(id, |_| ()).expect("fetch page");
+                }
+            });
+            let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+            PoolOverheadRow {
+                policy: pool.policy_name(),
+                frames,
+                pages,
+                fetches,
+                elapsed_ms,
+                fetches_per_sec: fetches as f64 / elapsed.as_secs_f64().max(1e-9),
+                physical_reads: pool.stats().physical_reads,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_prefers_low_ranks() {
+        let zipf = Zipf::new(1000);
+        let mut rng = DetRng::seed_from_u64(9);
+        let mut low = 0usize;
+        for _ in 0..2000 {
+            if zipf.sample(&mut rng) < 100 {
+                low += 1;
+            }
+        }
+        // The first 10% of ranks carry ~62% of Zipf(1) mass over 1000 ranks.
+        assert!(low > 1000, "only {low}/2000 samples hit the hot 10%");
+    }
+
+    #[test]
+    fn grid_covers_every_cell_and_checksums_agree() {
+        let rows = run_io_patterns(600, 24, 42);
+        assert_eq!(
+            rows.len(),
+            POOL_FRACTIONS_PCT.len() * ReplacementPolicyKind::ALL.len() * 4
+        );
+        // Identical traces must do identical logical work regardless of
+        // policy and pool size: group by workload and compare checksums.
+        for workload in ["point", "range", "knn", "scan+point"] {
+            let checksums: Vec<u64> = rows
+                .iter()
+                .filter(|r| r.workload == workload)
+                .map(|r| r.result_rows)
+                .collect();
+            assert!(
+                checksums.windows(2).all(|w| w[0] == w[1]),
+                "{workload}: policies disagreed on results: {checksums:?}"
+            );
+        }
+        for r in &rows {
+            assert!(r.logical_reads > 0, "{r:?} measured nothing");
+            assert!((0.0..=1.0).contains(&r.hit_rate));
+            // At a full-size pool the warmed second pass misses nothing.
+            if r.pool_pct == 100 {
+                assert_eq!(
+                    r.physical_reads, 0,
+                    "{}/{}: full-size pool must serve the warmed pass from memory",
+                    r.policy, r.workload
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scan_resistant_policies_beat_the_hint_oblivious_baseline() {
+        let rows = run_io_patterns(2_000, 48, 7);
+        let hit = |policy: &str| {
+            rows.iter()
+                .find(|r| r.policy == policy && r.pool_pct == 10 && r.workload == "scan+point")
+                .map(|r| r.hit_rate)
+                .expect("cell exists")
+        };
+        let oblivious = hit("lru-scan");
+        let best = hit("sieve").max(hit("clock")).max(hit("lru"));
+        assert!(
+            best >= oblivious,
+            "hint-aware policies ({best:.3}) must not lose to the \
+             hint-oblivious baseline ({oblivious:.3}) on the scan mix"
+        );
+    }
+
+    #[test]
+    fn pool_overhead_counts_misses() {
+        let rows = run_pool_overhead(128, 2_000, 3);
+        assert_eq!(rows.len(), ReplacementPolicyKind::ALL.len());
+        for r in &rows {
+            // Uniform fetches over twice the frames: misses are roughly
+            // half the fetches; at the very least they are plentiful.
+            assert!(
+                r.physical_reads as usize > r.fetches / 4,
+                "{}: {} misses in {} fetches is implausibly few",
+                r.policy,
+                r.physical_reads,
+                r.fetches
+            );
+        }
+    }
+}

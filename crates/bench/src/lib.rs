@@ -20,6 +20,7 @@
 pub mod build;
 pub mod concurrent;
 pub mod experiments;
+pub mod io_patterns;
 pub mod json;
 pub mod loc;
 pub mod reopen;
@@ -29,6 +30,7 @@ pub mod wal;
 pub use build::{run_build_experiment, write_build_json, BuildRow, BuildSide};
 pub use concurrent::{run_mixed_workload, run_read_scaling, MixedRow, ReadScalingRow};
 pub use experiments::*;
+pub use io_patterns::{run_io_patterns, run_pool_overhead, IoPatternRow, PoolOverheadRow};
 pub use json::{rows_json, write_rows_json, JsonVal};
 pub use reopen::{run_reopen_experiment, ReopenRow};
 pub use wal::{run_wal_experiment, WalRow};

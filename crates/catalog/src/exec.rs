@@ -51,8 +51,8 @@ use spgist_indexes::{
     SpIndex, SuffixTreeIndex, TrieIndex, TrieOps,
 };
 use spgist_storage::{
-    journal, BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, MemPager, PageId, RecordId,
-    StorageError, StorageResult,
+    journal, AccessHint, BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, MemPager,
+    PageId, RecordId, StorageError, StorageResult,
 };
 use spgist_wal::{Wal, WalConfig, WalRecord};
 
@@ -1760,11 +1760,19 @@ impl Table {
     /// never inserted).  The execution paths use this so a row deleted
     /// between an index probe and the heap fetch is skipped, not an error.
     pub fn try_datum(&self, row: RowId) -> StorageResult<Option<Datum>> {
+        self.try_datum_hinted(row, AccessHint::Normal)
+    }
+
+    /// [`Table::try_datum`] with an explicit buffer-pool [`AccessHint`].
+    /// Row-at-a-time scan loops (the parallel seq scan, index builds) pass
+    /// [`AccessHint::Scan`] so their one-touch heap pages stay out of the
+    /// pool's protected set.
+    pub fn try_datum_hinted(&self, row: RowId, hint: AccessHint) -> StorageResult<Option<Datum>> {
         let inner = self.inner.read();
         let Some(rid) = inner.rows.get(row as usize).copied().flatten() else {
             return Ok(None);
         };
-        Datum::decode_record(&inner.heap.get(rid)?).map(Some)
+        Datum::decode_record(&inner.heap.get_hinted(rid, hint)?).map(Some)
     }
 
     /// Builds a physical index described by `spec` over the existing heap
@@ -1805,7 +1813,8 @@ impl Table {
         let row_count = self.inner.read().rows.len() as RowId;
         let mut items: Vec<(Datum, RowId)> = Vec::new();
         for row in 0..row_count {
-            if let Some(datum) = self.try_datum(row)? {
+            // The build scan touches every heap page exactly once.
+            if let Some(datum) = self.try_datum_hinted(row, AccessHint::Scan)? {
                 items.push((datum, row));
             }
         }
@@ -2045,7 +2054,9 @@ impl Table {
                         let mut out = Vec::new();
                         for row in lo..hi {
                             let row = row as RowId;
-                            if let Some(datum) = self.try_datum(row)? {
+                            // One-touch heap pages: scan-hinted so parallel
+                            // workers do not flush the index working set.
+                            if let Some(datum) = self.try_datum_hinted(row, AccessHint::Scan)? {
                                 if filter.matches(&datum) {
                                     out.push((row, datum));
                                 }
@@ -2411,7 +2422,8 @@ impl Table {
     fn heap_stream(&self) -> impl Iterator<Item = StorageResult<(RowId, Datum)>> + '_ {
         let row_count = self.inner.read().rows.len() as RowId;
         (0..row_count).filter_map(move |row| {
-            self.try_datum(row)
+            // Serial seq scan: every heap page is one-touch traffic.
+            self.try_datum_hinted(row, AccessHint::Scan)
                 .map(|datum| datum.map(|datum| (row, datum)))
                 .transpose()
         })
@@ -3020,8 +3032,7 @@ impl Database {
         let Some(chain) = self.catalog_chain.as_mut() else {
             return Ok(());
         };
-        let guards: Vec<MutexGuard<'_, ()>> =
-            self.tables.values().map(|t| t.dml_guard()).collect();
+        let guards: Vec<MutexGuard<'_, ()>> = self.tables.values().map(|t| t.dml_guard()).collect();
         let checkpoint_lsn = match &self.wal {
             Some(wal) => wal.rotate()?,
             None => 0,

@@ -15,7 +15,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use spgist_storage::StorageResult;
+use spgist_storage::{AccessHint, StorageResult};
 
 use crate::node::{Node, NodeId};
 use crate::ops::SpGistOps;
@@ -77,6 +77,8 @@ where
     query: O::Query,
     heap: BinaryHeap<QueueEntry<O>>,
     seq: u64,
+    /// Hint attached to every page fetch this iterator makes.
+    hint: AccessHint,
 }
 
 impl<T, O> NnIter<T, O>
@@ -94,6 +96,7 @@ where
             query,
             heap: BinaryHeap::new(),
             seq: 0,
+            hint: AccessHint::Normal,
         };
         if let Some(root) = root {
             // "Insert the root node into the priority queue with minimum
@@ -101,6 +104,16 @@ where
             iter.push(0.0, QueueItem::Node { id: root, level: 0 });
         }
         iter
+    }
+
+    /// Attaches an [`AccessHint`] to every page fetch (see
+    /// [`crate::tree::SearchCursor::with_hint`]): keep the default
+    /// [`AccessHint::Normal`] for ordinary k-NN queries, pass
+    /// [`AccessHint::Scan`] when draining most of the index in distance
+    /// order.
+    pub fn with_hint(mut self, hint: AccessHint) -> Self {
+        self.hint = hint;
+        self
     }
 
     fn push(&mut self, dist: f64, item: QueueItem<O>) {
@@ -116,7 +129,7 @@ where
         let mut discovered: Vec<(f64, QueueItem<O>)> = Vec::new();
         {
             let ops = self.tree.ops_ref();
-            match self.tree.store().read::<O>(id)? {
+            match self.tree.store().read_hinted::<O>(id, self.hint)? {
                 Node::Leaf { items } => {
                     for (key, row) in items {
                         let dist = ops.leaf_distance(&key, &self.query);

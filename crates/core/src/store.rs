@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use spgist_storage::{
-    BufferPool, Codec, PageId, StorageError, StorageResult, MAX_RECORD_SIZE, PAGE_SIZE,
+    AccessHint, BufferPool, Codec, PageId, StorageError, StorageResult, MAX_RECORD_SIZE, PAGE_SIZE,
 };
 
 use crate::config::ClusteringPolicy;
@@ -92,6 +92,11 @@ pub struct NodeStore {
     pages: Vec<PageId>,
     /// Recently opened pages that may still have free space.
     open_pages: Vec<PageId>,
+    /// Hint passed with every page access.  [`AccessHint::Normal`] for
+    /// point operations; bulk build and whole-tree sweeps switch to
+    /// [`AccessHint::Scan`] so their one-touch pages do not displace the
+    /// pool's hot set.
+    hint: AccessHint,
 }
 
 impl NodeStore {
@@ -102,6 +107,7 @@ impl NodeStore {
             policy,
             pages: Vec::new(),
             open_pages: Vec::new(),
+            hint: AccessHint::Normal,
         }
     }
 
@@ -122,12 +128,25 @@ impl NodeStore {
             policy,
             pages,
             open_pages,
+            hint: AccessHint::Normal,
         }
     }
 
     /// The buffer pool this store writes through.
     pub fn pool(&self) -> &Arc<BufferPool> {
         &self.pool
+    }
+
+    /// The access hint currently attached to this store's page traffic.
+    pub fn access_hint(&self) -> AccessHint {
+        self.hint
+    }
+
+    /// Sets the access hint for subsequent page traffic.  Bulk build wraps
+    /// itself in [`AccessHint::Scan`] (every page is written once, front to
+    /// back); callers must restore [`AccessHint::Normal`] afterwards.
+    pub fn set_access_hint(&mut self, hint: AccessHint) {
+        self.hint = hint;
     }
 
     /// Number of pages allocated for this tree.
@@ -153,18 +172,33 @@ impl NodeStore {
         }
         let mut used = 0usize;
         for &page in &self.pages {
-            let free = self.pool.with_page(page, |p| p.free_space())?;
+            // Whole-tree sweep: never let a utilization report evict the
+            // working set.
+            let free = self
+                .pool
+                .with_page_hinted(page, AccessHint::Scan, |p| p.free_space())?;
             used += PAGE_SIZE - free;
         }
         Ok(used as f64 / (self.pages.len() * PAGE_SIZE) as f64)
     }
 
     /// Reads and decodes the node at `id`, reassembling spilled chains
-    /// transparently.
+    /// transparently, under the store's current access hint.
     pub fn read<O: SpGistOps>(&self, id: NodeId) -> StorageResult<Node<O>> {
+        self.read_hinted(id, self.hint)
+    }
+
+    /// Reads the node at `id` under an explicit [`AccessHint`] — whole-tree
+    /// walks (stats, repack) pass [`AccessHint::Scan`] without flipping the
+    /// store-wide hint.
+    pub fn read_hinted<O: SpGistOps>(
+        &self,
+        id: NodeId,
+        hint: AccessHint,
+    ) -> StorageResult<Node<O>> {
         let record = self
             .pool
-            .with_page(id.page, |p| p.get(id.slot).map(<[u8]>::to_vec))??;
+            .with_page_hinted(id.page, hint, |p| p.get(id.slot).map(<[u8]>::to_vec))??;
         let mut buf = record.as_slice();
         match u8::decode(&mut buf)? {
             TAG_INLINE => Node::decode(buf),
@@ -173,9 +207,9 @@ impl NodeStore {
                 let mut bytes = chunk.to_vec();
                 let mut cursor = next;
                 while cursor != CHAIN_END {
-                    let record = self
-                        .pool
-                        .with_page(cursor.page, |p| p.get(cursor.slot).map(<[u8]>::to_vec))??;
+                    let record = self.pool.with_page_hinted(cursor.page, hint, |p| {
+                        p.get(cursor.slot).map(<[u8]>::to_vec)
+                    })??;
                     let mut buf = record.as_slice();
                     if u8::decode(&mut buf)? != TAG_CHAIN_CONT {
                         return Err(StorageError::Corrupt(
@@ -245,14 +279,14 @@ impl NodeStore {
     /// Frees every continuation record from `cursor` to the end of a chain.
     fn free_chain_from(&mut self, mut cursor: NodeId) -> StorageResult<()> {
         while cursor != CHAIN_END {
-            let record = self
-                .pool
-                .with_page(cursor.page, |p| p.get(cursor.slot).map(<[u8]>::to_vec))??;
+            let record = self.pool.with_page_hinted(cursor.page, self.hint, |p| {
+                p.get(cursor.slot).map(<[u8]>::to_vec)
+            })??;
             let mut buf = record.as_slice();
             u8::decode(&mut buf)?;
             let (next, _) = decode_chain_rest(buf)?;
             self.pool
-                .with_page_mut(cursor.page, |p| p.delete(cursor.slot))??;
+                .with_page_mut_hinted(cursor.page, self.hint, |p| p.delete(cursor.slot))??;
             self.note_open_page(cursor.page);
             cursor = next;
         }
@@ -264,7 +298,7 @@ impl NodeStore {
     fn continuation_of(&self, id: NodeId) -> StorageResult<NodeId> {
         let record = self
             .pool
-            .with_page(id.page, |p| p.get(id.slot).map(<[u8]>::to_vec))??;
+            .with_page_hinted(id.page, self.hint, |p| p.get(id.slot).map(<[u8]>::to_vec))??;
         let mut buf = record.as_slice();
         match u8::decode(&mut buf)? {
             TAG_CHAIN_HEAD => Ok(decode_chain_rest(buf)?.0),
@@ -289,7 +323,7 @@ impl NodeStore {
         let record = self.encode_node_record(&bytes)?;
         let updated = self
             .pool
-            .with_page_mut(id.page, |p| p.update(id.slot, &record))??;
+            .with_page_mut_hinted(id.page, self.hint, |p| p.update(id.slot, &record))??;
         if updated {
             return Ok(None);
         }
@@ -310,7 +344,7 @@ impl NodeStore {
             let chain_head = encode_chain_record(TAG_CHAIN_HEAD, next, &bytes[..head_len]);
             let updated = self
                 .pool
-                .with_page_mut(id.page, |p| p.update(id.slot, &chain_head))??;
+                .with_page_mut_hinted(id.page, self.hint, |p| p.update(id.slot, &chain_head))??;
             if updated {
                 return Ok(None);
             }
@@ -319,7 +353,8 @@ impl NodeStore {
             self.free_chain_from(next)?;
         }
         // Relocate: delete the old record and place the node elsewhere.
-        self.pool.with_page_mut(id.page, |p| p.delete(id.slot))??;
+        self.pool
+            .with_page_mut_hinted(id.page, self.hint, |p| p.delete(id.slot))??;
         self.note_open_page(id.page);
         let new_id = self.place(&record, near)?;
         Ok(Some(new_id))
@@ -328,7 +363,8 @@ impl NodeStore {
     /// Deletes the node record at `id` (and its spill chain, if any).
     pub fn free(&mut self, id: NodeId) -> StorageResult<()> {
         self.free_continuations(id)?;
-        self.pool.with_page_mut(id.page, |p| p.delete(id.slot))??;
+        self.pool
+            .with_page_mut_hinted(id.page, self.hint, |p| p.delete(id.slot))??;
         self.note_open_page(id.page);
         Ok(())
     }
@@ -357,7 +393,9 @@ impl NodeStore {
             }
             // The page could not host this node; drop it from the candidates
             // if it is nearly full to keep the list useful.
-            let free = self.pool.with_page(page, |p| p.free_space())?;
+            let free = self
+                .pool
+                .with_page_hinted(page, self.hint, |p| p.free_space())?;
             if free < 64 {
                 self.open_pages.remove(i);
             }
@@ -368,7 +406,7 @@ impl NodeStore {
     /// Allocates a brand-new page owned by this store and returns its id.
     /// Used by the offline repacker, which decides node placement itself.
     pub fn fresh_page(&mut self) -> StorageResult<PageId> {
-        let page = self.pool.allocate_page()?;
+        let page = self.pool.allocate_page_hinted(self.hint)?;
         self.pages.push(page);
         Ok(page)
     }
@@ -383,27 +421,33 @@ impl NodeStore {
     ) -> StorageResult<NodeId> {
         let bytes = node.encode();
         let record = self.encode_node_record(&bytes)?;
-        let slot = self.pool.with_page_mut(page, |p| p.insert(&record))??;
+        let slot = self
+            .pool
+            .with_page_mut_hinted(page, self.hint, |p| p.insert(&record))??;
         Ok(NodeId::new(page, slot))
     }
 
     fn place_in_new_page(&mut self, bytes: &[u8]) -> StorageResult<NodeId> {
-        let page = self.pool.allocate_page()?;
+        let page = self.pool.allocate_page_hinted(self.hint)?;
         self.pages.push(page);
         if self.policy != ClusteringPolicy::NewPagePerNode {
             self.note_open_page(page);
         }
-        let slot = self.pool.with_page_mut(page, |p| p.insert(bytes))??;
+        let slot = self
+            .pool
+            .with_page_mut_hinted(page, self.hint, |p| p.insert(bytes))??;
         Ok(NodeId::new(page, slot))
     }
 
     fn try_place_in(&self, page: PageId, bytes: &[u8]) -> StorageResult<Option<NodeId>> {
-        let fits = self.pool.with_page(page, |p| p.fits(bytes.len()))?;
+        let fits = self
+            .pool
+            .with_page_hinted(page, self.hint, |p| p.fits(bytes.len()))?;
         if !fits {
             // Deleted records leave dead space that only compaction
             // reclaims; compact opportunistically when it could make room
             // (slot ids survive compaction, so node addresses stay valid).
-            let compacted = self.pool.with_page_mut(page, |p| {
+            let compacted = self.pool.with_page_mut_hinted(page, self.hint, |p| {
                 if p.num_live_records() < p.num_slots() {
                     p.compact();
                 }
@@ -413,7 +457,9 @@ impl NodeStore {
                 return Ok(None);
             }
         }
-        let slot = self.pool.with_page_mut(page, |p| p.insert(bytes))??;
+        let slot = self
+            .pool
+            .with_page_mut_hinted(page, self.hint, |p| p.insert(bytes))??;
         Ok(Some(NodeId::new(page, slot)))
     }
 

@@ -8,7 +8,7 @@
 
 use std::sync::Arc;
 
-use spgist_storage::{BufferPool, Codec, PageId, StorageError, StorageResult};
+use spgist_storage::{AccessHint, BufferPool, Codec, PageId, StorageError, StorageResult};
 
 use crate::config::NodeShrink;
 use crate::nn::NnIter;
@@ -203,9 +203,18 @@ impl<O: SpGistOps> SpGistTree<O> {
         }
         let logical = items.len() as u64;
         let meta = self.meta_page;
-        let mut builder = crate::build::BulkBuilder::new(&self.ops, &mut self.store);
-        let root = builder.build_root(meta, items)?;
-        let stats = builder.finish()?;
+        // The build writes each page roughly once, front to back — a scan
+        // pattern.  Hint the pool so loading one index does not flush every
+        // other tree's hot pages; point operations restore Normal below.
+        self.store.set_access_hint(AccessHint::Scan);
+        let result: StorageResult<_> = (|| {
+            let mut builder = crate::build::BulkBuilder::new(&self.ops, &mut self.store);
+            let root = builder.build_root(meta, items)?;
+            let stats = builder.finish()?;
+            Ok((root, stats))
+        })();
+        self.store.set_access_hint(AccessHint::Normal);
+        let (root, stats) = result?;
         self.root = Some(root);
         self.item_count = logical;
         self.write_meta()?;
@@ -616,7 +625,11 @@ impl<O: SpGistOps> SpGistTree<O> {
             return Ok(());
         };
         let mut fresh = NodeStore::new(Arc::clone(self.store.pool()), self.ops.config().clustering);
+        // The repack reads the old layout once and writes the new one once:
+        // a two-sided sweep that must not displace the pool's hot set.
+        fresh.set_access_hint(AccessHint::Scan);
         let new_root = Self::repack_group(&self.store, &mut fresh, root)?;
+        fresh.set_access_hint(AccessHint::Normal);
         let old = std::mem::replace(&mut self.store, fresh);
         self.root = Some(new_root);
         self.write_meta()?;
@@ -651,7 +664,7 @@ impl<O: SpGistOps> SpGistTree<O> {
             if in_group.contains_key(&id) {
                 continue;
             }
-            let node: Node<O> = old.read(id)?;
+            let node: Node<O> = old.read_hinted(id, AccessHint::Scan)?;
             let cost = node.encode().len() + 5;
             if !group.is_empty() && used + cost > PAGE_BUDGET {
                 // The root always goes in (a single node is guaranteed to
@@ -729,7 +742,8 @@ impl<O: SpGistOps> SpGistTree<O> {
             };
             stats.max_node_height = stats.max_node_height.max(node_depth);
             stats.max_page_height = stats.max_page_height.max(page_depth);
-            match self.store.read::<O>(node_id)? {
+            // A stats pass touches every node exactly once.
+            match self.store.read_hinted::<O>(node_id, AccessHint::Scan)? {
                 Node::Leaf { items } => {
                     stats.leaf_nodes += 1;
                     stats.items += items.len() as u64;
@@ -807,6 +821,8 @@ where
     stack: Vec<(NodeId, u32)>,
     /// Matching items of the most recently expanded leaf.
     pending: std::vec::IntoIter<(O::Key, RowId)>,
+    /// Hint attached to every page fetch this cursor makes.
+    hint: AccessHint,
     done: bool,
 }
 
@@ -825,8 +841,22 @@ where
             query,
             stack,
             pending: Vec::new().into_iter(),
+            hint: AccessHint::Normal,
             done: false,
         }
+    }
+
+    /// Attaches an [`AccessHint`] to every page fetch this cursor makes.
+    ///
+    /// Selective queries keep the default [`AccessHint::Normal`]: SP-GiST
+    /// clustering packs inner and leaf nodes onto shared pages, so the
+    /// pages a query re-descends are exactly the ones worth promoting.
+    /// Callers enumerating a large fraction of the index (analytics-style
+    /// sweeps) pass [`AccessHint::Scan`] to keep the one-touch leaf pages
+    /// out of the pool's protected set.
+    pub fn with_hint(mut self, hint: AccessHint) -> Self {
+        self.hint = hint;
+        self
     }
 }
 
@@ -850,7 +880,7 @@ where
                 return None;
             };
             let ops = &self.tree.ops;
-            match self.tree.store.read::<O>(node_id) {
+            match self.tree.store.read_hinted::<O>(node_id, self.hint) {
                 Err(e) => {
                     self.done = true;
                     return Some(Err(e));

@@ -79,5 +79,7 @@ pub mod prelude {
         Cursor, KdTreeIndex, PmrQuadtreeIndex, Point, PointQuadtreeIndex, PointQuery, Rect,
         Segment, SegmentQuery, SpIndex, StringQuery, SuffixTreeIndex, TrieIndex, TrieOps,
     };
-    pub use spgist_storage::{BufferPool, BufferPoolConfig, FilePager, MemPager, Pager};
+    pub use spgist_storage::{
+        AccessHint, BufferPool, BufferPoolConfig, FilePager, MemPager, Pager, ReplacementPolicyKind,
+    };
 }

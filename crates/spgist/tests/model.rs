@@ -329,16 +329,24 @@ fn newest_wal_segment(db_path: &std::path::Path) -> Option<PathBuf> {
 }
 
 fn run_seed(seed: u64) {
-    let path = temp_path(seed);
+    run_seed_with(seed, OPS_PER_SEED, BufferPoolConfig::default());
+}
+
+/// The harness body, parameterized so the same operation stream can run on
+/// a deliberately starved pool under every replacement policy.  The
+/// acceptance floors (≥ 1,000 ops, ≥ 5 reopens) are asserted only for the
+/// full-length runs.
+fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig) {
+    let path = temp_path(seed ^ (config.capacity as u64) ^ config.policy as u64);
     let mut rng = DetRng::seed_from_u64(seed);
-    let mut db = Database::create(&path).unwrap();
+    let mut db = Database::create_with_config(&path, config).unwrap();
     let mut model = Model::default();
     let mut table_counter = 0usize;
     let mut index_counter = 0usize;
     let mut ops = 0usize;
     let mut reopens = 0usize;
 
-    while ops < OPS_PER_SEED {
+    while ops < total_ops {
         ops += 1;
         let ctx = format!("seed {seed} op {ops}");
 
@@ -368,7 +376,7 @@ fn run_seed(seed: u64) {
                 db.close().unwrap();
             }
             let kind = if crash { "crash" } else { "close" };
-            db = Database::open(&path)
+            db = Database::open_with_config(&path, config)
                 .unwrap_or_else(|e| panic!("{ctx}: reopen after {kind} failed: {e}"));
             reopens += 1;
             check_full_state(&db, &model, &format!("{ctx} (after {kind}+reopen)"));
@@ -492,15 +500,19 @@ fn run_seed(seed: u64) {
         }
     }
 
-    assert!(ops >= 1_000, "acceptance floor: ≥ 1,000 mixed operations");
-    assert!(
-        reopens >= 5,
-        "acceptance floor: ≥ 5 reopen cycles, got {reopens}"
-    );
+    if total_ops >= OPS_PER_SEED {
+        assert!(ops >= 1_000, "acceptance floor: ≥ 1,000 mixed operations");
+        assert!(
+            reopens >= 5,
+            "acceptance floor: ≥ 5 reopen cycles, got {reopens}"
+        );
+    } else {
+        assert!(reopens >= 1, "short run still cycles the database once");
+    }
 
     // Final clean shutdown and one last full differential audit.
     db.close().unwrap();
-    let db = Database::open(&path).unwrap();
+    let db = Database::open_with_config(&path, config).unwrap();
     check_full_state(&db, &model, &format!("seed {seed} final"));
     for (name, mt) in &model.tables {
         if mt.live_count() > 0 {
@@ -526,4 +538,27 @@ fn model_differential_seed_a() {
 #[test]
 fn model_differential_seed_b() {
     run_seed(0xB0B5EED);
+}
+
+/// The same differential stream on a deliberately starved 8-frame pool,
+/// once per replacement policy: every fetch is an eviction decision, so a
+/// policy that ever evicts a pinned frame, loses a dirty page, or corrupts
+/// its bookkeeping under churn diverges from the model immediately.
+#[test]
+fn model_differential_tiny_pool_every_policy() {
+    for policy in [
+        ReplacementPolicyKind::Lru,
+        ReplacementPolicyKind::Clock,
+        ReplacementPolicyKind::Sieve,
+    ] {
+        run_seed_with(
+            0x8F4A3E5,
+            2 * OPS_PER_EPOCH + OPS_PER_EPOCH / 2,
+            BufferPoolConfig {
+                capacity: 8,
+                policy,
+                ..Default::default()
+            },
+        );
+    }
 }

@@ -246,6 +246,7 @@ mod tests {
             BufferPoolConfig {
                 capacity: 8,
                 steal: false,
+                ..Default::default()
             },
         )
     }
@@ -308,8 +309,12 @@ mod tests {
         let fault = FaultPager::new(Arc::new(MemPager::new()));
         let a = fault.allocate().unwrap();
         let b = fault.allocate().unwrap();
-        fault.write(a, &Page::from_bytes([0xAA; PAGE_SIZE])).unwrap();
-        fault.write(b, &Page::from_bytes([0xBB; PAGE_SIZE])).unwrap();
+        fault
+            .write(a, &Page::from_bytes([0xAA; PAGE_SIZE]))
+            .unwrap();
+        fault
+            .write(b, &Page::from_bytes([0xBB; PAGE_SIZE]))
+            .unwrap();
         fault.crash_keeping(|id| id == b).unwrap();
         let mut page = Page::new();
         fault.read(a, &mut page).unwrap();
@@ -324,7 +329,9 @@ mod tests {
         let fault = FaultPager::new(Arc::new(MemPager::new()));
         let id = fault.allocate().unwrap();
         fault.set_sync_fault(SyncFault::FailAfter(1));
-        fault.write(id, &Page::from_bytes([0x01; PAGE_SIZE])).unwrap();
+        fault
+            .write(id, &Page::from_bytes([0x01; PAGE_SIZE]))
+            .unwrap();
         fault.sync().unwrap();
         assert!(fault.sync().is_err(), "second sync fails");
         assert!(fault.sync().is_ok(), "fault is one-shot");

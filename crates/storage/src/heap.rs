@@ -11,6 +11,7 @@ use crate::buffer::BufferPool;
 use crate::codec::Codec;
 use crate::error::{StorageError, StorageResult};
 use crate::page::{PageId, SlotId, MAX_RECORD_SIZE};
+use crate::replacement::AccessHint;
 
 /// Physical address of a record in a heap file (page, slot) — the analog of
 /// a PostgreSQL tuple id (ctid).
@@ -125,8 +126,16 @@ impl HeapFile {
 
     /// Reads the record at `rid`.
     pub fn get(&self, rid: RecordId) -> StorageResult<Vec<u8>> {
+        self.get_hinted(rid, AccessHint::Normal)
+    }
+
+    /// Reads the record at `rid` under an explicit [`AccessHint`].  Scans
+    /// that address rows by record id (the executor's parallel seq scan)
+    /// pass [`AccessHint::Scan`] so the one-touch pages do not displace the
+    /// pool's hot set.
+    pub fn get_hinted(&self, rid: RecordId, hint: AccessHint) -> StorageResult<Vec<u8>> {
         self.pool
-            .with_page(rid.page, |p| p.get(rid.slot).map(<[u8]>::to_vec))?
+            .with_page_hinted(rid.page, hint, |p| p.get(rid.slot).map(<[u8]>::to_vec))?
     }
 
     /// Deletes the record at `rid`.
@@ -143,7 +152,9 @@ impl HeapFile {
     /// baseline in the paper's Figure 16.
     pub fn scan(&self, mut f: impl FnMut(RecordId, &[u8])) -> StorageResult<()> {
         for &page in &self.pages {
-            self.pool.with_page(page, |p| {
+            // One-touch sequential pattern: hint the pool so a table scan
+            // cannot flush the index working set.
+            self.pool.with_page_hinted(page, AccessHint::Scan, |p| {
                 for (slot, record) in p.iter() {
                     f(RecordId::new(page, slot), record);
                 }

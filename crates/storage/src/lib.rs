@@ -8,8 +8,9 @@
 //! * [`page`] — an 8 KiB slotted page, the unit of disk transfer,
 //! * [`pager`] — page allocation and retrieval ([`pager::FilePager`] backed by a
 //!   file, [`pager::MemPager`] for tests and fast experiments),
-//! * [`buffer`] — an LRU buffer pool with pin/unpin semantics and I/O
-//!   accounting ([`buffer::IoStats`]),
+//! * [`buffer`] — a buffer pool with pin/unpin semantics, pluggable O(1)
+//!   replacement ([`replacement`]: LRU, Clock, SIEVE) and I/O accounting
+//!   ([`buffer::IoStats`]),
 //! * [`heap`] — a heap file (PostgreSQL "heap access" / sequential scan),
 //! * [`codec`] — a tiny length-prefixed binary codec used by every access
 //!   method in the workspace to lay records out on pages.
@@ -32,6 +33,7 @@ pub mod heap;
 pub mod journal;
 pub mod page;
 pub mod pager;
+pub mod replacement;
 
 pub use buffer::{BufferPool, BufferPoolConfig, IoStats};
 pub use codec::Codec;
@@ -41,3 +43,4 @@ pub use fault::{FaultPager, SyncFault, WriteFault};
 pub use heap::{HeapFile, RecordId};
 pub use page::{Page, PageId, SlotId, MAX_RECORD_SIZE, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};
+pub use replacement::{AccessHint, ReplacementPolicy, ReplacementPolicyKind};

@@ -1,0 +1,179 @@
+#!/usr/bin/env python3
+"""Compare two directories of BENCH_*.json experiment artifacts.
+
+Usage:
+    compare_bench.py BASELINE_DIR CURRENT_DIR [--threshold PCT]
+
+Both directories hold the machine-readable artifacts the experiment
+harness writes with --json-dir (one `BENCH_<experiment>.json` per
+experiment: an object with "experiment", "scale", and "rows").  Rows are
+matched across the two directories by their *key columns* — the workload
+dimensions (class, policy, workload, size, threads, ...) — and every
+shared numeric metric is compared:
+
+* lower-is-better metrics (elapsed/latency ms, physical reads/writes,
+  evictions, misses, syncs) regress when the current value exceeds the
+  baseline by more than the threshold;
+* higher-is-better metrics (hit rates, throughputs, speedups, fill)
+  regress when the current value falls short by more than the threshold;
+* metrics with no recognizable direction are reported but never fail.
+
+Exits 1 if any regression beyond the threshold (default 10%) is found,
+0 otherwise.  Uses only the standard library.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+# Columns identifying *which* measurement a row is, not how it performed.
+KEY_COLUMNS = {
+    "class", "mode", "policy", "workload", "index", "variant",
+    "size", "rows", "k", "threads", "pool_pct", "frames", "readers",
+    "writers", "queries", "fetches", "pages", "commits", "data_pages",
+}
+
+# Substrings marking a metric's direction.  Checked in order: a name
+# matching a higher-is-better pattern is higher-is-better even if it also
+# contains a lower-is-better substring (e.g. "commits_per_sync").
+HIGHER_BETTER = (
+    "hit_rate", "per_sec", "per_sync", "throughput", "qps", "ips",
+    "cps", "speedup", "fill",
+)
+LOWER_BETTER = (
+    "ms", "reads", "writes", "evict", "miss", "sync", "physical",
+    "height",
+)
+
+
+def direction(name: str) -> int:
+    """+1 higher-is-better, -1 lower-is-better, 0 unknown."""
+    lowered = name.lower()
+    if any(pat in lowered for pat in HIGHER_BETTER):
+        return 1
+    if any(pat in lowered for pat in LOWER_BETTER):
+        return -1
+    return 0
+
+
+def flatten(row: dict, prefix: str = "") -> dict:
+    """Flattens nested row objects (BENCH_build.json has per-side dicts)."""
+    out = {}
+    for name, value in row.items():
+        full = f"{prefix}{name}"
+        if isinstance(value, dict):
+            out.update(flatten(value, f"{full}."))
+        else:
+            out[full] = value
+    return out
+
+
+def row_key(row: dict) -> tuple:
+    """The identity of a row: every key column plus every string value."""
+    parts = []
+    for name, value in sorted(row.items()):
+        base = name.rsplit(".", 1)[-1]
+        if base in KEY_COLUMNS or isinstance(value, str):
+            parts.append((name, value))
+    return tuple(parts)
+
+
+def load_dir(path: Path) -> dict:
+    experiments = {}
+    for file in sorted(path.glob("BENCH_*.json")):
+        try:
+            doc = json.loads(file.read_text())
+        except json.JSONDecodeError as err:
+            print(f"warning: {file} is not valid JSON ({err}); skipped")
+            continue
+        name = doc.get("experiment", file.stem.removeprefix("BENCH_"))
+        rows = {}
+        for row in doc.get("rows", []):
+            flat = flatten(row)
+            rows[row_key(flat)] = flat
+        experiments[name] = rows
+    return experiments
+
+
+def fmt_key(key: tuple) -> str:
+    return ", ".join(f"{name}={value}" for name, value in key) or "(single row)"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", type=Path)
+    parser.add_argument("current", type=Path)
+    parser.add_argument(
+        "--threshold", type=float, default=10.0,
+        help="relative change (percent) beyond which a metric regresses",
+    )
+    parser.add_argument(
+        "--min-abs", type=float, default=1e-6,
+        help="ignore changes whose absolute difference is below this",
+    )
+    args = parser.parse_args()
+    for path in (args.baseline, args.current):
+        if not path.is_dir():
+            print(f"error: {path} is not a directory")
+            return 2
+
+    base = load_dir(args.baseline)
+    curr = load_dir(args.current)
+    if not base or not curr:
+        print("warning: no BENCH_*.json artifacts to compare; nothing to do")
+        return 0
+
+    regressions = []
+    improvements = 0
+    compared = 0
+    for experiment in sorted(base):
+        if experiment not in curr:
+            print(f"warning: experiment {experiment!r} missing from current run")
+            continue
+        for key, base_row in base[experiment].items():
+            curr_row = curr[experiment].get(key)
+            if curr_row is None:
+                print(f"warning: {experiment}: row [{fmt_key(key)}] missing from current run")
+                continue
+            for metric, base_val in base_row.items():
+                if metric.rsplit(".", 1)[-1] in KEY_COLUMNS:
+                    continue
+                curr_val = curr_row.get(metric)
+                if not isinstance(base_val, (int, float)) or isinstance(base_val, bool):
+                    continue
+                if not isinstance(curr_val, (int, float)) or isinstance(curr_val, bool):
+                    continue
+                if math.isnan(base_val) or math.isnan(curr_val):
+                    continue
+                sign = direction(metric)
+                if sign == 0:
+                    continue
+                compared += 1
+                if abs(curr_val - base_val) < args.min_abs or base_val == 0:
+                    continue
+                change_pct = (curr_val - base_val) / abs(base_val) * 100.0
+                worse = change_pct * sign < 0 if sign == 1 else change_pct > 0
+                beyond = abs(change_pct) > args.threshold
+                if worse and beyond:
+                    regressions.append(
+                        f"{experiment} [{fmt_key(key)}] {metric}: "
+                        f"{base_val:g} -> {curr_val:g} ({change_pct:+.1f}%)"
+                    )
+                elif beyond:
+                    improvements += 1
+
+    print(f"compared {compared} metrics across {len(base)} experiments")
+    print(f"{improvements} metrics improved by more than {args.threshold:g}%")
+    if regressions:
+        print(f"\n{len(regressions)} regressions beyond {args.threshold:g}%:")
+        for line in regressions:
+            print(f"  REGRESSION: {line}")
+        return 1
+    print("no regressions beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
