@@ -20,9 +20,10 @@
 use spgist_bench::loc::table7;
 use spgist_bench::stats::{log10_ratio, ratio_pct};
 use spgist_bench::{
-    point_sizes, run_build_experiment, run_clustering_ablation, run_io_patterns,
-    run_mixed_workload, run_nn_experiments, run_point_experiments, run_pool_overhead,
-    run_read_scaling, run_reopen_experiment, run_segment_experiments, run_string_experiments,
+    point_sizes, run_build_experiment, run_clustering_ablation, run_hot_writer_scaling,
+    run_io_patterns, run_mixed_workload, run_nn_experiments, run_point_experiments,
+    run_pool_overhead, run_read_scaling, run_reopen_experiment, run_segment_experiments,
+    run_string_experiments,
     run_substring_experiments, run_trie_variant_ablation, run_wal_experiment, word_sizes,
     write_build_json, write_rows_json, JsonVal, NN_KS,
 };
@@ -1052,6 +1053,52 @@ fn print_concurrency(opts: &Options) {
     }
     println!();
 
+    let hot = run_hot_writer_scaling(n, &thread_counts, queries, SEED);
+    println!("== Concurrency: read-scaling with one continuous hot writer ==");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>8} {:>10} {:>10} {:>10} {:>12} {:>9} {:>8}",
+        "threads",
+        "queries",
+        "elapsed ms",
+        "queries/s",
+        "speedup",
+        "p99 ms",
+        "ins/s",
+        "latches",
+        "latch waits",
+        "pins",
+        "backlog"
+    );
+    for r in &hot {
+        println!(
+            "{:>8} {:>10} {:>12.1} {:>14.0} {:>7.2}x {:>10.4} {:>10.0} {:>10} {:>12} {:>9} {:>8}",
+            r.threads,
+            r.total_queries,
+            r.elapsed_ms,
+            r.throughput_qps,
+            r.speedup,
+            r.p99_ms,
+            r.write_ips,
+            r.concurrency.latch_acquisitions,
+            r.concurrency.latch_waits,
+            r.concurrency.epoch_pins,
+            r.concurrency.retired_backlog
+        );
+    }
+    if let (Some(base), Some(eight)) = (
+        hot.iter().find(|r| r.threads == 1),
+        hot.iter().find(|r| r.threads == 8),
+    ) {
+        println!(
+            "hot-writer read throughput speedup at 8 threads vs 1: {:.2}x \
+             (mean epoch pin {:.1} us)",
+            eight.throughput_qps / base.throughput_qps.max(1e-9),
+            eight.concurrency.epoch_pin_nanos as f64
+                / (eight.concurrency.epoch_pins.max(1) as f64 * 1e3)
+        );
+    }
+    println!();
+
     let mixed = run_mixed_workload(n, 4, 2, queries, queries * 5, SEED);
     println!("== Concurrency: mixed readers + writer bursts ==");
     println!(
@@ -1100,6 +1147,50 @@ fn print_concurrency(opts: &Options) {
                     r.throughput_qps.into(),
                     r.mean_ms.into(),
                     r.p99_ms.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    emit_json(
+        opts,
+        "concurrency_hot_writer",
+        &[
+            "threads",
+            "total_queries",
+            "writer_inserts",
+            "elapsed_ms",
+            "throughput_qps",
+            "speedup",
+            "mean_ms",
+            "p99_ms",
+            "write_ips",
+            "latch_acquisitions",
+            "latch_waits",
+            "epoch_pins",
+            "epoch_pin_nanos",
+            "retired",
+            "reclaimed",
+            "retired_backlog",
+        ],
+        &hot.iter()
+            .map(|r| {
+                vec![
+                    r.threads.into(),
+                    r.total_queries.into(),
+                    r.writer_inserts.into(),
+                    r.elapsed_ms.into(),
+                    r.throughput_qps.into(),
+                    r.speedup.into(),
+                    r.mean_ms.into(),
+                    r.p99_ms.into(),
+                    r.write_ips.into(),
+                    r.concurrency.latch_acquisitions.into(),
+                    r.concurrency.latch_waits.into(),
+                    r.concurrency.epoch_pins.into(),
+                    r.concurrency.epoch_pin_nanos.into(),
+                    r.concurrency.retired.into(),
+                    r.concurrency.reclaimed.into(),
+                    r.concurrency.retired_backlog.into(),
                 ]
             })
             .collect::<Vec<_>>(),

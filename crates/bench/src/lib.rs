@@ -28,7 +28,10 @@ pub mod stats;
 pub mod wal;
 
 pub use build::{run_build_experiment, write_build_json, BuildRow, BuildSide};
-pub use concurrent::{run_mixed_workload, run_read_scaling, MixedRow, ReadScalingRow};
+pub use concurrent::{
+    run_hot_writer_scaling, run_mixed_workload, run_read_scaling, HotWriterRow, MixedRow,
+    ReadScalingRow,
+};
 pub use experiments::*;
 pub use io_patterns::{run_io_patterns, run_pool_overhead, IoPatternRow, PoolOverheadRow};
 pub use json::{rows_json, write_rows_json, JsonVal};

@@ -25,10 +25,14 @@
 //!
 //! **Shared access.** Tables are handed out as `Arc<Table>` handles
 //! ([`Database::table_handle`]) that are `Send + Sync`: DML (`insert` /
-//! `delete`) and queries take `&self` and latch internally — the heap and
-//! row directory behind a table-level reader-writer latch, each physical
-//! index behind its own latch (updates acquire them one at a time, never
-//! nested, so the latch order is acyclic).  DDL (`create_index` /
+//! `delete`) and queries take `&self`.  The heap and row directory sit
+//! behind a table-level reader-writer latch; the physical indexes are
+//! internally concurrent (writers crab per-page latches, index cursors pin
+//! a reclamation epoch and never block writers), so the per-table DML lock
+//! is what makes a *statement* — heap change plus every index update —
+//! atomic with respect to other statements.  Index scans run latch-free:
+//! a long cursor delays page reclamation, never a writer.  DDL
+//! (`create_index` /
 //! `drop_index` / `drop_table`) requires exclusive access (`&mut` /
 //! no outstanding handles), the executor's analog of PostgreSQL's
 //! `AccessExclusiveLock`.  [`Database::run_parallel`] runs a batch of
@@ -732,9 +736,10 @@ impl PhysicalIndex {
         }
     }
 
-    /// Inserts a whole batch of `(datum, row)` items under **one**
-    /// write-latch acquisition per index (the DML-statement form used by
-    /// [`Table::insert_many`]).
+    /// Inserts a whole batch of `(datum, row)` items in one call per index
+    /// (the DML-statement form used by [`Table::insert_many`]).  Atomicity
+    /// of the batch with respect to other statements comes from the
+    /// caller's DML lock, not from the index.
     fn insert_batch(&self, items: &[(Datum, RowId)]) -> StorageResult<()> {
         match self {
             PhysicalIndex::Trie(ix) => ix.insert_batch(text_items(items)?),
@@ -1317,10 +1322,11 @@ struct TableInner {
 ///
 /// A `Table` is `Send + Sync`: share it behind an `Arc` and run DML and
 /// queries from many threads.  The heap and row directory sit behind a
-/// table-level reader-writer latch; each physical index latches itself.  An
-/// insert appends to the heap under the table latch, releases it, then
-/// updates the indexes — so a concurrent query sees either nothing (not yet
-/// indexed) or a fully fetchable row, never a dangling index entry.  DDL
+/// table-level reader-writer latch; each physical index is internally
+/// concurrent (crabbing writers, epoch-pinned cursors).  An insert appends
+/// to the heap under the table latch, releases it, then updates the indexes
+/// — so a concurrent query sees either nothing (not yet indexed) or a fully
+/// fetchable row, never a dangling index entry.  DDL
 /// ([`Table::create_index`] / [`Table::drop_index`]) still requires `&mut`:
 /// exclusive access, the analog of PostgreSQL's `AccessExclusiveLock`.
 pub struct Table {
@@ -1330,13 +1336,13 @@ pub struct Table {
     inner: RwLock<TableInner>,
     indexes: Vec<NamedIndex>,
     /// Serializes whole DML statements (heap change **and** the index
-    /// updates that follow).  Without it, a delete racing an insert of the
-    /// same row could run its index removals *between* the insert's heap
-    /// append and index insert — the removal finds nothing, the insert
-    /// then lands, and the index permanently names a dead row.  Only
-    /// `insert`/`delete` take this lock, and they take it before any
-    /// latch, so it adds no ordering cycle with readers (which nest
-    /// index-read → table-read and never touch it).
+    /// updates that follow) — multi-index atomicity.  Without it, a delete
+    /// racing an insert of the same row could run its index removals
+    /// *between* the insert's heap append and index insert — the removal
+    /// finds nothing, the insert then lands, and the index permanently
+    /// names a dead row.  Only `insert`/`delete` take this lock, and they
+    /// take it before any latch, so it adds no ordering cycle with readers
+    /// (which run latch-free through the indexes and never touch it).
     dml: Mutex<()>,
     /// The database's write-ahead log, when this table belongs to a durable
     /// database.  DML **submits** its redo record while still holding the
@@ -1505,11 +1511,10 @@ impl Table {
 
     /// Inserts a key value, returning its row id.  The value is appended to
     /// the heap under the table latch, which is released before the value is
-    /// inserted into the registered indexes (each takes its own write latch)
-    /// — latches are never held nested, so the order is acyclic.  The whole
-    /// statement runs under the table's DML lock so a concurrent delete of
-    /// the just-inserted row cannot interleave between the heap append and
-    /// the index updates.
+    /// inserted into the registered indexes (each crabs its own per-page
+    /// latches internally).  The whole statement runs under the table's DML
+    /// lock so a concurrent delete of the just-inserted row cannot
+    /// interleave between the heap append and the index updates.
     pub fn insert(&self, datum: impl Into<Datum>) -> StorageResult<RowId> {
         let datum = datum.into();
         if datum.key_type() != self.key_type {
@@ -1560,11 +1565,11 @@ impl Table {
     ///
     /// Unlike a loop of [`Table::insert`] calls, the whole batch takes the
     /// table's DML lock once, appends every value to the heap under one
-    /// table-latch acquisition, and then updates each physical index under a
-    /// **single** write-latch acquisition per index
-    /// ([`SpIndex::insert_batch`]) — a concurrent query sees either none or
-    /// all of the batch in any given index, and writers stop paying one
-    /// latch round-trip per row.
+    /// table-latch acquisition, and then hands each physical index the
+    /// whole batch in one call ([`SpIndex::insert_batch`]) — one statement
+    /// with respect to other DML, and one WAL record instead of many.  A
+    /// concurrent *cursor* (which takes no lock) may observe part of the
+    /// batch mid-flight; it never observes a dangling index entry.
     pub fn insert_many<I>(&self, data: I) -> StorageResult<Vec<RowId>>
     where
         I: IntoIterator,
@@ -1625,7 +1630,7 @@ impl Table {
 
     /// Deletes the row, removing it from the heap and every index; returns
     /// whether the row existed.  A query racing the delete may still report
-    /// the row (it was live when its cursor latched the index) or skip it —
+    /// the row (it was live when its cursor pinned the index) or skip it —
     /// never error.  Runs under the table's DML lock (see [`Table::insert`])
     /// so the heap removal and index removals are one atomic statement with
     /// respect to other DML.
@@ -2552,12 +2557,12 @@ impl Table {
                     .next()
                     .ok_or_else(|| StorageError::Unsupported("empty intersection plan".into()))?;
                 // Materialize every non-driving row-id set (ids only — no
-                // heap fetches) *before* opening the driver cursor: each
-                // input's cursor is drained and dropped before the next
-                // opens, so at most one read latch is held at a time.  Two
-                // conjuncts served by the same index would otherwise hold
-                // two read latches at once and deadlock against a waiting
-                // writer.
+                // heap fetches) before opening the driver cursor.  Cursors
+                // pin a reclamation epoch rather than a latch, so nothing
+                // can deadlock here any more; draining and dropping each
+                // input before the next opens still keeps at most one epoch
+                // pinned at a time, so writers' retired pages reclaim
+                // promptly even under long intersections.
                 let mut sets: Vec<HashSet<RowId>> = Vec::new();
                 let mut sources = Vec::with_capacity(inputs.len());
                 for node in nodes {
@@ -2579,14 +2584,11 @@ impl Table {
             }
             PhysNode::Union { inputs, .. } => {
                 // Each input's cursor opens only when the previous one is
-                // exhausted **and dropped**: opening them all upfront would
-                // hold several read latches at once, and two disjuncts on
-                // the same index would deadlock against a waiting writer.
-                // The drop must come first — `flat_map` would build the
-                // next stream (taking a fresh read latch) while the spent
-                // one still pins its latch, recreating the same deadlock
-                // with a writer queued between the two acquisitions — so
-                // the hand-over is spelled out: release, then open.
+                // exhausted and dropped.  Cursors pin a reclamation epoch
+                // rather than a latch, so opening several at once can no
+                // longer deadlock against a writer — sequencing them is now
+                // purely about keeping one epoch pinned at a time so
+                // writers' retired pages reclaim promptly.
                 // The dispatched sources are derived from the plan shape,
                 // which is what execution follows by construction.
                 let sources: Vec<ScanSource> =
@@ -2598,7 +2600,7 @@ impl Table {
                         if let Some(item) = stream.next() {
                             return Some(item);
                         }
-                        current = None; // latch released before the next opens
+                        current = None; // epoch pin released before the next opens
                     }
                     let node = pending.next()?;
                     match self.execute_node(&node) {

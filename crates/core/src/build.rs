@@ -55,12 +55,12 @@ use crate::RowId;
 /// precondition checks and the root/meta bookkeeping.
 pub struct BulkBuilder<'a, O: SpGistOps> {
     ops: &'a O,
-    store: &'a mut NodeStore,
+    store: &'a NodeStore,
     stats: TreeStats,
 }
 
 impl<'a, O: SpGistOps> BulkBuilder<'a, O> {
-    pub(crate) fn new(ops: &'a O, store: &'a mut NodeStore) -> Self {
+    pub(crate) fn new(ops: &'a O, store: &'a NodeStore) -> Self {
         BulkBuilder {
             ops,
             store,

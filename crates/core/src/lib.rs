@@ -41,13 +41,18 @@
 //! use spgist_core::SpGistTree;
 //!
 //! let pool = BufferPool::in_memory();
-//! let mut tree = SpGistTree::create(Arc::clone(&pool), DigitTrieOps::default()).unwrap();
+//! let tree = SpGistTree::create(Arc::clone(&pool), DigitTrieOps::default()).unwrap();
 //! for key in [42u32, 7, 123, 99, 4242] {
 //!     tree.insert(key, u64::from(key)).unwrap();
 //! }
 //! assert_eq!(tree.search(&42).unwrap(), vec![(42, 42)]);
 //! assert_eq!(tree.stats().unwrap().items, 5);
 //! ```
+//!
+//! Every tree method takes `&self`: readers pin a reclamation epoch and run
+//! latch-free, writers crab per-page latches down the tree, so an
+//! `Arc<SpGistTree<_>>` is shared across threads directly (see the
+//! concurrency notes on [`tree::SpGistTree`]).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -70,6 +75,8 @@ pub use ops::{Choose, PickSplit, SpGistOps};
 pub use stats::TreeStats;
 pub use store::NodeStore;
 pub use tree::{SearchCursor, SpGistTree};
+
+pub use spgist_storage::{ConcurrencyStats, EpochPin};
 
 /// Row identifier stored alongside every key in leaf nodes — the analog of a
 /// PostgreSQL heap tuple pointer.

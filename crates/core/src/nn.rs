@@ -15,7 +15,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use spgist_storage::{AccessHint, StorageResult};
+use spgist_storage::{AccessHint, EpochPin, StorageResult};
 
 use crate::node::{Node, NodeId};
 use crate::ops::SpGistOps;
@@ -66,8 +66,10 @@ impl<O: SpGistOps> PartialOrd for QueueEntry<O> {
 /// Yields `(key, row, distance)` triples in non-decreasing distance order.
 ///
 /// Like [`crate::tree::SearchCursor`], the iterator is generic over how it
-/// holds the tree: a plain `&SpGistTree` borrows, while a read-latch guard
-/// keeps the tree latched for shared access until the iterator is dropped.
+/// holds the tree: a plain `&SpGistTree` borrows, while an owning handle
+/// (an `Arc`) lets the iterator outlive the borrow.  Either way it takes no
+/// latch — it pins a reclamation epoch at creation, so concurrent writers
+/// proceed while everything it can reach stays readable.
 pub struct NnIter<T, O>
 where
     T: std::ops::Deref<Target = SpGistTree<O>>,
@@ -79,6 +81,9 @@ where
     seq: u64,
     /// Hint attached to every page fetch this iterator makes.
     hint: AccessHint,
+    /// Keeps every record reachable from the captured root readable for the
+    /// iterator's lifetime.
+    _pin: EpochPin,
 }
 
 impl<T, O> NnIter<T, O>
@@ -87,9 +92,12 @@ where
     O: SpGistOps,
 {
     /// Builds the iterator from any owned or borrowed handle on a tree.
-    /// With a latch guard as the handle, the latch is held for the
-    /// iterator's lifetime.
+    /// The iterator pins a reclamation epoch (never a latch) for its
+    /// lifetime.
     pub fn over(tree: T, query: O::Query) -> Self {
+        // Pin first, then capture the root, so records retired afterwards
+        // stay readable for this iterator.
+        let pin = tree.store().pin();
         let root = tree.root();
         let mut iter = NnIter {
             tree,
@@ -97,6 +105,7 @@ where
             heap: BinaryHeap::new(),
             seq: 0,
             hint: AccessHint::Normal,
+            _pin: pin,
         };
         if let Some(root) = root {
             // "Insert the root node into the priority queue with minimum
@@ -204,8 +213,7 @@ mod tests {
     use spgist_storage::BufferPool;
 
     fn tree_with(keys: &[u32]) -> SpGistTree<DigitTrieOps> {
-        let mut tree =
-            SpGistTree::create(BufferPool::in_memory(), DigitTrieOps::default()).unwrap();
+        let tree = SpGistTree::create(BufferPool::in_memory(), DigitTrieOps::default()).unwrap();
         for &k in keys {
             tree.insert(k, u64::from(k)).unwrap();
         }

@@ -16,11 +16,33 @@
 //!   room.
 //! * `NewPagePerNode` allocates one page per node — the naive mapping, used by
 //!   the clustering ablation benchmark.
+//!
+//! # Concurrency
+//!
+//! The store is shared (`&self` everywhere) so one tree can serve parallel
+//! writers and latch-free snapshot readers:
+//!
+//! * Placement state (the owned-page list and open-page candidates) sits
+//!   behind a mutex; page content itself is protected by the buffer pool's
+//!   per-frame locks.
+//! * [`NodeStore::update`] is copy-on-write when a node must relocate: the
+//!   old record (and its spill chain) stays intact and readable until the
+//!   caller has re-linked the parent and calls [`NodeStore::retire_node`],
+//!   which hands the old records to the [`EpochManager`].  Retired records
+//!   are physically deleted by [`NodeStore::reclaim`] only once every
+//!   reader epoch pinned before the retirement has ended.
+//! * Spill-chain continuation records are immutable: a rewrite of a chained
+//!   node always places *fresh* continuations and retires the old ones, so
+//!   a reader that caught the old head mid-rewrite still reassembles the
+//!   complete old node.
 
+use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::Arc;
 
+use parking_lot::Mutex;
 use spgist_storage::{
-    AccessHint, BufferPool, Codec, PageId, StorageError, StorageResult, MAX_RECORD_SIZE, PAGE_SIZE,
+    AccessHint, BufferPool, Codec, EpochManager, EpochPin, PageId, RetiredItem, StorageError,
+    StorageResult, MAX_RECORD_SIZE, PAGE_SIZE,
 };
 
 use crate::config::ClusteringPolicy;
@@ -84,31 +106,32 @@ fn decode_chain_rest(mut buf: &[u8]) -> StorageResult<(NodeId, &[u8])> {
     Ok((NodeId::new(page, slot), buf))
 }
 
-/// Maps tree nodes onto slotted pages obtained from a [`BufferPool`].
-pub struct NodeStore {
-    pool: Arc<BufferPool>,
-    policy: ClusteringPolicy,
+/// Placement bookkeeping, shared behind a mutex so allocation decisions
+/// serialize briefly while page I/O stays parallel.
+struct Placement {
     /// Pages owned by this tree, in allocation order.
     pages: Vec<PageId>,
     /// Recently opened pages that may still have free space.
     open_pages: Vec<PageId>,
-    /// Hint passed with every page access.  [`AccessHint::Normal`] for
-    /// point operations; bulk build and whole-tree sweeps switch to
-    /// [`AccessHint::Scan`] so their one-touch pages do not displace the
-    /// pool's hot set.
-    hint: AccessHint,
+}
+
+/// Maps tree nodes onto slotted pages obtained from a [`BufferPool`].
+pub struct NodeStore {
+    pool: Arc<BufferPool>,
+    policy: ClusteringPolicy,
+    placement: Mutex<Placement>,
+    epochs: Arc<EpochManager>,
+    /// Hint passed with every page access, as `AccessHint as u8`.
+    /// [`AccessHint::Normal`] for point operations; bulk build and
+    /// whole-tree sweeps switch to [`AccessHint::Scan`] so their one-touch
+    /// pages do not displace the pool's hot set.
+    hint: AtomicU8,
 }
 
 impl NodeStore {
     /// Creates a store over `pool` with the given clustering policy.
     pub fn new(pool: Arc<BufferPool>, policy: ClusteringPolicy) -> Self {
-        NodeStore {
-            pool,
-            policy,
-            pages: Vec::new(),
-            open_pages: Vec::new(),
-            hint: AccessHint::Normal,
-        }
+        Self::with_pages(pool, policy, Vec::new())
     }
 
     /// Re-creates a store that already owns `pages` (a tree re-opened from a
@@ -126,9 +149,9 @@ impl NodeStore {
         NodeStore {
             pool,
             policy,
-            pages,
-            open_pages,
-            hint: AccessHint::Normal,
+            placement: Mutex::new(Placement { pages, open_pages }),
+            epochs: Arc::new(EpochManager::new()),
+            hint: AtomicU8::new(AccessHint::Normal as u8),
         }
     }
 
@@ -137,41 +160,58 @@ impl NodeStore {
         &self.pool
     }
 
+    /// The epoch manager guarding this store's retired records.
+    pub fn epochs(&self) -> &Arc<EpochManager> {
+        &self.epochs
+    }
+
+    /// Pins the current reclamation epoch for a reader.  While the pin is
+    /// live, every node record the reader can reach stays readable even if
+    /// concurrent writers retire it.
+    pub fn pin(&self) -> EpochPin {
+        self.epochs.pin()
+    }
+
     /// The access hint currently attached to this store's page traffic.
     pub fn access_hint(&self) -> AccessHint {
-        self.hint
+        if self.hint.load(Ordering::Relaxed) == AccessHint::Scan as u8 {
+            AccessHint::Scan
+        } else {
+            AccessHint::Normal
+        }
     }
 
     /// Sets the access hint for subsequent page traffic.  Bulk build wraps
     /// itself in [`AccessHint::Scan`] (every page is written once, front to
     /// back); callers must restore [`AccessHint::Normal`] afterwards.
-    pub fn set_access_hint(&mut self, hint: AccessHint) {
-        self.hint = hint;
+    pub fn set_access_hint(&self, hint: AccessHint) {
+        self.hint.store(hint as u8, Ordering::Relaxed);
     }
 
     /// Number of pages allocated for this tree.
     pub fn page_count(&self) -> usize {
-        self.pages.len()
+        self.placement.lock().pages.len()
     }
 
     /// Approximate on-disk size of the tree in bytes.
     pub fn size_bytes(&self) -> u64 {
-        self.pages.len() as u64 * PAGE_SIZE as u64
+        self.page_count() as u64 * PAGE_SIZE as u64
     }
 
     /// Pages owned by this tree (for stats and utilization reports).
-    pub fn pages(&self) -> &[PageId] {
-        &self.pages
+    pub fn pages(&self) -> Vec<PageId> {
+        self.placement.lock().pages.clone()
     }
 
     /// Average page utilization in `[0, 1]` (fraction of page bytes holding
     /// record data).
     pub fn utilization(&self) -> StorageResult<f64> {
-        if self.pages.is_empty() {
+        let pages = self.pages();
+        if pages.is_empty() {
             return Ok(0.0);
         }
         let mut used = 0usize;
-        for &page in &self.pages {
+        for &page in &pages {
             // Whole-tree sweep: never let a utilization report evict the
             // working set.
             let free = self
@@ -179,13 +219,13 @@ impl NodeStore {
                 .with_page_hinted(page, AccessHint::Scan, |p| p.free_space())?;
             used += PAGE_SIZE - free;
         }
-        Ok(used as f64 / (self.pages.len() * PAGE_SIZE) as f64)
+        Ok(used as f64 / (pages.len() * PAGE_SIZE) as f64)
     }
 
     /// Reads and decodes the node at `id`, reassembling spilled chains
     /// transparently, under the store's current access hint.
     pub fn read<O: SpGistOps>(&self, id: NodeId) -> StorageResult<Node<O>> {
-        self.read_hinted(id, self.hint)
+        self.read_hinted(id, self.access_hint())
     }
 
     /// Reads the node at `id` under an explicit [`AccessHint`] — whole-tree
@@ -232,7 +272,7 @@ impl NodeStore {
     /// clustering policy.  Nodes larger than a page spill across a record
     /// chain.  Returns the node's address.
     pub fn allocate<O: SpGistOps>(
-        &mut self,
+        &self,
         node: &Node<O>,
         near: Option<PageId>,
     ) -> StorageResult<NodeId> {
@@ -244,7 +284,7 @@ impl NodeStore {
     /// Encodes node bytes into the record written at the node's address:
     /// inline when they fit a single record, otherwise a chain head whose
     /// continuation records are placed as a side effect.
-    fn encode_node_record(&mut self, bytes: &[u8]) -> StorageResult<Vec<u8>> {
+    fn encode_node_record(&self, bytes: &[u8]) -> StorageResult<Vec<u8>> {
         if bytes.len() < MAX_RECORD_SIZE {
             return Ok(encode_inline_record(bytes));
         }
@@ -259,7 +299,7 @@ impl NodeStore {
     /// Writes every chunk of `bytes` past the first into continuation
     /// records (tail-first, so each record knows its successor) and returns
     /// the id of the first continuation.
-    fn place_continuations(&mut self, bytes: &[u8]) -> StorageResult<NodeId> {
+    fn place_continuations(&self, bytes: &[u8]) -> StorageResult<NodeId> {
         let mut next = CHAIN_END;
         let mut chunks: Vec<&[u8]> = bytes[MAX_CHUNK..].chunks(MAX_CHUNK).collect();
         while let Some(chunk) = chunks.pop() {
@@ -269,28 +309,43 @@ impl NodeStore {
         Ok(next)
     }
 
-    /// Frees the continuation records of the chain starting at `id`, which
-    /// must be a chain head or an inline record (the head itself is kept).
-    fn free_continuations(&mut self, id: NodeId) -> StorageResult<()> {
-        let start = self.continuation_of(id)?;
-        self.free_chain_from(start)
-    }
-
-    /// Frees every continuation record from `cursor` to the end of a chain.
-    fn free_chain_from(&mut self, mut cursor: NodeId) -> StorageResult<()> {
+    /// Frees every continuation record from `cursor` to the end of a chain,
+    /// immediately and without epoch protection — only for records no
+    /// reader can have seen (a failed rewrite's freshly placed chain) or
+    /// exclusive contexts ([`NodeStore::free`]).
+    fn free_chain_from(&self, mut cursor: NodeId) -> StorageResult<()> {
         while cursor != CHAIN_END {
-            let record = self.pool.with_page_hinted(cursor.page, self.hint, |p| {
-                p.get(cursor.slot).map(<[u8]>::to_vec)
-            })??;
-            let mut buf = record.as_slice();
-            u8::decode(&mut buf)?;
-            let (next, _) = decode_chain_rest(buf)?;
+            let next = self.chain_next(cursor)?;
             self.pool
-                .with_page_mut_hinted(cursor.page, self.hint, |p| p.delete(cursor.slot))??;
+                .with_page_mut_hinted(cursor.page, self.access_hint(), |p| p.delete(cursor.slot))??;
             self.note_open_page(cursor.page);
             cursor = next;
         }
         Ok(())
+    }
+
+    /// Retires every continuation record from `cursor` to the end of a
+    /// chain.  The records stay readable until [`NodeStore::reclaim`]
+    /// collects them past the last protecting reader epoch.
+    fn retire_chain_from(&self, mut cursor: NodeId) -> StorageResult<()> {
+        while cursor != CHAIN_END {
+            let next = self.chain_next(cursor)?;
+            self.epochs.retire(RetiredItem::Slot(cursor.page, cursor.slot));
+            cursor = next;
+        }
+        Ok(())
+    }
+
+    /// The continuation pointer stored in the chain record at `cursor`.
+    fn chain_next(&self, cursor: NodeId) -> StorageResult<NodeId> {
+        let record = self
+            .pool
+            .with_page_hinted(cursor.page, self.access_hint(), |p| {
+                p.get(cursor.slot).map(<[u8]>::to_vec)
+            })??;
+        let mut buf = record.as_slice();
+        u8::decode(&mut buf)?;
+        Ok(decode_chain_rest(buf)?.0)
     }
 
     /// The first continuation record of `id`, or [`CHAIN_END`] for inline
@@ -298,7 +353,9 @@ impl NodeStore {
     fn continuation_of(&self, id: NodeId) -> StorageResult<NodeId> {
         let record = self
             .pool
-            .with_page_hinted(id.page, self.hint, |p| p.get(id.slot).map(<[u8]>::to_vec))??;
+            .with_page_hinted(id.page, self.access_hint(), |p| {
+                p.get(id.slot).map(<[u8]>::to_vec)
+            })??;
         let mut buf = record.as_slice();
         match u8::decode(&mut buf)? {
             TAG_CHAIN_HEAD => Ok(decode_chain_rest(buf)?.0),
@@ -307,24 +364,30 @@ impl NodeStore {
     }
 
     /// Rewrites the node at `id` in place when possible.  If the new encoding
-    /// no longer fits in its page the node is relocated (preferring `near`)
-    /// and the new address is returned; the caller must then fix the parent's
-    /// child pointer.  Returns `None` when the update happened in place.
+    /// no longer fits in its page the node is relocated copy-on-write
+    /// (preferring `near`) and the new address is returned: the *old* record
+    /// and its spill chain stay intact for concurrent snapshot readers, and
+    /// the caller must fix the parent's child pointer and then call
+    /// [`NodeStore::retire_node`] on the old address.  Returns `None` when
+    /// the update happened in place (any superseded spill chain is retired
+    /// here).
     pub fn update<O: SpGistOps>(
-        &mut self,
+        &self,
         id: NodeId,
         node: &Node<O>,
         near: Option<PageId>,
     ) -> StorageResult<Option<NodeId>> {
-        // Any previous spill chain is rewritten wholesale; in-place reuse of
-        // continuation records is not worth the bookkeeping.
-        self.free_continuations(id)?;
+        // Any previous spill chain is replaced wholesale by fresh
+        // continuation records; the old ones are retired, never mutated, so
+        // a reader holding the old head still reassembles the old node.
+        let old_chain = self.continuation_of(id)?;
         let bytes = node.encode();
         let record = self.encode_node_record(&bytes)?;
         let updated = self
             .pool
-            .with_page_mut_hinted(id.page, self.hint, |p| p.update(id.slot, &record))??;
+            .with_page_mut_hinted(id.page, self.access_hint(), |p| p.update(id.slot, &record))??;
         if updated {
+            self.retire_chain_from(old_chain)?;
             return Ok(None);
         }
         // A node shrinking out of chain format can still miss the in-place
@@ -344,32 +407,99 @@ impl NodeStore {
             let chain_head = encode_chain_record(TAG_CHAIN_HEAD, next, &bytes[..head_len]);
             let updated = self
                 .pool
-                .with_page_mut_hinted(id.page, self.hint, |p| p.update(id.slot, &chain_head))??;
+                .with_page_mut_hinted(id.page, self.access_hint(), |p| {
+                    p.update(id.slot, &chain_head)
+                })??;
             if updated {
+                self.retire_chain_from(old_chain)?;
                 return Ok(None);
             }
-            // The retry failed too; reclaim its continuations before
+            // The retry failed too; its freshly placed continuations were
+            // never linked anywhere, so free them outright before
             // relocating the inline record.
             self.free_chain_from(next)?;
         }
-        // Relocate: delete the old record and place the node elsewhere.
-        self.pool
-            .with_page_mut_hinted(id.page, self.hint, |p| p.delete(id.slot))??;
-        self.note_open_page(id.page);
+        // Relocate copy-on-write: the old record keeps its content (and its
+        // chain) until the caller retires it.
         let new_id = self.place(&record, near)?;
         Ok(Some(new_id))
     }
 
-    /// Deletes the node record at `id` (and its spill chain, if any).
-    pub fn free(&mut self, id: NodeId) -> StorageResult<()> {
-        self.free_continuations(id)?;
-        self.pool
-            .with_page_mut_hinted(id.page, self.hint, |p| p.delete(id.slot))??;
-        self.note_open_page(id.page);
+    /// Retires the node record at `id` and its spill chain, handing them to
+    /// the epoch manager.  Call after the last pointer to `id` has been
+    /// unlinked from the tree; readers pinned before the unlink keep reading
+    /// the records until [`NodeStore::reclaim`] passes their epoch.
+    pub fn retire_node(&self, id: NodeId) -> StorageResult<()> {
+        let chain = self.continuation_of(id)?;
+        self.epochs.retire(RetiredItem::Slot(id.page, id.slot));
+        self.retire_chain_from(chain)
+    }
+
+    /// Retires whole page `page` (used by repack after the root flips to the
+    /// rebuilt layout).  The page must already be unreachable from the
+    /// current tree and removed from this store's owned-page list.
+    pub fn retire_page(&self, page: PageId) {
+        self.epochs.retire(RetiredItem::Page(page));
+    }
+
+    /// Physically frees every retired item that no live reader epoch can
+    /// reference: retired slots are deleted from their pages (and the page
+    /// re-enters placement candidates), retired pages go back to the buffer
+    /// pool.  Writers call this opportunistically after each operation.
+    pub fn reclaim(&self) -> StorageResult<()> {
+        for item in self.epochs.take_reclaimable() {
+            match item {
+                RetiredItem::Slot(page, slot) => {
+                    self.pool
+                        .with_page_mut_hinted(page, self.access_hint(), |p| p.delete(slot))??;
+                    self.note_open_page(page);
+                }
+                RetiredItem::Page(page) => {
+                    let mut placement = self.placement.lock();
+                    placement.open_pages.retain(|&p| p != page);
+                    drop(placement);
+                    self.pool.free_page(page)?;
+                }
+            }
+        }
         Ok(())
     }
 
-    fn place(&mut self, bytes: &[u8], near: Option<PageId>) -> StorageResult<NodeId> {
+    /// Deletes the node record at `id` (and its spill chain, if any)
+    /// immediately, without epoch protection.  Only for exclusive contexts
+    /// (tests, teardown); concurrent trees use [`NodeStore::retire_node`].
+    pub fn free(&self, id: NodeId) -> StorageResult<()> {
+        let chain = self.continuation_of(id)?;
+        self.pool
+            .with_page_mut_hinted(id.page, self.access_hint(), |p| p.delete(id.slot))??;
+        self.note_open_page(id.page);
+        self.free_chain_from(chain)
+    }
+
+    /// Starts a repack: clears the open-page candidates so every placement
+    /// from here on goes to freshly allocated pages, and returns the
+    /// pre-repack owned-page snapshot for [`NodeStore::finish_repack`].
+    pub fn begin_repack(&self) -> Vec<PageId> {
+        let mut placement = self.placement.lock();
+        placement.open_pages.clear();
+        placement.pages.clone()
+    }
+
+    /// Finishes a repack: drops `old_pages` from the owned-page list and
+    /// retires them.  Readers pinned before the root flipped to the rebuilt
+    /// layout keep traversing the old pages until reclamation passes them.
+    pub fn finish_repack(&self, old_pages: &[PageId]) {
+        {
+            let mut placement = self.placement.lock();
+            placement.pages.retain(|p| !old_pages.contains(p));
+            placement.open_pages.retain(|p| !old_pages.contains(p));
+        }
+        for &page in old_pages {
+            self.retire_page(page);
+        }
+    }
+
+    fn place(&self, bytes: &[u8], near: Option<PageId>) -> StorageResult<NodeId> {
         match self.policy {
             ClusteringPolicy::NewPagePerNode => self.place_in_new_page(bytes),
             ClusteringPolicy::ParentFirst => {
@@ -384,10 +514,15 @@ impl NodeStore {
         }
     }
 
-    fn place_in_open_or_new(&mut self, bytes: &[u8]) -> StorageResult<NodeId> {
-        // Scan the open-page list most-recent-first.
-        for i in (0..self.open_pages.len()).rev() {
-            let page = self.open_pages[i];
+    fn place_in_open_or_new(&self, bytes: &[u8]) -> StorageResult<NodeId> {
+        // Scan the open-page list most-recent-first.  The list is sampled
+        // under the placement lock but probed outside it; a stale candidate
+        // just fails its fit check.
+        let candidates: Vec<PageId> = {
+            let placement = self.placement.lock();
+            placement.open_pages.iter().rev().copied().collect()
+        };
+        for page in candidates {
             if let Some(id) = self.try_place_in(page, bytes)? {
                 return Ok(id);
             }
@@ -395,9 +530,9 @@ impl NodeStore {
             // if it is nearly full to keep the list useful.
             let free = self
                 .pool
-                .with_page_hinted(page, self.hint, |p| p.free_space())?;
+                .with_page_hinted(page, self.access_hint(), |p| p.free_space())?;
             if free < 64 {
-                self.open_pages.remove(i);
+                self.placement.lock().open_pages.retain(|&p| p != page);
             }
         }
         self.place_in_new_page(bytes)
@@ -405,9 +540,9 @@ impl NodeStore {
 
     /// Allocates a brand-new page owned by this store and returns its id.
     /// Used by the offline repacker, which decides node placement itself.
-    pub fn fresh_page(&mut self) -> StorageResult<PageId> {
-        let page = self.pool.allocate_page_hinted(self.hint)?;
-        self.pages.push(page);
+    pub fn fresh_page(&self) -> StorageResult<PageId> {
+        let page = self.pool.allocate_page_hinted(self.access_hint())?;
+        self.placement.lock().pages.push(page);
         Ok(page)
     }
 
@@ -415,7 +550,7 @@ impl NodeStore {
     /// room for it (oversized nodes spill their tail into a chain, with only
     /// the head record in `page`).
     pub fn allocate_in_page<O: SpGistOps>(
-        &mut self,
+        &self,
         node: &Node<O>,
         page: PageId,
     ) -> StorageResult<NodeId> {
@@ -423,53 +558,68 @@ impl NodeStore {
         let record = self.encode_node_record(&bytes)?;
         let slot = self
             .pool
-            .with_page_mut_hinted(page, self.hint, |p| p.insert(&record))??;
+            .with_page_mut_hinted(page, self.access_hint(), |p| p.insert(&record))??;
         Ok(NodeId::new(page, slot))
     }
 
-    fn place_in_new_page(&mut self, bytes: &[u8]) -> StorageResult<NodeId> {
-        let page = self.pool.allocate_page_hinted(self.hint)?;
-        self.pages.push(page);
+    fn place_in_new_page(&self, bytes: &[u8]) -> StorageResult<NodeId> {
+        let page = self.pool.allocate_page_hinted(self.access_hint())?;
+        self.placement.lock().pages.push(page);
         if self.policy != ClusteringPolicy::NewPagePerNode {
             self.note_open_page(page);
         }
         let slot = self
             .pool
-            .with_page_mut_hinted(page, self.hint, |p| p.insert(bytes))??;
+            .with_page_mut_hinted(page, self.access_hint(), |p| p.insert(bytes))??;
         Ok(NodeId::new(page, slot))
     }
 
     fn try_place_in(&self, page: PageId, bytes: &[u8]) -> StorageResult<Option<NodeId>> {
-        let fits = self
+        // Read-only precheck so hopeless probes do not dirty the page.
+        let hopeless = self
             .pool
-            .with_page_hinted(page, self.hint, |p| p.fits(bytes.len()))?;
-        if !fits {
-            // Deleted records leave dead space that only compaction
-            // reclaims; compact opportunistically when it could make room
-            // (slot ids survive compaction, so node addresses stay valid).
-            let compacted = self.pool.with_page_mut_hinted(page, self.hint, |p| {
-                if p.num_live_records() < p.num_slots() {
-                    p.compact();
-                }
-                p.fits(bytes.len())
+            .with_page_hinted(page, self.access_hint(), |p| {
+                !p.fits(bytes.len()) && p.num_live_records() == p.num_slots()
             })?;
-            if !compacted {
-                return Ok(None);
-            }
+        if hopeless {
+            return Ok(None);
         }
+        // Fit check, opportunistic compaction, and insert run as one atomic
+        // page operation so a concurrent placement cannot steal the space
+        // between the check and the insert.  Deleted records leave dead
+        // space that only compaction reclaims; compact opportunistically
+        // when it could make room (slot ids survive compaction, so node
+        // addresses stay valid).
         let slot = self
             .pool
-            .with_page_mut_hinted(page, self.hint, |p| p.insert(bytes))??;
-        Ok(Some(NodeId::new(page, slot)))
+            .with_page_mut_hinted(page, self.access_hint(), |p| {
+                if !p.fits(bytes.len()) {
+                    if p.num_live_records() < p.num_slots() {
+                        p.compact();
+                    }
+                    if !p.fits(bytes.len()) {
+                        return Ok(None);
+                    }
+                }
+                p.insert(bytes).map(Some)
+            })??;
+        Ok(slot.map(|slot| NodeId::new(page, slot)))
     }
 
-    fn note_open_page(&mut self, page: PageId) {
-        if let Some(pos) = self.open_pages.iter().position(|&p| p == page) {
-            self.open_pages.remove(pos);
+    fn note_open_page(&self, page: PageId) {
+        let mut placement = self.placement.lock();
+        // Reclamation can hand back a slot on a page this store no longer
+        // owns (retired wholesale by a repack); such a page must never
+        // become a placement candidate again.
+        if !placement.pages.contains(&page) {
+            return;
         }
-        self.open_pages.push(page);
-        if self.open_pages.len() > OPEN_PAGE_LIMIT {
-            self.open_pages.remove(0);
+        if let Some(pos) = placement.open_pages.iter().position(|&p| p == page) {
+            placement.open_pages.remove(pos);
+        }
+        placement.open_pages.push(page);
+        if placement.open_pages.len() > OPEN_PAGE_LIMIT {
+            placement.open_pages.remove(0);
         }
     }
 }
@@ -478,7 +628,7 @@ impl std::fmt::Debug for NodeStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NodeStore")
             .field("policy", &self.policy)
-            .field("pages", &self.pages.len())
+            .field("pages", &self.page_count())
             .finish()
     }
 }
@@ -502,9 +652,22 @@ mod tests {
         }
     }
 
+    /// Applies an update under the concurrent contract: on relocation the
+    /// old record is retired and reclaimed (no readers in these tests).
+    fn update_retiring(store: &NodeStore, id: NodeId, node: &TestNode) -> NodeId {
+        match store.update(id, node, None).unwrap() {
+            Some(new_id) => {
+                store.retire_node(id).unwrap();
+                store.reclaim().unwrap();
+                new_id
+            }
+            None => id,
+        }
+    }
+
     #[test]
     fn allocate_and_read_roundtrip() {
-        let mut store = store(ClusteringPolicy::ParentFirst);
+        let store = store(ClusteringPolicy::ParentFirst);
         let node = leaf(5);
         let id = store.allocate(&node, None).unwrap();
         let read: TestNode = store.read(id).unwrap();
@@ -513,7 +676,7 @@ mod tests {
 
     #[test]
     fn parent_first_packs_children_with_parent() {
-        let mut store = store(ClusteringPolicy::ParentFirst);
+        let store = store(ClusteringPolicy::ParentFirst);
         let parent_id = store.allocate(&leaf(1), None).unwrap();
         let mut same_page = 0;
         for _ in 0..10 {
@@ -531,7 +694,7 @@ mod tests {
 
     #[test]
     fn new_page_per_node_never_shares() {
-        let mut store = store(ClusteringPolicy::NewPagePerNode);
+        let store = store(ClusteringPolicy::NewPagePerNode);
         let a = store.allocate(&leaf(1), None).unwrap();
         let b = store.allocate(&leaf(1), Some(a.page)).unwrap();
         assert_ne!(a.page, b.page);
@@ -540,7 +703,7 @@ mod tests {
 
     #[test]
     fn update_in_place_when_it_fits() {
-        let mut store = store(ClusteringPolicy::ParentFirst);
+        let store = store(ClusteringPolicy::ParentFirst);
         let id = store.allocate(&leaf(4), None).unwrap();
         let relocated = store.update(id, &leaf(3), None).unwrap();
         assert!(relocated.is_none());
@@ -550,7 +713,7 @@ mod tests {
 
     #[test]
     fn update_relocates_when_page_is_full() {
-        let mut store = store(ClusteringPolicy::ParentFirst);
+        let store = store(ClusteringPolicy::ParentFirst);
         let id = store.allocate(&leaf(1), None).unwrap();
         // Fill the rest of the page with other nodes.
         loop {
@@ -572,11 +735,34 @@ mod tests {
         assert_ne!(new_id, id);
         let read: TestNode = store.read(new_id).unwrap();
         assert_eq!(read, big);
+        // Copy-on-write: until the caller retires it, the old address still
+        // serves the old content (a snapshot reader may hold it).
+        assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), leaf(1));
+        store.retire_node(id).unwrap();
+        store.reclaim().unwrap();
+        assert!(store.read::<DigitTrieOps>(id).is_err());
+    }
+
+    #[test]
+    fn retired_records_survive_until_pins_pass() {
+        let store = store(ClusteringPolicy::ParentFirst);
+        let id = store.allocate(&leaf(7), None).unwrap();
+        let pin = store.pin();
+        store.retire_node(id).unwrap();
+        store.reclaim().unwrap();
+        assert_eq!(
+            store.read::<DigitTrieOps>(id).unwrap(),
+            leaf(7),
+            "a pinned reader must still see the retired record"
+        );
+        drop(pin);
+        store.reclaim().unwrap();
+        assert!(store.read::<DigitTrieOps>(id).is_err());
     }
 
     #[test]
     fn free_reclaims_space_for_future_nodes() {
-        let mut store = store(ClusteringPolicy::FirstFit);
+        let store = store(ClusteringPolicy::FirstFit);
         let id = store.allocate(&leaf(50), None).unwrap();
         store.free(id).unwrap();
         assert!(store.read::<DigitTrieOps>(id).is_err());
@@ -584,7 +770,7 @@ mod tests {
 
     #[test]
     fn utilization_reflects_packing() {
-        let mut store = store(ClusteringPolicy::ParentFirst);
+        let store = store(ClusteringPolicy::ParentFirst);
         assert_eq!(store.utilization().unwrap(), 0.0);
         for _ in 0..200 {
             store.allocate(&leaf(8), None).unwrap();
@@ -600,7 +786,7 @@ mod tests {
     }
 
     fn store_with_policy_and_nodes(policy: ClusteringPolicy, n: usize) -> NodeStore {
-        let mut store = store(policy);
+        let store = store(policy);
         for _ in 0..n {
             store.allocate(&leaf(8), None).unwrap();
         }
@@ -609,7 +795,7 @@ mod tests {
 
     #[test]
     fn oversized_nodes_spill_across_a_record_chain() {
-        let mut store = store(ClusteringPolicy::ParentFirst);
+        let store = store(ClusteringPolicy::ParentFirst);
         // ~40 KB of items: several continuation records.
         let huge = leaf(3500);
         assert!(
@@ -622,10 +808,10 @@ mod tests {
 
         // Growing and shrinking the chained node keeps it readable.
         let bigger = leaf(4000);
-        let id = store.update(id, &bigger, None).unwrap().unwrap_or(id);
+        let id = update_retiring(&store, id, &bigger);
         assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), bigger);
         let small = leaf(2);
-        let id = store.update(id, &small, None).unwrap().unwrap_or(id);
+        let id = update_retiring(&store, id, &small);
         assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), small);
 
         // Freeing a chained node reclaims its continuation records: a fresh
@@ -645,7 +831,7 @@ mod tests {
 
     #[test]
     fn shrinking_a_chained_node_never_relocates() {
-        let mut store = store(ClusteringPolicy::ParentFirst);
+        let store = store(ClusteringPolicy::ParentFirst);
         let huge = leaf(3500);
         let id = store.allocate(&huge, None).unwrap();
         // Fill the head's page so an in-place rewrite larger than the old
@@ -680,8 +866,39 @@ mod tests {
     }
 
     #[test]
+    fn chained_rewrite_keeps_old_chain_readable_for_pinned_readers() {
+        let store = store(ClusteringPolicy::ParentFirst);
+        let old = leaf(3500);
+        let id = store.allocate(&old, None).unwrap();
+        let pin = store.pin();
+        // An in-place head rewrite replaces the spill chain with fresh
+        // continuations and retires the old ones; with the pin live they
+        // must not be reclaimed (the reader may hold the old head bytes and
+        // walk the old chain).
+        let new = leaf(3600);
+        let relocated = store.update(id, &new, None).unwrap();
+        store.reclaim().unwrap();
+        let id = match relocated {
+            Some(new_id) => {
+                store.retire_node(id).unwrap();
+                new_id
+            }
+            None => id,
+        };
+        assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), new);
+        assert!(
+            store.epochs().backlog() > 0,
+            "old chain records must still be parked in the retire list"
+        );
+        drop(pin);
+        store.reclaim().unwrap();
+        assert_eq!(store.epochs().backlog(), 0);
+        assert_eq!(store.read::<DigitTrieOps>(id).unwrap(), new);
+    }
+
+    #[test]
     fn inner_nodes_roundtrip_through_store() {
-        let mut store = store(ClusteringPolicy::ParentFirst);
+        let store = store(ClusteringPolicy::ParentFirst);
         let child = store.allocate(&leaf(1), None).unwrap();
         let inner: TestNode = Node::Inner {
             prefix: None,

@@ -5,10 +5,38 @@
 //! [`SpGistOps`] implementation — the external methods a developer writes —
 //! and by the [`SpGistConfig`] interface parameters.  All node reads and
 //! writes go through [`NodeStore`], which performs the node→page clustering.
+//!
+//! # Concurrency model
+//!
+//! The tree is shared: every operation takes `&self`.
+//!
+//! *Writers* (inserts) crab per-page latches root-to-leaf: a descent holds at
+//! most the current node's page latch and its parent's, releasing the
+//! ancestor as soon as the child is latched.  Latches are try-acquired; on
+//! contention the writer releases everything, backs off briefly and restarts
+//! from the root, so there is no hold-and-wait and hence no deadlock.
+//! Writers on disjoint subtrees proceed in parallel.  Structure-changing
+//! operations that need a global view (delete, repack, bulk build) take the
+//! `write_gate` exclusively, which only excludes *other writers* — readers
+//! are never blocked.
+//!
+//! *Readers* (search, NN, stats, cursors) take no latches at all.  They pin
+//! a reclamation epoch before capturing the root; every record they can
+//! reach from that root stays readable because writers retire superseded
+//! records into the epoch garbage list instead of freeing them in place.
+//! Retired records are physically reclaimed only after the last pin from an
+//! earlier epoch drops.  Readers are *snapshot-ish*: the tree they traverse
+//! is always a valid tree, but a long scan may observe some effects of
+//! writes that committed after it started.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use spgist_storage::{AccessHint, BufferPool, Codec, PageId, StorageError, StorageResult};
+use parking_lot::{Mutex, RwLock};
+use spgist_storage::{
+    AccessHint, BufferPool, Codec, ConcurrencyStats, EpochPin, LatchSet, LatchTable, PageId,
+    StorageError, StorageResult,
+};
 
 use crate::config::NodeShrink;
 use crate::nn::NnIter;
@@ -18,14 +46,49 @@ use crate::stats::TreeStats;
 use crate::store::NodeStore;
 use crate::RowId;
 
+/// Outcome of one latched descent attempt.
+enum Descent {
+    /// The item was inserted; commit the count and finish.
+    Done,
+    /// A latch was contended (or the tree was restructured underneath us);
+    /// all latches were released — retry from the root.
+    Restart,
+}
+
 /// A disk-based space-partitioning tree, generalized over its external
 /// methods `O`.
 pub struct SpGistTree<O: SpGistOps> {
     ops: O,
     store: NodeStore,
     meta_page: PageId,
-    root: Option<NodeId>,
-    item_count: u64,
+    /// The root pointer, packed so readers load it with one atomic read and
+    /// writers flip it with one atomic store (under `meta_lock`).
+    root_cell: AtomicU64,
+    item_count: AtomicU64,
+    /// Serializes root-pointer flips, count updates and meta-page writes.
+    meta_lock: Mutex<()>,
+    /// Per-page writer latches for crabbing descents.
+    latches: LatchTable,
+    /// Inserts take this shared; delete/repack/bulk_build take it exclusive.
+    /// Readers never touch it.
+    write_gate: RwLock<()>,
+}
+
+/// Packs an optional root address into one word: bit 63 is the presence
+/// flag, bits 16..48 the page, bits 0..16 the slot.
+fn pack_root(root: Option<NodeId>) -> u64 {
+    match root {
+        None => 0,
+        Some(id) => (1 << 63) | (u64::from(id.page) << 16) | u64::from(id.slot),
+    }
+}
+
+fn unpack_root(cell: u64) -> Option<NodeId> {
+    if cell & (1 << 63) == 0 {
+        None
+    } else {
+        Some(NodeId::new((cell >> 16) as u32, cell as u16))
+    }
 }
 
 impl<O: SpGistOps> SpGistTree<O> {
@@ -35,15 +98,16 @@ impl<O: SpGistOps> SpGistTree<O> {
         let meta_page = pool.allocate_page()?;
         // Reserve slot 0 of the meta page for the tree descriptor.
         pool.with_page_mut(meta_page, |p| p.insert(&encode_meta(None, 0)))??;
-        let mut tree = SpGistTree {
+        Ok(SpGistTree {
             ops,
             store,
             meta_page,
-            root: None,
-            item_count: 0,
-        };
-        tree.write_meta()?;
-        Ok(tree)
+            root_cell: AtomicU64::new(pack_root(None)),
+            item_count: AtomicU64::new(0),
+            meta_lock: Mutex::new(()),
+            latches: LatchTable::new(),
+            write_gate: RwLock::new(()),
+        })
     }
 
     /// Re-opens a tree previously created on `pool` (or on the file behind
@@ -96,8 +160,11 @@ impl<O: SpGistOps> SpGistTree<O> {
             ops,
             store,
             meta_page,
-            root,
-            item_count,
+            root_cell: AtomicU64::new(pack_root(root)),
+            item_count: AtomicU64::new(item_count),
+            meta_lock: Mutex::new(()),
+            latches: LatchTable::new(),
+            write_gate: RwLock::new(()),
         })
     }
 
@@ -105,7 +172,7 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// Persist them alongside [`SpGistTree::meta_page`] and hand both back
     /// to [`SpGistTree::open_with_pages`] to reopen the tree with full
     /// ownership knowledge.
-    pub fn owned_pages(&self) -> &[PageId] {
+    pub fn owned_pages(&self) -> Vec<PageId> {
         self.store.pages()
     }
 
@@ -127,12 +194,22 @@ impl<O: SpGistOps> SpGistTree<O> {
 
     /// Number of items stored in the tree.
     pub fn len(&self) -> u64 {
-        self.item_count
+        self.item_count.load(Ordering::Relaxed)
     }
 
     /// True if the tree holds no items.
     pub fn is_empty(&self) -> bool {
-        self.item_count == 0
+        self.len() == 0
+    }
+
+    /// Latch and epoch counters for this tree: latch acquisitions and waits
+    /// from its crabbing writers, plus epoch pins, pin durations and the
+    /// retired-record backlog from its node store.  Counters are cumulative;
+    /// diff two snapshots with [`ConcurrencyStats::delta_since`].
+    pub fn concurrency_stats(&self) -> ConcurrencyStats {
+        let mut stats = self.store.epochs().stats();
+        self.latches.stats_into(&mut stats);
+        stats
     }
 
     // ------------------------------------------------------------------
@@ -140,22 +217,58 @@ impl<O: SpGistOps> SpGistTree<O> {
     // ------------------------------------------------------------------
 
     /// Inserts `(key, row)` into the tree.
-    pub fn insert(&mut self, key: O::Key, row: RowId) -> StorageResult<()> {
-        match self.root {
-            None => {
-                let leaf = Node::<O>::Leaf {
-                    items: vec![(key, row)],
-                };
-                let id = self.store.allocate(&leaf, Some(self.meta_page))?;
-                self.root = Some(id);
-            }
-            Some(root) => {
-                let ctx = self.ops.root_context();
-                self.insert_at(root, None, 0, &key, row, &ctx)?;
+    ///
+    /// Inserts crab page latches down the tree and run in parallel with
+    /// other inserts (and with all readers); on latch contention the descent
+    /// restarts from the root.
+    pub fn insert(&self, key: O::Key, row: RowId) -> StorageResult<()> {
+        let _gate = self.write_gate.read();
+        loop {
+            let mut latches = LatchSet::new(&self.latches);
+            match self.root() {
+                None => {
+                    // Serialize root creation on the meta page's latch.
+                    if !latches.acquire(self.meta_page) {
+                        continue;
+                    }
+                    if self.root().is_some() {
+                        continue; // another writer created the root first
+                    }
+                    let leaf = Node::<O>::Leaf {
+                        items: vec![(key.clone(), row)],
+                    };
+                    let id = self.store.allocate(&leaf, Some(self.meta_page))?;
+                    let _meta = self.meta_lock.lock();
+                    self.set_root(Some(id));
+                    self.item_count.fetch_add(1, Ordering::Relaxed);
+                    self.write_meta_locked()?;
+                    break;
+                }
+                Some(root) => {
+                    if !latches.acquire(root.page) {
+                        continue;
+                    }
+                    // Re-check under the latch: the root we captured may have
+                    // been relocated before we latched its page.
+                    if self.root() != Some(root) {
+                        continue;
+                    }
+                    let ctx = self.ops.root_context();
+                    match self.insert_at(root, None, 0, &key, row, &ctx, &mut latches)? {
+                        Descent::Done => {
+                            drop(latches);
+                            let _meta = self.meta_lock.lock();
+                            self.item_count.fetch_add(1, Ordering::Relaxed);
+                            self.write_meta_locked()?;
+                            break;
+                        }
+                        Descent::Restart => continue,
+                    }
+                }
             }
         }
-        self.item_count += 1;
-        self.write_meta()
+        // Opportunistically reclaim records retired past the oldest reader.
+        self.store.reclaim()
     }
 
     /// Inserts every `(key, row)` pair from an iterator, one
@@ -166,7 +279,7 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// behavior the equivalence tests compare against; to *load* a known
     /// data set, use [`SpGistTree::bulk_build`], which partitions the whole
     /// set top-down and writes each node exactly once.
-    pub fn insert_all<I>(&mut self, items: I) -> StorageResult<()>
+    pub fn insert_all<I>(&self, items: I) -> StorageResult<()>
     where
         I: IntoIterator<Item = (O::Key, RowId)>,
     {
@@ -192,8 +305,11 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// the insert loop (the tree *shape* may differ — and usually improves:
     /// data-driven classes split on medians, split-once classes decompose
     /// fully).
-    pub fn bulk_build(&mut self, items: Vec<(O::Key, RowId)>) -> StorageResult<TreeStats> {
-        if self.root.is_some() || self.item_count != 0 {
+    ///
+    /// [`BulkBuilder`]: crate::build::BulkBuilder
+    pub fn bulk_build(&self, items: Vec<(O::Key, RowId)>) -> StorageResult<TreeStats> {
+        let _gate = self.write_gate.write();
+        if self.root().is_some() || self.len() != 0 {
             return Err(StorageError::Unsupported(
                 "bulk_build requires an empty tree; use insert for incremental loads".into(),
             ));
@@ -208,28 +324,37 @@ impl<O: SpGistOps> SpGistTree<O> {
         // other tree's hot pages; point operations restore Normal below.
         self.store.set_access_hint(AccessHint::Scan);
         let result: StorageResult<_> = (|| {
-            let mut builder = crate::build::BulkBuilder::new(&self.ops, &mut self.store);
+            let mut builder = crate::build::BulkBuilder::new(&self.ops, &self.store);
             let root = builder.build_root(meta, items)?;
             let stats = builder.finish()?;
             Ok((root, stats))
         })();
         self.store.set_access_hint(AccessHint::Normal);
         let (root, stats) = result?;
-        self.root = Some(root);
-        self.item_count = logical;
-        self.write_meta()?;
+        {
+            let _meta = self.meta_lock.lock();
+            self.set_root(Some(root));
+            self.item_count.store(logical, Ordering::Relaxed);
+            self.write_meta_locked()?;
+        }
         Ok(stats)
     }
 
+    /// One latched descent step.  Invariant on entry: `latches` holds the
+    /// parent's page (when `parent` is `Some`) and `node_id`'s page, so this
+    /// node cannot be modified or relocated by another writer while we work
+    /// on it, and its parent pointer can be patched if *we* relocate it.
+    #[allow(clippy::too_many_arguments)]
     fn insert_at(
-        &mut self,
+        &self,
         node_id: NodeId,
         parent: Option<(NodeId, usize)>,
         level: u32,
         key: &O::Key,
         row: RowId,
         ctx: &O::Context,
-    ) -> StorageResult<()> {
+        latches: &mut LatchSet<'_>,
+    ) -> StorageResult<Descent> {
         let node: Node<O> = self.store.read(node_id)?;
         match node {
             Node::Leaf { mut items } => {
@@ -237,7 +362,7 @@ impl<O: SpGistOps> SpGistTree<O> {
                 items.push((key.clone(), row));
                 if items.len() <= cfg.bucket_size || level >= cfg.resolution {
                     self.write_node(node_id, &Node::Leaf { items }, parent)?;
-                    return Ok(());
+                    return Ok(Descent::Done);
                 }
                 // The data node is overfull: decompose it with PickSplit.
                 let keys: Vec<O::Key> = items.iter().map(|(k, _)| k.clone()).collect();
@@ -246,17 +371,32 @@ impl<O: SpGistOps> SpGistTree<O> {
                     // No further decomposition is possible (all keys identical
                     // or resolution exhausted); allow the oversized leaf.
                     self.write_node(node_id, &Node::Leaf { items }, parent)?;
-                    return Ok(());
+                    return Ok(Descent::Done);
                 }
+                // The replacement subtree is built in fresh, unlinked records
+                // (invisible to every other thread) and becomes reachable in
+                // one write of the old leaf's record.
                 let inner = self.build_split(node_id.page, &items, split, level, ctx)?;
                 self.write_node(node_id, &inner, parent)?;
-                Ok(())
+                Ok(Descent::Done)
             }
             Node::Inner { prefix, entries } => {
                 let preds: Vec<O::Pred> = entries.iter().map(|e| e.pred.clone()).collect();
                 match self.ops.choose(prefix.as_ref(), &preds, key, level) {
                     Choose::Descend(indices) => {
                         let delta = self.ops.descend_levels(prefix.as_ref());
+                        // Crab step: this node is where the descent continues,
+                        // so no ancestor can be affected anymore — release
+                        // them and let writers in other subtrees through.  A
+                        // multi-way descend (replicating PMR inserts) keeps
+                        // this node protected across its sub-descents, whose
+                        // own crab steps would otherwise release it.
+                        let multi = indices.len() > 1;
+                        if multi {
+                            latches.protect(node_id.page);
+                        }
+                        latches.retain(&[node_id.page]);
+                        let mut outcome = Descent::Done;
                         for idx in indices {
                             // Re-read the node: a child relocation during a
                             // previous iteration rewrites our child pointers.
@@ -280,16 +420,40 @@ impl<O: SpGistOps> SpGistTree<O> {
                             let child_ctx =
                                 self.ops
                                     .child_context(ctx, prefix.as_ref(), &entry.pred, level);
-                            self.insert_at(
+                            // Latch the child while still holding this node:
+                            // the child pointer we read stays valid until the
+                            // child is latched (relocating it requires *our*
+                            // latch).
+                            if !latches.acquire(child.page) {
+                                outcome = Descent::Restart;
+                                break;
+                            }
+                            let descent = self.insert_at(
                                 child,
                                 Some((node_id, idx)),
                                 level + delta,
                                 key,
                                 row,
                                 &child_ctx,
+                                latches,
                             )?;
+                            if multi {
+                                latches.retain(&[node_id.page]);
+                            }
+                            if matches!(descent, Descent::Restart) {
+                                // A restart mid-multi-descend re-runs the whole
+                                // insert; partitions already handled may end up
+                                // with an extra replica, which replicating
+                                // classes tolerate (cursors deduplicate by row
+                                // and delete_replicated removes every copy).
+                                outcome = Descent::Restart;
+                                break;
+                            }
                         }
-                        Ok(())
+                        if multi {
+                            latches.unprotect(node_id.page);
+                        }
+                        Ok(outcome)
                     }
                     Choose::AddEntry(pred) => {
                         let leaf = Node::<O>::Leaf {
@@ -299,7 +463,7 @@ impl<O: SpGistOps> SpGistTree<O> {
                         let mut entries = entries;
                         entries.push(Entry { pred, child });
                         self.write_node(node_id, &Node::Inner { prefix, entries }, parent)?;
-                        Ok(())
+                        Ok(Descent::Done)
                     }
                     Choose::SplitPrefix {
                         upper_prefix,
@@ -308,7 +472,8 @@ impl<O: SpGistOps> SpGistTree<O> {
                     } => {
                         // The existing node keeps its content but moves one
                         // level down; a new upper node takes its place (and
-                        // its NodeId, so the parent pointer stays valid).
+                        // usually its NodeId, so the parent pointer stays
+                        // valid).
                         let lower = Node::<O>::Inner {
                             prefix: lower_prefix,
                             entries,
@@ -322,8 +487,14 @@ impl<O: SpGistOps> SpGistTree<O> {
                             }],
                         };
                         let current = self.write_node(node_id, &upper, parent)?;
+                        // The restructure is complete and consistent; if the
+                        // relocated upper node's page cannot be latched, a
+                        // plain restart retries the insert against it.
+                        if !latches.acquire(current.page) {
+                            return Ok(Descent::Restart);
+                        }
                         // Retry the insertion at the restructured node.
-                        self.insert_at(current, parent, level, key, row, ctx)
+                        self.insert_at(current, parent, level, key, row, ctx, latches)
                     }
                 }
             }
@@ -335,7 +506,7 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// exceeds the bucket size, unless the instantiation uses the
     /// split-once / PMR rule).
     fn build_split(
-        &mut self,
+        &self,
         near: PageId,
         items: &[(O::Key, RowId)],
         split: PickSplit<O::Prefix, O::Pred>,
@@ -365,7 +536,7 @@ impl<O: SpGistOps> SpGistTree<O> {
     }
 
     fn build_subtree(
-        &mut self,
+        &self,
         near: PageId,
         items: Vec<(O::Key, RowId)>,
         level: u32,
@@ -384,11 +555,17 @@ impl<O: SpGistOps> SpGistTree<O> {
         self.store.allocate(&inner, Some(near))
     }
 
-    /// Writes `node` at `node_id`, relocating it if it no longer fits in its
-    /// page and fixing the parent (or root) pointer.  Returns the node's
-    /// current address.
+    /// Writes `node` at `node_id`, relocating it copy-on-write if it no
+    /// longer fits in its page and fixing the parent (or root) pointer.
+    /// Returns the node's current address.
+    ///
+    /// The caller must hold the page latches for `node_id` and the parent
+    /// (insert descents do; gate-exclusive paths hold the whole tree).  On
+    /// relocation the old record is retired only *after* the parent pointer
+    /// flips, so a reader pinned at any moment sees either the old record
+    /// (still intact) or the new one — never a dangling pointer.
     fn write_node(
-        &mut self,
+        &self,
         node_id: NodeId,
         node: &Node<O>,
         parent: Option<(NodeId, usize)>,
@@ -399,8 +576,9 @@ impl<O: SpGistOps> SpGistTree<O> {
             Some(new_id) => {
                 match parent {
                     None => {
-                        self.root = Some(new_id);
-                        self.write_meta()?;
+                        let _meta = self.meta_lock.lock();
+                        self.set_root(Some(new_id));
+                        self.write_meta_locked()?;
                     }
                     Some((parent_id, entry_idx)) => {
                         let mut parent_node: Node<O> = self.store.read(parent_id)?;
@@ -430,6 +608,7 @@ impl<O: SpGistOps> SpGistTree<O> {
                         }
                     }
                 }
+                self.store.retire_node(node_id)?;
                 Ok(new_id)
             }
         }
@@ -456,8 +635,13 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// stop early (`LIMIT`-style) without paying for the full result set.
     /// Items are yielded in the same order `search` returns them.
     ///
-    /// The cursor borrows the tree; to stream through a shared-access latch
-    /// instead, build the cursor from an owned guard with
+    /// The cursor takes no latches — it pins a reclamation epoch for its
+    /// lifetime, so concurrent writers proceed and the records it can reach
+    /// stay readable.  Keep cursors reasonably short-lived: the pinned epoch
+    /// delays physical reclamation of records retired after it opened.
+    ///
+    /// The cursor borrows the tree; to stream through an owning handle
+    /// (an `Arc`, say), build it from that handle with
     /// [`SearchCursor::over`].
     pub fn search_cursor(&self, query: O::Query) -> SearchCursor<&Self, O> {
         SearchCursor::over(self, query)
@@ -469,7 +653,10 @@ impl<O: SpGistOps> SpGistTree<O> {
         query: &O::Query,
         mut visit: impl FnMut(&O::Key, RowId),
     ) -> StorageResult<()> {
-        let Some(root) = self.root else {
+        // Pin before capturing the root: everything reachable from this root
+        // stays readable for the duration of the traversal.
+        let _pin = self.store.pin();
+        let Some(root) = self.root() else {
             return Ok(());
         };
         let mut stack = vec![(root, 0u32)];
@@ -506,8 +693,9 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// Incremental nearest-neighbour search (paper Section 5): returns an
     /// iterator yielding items in non-decreasing distance from `query`.
     ///
-    /// The iterator borrows the tree; to stream through a shared-access
-    /// latch instead, build it from an owned guard with [`NnIter::over`].
+    /// Like [`SpGistTree::search_cursor`], the iterator pins a reclamation
+    /// epoch instead of latching; it borrows the tree, and [`NnIter::over`]
+    /// builds one from an owning handle instead.
     pub fn nn_iter(&self, query: O::Query) -> NnIter<&Self, O> {
         NnIter::over(self, query)
     }
@@ -522,7 +710,7 @@ impl<O: SpGistOps> SpGistTree<O> {
     // ------------------------------------------------------------------
 
     /// Deletes the item `(key, row)`.  Returns `true` if an item was removed.
-    pub fn delete(&mut self, key: &O::Key, row: RowId) -> StorageResult<bool> {
+    pub fn delete(&self, key: &O::Key, row: RowId) -> StorageResult<bool> {
         self.delete_impl(key, row, false)
     }
 
@@ -535,7 +723,7 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// and leave the others reachable.  This method removes the first
     /// matching `(key, row)` occurrence from *every* leaf that holds one and
     /// decrements the item count once.
-    pub fn delete_replicated(&mut self, key: &O::Key, row: RowId) -> StorageResult<bool> {
+    pub fn delete_replicated(&self, key: &O::Key, row: RowId) -> StorageResult<bool> {
         self.delete_impl(key, row, true)
     }
 
@@ -543,20 +731,27 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// descent (the first matching item per leaf; one leaf, or every leaf
     /// when `all_replicas` is set), remove the occurrences, and count one
     /// logical removal.
-    fn delete_impl(&mut self, key: &O::Key, row: RowId, all_replicas: bool) -> StorageResult<bool> {
-        let Some(root) = self.root else {
+    ///
+    /// Deletion takes the write gate exclusively — it excludes other writers
+    /// (so its captured node addresses stay valid without crabbing) but not
+    /// readers, which epoch pins keep safe across the copy-on-write removal
+    /// rewrites.
+    fn delete_impl(&self, key: &O::Key, row: RowId, all_replicas: bool) -> StorageResult<bool> {
+        let _gate = self.write_gate.write();
+        let Some(root) = self.root() else {
             return Ok(false);
         };
         let query = self.ops.key_query(key);
-        let mut stack = vec![(root, 0u32)];
-        let mut targets: Vec<(NodeId, usize)> = Vec::new();
-        'outer: while let Some((node_id, level)) = stack.pop() {
+        type Parent = Option<(NodeId, usize)>;
+        let mut stack: Vec<(NodeId, u32, Parent)> = vec![(root, 0u32, None)];
+        let mut targets: Vec<(NodeId, usize, Parent)> = Vec::new();
+        'outer: while let Some((node_id, level, parent)) = stack.pop() {
             match self.store.read::<O>(node_id)? {
                 Node::Leaf { items } => {
                     for (idx, (k, r)) in items.iter().enumerate() {
                         if *r == row && self.ops.leaf_consistent(k, &query, level) {
-                            if !targets.iter().any(|(id, _)| *id == node_id) {
-                                targets.push((node_id, idx));
+                            if !targets.iter().any(|(id, _, _)| *id == node_id) {
+                                targets.push((node_id, idx, parent));
                             }
                             if !all_replicas {
                                 break 'outer;
@@ -572,12 +767,12 @@ impl<O: SpGistOps> SpGistTree<O> {
                         }
                     }
                     let delta = self.ops.descend_levels(prefix.as_ref());
-                    for entry in &entries {
+                    for (idx, entry) in entries.iter().enumerate() {
                         if self
                             .ops
                             .consistent(prefix.as_ref(), &entry.pred, &query, level)
                         {
-                            stack.push((entry.child, level + delta));
+                            stack.push((entry.child, level + delta, Some((node_id, idx))));
                         }
                     }
                 }
@@ -586,18 +781,22 @@ impl<O: SpGistOps> SpGistTree<O> {
         if targets.is_empty() {
             return Ok(false);
         }
-        for (leaf_id, item_idx) in targets {
+        for (leaf_id, item_idx, parent) in targets {
             let mut node: Node<O> = self.store.read(leaf_id)?;
             if let Node::Leaf { items } = &mut node {
                 items.remove(item_idx);
             }
-            // Shrinking updates stay in place (NodeStore falls back to chain
-            // format when an inline re-encoding would outgrow the old chain
-            // head record), so no parent pointer needs fixing here.
-            self.store.update(leaf_id, &node, None)?;
+            // Shrinking updates normally stay in place; when one relocates
+            // anyway, write_node fixes the captured parent pointer (valid
+            // under the exclusive gate — only leaves move here).
+            self.write_node(leaf_id, &node, parent)?;
         }
-        self.item_count -= 1;
-        self.write_meta()?;
+        {
+            let _meta = self.meta_lock.lock();
+            self.item_count.fetch_sub(1, Ordering::Relaxed);
+            self.write_meta_locked()?;
+        }
+        self.store.reclaim()?;
         Ok(true)
     }
 
@@ -616,39 +815,39 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// recursively.  Along any root-to-leaf path the number of page
     /// transitions is therefore roughly the node height divided by the depth
     /// of a subtree that fits in one page.  The logical tree is unchanged;
-    /// only the node→page mapping is rewritten.  Pages previously used by
-    /// the tree are returned to the pager's free list, so repeated repacking
-    /// reuses space instead of growing the file, and `stats().pages`
-    /// reflects the freshly packed layout.
-    pub fn repack(&mut self) -> StorageResult<()> {
-        let Some(root) = self.root else {
+    /// only the node→page mapping is rewritten.
+    ///
+    /// Repacking holds the write gate exclusively but never blocks readers:
+    /// the rebuilt layout goes into fresh pages, the root flips atomically,
+    /// and the old pages are *retired* — readers pinned on the old layout
+    /// keep traversing it until reclamation passes their epoch, after which
+    /// the pages return to the pager's free list for reuse.
+    pub fn repack(&self) -> StorageResult<()> {
+        let _gate = self.write_gate.write();
+        let Some(root) = self.root() else {
             return Ok(());
         };
-        let mut fresh = NodeStore::new(Arc::clone(self.store.pool()), self.ops.config().clustering);
+        // From here on every placement goes to freshly allocated pages.
+        let old_pages = self.store.begin_repack();
         // The repack reads the old layout once and writes the new one once:
         // a two-sided sweep that must not displace the pool's hot set.
-        fresh.set_access_hint(AccessHint::Scan);
-        let new_root = Self::repack_group(&self.store, &mut fresh, root)?;
-        fresh.set_access_hint(AccessHint::Normal);
-        let old = std::mem::replace(&mut self.store, fresh);
-        self.root = Some(new_root);
-        self.write_meta()?;
-        // Every node now lives in the fresh store; hand the old layout's
-        // pages back for reuse by subsequent allocations.
-        for &page in old.pages() {
-            self.store.pool().free_page(page)?;
+        self.store.set_access_hint(AccessHint::Scan);
+        let result = Self::repack_group(&self.store, root);
+        self.store.set_access_hint(AccessHint::Normal);
+        let new_root = result?;
+        {
+            let _meta = self.meta_lock.lock();
+            self.set_root(Some(new_root));
+            self.write_meta_locked()?;
         }
-        Ok(())
+        self.store.finish_repack(&old_pages);
+        self.store.reclaim()
     }
 
     /// Packs the subtree rooted at `old_root` into one fresh page (breadth
     /// first, as many nodes as fit) and recursively packs the subtrees that
     /// spill over.  Returns the new address of the subtree root.
-    fn repack_group(
-        old: &NodeStore,
-        fresh: &mut NodeStore,
-        old_root: NodeId,
-    ) -> StorageResult<NodeId> {
+    fn repack_group(store: &NodeStore, old_root: NodeId) -> StorageResult<NodeId> {
         use std::collections::{HashMap, VecDeque};
 
         // Phase 1: breadth-first selection of the nodes this page will hold.
@@ -664,7 +863,7 @@ impl<O: SpGistOps> SpGistTree<O> {
             if in_group.contains_key(&id) {
                 continue;
             }
-            let node: Node<O> = old.read_hinted(id, AccessHint::Scan)?;
+            let node: Node<O> = store.read_hinted(id, AccessHint::Scan)?;
             let cost = node.encode().len() + 5;
             if !group.is_empty() && used + cost > PAGE_BUDGET {
                 // The root always goes in (a single node is guaranteed to
@@ -684,10 +883,10 @@ impl<O: SpGistOps> SpGistTree<O> {
         // Phase 2: materialize the group in one fresh page (placeholders keep
         // the final size because child pointers are fixed-width), recursively
         // pack the spilled subtrees, then patch the child pointers in place.
-        let page = fresh.fresh_page()?;
+        let page = store.fresh_page()?;
         let mut new_ids = Vec::with_capacity(group.len());
         for (_, node) in &group {
-            new_ids.push(fresh.allocate_in_page(node, page)?);
+            new_ids.push(store.allocate_in_page(node, page)?);
         }
         for (idx, (_, node)) in group.iter().enumerate() {
             let Node::Inner { prefix, entries } = node else {
@@ -697,7 +896,7 @@ impl<O: SpGistOps> SpGistTree<O> {
             for entry in entries {
                 let child = match in_group.get(&entry.child) {
                     Some(&member) => new_ids[member],
-                    None => Self::repack_group(old, fresh, entry.child)?,
+                    None => Self::repack_group(store, entry.child)?,
                 };
                 new_entries.push(Entry {
                     pred: entry.pred.clone(),
@@ -708,7 +907,7 @@ impl<O: SpGistOps> SpGistTree<O> {
                 prefix: prefix.clone(),
                 entries: new_entries,
             };
-            if fresh.update(new_ids[idx], &patched, None)?.is_some() {
+            if store.update(new_ids[idx], &patched, None)?.is_some() {
                 return Err(StorageError::Corrupt(
                     "repacked inner node changed size while patching child pointers".into(),
                 ));
@@ -723,13 +922,14 @@ impl<O: SpGistOps> SpGistTree<O> {
 
     /// Gathers size and height statistics by traversing the whole tree.
     pub fn stats(&self) -> StorageResult<TreeStats> {
+        let _pin = self.store.pin();
         let mut stats = TreeStats {
             pages: self.store.page_count() as u64,
             size_bytes: self.store.size_bytes(),
             utilization: self.store.utilization()?,
             ..TreeStats::default()
         };
-        let Some(root) = self.root else {
+        let Some(root) = self.root() else {
             return Ok(stats);
         };
         // Depth-first traversal tracking (node depth, pages on path).
@@ -767,8 +967,11 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// pages it allocated in this session; trees built (or repacked) in the
     /// current session free everything.
     pub fn destroy(self) -> StorageResult<()> {
+        // Consuming the tree proves no reader pins remain, so the retired
+        // backlog drains completely before the pages go back.
+        self.store.reclaim()?;
         let pool = Arc::clone(self.store.pool());
-        for &page in self.store.pages() {
+        for page in self.store.pages() {
             pool.free_page(page)?;
         }
         pool.free_page(self.meta_page)
@@ -783,11 +986,17 @@ impl<O: SpGistOps> SpGistTree<O> {
     }
 
     pub(crate) fn root(&self) -> Option<NodeId> {
-        self.root
+        unpack_root(self.root_cell.load(Ordering::Acquire))
     }
 
-    fn write_meta(&mut self) -> StorageResult<()> {
-        let bytes = encode_meta(self.root, self.item_count);
+    /// Only under `meta_lock`.
+    fn set_root(&self, root: Option<NodeId>) {
+        self.root_cell.store(pack_root(root), Ordering::Release);
+    }
+
+    /// Writes the meta record; the caller holds `meta_lock`.
+    fn write_meta_locked(&self) -> StorageResult<()> {
+        let bytes = encode_meta(self.root(), self.len());
         self.store
             .pool()
             .with_page_mut(self.meta_page, |p| p.update(0, &bytes))??;
@@ -800,11 +1009,12 @@ impl<O: SpGistOps> SpGistTree<O> {
 ///
 /// The cursor is generic over *how it holds the tree*: any `T` that
 /// dereferences to the tree works, so a plain `&SpGistTree` gives the
-/// classic borrowing cursor while a read-latch guard
-/// (`RwLockReadGuard<'_, SpGistTree<O>>`) gives a cursor that keeps the
-/// tree latched for shared access until it is dropped — the mechanism the
-/// index wrappers use to stream query results while concurrent writers
-/// wait.
+/// classic borrowing cursor while an `Arc<SpGistTree>` gives a cursor that
+/// owns a handle and can outlive the borrow — the mechanism the index
+/// wrappers use to stream query results.  Either way the cursor holds no
+/// latch: it pins a reclamation epoch at creation, so concurrent writers
+/// proceed while everything reachable from the captured root stays
+/// readable.
 ///
 /// Yields `StorageResult<(key, row)>`: a page read can fail mid-scan, and a
 /// streaming iterator has nowhere else to surface that.  After the first
@@ -823,6 +1033,9 @@ where
     pending: std::vec::IntoIter<(O::Key, RowId)>,
     /// Hint attached to every page fetch this cursor makes.
     hint: AccessHint,
+    /// Keeps every record reachable from the captured root readable for the
+    /// cursor's lifetime.
+    _pin: EpochPin,
     done: bool,
 }
 
@@ -831,17 +1044,20 @@ where
     T: std::ops::Deref<Target = SpGistTree<O>>,
     O: SpGistOps,
 {
-    /// Builds a cursor from any owned or borrowed handle on a tree.  With a
-    /// latch guard as the handle, the latch is held for the cursor's
-    /// lifetime.
+    /// Builds a cursor from any owned or borrowed handle on a tree.  The
+    /// cursor pins a reclamation epoch (never a latch) for its lifetime.
     pub fn over(tree: T, query: O::Query) -> Self {
-        let stack = tree.root.map(|root| vec![(root, 0)]).unwrap_or_default();
+        // Pin first, then capture the root: records retired after this point
+        // outlive the pin, so the captured root stays traversable.
+        let pin = tree.store.pin();
+        let stack = tree.root().map(|root| vec![(root, 0)]).unwrap_or_default();
         SearchCursor {
             tree,
             query,
             stack,
             pending: Vec::new().into_iter(),
             hint: AccessHint::Normal,
+            _pin: pin,
             done: false,
         }
     }
@@ -926,8 +1142,8 @@ where
 impl<O: SpGistOps> std::fmt::Debug for SpGistTree<O> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SpGistTree")
-            .field("items", &self.item_count)
-            .field("root", &self.root)
+            .field("items", &self.len())
+            .field("root", &self.root())
             .field("meta_page", &self.meta_page)
             .finish()
     }
@@ -978,6 +1194,19 @@ mod tests {
     }
 
     #[test]
+    fn root_codec_roundtrip() {
+        let cases = [
+            None,
+            Some(NodeId::new(0, 0)),
+            Some(NodeId::new(7, 3)),
+            Some(NodeId::new(u32::MAX, u16::MAX)),
+        ];
+        for root in cases {
+            assert_eq!(unpack_root(pack_root(root)), root);
+        }
+    }
+
+    #[test]
     fn empty_tree_has_no_matches() {
         let tree = new_tree();
         assert!(tree.is_empty());
@@ -987,7 +1216,7 @@ mod tests {
 
     #[test]
     fn insert_and_exact_search() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         for key in [1u32, 12, 123, 1234, 2, 23, 42, 421, 4242] {
             tree.insert(key, u64::from(key) * 10).unwrap();
         }
@@ -999,7 +1228,7 @@ mod tests {
 
     #[test]
     fn duplicate_keys_are_all_returned() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         tree.insert(77, 1).unwrap();
         tree.insert(77, 2).unwrap();
         tree.insert(77, 3).unwrap();
@@ -1015,7 +1244,7 @@ mod tests {
 
     #[test]
     fn splits_produce_searchable_tree() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         // Far more keys than one bucket: forces repeated PickSplit calls.
         for key in 0..500u32 {
             tree.insert(key, u64::from(key)).unwrap();
@@ -1034,7 +1263,7 @@ mod tests {
 
     #[test]
     fn delete_removes_only_the_requested_row() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         for key in 0..100u32 {
             tree.insert(key, u64::from(key)).unwrap();
         }
@@ -1050,7 +1279,7 @@ mod tests {
 
     #[test]
     fn stats_track_pages_and_heights() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         for key in 0..2000u32 {
             tree.insert(key, u64::from(key)).unwrap();
         }
@@ -1068,14 +1297,14 @@ mod tests {
         let keys: Vec<u32> = (0..3000).collect();
 
         let clustered_cfg = DigitTrieOps::default().config();
-        let mut clustered = SpGistTree::create(
+        let clustered = SpGistTree::create(
             BufferPool::in_memory(),
             DigitTrieOps::with_config(clustered_cfg),
         )
         .unwrap();
 
         let naive_cfg = clustered_cfg.with_clustering(ClusteringPolicy::NewPagePerNode);
-        let mut naive = SpGistTree::create(
+        let naive = SpGistTree::create(
             BufferPool::in_memory(),
             DigitTrieOps::with_config(naive_cfg),
         )
@@ -1102,7 +1331,7 @@ mod tests {
 
     #[test]
     fn repack_preserves_contents_and_reduces_page_height() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         for key in 0..5000u32 {
             tree.insert(key, u64::from(key)).unwrap();
         }
@@ -1130,7 +1359,7 @@ mod tests {
     #[test]
     fn repack_returns_old_pages_for_reuse() {
         let pool = BufferPool::in_memory();
-        let mut tree = SpGistTree::create(Arc::clone(&pool), DigitTrieOps::default()).unwrap();
+        let tree = SpGistTree::create(Arc::clone(&pool), DigitTrieOps::default()).unwrap();
         for key in 0..3000u32 {
             tree.insert(key, u64::from(key)).unwrap();
         }
@@ -1169,10 +1398,10 @@ mod tests {
 
     #[test]
     fn insert_all_matches_individual_inserts() {
-        let mut bulk = new_tree();
+        let bulk = new_tree();
         bulk.insert_all((0..200u32).map(|k| (k, u64::from(k))))
             .unwrap();
-        let mut single = new_tree();
+        let single = new_tree();
         for k in 0..200u32 {
             single.insert(k, u64::from(k)).unwrap();
         }
@@ -1184,9 +1413,9 @@ mod tests {
     #[test]
     fn bulk_build_matches_insert_loop_results() {
         let items: Vec<(u32, u64)> = (0..2500u32).map(|k| (k, u64::from(k))).collect();
-        let mut bulk = new_tree();
+        let bulk = new_tree();
         let build_stats = bulk.bulk_build(items.clone()).unwrap();
-        let mut loop_tree = new_tree();
+        let loop_tree = new_tree();
         loop_tree.insert_all(items).unwrap();
 
         assert_eq!(bulk.len(), loop_tree.len());
@@ -1210,7 +1439,7 @@ mod tests {
 
     #[test]
     fn bulk_build_requires_an_empty_tree() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         tree.insert(1, 1).unwrap();
         assert!(tree.bulk_build(vec![(2, 2)]).is_err());
         // The failed build leaves the tree untouched.
@@ -1220,7 +1449,7 @@ mod tests {
 
     #[test]
     fn bulk_build_of_nothing_is_a_noop() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         let stats = tree.bulk_build(Vec::new()).unwrap();
         assert_eq!(stats.items, 0);
         assert!(tree.is_empty());
@@ -1230,7 +1459,7 @@ mod tests {
 
     #[test]
     fn bulk_build_handles_all_equal_keys() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         let stats = tree
             .bulk_build((0..300).map(|row| (42u32, row as u64)).collect())
             .unwrap();
@@ -1275,7 +1504,7 @@ mod tests {
         };
 
         let loop_pool = bounded_pool();
-        let mut loop_tree =
+        let loop_tree =
             SpGistTree::create(Arc::clone(&loop_pool), DigitTrieOps::default()).unwrap();
         loop_pool.reset_stats();
         loop_tree.insert_all(items.clone()).unwrap();
@@ -1283,7 +1512,7 @@ mod tests {
         let loop_writes = loop_pool.stats().physical_writes;
 
         let bulk_pool = bounded_pool();
-        let mut bulk_tree =
+        let bulk_tree =
             SpGistTree::create(Arc::clone(&bulk_pool), DigitTrieOps::default()).unwrap();
         bulk_pool.reset_stats();
         bulk_tree.bulk_build(items).unwrap();
@@ -1313,7 +1542,7 @@ mod tests {
                     ..Default::default()
                 },
             ));
-            let mut tree = SpGistTree::create(pool.clone(), DigitTrieOps::default()).unwrap();
+            let tree = SpGistTree::create(pool.clone(), DigitTrieOps::default()).unwrap();
             for key in 0..300u32 {
                 tree.insert(key, u64::from(key)).unwrap();
             }
@@ -1339,7 +1568,7 @@ mod tests {
 
     #[test]
     fn nn_search_orders_by_distance() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         for key in [10u32, 20, 30, 40, 500, 600, 9000] {
             tree.insert(key, u64::from(key)).unwrap();
         }
@@ -1359,7 +1588,7 @@ mod tests {
                 ..Default::default()
             },
         ));
-        let mut tree = SpGistTree::create(pool, DigitTrieOps::default()).unwrap();
+        let tree = SpGistTree::create(pool, DigitTrieOps::default()).unwrap();
         for key in 0..1500u32 {
             tree.insert(key, u64::from(key)).unwrap();
         }
@@ -1372,7 +1601,7 @@ mod tests {
 
     #[test]
     fn search_cursor_streams_the_same_results_as_search() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         for key in 0..800u32 {
             tree.insert(key, u64::from(key)).unwrap();
         }
@@ -1397,7 +1626,7 @@ mod tests {
 
     #[test]
     fn delete_replicated_removes_item_and_counts_once() {
-        let mut tree = new_tree();
+        let tree = new_tree();
         for key in 0..50u32 {
             tree.insert(key, u64::from(key)).unwrap();
         }
@@ -1418,5 +1647,80 @@ mod tests {
             let bytes = encode_meta(root, count);
             assert_eq!(decode_meta(&bytes).unwrap(), (root, count));
         }
+    }
+
+    #[test]
+    fn open_cursor_does_not_block_writers() {
+        // Under the old tree-wide RwLock this was impossible: insert took
+        // `&mut self`, so a live cursor (holding the shared borrow) excluded
+        // every writer.  Now the cursor pins an epoch and writers proceed.
+        let tree = new_tree();
+        for key in 0..300u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        let mut cursor = tree.search_cursor(42);
+        assert_eq!(cursor.next().unwrap().unwrap(), (42, 42));
+        // Churn the tree hard while the cursor is live: splits relocate and
+        // retire records, but the pinned epoch keeps the cursor's view
+        // readable.
+        for key in 300..900u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        assert!(cursor.next().is_none());
+        drop(cursor);
+        // With the pin gone, the next writer drains the retired backlog.
+        tree.insert(900, 900).unwrap();
+        assert_eq!(tree.concurrency_stats().retired_backlog, 0);
+        assert_eq!(tree.len(), 901);
+    }
+
+    #[test]
+    fn two_writers_splitting_shared_leaves_lose_no_inserts() {
+        // Deterministic collision workload: both threads insert interleaved
+        // keys (evens vs odds) that land in the same prefix partitions, so
+        // every leaf split is contended.  Starting from an empty tree also
+        // exercises the racy root creation.
+        let tree = Arc::new(new_tree());
+        let barrier = Arc::new(std::sync::Barrier::new(2));
+        let handles: Vec<_> = (0..2u32)
+            .map(|t| {
+                let tree = Arc::clone(&tree);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    barrier.wait();
+                    for i in 0..400u32 {
+                        let key = i * 2 + t;
+                        tree.insert(key, u64::from(key)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(tree.len(), 800, "no insert may be lost");
+        for key in 0..800u32 {
+            assert_eq!(
+                tree.search(&key).unwrap(),
+                vec![(key, u64::from(key))],
+                "key {key} must be reachable"
+            );
+        }
+        let stats = tree.stats().unwrap();
+        assert_eq!(stats.items, 800);
+    }
+
+    #[test]
+    fn concurrency_stats_count_latches_and_pins() {
+        let tree = new_tree();
+        for key in 0..200u32 {
+            tree.insert(key, u64::from(key)).unwrap();
+        }
+        let _ = tree.search(&5).unwrap();
+        let stats = tree.concurrency_stats();
+        assert!(stats.latch_acquisitions > 0, "inserts crab page latches");
+        assert!(stats.epoch_pins > 0, "searches pin epochs");
+        assert_eq!(stats.active_pins, 0, "no cursor is live");
+        assert_eq!(stats.retired_backlog, 0, "unpinned retires drain");
     }
 }

@@ -12,7 +12,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
@@ -259,7 +258,7 @@ impl SpGistOps for KdTreeOps {
 /// `stats`, `repack`) comes from the [`SpIndex`] trait; the inherent
 /// methods below are thin operator sugar (`@`, `^`, `@@`).
 pub struct KdTreeIndex {
-    tree: RwLock<SpGistTree<KdTreeOps>>,
+    tree: Arc<SpGistTree<KdTreeOps>>,
 }
 
 impl SpGistBacked for KdTreeIndex {
@@ -267,12 +266,12 @@ impl SpGistBacked for KdTreeIndex {
 
     const ORDERED_SCANS: bool = true;
 
-    fn latch(&self) -> &RwLock<SpGistTree<KdTreeOps>> {
+    fn backing(&self) -> &Arc<SpGistTree<KdTreeOps>> {
         &self.tree
     }
 
-    fn into_backing_tree(self) -> SpGistTree<KdTreeOps> {
-        self.tree.into_inner()
+    fn into_backing_tree(self) -> Arc<SpGistTree<KdTreeOps>> {
+        self.tree
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
@@ -290,7 +289,7 @@ impl KdTreeIndex {
     /// Creates a kd-tree with explicit parameters.
     pub fn with_ops(pool: Arc<BufferPool>, ops: KdTreeOps) -> StorageResult<Self> {
         Ok(KdTreeIndex {
-            tree: RwLock::new(SpGistTree::create(pool, ops)?),
+            tree: Arc::new(SpGistTree::create(pool, ops)?),
         })
     }
 
@@ -303,7 +302,7 @@ impl KdTreeIndex {
         pages: Vec<PageId>,
     ) -> StorageResult<Self> {
         Ok(KdTreeIndex {
-            tree: RwLock::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
+            tree: Arc::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
         })
     }
 
@@ -319,12 +318,13 @@ impl KdTreeIndex {
 
     /// `@@` operator: the `k` nearest points to `query`, nearest first.
     pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Point, RowId, f64)>> {
-        self.tree.read().nn_search(PointQuery::Nearest(query), k)
+        self.tree.nn_search(PointQuery::Nearest(query), k)
     }
 
-    /// Shared (read-latched) access to the underlying generalized tree.
-    pub fn tree(&self) -> parking_lot::RwLockReadGuard<'_, SpGistTree<KdTreeOps>> {
-        self.tree.read()
+    /// The underlying generalized tree (internally concurrent; share the
+    /// `Arc` to read or write from any thread).
+    pub fn tree(&self) -> &Arc<SpGistTree<KdTreeOps>> {
+        &self.tree
     }
 }
 

@@ -14,7 +14,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
@@ -224,7 +223,7 @@ impl SpGistOps for PmrQuadtreeOps {
 /// once-per-insert — segments entirely outside the world rectangle are
 /// parked in the first quadrant exactly as the insert path parks them.
 pub struct PmrQuadtreeIndex {
-    tree: RwLock<SpGistTree<PmrQuadtreeOps>>,
+    tree: Arc<SpGistTree<PmrQuadtreeOps>>,
 }
 
 impl SpGistBacked for PmrQuadtreeIndex {
@@ -233,12 +232,12 @@ impl SpGistBacked for PmrQuadtreeIndex {
     const DEDUPE_ROWS: bool = true;
     const ORDERED_SCANS: bool = true;
 
-    fn latch(&self) -> &RwLock<SpGistTree<PmrQuadtreeOps>> {
+    fn backing(&self) -> &Arc<SpGistTree<PmrQuadtreeOps>> {
         &self.tree
     }
 
-    fn into_backing_tree(self) -> SpGistTree<PmrQuadtreeOps> {
-        self.tree.into_inner()
+    fn into_backing_tree(self) -> Arc<SpGistTree<PmrQuadtreeOps>> {
+        self.tree
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
@@ -246,7 +245,7 @@ impl SpGistBacked for PmrQuadtreeIndex {
     }
 
     fn delete_key(&self, segment: &Segment, row: RowId) -> StorageResult<bool> {
-        self.tree.write().delete_replicated(segment, row)
+        self.tree.delete_replicated(segment, row)
     }
 }
 
@@ -260,7 +259,7 @@ impl PmrQuadtreeIndex {
     /// Creates a PMR quadtree with explicit parameters.
     pub fn with_ops(pool: Arc<BufferPool>, ops: PmrQuadtreeOps) -> StorageResult<Self> {
         Ok(PmrQuadtreeIndex {
-            tree: RwLock::new(SpGistTree::create(pool, ops)?),
+            tree: Arc::new(SpGistTree::create(pool, ops)?),
         })
     }
 
@@ -274,14 +273,14 @@ impl PmrQuadtreeIndex {
         pages: Vec<PageId>,
     ) -> StorageResult<Self> {
         Ok(PmrQuadtreeIndex {
-            tree: RwLock::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
+            tree: Arc::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
         })
     }
 
     /// The world rectangle this index decomposes (persisted by the durable
     /// catalog).
     pub fn world(&self) -> Rect {
-        self.tree.read().ops().world()
+        self.tree.ops().world()
     }
 
     /// Exact-match query: rows whose segment equals `segment`.
@@ -306,8 +305,8 @@ impl PmrQuadtreeIndex {
     /// surface out of order.
     pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Segment, RowId, f64)>> {
         let mut seen = std::collections::HashSet::new();
-        let tree = self.tree.read();
-        tree.nn_iter(SegmentQuery::Nearest(query))
+        self.tree
+            .nn_iter(SegmentQuery::Nearest(query))
             .filter(|item| match item {
                 Ok((_, row, _)) => seen.insert(*row),
                 Err(_) => true,
@@ -316,9 +315,10 @@ impl PmrQuadtreeIndex {
             .collect()
     }
 
-    /// Shared (read-latched) access to the underlying generalized tree.
-    pub fn tree(&self) -> parking_lot::RwLockReadGuard<'_, SpGistTree<PmrQuadtreeOps>> {
-        self.tree.read()
+    /// The underlying generalized tree (internally concurrent; share the
+    /// `Arc` to read or write from any thread).
+    pub fn tree(&self) -> &Arc<SpGistTree<PmrQuadtreeOps>> {
+        &self.tree
     }
 }
 

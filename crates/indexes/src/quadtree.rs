@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
@@ -270,7 +269,7 @@ impl SpGistOps for PointQuadtreeOps {
 /// `stats`, `repack`) comes from the [`SpIndex`] trait; the inherent
 /// methods below are thin operator sugar (`@`, `^`, `@@`).
 pub struct PointQuadtreeIndex {
-    tree: RwLock<SpGistTree<PointQuadtreeOps>>,
+    tree: Arc<SpGistTree<PointQuadtreeOps>>,
 }
 
 impl SpGistBacked for PointQuadtreeIndex {
@@ -278,12 +277,12 @@ impl SpGistBacked for PointQuadtreeIndex {
 
     const ORDERED_SCANS: bool = true;
 
-    fn latch(&self) -> &RwLock<SpGistTree<PointQuadtreeOps>> {
+    fn backing(&self) -> &Arc<SpGistTree<PointQuadtreeOps>> {
         &self.tree
     }
 
-    fn into_backing_tree(self) -> SpGistTree<PointQuadtreeOps> {
-        self.tree.into_inner()
+    fn into_backing_tree(self) -> Arc<SpGistTree<PointQuadtreeOps>> {
+        self.tree
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
@@ -300,7 +299,7 @@ impl PointQuadtreeIndex {
     /// Creates a point quadtree with explicit parameters.
     pub fn with_ops(pool: Arc<BufferPool>, ops: PointQuadtreeOps) -> StorageResult<Self> {
         Ok(PointQuadtreeIndex {
-            tree: RwLock::new(SpGistTree::create(pool, ops)?),
+            tree: Arc::new(SpGistTree::create(pool, ops)?),
         })
     }
 
@@ -314,7 +313,7 @@ impl PointQuadtreeIndex {
         pages: Vec<PageId>,
     ) -> StorageResult<Self> {
         Ok(PointQuadtreeIndex {
-            tree: RwLock::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
+            tree: Arc::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
         })
     }
 
@@ -330,12 +329,13 @@ impl PointQuadtreeIndex {
 
     /// `@@` operator: the `k` nearest points to `query`, nearest first.
     pub fn nearest(&self, query: Point, k: usize) -> StorageResult<Vec<(Point, RowId, f64)>> {
-        self.tree.read().nn_search(PointQuery::Nearest(query), k)
+        self.tree.nn_search(PointQuery::Nearest(query), k)
     }
 
-    /// Shared (read-latched) access to the underlying generalized tree.
-    pub fn tree(&self) -> parking_lot::RwLockReadGuard<'_, SpGistTree<PointQuadtreeOps>> {
-        self.tree.read()
+    /// The underlying generalized tree (internally concurrent; share the
+    /// `Arc` to read or write from any thread).
+    pub fn tree(&self) -> &Arc<SpGistTree<PointQuadtreeOps>> {
+        &self.tree
     }
 }
 

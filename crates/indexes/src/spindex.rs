@@ -17,14 +17,16 @@
 //! deduplicate result rows).
 //!
 //! **Shared access.** Every index is usable from many threads through a
-//! plain `&self`: the wrapper holds its tree behind a reader-writer latch
-//! (`parking_lot::RwLock`), updates (`insert` / `delete` / `repack`) take
-//! the write latch internally, and queries take a read latch that the
-//! returned [`Cursor`] *holds for its lifetime* — a streaming scan sees one
-//! consistent tree, concurrent readers share the latch, and writers wait
-//! until the last cursor is dropped.  There is no isolation beyond one
-//! latch acquisition: two inserts interleave freely, and a cursor opened
-//! after a write sees it.
+//! plain `&self`: the backing [`SpGistTree`] is itself concurrent — writers
+//! crab per-page latches down the tree and run in parallel on disjoint
+//! subtrees, while queries take *no* latch at all.  A returned [`Cursor`]
+//! pins a reclamation epoch for its lifetime: every record it can reach
+//! stays readable while concurrent writers proceed, and writers never wait
+//! for cursors.  Reads are snapshot-ish, not serializable — a long scan
+//! always sees a valid tree but may observe some effects of writes that
+//! committed after it started; a cursor opened after a write sees it.
+//! Statement-level atomicity across several indexes of one table is the
+//! catalog layer's job, not the wrapper's.
 //!
 //! Query results stream through a [`Cursor`] — an iterator over
 //! `StorageResult<(key, row)>` — rather than a materialized `Vec`, so an
@@ -33,7 +35,6 @@
 use std::collections::HashSet;
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use spgist_core::{NnIter, RowId, SearchCursor, SpGistConfig, SpGistOps, SpGistTree, TreeStats};
 use spgist_storage::{BufferPool, PageId, StorageResult};
 
@@ -99,9 +100,10 @@ impl<K> std::fmt::Debug for Cursor<'_, K> {
 ///
 /// All five wrappers implement this trait (through the [`SpGistBacked`]
 /// blanket impl), so one generic function can build, maintain and query any
-/// of them.  Every method takes `&self`: updates latch the backing tree for
-/// writing internally, so an index shared behind an `Arc` serves concurrent
-/// readers and writers.
+/// of them.  Every method takes `&self`: the backing tree crabs page
+/// latches for updates and serves queries latch-free under epoch
+/// protection, so an index shared behind an `Arc` serves concurrent
+/// readers and writers without blocking reads.
 ///
 /// ```
 /// use spgist_indexes::{SpIndex, TrieIndex, StringQuery};
@@ -127,12 +129,14 @@ pub trait SpIndex {
     where
         Self: Sized;
 
-    /// Inserts one `(key, row)` item (write latch held internally).
+    /// Inserts one `(key, row)` item (page latches crabbed internally).
     fn insert(&self, key: Self::Key, row: RowId) -> StorageResult<()>;
 
-    /// Inserts a batch of `(key, row)` items under **one** write-latch
-    /// acquisition — the DML-statement form of [`SpIndex::insert`].  A
-    /// concurrent cursor sees either none or all of the batch.
+    /// Inserts a batch of `(key, row)` items — the DML-statement form of
+    /// [`SpIndex::insert`].  The batch is *not* atomic with respect to
+    /// concurrent cursors (readers are never blocked); callers needing
+    /// statement atomicity serialize at a higher layer, as the catalog's
+    /// per-table DML lock does.
     fn insert_batch(&self, items: Vec<(Self::Key, RowId)>) -> StorageResult<()>;
 
     /// Builds the index from the full `(key, row)` set in one pass — the
@@ -142,7 +146,7 @@ pub trait SpIndex {
     /// set top-down with `picksplit` and writes each node exactly once;
     /// wrappers with expanded representations translate first (the suffix
     /// tree turns words into suffixes).  Requires an **empty** index and
-    /// holds the write latch for the whole build.  Returns the
+    /// excludes other writers for the whole build.  Returns the
     /// [`TreeStats`] accumulated during the build.
     ///
     /// Query results are identical to loading the same items through
@@ -151,15 +155,16 @@ pub trait SpIndex {
     fn bulk_build(&self, items: Vec<(Self::Key, RowId)>) -> StorageResult<TreeStats>;
 
     /// Deletes one `(key, row)` item; returns whether something was removed
-    /// (write latch held internally).
+    /// (other writers are excluded internally; readers proceed).
     fn delete(&self, key: &Self::Key, row: RowId) -> StorageResult<bool>;
 
     /// Runs `query`, returning a streaming [`Cursor`] over the matches.
     ///
-    /// The cursor holds a read latch on the backing tree for its lifetime:
-    /// concurrent cursors stream in parallel, while writers block until the
-    /// cursor is dropped.  Drop (or fully drain) cursors promptly on
-    /// write-heavy paths.
+    /// The cursor takes no latch: it pins a reclamation epoch on the
+    /// backing tree for its lifetime, so concurrent cursors and writers all
+    /// proceed.  A live cursor only delays *physical reclamation* of
+    /// records retired after it opened, so drop (or fully drain) cursors
+    /// reasonably promptly to bound that backlog.
     fn cursor(&self, query: &Self::Query) -> StorageResult<Cursor<'_, Self::Key>>;
 
     /// Runs `query` as an *ordered* scan: a streaming [`Cursor`] that yields
@@ -203,8 +208,9 @@ pub trait SpIndex {
     fn config(&self) -> SpGistConfig;
 
     /// Re-clusters the backing tree into fresh pages to minimize page
-    /// height (see [`SpGistTree::repack`]); the write latch is held for the
-    /// whole rewrite.
+    /// height (see [`SpGistTree::repack`]); other writers are excluded for
+    /// the whole rewrite, while readers keep traversing the old layout
+    /// until the root flips.
     fn repack(&self) -> StorageResult<()>;
 
     /// Consumes the index and releases every page it owns back to the
@@ -216,11 +222,11 @@ pub trait SpIndex {
 
 /// Glue between a concrete wrapper and the [`SpIndex`] blanket impl.
 ///
-/// A wrapper states how to reach the reader-writer latch around its backing
-/// [`SpGistTree`] and overrides only the hooks where its semantics differ
-/// from plain tree delegation.  Everything else — latch discipline, cursor
-/// construction, statistics, repacking — is written once in the blanket
-/// impl.
+/// A wrapper states how to reach its backing [`SpGistTree`] (held in an
+/// `Arc`, since cursors keep their own handle) and overrides only the hooks
+/// where its semantics differ from plain tree delegation.  Everything else
+/// — cursor construction, statistics, repacking — is written once in the
+/// blanket impl.
 pub trait SpGistBacked {
     /// External methods of the backing tree.
     type Ops: SpGistOps;
@@ -234,12 +240,14 @@ pub trait SpGistBacked {
     /// [`SpIndex::ordered_cursor`] available (the `@@` operator).
     const ORDERED_SCANS: bool = false;
 
-    /// The reader-writer latch guarding the backing generalized tree.
-    fn latch(&self) -> &RwLock<SpGistTree<Self::Ops>>;
+    /// The backing generalized tree.  The tree is internally concurrent
+    /// (crabbing writers, epoch-protected readers), so no external latch
+    /// wraps it.
+    fn backing(&self) -> &Arc<SpGistTree<Self::Ops>>;
 
-    /// Consumes the wrapper, returning the backing tree (for
+    /// Consumes the wrapper, returning the backing tree handle (for
     /// [`SpIndex::destroy`]).
-    fn into_backing_tree(self) -> SpGistTree<Self::Ops>
+    fn into_backing_tree(self) -> Arc<SpGistTree<Self::Ops>>
     where
         Self: Sized;
 
@@ -248,29 +256,26 @@ pub trait SpGistBacked {
     where
         Self: Sized;
 
-    /// Inserts one logical item under the write latch.  The default inserts
-    /// the key as-is; the suffix tree overrides it to insert every suffix
-    /// in one latch acquisition.
+    /// Inserts one logical item.  The default inserts the key as-is; the
+    /// suffix tree overrides it to insert every suffix of the word.
     fn insert_key(&self, key: <Self::Ops as SpGistOps>::Key, row: RowId) -> StorageResult<()> {
-        self.latch().write().insert(key, row)
+        self.backing().insert(key, row)
     }
 
-    /// Deletes one logical item under the write latch.  The default removes
-    /// a single physical occurrence; replicating or expanding indexes
-    /// override it.
+    /// Deletes one logical item.  The default removes a single physical
+    /// occurrence; replicating or expanding indexes override it.
     fn delete_key(&self, key: &<Self::Ops as SpGistOps>::Key, row: RowId) -> StorageResult<bool> {
-        self.latch().write().delete(key, row)
+        self.backing().delete(key, row)
     }
 
-    /// Inserts a batch of logical items under one write-latch acquisition.
-    /// The default loops [`SpGistTree::insert`]; expanding indexes override
-    /// it (the suffix tree inserts every suffix of every word in the one
-    /// acquisition).
+    /// Inserts a batch of logical items.  The default loops
+    /// [`SpGistTree::insert`]; expanding indexes override it (the suffix
+    /// tree inserts every suffix of every word).
     fn insert_batch_keys(
         &self,
         items: Vec<(<Self::Ops as SpGistOps>::Key, RowId)>,
     ) -> StorageResult<()> {
-        let mut tree = self.latch().write();
+        let tree = self.backing();
         for (key, row) in items {
             tree.insert(key, row)?;
         }
@@ -284,7 +289,7 @@ pub trait SpGistBacked {
         &self,
         items: Vec<(<Self::Ops as SpGistOps>::Key, RowId)>,
     ) -> StorageResult<TreeStats> {
-        self.latch().write().bulk_build(items)
+        self.backing().bulk_build(items)
     }
 
     /// Rewrites a query into the form the backing tree executes (the suffix
@@ -299,7 +304,7 @@ pub trait SpGistBacked {
     /// Number of logical items (the suffix tree counts indexed words, not
     /// stored suffixes).
     fn item_count(&self) -> u64 {
-        self.latch().read().len()
+        self.backing().len()
     }
 }
 
@@ -329,9 +334,9 @@ impl<T: SpGistBacked> SpIndex for T {
 
     fn cursor(&self, query: &Self::Query) -> StorageResult<Cursor<'_, Self::Key>> {
         let translated = self.translate_query(query);
-        // The read guard moves into the cursor, keeping the tree latched
-        // (shared) until the cursor is dropped.
-        let inner = SearchCursor::over(self.latch().read(), translated);
+        // The cursor carries its own Arc on the tree plus an epoch pin; it
+        // holds no latch, so writers proceed while it is open.
+        let inner = SearchCursor::over(Arc::clone(self.backing()), translated);
         Ok(if T::DEDUPE_ROWS {
             Cursor::deduplicated(inner)
         } else {
@@ -344,7 +349,7 @@ impl<T: SpGistBacked> SpIndex for T {
             return Ok(None);
         }
         let translated = self.translate_query(query);
-        let inner = NnIter::over(self.latch().read(), translated)
+        let inner = NnIter::over(Arc::clone(self.backing()), translated)
             .map(|item| item.map(|(key, row, _)| (key, row)));
         Ok(Some(if T::DEDUPE_ROWS {
             Cursor::deduplicated(inner)
@@ -358,27 +363,38 @@ impl<T: SpGistBacked> SpIndex for T {
     }
 
     fn stats(&self) -> StorageResult<TreeStats> {
-        self.latch().read().stats()
+        self.backing().stats()
     }
 
     fn meta_page(&self) -> PageId {
-        self.latch().read().meta_page()
+        self.backing().meta_page()
     }
 
     fn owned_pages(&self) -> Vec<PageId> {
-        self.latch().read().owned_pages().to_vec()
+        self.backing().owned_pages()
     }
 
     fn config(&self) -> SpGistConfig {
-        self.latch().read().ops().config()
+        self.backing().ops().config()
     }
 
     fn repack(&self) -> StorageResult<()> {
-        self.latch().write().repack()
+        self.backing().repack()
     }
 
     fn destroy(self) -> StorageResult<()> {
-        self.into_backing_tree().destroy()
+        // Destruction frees the index's pages, so it must be the sole owner:
+        // wait out any cursor still holding a clone of the handle.
+        let mut arc = self.into_backing_tree();
+        loop {
+            match Arc::try_unwrap(arc) {
+                Ok(tree) => return tree.destroy(),
+                Err(shared) => {
+                    arc = shared;
+                    std::thread::yield_now();
+                }
+            }
+        }
     }
 }
 

@@ -11,7 +11,6 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 use spgist_core::{RowId, SpGistTree, TreeStats};
 use spgist_storage::{BufferPool, PageId, StorageResult};
 
@@ -40,13 +39,15 @@ fn suffixes(word: &str) -> Vec<&str> {
 /// queries are rewritten into prefix queries over the stored suffixes —
 /// the trick that lets the paper answer `@=` with trie navigation.
 ///
-/// The multi-suffix expansion of one logical word happens under a *single*
-/// write-latch acquisition, so a concurrent cursor never observes a word
-/// with only some of its suffixes present.
+/// The backing trie is internally concurrent: the suffixes of one word are
+/// inserted one after another, so a cursor opened mid-insert may observe a
+/// word through only some of its suffixes.  Substring queries deduplicate
+/// by row id, so the row surfaces at most once either way; statement-level
+/// atomicity is the catalog executor's job (its per-table DML lock).
 pub struct SuffixTreeIndex {
     trie: TrieIndex,
-    /// Number of original strings indexed (not suffixes).  Updated while the
-    /// write latch is held; atomic so `len()` needs no latch.
+    /// Number of original strings indexed (not suffixes); atomic so `len()`
+    /// is a plain load.
     strings: AtomicU64,
 }
 
@@ -55,11 +56,11 @@ impl SpGistBacked for SuffixTreeIndex {
 
     const DEDUPE_ROWS: bool = true;
 
-    fn latch(&self) -> &RwLock<SpGistTree<TrieOps>> {
-        self.trie.latch()
+    fn backing(&self) -> &Arc<SpGistTree<TrieOps>> {
+        self.trie.backing()
     }
 
-    fn into_backing_tree(self) -> SpGistTree<TrieOps> {
+    fn into_backing_tree(self) -> Arc<SpGistTree<TrieOps>> {
         self.trie.into_backing_tree()
     }
 
@@ -68,7 +69,7 @@ impl SpGistBacked for SuffixTreeIndex {
     }
 
     fn insert_key(&self, word: String, row: RowId) -> StorageResult<()> {
-        let mut tree = self.latch().write();
+        let tree = self.backing();
         for suffix in suffixes(&word) {
             tree.insert(suffix.to_string(), row)?;
         }
@@ -85,11 +86,12 @@ impl SpGistBacked for SuffixTreeIndex {
     /// one — but the common misuses are contained: every suffix is verified
     /// present *before* anything is removed (so a word that was never
     /// indexed deletes nothing and returns `false`), and the word counter
-    /// never underflows.  Verification and removal happen under one write
-    /// latch, so they cannot race with another writer.
+    /// never underflows.  Concurrent writers to the *same* `(word, row)` are
+    /// the catalog executor's job (its per-table DML lock); writers to other
+    /// keys proceed in parallel and cannot disturb the verification.
     fn delete_key(&self, word: &String, row: RowId) -> StorageResult<bool> {
         let suffixes = suffixes(word);
-        let mut tree = self.latch().write();
+        let tree = self.backing();
         for suffix in &suffixes {
             // Streaming presence probe: stop at the first hit instead of
             // materializing every row sharing this (possibly very common)
@@ -113,17 +115,15 @@ impl SpGistBacked for SuffixTreeIndex {
         Ok(true)
     }
 
-    /// Inserts a batch of words — all suffixes of all words — under one
-    /// write-latch acquisition, so a concurrent cursor sees each word with
-    /// either none or all of its suffixes.
+    /// Inserts a batch of words — all suffixes of all words.  Suffixes land
+    /// one by one; cursor-level atomicity of the batch is the catalog
+    /// executor's job.
     fn insert_batch_keys(&self, items: Vec<(String, RowId)>) -> StorageResult<()> {
         let words = items.len() as u64;
-        {
-            let mut tree = self.latch().write();
-            for (word, row) in &items {
-                for suffix in suffixes(word) {
-                    tree.insert(suffix.to_string(), *row)?;
-                }
+        let tree = self.backing();
+        for (word, row) in &items {
+            for suffix in suffixes(word) {
+                tree.insert(suffix.to_string(), *row)?;
             }
         }
         self.strings.fetch_add(words, Ordering::Relaxed);
@@ -142,7 +142,7 @@ impl SpGistBacked for SuffixTreeIndex {
                 expanded.push((suffix.to_string(), *row));
             }
         }
-        let stats = self.latch().write().bulk_build(expanded)?;
+        let stats = self.backing().bulk_build(expanded)?;
         self.strings.fetch_add(words, Ordering::Relaxed);
         Ok(stats)
     }
@@ -210,7 +210,7 @@ impl SuffixTreeIndex {
 
     /// Number of suffix entries stored in the underlying trie.
     pub fn suffix_count(&self) -> u64 {
-        self.latch().read().len()
+        self.backing().len()
     }
 }
 

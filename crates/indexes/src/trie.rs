@@ -13,7 +13,6 @@
 
 use std::sync::Arc;
 
-use parking_lot::RwLock;
 
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
@@ -298,7 +297,7 @@ impl SpGistOps for TrieOps {
 /// (`=`, `#=`, `?=`, `@@`) plus `&str`-taking shims kept for source
 /// compatibility with the pre-`SpIndex` API.
 pub struct TrieIndex {
-    tree: RwLock<SpGistTree<TrieOps>>,
+    tree: Arc<SpGistTree<TrieOps>>,
 }
 
 impl SpGistBacked for TrieIndex {
@@ -306,12 +305,12 @@ impl SpGistBacked for TrieIndex {
 
     const ORDERED_SCANS: bool = true;
 
-    fn latch(&self) -> &RwLock<SpGistTree<TrieOps>> {
+    fn backing(&self) -> &Arc<SpGistTree<TrieOps>> {
         &self.tree
     }
 
-    fn into_backing_tree(self) -> SpGistTree<TrieOps> {
-        self.tree.into_inner()
+    fn into_backing_tree(self) -> Arc<SpGistTree<TrieOps>> {
+        self.tree
     }
 
     fn open_default(pool: Arc<BufferPool>) -> StorageResult<Self> {
@@ -329,7 +328,7 @@ impl TrieIndex {
     /// trie-variant and clustering ablations).
     pub fn with_ops(pool: Arc<BufferPool>, ops: TrieOps) -> StorageResult<Self> {
         Ok(TrieIndex {
-            tree: RwLock::new(SpGistTree::create(pool, ops)?),
+            tree: Arc::new(SpGistTree::create(pool, ops)?),
         })
     }
 
@@ -344,7 +343,7 @@ impl TrieIndex {
         pages: Vec<PageId>,
     ) -> StorageResult<Self> {
         Ok(TrieIndex {
-            tree: RwLock::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
+            tree: Arc::new(SpGistTree::open_with_pages(pool, ops, meta_page, pages)?),
         })
     }
 
@@ -378,9 +377,7 @@ impl TrieIndex {
     /// `@@` operator: the `k` nearest keys to `word` under the Hamming-style
     /// distance, nearest first.
     pub fn nearest(&self, word: &str, k: usize) -> StorageResult<Vec<(String, RowId, f64)>> {
-        self.tree
-            .read()
-            .nn_search(StringQuery::Nearest(word.to_string()), k)
+        self.tree.nn_search(StringQuery::Nearest(word.to_string()), k)
     }
 
     /// Runs an arbitrary [`StringQuery`] against the index (shim kept for
@@ -389,9 +386,10 @@ impl TrieIndex {
         self.execute(query)
     }
 
-    /// Shared (read-latched) access to the underlying generalized tree.
-    pub fn tree(&self) -> parking_lot::RwLockReadGuard<'_, SpGistTree<TrieOps>> {
-        self.tree.read()
+    /// The underlying generalized tree (internally concurrent; share the
+    /// `Arc` to read or write from any thread).
+    pub fn tree(&self) -> &Arc<SpGistTree<TrieOps>> {
+        &self.tree
     }
 }
 

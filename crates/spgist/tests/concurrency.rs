@@ -1,7 +1,11 @@
-//! Shared-access guarantees under real threads: cursors see consistent
-//! committed prefixes during writer bursts, every handle the executor gives
-//! out is `Send + Sync`, and the multi-threaded query driver agrees with
-//! serial execution while writers run.
+//! Shared-access guarantees under real threads.  Readers pin a reclamation
+//! epoch and run latch-free while writers crab per-page latches, so a scan
+//! is *not* an atomic snapshot: it may observe some of the inserts that
+//! land while it drains.  What these tests hold the system to instead:
+//! nothing committed before a scan began ever goes missing, nothing that
+//! was never inserted ever surfaces, no row surfaces twice, writers are
+//! never blocked by open cursors, and the multi-threaded query driver
+//! agrees with serial execution.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,13 +36,14 @@ fn point_for(i: u64) -> Point {
 }
 
 /// The core stress invariant: a single writer inserts rows `0, 1, 2, …` in
-/// order while readers repeatedly scan everything.  Because a cursor holds
-/// the tree's read latch for its whole drain, every result must be an exact
-/// *prefix* of the insert sequence — no torn states, no missing middles —
-/// and its length must be bracketed by the commit counter sampled around
-/// the scan.
+/// order while readers repeatedly scan everything.  A cursor pins a
+/// reclamation epoch instead of a latch, so a scan is not an atomic
+/// snapshot — it may observe part of the concurrent insert stream — but
+/// three things must hold on every drain: everything committed before the
+/// scan began is present, nothing that was never inserted surfaces, and no
+/// row surfaces twice.
 #[test]
-fn concurrent_readers_see_consistent_prefixes_of_committed_inserts() {
+fn concurrent_readers_never_lose_committed_inserts() {
     const TOTAL: u64 = 2_000;
     let index = Arc::new(KdTreeIndex::open(BufferPool::in_memory()).unwrap());
     let committed = Arc::new(AtomicU64::new(0));
@@ -70,19 +75,24 @@ fn concurrent_readers_see_consistent_prefixes_of_committed_inserts() {
                     let after = committed.load(Ordering::Acquire);
                     let k = rows.len() as u64;
                     // Everything committed before the scan started must be
-                    // visible; at most one insert can have latched in before
-                    // its commit counter was published.
+                    // visible.
                     assert!(
                         k >= before,
                         "scan lost committed inserts: saw {k}, {before} were committed"
                     );
-                    assert!(
-                        k <= after + 1,
-                        "scan saw {k} rows but only {after} inserts ever committed"
-                    );
                     rows.sort_unstable();
-                    let expected: Vec<RowId> = (0..k).collect();
-                    assert_eq!(rows, expected, "result is not a prefix of the inserts");
+                    rows.dedup();
+                    assert_eq!(rows.len() as u64, k, "a row surfaced twice in one scan");
+                    // Any row the scan saw had been inserted when it was
+                    // read, and the writer publishes the counter for insert
+                    // `i` before starting insert `i+1`, so by drain end the
+                    // counter covers every observed row.
+                    if let Some(&max) = rows.last() {
+                        assert!(
+                            max <= after,
+                            "scan saw row {max} but only {after} inserts ever committed"
+                        );
+                    }
                     scans += 1;
                     if before == TOTAL {
                         break;
@@ -104,9 +114,9 @@ fn concurrent_readers_see_consistent_prefixes_of_committed_inserts() {
 
 /// The same invariant at the executor level: writers burst inserts through
 /// a shared `Arc<Table>` handle while readers query through the `Database`
-/// facade (trie-indexed), checking that every result is a consistent subset
-/// of what was ever inserted and a superset of what was committed when the
-/// query began.
+/// facade (trie-indexed), checking that every result contains everything
+/// committed when the query began, nothing never inserted, and no
+/// duplicates.
 #[test]
 fn table_handles_support_concurrent_dml_and_queries() {
     const TOTAL: u64 = 1_200;
@@ -152,12 +162,18 @@ fn table_handles_support_concurrent_dml_and_queries() {
                 let after = committed.load(Ordering::Acquire);
                 let k = rows.len() as u64;
                 assert!(
-                    k >= before && k <= after + 1,
-                    "saw {k} rows with {before} committed before and {after} after"
+                    k >= before,
+                    "query lost committed inserts: saw {k}, {before} were committed"
                 );
                 rows.sort_unstable();
-                let expected: Vec<RowId> = (0..k).collect();
-                assert_eq!(rows, expected, "result is not a committed prefix");
+                rows.dedup();
+                assert_eq!(rows.len() as u64, k, "a row surfaced twice in one query");
+                if let Some(&max) = rows.last() {
+                    assert!(
+                        max <= after,
+                        "query saw row {max} but only {after} inserts ever committed"
+                    );
+                }
                 if finished {
                     break;
                 }
@@ -338,10 +354,13 @@ fn interleaved_inserts_and_deletes_leave_no_phantom_index_entries() {
     );
 }
 
-/// A long-lived cursor pins its read latch: a writer that sneaks in between
-/// two cursors changes what the *next* cursor sees, never the open one.
+/// A long-lived cursor pins a reclamation epoch, not a latch: a writer
+/// lands *while* the cursor is open (the join below completes before the
+/// cursor is drained — under the old one-RwLock-per-tree design this
+/// deadlocked), the open cursor still drains every pre-write word without
+/// error, and a cursor opened after the write sees the new word.
 #[test]
-fn open_cursors_are_isolated_from_later_writes() {
+fn open_cursors_never_block_writers() {
     let index = Arc::new(TrieIndex::open(BufferPool::in_memory()).unwrap());
     for (row, word) in ["alpha", "beta", "gamma"].iter().enumerate() {
         index.insert(word, row as RowId).unwrap();
@@ -351,16 +370,28 @@ fn open_cursors_are_isolated_from_later_writes() {
     let first = cursor.next().unwrap().unwrap();
     assert!(!first.0.is_empty());
 
-    // A writer on another thread blocks on the cursor's read latch…
+    // The writer completes while the cursor is still open — this join is
+    // the assertion that cursors no longer exclude writers.
     let writer = {
         let index = Arc::clone(&index);
         std::thread::spawn(move || index.insert("delta", 3).unwrap())
     };
-    // …so the open cursor drains exactly the three old words.
-    let rest: Vec<(String, RowId)> = cursor.map(Result::unwrap).collect();
-    assert_eq!(rest.len(), 2, "open cursor sees the pre-write tree");
-
     writer.join().unwrap();
+
+    // The open cursor drains without error; it sees every pre-write word
+    // and may or may not see "delta" depending on where its traversal was.
+    let mut seen: Vec<(String, RowId)> = cursor.map(Result::unwrap).collect();
+    seen.push(first);
+    seen.sort_unstable();
+    seen.dedup();
+    for word in ["alpha", "beta", "gamma"] {
+        assert!(
+            seen.iter().any(|(w, _)| w == word),
+            "open cursor lost pre-write word {word}"
+        );
+    }
+    assert!(seen.len() <= 4, "cursor saw words that were never inserted");
+
     assert_eq!(
         index
             .cursor(&StringQuery::Prefix(String::new()))
@@ -468,4 +499,105 @@ fn reopened_database_survives_reader_during_writer_burst() {
     assert_eq!(db.table("words").unwrap().len(), expected);
     drop(db);
     std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Seeded N-writer × M-reader stress on one shared index.  Each writer owns
+/// a disjoint row-id range and inserts it in a deterministically shuffled
+/// order (xorshift from a fixed seed, so a failure replays); readers scan
+/// continuously.  Every scan must contain at least as many of each writer's
+/// rows as that writer had committed when the scan began, and nothing that
+/// was never inserted; once the writers finish, every insert must be
+/// present exactly once.
+#[test]
+fn seeded_multi_writer_multi_reader_stress_loses_no_inserts() {
+    const WRITERS: u64 = 4;
+    const READERS: usize = 3;
+    const PER_WRITER: u64 = 800;
+    const TOTAL: u64 = WRITERS * PER_WRITER;
+    const SEED: u64 = 0x5113_7e57_0000_0001;
+
+    /// Deterministic Fisher–Yates over `0..n` driven by xorshift64.
+    fn shuffled(n: u64, mut state: u64) -> Vec<u64> {
+        let mut order: Vec<u64> = (0..n).collect();
+        for i in (1..order.len()).rev() {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            order.swap(i, (state % (i as u64 + 1)) as usize);
+        }
+        order
+    }
+
+    let index = Arc::new(KdTreeIndex::open(BufferPool::in_memory()).unwrap());
+    let committed: Arc<Vec<AtomicU64>> =
+        Arc::new((0..WRITERS).map(|_| AtomicU64::new(0)).collect());
+    let world = Rect::new(0.0, 0.0, 100.0, 100.0);
+
+    std::thread::scope(|scope| {
+        let mut writers = Vec::new();
+        for w in 0..WRITERS {
+            let index = Arc::clone(&index);
+            let committed = Arc::clone(&committed);
+            writers.push(scope.spawn(move || {
+                for i in shuffled(PER_WRITER, SEED.wrapping_add(w)) {
+                    let row = w * PER_WRITER + i;
+                    index.insert(point_for(row), row).unwrap();
+                    committed[w as usize].fetch_add(1, Ordering::Release);
+                }
+            }));
+        }
+
+        for _ in 0..READERS {
+            let index = Arc::clone(&index);
+            let committed = Arc::clone(&committed);
+            scope.spawn(move || loop {
+                let before: Vec<u64> = committed
+                    .iter()
+                    .map(|c| c.load(Ordering::Acquire))
+                    .collect();
+                let mut rows = index
+                    .cursor(&PointQuery::InRect(world))
+                    .unwrap()
+                    .rows()
+                    .unwrap();
+                rows.sort_unstable();
+                let deduped = rows.len();
+                rows.dedup();
+                assert_eq!(rows.len(), deduped, "a row surfaced twice in one scan");
+                assert!(
+                    rows.iter().all(|&r| r < TOTAL),
+                    "scan saw a row id that was never inserted"
+                );
+                for w in 0..WRITERS as usize {
+                    let lo = w as u64 * PER_WRITER;
+                    let seen = rows
+                        .iter()
+                        .filter(|&&r| (lo..lo + PER_WRITER).contains(&r))
+                        .count() as u64;
+                    assert!(
+                        seen >= before[w],
+                        "scan lost inserts: writer {w} had committed {} but only {seen} visible",
+                        before[w]
+                    );
+                }
+                if before.iter().sum::<u64>() == TOTAL {
+                    break;
+                }
+            });
+        }
+
+        for writer in writers {
+            writer.join().unwrap();
+        }
+    });
+
+    assert_eq!(index.len(), TOTAL);
+    let mut rows = index
+        .cursor(&PointQuery::InRect(world))
+        .unwrap()
+        .rows()
+        .unwrap();
+    rows.sort_unstable();
+    let expected: Vec<RowId> = (0..TOTAL).collect();
+    assert_eq!(rows, expected, "after the dust settles every insert is present once");
 }

@@ -236,6 +236,102 @@ fn torn_log_tail_recovers_exactly_the_acknowledged_prefix() {
     }
 }
 
+/// A group commit covering several records must recover all-or-nothing.
+/// The log seals every batch with a count + CRC record; this test builds a
+/// two-record sealed batch on the log tail byte-for-byte, then tears it at
+/// every offset — either both records come back or neither does, never the
+/// first without the second (which is exactly what per-record framing
+/// alone would resurrect).
+#[test]
+fn torn_group_commit_batch_drops_as_a_unit() {
+    use spgist::storage::crc::crc32;
+
+    // Batch-seal frame layout (see `spgist-wal`): zero length field, magic
+    // "SPGS", record count, CRC over the batch's frame bytes, CRC over the
+    // seal's own first 16 bytes.
+    const SEAL_MAGIC: u32 = 0x5350_4753;
+    const SEAL_BYTES: usize = 20;
+
+    const SINGLES: usize = 3;
+    let tmp = TempDb::new("torn-batch");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    let segment = tmp.last_segment();
+    let (before_batch, after_first);
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..SINGLES {
+            table.insert(word(i)).unwrap();
+        }
+        before_batch = std::fs::metadata(&segment).unwrap().len() as usize;
+        table.insert(word(SINGLES)).unwrap();
+        after_first = std::fs::metadata(&segment).unwrap().len() as usize;
+        table.insert(word(SINGLES + 1)).unwrap();
+    }
+    drop(db); // crash
+
+    // Each insert above flushed as its own sealed one-record batch.  Splice
+    // the last two into a single two-record batch — the on-disk image of
+    // one group commit covering both acknowledged rows.
+    let bytes = std::fs::read(&segment).unwrap();
+    let frame_a = &bytes[before_batch..after_first - SEAL_BYTES];
+    let frame_b = &bytes[after_first..bytes.len() - SEAL_BYTES];
+    let mut batch = Vec::new();
+    batch.extend_from_slice(frame_a);
+    batch.extend_from_slice(frame_b);
+    let mut seal = [0u8; SEAL_BYTES];
+    seal[0..4].copy_from_slice(&0u32.to_le_bytes());
+    seal[4..8].copy_from_slice(&SEAL_MAGIC.to_le_bytes());
+    seal[8..12].copy_from_slice(&2u32.to_le_bytes());
+    seal[12..16].copy_from_slice(&crc32(&batch).to_le_bytes());
+    let seal_crc = crc32(&seal[0..16]);
+    seal[16..20].copy_from_slice(&seal_crc.to_le_bytes());
+    let mut spliced = bytes[..before_batch].to_vec();
+    spliced.extend_from_slice(&batch);
+    spliced.extend_from_slice(&seal);
+    std::fs::write(&segment, &spliced).unwrap();
+    let crash_image = tmp.snapshot();
+
+    // Intact: the synthesized batch seal verifies and both rows are back.
+    let db = Database::open(tmp.path()).unwrap();
+    assert_words(&db, SINGLES + 2);
+    drop(db);
+
+    // Torn at every byte inside the batch: recovery must yield all or
+    // nothing — in particular, a cut that keeps record A's frame whole but
+    // loses the seal must NOT resurrect A alone, because A's group commit
+    // was never acknowledged.
+    for cut in before_batch..spliced.len() {
+        tmp.restore(&crash_image);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap();
+        file.set_len(cut as u64).unwrap();
+        drop(file);
+        let db = Database::open(tmp.path())
+            .unwrap_or_else(|e| panic!("reopen failed at cut {cut}: {e}"));
+        let table = db.table("words").unwrap();
+        assert_eq!(
+            table.len(),
+            SINGLES as u64,
+            "cut {cut}: a torn group commit must drop as a unit, not a prefix"
+        );
+        drop(db);
+    }
+
+    // Bit rot inside the *first* record of the batch, seal and second
+    // record intact: the batch CRC no longer vouches for its bytes, so the
+    // whole batch is gone — not just the damaged record.
+    tmp.restore(&crash_image);
+    let mut rotted = spliced.clone();
+    rotted[before_batch + 9] ^= 0xFF; // inside frame A's payload
+    std::fs::write(&segment, &rotted).unwrap();
+    let db = Database::open(tmp.path()).unwrap();
+    assert_eq!(db.table("words").unwrap().len(), SINGLES as u64);
+    db.close().unwrap();
+}
+
 #[test]
 fn garbage_on_the_log_tail_is_discarded_not_fatal() {
     const N: usize = 8;

@@ -16,9 +16,10 @@
 //! performance *shapes* even on noisy machines.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::error::{StorageError, StorageResult};
 use crate::page::{Page, PageId};
@@ -95,11 +96,46 @@ impl IoStats {
     }
 }
 
+/// The shared, individually lockable state of one resident page.
+///
+/// Page access runs under the per-frame `lock`, *outside* the pool mutex, so
+/// concurrent readers and writers of distinct pages never serialize on the
+/// pool — the pool mutex covers only the page table, replacement policy,
+/// stats, and eviction.  `pins` keeps eviction honest: it is incremented
+/// only while holding the pool mutex and checked by the evictor under that
+/// same mutex, so a frame observed unpinned cannot concurrently gain an
+/// accessor (new accessors need the mutex), and an unpinned frame's lock is
+/// free (the pin is dropped only after the page guard).
+struct FrameCell {
+    lock: RwLock<Page>,
+    dirty: AtomicBool,
+    pins: AtomicU32,
+}
+
+impl FrameCell {
+    fn new(page: Page, dirty: bool) -> Arc<Self> {
+        Arc::new(FrameCell {
+            lock: RwLock::new(page),
+            dirty: AtomicBool::new(dirty),
+            pins: AtomicU32::new(0),
+        })
+    }
+}
+
 struct Frame {
-    page: Page,
     page_id: PageId,
-    dirty: bool,
-    pins: u32,
+    cell: Arc<FrameCell>,
+}
+
+/// Unpins a frame when the accessor is done, even if its closure panics.
+struct PinGuard {
+    cell: Arc<FrameCell>,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        self.cell.pins.fetch_sub(1, Ordering::Release);
+    }
 }
 
 /// Frames live in a slab (`Vec<Option<Frame>>` + free list) so slot indices
@@ -131,9 +167,10 @@ impl PoolInner {
     fn choose_victim(&mut self, allow_dirty: bool) -> Option<usize> {
         let frames = &self.frames;
         self.policy.evict(&mut |slot| {
-            frames[slot]
-                .as_ref()
-                .is_some_and(|f| f.pins == 0 && (allow_dirty || !f.dirty))
+            frames[slot].as_ref().is_some_and(|f| {
+                f.cell.pins.load(Ordering::Acquire) == 0
+                    && (allow_dirty || !f.cell.dirty.load(Ordering::Acquire))
+            })
         })
     }
 
@@ -257,7 +294,9 @@ impl BufferPool {
     pub fn free_page(&self, id: PageId) -> StorageResult<()> {
         let mut inner = self.inner.lock();
         if let Some(&slot) = inner.by_page.get(&id) {
-            let pinned = inner.frames[slot].as_ref().is_some_and(|f| f.pins > 0);
+            let pinned = inner.frames[slot]
+                .as_ref()
+                .is_some_and(|f| f.cell.pins.load(Ordering::Acquire) > 0);
             if pinned {
                 return Err(StorageError::Corrupt(format!(
                     "cannot free pinned page {id}"
@@ -299,13 +338,9 @@ impl BufferPool {
         hint: AccessHint,
         f: impl FnOnce(&Page) -> R,
     ) -> StorageResult<R> {
-        let mut inner = self.inner.lock();
-        let slot = self.fetch(&mut inner, id, hint)?;
-        let frame = inner.frames[slot].as_mut().expect("fetched slot is empty");
-        frame.pins += 1;
-        let result = f(&frame.page);
-        frame.pins -= 1;
-        Ok(result)
+        let pin = self.pin(id, hint)?;
+        let page = pin.cell.lock.read();
+        Ok(f(&page))
     }
 
     /// Runs `f` with a mutable view of page `id`; the page is marked dirty.
@@ -321,14 +356,26 @@ impl BufferPool {
         hint: AccessHint,
         f: impl FnOnce(&mut Page) -> R,
     ) -> StorageResult<R> {
+        let pin = self.pin(id, hint)?;
+        let mut page = pin.cell.lock.write();
+        // Marked dirty while the write lock is held, so a concurrent flush
+        // either snapshots the page before this mutation (and the flag comes
+        // back) or after it (and the mutation is on disk).
+        pin.cell.dirty.store(true, Ordering::Release);
+        Ok(f(&mut page))
+    }
+
+    /// Fetches page `id` (installing it on a miss) and pins its frame.  The
+    /// pin is taken under the pool mutex, which is what makes the eviction
+    /// check sound; page locking happens after the mutex is released.
+    fn pin(&self, id: PageId, hint: AccessHint) -> StorageResult<PinGuard> {
         let mut inner = self.inner.lock();
         let slot = self.fetch(&mut inner, id, hint)?;
-        let frame = inner.frames[slot].as_mut().expect("fetched slot is empty");
-        frame.pins += 1;
-        frame.dirty = true;
-        let result = f(&mut frame.page);
-        frame.pins -= 1;
-        Ok(result)
+        let frame = inner.frames[slot].as_ref().expect("fetched slot is empty");
+        frame.cell.pins.fetch_add(1, Ordering::Acquire);
+        Ok(PinGuard {
+            cell: Arc::clone(&frame.cell),
+        })
     }
 
     /// Writes all dirty frames back to the pager and syncs it, then (in
@@ -349,26 +396,41 @@ impl BufferPool {
     /// them dirty and a retry rewrites them.
     pub fn flush_pages(&self) -> StorageResult<()> {
         let mut inner = self.inner.lock();
-        let mut written = Vec::new();
-        for slot in 0..inner.frames.len() {
-            let Some((pid, page)) = inner.frames[slot]
-                .as_ref()
-                .filter(|f| f.dirty)
-                .map(|f| (f.page_id, f.page.clone()))
-            else {
-                continue;
-            };
-            self.pager.write(pid, &page)?;
-            inner.stats.physical_writes += 1;
-            written.push(slot);
-        }
-        self.pager.sync()?;
-        for slot in written {
-            if let Some(frame) = inner.frames[slot].as_mut() {
-                frame.dirty = false;
+        let targets: Vec<(PageId, Arc<FrameCell>)> = inner
+            .frames
+            .iter()
+            .flatten()
+            .filter(|f| f.cell.dirty.load(Ordering::Acquire))
+            .map(|f| (f.page_id, Arc::clone(&f.cell)))
+            .collect();
+        // Each frame is snapshotted under its page lock and marked clean at
+        // that instant; a mutation that lands after the snapshot re-dirties
+        // the frame itself.  On any error every flag taken here is restored,
+        // so a failed write or sync leaves the frames dirty and a retry
+        // rewrites them.
+        let mut cleaned: Vec<Arc<FrameCell>> = Vec::new();
+        let mut failed = None;
+        for (pid, cell) in &targets {
+            let page = cell.lock.read();
+            if cell.dirty.swap(false, Ordering::AcqRel) {
+                cleaned.push(Arc::clone(cell));
+                if let Err(e) = self.pager.write(*pid, &page) {
+                    failed = Some(e);
+                    break;
+                }
+                inner.stats.physical_writes += 1;
             }
         }
-        Ok(())
+        let result = match failed {
+            Some(e) => Err(e),
+            None => self.pager.sync(),
+        };
+        if result.is_err() {
+            for cell in &cleaned {
+                cell.dirty.store(true, Ordering::Release);
+            }
+        }
+        result
     }
 
     /// Publishes deferred frees to the pager and trims the pool back to its
@@ -399,7 +461,7 @@ impl BufferPool {
             .frames
             .iter()
             .flatten()
-            .filter(|f| f.dirty)
+            .filter(|f| f.cell.dirty.load(Ordering::Acquire))
             .map(|f| f.page_id)
             .collect()
     }
@@ -427,8 +489,9 @@ impl BufferPool {
                     break; // everything pinned
                 };
                 let frame = inner.clear_slot(slot);
-                if frame.dirty {
-                    self.pager.write(frame.page_id, &frame.page)?;
+                if frame.cell.dirty.load(Ordering::Acquire) {
+                    let page = frame.cell.lock.read();
+                    self.pager.write(frame.page_id, &page)?;
                     inner.stats.physical_writes += 1;
                 }
             } else {
@@ -477,9 +540,11 @@ impl BufferPool {
         hint: AccessHint,
     ) -> StorageResult<usize> {
         if let Some(&slot) = inner.by_page.get(&id) {
-            let frame = inner.frames[slot].as_mut().expect("mapped slot is empty");
-            frame.page = page;
-            frame.dirty |= dirty;
+            let frame = inner.frames[slot].as_ref().expect("mapped slot is empty");
+            *frame.cell.lock.write() = page;
+            if dirty {
+                frame.cell.dirty.store(true, Ordering::Release);
+            }
             inner.policy.touch(slot, hint);
             return Ok(slot);
         }
@@ -489,8 +554,9 @@ impl BufferPool {
             match inner.choose_victim(self.steal) {
                 Some(slot) => {
                     let victim = inner.clear_slot(slot);
-                    if victim.dirty {
-                        self.pager.write(victim.page_id, &victim.page)?;
+                    if victim.cell.dirty.load(Ordering::Acquire) {
+                        let page = victim.cell.lock.read();
+                        self.pager.write(victim.page_id, &page)?;
                         inner.stats.physical_writes += 1;
                     }
                 }
@@ -508,10 +574,8 @@ impl BufferPool {
         }
         Ok(inner.place(
             Frame {
-                page,
                 page_id: id,
-                dirty,
-                pins: 0,
+                cell: FrameCell::new(page, dirty),
             },
             hint,
         ))

@@ -27,6 +27,7 @@
 pub mod buffer;
 pub mod codec;
 pub mod crc;
+pub mod epoch;
 pub mod error;
 pub mod fault;
 pub mod heap;
@@ -36,6 +37,7 @@ pub mod pager;
 pub mod replacement;
 
 pub use buffer::{BufferPool, BufferPoolConfig, IoStats};
+pub use epoch::{ConcurrencyStats, EpochManager, EpochPin, LatchSet, LatchTable, RetiredItem};
 pub use codec::Codec;
 pub use crc::crc32;
 pub use error::{StorageError, StorageResult};

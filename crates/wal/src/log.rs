@@ -21,16 +21,32 @@
 //! `base_lsn` must equal its predecessor's end — a gap or overlap is
 //! [`StorageError::Corrupt`].
 //!
+//! Every group-committed batch (the set of frames covered by one `fsync`)
+//! is terminated by a **batch seal**, distinguished from a record frame by
+//! a zero length field:
+//!
+//! ```text
+//! 0 (u32 LE) | magic "SPGS" (u32 LE) | record_count (u32 LE)
+//!           | crc32(batch frame bytes) (u32 LE) | crc32(first 16 bytes) (u32 LE)
+//! ```
+//!
+//! Replay only accepts records up to the last valid seal, so a torn group
+//! commit is detected — and discarded — **as a unit**: either every record
+//! a batch's `fsync` covered survives, or none of them does.  Without the
+//! seal, a crash mid-batch could surface a prefix of a batch whose commit
+//! was never acknowledged yet whose early frames happened to hit disk.
+//!
 //! # Torn tails vs. corruption
 //!
-//! Only the **last** segment can legitimately end mid-record (the process
-//! died between `write` and `fsync`): on open, the first short or
-//! CRC-failing frame in the last segment ends the log and the file is
-//! truncated back to the last whole record.  Sealed segments are fully
-//! synced before their successor is created, so damage there is real
-//! corruption and fails the open.  A record whose CRC matches but whose
-//! payload does not decode is corruption everywhere — a torn write cannot
-//! produce a matching CRC.
+//! Only the **last** segment can legitimately end mid-batch (the process
+//! died between `write` and `fsync`): on open, the first short frame,
+//! CRC-failing frame, or missing/invalid seal in the last segment ends the
+//! log and the file is truncated back to the end of the last *sealed
+//! batch*.  Sealed segments are fully synced before their successor is
+//! created, so damage there — including an unsealed trailing batch — is
+//! real corruption and fails the open.  A record whose CRC matches but
+//! whose payload does not decode is corruption everywhere — a torn write
+//! cannot produce a matching CRC.
 //!
 //! # Group commit
 //!
@@ -59,12 +75,20 @@ use crate::record::{Lsn, WalRecord};
 
 /// Magic marker leading every WAL segment file (`"SPGW"`).
 const SEGMENT_MAGIC: u32 = 0x5350_4757;
-/// Segment format version.
-const SEGMENT_VERSION: u32 = 1;
+/// Segment format version.  Version 2 added the batch seal; version-1
+/// segments (no seals) are refused rather than silently replayed with
+/// weaker torn-batch detection.
+const SEGMENT_VERSION: u32 = 2;
 /// Bytes in a segment header.
 const HEADER_BYTES: u64 = 16;
 /// Bytes in a record frame header (`payload_len`, `crc`).
 const FRAME_HEADER_BYTES: usize = 8;
+/// Magic marker in a batch-seal frame (`"SPGS"`), following the zero
+/// length field that tells it apart from a record frame.
+const SEAL_MAGIC: u32 = 0x5350_4753;
+/// Bytes in a batch seal: zero length, magic, record count, batch CRC,
+/// seal CRC.
+const SEAL_BYTES: usize = 20;
 /// Sanity cap on a single record payload (a decoded `insert_many` batch of
 /// this size would already be absurd); larger lengths are treated as
 /// damage, not as records.
@@ -236,16 +260,18 @@ fn create_segment(dir: &Path, prefix: &str, seq: u64, base: Lsn) -> StorageResul
 }
 
 /// One parsed segment: header info plus its decoded records, and where the
-/// last whole record ends (for tail truncation).
+/// last sealed batch ends (for tail truncation).
 struct ScannedSegment {
     base: Lsn,
     records: Vec<WalRecord>,
     good_end: u64,
 }
 
-/// Reads one segment.  `is_last` selects torn-tail tolerance: in the last
-/// segment a short or CRC-failing frame ends the log; anywhere else it is
-/// corruption.
+/// Reads one segment.  Records are buffered per batch and committed only
+/// when the batch's seal checks out, so a torn group commit drops as a
+/// unit.  `is_last` selects torn-tail tolerance: in the last segment a
+/// short frame, CRC failure, or unsealed trailing batch ends the log;
+/// anywhere else it is corruption.
 fn scan_segment(path: &Path, is_last: bool) -> StorageResult<ScannedSegment> {
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
@@ -264,17 +290,62 @@ fn scan_segment(path: &Path, is_last: bool) -> StorageResult<ScannedSegment> {
     let base = u64::from_le_bytes(bytes[8..16].try_into().expect("length checked"));
 
     let mut records = Vec::new();
+    // Records decoded since the last seal: committed to `records` only once
+    // their batch seal checks out, dropped as a unit otherwise.
+    let mut pending: Vec<WalRecord> = Vec::new();
     let mut pos = HEADER_BYTES as usize;
+    let mut batch_start = pos;
+    let mut good_end = pos;
     loop {
         if pos == bytes.len() {
             break;
         }
-        // A frame that does not fully check out: the torn tail of the last
-        // segment, corruption anywhere else.
+        let Some(header) = bytes.get(pos..pos + FRAME_HEADER_BYTES) else {
+            // Short frame header: the torn tail of the last segment,
+            // corruption anywhere else.
+            if is_last {
+                break;
+            }
+            return Err(corrupt(format!(
+                "frame at byte {pos} is torn in a sealed segment"
+            )));
+        };
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("length checked"));
+        if len == 0 {
+            // Batch seal.  Valid only when its own CRC holds *and* it
+            // vouches for exactly the frames written since the previous
+            // seal — a seal that survived a crash ahead of its batch's
+            // record bytes must not commit them.
+            let sealed = (|| {
+                let seal = bytes.get(pos..pos + SEAL_BYTES)?;
+                let magic = u32::from_le_bytes(seal[4..8].try_into().expect("length checked"));
+                let count = u32::from_le_bytes(seal[8..12].try_into().expect("length checked"));
+                let batch_crc = u32::from_le_bytes(seal[12..16].try_into().expect("length checked"));
+                let seal_crc = u32::from_le_bytes(seal[16..20].try_into().expect("length checked"));
+                (magic == SEAL_MAGIC
+                    && crc32(&seal[0..16]) == seal_crc
+                    && count as usize == pending.len()
+                    && batch_crc == crc32(&bytes[batch_start..pos]))
+                .then_some(())
+            })();
+            if sealed.is_none() {
+                if is_last {
+                    break;
+                }
+                return Err(corrupt(format!(
+                    "batch seal at byte {pos} is torn in a sealed segment"
+                )));
+            }
+            records.append(&mut pending);
+            pos += SEAL_BYTES;
+            batch_start = pos;
+            good_end = pos;
+            continue;
+        }
+        // A record frame that does not fully check out: the torn tail of
+        // the last segment, corruption anywhere else.
         let whole = (|| {
-            let header = bytes.get(pos..pos + FRAME_HEADER_BYTES)?;
-            let len = u32::from_le_bytes(header[0..4].try_into().expect("length checked"));
-            if len == 0 || len > MAX_PAYLOAD {
+            if len > MAX_PAYLOAD {
                 return None;
             }
             let crc = u32::from_le_bytes(header[4..8].try_into().expect("length checked"));
@@ -293,13 +364,19 @@ fn scan_segment(path: &Path, is_last: bool) -> StorageResult<ScannedSegment> {
         // A matching CRC over bytes that do not decode is not a torn write.
         let record = WalRecord::from_bytes(payload)
             .map_err(|e| corrupt(format!("record at byte {pos} does not decode: {e}")))?;
-        records.push(record);
+        pending.push(record);
         pos += FRAME_HEADER_BYTES + payload.len();
+    }
+    // Whole frames past the last seal: the writer died between `write` and
+    // the batch's `fsync` — drop the batch as a unit in the last segment,
+    // refuse a sealed segment that ends unsealed.
+    if !pending.is_empty() && !is_last {
+        return Err(corrupt("segment ends with an unsealed batch".into()));
     }
     Ok(ScannedSegment {
         base,
         records,
-        good_end: pos as u64,
+        good_end: good_end as u64,
     })
 }
 
@@ -787,16 +864,37 @@ fn split_prefix(prefix: &Path) -> StorageResult<(PathBuf, String)> {
     Ok((dir, name.to_string()))
 }
 
-/// Appends `frames` to the active segment and syncs it.  Rotates first when
-/// the active segment is over budget (never mid-batch, so LSNs stay dense
-/// per segment).
+/// The seal frame closing a group-committed batch: a zero length field (no
+/// record frame has one), the seal magic, the record count, a CRC over the
+/// batch's frame bytes, and a CRC over the seal's own first 16 bytes.
+fn seal_frame(frames: &[Vec<u8>]) -> [u8; SEAL_BYTES] {
+    let batch: Vec<u8> = frames.iter().flat_map(|f| f.iter().copied()).collect();
+    let mut seal = [0u8; SEAL_BYTES];
+    seal[0..4].copy_from_slice(&0u32.to_le_bytes());
+    seal[4..8].copy_from_slice(&SEAL_MAGIC.to_le_bytes());
+    seal[8..12].copy_from_slice(&(frames.len() as u32).to_le_bytes());
+    seal[12..16].copy_from_slice(&crc32(&batch).to_le_bytes());
+    let seal_crc = crc32(&seal[0..16]);
+    seal[16..20].copy_from_slice(&seal_crc.to_le_bytes());
+    seal
+}
+
+/// Appends `frames` to the active segment as one sealed batch and syncs
+/// it: every record frame, then the batch seal, then a single `fsync`.
+/// Replay ignores records past the last valid seal, so a crash anywhere
+/// before the sync loses the batch as a unit — never a prefix of it.
 fn write_frames(io: &mut IoState, frames: &[Vec<u8>]) -> StorageResult<()> {
-    let batch_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum();
+    if frames.is_empty() {
+        return Ok(());
+    }
+    let batch_bytes: u64 =
+        frames.iter().map(|f| f.len() as u64).sum::<u64>() + SEAL_BYTES as u64;
     Ok(())
         .and_then(|()| {
             for frame in frames {
                 io.file.write_all(frame)?;
             }
+            io.file.write_all(&seal_frame(frames))?;
             io.file.sync_data()?;
             Ok(())
         })

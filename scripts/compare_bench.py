@@ -18,6 +18,10 @@ shared numeric metric is compared:
   regress when the current value falls short by more than the threshold;
 * metrics with no recognizable direction are reported but never fail.
 
+Rows or whole experiments present in the baseline but missing from the
+current run are themselves regressions — coverage must not silently
+shrink when a harness change drops an artifact or a workload row.
+
 Exits 1 if any regression beyond the threshold (default 10%) is found,
 0 otherwise.  Uses only the standard library.
 """
@@ -130,12 +134,18 @@ def main() -> int:
     compared = 0
     for experiment in sorted(base):
         if experiment not in curr:
-            print(f"warning: experiment {experiment!r} missing from current run")
+            # A vanished experiment is a lost measurement, not a skip: the
+            # harness stopped producing an artifact the baseline had.
+            regressions.append(
+                f"{experiment}: experiment missing from current run"
+            )
             continue
         for key, base_row in base[experiment].items():
             curr_row = curr[experiment].get(key)
             if curr_row is None:
-                print(f"warning: {experiment}: row [{fmt_key(key)}] missing from current run")
+                regressions.append(
+                    f"{experiment}: row [{fmt_key(key)}] missing from current run"
+                )
                 continue
             for metric, base_val in base_row.items():
                 if metric.rsplit(".", 1)[-1] in KEY_COLUMNS:
