@@ -13,9 +13,12 @@
 //! `BENCH_<experiment>.json` artifact into DIR.
 //!
 //! Two extra commands drive the CI crash-recovery smoke test and take
-//! `--db PATH`: `crash-writer` runs an endless acknowledged-insert workload
-//! (meant to be SIGKILLed mid-run), `crash-verify` reopens the database and
-//! checks every acknowledged commit survived.
+//! `--db PATH`: `crash-writer` runs an endless acknowledged-write workload
+//! mixing auto-commit inserts with multi-statement transactions — committed
+//! ones are acknowledged after `commit()` returns, aborted ones leave
+//! absence promises — and is meant to be SIGKILLed mid-run (sometimes with
+//! a transaction open); `crash-verify` reopens the database and checks
+//! every acknowledged commit survived and no aborted value resurfaced.
 
 use spgist_bench::loc::table7;
 use spgist_bench::stats::{log10_ratio, ratio_pct};
@@ -23,9 +26,8 @@ use spgist_bench::{
     point_sizes, run_build_experiment, run_clustering_ablation, run_hot_writer_scaling,
     run_io_patterns, run_mixed_workload, run_nn_experiments, run_point_experiments,
     run_pool_overhead, run_read_scaling, run_reopen_experiment, run_segment_experiments,
-    run_string_experiments,
-    run_substring_experiments, run_trie_variant_ablation, run_wal_experiment, word_sizes,
-    write_build_json, write_rows_json, JsonVal, NN_KS,
+    run_string_experiments, run_substring_experiments, run_trie_variant_ablation,
+    run_wal_experiment, word_sizes, write_build_json, write_rows_json, JsonVal, NN_KS,
 };
 
 struct Options {
@@ -389,12 +391,26 @@ fn print_wal(opts: &Options) {
     );
 }
 
-/// `crash-writer --db PATH`: an endless acknowledged-insert workload for
-/// the CI crash-recovery smoke test.  After every insert the database
-/// acknowledges, the `(row, value)` pair is appended to `PATH.ack`; the
-/// harness SIGKILLs this process mid-run and `crash-verify` then checks
-/// that the reopened database holds every acknowledged pair.  Checkpoints
-/// run periodically so the kill also lands mid-checkpoint some of the time.
+/// `crash-writer --db PATH`: an endless acknowledged-write workload for
+/// the CI crash-recovery smoke test.  Each round mixes three shapes:
+///
+/// * **auto-commit inserts** — after every insert the database
+///   acknowledges, the `(row, value)` pair is appended to `PATH.ack`;
+/// * **a committed multi-statement transaction** — its `(row, value)`
+///   pairs are appended only after `commit()` returns, i.e. after the
+///   `CommitTxn` record is sealed and fsynced, so every complete positive
+///   ack line is a durability promise;
+/// * **an aborted multi-statement transaction** — its rows are appended
+///   as `! row value` *absence* promises: no recovered row may ever hold
+///   an aborted value.  (The line carries the value rather than just the
+///   row id because a row id burned only by never-durable loser records
+///   may legitimately be re-issued to a later committed insert.)
+///
+/// The harness SIGKILLs this process mid-run — sometimes mid-statement
+/// inside an open transaction, which must then recover as a loser — and
+/// `crash-verify` checks both promise kinds against the reopened
+/// database.  Checkpoints run every round so the kill also lands
+/// mid-checkpoint some of the time.
 fn run_crash_writer(opts: &Options) -> ! {
     let db_path = opts
         .db
@@ -419,7 +435,9 @@ fn run_crash_writer(opts: &Options) -> ! {
         .expect("open ack file");
 
     let mut committed = 0u64;
+    let mut txn_serial = 0u64;
     loop {
+        use std::io::Write as _;
         let table = db.table_handle("log").expect("log table");
         for _ in 0..256 {
             let value = format!("v{:08}", table.len());
@@ -427,20 +445,56 @@ fn run_crash_writer(opts: &Options) -> ! {
             // The database acknowledged the commit; only now does the ack
             // file learn about it, so every complete ack line is a promise
             // the reopened database must honor.
-            use std::io::Write as _;
             writeln!(ack, "{row} {value}").expect("append ack line");
             committed += 1;
         }
         drop(table);
+
+        // A committed multi-statement transaction.  The kill window covers
+        // the whole episode: if SIGKILL lands before commit() returns, no
+        // ack line was written and recovery may legitimately drop the txn;
+        // once commit() returns the CommitTxn record is durable and every
+        // statement below is promised.
+        let mut txn = db.begin().expect("begin committed txn");
+        let mut staged = Vec::new();
+        for stmt in 0..8 {
+            let value = format!("t{txn_serial:06}.{stmt}");
+            let row = txn.insert("log", value.clone()).expect("txn insert");
+            staged.push((row, value));
+        }
+        txn.commit().expect("commit txn");
+        for (row, value) in staged {
+            writeln!(ack, "{row} {value}").expect("append ack line");
+            committed += 1;
+        }
+
+        // An aborted multi-statement transaction: its values must never be
+        // visible again, in this process or after any crash.
+        let mut txn = db.begin().expect("begin aborted txn");
+        let mut doomed = Vec::new();
+        for stmt in 0..4 {
+            let value = format!("x{txn_serial:06}.{stmt}");
+            let row = txn.insert("log", value.clone()).expect("txn insert");
+            doomed.push((row, value));
+        }
+        txn.abort().expect("abort txn");
+        for (row, value) in doomed {
+            writeln!(ack, "! {row} {value}").expect("append absence line");
+        }
+        txn_serial += 1;
+
         // Periodic checkpoints put data pages + catalog writes in the kill
-        // window too, not just log appends.
+        // window too, not just log appends.  (All transactions above are
+        // closed — the no-steal pool refuses to checkpoint otherwise.)
         db.checkpoint().expect("checkpoint");
         println!("committed {committed}");
     }
 }
 
 /// `crash-verify --db PATH`: reopens a (possibly SIGKILLed) database and
-/// asserts every acknowledged commit recorded in `PATH.ack` survived.
+/// asserts every acknowledged commit recorded in `PATH.ack` survived, and
+/// that no `! row value` absence promise (an aborted transaction's
+/// statement) resurfaced as a live row holding that value.
 fn run_crash_verify(opts: &Options) -> ! {
     let db_path = opts
         .db
@@ -459,7 +513,28 @@ fn run_crash_verify(opts: &Options) -> ! {
         lines.len().saturating_sub(1)
     };
     let mut verified = 0u64;
+    let mut absent = 0u64;
     for line in &lines[..complete] {
+        if let Some(rest) = line.strip_prefix("! ") {
+            // Absence promise: an aborted transaction's statement.  The row
+            // id may have been re-issued to a later committed insert (the
+            // burn is only durable if the loser's records reached disk), so
+            // the invariant is value-keyed: this row must not hold the
+            // aborted value.
+            let (row, value) = rest
+                .split_once(' ')
+                .unwrap_or_else(|| panic!("malformed absence line {line:?}"));
+            let row: u64 = row.parse().expect("absence row id");
+            if let Some(datum) = table.try_datum(row).expect("read row") {
+                assert_ne!(
+                    datum,
+                    spgist_catalog::Datum::Text(value.to_string()),
+                    "aborted row {row} resurfaced after crash"
+                );
+            }
+            absent += 1;
+            continue;
+        }
         let (row, value) = line
             .split_once(' ')
             .unwrap_or_else(|| panic!("malformed ack line {line:?}"));
@@ -481,7 +556,8 @@ fn run_crash_verify(opts: &Options) -> ! {
         table.len()
     );
     println!(
-        "crash-verify: {verified} acknowledged commits all recovered ({} rows in table)",
+        "crash-verify: {verified} acknowledged commits all recovered, \
+         {absent} aborted statements stayed invisible ({} rows in table)",
         table.len()
     );
     std::process::exit(0);

@@ -216,9 +216,9 @@ pub fn run_hot_writer_scaling(
     seed: u64,
 ) -> Vec<HotWriterRow> {
     let index = shared_kdtree(n_points, seed);
-    let mut writer_generation = 0u64;
     let mut rows: Vec<HotWriterRow> = Vec::with_capacity(thread_counts.len());
-    for &threads in thread_counts {
+    for (writer_generation, &threads) in thread_counts.iter().enumerate() {
+        let writer_generation = writer_generation as u64;
         let threads = threads.max(1);
         let stats_before = index.tree().concurrency_stats();
         let stop = AtomicBool::new(false);
@@ -245,7 +245,9 @@ pub fn run_hot_writer_scaling(
                             if landed > 0 && stop.load(Ordering::Relaxed) {
                                 break 'window;
                             }
-                            index.insert(*p, base + landed as RowId).expect("hot insert");
+                            index
+                                .insert(*p, base + landed as RowId)
+                                .expect("hot insert");
                             landed += 1;
                         }
                     }
@@ -285,7 +287,6 @@ pub fn run_hot_writer_scaling(
             (per_thread, writer.join().expect("writer thread panicked"))
         });
         let elapsed = started.elapsed();
-        writer_generation += 1;
         let total_queries = threads * queries_per_thread;
         let total_rows = per_thread.iter().map(|(rows, _)| rows).sum();
         let mut latencies: Vec<Duration> =
@@ -425,7 +426,10 @@ mod tests {
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].threads, 1);
         assert_eq!(rows[1].threads, 2);
-        assert!((rows[0].speedup - 1.0).abs() < 1e-9, "row 0 is its own baseline");
+        assert!(
+            (rows[0].speedup - 1.0).abs() < 1e-9,
+            "row 0 is its own baseline"
+        );
         for row in &rows {
             assert_eq!(row.total_queries, row.threads * 15);
             assert!(row.writer_inserts > 0, "the hot writer must land inserts");

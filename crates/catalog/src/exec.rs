@@ -42,7 +42,7 @@
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, MutexGuard, RwLock};
@@ -58,7 +58,7 @@ use spgist_storage::{
     journal, AccessHint, BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, MemPager,
     PageId, RecordId, StorageError, StorageResult,
 };
-use spgist_wal::{Wal, WalConfig, WalRecord};
+use spgist_wal::{Lsn, TxnId, Wal, WalConfig, WalRecord, AUTOCOMMIT};
 
 use crate::am::Catalog;
 use crate::cost::{CostEstimate, Selectivity, TableStats, CPU_OPERATOR_COST};
@@ -1516,7 +1516,23 @@ impl Table {
     /// lock so a concurrent delete of the just-inserted row cannot
     /// interleave between the heap append and the index updates.
     pub fn insert(&self, datum: impl Into<Datum>) -> StorageResult<RowId> {
-        let datum = datum.into();
+        let (row, lsn) = self.insert_logged(datum.into(), AUTOCOMMIT)?;
+        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
+            wal.wait_durable(lsn)?;
+        }
+        Ok(row)
+    }
+
+    /// The apply-and-log half of an insert: executes the statement under the
+    /// DML lock and submits its redo record tagged with `txn`, but does
+    /// **not** wait for durability.  Auto-commit ([`Table::insert`]) waits on
+    /// the returned LSN before acknowledging; a [`Transaction`] statement
+    /// skips the wait entirely — its commit point is the `CommitTxn` record.
+    pub(crate) fn insert_logged(
+        &self,
+        datum: Datum,
+        txn: TxnId,
+    ) -> StorageResult<(RowId, Option<Lsn>)> {
         if datum.key_type() != self.key_type {
             return Err(StorageError::Unsupported(format!(
                 "cannot insert a {} value into table {:?} of type {}",
@@ -1550,14 +1566,12 @@ impl Table {
                 table: self.name.clone(),
                 row,
                 datum: wal_datum.expect("cloned when the wal is attached"),
+                txn,
             })?),
             None => None,
         };
         drop(dml);
-        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
-            wal.wait_durable(lsn)?;
-        }
-        Ok(row)
+        Ok((row, lsn))
     }
 
     /// Inserts a batch of key values as **one DML statement**, returning the
@@ -1576,6 +1590,20 @@ impl Table {
         I::Item: Into<Datum>,
     {
         let data: Vec<Datum> = data.into_iter().map(Into::into).collect();
+        let (rows, lsn) = self.insert_many_logged(data, AUTOCOMMIT)?;
+        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
+            wal.wait_durable(lsn)?;
+        }
+        Ok(rows)
+    }
+
+    /// The apply-and-log half of [`Table::insert_many`] (see
+    /// [`Table::insert_logged`] for the auto-commit/transaction split).
+    pub(crate) fn insert_many_logged(
+        &self,
+        data: Vec<Datum>,
+        txn: TxnId,
+    ) -> StorageResult<(Vec<RowId>, Option<Lsn>)> {
         if let Some(bad) = data.iter().find(|d| d.key_type() != self.key_type) {
             return Err(StorageError::Unsupported(format!(
                 "cannot insert a {} value into table {:?} of type {}",
@@ -1585,7 +1613,7 @@ impl Table {
             )));
         }
         if data.is_empty() {
-            return Ok(Vec::new());
+            return Ok((Vec::new(), None));
         }
         let dml = self.dml.lock();
         let mut wal_datums: Vec<Vec<u8>> = Vec::new();
@@ -1618,14 +1646,12 @@ impl Table {
                 table: self.name.clone(),
                 first_row: items[0].1,
                 datums: wal_datums,
+                txn,
             })?),
             None => None,
         };
         drop(dml);
-        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
-            wal.wait_durable(lsn)?;
-        }
-        Ok(items.into_iter().map(|(_, row)| row).collect())
+        Ok((items.into_iter().map(|(_, row)| row).collect(), lsn))
     }
 
     /// Deletes the row, removing it from the heap and every index; returns
@@ -1635,14 +1661,30 @@ impl Table {
     /// so the heap removal and index removals are one atomic statement with
     /// respect to other DML.
     pub fn delete(&self, row: RowId) -> StorageResult<bool> {
+        let (deleted, lsn) = self.delete_logged(row, AUTOCOMMIT)?;
+        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
+            wal.wait_durable(lsn)?;
+        }
+        Ok(deleted.is_some())
+    }
+
+    /// The apply-and-log half of [`Table::delete`] (see
+    /// [`Table::insert_logged`] for the auto-commit/transaction split).
+    /// Returns the deleted datum — the information a transaction needs to
+    /// undo the delete on abort — or `None` if the row did not exist.
+    pub(crate) fn delete_logged(
+        &self,
+        row: RowId,
+        txn: TxnId,
+    ) -> StorageResult<(Option<Datum>, Option<Lsn>)> {
         let dml = self.dml.lock();
         let datum = {
             let mut inner = self.inner.write();
             let Some(slot) = inner.rows.get_mut(row as usize) else {
-                return Ok(false);
+                return Ok((None, None));
             };
             let Some(rid) = slot.take() else {
-                return Ok(false);
+                return Ok((None, None));
             };
             let datum = Datum::decode_record(&inner.heap.get(rid)?)?;
             inner.heap.delete(rid)?;
@@ -1658,14 +1700,12 @@ impl Table {
             Some(wal) => Some(wal.submit(&WalRecord::Delete {
                 table: self.name.clone(),
                 row,
+                txn,
             })?),
             None => None,
         };
         drop(dml);
-        if let (Some(wal), Some(lsn)) = (&self.wal, lsn) {
-            wal.wait_durable(lsn)?;
-        }
-        Ok(true)
+        Ok((Some(datum), lsn))
     }
 
     /// Re-executes a logged `INSERT` during recovery.  Row ids are assigned
@@ -1750,6 +1790,88 @@ impl Table {
         for named in &self.indexes {
             named.index.insert_batch(&items)?;
             named.invalidate_stats();
+        }
+        Ok(())
+    }
+
+    /// Rolls back one of a transaction's inserts: removes `row` from the
+    /// heap and every index, **without logging**.  No compensation record is
+    /// needed — if the process dies mid-abort, recovery reaches the same
+    /// state by dropping the loser transaction's records.  The row-id slot
+    /// stays allocated as a tombstone, so ids handed to later statements are
+    /// unaffected (exactly the state recovery's loser-drop reproduces).
+    pub(crate) fn undo_insert(&self, row: RowId) -> StorageResult<()> {
+        let _dml = self.dml.lock();
+        let datum = {
+            let mut inner = self.inner.write();
+            let Some(slot) = inner.rows.get_mut(row as usize) else {
+                return Ok(());
+            };
+            let Some(rid) = slot.take() else {
+                // Already gone: a concurrent statement deleted the
+                // uncommitted row (statements are not isolated).
+                return Ok(());
+            };
+            let datum = Datum::decode_record(&inner.heap.get(rid)?)?;
+            inner.heap.delete(rid)?;
+            inner.live_rows -= 1;
+            datum
+        };
+        for named in &self.indexes {
+            named.index.delete(&datum, row)?;
+            named.invalidate_stats();
+        }
+        Ok(())
+    }
+
+    /// Rolls back one of a transaction's deletes: re-inserts the remembered
+    /// `datum` at its original row id, unlogged (see [`Table::undo_insert`]).
+    pub(crate) fn undo_delete(&self, row: RowId, datum: &Datum) -> StorageResult<()> {
+        let record = datum.encode_record();
+        let _dml = self.dml.lock();
+        let reinserted = {
+            let mut inner = self.inner.write();
+            match inner.rows.get(row as usize) {
+                Some(None) => {
+                    let rid = inner.heap.insert(&record)?;
+                    inner.rows[row as usize] = Some(rid);
+                    inner.live_rows += 1;
+                    inner.distinct.insert(record);
+                    true
+                }
+                // Live again or never allocated: another statement got
+                // there first (statements are not isolated); leave it.
+                _ => false,
+            }
+        };
+        if reinserted {
+            for named in &self.indexes {
+                named.index.insert(datum, row)?;
+                named.invalidate_stats();
+            }
+        }
+        Ok(())
+    }
+
+    /// Replays a loser transaction's logged insert of `count` rows starting
+    /// at `row`: the statement must not apply, but its row ids were consumed
+    /// at execution time and every later record's ids count on them — so the
+    /// slots are allocated *dead* (no heap record, no index entry, not
+    /// live), exactly the state an explicit abort's undo leaves behind.
+    pub(crate) fn replay_loser_insert(&self, row: RowId, count: u64) -> StorageResult<()> {
+        let _dml = self.dml.lock();
+        let mut inner = self.inner.write();
+        let next = inner.rows.len() as RowId;
+        let end = row + count;
+        if next < row {
+            return Err(StorageError::Corrupt(format!(
+                "WAL replay gap on table {:?}: next row is {next} but a loser \
+                 transaction's insert covers rows {row}..{end}",
+                self.name
+            )));
+        }
+        for _ in next.max(row)..end {
+            inner.rows.push(None);
         }
         Ok(())
     }
@@ -2687,6 +2809,21 @@ pub struct Database {
     /// back, so a crash anywhere inside a checkpoint recovers the exact
     /// previous checkpoint plus the still-un-pruned log.
     journal: Option<PathBuf>,
+    /// Next transaction id to hand out.  Seeded past the largest id
+    /// surviving in the log at open, so a new transaction can never collide
+    /// with records of an older incarnation still awaiting pruning (a
+    /// collision would let an old `CommitTxn` adopt a new loser's
+    /// statements during a later replay).
+    next_txn: AtomicU64,
+    /// Number of open [`Transaction`] handles.  The checkpoint protocol
+    /// refuses to run while this is nonzero: the pool is no-steal, and a
+    /// checkpoint taken mid-transaction would flush uncommitted work into
+    /// the data file *and* cut the log below the records recovery needs to
+    /// drop it.  In safe code the borrow checker already forbids the
+    /// combination (`begin` borrows the database shared, `checkpoint` needs
+    /// it exclusively); the counter keeps the invariant enforced for
+    /// test-only escape hatches like [`Transaction::crash_for_test`].
+    open_txns: AtomicU64,
 }
 
 /// WAL segment file prefix for the database at `path`: segments are
@@ -2734,6 +2871,8 @@ impl Database {
             catalog_chain: None,
             wal: None,
             journal: None,
+            next_txn: AtomicU64::new(1),
+            open_txns: AtomicU64::new(0),
         }
     }
 
@@ -2817,6 +2956,8 @@ impl Database {
             catalog_chain: Some(vec![root]),
             wal: Some(wal),
             journal: Some(journal),
+            next_txn: AtomicU64::new(1),
+            open_txns: AtomicU64::new(0),
         };
         db.checkpoint()?;
         Ok(db)
@@ -2888,6 +3029,25 @@ impl Database {
         }
         let (wal, records) = Wal::open(wal_path, wal_config, persisted.checkpoint_lsn)?;
         let wal = Arc::new(wal);
+        // Pass 1 over the surviving records: which transactions have a
+        // durable `CommitTxn`?  Everything else is a *loser* — the crash
+        // (or an explicit abort) got there before the commit point — and
+        // none of its statements may apply.  Pass 2 below still walks the
+        // records in LSN order, because row ids were assigned in execution
+        // order across transactions; a loser's inserts are replayed as dead
+        // row-directory slots so every later record's ids line up.
+        let winners: HashSet<TxnId> = records
+            .iter()
+            .filter_map(|(_, record)| match record {
+                WalRecord::CommitTxn { txn } => Some(*txn),
+                _ => None,
+            })
+            .collect();
+        let max_txn = records
+            .iter()
+            .map(|(_, record)| record.txn())
+            .max()
+            .unwrap_or(AUTOCOMMIT);
         let mut db = Database {
             catalog: Catalog::with_paper_defaults(),
             pool,
@@ -2897,10 +3057,12 @@ impl Database {
             // statements are not logged again.
             wal: None,
             journal: Some(journal),
+            next_txn: AtomicU64::new(max_txn + 1),
+            open_txns: AtomicU64::new(0),
         };
         let replayed = records.len();
         for (lsn, record) in records {
-            db.replay_record(record).map_err(|e| {
+            db.replay_record(record, &winners).map_err(|e| {
                 StorageError::Corrupt(format!("WAL replay failed at lsn {lsn}: {e}"))
             })?;
         }
@@ -2923,31 +3085,61 @@ impl Database {
     /// the checkpoint image (the log cut can overlap it — see
     /// [`Database::checkpoint`]): DML verifies row-id positions, DDL checks
     /// existence before re-executing.
-    fn replay_record(&mut self, record: WalRecord) -> StorageResult<()> {
+    ///
+    /// `winners` is the set of transactions whose `CommitTxn` survived in
+    /// the log.  A DML record of any other transaction is a *loser*: its
+    /// insert only allocates dead row-id slots (keeping later ids aligned)
+    /// and its delete is skipped outright — none of its changes, and no
+    /// index entries, reach the recovered state.
+    fn replay_record(&mut self, record: WalRecord, winners: &HashSet<TxnId>) -> StorageResult<()> {
         let missing = |table: &str| {
             StorageError::Corrupt(format!("WAL record names unknown table {table:?}"))
         };
+        let committed = |txn: TxnId| txn == AUTOCOMMIT || winners.contains(&txn);
         match record {
-            WalRecord::Insert { table, row, datum } => self
-                .tables
-                .get(&table)
-                .ok_or_else(|| missing(&table))?
-                .replay_insert(row, &datum),
+            WalRecord::Insert {
+                table,
+                row,
+                datum,
+                txn,
+            } => {
+                let t = self.tables.get(&table).ok_or_else(|| missing(&table))?;
+                if committed(txn) {
+                    t.replay_insert(row, &datum)
+                } else {
+                    t.replay_loser_insert(row, 1)
+                }
+            }
             WalRecord::InsertMany {
                 table,
                 first_row,
                 datums,
-            } => self
-                .tables
-                .get(&table)
-                .ok_or_else(|| missing(&table))?
-                .replay_insert_many(first_row, &datums),
-            WalRecord::Delete { table, row } => self
-                .tables
-                .get(&table)
-                .ok_or_else(|| missing(&table))?
-                .delete(row)
-                .map(|_| ()),
+                txn,
+            } => {
+                let t = self.tables.get(&table).ok_or_else(|| missing(&table))?;
+                if committed(txn) {
+                    t.replay_insert_many(first_row, &datums)
+                } else {
+                    t.replay_loser_insert(first_row, datums.len() as u64)
+                }
+            }
+            WalRecord::Delete { table, row, txn } => {
+                let t = self.tables.get(&table).ok_or_else(|| missing(&table))?;
+                if committed(txn) {
+                    t.delete(row).map(|_| ())
+                } else {
+                    // A loser's delete never happened: the row stays (the
+                    // live abort path restored it via undo before the
+                    // crash, or the crash itself pre-empted the delete's
+                    // commit).
+                    Ok(())
+                }
+            }
+            // Transaction control records carry no state of their own;
+            // their effect is the winner/loser split computed in pass 1.
+            WalRecord::BeginTxn { .. }
+            | WalRecord::CommitTxn { .. }
+            | WalRecord::AbortTxn { .. } => Ok(()),
             WalRecord::CreateTable { table, key_type } => {
                 if self.tables.contains_key(&table) {
                     return Ok(()); // already in the checkpoint image
@@ -3031,6 +3223,17 @@ impl Database {
     /// checkpointing is *purely* a log-truncation (and reopen-speed)
     /// optimization.
     pub fn checkpoint(&mut self) -> StorageResult<()> {
+        // No-steal quiesce: uncommitted transactional work must never reach
+        // the data file.  `&mut self` already guarantees no `Transaction`
+        // borrow is live; this guard catches the test-only crash-simulation
+        // escape hatch, which leaks its registration on purpose.
+        let open = self.open_txns.load(Ordering::SeqCst);
+        if open != 0 {
+            return Err(StorageError::Unsupported(format!(
+                "cannot checkpoint with {open} open transaction(s): the pool is \
+                 no-steal, and a checkpoint would persist uncommitted work"
+            )));
+        }
         let Some(chain) = self.catalog_chain.as_mut() else {
             return Ok(());
         };
@@ -3086,6 +3289,42 @@ impl Database {
     /// the next open; closing just makes the reopen replay-free.
     pub fn close(mut self) -> StorageResult<()> {
         self.checkpoint()
+    }
+
+    /// Opens a multi-statement transaction.  Statements run through the
+    /// returned [`Transaction`] handle are applied immediately (visible to
+    /// concurrent readers — atomicity and durability, not isolation) but
+    /// are **acknowledged only at [`Transaction::commit`]**: none of them
+    /// waits for an fsync of its own, and a crash before the commit point
+    /// erases all of them.  [`Transaction::abort`] (or dropping the handle)
+    /// rolls every statement back via logical undo.
+    ///
+    /// DDL stays auto-commit and is not available through the handle; it
+    /// needs `&mut Database`, which the borrow on the open transaction
+    /// denies — so a checkpoint (which must not persist uncommitted work
+    /// into the no-steal data file) can never run mid-transaction.
+    ///
+    /// Transactions work on in-memory databases too: same atomicity via
+    /// undo, no durability (there is no log to commit into).
+    pub fn begin(&self) -> StorageResult<Transaction<'_>> {
+        if let Some(wal) = &self.wal {
+            // Fail fast on a poisoned log rather than at the first statement.
+            wal.health().map_err(|e| {
+                StorageError::Io(std::io::Error::other(format!(
+                    "database failed after a write-ahead log error \
+                     (reopen to recover): {e}"
+                )))
+            })?;
+        }
+        let id = self.next_txn.fetch_add(1, Ordering::Relaxed);
+        self.open_txns.fetch_add(1, Ordering::SeqCst);
+        Ok(Transaction {
+            db: self,
+            id,
+            began: false,
+            undo: Vec::new(),
+            done: false,
+        })
     }
 
     /// The write-ahead log of a durable database (`None` in-memory):
@@ -3339,6 +3578,240 @@ impl std::fmt::Debug for Database {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Database")
             .field("tables", &self.tables.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+/// The inverse of one applied transactional statement, executed in reverse
+/// order on abort.  Undo is **not** logged: if the process dies mid-abort,
+/// recovery reaches the same end state by dropping the loser transaction's
+/// redo records, so compensation records would be redundant.
+enum UndoOp {
+    /// Undo an insert: remove the row again (its id slot stays allocated).
+    Insert { table: Arc<Table>, row: RowId },
+    /// Undo an `insert_many` batch: remove rows `first_row..first_row+count`.
+    InsertMany {
+        table: Arc<Table>,
+        first_row: RowId,
+        count: u64,
+    },
+    /// Undo a delete: re-insert the remembered datum at its original row id.
+    Delete {
+        table: Arc<Table>,
+        row: RowId,
+        datum: Datum,
+    },
+}
+
+/// A multi-statement transaction from [`Database::begin`].
+///
+/// Statements apply immediately and are logged with this transaction's id,
+/// but none of them waits for an fsync: the **commit point is the
+/// `CommitTxn` record** that [`Transaction::commit`] submits and waits on —
+/// one group-committed fsync makes the whole transaction durable.  Until
+/// then the transaction is a *loser*: recovery after a crash drops every
+/// one of its statements (their logged row ids are preserved as dead
+/// row-directory slots so later statements' ids stay aligned, but no row
+/// data and no index entry survive).
+///
+/// [`Transaction::abort`] — or dropping the handle without committing —
+/// applies logical undo in reverse statement order: inserts are removed,
+/// deletes are re-inserted from the remembered datum.
+///
+/// What transactions do **not** provide is isolation: statements are
+/// visible to concurrent readers the moment they apply, exactly like
+/// auto-commit DML (see the crate's scan-semantics notes).  DDL remains
+/// auto-commit and requires `&mut Database`, which this handle's shared
+/// borrow denies while it is open.
+pub struct Transaction<'db> {
+    db: &'db Database,
+    id: TxnId,
+    /// Whether `BeginTxn` has been submitted (lazily, just before the first
+    /// logged statement — a read-only transaction leaves no log trace).
+    began: bool,
+    undo: Vec<UndoOp>,
+    /// Set by `commit`/`abort`; `Drop` rolls back when still false.
+    done: bool,
+}
+
+impl<'db> Transaction<'db> {
+    /// This transaction's id, as it appears in the log records.
+    pub fn id(&self) -> TxnId {
+        self.id
+    }
+
+    /// Number of statements executed (and thus undoable) so far.
+    pub fn statement_count(&self) -> usize {
+        self.undo.len()
+    }
+
+    fn table(&self, name: &str) -> StorageResult<Arc<Table>> {
+        self.db
+            .table_handle(name)
+            .ok_or_else(|| StorageError::Unsupported(format!("no table named {name:?}")))
+    }
+
+    /// Submits `BeginTxn` before the first logged statement, so replay sees
+    /// the transaction open strictly before any of its statements.
+    fn ensure_begun(&mut self) -> StorageResult<()> {
+        if !self.began {
+            if let Some(wal) = &self.db.wal {
+                wal.submit(&WalRecord::BeginTxn { txn: self.id })?;
+            }
+            self.began = true;
+        }
+        Ok(())
+    }
+
+    /// Inserts a value into `table` under this transaction; the row id is
+    /// assigned immediately but the insert is not durable (and not
+    /// acknowledged) until [`Transaction::commit`].
+    pub fn insert(&mut self, table: &str, datum: impl Into<Datum>) -> StorageResult<RowId> {
+        let t = self.table(table)?;
+        self.ensure_begun()?;
+        let (row, _lsn) = t.insert_logged(datum.into(), self.id)?;
+        self.undo.push(UndoOp::Insert { table: t, row });
+        Ok(row)
+    }
+
+    /// Inserts a batch into `table` as one statement (one redo record)
+    /// under this transaction.
+    pub fn insert_many<I>(&mut self, table: &str, data: I) -> StorageResult<Vec<RowId>>
+    where
+        I: IntoIterator,
+        I::Item: Into<Datum>,
+    {
+        let t = self.table(table)?;
+        self.ensure_begun()?;
+        let data: Vec<Datum> = data.into_iter().map(Into::into).collect();
+        let (rows, _lsn) = t.insert_many_logged(data, self.id)?;
+        if let Some(&first_row) = rows.first() {
+            self.undo.push(UndoOp::InsertMany {
+                table: t,
+                first_row,
+                count: rows.len() as u64,
+            });
+        }
+        Ok(rows)
+    }
+
+    /// Deletes a row from `table` under this transaction; returns whether
+    /// the row existed.  An abort re-inserts it at the same row id.
+    pub fn delete(&mut self, table: &str, row: RowId) -> StorageResult<bool> {
+        let t = self.table(table)?;
+        self.ensure_begun()?;
+        let (datum, _lsn) = t.delete_logged(row, self.id)?;
+        match datum {
+            Some(datum) => {
+                self.undo.push(UndoOp::Delete {
+                    table: t,
+                    row,
+                    datum,
+                });
+                Ok(true)
+            }
+            None => Ok(false),
+        }
+    }
+
+    /// Commits: submits the `CommitTxn` record and waits for its batch to
+    /// reach disk.  That single fsync (shared with whatever else group
+    /// commit batched) is the commit point for **every** statement of the
+    /// transaction — on success all of them are durable; on a crash before
+    /// it, none of them survive recovery.
+    ///
+    /// If the log fails here the transaction's durability is unknown; the
+    /// database is poisoned (fail-fast on further use) and reopening
+    /// recovers to the log's actual durable horizon, where the transaction
+    /// is either wholly present or wholly absent.
+    pub fn commit(mut self) -> StorageResult<()> {
+        self.done = true;
+        if self.began {
+            if let Some(wal) = &self.db.wal {
+                let lsn = wal.submit(&WalRecord::CommitTxn { txn: self.id })?;
+                wal.wait_durable(lsn)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls every statement back (reverse order) and marks the
+    /// transaction aborted in the log.  The undo itself is unlogged — see
+    /// [`UndoOp`] — and the `AbortTxn` marker is submitted without waiting:
+    /// recovery treats the transaction as a loser with or without it.
+    pub fn abort(mut self) -> StorageResult<()> {
+        self.done = true;
+        self.rollback()
+    }
+
+    fn rollback(&mut self) -> StorageResult<()> {
+        let mut first_err = None;
+        while let Some(op) = self.undo.pop() {
+            let result = match &op {
+                UndoOp::Insert { table, row } => table.undo_insert(*row),
+                UndoOp::InsertMany {
+                    table,
+                    first_row,
+                    count,
+                } => (*first_row..first_row + count)
+                    .rev()
+                    .try_for_each(|row| table.undo_insert(row)),
+                UndoOp::Delete { table, row, datum } => table.undo_delete(*row, datum),
+            };
+            if let Err(e) = result {
+                first_err.get_or_insert(e);
+            }
+        }
+        if self.began {
+            if let Some(wal) = &self.db.wal {
+                let _ = wal.submit(&WalRecord::AbortTxn { txn: self.id });
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Test hook: simulates the process dying with this transaction open.
+    /// A real crash runs no destructors, so the handle is forgotten — no
+    /// undo, no `AbortTxn`, and the open-transaction registration stays up
+    /// (a later checkpoint on this `Database` fails rather than persist the
+    /// orphaned uncommitted work).  The only sane follow-up is dropping the
+    /// `Database` and reopening, which drops the transaction as a loser.
+    ///
+    /// The undo list is released first: its entries hold `Arc<Table>`
+    /// handles, and leaking those would keep the WAL (and its flusher
+    /// thread) alive past the `Database` drop — the kill-point harnesses
+    /// rely on that drop draining every submitted record to disk.
+    #[doc(hidden)]
+    pub fn crash_for_test(mut self) {
+        self.undo.clear();
+        std::mem::forget(self);
+    }
+}
+
+impl Drop for Transaction<'_> {
+    /// An uncommitted transaction rolls back on drop (best-effort: undo
+    /// errors cannot surface from `Drop` — call [`Transaction::abort`] to
+    /// observe them).
+    fn drop(&mut self) {
+        if !self.done {
+            let _ = self.rollback();
+        }
+        self.db.open_txns.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+impl std::fmt::Debug for Transaction<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Transaction")
+            .field("id", &self.id)
+            .field("statements", &self.undo.len())
             .finish()
     }
 }
@@ -3838,5 +4311,174 @@ mod tests {
             panic!("non-text datum");
         };
         assert!(word.starts_with('a'));
+    }
+
+    #[test]
+    fn txn_commit_keeps_rows_and_abort_undoes_them() {
+        let db = word_table(10);
+        let mut txn = db.begin().unwrap();
+        let r1 = txn.insert("words", "alpha").unwrap();
+        let r2 = txn.insert("words", "bravo").unwrap();
+        assert_eq!((r1, r2), (10, 11));
+        assert_eq!(txn.statement_count(), 2);
+        // Statements are visible immediately: transactions provide
+        // atomicity + durability, not isolation.
+        assert_eq!(db.table("words").unwrap().len(), 12);
+        txn.commit().unwrap();
+        assert_eq!(db.table("words").unwrap().len(), 12);
+
+        let mut txn = db.begin().unwrap();
+        txn.insert("words", "gone").unwrap();
+        txn.insert_many("words", ["x", "y", "z"]).unwrap();
+        assert_eq!(db.table("words").unwrap().len(), 16);
+        txn.abort().unwrap();
+        assert_eq!(
+            db.table("words").unwrap().len(),
+            12,
+            "abort removes every row the transaction inserted"
+        );
+    }
+
+    #[test]
+    fn aborted_insert_leaves_a_dead_row_id() {
+        let db = word_table(5);
+        let mut txn = db.begin().unwrap();
+        let dead = txn.insert("words", "ghost").unwrap();
+        txn.abort().unwrap();
+        // The row id burned by the aborted insert is never reused: row ids
+        // stay deterministic across replay, which tombstones loser inserts.
+        let live = db.table("words").unwrap().insert("alive").unwrap();
+        assert_eq!(live, dead + 1);
+        assert!(db.table("words").unwrap().datum(dead).is_err());
+    }
+
+    #[test]
+    fn txn_delete_abort_restores_datum_at_same_row() {
+        let db = word_table(10);
+        let before = db.table("words").unwrap().datum(3).unwrap();
+        let mut txn = db.begin().unwrap();
+        assert!(txn.delete("words", 3).unwrap());
+        assert!(db.table("words").unwrap().datum(3).is_err());
+        // Deleting a row that is already gone is not an error.
+        assert!(!txn.delete("words", 3).unwrap());
+        txn.abort().unwrap();
+        assert_eq!(
+            db.table("words").unwrap().datum(3).unwrap(),
+            before,
+            "abort re-inserts the deleted datum at its original row id"
+        );
+    }
+
+    #[test]
+    fn txn_undo_runs_in_reverse_order() {
+        let db = word_table(4);
+        let mut txn = db.begin().unwrap();
+        // Delete row 2, then insert; undo must first remove the insert and
+        // then restore row 2, leaving exactly the original table.
+        assert!(txn.delete("words", 2).unwrap());
+        txn.insert("words", "fresh").unwrap();
+        drop(txn); // dropping an uncommitted transaction rolls it back
+        let t = db.table("words").unwrap();
+        assert_eq!(t.len(), 4);
+        for row in 0..4 {
+            assert!(t.datum(row).is_ok(), "row {row} must survive rollback");
+        }
+    }
+
+    #[test]
+    fn txn_ids_are_distinct_and_missing_table_errors() {
+        let db = word_table(1);
+        let a = db.begin().unwrap();
+        let b = db.begin().unwrap();
+        assert_ne!(a.id(), b.id());
+        let mut c = db.begin().unwrap();
+        assert!(c.insert("missing", "x").is_err());
+        assert_eq!(c.statement_count(), 0, "a failed statement logs nothing");
+        a.commit().unwrap();
+        b.abort().unwrap();
+        c.commit().unwrap();
+    }
+
+    #[test]
+    fn checkpoint_refuses_while_a_transaction_is_leaked_open() {
+        let mut db = word_table(2);
+        db.checkpoint().unwrap();
+        let mut txn = db.begin().unwrap();
+        txn.insert("words", "uncommitted").unwrap();
+        // Simulate a crash: the transaction vanishes without commit or
+        // rollback, leaving its registration in place.
+        txn.crash_for_test();
+        let err = db.checkpoint().unwrap_err();
+        assert!(
+            err.to_string().contains("open transaction"),
+            "no-steal checkpoint must refuse to persist uncommitted work: {err}"
+        );
+    }
+
+    #[test]
+    fn durable_txn_commit_survives_reopen_and_abort_does_not() {
+        let dir = std::env::temp_dir().join(format!("spgist-exec-txn-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.pages");
+        let dead;
+        {
+            let mut db = Database::create(&path).unwrap();
+            db.create_table("words", KeyType::Varchar).unwrap();
+            let mut txn = db.begin().unwrap();
+            txn.insert("words", "committed-a").unwrap();
+            txn.insert("words", "committed-b").unwrap();
+            txn.commit().unwrap();
+            let mut txn = db.begin().unwrap();
+            dead = txn.insert("words", "aborted").unwrap();
+            txn.abort().unwrap();
+            db.close().unwrap();
+        }
+        {
+            let db = Database::open(&path).unwrap();
+            let t = db.table("words").unwrap();
+            assert_eq!(t.len(), 2, "only the committed transaction's rows survive");
+            assert!(t.datum(dead).is_err(), "the aborted row stays dead");
+            // The dead slot still burns its row id after reopen.
+            assert_eq!(t.insert("later").unwrap(), dead + 1);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn durable_open_txn_is_a_loser_after_unclean_shutdown() {
+        let dir = std::env::temp_dir().join(format!("spgist-exec-loser-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.pages");
+        {
+            let mut db = Database::create(&path).unwrap();
+            db.create_table("words", KeyType::Varchar).unwrap();
+            db.table_mut("words").unwrap().insert("auto-0").unwrap();
+            let mut txn = db.begin().unwrap();
+            txn.insert("words", "loser-1").unwrap();
+            txn.insert("words", "loser-2").unwrap();
+            // Interleave an auto-commit write so loser tombstones must keep
+            // later row ids aligned during replay.
+            db.table("words").unwrap().insert("auto-3").unwrap();
+            let mut txn2 = db.begin().unwrap();
+            txn2.insert("words", "winner-4").unwrap();
+            txn2.commit().unwrap();
+            txn.crash_for_test();
+            // Crash without close(): drop(db) drains the WAL flusher, so
+            // every submitted record is on disk — but no CommitTxn for the
+            // first transaction ever was.
+        }
+        {
+            let db = Database::open(&path).unwrap();
+            let t = db.table("words").unwrap();
+            assert_eq!(t.datum(0).unwrap(), Datum::Text("auto-0".into()));
+            assert!(t.datum(1).is_err(), "loser insert dropped");
+            assert!(t.datum(2).is_err(), "loser insert dropped");
+            assert_eq!(t.datum(3).unwrap(), Datum::Text("auto-3".into()));
+            assert_eq!(t.datum(4).unwrap(), Datum::Text("winner-4".into()));
+            assert_eq!(t.len(), 3, "two auto-commit rows plus the winner");
+            // Row-id determinism: the next insert lands after the tombstones.
+            assert_eq!(t.insert("next").unwrap(), 5);
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -33,7 +33,8 @@ pub use am::{AccessMethod, Catalog};
 pub use cost::{CostEstimate, Selectivity, TableStats};
 pub use exec::{
     Database, Datum, ExecCursor, IndexSpec, KeyType, Predicate, Query, ScanSource, Table,
+    Transaction,
 };
 pub use operator::{Operator, OperatorClass, Strategy, SupportFunction};
 pub use planner::{AccessPath, AvailableIndex, Planner, QueryPredicate};
-pub use spgist_wal::{Wal, WalConfig};
+pub use spgist_wal::{TxnId, Wal, WalConfig};

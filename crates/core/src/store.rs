@@ -317,7 +317,9 @@ impl NodeStore {
         while cursor != CHAIN_END {
             let next = self.chain_next(cursor)?;
             self.pool
-                .with_page_mut_hinted(cursor.page, self.access_hint(), |p| p.delete(cursor.slot))??;
+                .with_page_mut_hinted(cursor.page, self.access_hint(), |p| {
+                    p.delete(cursor.slot)
+                })??;
             self.note_open_page(cursor.page);
             cursor = next;
         }
@@ -330,7 +332,8 @@ impl NodeStore {
     fn retire_chain_from(&self, mut cursor: NodeId) -> StorageResult<()> {
         while cursor != CHAIN_END {
             let next = self.chain_next(cursor)?;
-            self.epochs.retire(RetiredItem::Slot(cursor.page, cursor.slot));
+            self.epochs
+                .retire(RetiredItem::Slot(cursor.page, cursor.slot));
             cursor = next;
         }
         Ok(())
@@ -576,11 +579,9 @@ impl NodeStore {
 
     fn try_place_in(&self, page: PageId, bytes: &[u8]) -> StorageResult<Option<NodeId>> {
         // Read-only precheck so hopeless probes do not dirty the page.
-        let hopeless = self
-            .pool
-            .with_page_hinted(page, self.access_hint(), |p| {
-                !p.fits(bytes.len()) && p.num_live_records() == p.num_slots()
-            })?;
+        let hopeless = self.pool.with_page_hinted(page, self.access_hint(), |p| {
+            !p.fits(bytes.len()) && p.num_live_records() == p.num_slots()
+        })?;
         if hopeless {
             return Ok(None);
         }

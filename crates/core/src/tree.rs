@@ -309,7 +309,7 @@ impl<O: SpGistOps> SpGistTree<O> {
     /// [`BulkBuilder`]: crate::build::BulkBuilder
     pub fn bulk_build(&self, items: Vec<(O::Key, RowId)>) -> StorageResult<TreeStats> {
         let _gate = self.write_gate.write();
-        if self.root().is_some() || self.len() != 0 {
+        if self.root().is_some() || !self.is_empty() {
             return Err(StorageError::Unsupported(
                 "bulk_build requires an empty tree; use insert for incremental loads".into(),
             ));

@@ -12,7 +12,6 @@
 
 use std::sync::Arc;
 
-
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };

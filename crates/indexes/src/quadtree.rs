@@ -7,7 +7,6 @@
 
 use std::sync::Arc;
 
-
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };

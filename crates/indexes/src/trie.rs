@@ -13,7 +13,6 @@
 
 use std::sync::Arc;
 
-
 use spgist_core::{
     Choose, NodeShrink, PathShrink, PickSplit, RowId, SpGistConfig, SpGistOps, SpGistTree,
 };
@@ -377,7 +376,8 @@ impl TrieIndex {
     /// `@@` operator: the `k` nearest keys to `word` under the Hamming-style
     /// distance, nearest first.
     pub fn nearest(&self, word: &str, k: usize) -> StorageResult<Vec<(String, RowId, f64)>> {
-        self.tree.nn_search(StringQuery::Nearest(word.to_string()), k)
+        self.tree
+            .nn_search(StringQuery::Nearest(word.to_string()), k)
     }
 
     /// Runs an arbitrary [`StringQuery`] against the index (shim kept for

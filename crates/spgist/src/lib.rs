@@ -70,6 +70,7 @@ pub mod prelude {
     pub use spgist_catalog::{
         AccessMethod, AccessPath, AvailableIndex, Catalog, Database, Datum, ExecCursor, IndexSpec,
         KeyType, Planner, Predicate, Query, QueryPredicate, ScanSource, Table, TableStats,
+        Transaction,
     };
     pub use spgist_core::{
         ClusteringPolicy, NodeShrink, PathShrink, RowId, SearchCursor, SpGistConfig, SpGistOps,

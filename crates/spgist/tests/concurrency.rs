@@ -568,16 +568,15 @@ fn seeded_multi_writer_multi_reader_stress_loses_no_inserts() {
                     rows.iter().all(|&r| r < TOTAL),
                     "scan saw a row id that was never inserted"
                 );
-                for w in 0..WRITERS as usize {
+                for (w, &committed) in before.iter().enumerate() {
                     let lo = w as u64 * PER_WRITER;
                     let seen = rows
                         .iter()
                         .filter(|&&r| (lo..lo + PER_WRITER).contains(&r))
                         .count() as u64;
                     assert!(
-                        seen >= before[w],
-                        "scan lost inserts: writer {w} had committed {} but only {seen} visible",
-                        before[w]
+                        seen >= committed,
+                        "scan lost inserts: writer {w} had committed {committed} but only {seen} visible"
                     );
                 }
                 if before.iter().sum::<u64>() == TOTAL {
@@ -599,5 +598,8 @@ fn seeded_multi_writer_multi_reader_stress_loses_no_inserts() {
         .unwrap();
     rows.sort_unstable();
     let expected: Vec<RowId> = (0..TOTAL).collect();
-    assert_eq!(rows, expected, "after the dust settles every insert is present once");
+    assert_eq!(
+        rows, expected,
+        "after the dust settles every insert is present once"
+    );
 }

@@ -24,7 +24,7 @@ use std::sync::Arc;
 
 use spgist::catalog::WalConfig;
 use spgist::prelude::*;
-use spgist::storage::{FaultPager, SyncFault, WriteFault};
+use spgist::storage::{FaultPager, PageId, SyncFault, WriteFault};
 
 /// A scratch directory holding one database file plus its WAL segments.
 struct TempDb {
@@ -745,6 +745,276 @@ fn checkpoint_quiesces_concurrent_writers() {
         assert_eq!(rows.len(), PER, "every acknowledged row of thread {t}");
     }
     db.close().unwrap();
+}
+
+/// A multi-statement transaction's commit point is the durable `CommitTxn`
+/// record: tear the log at **every byte** from just before the
+/// transaction's first record to its end, and the reopened state must be
+/// all-or-nothing — the full pre-transaction state at every cut short of
+/// the final sealed batch (the one carrying `CommitTxn`), the full
+/// post-transaction state only with the log intact.  Never a prefix of the
+/// transaction's statements.
+#[test]
+fn torn_tail_across_a_commit_boundary_is_all_or_nothing() {
+    const BASE: usize = 6;
+    let tmp = TempDb::new("torn-txn");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..BASE {
+            table.insert(word(i)).unwrap();
+        }
+    }
+    let segment = tmp.last_segment();
+    let before_txn = std::fs::metadata(&segment).unwrap().len();
+    {
+        let mut txn = db.begin().unwrap();
+        txn.insert("words", word(BASE)).unwrap();
+        txn.insert("words", word(BASE + 1)).unwrap();
+        assert!(txn.delete("words", 2).unwrap());
+        txn.insert("words", word(BASE + 2)).unwrap();
+        txn.commit().unwrap(); // the one durability point of all four statements
+    }
+    drop(db); // crash
+    let full = std::fs::metadata(&segment).unwrap().len();
+    assert!(before_txn < full, "the transaction reached the log");
+    let crash_image = tmp.snapshot();
+
+    let check = |db: &Database, committed: bool, ctx: &str| {
+        let table = db.table("words").unwrap();
+        if committed {
+            assert_eq!(table.len(), (BASE + 2) as u64, "{ctx}: committed state");
+            assert_eq!(table.try_datum(2).unwrap(), None, "{ctx}: delete applied");
+            for row in BASE..BASE + 3 {
+                assert_eq!(
+                    table.datum(row as u64).unwrap(),
+                    Datum::Text(word(row)),
+                    "{ctx}: txn insert present"
+                );
+            }
+        } else {
+            // The exact pre-transaction state: every base row live
+            // (including row 2 — its delete must not leak through), no txn
+            // row visible anywhere.
+            assert_eq!(table.len(), BASE as u64, "{ctx}: pre-txn state");
+            for row in 0..BASE {
+                assert_eq!(
+                    table.datum(row as u64).unwrap(),
+                    Datum::Text(word(row)),
+                    "{ctx}: base row intact"
+                );
+            }
+            let rows = db
+                .query("words", Predicate::str_prefix("word-"))
+                .unwrap()
+                .rows()
+                .unwrap();
+            assert_eq!(rows.len(), BASE, "{ctx}: no phantom rows in scans");
+        }
+    };
+
+    // Intact image: the whole transaction is in.
+    let db = Database::open(tmp.path()).unwrap();
+    check(&db, true, "intact");
+    drop(db);
+
+    // Every shorter cut loses the sealed batch holding `CommitTxn`, so the
+    // whole transaction must drop out — whichever of its statement records
+    // happen to sit whole below the cut.
+    for cut in before_txn..full {
+        tmp.restore(&crash_image);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(&segment)
+            .unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+        let db = Database::open(tmp.path())
+            .unwrap_or_else(|e| panic!("reopen failed at cut {cut}: {e}"));
+        check(&db, false, &format!("cut {cut}"));
+        drop(db);
+    }
+}
+
+/// The mixed kill-point: one transaction committed, a second still open
+/// when the process dies.  Recovery must keep every statement of the winner
+/// and none of the loser — including the loser's index entries — while
+/// row ids stay aligned across both.
+#[test]
+fn open_txn_at_kill_point_drops_while_committed_txn_survives() {
+    let tmp = TempDb::new("mixed-txn");
+    let mut db = Database::create(tmp.path()).unwrap();
+    db.create_table("words", KeyType::Varchar).unwrap();
+    db.create_index("words", "words_trie", IndexSpec::Trie)
+        .unwrap();
+    {
+        let table = db.table_handle("words").unwrap();
+        for i in 0..4 {
+            table.insert(word(i)).unwrap(); // rows 0..4
+        }
+    }
+    {
+        let mut winner = db.begin().unwrap();
+        assert_eq!(winner.insert("words", "winner-a").unwrap(), 4);
+        assert!(winner.delete("words", 1).unwrap());
+        assert_eq!(winner.insert("words", "winner-b").unwrap(), 5);
+        winner.commit().unwrap();
+    }
+    {
+        let mut loser = db.begin().unwrap();
+        assert_eq!(loser.insert("words", "loser-a").unwrap(), 6);
+        assert!(loser.delete("words", 0).unwrap());
+        assert_eq!(loser.insert("words", "loser-b").unwrap(), 7);
+        loser.crash_for_test(); // still open when the lights go out
+    }
+    drop(db); // crash
+
+    let db = Database::open(tmp.path()).unwrap();
+    let table = db.table("words").unwrap();
+    assert_eq!(
+        table.len(),
+        5,
+        "4 base - 1 winner delete + 2 winner inserts"
+    );
+    assert_eq!(table.try_datum(1).unwrap(), None, "winner delete applied");
+    assert_eq!(
+        table.datum(0).unwrap(),
+        Datum::Text(word(0)),
+        "loser delete dropped: the row is still live"
+    );
+    assert_eq!(table.datum(4).unwrap(), Datum::Text("winner-a".into()));
+    assert_eq!(table.datum(5).unwrap(), Datum::Text("winner-b".into()));
+    assert_eq!(table.try_datum(6).unwrap(), None, "loser insert dropped");
+    assert_eq!(table.try_datum(7).unwrap(), None, "loser insert dropped");
+    // No phantom index entries: the trie sees winner rows, never loser rows.
+    let rows = db
+        .query("words", Predicate::str_prefix("winner-"))
+        .unwrap()
+        .rows()
+        .unwrap();
+    assert_eq!(rows.len(), 2, "winner rows indexed");
+    assert!(
+        db.query("words", Predicate::str_prefix("loser-"))
+            .unwrap()
+            .rows()
+            .unwrap()
+            .is_empty(),
+        "no phantom index entries for the loser"
+    );
+    // Row ids burned by the loser stay burned after recovery.
+    assert_eq!(table.insert("after").unwrap(), 8);
+    db.close().unwrap();
+}
+
+/// The transactional subset-sweep (ISSUE 9 satellite): a committed
+/// transaction, a failed checkpoint whose page writes sit un-synced in the
+/// kernel cache, an *open* transaction, and then a power cut that persists
+/// an arbitrary subset of those cached writes.  For **every** subset the
+/// reopened database must show all of the committed transaction and none
+/// of the open one — the pre-image journal rolls the kept pages back, and
+/// the log replays the winner.
+///
+/// The scenario is fully deterministic, so it is re-run from scratch per
+/// subset; the first run enumerates the cached page ids.
+#[test]
+fn every_persisted_subset_of_a_torn_checkpoint_preserves_txn_atomicity() {
+    fn scenario(keep: &dyn Fn(PageId) -> bool) -> Vec<PageId> {
+        let tmp = TempDb::new("txn-subset");
+        let fault = Arc::new(FaultPager::new(Arc::new(
+            spgist::storage::FilePager::create(tmp.path()).unwrap(),
+        )));
+        let mut db = Database::create_with_pager(
+            Arc::clone(&fault) as Arc<dyn Pager>,
+            tmp.wal_prefix(),
+            BufferPoolConfig::default(),
+            WalConfig::default(),
+        )
+        .unwrap();
+        db.create_table("words", KeyType::Varchar).unwrap();
+        {
+            let table = db.table_handle("words").unwrap();
+            for i in 0..10 {
+                table.insert(word(i)).unwrap();
+            }
+        }
+        db.checkpoint().unwrap(); // durable base: 10 rows in the image
+        {
+            let mut txn = db.begin().unwrap();
+            for i in 10..15 {
+                txn.insert("words", word(i)).unwrap();
+            }
+            assert!(txn.delete("words", 2).unwrap());
+            txn.commit().unwrap();
+        }
+        // The next checkpoint flushes the committed transaction's pages but
+        // its data sync never completes — those writes are now cached,
+        // un-synced, exactly what the power cut below scatters.
+        fault.set_sync_fault(SyncFault::Fail);
+        assert!(db.checkpoint().is_err());
+        fault.set_sync_fault(SyncFault::None);
+        let cached = fault.cached_page_ids();
+        {
+            // An open transaction dies with the machine.  Its pages stay in
+            // the no-steal pool (never written to the pager), so no subset
+            // can leak them — but its log records land, and recovery must
+            // drop them.
+            let mut txn = db.begin().unwrap();
+            txn.insert("words", "open-a").unwrap();
+            txn.insert("words", "open-b").unwrap();
+            txn.crash_for_test();
+        }
+        fault.crash_keeping(keep).unwrap();
+        drop(db);
+
+        let db = Database::open(tmp.path()).unwrap();
+        let table = db.table("words").unwrap();
+        assert_eq!(table.len(), 14, "10 base - 1 delete + 5 committed");
+        for row in 0..15u64 {
+            let expected = if row == 2 {
+                None
+            } else {
+                Some(Datum::Text(word(row as usize)))
+            };
+            assert_eq!(table.try_datum(row).unwrap(), expected, "row {row}");
+        }
+        assert_eq!(table.try_datum(15).unwrap(), None, "open txn row dropped");
+        assert_eq!(table.try_datum(16).unwrap(), None, "open txn row dropped");
+        db.close().unwrap();
+        cached
+    }
+
+    // Probe run: learn the cached page ids (and prove the losing-all case).
+    let ids = scenario(&|_| false);
+    assert!(!ids.is_empty(), "the torn checkpoint left cached writes");
+
+    // Every subset if the set is small, otherwise a structured sweep:
+    // empty, full, every singleton, every leave-one-out, odds and evens.
+    let subsets: Vec<Vec<PageId>> = if ids.len() <= 6 {
+        (0..1u32 << ids.len())
+            .map(|mask| {
+                ids.iter()
+                    .enumerate()
+                    .filter(|(i, _)| mask & (1 << i) != 0)
+                    .map(|(_, &id)| id)
+                    .collect()
+            })
+            .collect()
+    } else {
+        let mut subsets = vec![Vec::new(), ids.clone()];
+        for &id in &ids {
+            subsets.push(vec![id]);
+            subsets.push(ids.iter().copied().filter(|&o| o != id).collect());
+        }
+        subsets.push(ids.iter().copied().filter(|id| id % 2 == 0).collect());
+        subsets.push(ids.iter().copied().filter(|id| id % 2 == 1).collect());
+        subsets
+    };
+    for subset in subsets {
+        let set: std::collections::HashSet<PageId> = subset.iter().copied().collect();
+        let ids_now = scenario(&|id| set.contains(&id));
+        assert_eq!(ids_now, ids, "the scenario is deterministic");
+    }
 }
 
 /// Recovery must converge: reopening a recovered database replays nothing

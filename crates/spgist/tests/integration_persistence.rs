@@ -52,7 +52,7 @@ fn trie_survives_restart_and_remains_updatable() {
     let meta;
     {
         let pool = file_pool(&path, true);
-        let mut tree =
+        let tree =
             spgist::core::SpGistTree::create(Arc::clone(&pool), TrieOps::patricia()).unwrap();
         for (row, w) in data.iter().enumerate() {
             tree.insert(w.clone(), row as RowId).unwrap();
@@ -63,7 +63,7 @@ fn trie_survives_restart_and_remains_updatable() {
     {
         // Re-open from the file and verify queries and further updates.
         let pool = file_pool(&path, false);
-        let mut tree =
+        let tree =
             spgist::core::SpGistTree::open(Arc::clone(&pool), TrieOps::patricia(), meta).unwrap();
         assert_eq!(tree.len(), data.len() as u64);
         for (row, w) in data.iter().enumerate().step_by(501) {

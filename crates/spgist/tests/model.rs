@@ -15,6 +15,18 @@
 //!
 //! Acceptance floor (ISSUE 4): ≥ 1,000 mixed operations with ≥ 5 reopen
 //! cycles per seed; the harness asserts both counters.
+//!
+//! **Transactional mode** (ISSUE 9) layers multi-statement transactions on
+//! the same stream: random episodes of `Database::begin()` → INSERT/DELETE
+//! statements across tables → commit or abort, with the model rolled back
+//! over aborted work exactly the way the engine's logical undo is — loser
+//! inserts leave dead row slots (the row id stays burned), loser deletes
+//! restore the old datum in place.  Every kill-point additionally crashes
+//! with a transaction still *open* (and, half the time, a second one
+//! committed moments before), so recovery must drop the loser's logged
+//! statements in full while keeping the winner's in full.  Transactions
+//! never span an epoch boundary, so DDL / checkpoint / close never run
+//! while one is open — which is also what the engine enforces.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -329,14 +341,107 @@ fn newest_wal_segment(db_path: &std::path::Path) -> Option<PathBuf> {
 }
 
 fn run_seed(seed: u64) {
-    run_seed_with(seed, OPS_PER_SEED, BufferPoolConfig::default());
+    run_seed_with(seed, OPS_PER_SEED, BufferPoolConfig::default(), false);
+}
+
+fn run_seed_txn(seed: u64) {
+    run_seed_with(seed, OPS_PER_SEED, BufferPoolConfig::default(), true);
+}
+
+/// One statement executed inside an open transaction, recorded so the
+/// model can be rolled back if the transaction aborts or dies at a
+/// kill-point.  Mirrors the engine's logical undo exactly.
+enum TxnStmt {
+    Insert {
+        table: String,
+        row: RowId,
+    },
+    Delete {
+        table: String,
+        row: RowId,
+        datum: Datum,
+    },
+}
+
+/// Runs a random burst of INSERT/DELETE statements inside `txn`, applying
+/// each acknowledged statement to the model immediately (transactions
+/// provide atomicity and durability, not isolation — statements are
+/// visible the moment they return).  Returns the undo list.
+fn txn_statements(
+    txn: &mut Transaction<'_>,
+    model: &mut Model,
+    rng: &mut DetRng,
+    ctx: &str,
+) -> Vec<TxnStmt> {
+    let mut pending = Vec::new();
+    let tables: Vec<String> = model.tables.keys().cloned().collect();
+    if tables.is_empty() {
+        return pending;
+    }
+    for _ in 0..rng.gen_range(1usize..=6) {
+        let table = tables[rng.gen_range(0usize..tables.len())].clone();
+        let key_type = model.tables[&table].key_type;
+        if rng.gen_range(0u32..10) < 7 {
+            let datum = random_datum(rng, key_type);
+            let row = txn
+                .insert(&table, datum.clone())
+                .unwrap_or_else(|e| panic!("{ctx}: txn insert failed: {e}"));
+            let mt = model.tables.get_mut(&table).unwrap();
+            assert_eq!(
+                row,
+                mt.rows.len() as RowId,
+                "{ctx}: txn row ids stay dense and in insertion order"
+            );
+            mt.rows.push(Some(datum));
+            pending.push(TxnStmt::Insert { table, row });
+        } else {
+            let mt_len = model.tables[&table].rows.len();
+            let row = rng.gen_range(0u64..(mt_len as u64 + 3));
+            let got = txn
+                .delete(&table, row)
+                .unwrap_or_else(|e| panic!("{ctx}: txn delete failed: {e}"));
+            let old = model
+                .tables
+                .get_mut(&table)
+                .unwrap()
+                .rows
+                .get_mut(row as usize)
+                .and_then(|slot| slot.take());
+            assert_eq!(
+                got,
+                old.is_some(),
+                "{ctx}: txn delete outcome for row {row}"
+            );
+            if let Some(datum) = old {
+                pending.push(TxnStmt::Delete { table, row, datum });
+            }
+        }
+    }
+    pending
+}
+
+/// Rolls the model back over an aborted (or crash-killed) transaction,
+/// newest statement first: inserts become dead slots — the row id stays
+/// burned, matching both live undo and recovery's loser tombstones — and
+/// deletes restore the old datum at its original row id.
+fn rollback_model(model: &mut Model, pending: Vec<TxnStmt>) {
+    for stmt in pending.into_iter().rev() {
+        match stmt {
+            TxnStmt::Insert { table, row } => {
+                model.tables.get_mut(&table).unwrap().rows[row as usize] = None;
+            }
+            TxnStmt::Delete { table, row, datum } => {
+                model.tables.get_mut(&table).unwrap().rows[row as usize] = Some(datum);
+            }
+        }
+    }
 }
 
 /// The harness body, parameterized so the same operation stream can run on
-/// a deliberately starved pool under every replacement policy.  The
-/// acceptance floors (≥ 1,000 ops, ≥ 5 reopens) are asserted only for the
-/// full-length runs.
-fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig) {
+/// a deliberately starved pool under every replacement policy, with or
+/// without the transactional episodes.  The acceptance floors (≥ 1,000
+/// ops, ≥ 5 reopens) are asserted only for the full-length runs.
+fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transactional: bool) {
     let path = temp_path(seed ^ (config.capacity as u64) ^ config.policy as u64);
     let mut rng = DetRng::seed_from_u64(seed);
     let mut db = Database::create_with_config(&path, config).unwrap();
@@ -361,6 +466,25 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig) {
         if ops.is_multiple_of(OPS_PER_EPOCH) {
             let crash = rng.gen_range(0u32..2) == 0;
             if crash {
+                if transactional {
+                    // A committed and an open transaction both in flight at
+                    // the kill-point: the winner must survive replay in
+                    // full, the loser must vanish in full.
+                    if rng.gen_range(0u32..2) == 0 {
+                        let mut txn = db.begin().unwrap();
+                        let _committed = txn_statements(&mut txn, &mut model, &mut rng, &ctx);
+                        txn.commit()
+                            .unwrap_or_else(|e| panic!("{ctx}: commit failed: {e}"));
+                    }
+                    let mut txn = db.begin().unwrap();
+                    let pending = txn_statements(&mut txn, &mut model, &mut rng, &ctx);
+                    // The crash takes the transaction with it: no commit,
+                    // no rollback.  Every statement reaches the log (the
+                    // drop below drains the flusher) but no CommitTxn does,
+                    // so recovery must drop them all.
+                    txn.crash_for_test();
+                    rollback_model(&mut model, pending);
+                }
                 drop(db); // kill-point: no close, no checkpoint
                 if rng.gen_range(0u32..2) == 0 {
                     // A crash can leave preallocated garbage past the last
@@ -411,6 +535,21 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig) {
         let key_type = model.tables[&table].key_type;
 
         match roll {
+            // Multi-statement transaction episode: a burst of statements
+            // across random tables, then commit or abort.  (Transactional
+            // mode only; carved out of the INSERT range.)
+            35..=49 if transactional => {
+                let mut txn = db.begin().unwrap();
+                let pending = txn_statements(&mut txn, &mut model, &mut rng, &ctx);
+                if rng.gen_range(0u32..5) < 3 {
+                    txn.commit()
+                        .unwrap_or_else(|e| panic!("{ctx}: commit failed: {e}"));
+                } else {
+                    txn.abort()
+                        .unwrap_or_else(|e| panic!("{ctx}: abort failed: {e}"));
+                    rollback_model(&mut model, pending);
+                }
+            }
             // INSERT (the bulk of the workload).
             0..=49 => {
                 let datum = random_datum(&mut rng, key_type);
@@ -559,6 +698,25 @@ fn model_differential_tiny_pool_every_policy() {
                 policy,
                 ..Default::default()
             },
+            false,
         );
     }
+}
+
+#[test]
+fn model_transactional_seed_a() {
+    run_seed_txn(0x7AC7_10F5);
+}
+
+#[test]
+fn model_transactional_seed_b() {
+    run_seed_txn(0xDEED_5EED);
+}
+
+/// Extra transactional soak seed, run by the nightly CI job only
+/// (`cargo test --test model -- --ignored`).
+#[test]
+#[ignore = "nightly: extra transactional soak seed"]
+fn model_transactional_seed_nightly() {
+    run_seed_txn(0x9_1DEA_F00D);
 }

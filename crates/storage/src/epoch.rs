@@ -242,7 +242,9 @@ impl Drop for EpochPin {
 
 impl std::fmt::Debug for EpochPin {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("EpochPin").field("epoch", &self.epoch).finish()
+        f.debug_struct("EpochPin")
+            .field("epoch", &self.epoch)
+            .finish()
     }
 }
 

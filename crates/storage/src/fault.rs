@@ -127,6 +127,16 @@ impl FaultPager {
         self.state.lock().cache.len()
     }
 
+    /// Page ids of the writes currently held only in the volatile cache,
+    /// sorted.  Subset-sweep tests enumerate this set once, then re-run the
+    /// same deterministic scenario with [`crash_keeping`](Self::crash_keeping)
+    /// persisting each subset in turn.
+    pub fn cached_page_ids(&self) -> Vec<PageId> {
+        let mut ids: Vec<PageId> = self.state.lock().cache.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     fn injected(kind: &str) -> StorageError {
         StorageError::Io(std::io::Error::other(format!("injected {kind} fault")))
     }

@@ -37,9 +37,9 @@ pub mod pager;
 pub mod replacement;
 
 pub use buffer::{BufferPool, BufferPoolConfig, IoStats};
-pub use epoch::{ConcurrencyStats, EpochManager, EpochPin, LatchSet, LatchTable, RetiredItem};
 pub use codec::Codec;
 pub use crc::crc32;
+pub use epoch::{ConcurrencyStats, EpochManager, EpochPin, LatchSet, LatchTable, RetiredItem};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultPager, SyncFault, WriteFault};
 pub use heap::{HeapFile, RecordId};

@@ -8,7 +8,9 @@
 //!
 //! * [`record`] — **logical redo records** ([`WalRecord`]): table-level
 //!   `INSERT` / `DELETE` / batch / DDL statements, re-executable because the
-//!   executor assigns row ids deterministically,
+//!   executor assigns row ids deterministically, plus (since v3 segments)
+//!   transaction control records — `BeginTxn`/`CommitTxn`/`AbortTxn` — and a
+//!   [`TxnId`] on every DML record so recovery can drop loser transactions,
 //! * [`log`] — the **append-only segmented log** ([`Wal`]): per-record
 //!   CRC-32 framing, torn-tail detection on open, checkpoint-driven
 //!   rotation ([`Wal::rotate`]) and truncation ([`Wal::prune`]),
@@ -32,7 +34,7 @@ pub mod record;
 
 pub use crc::crc32;
 pub use log::{Wal, WalConfig};
-pub use record::{Lsn, WalRecord};
+pub use record::{Lsn, TxnId, WalRecord, AUTOCOMMIT};
 
 #[cfg(test)]
 mod tests {
@@ -72,6 +74,7 @@ mod tests {
             table: table.into(),
             row,
             datum: format!("datum-{row}").into_bytes(),
+            txn: AUTOCOMMIT,
         }
     }
 

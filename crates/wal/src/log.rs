@@ -75,10 +75,13 @@ use crate::record::{Lsn, WalRecord};
 
 /// Magic marker leading every WAL segment file (`"SPGW"`).
 const SEGMENT_MAGIC: u32 = 0x5350_4757;
-/// Segment format version.  Version 2 added the batch seal; version-1
-/// segments (no seals) are refused rather than silently replayed with
-/// weaker torn-batch detection.
-const SEGMENT_VERSION: u32 = 2;
+/// Segment format version.  Version 2 added the batch seal; version 3 added
+/// transaction ids on DML records plus the `BeginTxn`/`CommitTxn`/`AbortTxn`
+/// control records.  Older segments are refused rather than silently
+/// replayed: v1 lacks torn-batch detection and v2 records decode to a
+/// different layout (no txn field), so recovery could not tell committed
+/// work from a loser transaction's.
+const SEGMENT_VERSION: u32 = 3;
 /// Bytes in a segment header.
 const HEADER_BYTES: u64 = 16;
 /// Bytes in a record frame header (`payload_len`, `crc`).
@@ -320,7 +323,8 @@ fn scan_segment(path: &Path, is_last: bool) -> StorageResult<ScannedSegment> {
                 let seal = bytes.get(pos..pos + SEAL_BYTES)?;
                 let magic = u32::from_le_bytes(seal[4..8].try_into().expect("length checked"));
                 let count = u32::from_le_bytes(seal[8..12].try_into().expect("length checked"));
-                let batch_crc = u32::from_le_bytes(seal[12..16].try_into().expect("length checked"));
+                let batch_crc =
+                    u32::from_le_bytes(seal[12..16].try_into().expect("length checked"));
                 let seal_crc = u32::from_le_bytes(seal[16..20].try_into().expect("length checked"));
                 (magic == SEAL_MAGIC
                     && crc32(&seal[0..16]) == seal_crc
@@ -887,8 +891,7 @@ fn write_frames(io: &mut IoState, frames: &[Vec<u8>]) -> StorageResult<()> {
     if frames.is_empty() {
         return Ok(());
     }
-    let batch_bytes: u64 =
-        frames.iter().map(|f| f.len() as u64).sum::<u64>() + SEAL_BYTES as u64;
+    let batch_bytes: u64 = frames.iter().map(|f| f.len() as u64).sum::<u64>() + SEAL_BYTES as u64;
     Ok(())
         .and_then(|()| {
             for frame in frames {

@@ -10,6 +10,13 @@
 //! Key values travel as the executor's own record encoding (opaque
 //! `Vec<u8>` here; the catalog layer encodes and decodes them), keeping this
 //! crate independent of the datum types above it.
+//!
+//! Since segment format v3, every DML record also carries the id of its
+//! enclosing transaction ([`AUTOCOMMIT`] for bare statements), and three
+//! transaction-control records exist: [`WalRecord::BeginTxn`],
+//! [`WalRecord::CommitTxn`] (the commit point — a transaction whose
+//! `CommitTxn` did not reach disk is a *loser* and none of its statements
+//! apply at recovery), and [`WalRecord::AbortTxn`].
 
 use spgist_storage::{Codec, StorageError, StorageResult};
 
@@ -18,6 +25,17 @@ use spgist_storage::{Codec, StorageError, StorageResult};
 /// this one".
 pub type Lsn = u64;
 
+/// A transaction id.  Ids are unique among the records that coexist in the
+/// log: the executor allocates them from a counter seeded past the largest
+/// id surviving in the log at open, so a replayed `CommitTxn` can never
+/// adopt statements from a later incarnation.
+pub type TxnId = u64;
+
+/// The reserved transaction id for auto-commit statements: a DML record
+/// carrying `AUTOCOMMIT` is durable (and replayable) on its own, without a
+/// surrounding `BeginTxn`/`CommitTxn` pair.
+pub const AUTOCOMMIT: TxnId = 0;
+
 const TAG_INSERT: u8 = 0;
 const TAG_INSERT_MANY: u8 = 1;
 const TAG_DELETE: u8 = 2;
@@ -25,6 +43,9 @@ const TAG_CREATE_TABLE: u8 = 3;
 const TAG_DROP_TABLE: u8 = 4;
 const TAG_CREATE_INDEX: u8 = 5;
 const TAG_DROP_INDEX: u8 = 6;
+const TAG_BEGIN_TXN: u8 = 7;
+const TAG_COMMIT_TXN: u8 = 8;
+const TAG_ABORT_TXN: u8 = 9;
 
 /// One logical redo record.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -38,6 +59,8 @@ pub enum WalRecord {
         row: u64,
         /// Encoded key value (the executor's heap record bytes).
         datum: Vec<u8>,
+        /// Enclosing transaction, or [`AUTOCOMMIT`].
+        txn: TxnId,
     },
     /// A whole `insert_many` batch as **one** record: rows
     /// `first_row .. first_row + datums.len()` in input order.  Logged as a
@@ -49,6 +72,8 @@ pub enum WalRecord {
         first_row: u64,
         /// Encoded key values in input order.
         datums: Vec<Vec<u8>>,
+        /// Enclosing transaction, or [`AUTOCOMMIT`].
+        txn: TxnId,
     },
     /// Row `row` deleted from `table`.
     Delete {
@@ -56,6 +81,8 @@ pub enum WalRecord {
         table: String,
         /// The deleted row id.
         row: u64,
+        /// Enclosing transaction, or [`AUTOCOMMIT`].
+        txn: TxnId,
     },
     /// `CREATE TABLE` (key type as the catalog's stable tag).
     CreateTable {
@@ -86,11 +113,35 @@ pub enum WalRecord {
         /// Dropped index name.
         index: String,
     },
+    /// Transaction `txn` opened.  Written lazily, just before the
+    /// transaction's first logged statement, so read-only transactions leave
+    /// no trace in the log.
+    BeginTxn {
+        /// The transaction id.
+        txn: TxnId,
+    },
+    /// Transaction `txn` committed.  This record *is* the commit point: its
+    /// batch seal reaching disk makes every statement of the transaction
+    /// durable in one step, and recovery applies a transaction's statements
+    /// only when its `CommitTxn` survives.
+    CommitTxn {
+        /// The committed transaction id.
+        txn: TxnId,
+    },
+    /// Transaction `txn` rolled back.  Informational: recovery already drops
+    /// any transaction without a surviving `CommitTxn`, but an explicit
+    /// abort record lets replay discard the loser's buffered statements as
+    /// soon as it is seen.
+    AbortTxn {
+        /// The aborted transaction id.
+        txn: TxnId,
+    },
 }
 
 impl WalRecord {
-    /// The table this record applies to.
-    pub fn table(&self) -> &str {
+    /// The table this record applies to (`None` for transaction-control
+    /// records, which span tables).
+    pub fn table(&self) -> Option<&str> {
         match self {
             WalRecord::Insert { table, .. }
             | WalRecord::InsertMany { table, .. }
@@ -98,7 +149,27 @@ impl WalRecord {
             | WalRecord::CreateTable { table, .. }
             | WalRecord::DropTable { table }
             | WalRecord::CreateIndex { table, .. }
-            | WalRecord::DropIndex { table, .. } => table,
+            | WalRecord::DropIndex { table, .. } => Some(table),
+            WalRecord::BeginTxn { .. }
+            | WalRecord::CommitTxn { .. }
+            | WalRecord::AbortTxn { .. } => None,
+        }
+    }
+
+    /// The transaction a record belongs to: [`AUTOCOMMIT`] for bare DML and
+    /// all DDL (DDL is always auto-commit), the carried id otherwise.
+    pub fn txn(&self) -> TxnId {
+        match self {
+            WalRecord::Insert { txn, .. }
+            | WalRecord::InsertMany { txn, .. }
+            | WalRecord::Delete { txn, .. }
+            | WalRecord::BeginTxn { txn }
+            | WalRecord::CommitTxn { txn }
+            | WalRecord::AbortTxn { txn } => *txn,
+            WalRecord::CreateTable { .. }
+            | WalRecord::DropTable { .. }
+            | WalRecord::CreateIndex { .. }
+            | WalRecord::DropIndex { .. } => AUTOCOMMIT,
         }
     }
 }
@@ -106,26 +177,35 @@ impl WalRecord {
 impl Codec for WalRecord {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
-            WalRecord::Insert { table, row, datum } => {
+            WalRecord::Insert {
+                table,
+                row,
+                datum,
+                txn,
+            } => {
                 TAG_INSERT.encode(out);
                 table.encode(out);
                 row.encode(out);
                 datum.encode(out);
+                txn.encode(out);
             }
             WalRecord::InsertMany {
                 table,
                 first_row,
                 datums,
+                txn,
             } => {
                 TAG_INSERT_MANY.encode(out);
                 table.encode(out);
                 first_row.encode(out);
                 datums.encode(out);
+                txn.encode(out);
             }
-            WalRecord::Delete { table, row } => {
+            WalRecord::Delete { table, row, txn } => {
                 TAG_DELETE.encode(out);
                 table.encode(out);
                 row.encode(out);
+                txn.encode(out);
             }
             WalRecord::CreateTable { table, key_type } => {
                 TAG_CREATE_TABLE.encode(out);
@@ -147,6 +227,18 @@ impl Codec for WalRecord {
                 table.encode(out);
                 index.encode(out);
             }
+            WalRecord::BeginTxn { txn } => {
+                TAG_BEGIN_TXN.encode(out);
+                txn.encode(out);
+            }
+            WalRecord::CommitTxn { txn } => {
+                TAG_COMMIT_TXN.encode(out);
+                txn.encode(out);
+            }
+            WalRecord::AbortTxn { txn } => {
+                TAG_ABORT_TXN.encode(out);
+                txn.encode(out);
+            }
         }
     }
 
@@ -156,15 +248,18 @@ impl Codec for WalRecord {
                 table: String::decode(buf)?,
                 row: u64::decode(buf)?,
                 datum: Vec::decode(buf)?,
+                txn: TxnId::decode(buf)?,
             },
             TAG_INSERT_MANY => WalRecord::InsertMany {
                 table: String::decode(buf)?,
                 first_row: u64::decode(buf)?,
                 datums: Vec::decode(buf)?,
+                txn: TxnId::decode(buf)?,
             },
             TAG_DELETE => WalRecord::Delete {
                 table: String::decode(buf)?,
                 row: u64::decode(buf)?,
+                txn: TxnId::decode(buf)?,
             },
             TAG_CREATE_TABLE => WalRecord::CreateTable {
                 table: String::decode(buf)?,
@@ -181,6 +276,15 @@ impl Codec for WalRecord {
             TAG_DROP_INDEX => WalRecord::DropIndex {
                 table: String::decode(buf)?,
                 index: String::decode(buf)?,
+            },
+            TAG_BEGIN_TXN => WalRecord::BeginTxn {
+                txn: TxnId::decode(buf)?,
+            },
+            TAG_COMMIT_TXN => WalRecord::CommitTxn {
+                txn: TxnId::decode(buf)?,
+            },
+            TAG_ABORT_TXN => WalRecord::AbortTxn {
+                txn: TxnId::decode(buf)?,
             },
             tag => {
                 return Err(StorageError::Decode(format!(
@@ -206,15 +310,18 @@ mod tests {
             table: "words".into(),
             row: 17,
             datum: vec![0, 3, 0, 0, 0, b'a', b'b', b'c'],
+            txn: AUTOCOMMIT,
         });
         roundtrip(WalRecord::InsertMany {
             table: "points".into(),
             first_row: 1_000_000,
             datums: vec![vec![1, 2, 3], vec![], vec![255]],
+            txn: 42,
         });
         roundtrip(WalRecord::Delete {
             table: "segments".into(),
             row: 0,
+            txn: u64::MAX,
         });
         roundtrip(WalRecord::CreateTable {
             table: "t".into(),
@@ -230,6 +337,32 @@ mod tests {
             table: "t".into(),
             index: "t_trie".into(),
         });
+        roundtrip(WalRecord::BeginTxn { txn: 1 });
+        roundtrip(WalRecord::CommitTxn { txn: 7 });
+        roundtrip(WalRecord::AbortTxn { txn: u64::MAX });
+    }
+
+    #[test]
+    fn txn_accessor_covers_every_variant() {
+        assert_eq!(WalRecord::BeginTxn { txn: 9 }.txn(), 9);
+        assert_eq!(WalRecord::CommitTxn { txn: 9 }.txn(), 9);
+        assert_eq!(WalRecord::AbortTxn { txn: 9 }.txn(), 9);
+        assert_eq!(
+            WalRecord::Delete {
+                table: "t".into(),
+                row: 3,
+                txn: 5,
+            }
+            .txn(),
+            5
+        );
+        // DDL is always auto-commit.
+        assert_eq!(WalRecord::DropTable { table: "t".into() }.txn(), AUTOCOMMIT);
+        assert_eq!(
+            WalRecord::DropTable { table: "t".into() }.table(),
+            Some("t")
+        );
+        assert_eq!(WalRecord::CommitTxn { txn: 9 }.table(), None);
     }
 
     #[test]

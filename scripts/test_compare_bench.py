@@ -1,0 +1,218 @@
+#!/usr/bin/env python3
+"""Unit tests for compare_bench.py (stdlib unittest only).
+
+Covers the pieces CI leans on: direction-aware regression flagging (a
+drop in a higher-is-better metric and a rise in a lower-is-better metric
+both fail; the opposite moves do not), missing rows and missing whole
+experiments counting as regressions, threshold behavior, and the process
+exit codes (0 clean, 1 regression, 2 usage error).
+
+Run directly (`python3 scripts/test_compare_bench.py`) or through
+unittest discovery (`python3 -m unittest discover scripts`).
+"""
+
+import json
+import subprocess
+import sys
+import tempfile
+import unittest
+from pathlib import Path
+
+SCRIPT = Path(__file__).resolve().parent / "compare_bench.py"
+
+sys.path.insert(0, str(SCRIPT.parent))
+import compare_bench  # noqa: E402
+
+
+def write_artifact(directory: Path, experiment: str, rows: list) -> None:
+    doc = {"experiment": experiment, "scale": "test", "rows": rows}
+    (directory / f"BENCH_{experiment}.json").write_text(json.dumps(doc))
+
+
+def run_compare(baseline: Path, current: Path, *extra: str):
+    return subprocess.run(
+        [sys.executable, str(SCRIPT), str(baseline), str(current), *extra],
+        capture_output=True,
+        text=True,
+    )
+
+
+class DirectionTests(unittest.TestCase):
+    def test_higher_better_patterns(self):
+        for name in ["hit_rate", "queries_per_sec", "speedup", "fill",
+                     "commits_per_sync", "throughput"]:
+            self.assertEqual(compare_bench.direction(name), 1, name)
+
+    def test_lower_better_patterns(self):
+        for name in ["elapsed_ms", "physical_reads", "evictions",
+                     "cache_misses", "syncs", "tree_height"]:
+            self.assertEqual(compare_bench.direction(name), -1, name)
+
+    def test_unknown_metrics_have_no_direction(self):
+        for name in ["distinct", "label", "epoch"]:
+            self.assertEqual(compare_bench.direction(name), 0, name)
+
+    def test_higher_better_wins_over_contained_lower_pattern(self):
+        # "per_sync" contains "sync": the higher-is-better match must win.
+        self.assertEqual(compare_bench.direction("commits_per_sync"), 1)
+
+
+class FlattenAndKeyTests(unittest.TestCase):
+    def test_flatten_nests_with_dots(self):
+        flat = compare_bench.flatten({"a": 1, "b": {"c": 2, "d": {"e": 3}}})
+        self.assertEqual(flat, {"a": 1, "b.c": 2, "b.d.e": 3})
+
+    def test_row_key_uses_key_columns_and_strings(self):
+        flat = {"policy": "lru", "elapsed_ms": 12.5, "threads": 4,
+                "label": "warm"}
+        key = dict(compare_bench.row_key(flat))
+        self.assertIn("policy", key)
+        self.assertIn("threads", key)
+        self.assertIn("label", key)  # strings are identity, not metrics
+        self.assertNotIn("elapsed_ms", key)
+
+
+class CompareProcessTests(unittest.TestCase):
+    """End-to-end runs of the script, asserting exit codes and output."""
+
+    def setUp(self):
+        self._tmp = tempfile.TemporaryDirectory()
+        root = Path(self._tmp.name)
+        self.baseline = root / "baseline"
+        self.current = root / "current"
+        self.baseline.mkdir()
+        self.current.mkdir()
+
+    def tearDown(self):
+        self._tmp.cleanup()
+
+    def test_identical_runs_pass(self):
+        rows = [{"policy": "lru", "elapsed_ms": 100.0, "hit_rate": 0.9}]
+        write_artifact(self.baseline, "pool", rows)
+        write_artifact(self.current, "pool", rows)
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("no regressions", result.stdout)
+
+    def test_lower_better_rise_fails(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "elapsed_ms": 150.0}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("elapsed_ms", result.stdout)
+
+    def test_lower_better_drop_passes(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "elapsed_ms": 150.0}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_higher_better_drop_fails(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "hit_rate": 0.9}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "hit_rate": 0.5}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("hit_rate", result.stdout)
+
+    def test_higher_better_rise_passes(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "hit_rate": 0.5}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "hit_rate": 0.9}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_change_within_threshold_passes(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "elapsed_ms": 105.0}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_threshold_flag_tightens(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "elapsed_ms": 105.0}])
+        result = run_compare(self.baseline, self.current, "--threshold", "2")
+        self.assertEqual(result.returncode, 1, result.stdout)
+
+    def test_missing_row_is_a_regression(self):
+        write_artifact(self.baseline, "pool", [
+            {"policy": "lru", "elapsed_ms": 100.0},
+            {"policy": "sieve", "elapsed_ms": 90.0},
+        ])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("missing from current run", result.stdout)
+        self.assertIn("sieve", result.stdout)
+
+    def test_missing_experiment_is_a_regression(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        write_artifact(self.baseline, "wal",
+                       [{"commits": 10, "syncs": 2.0}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("wal: experiment missing", result.stdout)
+
+    def test_new_current_experiment_is_not_required_in_baseline(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        write_artifact(self.current, "txn", [{"commits": 5, "syncs": 1.0}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_directionless_metrics_never_fail(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "distinct": 100}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "distinct": 5}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+
+    def test_invalid_json_artifact_is_skipped_with_warning(self):
+        write_artifact(self.baseline, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        write_artifact(self.current, "pool",
+                       [{"policy": "lru", "elapsed_ms": 100.0}])
+        (self.current / "BENCH_broken.json").write_text("{not json")
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("warning", result.stdout)
+
+    def test_empty_directories_are_a_clean_no_op(self):
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 0, result.stdout)
+        self.assertIn("nothing to do", result.stdout)
+
+    def test_nonexistent_directory_is_a_usage_error(self):
+        result = run_compare(self.baseline / "nope", self.current)
+        self.assertEqual(result.returncode, 2, result.stdout)
+
+    def test_nested_rows_compare_by_flattened_metric(self):
+        write_artifact(self.baseline, "build",
+                       [{"index": "trie", "sides": {"spgist": {"elapsed_ms": 10.0}}}])
+        write_artifact(self.current, "build",
+                       [{"index": "trie", "sides": {"spgist": {"elapsed_ms": 20.0}}}])
+        result = run_compare(self.baseline, self.current)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("sides.spgist.elapsed_ms", result.stdout)
+
+
+if __name__ == "__main__":
+    unittest.main()
