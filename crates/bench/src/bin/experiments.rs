@@ -23,11 +23,12 @@
 use spgist_bench::loc::table7;
 use spgist_bench::stats::{log10_ratio, ratio_pct};
 use spgist_bench::{
-    point_sizes, run_build_experiment, run_clustering_ablation, run_hot_writer_scaling,
-    run_io_patterns, run_mixed_workload, run_nn_experiments, run_point_experiments,
-    run_pool_overhead, run_read_scaling, run_reopen_experiment, run_segment_experiments,
-    run_string_experiments, run_substring_experiments, run_trie_variant_ablation,
-    run_wal_experiment, word_sizes, write_build_json, write_rows_json, JsonVal, NN_KS,
+    point_sizes, run_build_experiment, run_checkpoint_experiment, run_clustering_ablation,
+    run_hot_writer_scaling, run_io_patterns_on, run_mixed_workload, run_nn_experiments,
+    run_point_experiments, run_pool_overhead, run_read_scaling, run_reopen_experiment,
+    run_segment_experiments, run_string_experiments, run_substring_experiments,
+    run_trie_variant_ablation, run_wal_experiment, word_sizes, write_build_json, write_rows_json,
+    IoBackend, JsonVal, NN_KS,
 };
 
 struct Options {
@@ -39,6 +40,9 @@ struct Options {
     json_dir: Option<std::path::PathBuf>,
     /// Database file for `crash-writer` / `crash-verify`.
     db: Option<std::path::PathBuf>,
+    /// Pager backend for `io-patterns`: in-memory (default) or a real file
+    /// under the OS temp directory.
+    backend: IoBackend,
 }
 
 fn parse_args() -> Options {
@@ -48,6 +52,7 @@ fn parse_args() -> Options {
     let mut queries = 100usize;
     let mut json_dir = None;
     let mut db = None;
+    let mut backend = IoBackend::Mem;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
@@ -74,6 +79,13 @@ fn parse_args() -> Options {
                         .unwrap_or_else(|| usage("--db needs a file path")),
                 ));
             }
+            "--backend" => {
+                backend = args
+                    .next()
+                    .as_deref()
+                    .and_then(IoBackend::parse)
+                    .unwrap_or_else(|| usage("--backend needs `mem` or `file`"));
+            }
             "--help" | "-h" => usage(""),
             other if !other.starts_with('-') => command = other.to_string(),
             other => usage(&format!("unknown flag {other}")),
@@ -85,6 +97,7 @@ fn parse_args() -> Options {
         queries,
         json_dir,
         db,
+        backend,
     }
 }
 
@@ -93,7 +106,7 @@ fn usage(message: &str) -> ! {
         eprintln!("error: {message}");
     }
     eprintln!(
-        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|build|wal|io-patterns|all] [--scale N] [--queries N] [--json-dir DIR]\n       experiments crash-writer --db PATH\n       experiments crash-verify --db PATH"
+        "usage: experiments [table7|fig6|fig7|fig8|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|ablation-clustering|ablation-trie|concurrency|reopen|build|wal|io-patterns|checkpoint|all] [--scale N] [--queries N] [--json-dir DIR] [--backend mem|file]\n       experiments crash-writer --db PATH\n       experiments crash-verify --db PATH"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -160,13 +173,19 @@ fn main() {
     if wants("io-patterns") {
         print_io_patterns(&opts);
     }
+    if wants("checkpoint") {
+        print_checkpoint(&opts);
+    }
 }
 
 fn print_io_patterns(opts: &Options) {
     let n = 20_000 * opts.scale.max(1);
     let queries = opts.queries.max(16);
-    let rows = run_io_patterns(n, queries, SEED);
-    println!("== I/O patterns: replacement policy x pool size x workload ({n} points) ==");
+    let rows = run_io_patterns_on(n, queries, SEED, opts.backend);
+    println!(
+        "== I/O patterns: replacement policy x pool size x workload ({n} points, {} backend) ==",
+        opts.backend.name()
+    );
     println!(
         "{:>10} {:>6} {:>7} {:>11} {:>8} {:>9} {:>9} {:>7} {:>9} {:>11} {:>9}",
         "workload",
@@ -216,6 +235,7 @@ fn print_io_patterns(opts: &Options) {
         opts,
         "io_patterns",
         &[
+            "backend",
             "workload",
             "pool_pct",
             "frames",
@@ -234,6 +254,7 @@ fn print_io_patterns(opts: &Options) {
             .iter()
             .map(|r| {
                 vec![
+                    r.backend.into(),
                     r.workload.into(),
                     r.pool_pct.into(),
                     r.frames.into(),
@@ -304,6 +325,109 @@ fn print_io_patterns(opts: &Options) {
                     r.elapsed_ms.into(),
                     r.fetches_per_sec.into(),
                     r.physical_reads.into(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn print_checkpoint(opts: &Options) {
+    // Sizes grow with --scale: the acceptance sweep (1 M rows) needs
+    // --scale 4 or more; the per-PR smoke stays CI-friendly.
+    let mut sizes = vec![10_000usize, 50_000];
+    if opts.scale >= 2 {
+        sizes.push(100_000);
+    }
+    if opts.scale >= 4 {
+        sizes.push(1_000_000);
+    }
+    let rows = run_checkpoint_experiment(&sizes, SEED);
+    println!("== Checkpoint: incremental vs full rewrite, size x fraction mutated ==");
+    println!(
+        "{:>9} {:>6} {:>7} {:>12} {:>9} {:>7} {:>7} {:>10} {:>10} {:>7} {:>10} {:>10} {:>10} {:>9}",
+        "rows",
+        "pct",
+        "chunks",
+        "mode",
+        "wall ms",
+        "wrote",
+        "skip",
+        "cat B",
+        "jrnl B",
+        "pages",
+        "quiesce us",
+        "stall p99",
+        "io bytes",
+        "vs full"
+    );
+    for r in &rows {
+        println!(
+            "{:>9} {:>6} {:>7} {:>12} {:>9.2} {:>7} {:>7} {:>10} {:>10} {:>7} {:>10.1} {:>10.1} {:>10} {:>9.1}",
+            r.rows,
+            r.pct_mutated,
+            r.chunks_mutated,
+            r.mode,
+            r.wall_ms,
+            r.chunks_written,
+            r.chunks_skipped,
+            r.catalog_bytes,
+            r.journal_bytes,
+            r.data_pages_flushed,
+            r.quiesce_us,
+            r.stall_p99_us,
+            r.io_bytes,
+            r.io_ratio_vs_full
+        );
+    }
+    // The acceptance summary: how much less I/O does the incremental path
+    // do at <=1% mutated?  The bar is >=10x at 1 M rows.
+    for r in rows
+        .iter()
+        .filter(|r| r.mode == "incremental" && r.pct_mutated <= 1.0)
+    {
+        println!(
+            "{} rows @ {}% mutated: incremental does {:.1}x less checkpoint I/O than full rewrite",
+            r.rows, r.pct_mutated, r.io_ratio_vs_full
+        );
+    }
+    println!();
+    emit_json(
+        opts,
+        "checkpoint",
+        &[
+            "rows",
+            "pct_mutated",
+            "chunks_mutated",
+            "mode",
+            "wall_ms",
+            "chunks_written",
+            "chunks_skipped",
+            "catalog_bytes",
+            "journal_bytes",
+            "data_pages_flushed",
+            "quiesce_us",
+            "stall_p99_us",
+            "io_bytes",
+            "io_ratio_vs_full",
+        ],
+        &rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.rows.into(),
+                    r.pct_mutated.into(),
+                    r.chunks_mutated.into(),
+                    r.mode.into(),
+                    r.wall_ms.into(),
+                    r.chunks_written.into(),
+                    r.chunks_skipped.into(),
+                    r.catalog_bytes.into(),
+                    r.journal_bytes.into(),
+                    r.data_pages_flushed.into(),
+                    r.quiesce_us.into(),
+                    r.stall_p99_us.into(),
+                    r.io_bytes.into(),
+                    r.io_ratio_vs_full.into(),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -18,6 +18,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod build;
+pub mod checkpoint;
 pub mod concurrent;
 pub mod experiments;
 pub mod io_patterns;
@@ -28,12 +29,16 @@ pub mod stats;
 pub mod wal;
 
 pub use build::{run_build_experiment, write_build_json, BuildRow, BuildSide};
+pub use checkpoint::{run_checkpoint_experiment, CheckpointRow, MUTATION_FRACTIONS_PCT};
 pub use concurrent::{
     run_hot_writer_scaling, run_mixed_workload, run_read_scaling, HotWriterRow, MixedRow,
     ReadScalingRow,
 };
 pub use experiments::*;
-pub use io_patterns::{run_io_patterns, run_pool_overhead, IoPatternRow, PoolOverheadRow};
+pub use io_patterns::{
+    run_io_patterns, run_io_patterns_on, run_pool_overhead, IoBackend, IoPatternRow,
+    PoolOverheadRow,
+};
 pub use json::{rows_json, write_rows_json, JsonVal};
 pub use reopen::{run_reopen_experiment, ReopenRow};
 pub use wal::{run_wal_experiment, WalRow};

@@ -55,16 +55,16 @@ use spgist_indexes::{
     SpIndex, SuffixTreeIndex, TrieIndex, TrieOps,
 };
 use spgist_storage::{
-    journal, AccessHint, BufferPool, BufferPoolConfig, Codec, FilePager, HeapFile, MemPager,
-    PageId, RecordId, StorageError, StorageResult,
+    journal, AccessHint, BufferPool, BufferPoolConfig, CheckpointStats, Codec, FilePager, HeapFile,
+    MemPager, PageId, RecordId, StorageError, StorageResult,
 };
 use spgist_wal::{Lsn, TxnId, Wal, WalConfig, WalRecord, AUTOCOMMIT};
 
 use crate::am::Catalog;
 use crate::cost::{CostEstimate, Selectivity, TableStats, CPU_OPERATOR_COST};
 use crate::durable::{
-    self, PersistedCatalog, PersistedIndex, PersistedTable, KIND_KDTREE, KIND_PMR, KIND_PQUADTREE,
-    KIND_SUFFIX, KIND_TRIE,
+    self, CatalogLayout, PersistedIndex, PersistedTable, RowsDelta, TableSnapshot, KIND_KDTREE,
+    KIND_PMR, KIND_PQUADTREE, KIND_SUFFIX, KIND_TRIE, ROWS_PER_CHUNK,
 };
 use crate::planner::{AccessPath, AvailableIndex, Planner, QueryPredicate};
 
@@ -1296,6 +1296,53 @@ fn validate_ordered(predicate: &Predicate) -> StorageResult<()> {
 // Table
 // ---------------------------------------------------------------------------
 
+/// What changed in a table since the last checkpoint.  Every mutation path
+/// updates this under the table latch (inside the DML lock), and the
+/// checkpoint reads-and-resets it while holding the table's DML guard — so
+/// the dirty set always agrees with the state being snapshotted.
+#[derive(Default)]
+struct TableDirty {
+    /// Anything at all changed (rows, counters, heap growth, index DDL):
+    /// the checkpoint must rewrite this table's metadata segment.  Clean
+    /// tables (`false`) cost a checkpoint zero page writes.
+    mutated: bool,
+    /// Rewrite the whole row directory — a fresh table, or conservative
+    /// recovery after a failed checkpoint left the on-disk chunks in doubt.
+    all_rows: bool,
+    /// Row-directory chunks touched since the last checkpoint
+    /// (`row / ROWS_PER_CHUNK`), ignored while `all_rows` is set.
+    row_chunks: BTreeSet<u64>,
+}
+
+impl TableDirty {
+    /// Everything dirty: the state of a table that has never checkpointed.
+    fn all() -> Self {
+        TableDirty {
+            mutated: true,
+            all_rows: true,
+            row_chunks: BTreeSet::new(),
+        }
+    }
+
+    /// Records a mutation of one row-directory slot.
+    fn mark_row(&mut self, row: RowId) {
+        self.mutated = true;
+        if !self.all_rows {
+            self.row_chunks.insert(row / ROWS_PER_CHUNK);
+        }
+    }
+
+    /// Records mutation of the row-directory slots `lo..hi` (half-open).
+    fn mark_rows(&mut self, lo: RowId, hi: RowId) {
+        self.mutated = true;
+        if !self.all_rows && lo < hi {
+            for chunk in (lo / ROWS_PER_CHUNK)..=((hi - 1) / ROWS_PER_CHUNK) {
+                self.row_chunks.insert(chunk);
+            }
+        }
+    }
+}
+
 /// The latched mutable state of a [`Table`]: the heap file, the row
 /// directory, and the statistics that change with every write.
 struct TableInner {
@@ -1315,6 +1362,8 @@ struct TableInner {
     /// re-inserted after a reopen may double-count — again statistics, not
     /// truth.
     distinct_base: u64,
+    /// Checkpoint dirty-tracking (see [`TableDirty`]).
+    dirty: TableDirty,
 }
 
 /// A heap-backed table with one typed key column and any number of physical
@@ -1365,6 +1414,8 @@ impl Table {
                 live_rows: 0,
                 distinct: HashSet::new(),
                 distinct_base: 0,
+                // Never checkpointed: the first checkpoint writes everything.
+                dirty: TableDirty::all(),
             }),
             pool,
             indexes: Vec::new(),
@@ -1411,6 +1462,8 @@ impl Table {
                 live_rows: pt.live_rows,
                 distinct: HashSet::new(),
                 distinct_base: pt.distinct,
+                // Reopened from a checkpoint image: clean until mutated.
+                dirty: TableDirty::default(),
             }),
             pool,
             indexes,
@@ -1453,7 +1506,9 @@ impl Table {
         self.dml.lock()
     }
 
-    /// Snapshots this table's durable-catalog record.  The caller
+    /// Takes this table's checkpoint snapshot — the durable-catalog delta
+    /// since the last checkpoint — and resets the dirty state, or returns
+    /// `None` (and writes nothing) when the table is clean.  The caller
     /// (checkpoint) already holds this table's **DML lock** via
     /// [`Table::dml_guard`], so a concurrent insert or delete statement
     /// (heap change *plus* the index updates that follow) either lands
@@ -1462,31 +1517,67 @@ impl Table {
     /// disagrees with its indexes.  The heap state is read under the table
     /// latch (released before the index latches are touched, keeping lock
     /// orders acyclic with query paths).
-    pub(crate) fn persisted(&self) -> PersistedTable {
-        let (heap_pages, heap_records, live_rows, distinct, rows) = {
-            let inner = self.inner.read();
+    ///
+    /// If the checkpoint later fails, the caller must put the dirtiness
+    /// back with [`Table::mark_all_dirty`]: the on-disk chunks are then in
+    /// doubt, and the conservative full rewrite restores the invariant.
+    pub(crate) fn take_checkpoint_snapshot(&self) -> Option<TableSnapshot> {
+        let (heap_pages, heap_records, live_rows, distinct, rows_len, rows) = {
+            let mut inner = self.inner.write();
+            if !inner.dirty.mutated {
+                return None;
+            }
+            let dirty = std::mem::take(&mut inner.dirty);
+            let rows_len = inner.rows.len() as u64;
+            let rows = if dirty.all_rows {
+                RowsDelta::Full(inner.rows.clone())
+            } else {
+                RowsDelta::Chunks(
+                    dirty
+                        .row_chunks
+                        .iter()
+                        .filter(|&&chunk| chunk * ROWS_PER_CHUNK < rows_len)
+                        .map(|&chunk| {
+                            let lo = (chunk * ROWS_PER_CHUNK) as usize;
+                            let hi = (lo + ROWS_PER_CHUNK as usize).min(inner.rows.len());
+                            (chunk, inner.rows[lo..hi].to_vec())
+                        })
+                        .collect(),
+                )
+            };
             (
                 inner.heap.pages().to_vec(),
                 inner.heap.record_count(),
                 inner.live_rows,
                 inner.distinct_base + inner.distinct.len() as u64,
-                inner.rows.clone(),
+                rows_len,
+                rows,
             )
         };
-        PersistedTable {
+        Some(TableSnapshot {
             name: self.name.clone(),
             key_type: self.key_type.tag(),
             heap_pages,
             heap_records,
             live_rows,
             distinct,
+            rows_len,
             rows,
             indexes: self
                 .indexes
                 .iter()
                 .map(|named| named.index.persisted(&named.name))
                 .collect(),
-        }
+        })
+    }
+
+    /// Marks every part of the table's durable record dirty, so the next
+    /// checkpoint rewrites it wholesale.  Used when a failed checkpoint
+    /// leaves the on-disk chunks in doubt, and by
+    /// [`Database::checkpoint_full`] to measure the pre-incremental
+    /// baseline.
+    pub(crate) fn mark_all_dirty(&self) {
+        self.inner.write().dirty = TableDirty::all();
     }
 
     /// The table name.
@@ -1551,6 +1642,7 @@ impl Table {
             inner.rows.push(Some(rid));
             inner.live_rows += 1;
             inner.distinct.insert(record);
+            inner.dirty.mark_row(row);
             row
         };
         for named in &self.indexes {
@@ -1632,6 +1724,9 @@ impl Table {
                 inner.distinct.insert(record);
                 items.push((datum, row));
             }
+            if let (Some(first), Some(last)) = (items.first(), items.last()) {
+                inner.dirty.mark_rows(first.1, last.1 + 1);
+            }
             items
         };
         for named in &self.indexes {
@@ -1689,6 +1784,7 @@ impl Table {
             let datum = Datum::decode_record(&inner.heap.get(rid)?)?;
             inner.heap.delete(rid)?;
             inner.live_rows -= 1;
+            inner.dirty.mark_row(row);
             datum
         };
         for named in &self.indexes {
@@ -1733,6 +1829,7 @@ impl Table {
                 inner.rows.push(Some(rid));
                 inner.live_rows += 1;
                 inner.distinct.insert(record.to_vec());
+                inner.dirty.mark_row(row);
                 true
             }
         };
@@ -1785,6 +1882,9 @@ impl Table {
                 inner.distinct.insert(record.clone());
                 items.push((datum, row));
             }
+            if let (Some(first), Some(last)) = (items.first(), items.last()) {
+                inner.dirty.mark_rows(first.1, last.1 + 1);
+            }
             items
         };
         for named in &self.indexes {
@@ -1815,6 +1915,7 @@ impl Table {
             let datum = Datum::decode_record(&inner.heap.get(rid)?)?;
             inner.heap.delete(rid)?;
             inner.live_rows -= 1;
+            inner.dirty.mark_row(row);
             datum
         };
         for named in &self.indexes {
@@ -1837,6 +1938,7 @@ impl Table {
                     inner.rows[row as usize] = Some(rid);
                     inner.live_rows += 1;
                     inner.distinct.insert(record);
+                    inner.dirty.mark_row(row);
                     true
                 }
                 // Live again or never allocated: another statement got
@@ -1870,6 +1972,7 @@ impl Table {
                 self.name
             )));
         }
+        inner.dirty.mark_rows(next.max(row), end);
         for _ in next.max(row)..end {
             inner.rows.push(None);
         }
@@ -1966,6 +2069,7 @@ impl Table {
             index,
             cached_stats: Mutex::new(StatsCache::default()),
         });
+        self.inner.get_mut().dirty.mutated = true;
         Ok(())
     }
 
@@ -1985,10 +2089,12 @@ impl Table {
     /// checkpoint failure).
     fn detach_index(&mut self, name: &str) -> Option<NamedIndex> {
         let pos = self.indexes.iter().position(|i| i.name == name)?;
+        self.inner.get_mut().dirty.mutated = true;
         Some(self.indexes.remove(pos))
     }
 
     fn attach_index(&mut self, named: NamedIndex) {
+        self.inner.get_mut().dirty.mutated = true;
         self.indexes.push(named);
     }
 
@@ -2792,10 +2898,15 @@ pub struct Database {
     catalog: Catalog,
     pool: Arc<BufferPool>,
     tables: BTreeMap<String, Arc<Table>>,
-    /// Pages of the on-disk catalog chain when this database is durable
-    /// (created with [`Database::create`] or [`Database::open`]); `None` for
-    /// in-memory databases, whose DDL skips catalog persistence.
-    catalog_chain: Option<Vec<PageId>>,
+    /// On-disk layout of the chunked catalog (which pages hold the root,
+    /// each table's metadata, and each row/heap chunk) when this database
+    /// is durable (created with [`Database::create`] or
+    /// [`Database::open`]); `None` for in-memory databases, whose DDL
+    /// skips catalog persistence.
+    layout: Option<CatalogLayout>,
+    /// Running checkpoint counters (chunks written/skipped, bytes, quiesce
+    /// time) — the incremental-checkpoint analog of the pool's `IoStats`.
+    ckpt_stats: CheckpointStats,
     /// The write-ahead log of a durable database.  Every acknowledged DML
     /// statement has its redo record fsynced here before the call returns;
     /// [`Database::open`] replays records past the catalog's checkpoint
@@ -2868,11 +2979,12 @@ impl Database {
             catalog: Catalog::with_paper_defaults(),
             pool,
             tables: BTreeMap::new(),
-            catalog_chain: None,
+            layout: None,
             wal: None,
             journal: None,
             next_txn: AtomicU64::new(1),
             open_txns: AtomicU64::new(0),
+            ckpt_stats: CheckpointStats::default(),
         }
     }
 
@@ -2953,11 +3065,12 @@ impl Database {
             catalog: Catalog::with_paper_defaults(),
             pool,
             tables: BTreeMap::new(),
-            catalog_chain: Some(vec![root]),
+            layout: Some(CatalogLayout::new_at_root(root)),
             wal: Some(wal),
             journal: Some(journal),
             next_txn: AtomicU64::new(1),
             open_txns: AtomicU64::new(0),
+            ckpt_stats: CheckpointStats::default(),
         };
         db.checkpoint()?;
         Ok(db)
@@ -3019,7 +3132,7 @@ impl Database {
         let journal = journal_path(wal_path.as_ref());
         journal::recover(&journal, pager.as_ref())?;
         let pool = Arc::new(BufferPool::new(pager, config));
-        let (persisted, chain) = durable::read_catalog(&pool)?;
+        let (persisted, layout) = durable::read_catalog(&pool)?;
         let mut tables = BTreeMap::new();
         for pt in &persisted.tables {
             let table = Table::from_persisted(Arc::clone(&pool), pt).map_err(|e| {
@@ -3052,13 +3165,14 @@ impl Database {
             catalog: Catalog::with_paper_defaults(),
             pool,
             tables,
-            catalog_chain: Some(chain),
+            layout: Some(layout),
             // Replay runs with the log detached so the re-executed
             // statements are not logged again.
             wal: None,
             journal: Some(journal),
             next_txn: AtomicU64::new(max_txn + 1),
             open_txns: AtomicU64::new(0),
+            ckpt_stats: CheckpointStats::default(),
         };
         let replayed = records.len();
         for (lsn, record) in records {
@@ -3179,40 +3293,49 @@ impl Database {
     /// True when this database persists its catalog to a file (created with
     /// [`Database::create`] / [`Database::open`]).
     pub fn is_durable(&self) -> bool {
-        self.catalog_chain.is_some()
+        self.layout.is_some()
     }
 
-    /// Persists the full catalog meta-table — every table's heap directory,
-    /// row directory and index identities — flushes all dirty pages to
-    /// stable storage, and **truncates the write-ahead log** up to the
-    /// checkpoint.  A no-op for in-memory databases.
+    /// Persists the catalog delta since the last checkpoint — mutated
+    /// tables' metadata and dirty row/heap chunks; an untouched table costs
+    /// zero page writes — flushes the dirty data pages to stable storage,
+    /// and **truncates the write-ahead log** up to the checkpoint.  A no-op
+    /// for in-memory databases.
     ///
-    /// The protocol:
+    /// The protocol (same shape as the pre-v3 full rewrite, with the write
+    /// sets shrunk to what changed):
     ///
-    /// 1. **Quiesce.**  Every table's DML lock is taken and held to the end
-    ///    of step 5, so no statement can be half-applied (a heap page
-    ///    without its index updates, half an index split) in the page
-    ///    images about to be flushed.  DML submits its redo record inside
-    ///    the DML lock after applying, so the quiesced state exactly
-    ///    matches a log position.
+    /// 1. **Quiesce.**  Every table's DML lock is taken, but only for the
+    ///    *in-memory* part of the checkpoint: the log cut, the per-table
+    ///    dirty-chunk snapshots, and a memcpy of the dirty data pages.  No
+    ///    statement can be half-applied (a heap page without its index
+    ///    updates, half an index split) in the images being snapshotted.
+    ///    The guards drop before any disk I/O — writers stall for the
+    ///    snapshot, not for the fsyncs.
     /// 2. **Rotate.**  The log is rotated; `cut` = everything appended so
     ///    far becomes durable and sealed, and (thanks to step 1) every
-    ///    record below the cut is fully reflected in the state being
-    ///    checkpointed.
-    /// 3. **Journal.**  The current *on-disk* image of every page the
-    ///    flush will overwrite (dirty pool pages + the catalog chain) is
-    ///    written to the pre-image journal (`<wal prefix>.ckpt`) and
-    ///    synced.  From here until step 6 a crash recovers by rolling the
-    ///    journal back — restoring the exact previous checkpoint — and
-    ///    replaying the un-pruned log.  Without the journal, a power cut
-    ///    could persist an arbitrary *subset* of the in-place writes
-    ///    below, and logical replay cannot repair a physically torn page.
-    /// 4. **Flush data, sync.**  All dirty data pages are written and
-    ///    synced *before* any catalog write — so a torn crash can never
-    ///    persist a catalog that claims `checkpoint_lsn = cut` over data
-    ///    pages that do not reflect it.
-    /// 5. **Write catalog, sync.**  The catalog (with `checkpoint_lsn =
-    ///    cut`) is written into its chain and synced.
+    ///    record below the cut is fully reflected in the snapshots.
+    /// 3. **Journal.**  The current *on-disk* image of every page about to
+    ///    be overwritten in place (the snapshotted data pages + the catalog
+    ///    pages the delta reuses) is written to the pre-image journal
+    ///    (`<wal prefix>.ckpt`) and synced.  From here until step 6 a crash
+    ///    recovers by rolling the journal back — restoring the exact
+    ///    previous checkpoint — and replaying the un-pruned log.  Reading
+    ///    pre-images from the pager after the guards dropped is sound: the
+    ///    pool is no-steal, so nothing reaches the file between step 4 of
+    ///    the previous checkpoint and step 4 of this one.
+    /// 4. **Flush data, sync.**  The *snapshot* images are written and
+    ///    synced — not the live frames, which concurrent DML may already
+    ///    have advanced past the log cut (their referenced pages would not
+    ///    be flushed, tearing the checkpoint).  A frame re-dirtied since
+    ///    the snapshot keeps its dirty flag and ships with the next
+    ///    checkpoint.  Data lands *before* any catalog write, so a torn
+    ///    crash can never persist a catalog that claims `checkpoint_lsn =
+    ///    cut` over data pages that do not reflect it.
+    /// 5. **Write catalog delta, sync.**  Dirty chunks are rewritten in
+    ///    place (relocated only when a segment grows), mutated tables'
+    ///    metadata and the root are rewritten, and exactly those pages are
+    ///    flushed.
     /// 6. **Commit.**  The journal is deleted — the checkpoint is now the
     ///    recovery point.  Only then are deferred page frees published
     ///    (rollback would re-expose their contents) and sealed log
@@ -3221,44 +3344,98 @@ impl Database {
     /// A crash anywhere before step 6 recovers from the previous
     /// checkpoint plus the un-pruned log: nothing acknowledged is lost,
     /// checkpointing is *purely* a log-truncation (and reopen-speed)
-    /// optimization.
+    /// optimization.  [`Database::checkpoint_stats`] reports what each
+    /// checkpoint wrote and skipped.
     pub fn checkpoint(&mut self) -> StorageResult<()> {
         // No-steal quiesce: uncommitted transactional work must never reach
         // the data file.  `&mut self` already guarantees no `Transaction`
         // borrow is live; this guard catches the test-only crash-simulation
         // escape hatch, which leaks its registration on purpose.
-        let open = self.open_txns.load(Ordering::SeqCst);
+        let open = self.open_txns.load(Ordering::SeqCst) as usize;
         if open != 0 {
-            return Err(StorageError::Unsupported(format!(
-                "cannot checkpoint with {open} open transaction(s): the pool is \
-                 no-steal, and a checkpoint would persist uncommitted work"
-            )));
+            return Err(StorageError::OpenTransactions(open));
         }
-        let Some(chain) = self.catalog_chain.as_mut() else {
+        if self.layout.is_none() {
             return Ok(());
-        };
+        }
+
+        // Steps 1-2: the quiesce window — log cut and in-memory snapshots
+        // under every table's DML guard, no disk I/O.
+        let quiesce_start = std::time::Instant::now();
         let guards: Vec<MutexGuard<'_, ()>> = self.tables.values().map(|t| t.dml_guard()).collect();
         let checkpoint_lsn = match &self.wal {
             Some(wal) => wal.rotate()?,
             None => 0,
         };
-        let persisted = PersistedCatalog {
-            checkpoint_lsn,
-            tables: self.tables.values().map(|t| t.persisted()).collect(),
-        };
+        let mut snaps: Vec<TableSnapshot> = Vec::new();
+        let mut tables_skipped = 0u64;
+        for table in self.tables.values() {
+            match table.take_checkpoint_snapshot() {
+                Some(snap) => snaps.push(snap),
+                None => tables_skipped += 1,
+            }
+        }
+        let data = self.pool.dirty_snapshot();
+        drop(guards);
+        let quiesce_nanos = quiesce_start.elapsed().as_nanos() as u64;
+
+        match self.checkpoint_persist(&snaps, &data, checkpoint_lsn) {
+            Ok((outcome, journal_bytes)) => {
+                let stats = &mut self.ckpt_stats;
+                stats.checkpoints += 1;
+                stats.chunks_written += outcome.chunks_written;
+                stats.chunks_skipped += outcome.chunks_skipped;
+                stats.tables_skipped += tables_skipped;
+                stats.catalog_bytes += outcome.bytes_written;
+                stats.data_pages_flushed += data.len() as u64;
+                stats.journal_bytes += journal_bytes;
+                stats.quiesce_nanos += quiesce_nanos;
+                Ok(())
+            }
+            Err(e) => {
+                // The snapshots were consumed but the disk state is now in
+                // doubt; make the next checkpoint rewrite the snapshotted
+                // tables wholesale.  The journal survives with the original
+                // pre-images (its old-wins merge keeps them across a
+                // retry), so rollback still restores the last commit point.
+                for snap in &snaps {
+                    if let Some(table) = self.tables.get(&snap.name) {
+                        table.mark_all_dirty();
+                    }
+                }
+                Err(e)
+            }
+        }
+    }
+
+    /// Steps 3-6 of [`Database::checkpoint`]: journal → flush data → write
+    /// catalog delta → flush catalog → delete journal → publish frees,
+    /// prune log.  Runs after the quiesce guards have dropped.
+    fn checkpoint_persist(
+        &mut self,
+        snaps: &[TableSnapshot],
+        data: &spgist_storage::DirtyPageSnapshot,
+        checkpoint_lsn: u64,
+    ) -> StorageResult<(durable::CatalogWriteOutcome, u64)> {
+        let layout = self
+            .layout
+            .as_mut()
+            .expect("checkpoint_persist requires a durable database");
+        let mut journal_bytes = 0;
         if let Some(journal) = &self.journal {
             // Journal the pre-images before the first in-place write.  The
-            // ids are collected *before* write_catalog dirties the chain,
-            // so the chain is added explicitly; reads go through the pager
-            // (not the pool) to capture the on-disk content.
-            let mut ids: BTreeSet<PageId> = self.pool.dirty_page_ids().into_iter().collect();
-            ids.extend(chain.iter().copied());
-            journal::write_pre_images(journal, self.pool.pager().as_ref(), ids)?;
+            // ids are collected *before* the catalog update relocates any
+            // segment; reads go through the pager (not the pool) to capture
+            // the on-disk content.
+            let mut ids: BTreeSet<PageId> = data.page_ids().into_iter().collect();
+            ids.extend(durable::overwrite_targets(layout, snaps));
+            journal_bytes = journal::write_pre_images(journal, self.pool.pager().as_ref(), ids)?;
         }
-        self.pool.flush_pages()?;
-        durable::write_catalog(&self.pool, chain, &persisted)?;
-        self.pool.flush_pages()?;
-        drop(guards);
+        self.pool.flush_snapshot(data)?;
+        let live: BTreeSet<String> = self.tables.keys().cloned().collect();
+        let outcome =
+            durable::apply_catalog_update(&self.pool, layout, snaps, &live, checkpoint_lsn)?;
+        self.pool.flush_pages_subset(&outcome.written_pages)?;
         if let Some(journal) = &self.journal {
             journal::discard(journal)?;
         }
@@ -3266,7 +3443,27 @@ impl Database {
         if let Some(wal) = &self.wal {
             wal.prune(checkpoint_lsn)?;
         }
-        Ok(())
+        Ok((outcome, journal_bytes))
+    }
+
+    /// A full-rewrite checkpoint: marks every table wholly dirty, so the
+    /// incremental machinery rewrites the complete catalog — the pre-v3
+    /// behavior.  Never needed for correctness; the `checkpoint` bench
+    /// experiment uses it as the baseline incremental checkpoints are
+    /// measured against.
+    pub fn checkpoint_full(&mut self) -> StorageResult<()> {
+        for table in self.tables.values() {
+            table.mark_all_dirty();
+        }
+        self.checkpoint()
+    }
+
+    /// Running checkpoint counters — chunks written/skipped, catalog and
+    /// journal bytes, quiesce time — next to the pool's
+    /// [`IoStats`](spgist_storage::IoStats).  Counters accumulate across
+    /// checkpoints; diff with [`CheckpointStats::delta_since`] to meter one.
+    pub fn checkpoint_stats(&self) -> CheckpointStats {
+        self.ckpt_stats
     }
 
     /// Test hook: poisons the write-ahead log exactly as a flusher I/O
@@ -4409,6 +4606,10 @@ mod tests {
         // rollback, leaving its registration in place.
         txn.crash_for_test();
         let err = db.checkpoint().unwrap_err();
+        assert!(
+            matches!(err, StorageError::OpenTransactions(1)),
+            "no-steal checkpoint must refuse with the typed variant: {err}"
+        );
         assert!(
             err.to_string().contains("open transaction"),
             "no-steal checkpoint must refuse to persist uncommitted work: {err}"

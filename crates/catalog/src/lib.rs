@@ -24,7 +24,7 @@
 
 pub mod am;
 pub mod cost;
-mod durable;
+pub mod durable;
 pub mod exec;
 pub mod operator;
 pub mod planner;

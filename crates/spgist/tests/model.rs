@@ -27,6 +27,16 @@
 //! statements in full while keeping the winner's in full.  Transactions
 //! never span an epoch boundary, so DDL / checkpoint / close never run
 //! while one is open — which is also what the engine enforces.
+//!
+//! **Incremental checkpoints** (ISSUE 10): each epoch restricts DML to a
+//! random non-empty *active subset* of the tables, and half the epochs end
+//! with an explicit `checkpoint()` right before the close or kill-point.
+//! Untouched tables cost that checkpoint zero page writes, so recovery
+//! alternates between "incremental image + empty log" and "older image +
+//! log replay" — and the differential audit after every reopen proves the
+//! clean tables' chunks were neither rewritten nor lost.  Queries and DDL
+//! still target *all* tables, so clean-table reads run against chunk
+//! segments the checkpointer skipped.
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
@@ -370,11 +380,12 @@ enum TxnStmt {
 fn txn_statements(
     txn: &mut Transaction<'_>,
     model: &mut Model,
+    active: &[String],
     rng: &mut DetRng,
     ctx: &str,
 ) -> Vec<TxnStmt> {
     let mut pending = Vec::new();
-    let tables: Vec<String> = model.tables.keys().cloned().collect();
+    let tables: Vec<String> = active.to_vec();
     if tables.is_empty() {
         return pending;
     }
@@ -437,6 +448,27 @@ fn rollback_model(model: &mut Model, pending: Vec<TxnStmt>) {
     }
 }
 
+/// Picks an epoch's active subset: each table joins with probability 1/2,
+/// and at least one always does (when any table exists).  DML is
+/// restricted to the subset for the whole epoch, so the epoch's closing
+/// checkpoint is a genuinely incremental one — the clean tables' chunks
+/// must survive it untouched.
+fn pick_active(model: &Model, rng: &mut DetRng) -> Vec<String> {
+    let names: Vec<String> = model.tables.keys().cloned().collect();
+    if names.is_empty() {
+        return names;
+    }
+    let mut active: Vec<String> = names
+        .iter()
+        .filter(|_| rng.gen_range(0u32..2) == 0)
+        .cloned()
+        .collect();
+    if active.is_empty() {
+        active.push(names[rng.gen_range(0usize..names.len())].clone());
+    }
+    active
+}
+
 /// The harness body, parameterized so the same operation stream can run on
 /// a deliberately starved pool under every replacement policy, with or
 /// without the transactional episodes.  The acceptance floors (≥ 1,000
@@ -450,6 +482,9 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
     let mut index_counter = 0usize;
     let mut ops = 0usize;
     let mut reopens = 0usize;
+    // This epoch's DML targets; new tables join immediately, dropped ones
+    // leave, and every reopen re-rolls the subset.
+    let mut active: Vec<String> = Vec::new();
 
     while ops < total_ops {
         ops += 1;
@@ -464,6 +499,14 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
         // *either* shutdown the reopened database must equal the model
         // exactly: nothing acknowledged lost, nothing phantom.
         if ops.is_multiple_of(OPS_PER_EPOCH) {
+            // Half the epochs fold their mutations — which touched only the
+            // active subset — into an explicit incremental checkpoint before
+            // the shutdown, so the reopen below recovers from "fresh image +
+            // (nearly) empty log"; the other half recover from "older image
+            // + log replay over the subset's mutations".
+            if rng.gen_range(0u32..2) == 0 {
+                db.checkpoint().unwrap();
+            }
             let crash = rng.gen_range(0u32..2) == 0;
             if crash {
                 if transactional {
@@ -472,12 +515,13 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
                     // full, the loser must vanish in full.
                     if rng.gen_range(0u32..2) == 0 {
                         let mut txn = db.begin().unwrap();
-                        let _committed = txn_statements(&mut txn, &mut model, &mut rng, &ctx);
+                        let _committed =
+                            txn_statements(&mut txn, &mut model, &active, &mut rng, &ctx);
                         txn.commit()
                             .unwrap_or_else(|e| panic!("{ctx}: commit failed: {e}"));
                     }
                     let mut txn = db.begin().unwrap();
-                    let pending = txn_statements(&mut txn, &mut model, &mut rng, &ctx);
+                    let pending = txn_statements(&mut txn, &mut model, &active, &mut rng, &ctx);
                     // The crash takes the transaction with it: no commit,
                     // no rollback.  Every statement reaches the log (the
                     // drop below drains the flusher) but no CommitTxn does,
@@ -504,6 +548,7 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
                 .unwrap_or_else(|e| panic!("{ctx}: reopen after {kind} failed: {e}"));
             reopens += 1;
             check_full_state(&db, &model, &format!("{ctx} (after {kind}+reopen)"));
+            active = pick_active(&model, &mut rng);
             continue;
         }
 
@@ -521,18 +566,26 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
             };
             db.create_table(&name, key_type).unwrap();
             model.tables.insert(
-                name,
+                name.clone(),
                 ModelTable {
                     key_type,
                     rows: Vec::new(),
                     indexes: Vec::new(),
                 },
             );
+            // A new table must receive DML to be interesting: it joins the
+            // active subset for the rest of the epoch.
+            active.push(name);
             continue;
         }
 
+        // Queries and DDL range over *all* tables; DML (the INSERT, DELETE
+        // and transaction arms below) stays inside the active subset so
+        // the epoch's checkpoint skips the clean tables' chunks.
         let table = table_names[rng.gen_range(0usize..table_names.len())].clone();
         let key_type = model.tables[&table].key_type;
+        let dml_table = active[rng.gen_range(0usize..active.len())].clone();
+        let dml_key_type = model.tables[&dml_table].key_type;
 
         match roll {
             // Multi-statement transaction episode: a burst of statements
@@ -540,7 +593,7 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
             // mode only; carved out of the INSERT range.)
             35..=49 if transactional => {
                 let mut txn = db.begin().unwrap();
-                let pending = txn_statements(&mut txn, &mut model, &mut rng, &ctx);
+                let pending = txn_statements(&mut txn, &mut model, &active, &mut rng, &ctx);
                 if rng.gen_range(0u32..5) < 3 {
                     txn.commit()
                         .unwrap_or_else(|e| panic!("{ctx}: commit failed: {e}"));
@@ -552,13 +605,13 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
             }
             // INSERT (the bulk of the workload).
             0..=49 => {
-                let datum = random_datum(&mut rng, key_type);
+                let datum = random_datum(&mut rng, dml_key_type);
                 let row = db
-                    .table_handle(&table)
+                    .table_handle(&dml_table)
                     .unwrap()
                     .insert(datum.clone())
                     .unwrap_or_else(|e| panic!("{ctx}: insert failed: {e}"));
-                let mt = model.tables.get_mut(&table).unwrap();
+                let mt = model.tables.get_mut(&dml_table).unwrap();
                 assert_eq!(
                     row,
                     mt.rows.len() as RowId,
@@ -568,14 +621,14 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
             }
             // DELETE a random row id (live, dead, or never allocated).
             50..=64 => {
-                let mt_len = model.tables[&table].rows.len();
+                let mt_len = model.tables[&dml_table].rows.len();
                 let row = rng.gen_range(0u64..(mt_len as u64 + 3));
                 let got = db
-                    .table_handle(&table)
+                    .table_handle(&dml_table)
                     .unwrap()
                     .delete(row)
                     .unwrap_or_else(|e| panic!("{ctx}: delete failed: {e}"));
-                let mt = model.tables.get_mut(&table).unwrap();
+                let mt = model.tables.get_mut(&dml_table).unwrap();
                 let want = mt
                     .rows
                     .get_mut(row as usize)
@@ -633,6 +686,10 @@ fn run_seed_with(seed: u64, total_ops: usize, config: BufferPoolConfig, transact
                         "{ctx}: table {table} should exist"
                     );
                     model.tables.remove(&table);
+                    active.retain(|t| t != &table);
+                    if active.is_empty() {
+                        active = pick_active(&model, &mut rng);
+                    }
                 }
                 _ => db.checkpoint().unwrap(),
             },

@@ -15,8 +15,8 @@
 //! deterministic component of the paper's timings and reproduce its
 //! performance *shapes* even on noisy machines.
 
-use std::collections::HashMap;
-use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::{Mutex, RwLock};
@@ -109,6 +109,12 @@ impl IoStats {
 struct FrameCell {
     lock: RwLock<Page>,
     dirty: AtomicBool,
+    /// Bumped on every mutable access (under the frame's write lock).  A
+    /// [`BufferPool::dirty_snapshot`] records the epoch with each copied
+    /// image; [`BufferPool::flush_snapshot`] marks a frame clean only when
+    /// the epoch is unchanged, so a mutation that lands between snapshot
+    /// and flush keeps the frame dirty for the next checkpoint.
+    dirty_epoch: AtomicU64,
     pins: AtomicU32,
 }
 
@@ -117,8 +123,43 @@ impl FrameCell {
         Arc::new(FrameCell {
             lock: RwLock::new(page),
             dirty: AtomicBool::new(dirty),
+            dirty_epoch: AtomicU64::new(0),
             pins: AtomicU32::new(0),
         })
+    }
+}
+
+/// A point-in-time copy of the pool's dirty frames, taken by
+/// [`BufferPool::dirty_snapshot`] under the caller's exclusion and written
+/// out later by [`BufferPool::flush_snapshot`].  Lets checkpointing code
+/// release its write-blocking guards before paying for the disk I/O.
+pub struct DirtyPageSnapshot {
+    entries: Vec<SnapshotEntry>,
+}
+
+struct SnapshotEntry {
+    page_id: PageId,
+    image: Page,
+    cell: Arc<FrameCell>,
+    epoch: u64,
+}
+
+impl DirtyPageSnapshot {
+    /// Number of captured pages.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no frame was dirty at snapshot time.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Ids of the captured pages — the on-disk set
+    /// [`BufferPool::flush_snapshot`] will overwrite, i.e. the pages a
+    /// checkpoint journal must pre-image first.
+    pub fn page_ids(&self) -> Vec<PageId> {
+        self.entries.iter().map(|e| e.page_id).collect()
     }
 }
 
@@ -360,8 +401,10 @@ impl BufferPool {
         let mut page = pin.cell.lock.write();
         // Marked dirty while the write lock is held, so a concurrent flush
         // either snapshots the page before this mutation (and the flag comes
-        // back) or after it (and the mutation is on disk).
+        // back) or after it (and the mutation is on disk).  The epoch bump
+        // invalidates any in-flight dirty snapshot of this frame.
         pin.cell.dirty.store(true, Ordering::Release);
+        pin.cell.dirty_epoch.fetch_add(1, Ordering::AcqRel);
         Ok(f(&mut page))
     }
 
@@ -431,6 +474,109 @@ impl BufferPool {
             }
         }
         result
+    }
+
+    /// Writes the dirty frames in `ids` back to the pager and syncs it,
+    /// leaving other dirty frames untouched.  Same retry semantics as
+    /// [`flush_pages`](Self::flush_pages): frames are marked clean only if
+    /// the sync succeeds.  Ids in the set that are not resident (or not
+    /// dirty) are skipped.
+    pub fn flush_pages_subset(&self, ids: &HashSet<PageId>) -> StorageResult<()> {
+        let mut inner = self.inner.lock();
+        let targets: Vec<(PageId, Arc<FrameCell>)> = inner
+            .frames
+            .iter()
+            .flatten()
+            .filter(|f| ids.contains(&f.page_id) && f.cell.dirty.load(Ordering::Acquire))
+            .map(|f| (f.page_id, Arc::clone(&f.cell)))
+            .collect();
+        let mut cleaned: Vec<Arc<FrameCell>> = Vec::new();
+        let mut failed = None;
+        for (pid, cell) in &targets {
+            let page = cell.lock.read();
+            if cell.dirty.swap(false, Ordering::AcqRel) {
+                cleaned.push(Arc::clone(cell));
+                if let Err(e) = self.pager.write(*pid, &page) {
+                    failed = Some(e);
+                    break;
+                }
+                inner.stats.physical_writes += 1;
+            }
+        }
+        let result = match failed {
+            Some(e) => Err(e),
+            None => self.pager.sync(),
+        };
+        if result.is_err() {
+            for cell in &cleaned {
+                cell.dirty.store(true, Ordering::Release);
+            }
+        }
+        result
+    }
+
+    /// Copies every dirty frame's current image out of the pool without
+    /// writing anything to the pager.
+    ///
+    /// Incremental checkpoints call this inside the quiesce window (all DML
+    /// guards held), then drop the guards and persist the copies with
+    /// [`flush_snapshot`](Self::flush_snapshot).  The snapshot records each
+    /// frame's dirty epoch; a frame mutated after the snapshot keeps its
+    /// dirty flag when the snapshot is flushed, so the next checkpoint picks
+    /// the newer content up.  The copied images are mutually consistent
+    /// because the caller's exclusion (not this method) stops writers.
+    pub fn dirty_snapshot(&self) -> DirtyPageSnapshot {
+        let inner = self.inner.lock();
+        let entries = inner
+            .frames
+            .iter()
+            .flatten()
+            .filter(|f| f.cell.dirty.load(Ordering::Acquire))
+            .map(|f| {
+                let cell = Arc::clone(&f.cell);
+                let image = cell.lock.read().clone();
+                let epoch = cell.dirty_epoch.load(Ordering::Acquire);
+                SnapshotEntry {
+                    page_id: f.page_id,
+                    image,
+                    cell,
+                    epoch,
+                }
+            })
+            .collect();
+        DirtyPageSnapshot { entries }
+    }
+
+    /// Writes the images captured by [`dirty_snapshot`](Self::dirty_snapshot)
+    /// to the pager and syncs it.
+    ///
+    /// A frame is marked clean only if its dirty epoch still matches the one
+    /// recorded at snapshot time — frames re-dirtied since the snapshot stay
+    /// dirty and their newer content goes out with the next flush.  On any
+    /// write or sync error no flag is cleared, so a retry (or the next full
+    /// flush) rewrites everything.  Requires a no-steal pool: between the
+    /// snapshot and this call nothing else may push frame content to the
+    /// pager, or the snapshot images would clobber it.
+    pub fn flush_snapshot(&self, snapshot: &DirtyPageSnapshot) -> StorageResult<()> {
+        {
+            let mut inner = self.inner.lock();
+            for entry in &snapshot.entries {
+                self.pager.write(entry.page_id, &entry.image)?;
+                inner.stats.physical_writes += 1;
+            }
+        }
+        self.pager.sync()?;
+        for entry in &snapshot.entries {
+            // The frame read lock orders this against a concurrent mutation:
+            // the writer bumps the epoch under the write lock, so either we
+            // see the bump (and leave the frame dirty) or the mutation has
+            // not happened yet and will re-dirty the frame itself.
+            let _page = entry.cell.lock.read();
+            if entry.cell.dirty_epoch.load(Ordering::Acquire) == entry.epoch {
+                entry.cell.dirty.store(false, Ordering::Release);
+            }
+        }
+        Ok(())
     }
 
     /// Publishes deferred frees to the pager and trims the pool back to its

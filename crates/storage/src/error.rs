@@ -35,6 +35,11 @@ pub enum StorageError {
     /// The request is valid but not supported by the addressed component
     /// (e.g. a query predicate no registered access path can execute).
     Unsupported(String),
+    /// A checkpoint was requested while transactions were still open.  The
+    /// buffer pool is no-steal, so a checkpoint taken mid-transaction would
+    /// persist uncommitted work; callers can match on the count to decide
+    /// whether to retry after the transactions settle.
+    OpenTransactions(usize),
 }
 
 impl fmt::Display for StorageError {
@@ -60,6 +65,11 @@ impl fmt::Display for StorageError {
             StorageError::Corrupt(msg) => write!(f, "corrupt page: {msg}"),
             StorageError::Decode(msg) => write!(f, "decode error: {msg}"),
             StorageError::Unsupported(msg) => write!(f, "unsupported request: {msg}"),
+            StorageError::OpenTransactions(count) => write!(
+                f,
+                "cannot checkpoint with {count} open transaction(s): the pool is \
+                 no-steal, and a checkpoint would persist uncommitted work"
+            ),
         }
     }
 }

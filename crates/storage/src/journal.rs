@@ -44,6 +44,55 @@ const VERSION: u32 = 1;
 const HEADER_BYTES: usize = 16;
 const ENTRY_BYTES: usize = 4 + PAGE_SIZE;
 
+/// Counters of checkpoint activity, surfaced by the database layer next to
+/// [`IoStats`](crate::buffer::IoStats) and
+/// [`ConcurrencyStats`](crate::epoch::ConcurrencyStats).  Incremental
+/// checkpoints are judged by these numbers: an untouched table shows up as
+/// `chunks_skipped`, and `quiesce_nanos` is the only window in which
+/// concurrent writers stall.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CheckpointStats {
+    /// Checkpoints completed.
+    pub checkpoints: u64,
+    /// Catalog chunks (row-directory runs, heap-directory runs, table
+    /// metadata segments, the root) actually rewritten.
+    pub chunks_written: u64,
+    /// Catalog chunks whose content was unchanged and which therefore cost
+    /// zero page writes.
+    pub chunks_skipped: u64,
+    /// Tables skipped outright (not mutated since the last checkpoint).
+    pub tables_skipped: u64,
+    /// Bytes of catalog content written (chunk records, metadata segments,
+    /// root segments).
+    pub catalog_bytes: u64,
+    /// Data pages flushed from the buffer pool's dirty set.
+    pub data_pages_flushed: u64,
+    /// Size in bytes of the pre-image rollback journal written, summed over
+    /// checkpoints.
+    pub journal_bytes: u64,
+    /// Nanoseconds spent holding every table's DML lock (the quiesce
+    /// window: log rotation plus the in-memory snapshot of dirty chunks and
+    /// dirty pages — flush and sync happen after the guards drop).
+    pub quiesce_nanos: u64,
+}
+
+impl CheckpointStats {
+    /// Component-wise difference (`self - earlier`), for measuring a single
+    /// checkpoint between two snapshots.
+    pub fn delta_since(&self, earlier: &CheckpointStats) -> CheckpointStats {
+        CheckpointStats {
+            checkpoints: self.checkpoints - earlier.checkpoints,
+            chunks_written: self.chunks_written - earlier.chunks_written,
+            chunks_skipped: self.chunks_skipped - earlier.chunks_skipped,
+            tables_skipped: self.tables_skipped - earlier.tables_skipped,
+            catalog_bytes: self.catalog_bytes - earlier.catalog_bytes,
+            data_pages_flushed: self.data_pages_flushed - earlier.data_pages_flushed,
+            journal_bytes: self.journal_bytes - earlier.journal_bytes,
+            quiesce_nanos: self.quiesce_nanos - earlier.quiesce_nanos,
+        }
+    }
+}
+
 /// Syncs the directory holding `path` so a create/rename/delete of the
 /// journal itself is durable.  Best-effort: not every filesystem supports
 /// directory fsync, and the fallback (an extra rollback or an extra
@@ -97,7 +146,7 @@ fn load_valid(path: &Path) -> StorageResult<Option<BTreeMap<PageId, Page>>> {
     Ok(Some(entries))
 }
 
-fn write_file(path: &Path, entries: &BTreeMap<PageId, Page>) -> StorageResult<()> {
+fn write_file(path: &Path, entries: &BTreeMap<PageId, Page>) -> StorageResult<u64> {
     let mut body = Vec::with_capacity(entries.len() * ENTRY_BYTES);
     for (id, page) in entries {
         body.extend_from_slice(&id.to_le_bytes());
@@ -126,7 +175,7 @@ fn write_file(path: &Path, entries: &BTreeMap<PageId, Page>) -> StorageResult<()
     drop(file);
     std::fs::rename(tmp, path)?;
     sync_parent(path);
-    Ok(())
+    Ok((HEADER_BYTES + body.len()) as u64)
 }
 
 /// Journals the current on-disk image of every page in `ids`, merging with
@@ -137,12 +186,13 @@ fn write_file(path: &Path, entries: &BTreeMap<PageId, Page>) -> StorageResult<()
 ///
 /// Pre-images are read through `pager` directly — callers journal before
 /// flushing, so the buffer pool's dirty copies must not shadow the on-disk
-/// content being protected.
+/// content being protected.  Returns the size in bytes of the journal file
+/// now on disk (checkpoint accounting).
 pub fn write_pre_images(
     path: &Path,
     pager: &dyn Pager,
     ids: impl IntoIterator<Item = PageId>,
-) -> StorageResult<()> {
+) -> StorageResult<u64> {
     let mut entries = load_valid(path)?.unwrap_or_default();
     let page_count = pager.page_count();
     for id in ids {

@@ -36,13 +36,14 @@ pub mod page;
 pub mod pager;
 pub mod replacement;
 
-pub use buffer::{BufferPool, BufferPoolConfig, IoStats};
+pub use buffer::{BufferPool, BufferPoolConfig, DirtyPageSnapshot, IoStats};
 pub use codec::Codec;
 pub use crc::crc32;
 pub use epoch::{ConcurrencyStats, EpochManager, EpochPin, LatchSet, LatchTable, RetiredItem};
 pub use error::{StorageError, StorageResult};
 pub use fault::{FaultPager, SyncFault, WriteFault};
 pub use heap::{HeapFile, RecordId};
+pub use journal::CheckpointStats;
 pub use page::{Page, PageId, SlotId, MAX_RECORD_SIZE, PAGE_SIZE};
 pub use pager::{FilePager, MemPager, Pager};
 pub use replacement::{AccessHint, ReplacementPolicy, ReplacementPolicyKind};

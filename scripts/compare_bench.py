@@ -37,6 +37,7 @@ KEY_COLUMNS = {
     "class", "mode", "policy", "workload", "index", "variant",
     "size", "rows", "k", "threads", "pool_pct", "frames", "readers",
     "writers", "queries", "fetches", "pages", "commits", "data_pages",
+    "backend", "pct_mutated", "chunks_mutated",
 }
 
 # Substrings marking a metric's direction.  Checked in order: a name
@@ -44,11 +45,11 @@ KEY_COLUMNS = {
 # contains a lower-is-better substring (e.g. "commits_per_sync").
 HIGHER_BETTER = (
     "hit_rate", "per_sec", "per_sync", "throughput", "qps", "ips",
-    "cps", "speedup", "fill",
+    "cps", "speedup", "fill", "ratio_vs_full",
 )
 LOWER_BETTER = (
     "ms", "reads", "writes", "evict", "miss", "sync", "physical",
-    "height",
+    "height", "bytes", "quiesce", "stall",
 )
 
 
